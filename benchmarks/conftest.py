@@ -1,0 +1,39 @@
+"""Shared fixtures/helpers for the paper-reproduction benchmark suite.
+
+Each ``test_table*.py`` / ``test_fig*.py`` file regenerates one table or
+figure of the paper: it computes the experiment rows, persists them under
+``benchmarks/results/`` (ASCII table + CSV), asserts the paper's
+qualitative shape, and benchmarks a representative kernel with
+pytest-benchmark.
+
+Matrix scale defaults to ``REPRO_BENCH_SCALE`` (0.06); set it to 1.0 to
+run full Table 2 sizes.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))  # noqa: E402 - allow helpers import
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name, rows, columns, title=""):
+    """Persist experiment rows as an ASCII table and a CSV file."""
+    from repro.bench.reporting import format_table, write_csv
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = format_table(rows, columns, title=title)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    write_csv(rows, os.path.join(RESULTS_DIR, f"{name}.csv"), columns)
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

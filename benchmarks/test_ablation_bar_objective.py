@@ -1,0 +1,58 @@
+"""Ablation: BAR's objective with the x-cacheline term (Eqn. 3) removed.
+
+Eqn. (1) sums a bit-width (stream-transaction) term and a cacheline term.
+Dropping the cacheline term (cache_weight = 0) should compress at least
+as well — it optimizes compression alone — but may touch more x lines;
+this quantifies what each term buys, the design question behind the
+paper's Section 3.4 limitation note.
+"""
+
+from conftest import save_table
+
+from repro.bench.harness import cached_matrix, spmv_once
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.compression import index_compression_report
+from repro.reorder.bar import bar_permutation
+
+import os
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 0.02))
+
+COLUMNS = [
+    "matrix",
+    "eta_full_pct", "eta_nocache_pct",
+    "x_bytes_full", "x_bytes_nocache",
+    "gflops_full", "gflops_nocache",
+]
+
+
+def test_ablation_bar_objective(benchmark):
+    rows = []
+    for name in ("cage12", "rim", "stomach"):
+        coo = cached_matrix(name, _SCALE)
+        row = {"matrix": name}
+        for label, weight in (("full", 1.0), ("nocache", 0.0)):
+            perm = bar_permutation(coo, h=256, cache_weight=weight)
+            bro = BROELLMatrix.from_coo(coo.permute_rows(perm), h=256)
+            res = spmv_once(bro, "k20")
+            row[f"eta_{label}_pct"] = 100.0 * index_compression_report(
+                bro, name
+            ).eta
+            row[f"x_bytes_{label}"] = res.counters.x_bytes
+            row[f"gflops_{label}"] = res.gflops
+        rows.append(row)
+    save_table("ablation_bar_objective", rows, COLUMNS,
+               "Ablation: BAR with/without the Eqn. (3) cacheline term")
+
+    # Compression-only BAR compresses at least as well...
+    for r in rows:
+        assert r["eta_nocache_pct"] >= r["eta_full_pct"] - 1.0, r["matrix"]
+    # ...but the cache term never *hurts* x traffic on these matrices.
+    for r in rows:
+        assert r["x_bytes_full"] <= 1.1 * r["x_bytes_nocache"], r["matrix"]
+
+    coo = cached_matrix("rim", _SCALE)
+    benchmark.pedantic(
+        lambda: bar_permutation(coo, h=256, cache_weight=0.0),
+        rounds=3, iterations=1,
+    )

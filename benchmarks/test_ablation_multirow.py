@@ -1,0 +1,60 @@
+"""Extension: multiple threads per row (paper Section 6 future work).
+
+Row splitting multiplies the thread count, which pays exactly where the
+paper's Fig. 6 discussion predicts: matrices with too few rows to fill
+the device (e40r5000, rim). On large matrices the occupancy is already
+saturated and splitting only widens the delta codes.
+"""
+
+import numpy as np
+from conftest import save_table
+
+from repro.bench.harness import bench_scale, cached_matrix, spmv_once
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.multirow import MultiRowBROELL
+
+COLUMNS = ["matrix", "t", "occupancy", "gflops_k20", "speedup_vs_t1"]
+
+
+def test_ablation_multirow(benchmark):
+    scale = bench_scale()
+    rows = []
+    for name in ("e40r5000", "rim", "shipsec1"):
+        coo = cached_matrix(name, scale)
+        x = np.random.default_rng(0).standard_normal(coo.shape[1])
+        base = spmv_once(BROELLMatrix.from_coo(coo, h=256), "k20", x)
+        rows.append(
+            {
+                "matrix": name, "t": 1,
+                "occupancy": base.timing.occupancy,
+                "gflops_k20": base.gflops, "speedup_vs_t1": 1.0,
+            }
+        )
+        for t in (2, 4):
+            mt = MultiRowBROELL.from_coo(coo, threads_per_row=t, h=256)
+            res = spmv_once(mt, "k20", x)
+            np.testing.assert_allclose(res.y, base.y, rtol=1e-9)
+            rows.append(
+                {
+                    "matrix": name, "t": t,
+                    "occupancy": res.timing.occupancy,
+                    "gflops_k20": res.gflops,
+                    "speedup_vs_t1": res.gflops / base.gflops,
+                }
+            )
+    save_table("ablation_multirow", rows, COLUMNS,
+               "Extension: multiple threads per row (K20)")
+
+    by = {(r["matrix"], r["t"]): r for r in rows}
+    # Occupancy-starved matrices gain...
+    assert by[("e40r5000", 4)]["speedup_vs_t1"] > 1.3
+    # ...and occupancy strictly improves with t on them.
+    assert by[("e40r5000", 4)]["occupancy"] > by[("e40r5000", 1)]["occupancy"]
+    # Saturated matrices gain little or lose (wider codes, fold flops).
+    assert by[("shipsec1", 4)]["speedup_vs_t1"] < 1.15
+
+    coo = cached_matrix("e40r5000", scale)
+    benchmark.pedantic(
+        lambda: MultiRowBROELL.from_coo(coo, threads_per_row=4, h=256),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Ablation: slice height h (the paper fixes h = 256 = thread-block size).
+
+Smaller slices adapt ``num_col`` and the per-column bit widths to fewer
+rows (better compression) but launch more blocks and amortize the
+``bit_alloc`` table over fewer threads; larger slices do the opposite.
+The sweep exposes the trade-off the paper's fixed choice sits on, and the
+small-h end approximates the "multiple threads per row" future-work
+direction (more, narrower work units per matrix region).
+"""
+
+from conftest import save_table
+
+from repro.bench.harness import bench_scale, cached_matrix, spmv_once
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.compression import index_compression_report
+
+HEIGHTS = (32, 64, 128, 256, 512)
+COLUMNS = ["matrix", "h", "eta_pct", "gflops_k20"]
+
+
+def test_ablation_slice_height(benchmark):
+    scale = bench_scale()
+    rows = []
+    for name in ("lhr71", "rim", "venkat01"):
+        coo = cached_matrix(name, scale)
+        for h in HEIGHTS:
+            bro = BROELLMatrix.from_coo(coo, h=h)
+            rows.append(
+                {
+                    "matrix": name,
+                    "h": h,
+                    "eta_pct": 100.0 * index_compression_report(bro, name).eta,
+                    "gflops_k20": spmv_once(bro, "k20").gflops,
+                }
+            )
+    save_table("ablation_slice_height", rows, COLUMNS,
+               "Ablation: BRO-ELL slice height sweep (K20)")
+
+    # Compression improves monotonically (within noise) as slices shrink:
+    # per-column maxima are taken over fewer rows.
+    for name in ("lhr71", "rim", "venkat01"):
+        series = [r for r in rows if r["matrix"] == name]
+        series.sort(key=lambda r: r["h"])
+        etas = [r["eta_pct"] for r in series]
+        assert etas[0] >= etas[-1] - 0.5, name
+
+    coo = cached_matrix("rim", scale)
+    benchmark.pedantic(
+        lambda: BROELLMatrix.from_coo(coo, h=64), rounds=3, iterations=1
+    )

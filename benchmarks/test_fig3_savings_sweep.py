@@ -1,0 +1,68 @@
+"""Fig. 3: BRO-ELL kernel GFlop/s vs index space savings on a dense matrix.
+
+Shape to hold (Section 4.2.1): performance scales ~linearly with space
+savings; the device curves order K20 > GTX680 > C2070; and the break-even
+savings against ELLPACK land near the paper's 17% / 9% / 23%.
+"""
+
+import numpy as np
+from conftest import save_table
+
+from repro.bench.experiments import fig3_break_even, fig3_savings_sweep
+from repro.bench.harness import spmv_once
+from repro.core.bro_ell import BROELLMatrix
+from repro.formats.coo import COOMatrix
+
+#: Break-even space savings the paper reports per device (percent).
+PAPER_BREAK_EVEN = {"c2070": 17.0, "gtx680": 9.0, "k20": 23.0}
+
+COLUMNS = ["device", "bits", "eta_pct", "gflops", "ellpack_gflops", "speedup"]
+
+
+def test_fig3_savings_sweep(benchmark):
+    rows = fig3_savings_sweep(m=16384, k=64)
+    save_table("fig3_savings_sweep", rows, COLUMNS,
+               "Fig. 3: BRO-ELL GFlop/s vs space savings (dense matrix)")
+
+    # (a) Monotone scaling with savings, per device.
+    for dev in PAPER_BREAK_EVEN:
+        series = sorted(
+            (r for r in rows if r["device_key"] == dev), key=lambda r: r["eta_pct"]
+        )
+        gf = [r["gflops"] for r in series]
+        assert all(b >= a for a, b in zip(gf, gf[1:])), dev
+        # ~linear: endpoints slope vs midpoint deviation below 15%.
+        eta = np.array([r["eta_pct"] for r in series])
+        fit = np.polyfit(eta, gf, 1)
+        resid = np.abs(np.polyval(fit, eta) - gf) / np.mean(gf)
+        assert resid.max() < 0.15, dev
+
+    # (b) Device ordering by bandwidth.
+    tops = {
+        dev: max(r["gflops"] for r in rows if r["device_key"] == dev)
+        for dev in PAPER_BREAK_EVEN
+    }
+    assert tops["k20"] > tops["gtx680"] > tops["c2070"]
+
+    # (c) Break-even within 3 percentage points of the paper's annotations.
+    measured = fig3_break_even(rows)
+    be_rows = [
+        {"device": d, "break_even_pct": measured[d], "paper_pct": PAPER_BREAK_EVEN[d]}
+        for d in PAPER_BREAK_EVEN
+    ]
+    save_table("fig3_break_even", be_rows,
+               ["device", "break_even_pct", "paper_pct"],
+               "Fig. 3 annotations: break-even space savings vs ELLPACK")
+    for dev, paper in PAPER_BREAK_EVEN.items():
+        assert abs(measured[dev] - paper) < 3.0, dev
+
+    # Benchmark the decompress-and-multiply kernel itself.
+    rng = np.random.default_rng(0)
+    m, k = 4096, 32
+    dense = COOMatrix(
+        np.repeat(np.arange(m), k), np.tile(np.arange(k), m),
+        rng.standard_normal(m * k), (m, k),
+    )
+    bro = BROELLMatrix.from_coo(dense, h=256).with_uniform_width(4)
+    x = rng.standard_normal(k)
+    benchmark(lambda: spmv_once(bro, "k20", x))

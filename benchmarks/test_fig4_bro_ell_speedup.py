@@ -1,0 +1,53 @@
+"""Fig. 4: BRO-ELL vs ELLPACK and ELLPACK-R on Test Set 1, three GPUs.
+
+Shape to hold: speedups over ELLPACK in the 1.1x-2.1x band with averages
+near the paper's 1.5x/1.6x/1.4x (C2070/GTX680/K20); BRO-ELL also beats
+the state-of-the-art ELLPACK-R on average (paper: +13%).
+"""
+
+from conftest import save_table
+
+from repro.bench.experiments import fig4_bro_ell
+from repro.bench.harness import bench_scale, cached_format, spmv_once
+from repro.bench.reporting import geomean
+
+COLUMNS = [
+    "matrix", "device", "gflops_ellpack", "gflops_ellpack_r",
+    "gflops_bro_ell", "speedup_vs_ellpack", "speedup_vs_ellpack_r",
+]
+
+
+def test_fig4_bro_ell_speedup(benchmark):
+    rows = fig4_bro_ell()
+    save_table("fig4_bro_ell", rows, COLUMNS,
+               "Fig. 4: BRO-ELL vs ELLPACK / ELLPACK-R")
+
+    summary = []
+    for dev in ("c2070", "gtx680", "k20"):
+        sel = [r for r in rows if r["device_key"] == dev]
+        summary.append(
+            {
+                "device": sel[0]["device"],
+                "avg_speedup_vs_ellpack": geomean(
+                    r["speedup_vs_ellpack"] for r in sel
+                ),
+                "avg_speedup_vs_ellpack_r": geomean(
+                    r["speedup_vs_ellpack_r"] for r in sel
+                ),
+            }
+        )
+    save_table("fig4_summary", summary,
+               ["device", "avg_speedup_vs_ellpack", "avg_speedup_vs_ellpack_r"],
+               "Fig. 4 summary (paper: 1.5/1.6/1.4 vs ELL, ~1.13 vs ELL-R)")
+
+    # Per-matrix: BRO-ELL never slower than ELLPACK, within the paper band.
+    for r in rows:
+        assert r["speedup_vs_ellpack"] > 1.0, r["matrix"]
+        assert r["speedup_vs_ellpack"] < 2.5, r["matrix"]
+    # Averages in the paper's neighbourhood.
+    for s in summary:
+        assert 1.25 < s["avg_speedup_vs_ellpack"] < 1.8
+        assert s["avg_speedup_vs_ellpack_r"] > 1.05
+
+    mat = cached_format("shipsec1", bench_scale(), "bro_ell")
+    benchmark.pedantic(lambda: spmv_once(mat, "k20"), rounds=3, iterations=1)

@@ -1,0 +1,42 @@
+"""Fig. 6: BRO-ELL DRAM bandwidth utilization across GPUs (first six
+matrices of Table 2).
+
+Shape to hold: utilization is high (bandwidth-bound kernel) for the large
+matrices and drops for e40r5000, which is too small to fill the newer
+devices — the paper's occupancy observation.
+"""
+
+from conftest import save_table
+
+from repro.bench.experiments import fig6_bandwidth
+from repro.bench.harness import bench_scale, cached_format, spmv_once
+
+COLUMNS = ["matrix", "device", "bw_utilization"]
+
+
+def test_fig6_bandwidth(benchmark):
+    rows = fig6_bandwidth()
+    save_table("fig6_bandwidth", rows, COLUMNS,
+               "Fig. 6: DRAM bandwidth utilization of BRO-ELL")
+
+    by = {(r["matrix"], r["device_key"]): r["bw_utilization"] for r in rows}
+    matrices = {r["matrix"] for r in rows}
+    assert matrices == {"cage12", "cant", "consph", "e40r5000", "epb3", "lhr71"}
+
+    # e40r5000 (17k rows at full scale) underutilizes the big Kepler parts
+    # relative to the large matrices.
+    for dev in ("gtx680", "k20"):
+        assert by[("e40r5000", dev)] < by[("cant", dev)]
+        assert by[("e40r5000", dev)] < by[("consph", dev)]
+
+    # Utilization never exceeds 1 and large matrices sustain > 40% of pin
+    # bandwidth.
+    for (mat, dev), util in by.items():
+        assert 0.0 < util <= 1.0
+    assert by[("consph", "c2070")] > 0.4
+
+    mat = cached_format("cant", bench_scale(), "bro_ell")
+    benchmark.pedantic(
+        lambda: spmv_once(mat, "c2070").timing.bandwidth_utilization,
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Fig. 8: BRO-HYB vs HYB on Test Set 2 (the paper plots Tesla K20).
+
+Shape to hold: speedups track the BRO-ELL fraction and compressibility —
+bcsstk32/pwtk-class matrices gain the most, rail4284/rajat30 the least;
+averages near the paper's 1.6x/1.3x/1.4x (C2070/GTX680/K20).
+"""
+
+from conftest import save_table
+
+from repro.bench.experiments import fig8_bro_hyb, table4_hyb_split
+from repro.bench.harness import bench_scale, cached_format, spmv_once
+from repro.bench.reporting import geomean
+
+COLUMNS = ["matrix", "device", "gflops_hyb", "gflops_bro_hyb", "speedup_vs_hyb"]
+
+
+def test_fig8_bro_hyb(benchmark):
+    rows = fig8_bro_hyb(devices=("c2070", "gtx680", "k20"))
+    save_table("fig8_bro_hyb", rows, COLUMNS, "Fig. 8: BRO-HYB vs HYB")
+
+    avg = {
+        dev: geomean(r["speedup_vs_hyb"] for r in rows if r["device_key"] == dev)
+        for dev in ("c2070", "gtx680", "k20")
+    }
+    save_table(
+        "fig8_summary",
+        [{"device": d, "avg_speedup": v} for d, v in avg.items()],
+        ["device", "avg_speedup"],
+        "Fig. 8 summary (paper averages: 1.6/1.3/1.4)",
+    )
+    # BRO-HYB wins everywhere; the magnitude is bounded by the pure
+    # roofline ceiling (~1.45x when index bytes vanish entirely), so the
+    # paper's 1.6x C2070 average is not reachable in a pure-bandwidth
+    # model — see EXPERIMENTS.md for the ceiling analysis.
+    for dev, v in avg.items():
+        assert 1.02 < v < 1.8, dev
+    for r in rows:
+        assert r["speedup_vs_hyb"] > 0.98, (r["matrix"], r["device"])
+
+    # Speedup correlates with the BRO-ELL fraction (paper's explanation):
+    # the high-ELL FEM matrices beat the low-ELL rail4284.
+    k20 = {r["matrix"]: r["speedup_vs_hyb"] for r in rows if r["device_key"] == "k20"}
+    assert k20["pwtk"] > k20["rail4284"]
+    assert k20["bcsstk32"] > k20["rail4284"]
+
+    mat = cached_format("pwtk", bench_scale(), "bro_hyb")
+    benchmark.pedantic(lambda: spmv_once(mat, "k20"), rounds=3, iterations=1)

@@ -1,0 +1,42 @@
+"""Table 1: specifications of the simulated GPUs.
+
+Regenerates the device table and benchmarks the timing-model hot path.
+"""
+
+from conftest import save_table
+
+from repro.bench.experiments import table1_devices
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import TESLA_K20
+from repro.gpu.timing import predict
+
+COLUMNS = [
+    "device",
+    "compute_capability",
+    "cores",
+    "mem_bw_gbps",
+    "dp_gflops",
+    "measured_bw_gbps",
+    "decode_gops",
+]
+
+
+def test_table1_devices(benchmark):
+    rows = table1_devices()
+    save_table("table1_devices", rows, COLUMNS, "Table 1: simulated GPU specs")
+
+    # Published Table 1 values must be reproduced exactly.
+    by_name = {r["device"]: r for r in rows}
+    assert by_name["Tesla C2070"]["cores"] == 448
+    assert by_name["Tesla C2070"]["mem_bw_gbps"] == 144.0
+    assert by_name["GTX680"]["cores"] == 1536
+    assert by_name["GTX680"]["dp_gflops"] == 129.0
+    assert by_name["Tesla K20"]["cores"] == 2496
+    assert by_name["Tesla K20"]["mem_bw_gbps"] == 208.0
+    assert by_name["Tesla K20"]["dp_gflops"] == 1170.0
+
+    counters = KernelCounters(
+        value_bytes=10**8, useful_flops=10**7, issued_flops=10**7,
+        decode_ops=10**7, threads=10**6,
+    )
+    benchmark(lambda: predict(counters, TESLA_K20).gflops)

@@ -1,0 +1,50 @@
+"""Table 3: index space savings of BRO-ELL compression on Test Set 1.
+
+Paper values range from 50.7% (mc2depi) to 92.9% (shipsec1); the shape to
+hold is which matrices compress well and which do not.
+"""
+
+from conftest import save_table
+
+from repro.bench.experiments import table3_savings
+from repro.bench.harness import bench_scale, cached_format
+
+#: Published Table 3 (percent space savings).
+PAPER_TABLE3 = {
+    "cage12": 78.0, "cant": 85.9, "consph": 85.3, "e40r5000": 92.5,
+    "epb3": 83.2, "lhr71": 92.1, "mc2depi": 50.7, "pdb1HYS": 89.2,
+    "qcd5_4": 87.7, "rim": 92.7, "rma10": 90.8, "shipsec1": 92.9,
+    "stomach": 70.7, "torso3": 75.9, "venkat01": 90.2, "xenon2": 74.0,
+}
+
+COLUMNS = ["matrix", "eta_pct", "eta_paper", "kappa",
+           "original_bytes", "compressed_bytes"]
+
+
+def test_table3_savings(benchmark):
+    rows = table3_savings()
+    for row in rows:
+        row["eta_paper"] = PAPER_TABLE3[row["matrix"]]
+    save_table("table3_savings", rows, COLUMNS,
+               "Table 3: BRO-ELL index space savings (measured vs paper)")
+
+    # mc2depi's eta converges to the paper's 50.7% only at full scale (its
+    # first-column delta width grows with the grid side), so the per-matrix
+    # bound is looser than the average bound. Assumes scale >= 0.05.
+    errors = [abs(r["eta_pct"] - r["eta_paper"]) for r in rows]
+    assert max(errors) < 13.0  # every matrix in the right regime
+    assert sum(errors) / len(errors) < 5.0  # and close on average
+
+    # Qualitative shape: mc2depi is the least compressible, shipsec1-class
+    # FEM matrices the most.
+    by_name = {r["matrix"]: r["eta_pct"] for r in rows}
+    assert by_name["mc2depi"] == min(by_name.values())
+    assert by_name["shipsec1"] > 88.0
+
+    scale = bench_scale()
+    coo = cached_format("venkat01", scale, "coo")
+    from repro.core.bro_ell import BROELLMatrix
+
+    benchmark.pedantic(
+        lambda: BROELLMatrix.from_coo(coo, h=256), rounds=3, iterations=1
+    )

@@ -1,0 +1,51 @@
+"""Table 4: BRO-HYB partitioning (% of nnz in the BRO-ELL part) and
+index space savings, Test Set 2.
+
+Shape to hold: FEM-like matrices (pwtk, bcsstk32, ohne2) put almost
+everything in the ELL part; rail4284 (a few enormous rows) is almost pure
+COO; webbase-1M compresses worst.
+"""
+
+from conftest import save_table
+
+from repro.bench.experiments import table4_hyb_split
+from repro.bench.harness import bench_scale, cached_matrix
+
+#: Published Table 4 (% BRO-ELL, eta %).
+PAPER_TABLE4 = {
+    "bcsstk32": (96.6, 60.4), "cop20k_A": (82.3, 46.7), "ct20stif": (90.7, 55.9),
+    "gupta2": (50.0, 43.8), "hvdc2": (86.9, 45.5), "mac_econ": (81.1, 51.6),
+    "ohne2": (96.5, 49.5), "pwtk": (99.4, 78.7), "rail4284": (0.85, 45.2),
+    "rajat30": (68.1, 34.5), "scircuit": (78.2, 36.6), "sme3Da": (83.6, 55.6),
+    "twotone": (61.8, 48.8), "webbase-1M": (64.2, 13.4),
+}
+
+COLUMNS = ["matrix", "pct_bro_ell", "pct_paper", "eta_pct", "eta_paper"]
+
+
+def test_table4_hyb_split(benchmark):
+    rows = table4_hyb_split()
+    for row in rows:
+        row["pct_paper"], row["eta_paper"] = PAPER_TABLE4[row["matrix"]]
+    save_table("table4_hyb_split", rows, COLUMNS,
+               "Table 4: BRO-HYB partition and savings (measured vs paper)")
+
+    by = {r["matrix"]: r for r in rows}
+    # Near-uniform FEM matrices stay almost entirely in the ELL part.
+    assert by["pwtk"]["pct_bro_ell"] > 90
+    assert by["bcsstk32"]["pct_bro_ell"] > 85
+    # rail4284's huge rows overflow to COO almost completely.
+    assert by["rail4284"]["pct_bro_ell"] < 25
+    # Power-law matrices sit in between.
+    assert 30 < by["rajat30"]["pct_bro_ell"] < 95
+    # Savings are positive everywhere and ordered sanely.
+    for r in rows:
+        assert r["eta_pct"] > 0, r["matrix"]
+    assert by["pwtk"]["eta_pct"] == max(r["eta_pct"] for r in rows)
+
+    coo = cached_matrix("scircuit", bench_scale())
+    from repro.core.bro_hyb import BROHYBMatrix
+
+    benchmark.pedantic(
+        lambda: BROHYBMatrix.from_coo(coo, h=256), rounds=3, iterations=1
+    )

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Conjugate-Gradient case study: how much solver time does BRO save?
+
+The paper motivates BRO with iterative solvers (CG / GMRES) whose runtime
+is dominated by SpMV. This example builds an SPD system, solves it with CG
+through the *simulated-GPU* operator for HYB and BRO-HYB storage, and
+reports the predicted device seconds spent in SpMV for each format — the
+end-to-end view of Fig. 8's kernel-level speedups.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+from repro.core import BROHYBMatrix
+from repro.formats import HYBMatrix
+from repro.formats.coo import COOMatrix
+from repro.matrices import banded_random
+from repro.solvers import SimulatedOperator, conjugate_gradient
+
+
+def spd_system(m: int = 8_000, seed: int = 3):
+    """An SPD matrix A = B + B^T + diag(dominance) from a banded pattern."""
+    b = banded_random(m, mu=12.0, sigma=3.0, bandwidth=300, seed=seed)
+    rows = np.concatenate([b.row_idx, b.col_idx, np.arange(m)])
+    cols = np.concatenate([b.col_idx, b.row_idx, np.arange(m)])
+    vals = np.concatenate([np.abs(b.vals), np.abs(b.vals), np.zeros(m)])
+    coo = COOMatrix(rows, cols, vals, (m, m))
+    # Diagonal dominance makes it SPD and well conditioned.
+    diag_bonus = 2.0 * np.abs(coo.vals).sum() / m
+    rows = np.concatenate([coo.row_idx, np.arange(m)])
+    cols = np.concatenate([coo.col_idx, np.arange(m)])
+    vals = np.concatenate([coo.vals, np.full(m, diag_bonus)])
+    return COOMatrix(rows, cols, vals, (m, m))
+
+
+def main() -> None:
+    print("Building an SPD system (8k unknowns) ...")
+    coo = spd_system()
+    rng = np.random.default_rng(11)
+    x_true = rng.standard_normal(coo.shape[0])
+    b = coo.spmv(x_true)
+
+    print(f"  nnz = {coo.nnz}, mean row length = {coo.row_lengths().mean():.1f}")
+
+    for fmt_name, fmt in (
+        ("HYB", HYBMatrix.from_coo(coo)),
+        ("BRO-HYB", BROHYBMatrix.from_coo(coo, h=256)),
+    ):
+        op = SimulatedOperator(fmt, device="k20")
+        result = conjugate_gradient(op, b, tol=1e-10, max_iter=2000)
+        err = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        print(
+            f"\n{fmt_name:>8s}: converged={result.converged} "
+            f"in {result.iterations} iterations (rel.err {err:.2e})"
+        )
+        print(f"          SpMV calls: {op.spmv_calls}")
+        print(f"          predicted device time in SpMV: "
+              f"{op.device_time * 1e3:.2f} ms")
+        print(f"          predicted DRAM traffic: {op.dram_bytes / 1e9:.3f} GB")
+
+    print("\nSame iterate trajectory (the decode is exact), less device "
+          "time: compression only changes how fast each SpMV runs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Slice-level profiling: where do a matrix's bytes and decode work live?
+
+Uses the per-slice trace (`repro.gpu.trace`) to find the hot slices of a
+BRO-ELL matrix — wide slices, poorly compressed slices, slices with bad
+x locality — the view a CUDA profiler timeline would give, and the first
+thing to look at when a matrix underperforms.
+
+Run:  python examples/profile_slices.py [matrix] [scale]
+"""
+
+import sys
+
+from repro.core import BROELLMatrix
+from repro.gpu import get_device, trace_bro_ell
+from repro.gpu.trace import SliceTrace
+from repro.matrices import generate
+
+
+def main(name: str = "lhr71", scale: float = 0.04) -> None:
+    print(f"Generating {name} at scale {scale} ...")
+    coo = generate(name, scale=scale)
+    bro = BROELLMatrix.from_coo(coo, h=256)
+    device = get_device("k20")
+    traces = trace_bro_ell(bro, device)
+
+    total_bytes = sum(t.stream_bytes + t.value_bytes + t.x_bytes for t in traces)
+    print(f"  {bro.num_slices} slices, {coo.nnz} nnz, "
+          f"{total_bytes / 1e6:.2f} MB total slice traffic\n")
+
+    # The five most expensive slices by total traffic.
+    hot = sorted(
+        traces,
+        key=lambda t: t.stream_bytes + t.value_bytes + t.x_bytes,
+        reverse=True,
+    )[:5]
+    print("hottest slices by traffic:")
+    print(SliceTrace.header())
+    for t in hot:
+        print(t.row())
+
+    # The five worst-compressed slices (widest average codes).
+    wide = sorted(traces, key=lambda t: -t.mean_bits)[:5]
+    print("\nworst-compressed slices (mean bit width):")
+    print(SliceTrace.header())
+    for t in wide:
+        print(t.row())
+
+    pad_heavy = max(traces, key=lambda t: t.padding_fraction)
+    print(f"\nmost padded slice: #{pad_heavy.slice_id} "
+          f"({100 * pad_heavy.padding_fraction:.1f}% padded iterations) — "
+          f"a BAR reordering target (see examples/reordering_study.py).")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if args else "lhr71",
+         float(args[1]) if len(args) > 1 else 0.04)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Reordering study: BRO-aware reordering (BAR) vs RCM and AMD.
+
+Reproduces the Section 3.4 / Fig. 9 story on one matrix: reorder its rows
+with BAR (Algorithm 2), Reverse Cuthill-McKee and approximate minimum
+degree, then compare the BRO-ELL space savings and the modeled SpMV
+throughput of each ordering.
+
+Run:  python examples/reordering_study.py [matrix] [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import BROELLMatrix, index_compression_report
+from repro.kernels import run_spmv
+from repro.matrices import generate
+from repro.reorder import (
+    amd_permutation,
+    bar_permutation,
+    identity_permutation,
+    rcm_permutation,
+    rowsort_permutation,
+)
+
+
+def main(name: str = "rim", scale: float = 0.05) -> None:
+    print(f"Generating {name} at scale {scale} ...")
+    coo = generate(name, scale=scale)
+    x = np.random.default_rng(0).standard_normal(coo.shape[1])
+    print(f"  {coo.shape[0]} rows, {coo.nnz} non-zeros")
+
+    orderings = [
+        ("original", lambda c: identity_permutation(c.shape[0])),
+        ("BAR", lambda c: bar_permutation(c, h=256)),
+        ("RCM", rcm_permutation),
+        ("AMD", amd_permutation),
+        ("row-sort", rowsort_permutation),
+    ]
+
+    print(f"\n{'ordering':<10s} {'eta %':>7s} {'K20 GFlop/s':>12s} {'gain':>7s}")
+    base_gflops = None
+    for label, fn in orderings:
+        perm = fn(coo)
+        reordered = coo.permute_rows(perm)
+        bro = BROELLMatrix.from_coo(reordered, h=256)
+        eta = 100.0 * index_compression_report(bro, name).eta
+        res = run_spmv(bro, x, "k20")
+        # Verify: the reordered product is the permuted original product.
+        assert np.allclose(res.y, coo.spmv(x)[perm])
+        if base_gflops is None:
+            base_gflops = res.gflops
+        gain = 100.0 * (res.gflops / base_gflops - 1.0)
+        print(f"{label:<10s} {eta:>7.1f} {res.gflops:>12.2f} {gain:>+6.1f}%")
+
+    print("\nBAR clusters rows with similar delta-width patterns into the "
+          "same slice (Eqn. 1), which is what the packed stream rewards; "
+          "bandwidth-oriented RCM/AMD are blind to that objective.")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if args else "rim", float(args[1]) if len(args) > 1 else 0.05)

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` / `setup.py develop` work offline
+(the sandbox has setuptools but no `wheel`, so PEP-660 editable builds
+are unavailable)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Benchmark harness reproducing the paper's tables and figures.
+
+:mod:`~repro.bench.harness` — matrix/format/device execution grid with
+per-process caching; :mod:`~repro.bench.experiments` — one function per
+paper table/figure returning structured rows; :mod:`~repro.bench.reporting`
+— ASCII tables and CSV output.
+
+The ``benchmarks/`` directory at the repository root contains one
+pytest-benchmark file per table/figure that calls into this package.
+"""
+
+from .harness import (
+    BENCH_SCALE_ENV,
+    ExperimentGrid,
+    bench_scale,
+    cached_matrix,
+    cached_format,
+)
+from .reporting import format_table, geomean, write_csv
+
+__all__ = [
+    "ExperimentGrid",
+    "cached_matrix",
+    "cached_format",
+    "bench_scale",
+    "BENCH_SCALE_ENV",
+    "format_table",
+    "geomean",
+    "write_csv",
+]

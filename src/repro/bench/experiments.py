@@ -1,0 +1,339 @@
+"""One function per paper table/figure, returning structured result rows.
+
+Every function is pure given its inputs and returns ``list[dict]`` rows
+that the ``benchmarks/`` files print, persist as CSV, and assert the
+paper's qualitative shape on. EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.bro_coo import BROCOOMatrix
+from ..core.bro_ell import BROELLMatrix
+from ..core.bro_hyb import BROHYBMatrix
+from ..core.compression import index_compression_report
+from ..formats.coo import COOMatrix
+from ..formats.ellpack import ELLPACKMatrix
+from ..gpu.device import DEVICES
+from ..matrices.analysis import analyze
+from ..matrices.suite import TABLE2, test_set_1, test_set_2
+from ..reorder import (
+    amd_permutation,
+    bar_permutation,
+    rcm_permutation,
+)
+from .harness import ExperimentGrid, bench_scale, cached_format, cached_matrix, spmv_once
+
+__all__ = [
+    "table1_devices",
+    "table2_suite",
+    "table3_savings",
+    "table4_hyb_split",
+    "table5_bar_savings",
+    "fig3_savings_sweep",
+    "fig4_bro_ell",
+    "fig5_eai",
+    "fig6_bandwidth",
+    "fig7_bro_coo",
+    "fig8_bro_hyb",
+    "fig9_reordering",
+]
+
+_ALL_DEVICES = ("c2070", "gtx680", "k20")
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def table1_devices() -> List[Dict]:
+    """Table 1: the simulated device registry."""
+    rows = []
+    for key in _ALL_DEVICES:
+        dev = DEVICES[key]
+        rows.append(
+            {
+                "device": dev.name,
+                "compute_capability": dev.compute_capability,
+                "cores": dev.cores,
+                "mem_bw_gbps": dev.peak_bw_gbps,
+                "dp_gflops": dev.dp_gflops,
+                "measured_bw_gbps": dev.measured_bw_gbps,
+                "decode_gops": dev.decode_gops,
+            }
+        )
+    return rows
+
+
+def table2_suite(scale: float | None = None) -> List[Dict]:
+    """Table 2: generated-suite statistics vs the paper's targets."""
+    scale = bench_scale() if scale is None else scale
+    rows = []
+    for name, spec in TABLE2.items():
+        stats = analyze(cached_matrix(name, scale), name)
+        rows.append(
+            {
+                "matrix": name,
+                "test_set": spec.test_set,
+                "rows": stats.rows,
+                "cols": stats.cols,
+                "nnz": stats.nnz,
+                "mu": stats.mu,
+                "mu_paper": spec.mu,
+                "sigma": stats.sigma,
+                "sigma_paper": spec.sigma,
+            }
+        )
+    return rows
+
+
+def table3_savings(scale: float | None = None, h: int = 256) -> List[Dict]:
+    """Table 3: BRO-ELL index space savings on Test Set 1."""
+    scale = bench_scale() if scale is None else scale
+    rows = []
+    for name in test_set_1():
+        bro = cached_format(name, scale, "bro_ell", h)
+        assert isinstance(bro, BROELLMatrix)
+        report = index_compression_report(bro, name)
+        rows.append(
+            {
+                "matrix": name,
+                "eta_pct": 100.0 * report.eta,
+                "kappa": report.kappa,
+                "original_bytes": report.original_index_bytes,
+                "compressed_bytes": report.compressed_index_bytes,
+            }
+        )
+    return rows
+
+
+def table4_hyb_split(scale: float | None = None, h: int = 256) -> List[Dict]:
+    """Table 4: BRO-HYB partition fractions and space savings, Test Set 2."""
+    scale = bench_scale() if scale is None else scale
+    rows = []
+    for name in test_set_2():
+        bro = cached_format(name, scale, "bro_hyb", h)
+        assert isinstance(bro, BROHYBMatrix)
+        report = index_compression_report(bro, name)
+        rows.append(
+            {
+                "matrix": name,
+                "pct_bro_ell": 100.0 * bro.ell_fraction,
+                "eta_pct": 100.0 * report.eta,
+            }
+        )
+    return rows
+
+
+def table5_bar_savings(
+    scale: float | None = None, h: int = 256, alpha: int = 32
+) -> List[Dict]:
+    """Table 5: space savings after BAR reordering, Test Set 1."""
+    scale = bench_scale() if scale is None else scale
+    rows = []
+    for name in test_set_1():
+        coo = cached_matrix(name, scale)
+        before = index_compression_report(
+            BROELLMatrix.from_coo(coo, h=h), name
+        ).eta
+        perm = bar_permutation(coo, h=h, alpha=alpha)
+        after = index_compression_report(
+            BROELLMatrix.from_coo(coo.permute_rows(perm), h=h), name
+        ).eta
+        rows.append(
+            {
+                "matrix": name,
+                "eta_before_pct": 100.0 * before,
+                "eta_after_pct": 100.0 * after,
+                "delta_pp": 100.0 * (after - before),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def fig3_savings_sweep(
+    m: int = 8192,
+    k: int = 64,
+    bit_widths: Sequence[int] = (32, 28, 24, 20, 16, 12, 8, 4, 2, 1),
+    devices: Sequence[str] = _ALL_DEVICES,
+    h: int = 256,
+) -> List[Dict]:
+    """Fig. 3: BRO-ELL GFlop/s vs index space savings on a dense matrix.
+
+    A dense matrix (delta = 1 everywhere) lets the per-index width be
+    forced to ``b`` bits, i.e. space savings ``eta = 1 - b/32``, without
+    touching anything else — exactly the paper's methodology.
+    """
+    rng = np.random.default_rng(0)
+    rows_idx = np.repeat(np.arange(m), k)
+    cols_idx = np.tile(np.arange(k), m)
+    dense = COOMatrix(rows_idx, cols_idx, rng.standard_normal(m * k), (m, k))
+    x = rng.standard_normal(k)
+    ell = ELLPACKMatrix.from_coo(dense)
+    bro = BROELLMatrix.from_coo(dense, h=h)
+    out: List[Dict] = []
+    for dev in devices:
+        ell_gflops = spmv_once(ell, dev, x).gflops
+        for bits in bit_widths:
+            forced = bro.with_uniform_width(bits)
+            res = spmv_once(forced, dev, x)
+            out.append(
+                {
+                    "device": DEVICES[dev].name,
+                    "device_key": dev,
+                    "bits": bits,
+                    "eta_pct": 100.0 * (1.0 - bits / 32.0),
+                    "gflops": res.gflops,
+                    "ellpack_gflops": ell_gflops,
+                    "speedup": res.gflops / ell_gflops,
+                }
+            )
+    return out
+
+
+def fig3_break_even(rows: List[Dict]) -> Dict[str, float]:
+    """Interpolate each device's break-even space savings from Fig. 3 rows."""
+    out: Dict[str, float] = {}
+    for dev in {r["device_key"] for r in rows}:
+        series = sorted(
+            (r for r in rows if r["device_key"] == dev), key=lambda r: r["eta_pct"]
+        )
+        eta = np.array([r["eta_pct"] for r in series])
+        ratio = np.array([r["speedup"] for r in series])
+        # First crossing of speedup = 1.
+        out[dev] = float(np.interp(1.0, ratio, eta))
+    return out
+
+
+def fig4_bro_ell(
+    scale: float | None = None,
+    devices: Sequence[str] = _ALL_DEVICES,
+    matrices: Sequence[str] | None = None,
+    h: int = 256,
+) -> List[Dict]:
+    """Fig. 4: BRO-ELL vs ELLPACK and ELLPACK-R across Test Set 1."""
+    scale = bench_scale() if scale is None else scale
+    grid = ExperimentGrid(
+        matrices=list(matrices or test_set_1()),
+        formats=("ellpack", "ellpack_r", "bro_ell"),
+        devices=tuple(devices),
+        scale=scale,
+        h=h,
+    )
+    rows = grid.run()
+    for row in rows:
+        row["speedup_vs_ellpack"] = row["gflops_bro_ell"] / row["gflops_ellpack"]
+        row["speedup_vs_ellpack_r"] = row["gflops_bro_ell"] / row["gflops_ellpack_r"]
+    return rows
+
+
+def fig5_eai(
+    scale: float | None = None, device: str = "k20", h: int = 256
+) -> List[Dict]:
+    """Fig. 5: effective arithmetic intensity, ELLPACK vs BRO-ELL on K20."""
+    rows = fig4_bro_ell(scale=scale, devices=(device,), h=h)
+    return [
+        {
+            "matrix": r["matrix"],
+            "eai_ellpack": r["eai_ellpack"],
+            "eai_bro_ell": r["eai_bro_ell"],
+            "eai_ratio": r["eai_bro_ell"] / r["eai_ellpack"],
+        }
+        for r in rows
+    ]
+
+
+def fig6_bandwidth(
+    scale: float | None = None,
+    devices: Sequence[str] = _ALL_DEVICES,
+    h: int = 256,
+) -> List[Dict]:
+    """Fig. 6: BRO-ELL DRAM bandwidth utilization, first six matrices."""
+    first_six = test_set_1()[:6]
+    rows = fig4_bro_ell(scale=scale, devices=devices, matrices=first_six, h=h)
+    return [
+        {
+            "matrix": r["matrix"],
+            "device": r["device"],
+            "device_key": r["device_key"],
+            "bw_utilization": r["bw_util_bro_ell"],
+        }
+        for r in rows
+    ]
+
+
+def fig7_bro_coo(
+    scale: float | None = None,
+    devices: Sequence[str] = _ALL_DEVICES,
+    matrices: Sequence[str] | None = None,
+) -> List[Dict]:
+    """Fig. 7: BRO-COO vs COO across all thirty matrices."""
+    scale = bench_scale() if scale is None else scale
+    grid = ExperimentGrid(
+        matrices=list(matrices or (test_set_1() + test_set_2())),
+        formats=("coo", "bro_coo"),
+        devices=tuple(devices),
+        scale=scale,
+    )
+    rows = grid.run()
+    for row in rows:
+        row["speedup_vs_coo"] = row["gflops_bro_coo"] / row["gflops_coo"]
+    return rows
+
+
+def fig8_bro_hyb(
+    scale: float | None = None,
+    devices: Sequence[str] = ("k20",),
+    h: int = 256,
+) -> List[Dict]:
+    """Fig. 8: BRO-HYB vs HYB on Test Set 2 (paper shows K20)."""
+    scale = bench_scale() if scale is None else scale
+    grid = ExperimentGrid(
+        matrices=test_set_2(),
+        formats=("hyb", "bro_hyb"),
+        devices=tuple(devices),
+        scale=scale,
+        h=h,
+    )
+    rows = grid.run()
+    for row in rows:
+        row["speedup_vs_hyb"] = row["gflops_bro_hyb"] / row["gflops_hyb"]
+    return rows
+
+
+def fig9_reordering(
+    scale: float | None = None,
+    device: str = "k20",
+    h: int = 256,
+    matrices: Sequence[str] | None = None,
+) -> List[Dict]:
+    """Fig. 9: BAR vs RCM vs AMD reordering, BRO-ELL GFlop/s on Test Set 1."""
+    scale = bench_scale(0.02) if scale is None else scale
+    out: List[Dict] = []
+    for name in matrices or test_set_1():
+        coo = cached_matrix(name, scale)
+        x = np.random.default_rng(7).standard_normal(coo.shape[1])
+        ell = spmv_once(ELLPACKMatrix.from_coo(coo), device, x).gflops
+        base = spmv_once(BROELLMatrix.from_coo(coo, h=h), device, x).gflops
+        row: Dict = {
+            "matrix": name,
+            "gflops_ellpack": ell,
+            "gflops_bro_ell": base,
+        }
+        for label, fn in (
+            ("bar", lambda c: bar_permutation(c, h=h)),
+            ("rcm", rcm_permutation),
+            ("amd", amd_permutation),
+        ):
+            perm = fn(coo)
+            reordered = coo.permute_rows(perm)
+            res = spmv_once(BROELLMatrix.from_coo(reordered, h=h), device, x[:])
+            row[f"gflops_{label}"] = res.gflops
+            row[f"{label}_gain_pct"] = 100.0 * (res.gflops / base - 1.0)
+        out.append(row)
+    return out

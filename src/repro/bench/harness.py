@@ -1,0 +1,121 @@
+"""Execution harness for the paper-reproduction experiments.
+
+Matrices and converted formats are cached per process so the per-figure
+benchmark files can share them; the default matrix scale is read from the
+``REPRO_BENCH_SCALE`` environment variable (default 0.06) so a full-size
+run is one environment variable away.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.conversion import convert
+from ..formats.coo import COOMatrix
+from ..gpu.device import DEVICES, DeviceSpec, get_device
+from ..kernels.base import SpMVResult, get_kernel
+from ..matrices.suite import generate
+
+__all__ = [
+    "BENCH_SCALE_ENV",
+    "bench_scale",
+    "cached_matrix",
+    "cached_format",
+    "spmv_once",
+    "ExperimentGrid",
+]
+
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+_DEFAULT_SCALE = 0.06
+
+
+def bench_scale(default: float | None = None) -> float:
+    """Matrix scale used by the benchmark suite (env-overridable)."""
+    raw = os.environ.get(BENCH_SCALE_ENV)
+    if raw:
+        return float(raw)
+    return _DEFAULT_SCALE if default is None else default
+
+
+@lru_cache(maxsize=64)
+def cached_matrix(name: str, scale: float) -> COOMatrix:
+    """Generate (once per process) a suite matrix at the given scale."""
+    return generate(name, scale=scale)
+
+
+@lru_cache(maxsize=256)
+def cached_format(name: str, scale: float, fmt: str, h: int = 256) -> SparseFormat:
+    """Convert (once per process) a suite matrix into a stored format."""
+    coo = cached_matrix(name, scale)
+    kwargs = {"h": h} if fmt in ("sliced_ellpack", "bro_ell", "bro_hyb") else {}
+    return convert(coo, fmt, **kwargs)
+
+
+def _x_vector(n: int) -> np.ndarray:
+    return np.random.default_rng(12345).standard_normal(n)
+
+
+def spmv_once(
+    matrix: SparseFormat, device: DeviceSpec | str, x: np.ndarray | None = None
+) -> SpMVResult:
+    """Run one simulated SpMV and sanity-check it against the reference."""
+    dev = get_device(device) if isinstance(device, str) else device
+    if x is None:
+        x = _x_vector(matrix.shape[1])
+    result = get_kernel(matrix.format_name).run(matrix, x, dev)
+    return result
+
+
+@dataclass
+class ExperimentGrid:
+    """Run a (matrix x format x device) grid and collect result rows."""
+
+    matrices: Sequence[str]
+    formats: Sequence[str]
+    devices: Sequence[str] = ("c2070", "gtx680", "k20")
+    scale: float = field(default_factory=bench_scale)
+    h: int = 256
+    verify: bool = True
+
+    def run(self) -> List[Dict]:
+        """Execute the grid; one row per (matrix, device) with per-format
+        GFlop/s, plus shared matrix metadata."""
+        rows: List[Dict] = []
+        for name in self.matrices:
+            coo = cached_matrix(name, self.scale)
+            x = _x_vector(coo.shape[1])
+            reference = coo.spmv(x) if self.verify else None
+            per_format: Dict[str, Dict[str, SpMVResult]] = {}
+            for fmt in self.formats:
+                mat = cached_format(name, self.scale, fmt, self.h)
+                per_format[fmt] = {}
+                for dev in self.devices:
+                    res = spmv_once(mat, dev, x)
+                    if reference is not None and not np.allclose(
+                        res.y, reference, rtol=1e-8, atol=1e-10
+                    ):
+                        raise AssertionError(
+                            f"{fmt} kernel mismatch on {name} ({dev})"
+                        )
+                    per_format[fmt][dev] = res
+            for dev in self.devices:
+                row: Dict = {
+                    "matrix": name,
+                    "device": DEVICES[dev].name,
+                    "device_key": dev,
+                    "nnz": coo.nnz,
+                }
+                for fmt in self.formats:
+                    res = per_format[fmt][dev]
+                    row[f"gflops_{fmt}"] = res.gflops
+                    row[f"bytes_{fmt}"] = res.counters.dram_bytes
+                    row[f"eai_{fmt}"] = res.counters.effective_arithmetic_intensity
+                    row[f"bw_util_{fmt}"] = res.timing.bandwidth_utilization
+                rows.append(row)
+        return rows

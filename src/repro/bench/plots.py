@@ -1,0 +1,85 @@
+"""Dependency-free ASCII charts for the figure experiments.
+
+The paper's figures are line/bar charts; these helpers render the same
+series in a terminal so ``python -m repro bench fig3 --plot`` resembles
+the figure rather than a raw table. Pure text, deterministic, testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ValidationError
+
+__all__ = ["bar_chart", "line_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValidationError("labels and values must have equal length")
+    if not labels:
+        return f"{title}\n(no data)"
+    if any(v < 0 for v in values):
+        raise ValidationError("bar_chart expects non-negative values")
+    vmax = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = value / vmax * width
+        full, frac = int(filled), filled - int(filled)
+        bar = "█" * full + (_BLOCKS[int(frac * 8)] if frac > 0 else "")
+        lines.append(f"{str(label):>{label_w}s} |{bar:<{width + 1}s} "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a name to ``(x, y)`` points; each series plots with its
+    own marker and the legend lists the mapping.
+    """
+    if not series or all(not pts for pts in series.values()):
+        return f"{title}\n(no data)"
+    markers = "ox+*#@%&"
+    all_pts = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_hi:10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(f"{'':12s}{x_lo:<10.2f}{'':{max(0, width - 20)}s}{x_hi:>10.2f}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{'':12s}{legend}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Plain-text tables and CSV output for benchmark results."""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from typing import Dict, Iterable, List, Sequence
+
+from ..errors import ValidationError
+
+__all__ = ["format_table", "geomean", "write_csv"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional aggregate for speedup ratios)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValidationError("geomean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValidationError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Sequence[str],
+    title: str = "",
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned ASCII table with the given column order."""
+    if not rows:
+        return f"{title}\n(no rows)"
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    cells = [[render(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(
+        " | ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    parts = [title, header, sep, body] if title else [header, sep, body]
+    return "\n".join(parts)
+
+
+def write_csv(rows: Sequence[Dict], path: str, columns: Sequence[str]) -> None:
+    """Write rows to a CSV file, creating parent directories."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

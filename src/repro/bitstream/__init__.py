@@ -1,0 +1,33 @@
+"""Bit-stream packing primitives for the BRO compression schemes.
+
+The layout implemented here is the one Fig. 1 / Fig. 2 of the paper describe:
+
+* each *row stream* packs one row of (delta-encoded) indices MSB-first, with
+  a per-column bit width shared by all rows of a slice;
+* every row stream is padded (``b_p`` bits) to a whole number of
+  ``sym_len``-bit symbols;
+* the row streams of a slice are *multiplexed* — symbol ``s`` of row ``r``
+  lives at flat offset ``s * h + r`` — so that the ``h`` simulated threads of
+  a slice read consecutive words (coalesced access).
+
+:mod:`~repro.bitstream.packing` holds the vectorized pack/unpack kernels,
+:mod:`~repro.bitstream.writer` / :mod:`~repro.bitstream.reader` hold scalar
+reference implementations used by the test-suite as ground truth, and
+:mod:`~repro.bitstream.multiplex` holds the slice-concatenation layout.
+"""
+
+from .multiplex import MultiplexedStream, concat_slices
+from .packing import pack_slice, row_stream_symbols, unpack_slice
+from .reader import BitReader, SliceDecoder
+from .writer import BitWriter
+
+__all__ = [
+    "pack_slice",
+    "unpack_slice",
+    "row_stream_symbols",
+    "BitWriter",
+    "BitReader",
+    "SliceDecoder",
+    "MultiplexedStream",
+    "concat_slices",
+]

@@ -1,0 +1,83 @@
+"""Concatenated multi-slice stream layout.
+
+A BRO matrix holds one packed stream per slice; on the (simulated) device
+they live back-to-back in a single buffer, addressed through a CSR-style
+pointer array. :class:`MultiplexedStream` is that buffer plus its pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import symbol_dtype
+
+__all__ = ["MultiplexedStream", "concat_slices"]
+
+
+@dataclass(frozen=True)
+class MultiplexedStream:
+    """A single device buffer holding every slice's multiplexed symbols.
+
+    Attributes
+    ----------
+    data:
+        1-D unsigned array; slice ``i`` occupies
+        ``data[slice_ptr[i]:slice_ptr[i + 1]]``.
+    slice_ptr:
+        ``(num_slices + 1,)`` int64 offsets into :attr:`data` (in symbols).
+    sym_len:
+        Symbol length in bits.
+    """
+
+    data: np.ndarray
+    slice_ptr: np.ndarray
+    sym_len: int
+
+    def __post_init__(self) -> None:
+        dtype = symbol_dtype(self.sym_len)
+        if self.data.dtype != dtype:
+            raise ValidationError(
+                f"stream dtype {self.data.dtype} does not match sym_len {self.sym_len}"
+            )
+        if self.slice_ptr.ndim != 1 or self.slice_ptr.shape[0] < 1:
+            raise ValidationError("slice_ptr must be a non-empty 1-D array")
+        if int(self.slice_ptr[0]) != 0 or int(self.slice_ptr[-1]) != self.data.shape[0]:
+            raise ValidationError("slice_ptr must start at 0 and end at len(data)")
+        if np.any(np.diff(self.slice_ptr) < 0):
+            raise ValidationError("slice_ptr must be non-decreasing")
+
+    @property
+    def num_slices(self) -> int:
+        """Number of slices stored in the buffer."""
+        return self.slice_ptr.shape[0] - 1
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes occupied by the packed data."""
+        return int(self.data.nbytes)
+
+    def slice_view(self, i: int) -> np.ndarray:
+        """Zero-copy view of slice ``i``'s symbols."""
+        if not 0 <= i < self.num_slices:
+            raise ValidationError(f"slice index {i} out of range [0, {self.num_slices})")
+        return self.data[int(self.slice_ptr[i]) : int(self.slice_ptr[i + 1])]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(self.num_slices):
+            yield self.slice_view(i)
+
+
+def concat_slices(slices: Sequence[np.ndarray], sym_len: int = 32) -> MultiplexedStream:
+    """Concatenate per-slice symbol arrays into one :class:`MultiplexedStream`."""
+    dtype = symbol_dtype(sym_len)
+    lengths = np.array([0] + [int(np.asarray(s).shape[0]) for s in slices], dtype=np.int64)
+    slice_ptr = np.cumsum(lengths)
+    if slices:
+        data = np.concatenate([np.asarray(s, dtype=dtype) for s in slices])
+    else:
+        data = np.zeros(0, dtype=dtype)
+    return MultiplexedStream(data=data, slice_ptr=slice_ptr, sym_len=int(sym_len))

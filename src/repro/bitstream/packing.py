@@ -1,0 +1,190 @@
+"""Vectorized bit packing/unpacking of slice data (host-side, offline).
+
+A *slice* is an ``(h, L)`` array of non-negative integers (delta-encoded
+indices) together with an ``(L,)`` array of per-column bit widths
+``bit_alloc`` such that ``values[:, j] < 2**bit_alloc[j]``. Packing produces,
+for each of the ``h`` rows, an MSB-first bit stream of
+``sum(bit_alloc) + b_p`` bits where ``b_p`` pads to a multiple of
+``sym_len``; the streams are returned multiplexed in symbol-major order
+(symbol ``s`` of row ``r`` at flat index ``s * h + r``), which is what gives
+the simulated GPU threads coalesced loads.
+
+Everything here is pure NumPy, vectorized over rows and columns — per the
+HPC guide, no Python-level loops over matrix entries (the only loop is over
+the at-most-two symbols a value can straddle, which is O(1)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompressionError, ValidationError
+from ..types import symbol_dtype
+from ..utils.bits import bit_width_array, ceil_div, mask
+from ..utils.validation import check_1d, check_2d
+
+__all__ = ["pack_slice", "unpack_slice", "row_stream_symbols", "column_bit_offsets"]
+
+
+def column_bit_offsets(bit_alloc: np.ndarray) -> np.ndarray:
+    """Return the starting bit offset of each column in a row stream.
+
+    ``offsets[j] = sum(bit_alloc[:j])`` — identical for every row of the
+    slice because all rows share the per-column widths.
+    """
+    bit_alloc = check_1d(bit_alloc, "bit_alloc")
+    offsets = np.zeros(bit_alloc.shape[0], dtype=np.int64)
+    np.cumsum(bit_alloc[:-1], out=offsets[1:])
+    return offsets
+
+
+def row_stream_symbols(bit_alloc: np.ndarray, sym_len: int) -> int:
+    """Number of ``sym_len``-bit symbols per row stream (after ``b_p`` padding)."""
+    bit_alloc = check_1d(bit_alloc, "bit_alloc")
+    total_bits = int(bit_alloc.sum())
+    return ceil_div(total_bits, sym_len) if total_bits else 0
+
+
+def _validate_pack_args(values: np.ndarray, bit_alloc: np.ndarray, sym_len: int) -> None:
+    if bit_alloc.shape[0] != values.shape[1]:
+        raise ValidationError(
+            f"bit_alloc has {bit_alloc.shape[0]} entries but values has "
+            f"{values.shape[1]} columns"
+        )
+    if bit_alloc.size:
+        if int(bit_alloc.min()) < 1:
+            raise CompressionError("every column bit width must be >= 1")
+        if int(bit_alloc.max()) > sym_len:
+            raise CompressionError(
+                f"column bit width {int(bit_alloc.max())} exceeds the symbol "
+                f"length {sym_len}; a value may straddle at most two symbols"
+            )
+    if values.size:
+        if not np.issubdtype(values.dtype, np.unsignedinteger) and values.min() < 0:
+            raise CompressionError("packed values must be non-negative")
+        # Compare widths, not magnitudes: 1 << 63 overflows int64 but
+        # bit_width_array is exact for the full uint64 range.
+        widths = bit_width_array(values)
+        too_wide = widths > bit_alloc[np.newaxis, :]
+        # Gamma(0) == 1 but a zero fits in any width >= 1, so exempt zeros.
+        too_wide &= values.astype(np.uint64, copy=False) != 0
+        if np.any(too_wide):
+            bad = int(np.argmax(too_wide.any(axis=0)))
+            raise CompressionError(
+                f"column {bad} holds a value that does not fit in "
+                f"{int(bit_alloc[bad])} bits"
+            )
+
+
+def pack_slice(values: np.ndarray, bit_alloc: np.ndarray, sym_len: int = 32) -> np.ndarray:
+    """Pack an ``(h, L)`` slice into a multiplexed symbol stream.
+
+    Parameters
+    ----------
+    values:
+        ``(h, L)`` array of non-negative integers; ``values[r, j]`` must fit
+        in ``bit_alloc[j]`` bits.
+    bit_alloc:
+        ``(L,)`` per-column bit widths (the paper's ``bit_alloc_i`` without
+        the trailing padding entry ``b_p``, which is implied).
+    sym_len:
+        Symbol length in bits (32 or 64).
+
+    Returns
+    -------
+    numpy.ndarray
+        Flat unsigned array of ``n_sym * h`` words where ``n_sym`` is
+        :func:`row_stream_symbols`; symbol ``s`` of row ``r`` is at index
+        ``s * h + r``.
+    """
+    values = check_2d(values, "values")
+    bit_alloc = np.asarray(check_1d(bit_alloc, "bit_alloc"), dtype=np.int64)
+    dtype = symbol_dtype(sym_len)
+    h, L = values.shape
+    n_sym = row_stream_symbols(bit_alloc, sym_len)
+    _validate_pack_args(values, bit_alloc, sym_len)
+    if n_sym == 0 or h == 0:
+        return np.zeros(0, dtype=dtype)
+
+    vals = values.astype(np.uint64, copy=False)
+    offsets = column_bit_offsets(bit_alloc)  # (L,)
+    widths = bit_alloc  # (L,)
+
+    sym_idx = offsets // sym_len  # first symbol touched by each column
+    bit_in_sym = offsets % sym_len  # offset of the value's MSB inside it
+    n_first = np.minimum(widths, sym_len - bit_in_sym)  # bits landing in sym_idx
+    n_second = widths - n_first  # spill into sym_idx + 1
+
+    acc = np.zeros((n_sym, h), dtype=np.uint64)
+
+    # Part landing in the first symbol: the value's top `n_first` bits,
+    # left-aligned below `bit_in_sym` already-used bits.
+    shift_down = (widths - n_first).astype(np.uint64)[:, None]  # (L, 1)
+    shift_up = (sym_len - bit_in_sym - n_first).astype(np.uint64)[:, None]
+    first_part = ((vals.T >> shift_down) << shift_up).astype(np.uint64)  # (L, h)
+    np.bitwise_or.at(acc, sym_idx, first_part)
+
+    # Spill part: the value's low `n_second` bits at the top of the next
+    # symbol. Only columns that actually straddle contribute.
+    straddle = n_second > 0
+    if np.any(straddle):
+        lo_mask = ((np.uint64(1) << n_second[straddle].astype(np.uint64)) - np.uint64(1))[:, None]
+        up2 = (sym_len - n_second[straddle]).astype(np.uint64)[:, None]
+        second_part = ((vals.T[straddle] & lo_mask) << up2).astype(np.uint64)
+        np.bitwise_or.at(acc, sym_idx[straddle] + 1, second_part)
+
+    return acc.reshape(-1).astype(dtype)
+
+
+def unpack_slice(
+    stream: np.ndarray,
+    bit_alloc: np.ndarray,
+    h: int,
+    sym_len: int = 32,
+) -> np.ndarray:
+    """Inverse of :func:`pack_slice`; returns an ``(h, L)`` ``int64`` array.
+
+    This is the *random-access* host-side unpacker used for verification and
+    round-trip tests; the simulated GPU decode path lives in
+    :class:`repro.bitstream.reader.SliceDecoder`, which walks the stream the
+    way Algorithm 1 does.
+    """
+    stream = check_1d(stream, "stream")
+    bit_alloc = np.asarray(check_1d(bit_alloc, "bit_alloc"), dtype=np.int64)
+    n_sym = row_stream_symbols(bit_alloc, sym_len)
+    L = bit_alloc.shape[0]
+    if h <= 0:
+        raise ValidationError(f"slice height h must be positive, got {h}")
+    if stream.shape[0] != n_sym * h:
+        raise ValidationError(
+            f"stream has {stream.shape[0]} symbols, expected n_sym*h = {n_sym * h}"
+        )
+    if L == 0:
+        return np.zeros((h, 0), dtype=np.int64)
+
+    sym = stream.astype(np.uint64, copy=False).reshape(n_sym, h)
+    offsets = column_bit_offsets(bit_alloc)
+    widths = bit_alloc
+    sym_idx = offsets // sym_len
+    bit_in_sym = offsets % sym_len
+    n_first = np.minimum(widths, sym_len - bit_in_sym)
+    n_second = widths - n_first
+
+    first_words = sym[sym_idx]  # (L, h)
+    down1 = (sym_len - bit_in_sym - n_first).astype(np.uint64)[:, None]
+    # 2**n - 1 computed as ((1 << (n-1)) - 1) * 2 + 1 so that n == 64 (a
+    # value filling a whole 64-bit symbol) does not overflow the shift.
+    nf = n_first.astype(np.uint64)
+    mask1 = ((((np.uint64(1) << (nf - np.uint64(1))) - np.uint64(1)) << np.uint64(1))
+             | np.uint64(1))[:, None]
+    out = ((first_words >> down1) & mask1).astype(np.uint64)
+
+    straddle = n_second > 0
+    if np.any(straddle):
+        second_words = sym[sym_idx[straddle] + 1]  # (S, h)
+        n2 = n_second[straddle].astype(np.uint64)[:, None]
+        down2 = (np.uint64(sym_len) - n2).astype(np.uint64)
+        mask2 = (np.uint64(1) << n2) - np.uint64(1)
+        out[straddle] = (out[straddle] << n2) | ((second_words >> down2) & mask2)
+
+    return out.T.astype(np.int64)

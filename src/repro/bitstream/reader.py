@@ -1,0 +1,154 @@
+"""Stream decoders: a scalar reference reader and the slice-wide decoder.
+
+:class:`BitReader` is the scalar mirror of :class:`~repro.bitstream.writer.BitWriter`.
+
+:class:`SliceDecoder` is the *simulated-GPU* decode engine of Algorithm 1:
+it holds one ``sym_len``-bit buffer per thread (a NumPy vector of ``h``
+words) plus the scalar control state — remaining-bit count ``rb`` and the
+next symbol index — which is shared by every thread of a slice because all
+rows of a slice consume the identical per-column bit widths. That shared
+control state is exactly why the paper's scheme is free of warp divergence,
+and it is what lets this simulator vectorize the decode across threads
+without changing its semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DecompressionError, ValidationError
+from ..types import symbol_dtype
+from ..utils.bits import mask
+
+__all__ = ["BitReader", "SliceDecoder"]
+
+
+class BitReader:
+    """Scalar MSB-first reader over a symbol array produced by ``BitWriter``."""
+
+    def __init__(self, symbols: np.ndarray, sym_len: int = 32) -> None:
+        self._dtype = symbol_dtype(sym_len)
+        self.sym_len = int(sym_len)
+        self._symbols = np.asarray(symbols, dtype=self._dtype)
+        self._pos = 0  # next symbol index
+        self._acc = 0
+        self._nbits = 0
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits still available, counting both buffered and unread symbols."""
+        return self._nbits + (self._symbols.shape[0] - self._pos) * self.sym_len
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` MSB-first bits and return them as an unsigned int."""
+        nbits = int(nbits)
+        if nbits < 1 or nbits > self.sym_len:
+            raise ValidationError(f"nbits must be in [1, {self.sym_len}], got {nbits}")
+        if nbits > self.bits_remaining:
+            raise DecompressionError(
+                f"requested {nbits} bits but only {self.bits_remaining} remain"
+            )
+        while self._nbits < nbits:
+            self._acc = (self._acc << self.sym_len) | int(self._symbols[self._pos])
+            self._pos += 1
+            self._nbits += self.sym_len
+        self._nbits -= nbits
+        out = (self._acc >> self._nbits) & mask(nbits)
+        self._acc &= mask(self._nbits)
+        return out
+
+
+class SliceDecoder:
+    """Algorithm-1 decode engine for one slice, vectorized over its rows.
+
+    Parameters
+    ----------
+    stream:
+        Multiplexed symbol stream of the slice (``n_sym * h`` words laid out
+        symbol-major, see :func:`repro.bitstream.packing.pack_slice`).
+    h:
+        Slice height — the number of simulated threads (rows).
+    sym_len:
+        Symbol length in bits.
+
+    Notes
+    -----
+    Algorithm 1 line 12 indexes the stream with the column counter; we keep
+    an explicit symbol counter instead so the stream stays dense (see
+    DESIGN.md). We also take the buffer branch when ``b == rb`` (the paper
+    tests ``b < rb``) which avoids loading one symbol past the end of the
+    stream when a row stream is an exact multiple of ``sym_len``; the decode
+    output and the divergence-freedom argument are unchanged.
+
+    The decoder counts its symbol loads in :attr:`symbol_loads` so the GPU
+    timing model can charge the right number of memory transactions.
+    """
+
+    def __init__(self, stream: np.ndarray, h: int, sym_len: int = 32) -> None:
+        dtype = symbol_dtype(sym_len)
+        stream = np.asarray(stream, dtype=dtype)
+        if h <= 0:
+            raise ValidationError(f"slice height h must be positive, got {h}")
+        if stream.ndim != 1 or stream.shape[0] % h != 0:
+            raise ValidationError(
+                f"stream length {stream.shape} is not a multiple of h={h}"
+            )
+        self.sym_len = int(sym_len)
+        self.h = int(h)
+        self._stream = stream.reshape(-1, h)  # (n_sym, h): one load = one row
+        self._n_sym = self._stream.shape[0]
+        self._next_sym = 0  # scalar: shared by all threads of the slice
+        self._rb = 0  # scalar: remaining bits in every thread's buffer
+        self._buf = np.zeros(h, dtype=np.uint64)  # per-thread symbol buffer
+        self.symbol_loads = 0  # number of coalesced (h-wide) loads issued
+
+    @property
+    def remaining_symbols(self) -> int:
+        """Symbols not yet loaded into the per-thread buffers."""
+        return self._n_sym - self._next_sym
+
+    def _load(self) -> np.ndarray:
+        if self._next_sym >= self._n_sym:
+            raise DecompressionError("compressed stream exhausted")
+        word = self._stream[self._next_sym].astype(np.uint64)
+        self._next_sym += 1
+        self.symbol_loads += 1
+        return word
+
+    def decode(self, b: int) -> np.ndarray:
+        """Decode the next ``b``-bit value for every thread of the slice.
+
+        Returns a ``(h,)`` ``int64`` vector. All threads execute the same
+        branch — either both read from the buffer or both load the next
+        symbol — mirroring lines 6–16 of Algorithm 1.
+        """
+        b = int(b)
+        if b < 1 or b > self.sym_len:
+            raise ValidationError(f"bit width must be in [1, {self.sym_len}], got {b}")
+        top = np.uint64(self.sym_len)
+        if b <= self._rb:
+            # Branch 1: enough bits buffered — extract the top b bits.
+            decoded = self._buf >> (top - np.uint64(b))
+            self._rb -= b
+        else:
+            # Branch 2: drain the buffer, load the next symbol, finish the
+            # value from its top bits.
+            take = self._rb
+            decoded = (
+                self._buf >> (top - np.uint64(take)) if take else np.zeros(self.h, np.uint64)
+            )
+            need = b - take
+            word = self._load()
+            decoded = (decoded << np.uint64(need)) | (word >> (top - np.uint64(need)))
+            self._buf = word
+            self._rb = self.sym_len - need
+            # Align the freshly loaded word so its unread bits sit at the top.
+            b = need
+        # Shift consumed bits out of the buffer (Algorithm 1 line 16).
+        if b < self.sym_len:
+            self._buf = (self._buf << np.uint64(b)) & (
+                (~np.uint64(0)) if self.sym_len == 64 else np.uint64(mask(self.sym_len))
+            )
+        else:
+            self._buf = np.zeros(self.h, dtype=np.uint64)
+        return decoded.astype(np.int64)

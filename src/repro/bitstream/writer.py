@@ -1,0 +1,72 @@
+"""Scalar MSB-first bit writer — the reference implementation.
+
+:class:`BitWriter` packs one row stream at a time using plain Python integer
+arithmetic. It is deliberately simple and slow; the vectorized
+:func:`repro.bitstream.packing.pack_slice` is validated against it in the
+test-suite (including Hypothesis round-trip properties).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompressionError, ValidationError
+from ..types import symbol_dtype
+from ..utils.bits import mask
+
+__all__ = ["BitWriter"]
+
+
+class BitWriter:
+    """Accumulate values MSB-first and emit ``sym_len``-bit symbols.
+
+    Example
+    -------
+    >>> w = BitWriter(sym_len=32)
+    >>> w.write(5, 3)
+    >>> w.write(1, 1)
+    >>> symbols = w.finish()
+    >>> int(symbols[0]) >> 28   # 0b1011 in the top nibble
+    11
+    """
+
+    def __init__(self, sym_len: int = 32) -> None:
+        self._dtype = symbol_dtype(sym_len)
+        self.sym_len = int(sym_len)
+        self._acc = 0  # pending bits, MSB-first, as a Python int
+        self._nbits = 0  # number of pending bits
+        self._symbols: list[int] = []
+        self._finished = False
+
+    @property
+    def bits_written(self) -> int:
+        """Total number of data bits written so far (excluding padding)."""
+        return len(self._symbols) * self.sym_len + self._nbits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value`` to the stream."""
+        if self._finished:
+            raise CompressionError("BitWriter already finished")
+        value = int(value)
+        nbits = int(nbits)
+        if nbits < 1 or nbits > self.sym_len:
+            raise ValidationError(f"nbits must be in [1, {self.sym_len}], got {nbits}")
+        if value < 0 or value > mask(nbits):
+            raise CompressionError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= self.sym_len:
+            self._nbits -= self.sym_len
+            self._symbols.append((self._acc >> self._nbits) & mask(self.sym_len))
+            self._acc &= mask(self._nbits)
+
+    def finish(self) -> np.ndarray:
+        """Pad with zero bits (the paper's ``b_p``) and return the symbols."""
+        if not self._finished:
+            if self._nbits:
+                pad = self.sym_len - self._nbits
+                self._symbols.append((self._acc << pad) & mask(self.sym_len))
+                self._acc = 0
+                self._nbits = 0
+            self._finished = True
+        return np.array(self._symbols, dtype=self._dtype)

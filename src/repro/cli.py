@@ -1,0 +1,352 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``devices``
+    Print the simulated GPU registry (paper Table 1).
+``matrices``
+    List the Table 2 suite with its published statistics.
+``analyze <matrix>``
+    Generate (or load) a matrix and print its statistics.
+``compress <matrix>``
+    Compress with a BRO format and print the space-savings report.
+``spmv <matrix>``
+    Run one simulated SpMV and print the timing breakdown.
+``advise <matrix>``
+    Rank all storage formats for the matrix on a device.
+``bench <experiment>``
+    Regenerate one of the paper's tables/figures and print its rows.
+``export <matrix> <out.mtx>``
+    Write a generated suite matrix to a MatrixMarket file.
+``selfcheck``
+    Quick internal verification (formats, kernels, calibration).
+
+``<matrix>`` is either a Table 2 name (generated synthetically at
+``--scale``) or a path to a MatrixMarket ``.mtx`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .bench import experiments as exp
+from .bench.reporting import format_table
+from .core.compression import index_compression_report
+from .errors import ReproError
+from .formats.conversion import convert
+from .formats.coo import COOMatrix
+from .gpu.device import DEVICES
+from .kernels.dispatch import run_spmv
+from .matrices.analysis import analyze
+from .matrices.io import read_matrix_market
+from .matrices.suite import TABLE2, generate
+from .tuner.advisor import rank_formats
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": (exp.table1_devices, ["device", "compute_capability", "cores",
+                                    "mem_bw_gbps", "dp_gflops"]),
+    "table2": (exp.table2_suite, ["matrix", "rows", "cols", "nnz", "mu",
+                                  "mu_paper", "sigma", "sigma_paper"]),
+    "table3": (exp.table3_savings, ["matrix", "eta_pct", "kappa"]),
+    "table4": (exp.table4_hyb_split, ["matrix", "pct_bro_ell", "eta_pct"]),
+    "table5": (exp.table5_bar_savings, ["matrix", "eta_before_pct",
+                                        "eta_after_pct", "delta_pp"]),
+    "fig3": (exp.fig3_savings_sweep, ["device", "bits", "eta_pct", "gflops",
+                                      "speedup"]),
+    "fig4": (exp.fig4_bro_ell, ["matrix", "device", "gflops_ellpack",
+                                "gflops_bro_ell", "speedup_vs_ellpack"]),
+    "fig5": (exp.fig5_eai, ["matrix", "eai_ellpack", "eai_bro_ell",
+                            "eai_ratio"]),
+    "fig6": (exp.fig6_bandwidth, ["matrix", "device", "bw_utilization"]),
+    "fig7": (exp.fig7_bro_coo, ["matrix", "device", "gflops_coo",
+                                "gflops_bro_coo", "speedup_vs_coo"]),
+    "fig8": (exp.fig8_bro_hyb, ["matrix", "device", "gflops_hyb",
+                                "gflops_bro_hyb", "speedup_vs_hyb"]),
+    "fig9": (exp.fig9_reordering, ["matrix", "gflops_bro_ell", "gflops_bar",
+                                   "bar_gain_pct", "rcm_gain_pct",
+                                   "amd_gain_pct"]),
+}
+
+
+def _load_matrix(spec: str, scale: float) -> COOMatrix:
+    if spec in TABLE2:
+        return generate(spec, scale=scale)
+    if spec.endswith(".mtx"):
+        return read_matrix_market(spec)
+    raise ReproError(
+        f"{spec!r} is neither a Table 2 matrix name nor a .mtx path; "
+        f"known names: {', '.join(sorted(TABLE2))}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BRO sparse formats + simulated-GPU SpMV (SC '13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="print the simulated GPU registry")
+    sub.add_parser("matrices", help="list the Table 2 matrix suite")
+    sub.add_parser("selfcheck", help="quick internal verification")
+
+    def matrix_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("matrix", help="Table 2 name or a .mtx file path")
+        p.add_argument("--scale", type=float, default=0.05,
+                       help="generation scale for suite names (default 0.05)")
+
+    p = sub.add_parser("analyze", help="matrix statistics")
+    matrix_arg(p)
+
+    p = sub.add_parser("compress", help="BRO compression report")
+    matrix_arg(p)
+    p.add_argument("--format", default="bro_ell",
+                   choices=["bro_ell", "bro_coo", "bro_hyb"])
+    p.add_argument("--h", type=int, default=256, help="slice height")
+    p.add_argument("--sym-len", type=int, default=32, choices=[32, 64])
+
+    p = sub.add_parser("spmv", help="run one simulated SpMV")
+    matrix_arg(p)
+    p.add_argument("--format", default="bro_ell")
+    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+    p.add_argument("--h", type=int, default=256)
+    p.add_argument("--trace", action="store_true",
+                   help="print a per-slice profile (bro_ell only)")
+
+    p = sub.add_parser("advise", help="rank formats for a matrix")
+    matrix_arg(p)
+    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+
+    p = sub.add_parser("export", help="write a suite matrix to .mtx")
+    matrix_arg(p)
+    p.add_argument("output", help="destination .mtx path")
+
+    p = sub.add_parser("bench", help="regenerate one paper experiment")
+    p.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    p.add_argument("--scale", type=float, default=None,
+                   help="matrix scale (defaults per experiment)")
+    p.add_argument("--plot", action="store_true",
+                   help="also render an ASCII chart of the experiment")
+    return parser
+
+
+def _cmd_devices() -> int:
+    rows = exp.table1_devices()
+    print(format_table(rows, ["device", "compute_capability", "cores",
+                              "mem_bw_gbps", "dp_gflops", "measured_bw_gbps",
+                              "decode_gops"],
+                       "Simulated GPUs (paper Table 1 + calibration)"))
+    return 0
+
+
+def _cmd_matrices() -> int:
+    rows = [
+        {
+            "matrix": s.name,
+            "set": s.test_set,
+            "rows": s.rows,
+            "cols": s.cols,
+            "nnz": s.nnz,
+            "mu": s.mu,
+            "sigma": s.sigma,
+            "family": s.family,
+        }
+        for s in TABLE2.values()
+    ]
+    print(format_table(rows, ["matrix", "set", "rows", "cols", "nnz", "mu",
+                              "sigma", "family"],
+                       "Table 2 matrix suite (published statistics)"))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    coo = _load_matrix(args.matrix, args.scale)
+    stats = analyze(coo, args.matrix)
+    print(f"matrix          : {stats.name}")
+    print(f"shape           : {stats.rows} x {stats.cols}")
+    print(f"non-zeros       : {stats.nnz}")
+    print(f"row length      : mean {stats.mu:.2f}, std {stats.sigma:.2f}, "
+          f"min {stats.min_row}, max {stats.max_row}")
+    print(f"mean delta width: {stats.mean_delta_bits:.2f} bits "
+          f"(lower = more BRO-compressible)")
+    print(f"mean column span: {stats.mean_col_span:.1f}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    coo = _load_matrix(args.matrix, args.scale)
+    kwargs = {"sym_len": args.sym_len}
+    if args.format in ("bro_ell", "bro_hyb"):
+        kwargs["h"] = args.h
+    mat = convert(coo, args.format, **kwargs)
+    report = index_compression_report(mat, args.matrix)
+    print(f"scheme            : {report.scheme}")
+    print(f"original index    : {report.original_index_bytes:,} bytes")
+    print(f"compressed index  : {report.compressed_index_bytes:,} bytes")
+    print(f"space savings eta : {100 * report.eta:.1f}%")
+    print(f"compression kappa : {report.kappa:.2f}x")
+    return 0
+
+
+def _cmd_spmv(args: argparse.Namespace) -> int:
+    coo = _load_matrix(args.matrix, args.scale)
+    kwargs = {"h": args.h} if args.format in (
+        "sliced_ellpack", "bro_ell", "bro_hyb", "bro_ell_vc") else {}
+    mat = convert(coo, args.format, **kwargs)
+    x = np.random.default_rng(0).standard_normal(coo.shape[1])
+    result = run_spmv(mat, x, args.device)
+    if not np.allclose(result.y, coo.spmv(x), rtol=1e-8):
+        raise ReproError("kernel verification failed")  # pragma: no cover
+    t = result.timing
+    c = result.counters
+    print(f"format     : {args.format}   device: {t.device.name}")
+    print(f"verified   : kernel output matches reference")
+    print(f"DRAM bytes : index {c.index_bytes:,} | values {c.value_bytes:,} "
+          f"| x {c.x_bytes:,} | y {c.y_bytes:,} | aux {c.aux_bytes:,}")
+    print(f"time       : {t.time * 1e6:.2f} us "
+          f"(mem {t.t_mem * 1e6:.2f}, flop {t.t_flop * 1e6:.2f}, "
+          f"decode {t.t_decode * 1e6:.2f}, launch {t.t_launch * 1e6:.2f})")
+    print(f"occupancy  : {t.occupancy:.2f}   bound: {t.bound}")
+    print(f"throughput : {t.gflops:.2f} GFlop/s   "
+          f"{t.achieved_bw_gbps:.1f} GB/s "
+          f"({100 * t.bandwidth_utilization:.0f}% of pin bandwidth)")
+    if getattr(args, "trace", False):
+        from .core.bro_ell import BROELLMatrix
+        from .gpu.trace import SliceTrace, trace_bro_ell
+
+        if not isinstance(mat, BROELLMatrix):
+            raise ReproError("--trace currently supports --format bro_ell")
+        print("\nper-slice profile:")
+        print(SliceTrace.header())
+        for tr in trace_bro_ell(mat, t.device):
+            print(tr.row())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    coo = _load_matrix(args.matrix, args.scale)
+    ranking = rank_formats(coo, args.device)
+    print(f"Format ranking for {args.matrix} on {DEVICES[args.device].name} "
+          f"(model-predicted):")
+    for i, rec in enumerate(ranking, 1):
+        print(f"{i:2d}. {rec.describe()}")
+    return 0
+
+
+def _cmd_selfcheck() -> int:
+    """A fast end-to-end verification a user can run after installing."""
+    from .bench.experiments import fig3_break_even, fig3_savings_sweep
+    from .formats.base import available_formats
+    from .kernels.base import available_kernels
+    from .matrices.generators import banded_random
+
+    checks = 0
+    coo = banded_random(2048, 12.0, 3.0, bandwidth=120, seed=42)
+    x = np.random.default_rng(42).standard_normal(coo.shape[1])
+    reference = coo.spmv(x)
+    for fmt in sorted(set(available_formats()) & set(available_kernels())):
+        kwargs = {"h": 128} if fmt in ("sliced_ellpack", "bro_ell",
+                                       "bro_hyb", "bro_ell_vc") else {}
+        if fmt == "bro_ell_mt":
+            kwargs = {"threads_per_row": 2, "h": 128}
+        mat = convert(coo, fmt, **kwargs)
+        if not np.allclose(mat.to_dense(), coo.to_dense()):
+            print(f"FAIL: {fmt} round trip")
+            return 1
+        res = run_spmv(mat, x, "k20")
+        if not np.allclose(res.y, reference, rtol=1e-8):
+            print(f"FAIL: {fmt} kernel output")
+            return 1
+        checks += 2
+        print(f"ok  {fmt}: lossless round trip + kernel verified")
+
+    rows = fig3_savings_sweep(m=4096, k=32, bit_widths=(32, 16, 8, 1))
+    measured = fig3_break_even(rows)
+    for dev, paper in (("c2070", 17.0), ("gtx680", 9.0), ("k20", 23.0)):
+        if abs(measured[dev] - paper) > 4.0:
+            print(f"FAIL: {dev} break-even {measured[dev]:.1f}% vs {paper}%")
+            return 1
+        checks += 1
+        print(f"ok  {dev}: break-even {measured[dev]:.1f}% (paper {paper}%)")
+    print(f"\nselfcheck passed ({checks} checks)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .matrices.io import write_matrix_market
+
+    coo = _load_matrix(args.matrix, args.scale)
+    write_matrix_market(coo, args.output)
+    print(f"wrote {coo.shape[0]}x{coo.shape[1]} matrix "
+          f"({coo.nnz} non-zeros) to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    fn, columns = _EXPERIMENTS[args.experiment]
+    rows = fn() if args.scale is None else fn(scale=args.scale)
+    print(format_table(rows, columns, f"Experiment {args.experiment}"))
+    if args.plot:
+        print()
+        print(_render_plot(args.experiment, rows, columns))
+    return 0
+
+
+def _render_plot(experiment: str, rows, columns) -> str:
+    from .bench.plots import bar_chart, line_chart
+
+    if experiment == "fig3":
+        series = {}
+        for r in rows:
+            series.setdefault(r["device"], []).append(
+                (r["eta_pct"], r["gflops"])
+            )
+        for pts in series.values():
+            pts.sort()
+        return line_chart(series, "BRO-ELL GFlop/s vs space savings (%)")
+    # Bar chart of the last numeric column, labelled by matrix/device.
+    value_col = columns[-1]
+    label_col = "matrix" if "matrix" in columns else columns[0]
+    labels = [f"{r[label_col]}" + (f"/{r['device']}" if "device" in r else "")
+              for r in rows]
+    values = [max(0.0, float(r[value_col])) for r in rows]
+    return bar_chart(labels, values, f"{experiment}: {value_col}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "devices":
+            return _cmd_devices()
+        if args.command == "matrices":
+            return _cmd_matrices()
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "compress":
+            return _cmd_compress(args)
+        if args.command == "spmv":
+            return _cmd_spmv(args)
+        if args.command == "advise":
+            return _cmd_advise(args)
+        if args.command == "selfcheck":
+            return _cmd_selfcheck()
+        if args.command == "export":
+            return _cmd_export(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's contribution: BRO-ELL, BRO-COO and BRO-HYB storage schemes.
+
+The pipeline (Fig. 1 / Fig. 2 of the paper):
+
+1. :mod:`~repro.core.delta` — delta-encode index arrays (1-based, so every
+   valid delta is >= 1 and 0 marks padding);
+2. :mod:`~repro.core.slices` — per-slice/per-interval bit-allocation
+   (``bit_alloc``) from the maximum delta width in each column;
+3. :mod:`repro.bitstream` — bit packing and row-stream multiplexing;
+4. :mod:`~repro.core.bro_ell` / :mod:`~repro.core.bro_coo` /
+   :mod:`~repro.core.bro_hyb` — the storage classes;
+5. :mod:`~repro.core.compression` — space savings / compression-ratio
+   accounting (Tables 3–5).
+"""
+
+from .bro_coo import BROCOOMatrix
+from .bro_ell import BROELLMatrix
+from .bro_hyb import BROHYBMatrix
+from .compression import (
+    CompressionReport,
+    compression_ratio,
+    index_compression_report,
+    space_savings,
+    space_savings_from_ratio,
+)
+from .delta import (
+    delta_decode_columns,
+    delta_encode_columns,
+    delta_decode_lanes,
+    delta_encode_lanes,
+)
+from .slices import column_bit_alloc, interval_bit_alloc
+from .multirow import MultiRowBROELL, split_rows
+from .rowwise_codec import RowwiseBROELL
+from .value_compression import BROELLVCMatrix
+
+__all__ = [
+    "BROELLMatrix",
+    "BROCOOMatrix",
+    "BROHYBMatrix",
+    "BROELLVCMatrix",
+    "MultiRowBROELL",
+    "RowwiseBROELL",
+    "split_rows",
+    "CompressionReport",
+    "index_compression_report",
+    "space_savings",
+    "space_savings_from_ratio",
+    "compression_ratio",
+    "delta_encode_columns",
+    "delta_decode_columns",
+    "delta_encode_lanes",
+    "delta_decode_lanes",
+    "column_bit_alloc",
+    "interval_bit_alloc",
+]

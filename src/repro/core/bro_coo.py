@@ -1,0 +1,292 @@
+"""BRO-COO: bit-representation-optimized coordinate format (Section 3.2).
+
+Only the *row* index array is compressed. The sorted entry list is divided
+into fixed-size intervals (one warp per interval); each interval is arranged
+as a ``(w, L)`` 2-D array with lane ``i`` holding entries ``i, i + w, ...``
+so that the row index increases monotonically down each lane, then
+delta-encoded along lanes and packed with a *single* bit width per interval.
+Column indices and values stay uncompressed.
+
+Partial final intervals are padded with phantom entries that repeat the last
+row index (a zero delta — valid in BRO-COO) and carry value 0.0, so the
+decode loop needs no bounds checks (no divergence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..bitstream.multiplex import MultiplexedStream, concat_slices
+from ..bitstream.packing import pack_slice, unpack_slice
+from ..errors import ValidationError
+from ..formats.base import SparseFormat, register_format
+from ..formats.coo import COOMatrix
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.bits import ceil_div
+from ..utils.validation import check_positive
+from .delta import delta_decode_lanes, delta_encode_lanes
+from .slices import interval_bit_alloc
+
+__all__ = ["BROCOOMatrix"]
+
+#: Maximum interval size in entries: 32 lanes x 32 iterations.
+DEFAULT_INTERVAL = 1024
+
+#: Interval count the adaptive sizing aims for — enough warps to keep
+#: every modelled device's SMs latency-hidden (CUSP sizes its COO
+#: intervals the same way: work divided by the number of active warps).
+TARGET_INTERVALS = 512
+
+
+def adaptive_interval_size(
+    nnz: int, warp_size: int = 32, max_interval: int = DEFAULT_INTERVAL
+) -> int:
+    """Interval size that spreads ``nnz`` entries over enough warps.
+
+    Small COO parts (the tail of a HYB split) would otherwise launch a
+    handful of warps and starve the device.
+    """
+    if nnz <= 0:
+        return warp_size
+    per = ceil_div(nnz, TARGET_INTERVALS)
+    per = ceil_div(per, warp_size) * warp_size
+    # Keep at least 8 iterations per lane so the per-lane stream padding
+    # (round-up to one symbol) stays amortized.
+    return int(min(max(per, 8 * warp_size), max_interval))
+
+
+@register_format
+class BROCOOMatrix(SparseFormat):
+    """Sparse matrix stored in the BRO-COO compressed format."""
+
+    format_name = "bro_coo"
+
+    def __init__(
+        self,
+        stream: MultiplexedStream,
+        bit_alloc: np.ndarray,
+        col_idx: np.ndarray,
+        vals: np.ndarray,
+        nnz: int,
+        warp_size: int,
+        interval_size: int,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        warp_size = check_positive(warp_size, "warp_size")
+        interval_size = check_positive(interval_size, "interval_size")
+        if interval_size % warp_size:
+            raise ValidationError("interval_size must be a multiple of warp_size")
+        bit_alloc = np.asarray(bit_alloc, dtype=np.int64).reshape(-1)
+        col_idx = np.asarray(col_idx, dtype=INDEX_DTYPE)
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if col_idx.shape != vals.shape or col_idx.ndim != 1:
+            raise ValidationError("col_idx and vals must be equal-length 1-D arrays")
+        padded = col_idx.shape[0]
+        if padded % warp_size:
+            raise ValidationError("padded entry count must be a multiple of warp_size")
+        n_int = bit_alloc.shape[0]
+        if stream.num_slices != n_int:
+            raise ValidationError(
+                f"stream holds {stream.num_slices} intervals, bit_alloc {n_int}"
+            )
+        if not 0 <= nnz <= padded:
+            raise ValidationError("nnz must be within the padded entry count")
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise ValidationError("column index out of range")
+
+        # Entries per interval: all full except possibly the last.
+        if n_int:
+            expected = (n_int - 1) * interval_size < padded <= n_int * interval_size
+            if not expected:
+                raise ValidationError(
+                    f"{padded} padded entries inconsistent with {n_int} intervals "
+                    f"of size {interval_size}"
+                )
+        elif padded:
+            raise ValidationError("entries present but no intervals")
+
+        self._stream = stream
+        self._bit_alloc = bit_alloc
+        self._col_idx = col_idx
+        self._vals = vals
+        self._nnz = int(nnz)
+        self._w = warp_size
+        self._interval = interval_size
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def stream(self) -> MultiplexedStream:
+        """Packed row-index stream, one multiplexed block per interval."""
+        return self._stream
+
+    @property
+    def bit_alloc(self) -> np.ndarray:
+        """Single bit width per interval."""
+        return self._bit_alloc
+
+    @property
+    def col_idx(self) -> np.ndarray:
+        """Uncompressed (padded) column indices in entry order."""
+        return self._col_idx
+
+    @property
+    def vals(self) -> np.ndarray:
+        """(Padded) values in entry order; padding entries hold 0.0."""
+        return self._vals
+
+    @property
+    def warp_size(self) -> int:
+        """Lanes per interval (``w`` in the paper)."""
+        return self._w
+
+    @property
+    def interval_size(self) -> int:
+        """Entries per full interval."""
+        return self._interval
+
+    @property
+    def num_intervals(self) -> int:
+        return self._bit_alloc.shape[0]
+
+    @property
+    def padded_nnz(self) -> int:
+        """Entry count including the final interval's phantom padding."""
+        return int(self._col_idx.shape[0])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    # ------------------------------------------------------------------
+    def interval_entry_bounds(self, i: int) -> Tuple[int, int]:
+        """Padded entry range ``[lo, hi)`` covered by interval ``i``."""
+        if not 0 <= i < self.num_intervals:
+            raise ValidationError(f"interval index {i} out of range")
+        lo = i * self._interval
+        hi = min(lo + self._interval, self.padded_nnz)
+        return lo, hi
+
+    def interval_lanes(self, i: int) -> int:
+        """Iterations per lane (``L``) in interval ``i``."""
+        lo, hi = self.interval_entry_bounds(i)
+        return ceil_div(hi - lo, self._w)
+
+    def decode_interval_rows(self, i: int) -> np.ndarray:
+        """Host-side decode of interval ``i``'s ``(w, L)`` row indices."""
+        L = self.interval_lanes(i)
+        widths = np.full(L, int(self._bit_alloc[i]), dtype=np.int64)
+        deltas = unpack_slice(
+            self._stream.slice_view(i), widths, self._w, self._stream.sym_len
+        )
+        return delta_decode_lanes(deltas)
+
+    def iter_intervals(self) -> Iterator[Tuple[int, int, int, np.ndarray]]:
+        """Yield ``(interval, lo, hi, stream_view)`` per interval."""
+        for i in range(self.num_intervals):
+            lo, hi = self.interval_entry_bounds(i)
+            yield i, lo, hi, self._stream.slice_view(i)
+
+    @staticmethod
+    def lane_arrangement(count: int, w: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Map entry offset ``t`` to 2-D position ``(lane, iter) = (t % w, t // w)``."""
+        t = np.arange(count, dtype=np.int64)
+        return t % w, t // w
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        interval_size: int | None = None,
+        warp_size: int = 32,
+        sym_len: int = 32,
+        **kwargs,
+    ) -> "BROCOOMatrix":
+        if interval_size is None:
+            interval_size = adaptive_interval_size(coo.nnz, warp_size)
+        interval_size = check_positive(interval_size, "interval_size")
+        warp_size = check_positive(warp_size, "warp_size")
+        if interval_size % warp_size:
+            raise ValidationError("interval_size must be a multiple of warp_size")
+        nnz = coo.nnz
+        n_int = ceil_div(nnz, interval_size) if nnz else 0
+        # Pad the final interval to a whole number of lanes-iterations.
+        padded = 0
+        if n_int:
+            tail = nnz - (n_int - 1) * interval_size
+            padded = (n_int - 1) * interval_size + ceil_div(tail, warp_size) * warp_size
+        col_idx = np.zeros(padded, dtype=INDEX_DTYPE)
+        vals = np.zeros(padded, dtype=VALUE_DTYPE)
+        row_idx = np.zeros(padded, dtype=np.int64)
+        if nnz:
+            col_idx[:nnz] = coo.col_idx
+            vals[:nnz] = coo.vals
+            row_idx[:nnz] = coo.row_idx
+            row_idx[nnz:] = int(coo.row_idx[-1])  # phantom: repeat last row
+
+        streams, widths = [], []
+        for i in range(n_int):
+            lo = i * interval_size
+            hi = min(lo + interval_size, padded)
+            L = ceil_div(hi - lo, warp_size)
+            block = row_idx[lo:hi].reshape(L, warp_size).T  # lane i = t % w
+            deltas = delta_encode_lanes(block)
+            b = interval_bit_alloc(deltas, max_bits=sym_len)
+            widths.append(b)
+            streams.append(
+                pack_slice(deltas, np.full(L, b, dtype=np.int64), sym_len=sym_len)
+            )
+        stream = concat_slices(streams, sym_len=sym_len)
+        return cls(
+            stream,
+            np.array(widths, dtype=np.int64),
+            col_idx,
+            vals,
+            nnz,
+            warp_size,
+            interval_size,
+            coo.shape,
+        )
+
+    def decode_rows(self) -> np.ndarray:
+        """Decode the full padded row-index array (entry order)."""
+        out = np.zeros(self.padded_nnz, dtype=np.int64)
+        for i in range(self.num_intervals):
+            lo, hi = self.interval_entry_bounds(i)
+            rows_2d = self.decode_interval_rows(i)  # (w, L)
+            out[lo:hi] = rows_2d.T.reshape(-1)
+        return out
+
+    def to_coo(self) -> COOMatrix:
+        rows = self.decode_rows()[: self._nnz]
+        return COOMatrix(
+            rows, self._col_idx[: self._nnz], self._vals[: self._nnz], self._shape
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        if self.padded_nnz:
+            rows = self.decode_rows()
+            # Phantom padding has value 0.0, so including it is harmless —
+            # mirroring the divergence-free GPU loop.
+            np.add.at(y, rows, self._vals * x[self._col_idx])
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        return {
+            "index": int(self._stream.nbytes + self._col_idx.nbytes),
+            "values": int(self._vals.nbytes),
+            # 1-byte widths + int32 interval pointers.
+            "aux": int(
+                self._bit_alloc.shape[0] + 4 * self._stream.slice_ptr.shape[0]
+            ),
+        }

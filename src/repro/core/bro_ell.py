@@ -1,0 +1,263 @@
+"""BRO-ELL: bit-representation-optimized ELLPACK (paper Section 3.1).
+
+The format keeps the Sliced-ELLPACK partitioning (slice height ``h`` = the
+thread-block size, 256 by default) and value layout, but replaces each
+slice's dense column-index block with:
+
+* ``bit_alloc_i`` — per-column bit widths (``b_j = max Gamma(delta)``),
+  resident in constant memory on the real GPU;
+* a multiplexed, delta-encoded, bit-packed index stream (Fig. 1).
+
+Values are *not* compressed (the paper leaves value compression as future
+work; we implement it separately in :mod:`repro.core.value_compression`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..bitstream.multiplex import MultiplexedStream, concat_slices
+from ..bitstream.packing import pack_slice, unpack_slice
+from ..errors import ValidationError
+from ..formats.base import SparseFormat, register_format
+from ..formats.coo import COOMatrix
+from ..formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from ..types import VALUE_DTYPE
+from ..utils.validation import check_positive
+from .delta import delta_decode_columns, delta_encode_columns
+from .slices import column_bit_alloc
+
+__all__ = ["BROELLMatrix"]
+
+
+@register_format
+class BROELLMatrix(SparseFormat):
+    """Sparse matrix stored in the BRO-ELL compressed format."""
+
+    format_name = "bro_ell"
+
+    def __init__(
+        self,
+        stream: MultiplexedStream,
+        bit_allocs: Sequence[np.ndarray],
+        vals: np.ndarray,
+        row_lengths: np.ndarray,
+        h: int,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        h = check_positive(h, "h")
+        self._edges = slice_bounds(m, h)
+        s = self._edges.shape[0] - 1
+        if stream.num_slices != s:
+            raise ValidationError(
+                f"stream holds {stream.num_slices} slices, matrix needs {s}"
+            )
+        if len(bit_allocs) != s:
+            raise ValidationError(f"need {s} bit_alloc arrays, got {len(bit_allocs)}")
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if row_lengths.shape != (m,):
+            raise ValidationError("row_lengths must have one entry per row")
+        self._bit_allocs = tuple(
+            np.asarray(b, dtype=np.int64).reshape(-1) for b in bit_allocs
+        )
+        self._num_col = np.array([b.shape[0] for b in self._bit_allocs], dtype=np.int64)
+        heights = np.diff(self._edges)
+        block_sizes = heights * self._num_col
+        expected = int(block_sizes.sum())
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if vals.shape != (expected,):
+            raise ValidationError(
+                f"vals must hold {expected} entries (sum of slice blocks), "
+                f"got {vals.shape}"
+            )
+        self._val_ptr = np.zeros(s + 1, dtype=np.int64)
+        np.cumsum(block_sizes, out=self._val_ptr[1:])
+        self._stream = stream
+        self._vals = vals
+        self._row_lengths = row_lengths
+        self._h = h
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def stream(self) -> MultiplexedStream:
+        """The packed, multiplexed index stream (``comp_str`` in Alg. 1)."""
+        return self._stream
+
+    @property
+    def bit_allocs(self) -> Tuple[np.ndarray, ...]:
+        """Per-slice ``bit_alloc_i`` width arrays."""
+        return self._bit_allocs
+
+    @property
+    def num_col(self) -> np.ndarray:
+        """Per-slice column counts (the paper's ``num_col`` array)."""
+        return self._num_col
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Real entries per row."""
+        return self._row_lengths
+
+    @property
+    def h(self) -> int:
+        """Slice height (thread-block size)."""
+        return self._h
+
+    @property
+    def sym_len(self) -> int:
+        """Symbol length of the packed stream in bits."""
+        return self._stream.sym_len
+
+    @property
+    def num_slices(self) -> int:
+        return self._edges.shape[0] - 1
+
+    @property
+    def slice_edges(self) -> np.ndarray:
+        """Row boundaries of each slice."""
+        return self._edges
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._row_lengths.sum())
+
+    # ------------------------------------------------------------------
+    def val_block(self, i: int) -> np.ndarray:
+        """Slice ``i``'s ``(h_i, l_i)`` value block (view)."""
+        if not 0 <= i < self.num_slices:
+            raise ValidationError(f"slice index {i} out of range")
+        lo, hi = int(self._val_ptr[i]), int(self._val_ptr[i + 1])
+        h_i = int(self._edges[i + 1] - self._edges[i])
+        l_i = int(self._num_col[i])
+        return self._vals[lo:hi].reshape(h_i, l_i)
+
+    def iter_slices(
+        self,
+    ) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(row_start, row_end, bit_alloc, stream_view, val_block)``."""
+        for i in range(self.num_slices):
+            yield (
+                int(self._edges[i]),
+                int(self._edges[i + 1]),
+                self._bit_allocs[i],
+                self._stream.slice_view(i),
+                self.val_block(i),
+            )
+
+    def decode_slice_cols(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Host-side decode of slice ``i``: ``(col_idx, valid)`` blocks."""
+        h_i = int(self._edges[i + 1] - self._edges[i])
+        deltas = unpack_slice(
+            self._stream.slice_view(i), self._bit_allocs[i], h_i, self.sym_len
+        )
+        return delta_decode_columns(deltas)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sliced(
+        cls, sl: SlicedELLPACKMatrix, sym_len: int = 32
+    ) -> "BROELLMatrix":
+        """Compress a Sliced-ELLPACK matrix (the offline host-side step)."""
+        streams = []
+        bit_allocs = []
+        val_blocks = []
+        lengths = sl.row_lengths
+        for r0, r1, col_block, val_block in sl.iter_slices():
+            l_i = col_block.shape[1]
+            lens = lengths[r0:r1]
+            valid = np.arange(l_i)[np.newaxis, :] < lens[:, np.newaxis]
+            deltas = delta_encode_columns(col_block, valid)
+            widths = column_bit_alloc(deltas, max_bits=sym_len)
+            streams.append(pack_slice(deltas, widths, sym_len=sym_len))
+            bit_allocs.append(widths)
+            val_blocks.append(val_block.reshape(-1))
+        stream = concat_slices(streams, sym_len=sym_len)
+        vals = (
+            np.concatenate(val_blocks)
+            if val_blocks
+            else np.zeros(0, dtype=VALUE_DTYPE)
+        )
+        return cls(stream, bit_allocs, vals, lengths, sl.h, sl.shape)
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, h: int = 256, sym_len: int = 32, **kwargs
+    ) -> "BROELLMatrix":
+        return cls.from_sliced(SlicedELLPACKMatrix.from_coo(coo, h=h), sym_len=sym_len)
+
+    def with_uniform_width(self, bits: int) -> "BROELLMatrix":
+        """Repack every slice with a fixed per-column bit width.
+
+        This is the Section 4.2.1 experiment knob: on a dense matrix every
+        delta is 1, so forcing the width to ``b`` simulates a compression
+        ratio of ``32 / b`` without changing the compute. Raises
+        :class:`~repro.errors.CompressionError` if any real delta does not
+        fit in ``bits``.
+        """
+        streams = []
+        bit_allocs = []
+        for i in range(self.num_slices):
+            h_i = int(self._edges[i + 1] - self._edges[i])
+            deltas = unpack_slice(
+                self._stream.slice_view(i), self._bit_allocs[i], h_i, self.sym_len
+            )
+            widths = np.full(deltas.shape[1], int(bits), dtype=np.int64)
+            streams.append(pack_slice(deltas, widths, sym_len=self.sym_len))
+            bit_allocs.append(widths)
+        return BROELLMatrix(
+            concat_slices(streams, sym_len=self.sym_len),
+            bit_allocs,
+            self._vals,
+            self._row_lengths,
+            self._h,
+            self._shape,
+        )
+
+    def to_sliced(self) -> SlicedELLPACKMatrix:
+        """Decompress back to Sliced-ELLPACK (testing / verification)."""
+        col_parts = []
+        for i in range(self.num_slices):
+            cols, valid = self.decode_slice_cols(i)
+            cols = np.where(valid, cols, 0)
+            col_parts.append(cols.reshape(-1))
+        col_idx = (
+            np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
+        )
+        return SlicedELLPACKMatrix(
+            col_idx, self._vals, self._row_lengths, self._num_col, self._h, self._shape
+        )
+
+    def to_coo(self) -> COOMatrix:
+        return self.to_sliced().to_coo()
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV: host-side decode then dense gather per slice."""
+        x = self.check_x(x)
+        y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        for i, (r0, r1, _ba, _sv, val_block) in enumerate(self.iter_slices()):
+            if val_block.shape[1] == 0:
+                continue
+            cols, valid = self.decode_slice_cols(i)
+            cols = np.where(valid, cols, 0)
+            y[r0:r1] = np.einsum("ij,ij->i", np.where(valid, val_block, 0.0), x[cols])
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        # bit_alloc entries fit in one byte each (widths <= 64) and live in
+        # constant memory; num_col and the slice pointers are int32.
+        aux = int(self._num_col.sum()) + 4 * (
+            self._num_col.shape[0] + self._stream.slice_ptr.shape[0]
+        )
+        return {
+            "index": int(self._stream.nbytes),
+            "values": int(self._vals.nbytes),
+            "aux": aux,
+        }

@@ -1,0 +1,122 @@
+"""BRO-HYB: hybrid of BRO-ELL and BRO-COO (paper Section 3.3).
+
+The matrix is partitioned with the *same* Bell–Garland heuristic as HYB
+(paper: "dividing a sparse matrix into BRO-ELL and BRO-COO partitions with
+the same algorithm as in [4, 5]"), so HYB vs BRO-HYB comparisons see
+identical partitions; each part is then stored in its BRO variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..formats.base import SparseFormat, register_format
+from ..formats.coo import COOMatrix
+from ..formats.hyb import hyb_split_column, split_coo
+from ..types import VALUE_DTYPE
+from .bro_coo import BROCOOMatrix
+from .bro_ell import BROELLMatrix
+
+__all__ = ["BROHYBMatrix"]
+
+
+@register_format
+class BROHYBMatrix(SparseFormat):
+    """Sparse matrix stored as a BRO-ELL part plus a BRO-COO part."""
+
+    format_name = "bro_hyb"
+
+    def __init__(
+        self,
+        ell: BROELLMatrix,
+        coo: BROCOOMatrix,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        if ell.shape != (m, n) or coo.shape != (m, n):
+            raise ValidationError("BRO-HYB parts must share the logical shape")
+        self._ell = ell
+        self._coo = coo
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def ell(self) -> BROELLMatrix:
+        """The BRO-ELL part."""
+        return self._ell
+
+    @property
+    def coo(self) -> BROCOOMatrix:
+        """The BRO-COO overflow part."""
+        return self._coo
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._ell.nnz + self._coo.nnz
+
+    @property
+    def ell_fraction(self) -> float:
+        """Fraction of non-zeros in the BRO-ELL part (Table 4's "% BRO-ELL")."""
+        total = self.nnz
+        return float(self._ell.nnz) / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        k: int | None = None,
+        h: int = 256,
+        sym_len: int = 32,
+        interval_size: int | None = None,
+        warp_size: int = 32,
+        **kwargs,
+    ) -> "BROHYBMatrix":
+        """Build with the Bell–Garland split (or an explicit width ``k``)."""
+        if k is None:
+            k = hyb_split_column(coo.row_lengths())
+        ell_coo, tail_coo = split_coo(coo, k)
+        m, n = coo.shape
+        empty = COOMatrix(
+            np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), coo.shape
+        )
+        ell = BROELLMatrix.from_coo(ell_coo if ell_coo is not None else empty,
+                                    h=h, sym_len=sym_len)
+        bro_coo = BROCOOMatrix.from_coo(
+            tail_coo if tail_coo is not None else empty,
+            interval_size=interval_size,
+            warp_size=warp_size,
+            sym_len=sym_len,
+        )
+        return cls(ell, bro_coo, coo.shape)
+
+    def to_coo(self) -> COOMatrix:
+        ell_coo = self._ell.to_coo()
+        coo_coo = self._coo.to_coo()
+        return COOMatrix(
+            np.concatenate([ell_coo.row_idx, coo_coo.row_idx]),
+            np.concatenate([ell_coo.col_idx, coo_coo.col_idx]),
+            np.concatenate([ell_coo.vals, coo_coo.vals]),
+            self._shape,
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        y = self._ell.spmv(x) if self._ell.nnz else np.zeros(self._shape[0], VALUE_DTYPE)
+        if self._coo.padded_nnz:
+            y = y + self._coo.spmv(x)
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for part in (self._ell, self._coo):
+            for key, nbytes in part.device_bytes().items():
+                out[key] = out.get(key, 0) + int(nbytes)
+        return out

@@ -1,0 +1,111 @@
+"""Delta encoding of index data (paper Section 3.1, Fig. 1 / Fig. 2).
+
+Two variants are needed:
+
+* **Column deltas** for BRO-ELL: within each matrix row of an ELLPACK
+  block, consecutive column indices are strictly increasing, so with the
+  paper's 1-based convention (``c_{i,-1} = 0``) every valid delta is
+  positive and **0 can mark padding** (Algorithm 1 line 17 tests
+  ``decoded != invalid``).
+
+* **Lane deltas** for BRO-COO: each warp lane walks a strided sequence of
+  COO *row* indices, which are non-decreasing, so deltas are >= 0 and **0 is
+  a valid delta** (same row continues); padding is handled by zero values
+  instead.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import CompressionError
+from ..utils.validation import check_2d
+
+__all__ = [
+    "delta_encode_columns",
+    "delta_decode_columns",
+    "delta_encode_lanes",
+    "delta_decode_lanes",
+]
+
+
+def delta_encode_columns(col_idx: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Delta-encode an ELLPACK column-index block.
+
+    Parameters
+    ----------
+    col_idx:
+        ``(h, L)`` 0-based column indices; padding entries are ignored.
+    valid:
+        ``(h, L)`` boolean mask of real entries. Rows must be left-packed
+        (no valid entry to the right of an invalid one).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(h, L)`` int64 deltas of the 1-based indices; every valid delta is
+        >= 1 and every padding position is exactly 0.
+    """
+    col_idx = check_2d(col_idx, "col_idx").astype(np.int64, copy=False)
+    valid = check_2d(valid, "valid").astype(bool, copy=False)
+    if col_idx.shape != valid.shape:
+        raise CompressionError(
+            f"col_idx shape {col_idx.shape} != valid shape {valid.shape}"
+        )
+    if valid.shape[1] > 1 and np.any(valid[:, 1:] & ~valid[:, :-1]):
+        raise CompressionError("rows must be left-packed (padding only on the right)")
+
+    ones = col_idx + 1  # 1-based, as in the paper's example
+    deltas = np.zeros_like(ones)
+    if ones.shape[1]:
+        deltas[:, 0] = ones[:, 0]  # c_{i,-1} = 0
+        deltas[:, 1:] = ones[:, 1:] - ones[:, :-1]
+    deltas[~valid] = 0
+    if np.any((deltas <= 0) & valid):
+        raise CompressionError(
+            "column indices must strictly increase within each row "
+            "(a non-positive delta appeared on a valid entry)"
+        )
+    return deltas
+
+
+def delta_decode_columns(deltas: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`delta_encode_columns`.
+
+    Returns ``(col_idx, valid)`` where ``col_idx`` is 0-based (padding
+    positions hold arbitrary values) and ``valid`` is ``deltas != 0``.
+    """
+    deltas = check_2d(deltas, "deltas").astype(np.int64, copy=False)
+    valid = deltas != 0
+    # Padding deltas are 0, so a running prefix sum is exact: the column
+    # index simply stops advancing after the row's last valid entry —
+    # precisely what Algorithm 1 line 18 computes on the GPU.
+    col_idx = np.cumsum(deltas, axis=1) - 1
+    return col_idx, valid
+
+
+def delta_encode_lanes(rows_2d: np.ndarray) -> np.ndarray:
+    """Delta-encode a BRO-COO interval's 2-D row-index array along lanes.
+
+    ``rows_2d`` is the ``(w, L)`` arrangement of a sorted COO row-index
+    interval (lane ``i`` holds entries ``i, i + w, i + 2w, ...``), 0-based.
+    Deltas use the paper's ``r_{i,-1} = 0`` convention on 1-based indices,
+    so the first delta of a lane is its absolute 1-based row index.
+    """
+    rows_2d = check_2d(rows_2d, "rows_2d").astype(np.int64, copy=False)
+    ones = rows_2d + 1
+    deltas = np.zeros_like(ones)
+    if ones.shape[1]:
+        deltas[:, 0] = ones[:, 0]
+        deltas[:, 1:] = ones[:, 1:] - ones[:, :-1]
+    if np.any(deltas < 0):
+        raise CompressionError("row indices must be non-decreasing along each lane")
+    return deltas
+
+
+def delta_decode_lanes(deltas: np.ndarray) -> np.ndarray:
+    """Invert :func:`delta_encode_lanes`, returning 0-based row indices."""
+    deltas = check_2d(deltas, "deltas").astype(np.int64, copy=False)
+    return np.cumsum(deltas, axis=1) - 1

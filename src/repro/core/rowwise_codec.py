@@ -1,0 +1,270 @@
+"""The design-choice strawman: per-ROW bit widths instead of per-column.
+
+Section 3.1 allocates one bit width per *column* of a slice, shared by all
+threads, explicitly so that "all the threads in a warp will either take
+the first branch or the second branch" — no divergence — and so the
+multiplexed stream stays coalesced. The obvious alternative a compression
+person would reach for first is one width per *row* (each row's deltas
+packed at that row's own max width). It loses on **both** axes:
+
+* compression: a row's single wide first delta (the absolute start
+  column) poisons every delta of that row, whereas per-column coding
+  pays for it in one column only — measured in
+  ``benchmarks/test_ablation_divergence.py``;
+* execution: every thread consumes a different bit count per iteration,
+  so lanes disagree on the need-new-symbol branch (warp divergence,
+  both paths serialized) and sit at unrelated stream offsets
+  (uncoalesced gathers).
+
+:class:`RowwiseBROELL` implements the alternative faithfully so the
+ablation benchmark can price the paper's design decision, and
+:meth:`RowwiseBROELL.divergence_profile` quantifies the warp behaviour.
+Per-entry varints (the CPU-scheme limit) compress better still, at the
+cost of diverging on essentially every iteration; the benchmark computes
+their size analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..bitstream.packing import pack_slice, unpack_slice
+from ..errors import ValidationError
+from ..formats.base import SparseFormat, register_format
+from ..formats.coo import COOMatrix
+from ..formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from ..types import VALUE_DTYPE, symbol_dtype
+from ..utils.bits import bit_width_array, ceil_div
+from ..utils.validation import check_positive
+from .delta import delta_decode_columns, delta_encode_columns
+
+__all__ = ["RowwiseBROELL"]
+
+
+@register_format
+class RowwiseBROELL(SparseFormat):
+    """BRO-ELL variant with one bit width per row (the divergent strawman).
+
+    Each row of a slice packs its deltas at that row's own width; the
+    per-row streams are stored back-to-back (row-major) because the
+    symbol-synchronous multiplexing of Fig. 1 requires equal per-iteration
+    widths and is impossible here — exactly the point of the ablation.
+    """
+
+    format_name = "bro_ell_rowwise"
+
+    def __init__(
+        self,
+        stream: np.ndarray,
+        row_ptr: np.ndarray,
+        row_bits: np.ndarray,
+        vals: np.ndarray,
+        row_lengths: np.ndarray,
+        num_col: np.ndarray,
+        h: int,
+        sym_len: int,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        h = check_positive(h, "h")
+        self._edges = slice_bounds(m, h)
+        s = self._edges.shape[0] - 1
+        stream = np.asarray(stream, dtype=symbol_dtype(sym_len))
+        row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        row_bits = np.asarray(row_bits, dtype=np.int64)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        num_col = np.asarray(num_col, dtype=np.int64)
+        if row_ptr.shape != (m + 1,) or int(row_ptr[-1]) != stream.shape[0]:
+            raise ValidationError("row_ptr must index the stream per row")
+        if row_bits.shape != (m,) or row_lengths.shape != (m,):
+            raise ValidationError("row_bits/row_lengths must be per-row")
+        if num_col.shape != (s,):
+            raise ValidationError(f"num_col must have {s} entries")
+        heights = np.diff(self._edges)
+        expected = int((heights * num_col).sum())
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if vals.shape != (expected,):
+            raise ValidationError(f"vals must hold {expected} entries")
+        self._val_ptr = np.zeros(s + 1, dtype=np.int64)
+        np.cumsum(heights * num_col, out=self._val_ptr[1:])
+        self._stream = stream
+        self._row_ptr = row_ptr
+        self._row_bits = row_bits
+        self._vals = vals
+        self._row_lengths = row_lengths
+        self._num_col = num_col
+        self._h = h
+        self._sym_len = int(sym_len)
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def row_bits(self) -> np.ndarray:
+        """Per-row delta bit width (the strawman's extra freedom)."""
+        return self._row_bits
+
+    @property
+    def num_col(self) -> np.ndarray:
+        return self._num_col
+
+    @property
+    def h(self) -> int:
+        return self._h
+
+    @property
+    def sym_len(self) -> int:
+        return self._sym_len
+
+    @property
+    def num_slices(self) -> int:
+        return self._edges.shape[0] - 1
+
+    @property
+    def slice_edges(self) -> np.ndarray:
+        return self._edges
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._row_lengths.sum())
+
+    def val_block(self, i: int) -> np.ndarray:
+        lo, hi = int(self._val_ptr[i]), int(self._val_ptr[i + 1])
+        h_i = int(self._edges[i + 1] - self._edges[i])
+        return self._vals[lo:hi].reshape(h_i, int(self._num_col[i]))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, h: int = 256, sym_len: int = 32, **kwargs
+    ) -> "RowwiseBROELL":
+        sl = SlicedELLPACKMatrix.from_coo(coo, h=h)
+        m = coo.shape[0]
+        lengths = sl.row_lengths
+        streams: List[np.ndarray] = []
+        row_ptr = np.zeros(m + 1, dtype=np.int64)
+        row_bits = np.zeros(m, dtype=np.int64)
+        val_blocks = []
+        for r0, r1, col_block, val_block in sl.iter_slices():
+            l_i = col_block.shape[1]
+            lens = lengths[r0:r1]
+            valid = np.arange(l_i)[np.newaxis, :] < lens[:, np.newaxis]
+            deltas = delta_encode_columns(col_block, valid)
+            widths = (
+                np.where(valid, bit_width_array(deltas), 1).max(axis=1)
+                if l_i
+                else np.ones(r1 - r0, dtype=np.int64)
+            )
+            for local, row in enumerate(range(r0, r1)):
+                b = int(max(widths[local], 1))
+                row_bits[row] = b
+                packed = pack_slice(
+                    deltas[local : local + 1],
+                    np.full(l_i, b, dtype=np.int64),
+                    sym_len=sym_len,
+                ) if l_i else np.zeros(0, dtype=symbol_dtype(sym_len))
+                streams.append(packed)
+                row_ptr[row + 1] = row_ptr[row] + packed.shape[0]
+            val_blocks.append(val_block.reshape(-1))
+        stream = (
+            np.concatenate(streams) if streams
+            else np.zeros(0, dtype=symbol_dtype(sym_len))
+        )
+        vals = (
+            np.concatenate(val_blocks) if val_blocks
+            else np.zeros(0, dtype=VALUE_DTYPE)
+        )
+        return cls(stream, row_ptr, row_bits, vals, lengths, sl.num_col,
+                   h, sym_len, coo.shape)
+
+    def decode_row_deltas(self, row: int, l_i: int) -> np.ndarray:
+        lo, hi = int(self._row_ptr[row]), int(self._row_ptr[row + 1])
+        if l_i == 0:
+            return np.zeros(0, dtype=np.int64)
+        widths = np.full(l_i, int(self._row_bits[row]), dtype=np.int64)
+        return unpack_slice(self._stream[lo:hi], widths, 1, self._sym_len)[0]
+
+    def to_coo(self) -> COOMatrix:
+        rows_out, cols_out, vals_out = [], [], []
+        for i in range(self.num_slices):
+            r0, r1 = int(self._edges[i]), int(self._edges[i + 1])
+            l_i = int(self._num_col[i])
+            vb = self.val_block(i)
+            for local, row in enumerate(range(r0, r1)):
+                deltas = self.decode_row_deltas(row, l_i)
+                cols, valid = delta_decode_columns(deltas[np.newaxis, :])
+                k = valid[0]
+                rows_out.append(np.full(int(k.sum()), row, dtype=np.int64))
+                cols_out.append(cols[0][k])
+                vals_out.append(vb[local][k])
+        if rows_out:
+            return COOMatrix(
+                np.concatenate(rows_out), np.concatenate(cols_out),
+                np.concatenate(vals_out), self._shape,
+            )
+        return COOMatrix(np.zeros(0, np.int64), np.zeros(0, np.int64),
+                         np.zeros(0), self._shape)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        coo = self.to_coo()
+        return coo.spmv(x)
+
+    def device_bytes(self) -> Dict[str, int]:
+        # Per-row width table (1 B each) + per-row pointers (int32).
+        return {
+            "index": int(self._stream.nbytes),
+            "values": int(self._vals.nbytes),
+            "aux": int(self._shape[0] * (1 + 4) + 4 * self._num_col.shape[0]),
+        }
+
+    # ------------------------------------------------------------------
+    def divergence_profile(self, warp_size: int = 32) -> Dict[str, float]:
+        """Quantify the warp behaviour the paper's design avoids.
+
+        Returns per-iteration statistics over all (warp, iteration) pairs:
+
+        * ``divergent_fraction`` — fraction where the warp's lanes disagree
+          on the load-new-symbol branch (both paths execute, serialized);
+        * ``mean_distinct_offsets`` — distinct stream words the warp's
+          lanes need per load iteration (1.0 would be coalesced; the
+          BRO-ELL multiplexed layout achieves warp_size lanes per word
+          group, this layout approaches one word per lane).
+        """
+        divergent = 0
+        total = 0
+        distinct_sum = 0
+        load_iters = 0
+        for i in range(self.num_slices):
+            r0, r1 = int(self._edges[i]), int(self._edges[i + 1])
+            l_i = int(self._num_col[i])
+            if l_i == 0:
+                continue
+            for w0 in range(r0, r1, warp_size):
+                w1 = min(w0 + warp_size, r1)
+                bits = self._row_bits[w0:w1]
+                # Lane state: bit cursor within the row stream.
+                consumed = np.zeros(w1 - w0, dtype=np.int64)
+                for c in range(l_i):
+                    before = consumed // self._sym_len
+                    consumed = consumed + bits
+                    after = (consumed - 1) // self._sym_len
+                    # A lane loads on its first iteration and whenever its
+                    # bit cursor crosses a symbol boundary.
+                    needs = (c == 0) | (after != before)
+                    total += 1
+                    if 0 < int(needs.sum()) < needs.shape[0]:
+                        divergent += 1
+                    if needs.any():
+                        load_iters += 1
+                        words = self._row_ptr[np.arange(w0, w1)[needs]] + after[needs]
+                        distinct_sum += int(np.unique(words).shape[0])
+        return {
+            "divergent_fraction": divergent / total if total else 0.0,
+            "mean_distinct_offsets": distinct_sum / load_iters if load_iters else 0.0,
+        }

@@ -1,0 +1,49 @@
+"""Bit-allocation computation for slices and intervals (paper Section 3.1).
+
+For BRO-ELL every column ``j`` of a slice gets its own width
+``b_j = max_i Gamma(delta_{i,j})`` so all threads of the slice consume the
+same bit count per iteration (identical control flow — no warp divergence).
+For BRO-COO a single width per interval packs every delta in the interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompressionError
+from ..utils.bits import bit_width_array
+from ..utils.validation import check_2d
+
+__all__ = ["column_bit_alloc", "interval_bit_alloc"]
+
+
+def column_bit_alloc(deltas: np.ndarray, max_bits: int = 32) -> np.ndarray:
+    """Per-column widths of a slice: ``b_j = max_i Gamma(delta_{i,j})``.
+
+    Returns an ``(L,)`` int64 array with entries in ``[1, max_bits]``.
+    """
+    deltas = check_2d(deltas, "deltas")
+    if deltas.shape[0] == 0:
+        raise CompressionError("a slice must contain at least one row")
+    if deltas.shape[1] == 0:
+        return np.zeros(0, dtype=np.int64)
+    widths = bit_width_array(deltas).max(axis=0)
+    if int(widths.max()) > max_bits:
+        raise CompressionError(
+            f"a delta requires {int(widths.max())} bits, exceeding the "
+            f"symbol length {max_bits}"
+        )
+    return widths
+
+
+def interval_bit_alloc(deltas: np.ndarray, max_bits: int = 32) -> int:
+    """Single width of a BRO-COO interval: ``b = max Gamma(delta)``."""
+    deltas = check_2d(deltas, "deltas")
+    if deltas.size == 0:
+        raise CompressionError("an interval must contain at least one entry")
+    width = int(bit_width_array(deltas).max())
+    if width > max_bits:
+        raise CompressionError(
+            f"a delta requires {width} bits, exceeding the symbol length {max_bits}"
+        )
+    return width

@@ -1,0 +1,180 @@
+"""Value-data compression — the paper's stated future work (Section 6).
+
+"In future, other sources of performance improvement such as ... value
+data compression will be investigated."
+
+Many matrices carry few distinct values (pattern matrices, FEM stiffness
+blocks assembled from identical elements, lattice-QCD couplings). This
+module implements the GPU-compatible scheme that composes with BRO-ELL:
+
+* per slice, build a dictionary of the distinct values;
+* if the dictionary is small enough (``<= 2**max_bits`` entries), replace
+  the ``(h_i, l_i)`` float64 block with bit-packed dictionary codes using
+  the same multiplexed layout as the index stream — the decoder is the
+  identical divergence-free load-decode loop plus one dictionary gather
+  (served from shared/constant memory on a real GPU);
+* otherwise the slice keeps raw values (a per-slice decision, so one
+  incompressible slice cannot poison the whole matrix).
+
+:class:`BROELLVCMatrix` extends BRO-ELL with this value channel and the
+matching kernel lives in :mod:`repro.kernels.spmv_bro_ell_vc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bitstream.multiplex import MultiplexedStream, concat_slices
+from ..bitstream.packing import pack_slice, unpack_slice
+from ..errors import ValidationError
+from ..formats.base import register_format
+from ..formats.coo import COOMatrix
+from ..formats.sliced_ellpack import SlicedELLPACKMatrix
+from ..types import VALUE_DTYPE
+from ..utils.bits import bit_width
+from .bro_ell import BROELLMatrix
+
+__all__ = ["compress_value_block", "decompress_value_block", "BROELLVCMatrix"]
+
+
+@dataclass(frozen=True)
+class CompressedValueSlice:
+    """One slice's value channel: either a dictionary or raw values."""
+
+    dictionary: np.ndarray | None  #: distinct values, or None if raw
+    codes: np.ndarray | None  #: packed code stream (multiplexed), or None
+    code_bits: int  #: bits per code (0 when raw)
+    raw: np.ndarray | None  #: raw (h_i, l_i) values when not compressed
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes of this slice's value storage."""
+        if self.raw is not None:
+            return int(self.raw.nbytes)
+        assert self.dictionary is not None and self.codes is not None
+        return int(self.dictionary.nbytes + self.codes.nbytes)
+
+
+def compress_value_block(
+    vals: np.ndarray, max_bits: int = 8, sym_len: int = 32
+) -> CompressedValueSlice:
+    """Compress one ``(h_i, l_i)`` value block with a dictionary, if it pays.
+
+    Falls back to raw storage when the dictionary would need more than
+    ``max_bits``-bit codes or would not actually shrink the slice.
+    """
+    vals = np.asarray(vals, dtype=VALUE_DTYPE)
+    if vals.ndim != 2:
+        raise ValidationError("value block must be 2-D")
+    if vals.size == 0:
+        return CompressedValueSlice(None, None, 0, vals)
+    dictionary, codes = np.unique(vals, return_inverse=True)
+    n_distinct = dictionary.shape[0]
+    if n_distinct > (1 << max_bits):
+        return CompressedValueSlice(None, None, 0, vals)
+    bits = bit_width(max(n_distinct - 1, 0))
+    h, L = vals.shape
+    packed = pack_slice(
+        codes.reshape(h, L), np.full(L, bits, dtype=np.int64), sym_len=sym_len
+    )
+    compressed_bytes = dictionary.nbytes + packed.nbytes
+    if compressed_bytes >= vals.nbytes:
+        return CompressedValueSlice(None, None, 0, vals)
+    return CompressedValueSlice(dictionary, packed, bits, None)
+
+
+def decompress_value_block(
+    slice_: CompressedValueSlice, h: int, L: int, sym_len: int = 32
+) -> np.ndarray:
+    """Recover the ``(h, L)`` float64 value block."""
+    if slice_.raw is not None:
+        return slice_.raw
+    assert slice_.dictionary is not None and slice_.codes is not None
+    codes = unpack_slice(
+        slice_.codes, np.full(L, slice_.code_bits, dtype=np.int64), h, sym_len
+    )
+    if codes.size and int(codes.max()) >= slice_.dictionary.shape[0]:
+        raise ValidationError("value code out of dictionary range")
+    return slice_.dictionary[codes]
+
+
+@register_format
+class BROELLVCMatrix(BROELLMatrix):
+    """BRO-ELL with the value channel dictionary-compressed per slice."""
+
+    format_name = "bro_ell_vc"
+
+    def __init__(self, *args, value_slices: Sequence[CompressedValueSlice] = (),
+                 max_bits: int = 8, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if len(value_slices) != self.num_slices:
+            raise ValidationError(
+                f"need {self.num_slices} value slices, got {len(value_slices)}"
+            )
+        self._value_slices = tuple(value_slices)
+        self._max_bits = int(max_bits)
+
+    @property
+    def value_slices(self) -> Tuple[CompressedValueSlice, ...]:
+        """Per-slice compressed value channels."""
+        return self._value_slices
+
+    @property
+    def compressed_slices(self) -> int:
+        """How many slices actually use a dictionary."""
+        return sum(1 for s in self._value_slices if s.raw is None)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sliced(
+        cls, sl: SlicedELLPACKMatrix, sym_len: int = 32, max_bits: int = 8
+    ) -> "BROELLVCMatrix":
+        base = BROELLMatrix.from_sliced(sl, sym_len=sym_len)
+        value_slices = [
+            compress_value_block(base.val_block(i), max_bits=max_bits,
+                                 sym_len=sym_len)
+            for i in range(base.num_slices)
+        ]
+        return cls(
+            base.stream,
+            base.bit_allocs,
+            base._vals,
+            base.row_lengths,
+            base.h,
+            base.shape,
+            value_slices=value_slices,
+            max_bits=max_bits,
+        )
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, h: int = 256, sym_len: int = 32,
+        max_bits: int = 8, **kwargs,
+    ) -> "BROELLVCMatrix":
+        return cls.from_sliced(
+            SlicedELLPACKMatrix.from_coo(coo, h=h), sym_len=sym_len,
+            max_bits=max_bits,
+        )
+
+    def decoded_val_block(self, i: int) -> np.ndarray:
+        """Slice ``i``'s value block, decoded from its compressed channel."""
+        h_i = int(self.slice_edges[i + 1] - self.slice_edges[i])
+        L = int(self.num_col[i])
+        return decompress_value_block(
+            self._value_slices[i], h_i, L, self.sym_len
+        )
+
+    def device_bytes(self) -> Dict[str, int]:
+        base = super().device_bytes()
+        base["values"] = int(sum(s.nbytes for s in self._value_slices))
+        return base
+
+    def value_space_savings(self) -> float:
+        """``1 - compressed / raw`` for the value channel alone."""
+        raw = self._vals.nbytes
+        if raw == 0:
+            return 0.0
+        return 1.0 - sum(s.nbytes for s in self._value_slices) / raw

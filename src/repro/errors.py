@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish the failure class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "FormatError",
+    "CompressionError",
+    "DecompressionError",
+    "DeviceError",
+    "KernelError",
+    "ReorderingError",
+    "ConvergenceError",
+    "MatrixMarketError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, range, ...)."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix storage format is malformed or inconsistent."""
+
+
+class CompressionError(ReproError):
+    """Host-side (offline) compression of index data failed."""
+
+
+class DecompressionError(ReproError):
+    """Device-side (simulated) decompression produced inconsistent data."""
+
+
+class DeviceError(ReproError):
+    """A simulated GPU device was misconfigured or is unknown."""
+
+
+class KernelError(ReproError):
+    """A simulated kernel launch was invalid (bad geometry, bad operands)."""
+
+
+class ReorderingError(ReproError):
+    """A matrix reordering routine failed or produced an invalid permutation."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class MatrixMarketError(ReproError):
+    """A MatrixMarket file could not be parsed or written."""

@@ -1,0 +1,39 @@
+"""Classical sparse-matrix storage formats (the paper's baselines).
+
+Every format implements the :class:`~repro.formats.base.SparseFormat`
+interface: conversion to/from :class:`~repro.formats.coo.COOMatrix`, a
+reference (host-side, vectorized) ``spmv``, and device-byte accounting used
+by the compression statistics and the GPU timing model.
+
+The *simulated-GPU* SpMV kernels — the ones that emit memory-transaction
+counters — live in :mod:`repro.kernels`; the ``spmv`` methods here are the
+plain mathematical reference used for correctness checks.
+"""
+
+from .base import SparseFormat, available_formats, get_format
+from .bellpack import BELLPACKMatrix
+from .conversion import convert, from_dense, from_scipy, to_scipy
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .ellpack import ELLPACKMatrix
+from .ellpack_r import ELLPACKRMatrix
+from .hyb import HYBMatrix, hyb_split_column
+from .sliced_ellpack import SlicedELLPACKMatrix
+
+__all__ = [
+    "SparseFormat",
+    "available_formats",
+    "get_format",
+    "convert",
+    "from_dense",
+    "from_scipy",
+    "to_scipy",
+    "BELLPACKMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "ELLPACKMatrix",
+    "ELLPACKRMatrix",
+    "SlicedELLPACKMatrix",
+    "HYBMatrix",
+    "hyb_split_column",
+]

@@ -1,0 +1,123 @@
+"""Abstract base class and registry for sparse storage formats."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, Tuple, Type
+
+import numpy as np
+
+from ..errors import FormatError, ValidationError
+from ..types import VALUE_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .coo import COOMatrix
+
+__all__ = ["SparseFormat", "register_format", "get_format", "available_formats"]
+
+_REGISTRY: Dict[str, Type["SparseFormat"]] = {}
+
+
+def register_format(cls: Type["SparseFormat"]) -> Type["SparseFormat"]:
+    """Class decorator adding a format to the global registry by its name."""
+    name = getattr(cls, "format_name", None)
+    if not name:
+        raise FormatError(f"{cls.__name__} does not define format_name")
+    if name in _REGISTRY:
+        raise FormatError(f"format {name!r} registered twice")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_format(name: str) -> Type["SparseFormat"]:
+    """Look up a registered format class by name (e.g. ``"ellpack"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise FormatError(
+            f"unknown format {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def available_formats() -> Tuple[str, ...]:
+    """Names of all registered formats, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+class SparseFormat(ABC):
+    """Common interface of every sparse storage scheme in the library.
+
+    Subclasses are immutable containers of device arrays. They expose:
+
+    * ``shape`` / ``nnz`` — logical matrix metadata;
+    * ``to_coo()`` / ``from_coo()`` — conversion through the canonical
+      coordinate representation;
+    * ``spmv(x)`` — reference host SpMV (vectorized NumPy, no simulation);
+    * ``device_bytes()`` — per-component byte accounting, the input to the
+      compression statistics (Tables 3–5) and the GPU timing model.
+    """
+
+    #: registry key; subclasses must override.
+    format_name: str = ""
+
+    @property
+    @abstractmethod
+    def shape(self) -> Tuple[int, int]:
+        """Logical ``(rows, cols)`` of the matrix."""
+
+    @property
+    @abstractmethod
+    def nnz(self) -> int:
+        """Number of stored non-zero entries (excluding padding)."""
+
+    @abstractmethod
+    def to_coo(self) -> "COOMatrix":
+        """Convert to the canonical coordinate representation."""
+
+    @classmethod
+    @abstractmethod
+    def from_coo(cls, coo: "COOMatrix", **kwargs) -> "SparseFormat":
+        """Build this format from a :class:`COOMatrix`."""
+
+    @abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference host computation of ``y = A @ x``."""
+
+    @abstractmethod
+    def device_bytes(self) -> Dict[str, int]:
+        """Bytes each component occupies on the (simulated) device.
+
+        Returns a dict with at least the keys ``"index"`` and ``"values"``;
+        formats with auxiliary arrays (row lengths, slice pointers, bit
+        allocations, ...) add an ``"aux"`` key.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared conveniences
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Total device bytes across all components."""
+        return int(sum(self.device_bytes().values()))
+
+    @property
+    def index_bytes(self) -> int:
+        """Device bytes of index data (the target of BRO compression)."""
+        return int(self.device_bytes()["index"])
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the matrix densely (testing/debugging only)."""
+        return self.to_coo().to_dense()
+
+    def check_x(self, x: np.ndarray) -> np.ndarray:
+        """Validate the input vector of an SpMV and return it as float64."""
+        x = np.asarray(x, dtype=VALUE_DTYPE)
+        if x.ndim != 1 or x.shape[0] != self.shape[1]:
+            raise ValidationError(
+                f"x must be a vector of length {self.shape[1]}, got shape {x.shape}"
+            )
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, n = self.shape
+        return f"<{type(self).__name__} {m}x{n}, nnz={self.nnz}>"

@@ -1,0 +1,205 @@
+"""Blocked ELLPACK (BELLPACK, Choi et al. [6] in the paper's related work).
+
+Stores dense ``r x c`` blocks ELLPACK-style: one block-column index per
+block instead of one column index per entry — an *implicit* index
+compression by a factor ``r*c`` that the paper's Section 5 contrasts with
+BRO's explicit bit compression. The price is fill-in: every stored block
+is dense, so entries that fall inside a touched block but are zero get
+stored (and multiplied) anyway.
+
+The format is the natural baseline for the question "does BRO beat simply
+blocking?" on FEM matrices whose entries already come in small dense
+blocks (``cant``, ``shipsec1``...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.bits import ceil_div
+from ..utils.validation import check_positive
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+
+__all__ = ["BELLPACKMatrix"]
+
+
+@register_format
+class BELLPACKMatrix(SparseFormat):
+    """Blocked-ELLPACK storage with ``r x c`` dense blocks."""
+
+    format_name = "bellpack"
+
+    def __init__(
+        self,
+        block_col_idx: np.ndarray,
+        block_vals: np.ndarray,
+        block_row_lengths: np.ndarray,
+        block_shape: Tuple[int, int],
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        r, c = int(block_shape[0]), int(block_shape[1])
+        check_positive(r, "r")
+        check_positive(c, "c")
+        mb = ceil_div(m, r)
+        block_col_idx = np.asarray(block_col_idx, dtype=INDEX_DTYPE)
+        block_vals = np.asarray(block_vals, dtype=VALUE_DTYPE)
+        block_row_lengths = np.asarray(block_row_lengths, dtype=np.int64)
+        if block_col_idx.ndim != 2 or block_col_idx.shape[0] != mb:
+            raise ValidationError(
+                f"block_col_idx must be ({mb}, K), got {block_col_idx.shape}"
+            )
+        K = block_col_idx.shape[1]
+        if block_vals.shape != (mb, K, r, c):
+            raise ValidationError(
+                f"block_vals must be ({mb}, {K}, {r}, {c}), got {block_vals.shape}"
+            )
+        if block_row_lengths.shape != (mb,):
+            raise ValidationError("block_row_lengths must have one entry per block row")
+        if block_row_lengths.size and (
+            block_row_lengths.min() < 0 or block_row_lengths.max() > K
+        ):
+            raise ValidationError(f"block row lengths must be in [0, {K}]")
+        nb = ceil_div(n, c)
+        if block_col_idx.size and (
+            block_col_idx.min() < 0 or block_col_idx.max() >= nb
+        ):
+            raise ValidationError("block column index out of range")
+
+        self._bcol = block_col_idx
+        self._bvals = block_vals
+        self._blens = block_row_lengths
+        self._r, self._c = r, c
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def block_shape(self) -> Tuple[int, int]:
+        """Dense block dimensions ``(r, c)``."""
+        return (self._r, self._c)
+
+    @property
+    def block_col_idx(self) -> np.ndarray:
+        """``(mb, K)`` block-column indices (padding stored as 0)."""
+        return self._bcol
+
+    @property
+    def block_vals(self) -> np.ndarray:
+        """``(mb, K, r, c)`` dense block values."""
+        return self._bvals
+
+    @property
+    def block_row_lengths(self) -> np.ndarray:
+        """Stored blocks per block-row."""
+        return self._blens
+
+    @property
+    def K(self) -> int:
+        """Padded block-row width."""
+        return int(self._bcol.shape[1])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        """Exact non-zeros (fill-in zeros are storage, not entries)."""
+        mask = self._valid_block_mask()
+        return int(np.count_nonzero(self._bvals[mask]))
+
+    @property
+    def stored_entries(self) -> int:
+        """Entries physically stored, including block fill-in."""
+        return int(self._blens.sum()) * self._r * self._c
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored entries / real non-zeros (>= 1; the blocking overhead)."""
+        nnz = self.nnz
+        return self.stored_entries / nnz if nnz else 0.0
+
+    def _valid_block_mask(self) -> np.ndarray:
+        return np.arange(self.K)[np.newaxis, :] < self._blens[:, np.newaxis]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, r: int = 3, c: int = 3, **kwargs
+    ) -> "BELLPACKMatrix":
+        r = check_positive(r, "r")
+        c = check_positive(c, "c")
+        m, n = coo.shape
+        mb = ceil_div(m, r)
+        brow = coo.row_idx.astype(np.int64) // r
+        bcol = coo.col_idx.astype(np.int64) // c
+        # Distinct blocks per block-row, in sorted order.
+        keys = brow * ceil_div(n, c) + bcol
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        first = np.ones(keys_sorted.shape[0], dtype=bool)
+        first[1:] = keys_sorted[1:] != keys_sorted[:-1]
+        block_ids = np.cumsum(first) - 1  # dense block numbering, sorted
+        n_blocks = int(block_ids[-1]) + 1 if keys.size else 0
+
+        ub_row = (keys_sorted[first] // ceil_div(n, c)).astype(np.int64)
+        ub_col = (keys_sorted[first] % ceil_div(n, c)).astype(np.int64)
+        lengths = np.bincount(ub_row, minlength=mb).astype(np.int64)
+        K = int(lengths.max()) if lengths.size else 0
+
+        block_col_idx = np.zeros((mb, K), dtype=INDEX_DTYPE)
+        block_vals = np.zeros((mb, K, r, c), dtype=VALUE_DTYPE)
+        if n_blocks:
+            starts = np.zeros(mb + 1, dtype=np.int64)
+            np.cumsum(lengths, out=starts[1:])
+            slot_of_block = np.arange(n_blocks) - starts[ub_row]
+            block_col_idx[ub_row, slot_of_block] = ub_col
+            # Scatter entries into their block slots.
+            entry_block = block_ids  # per sorted entry
+            entry_slot = slot_of_block[entry_block]
+            entry_brow = ub_row[entry_block]
+            lr = coo.row_idx[order].astype(np.int64) % r
+            lc = coo.col_idx[order].astype(np.int64) % c
+            block_vals[entry_brow, entry_slot, lr, lc] = coo.vals[order]
+        return cls(block_col_idx, block_vals, lengths, (r, c), coo.shape)
+
+    def to_coo(self) -> COOMatrix:
+        mask = self._valid_block_mask()
+        br, slot = np.nonzero(mask)
+        # Expand each block to entry coordinates; drop stored zeros.
+        r, c = self._r, self._c
+        vals = self._bvals[br, slot]  # (nb, r, c)
+        nb = br.shape[0]
+        rows = (br[:, None, None] * r + np.arange(r)[None, :, None])
+        cols = (
+            self._bcol[br, slot].astype(np.int64)[:, None, None] * c
+            + np.arange(c)[None, None, :]
+        )
+        rows = np.broadcast_to(rows, (nb, r, c)).reshape(-1)
+        cols = np.broadcast_to(cols, (nb, r, c)).reshape(-1)
+        flat = vals.reshape(-1)
+        keep = (flat != 0) & (rows < self._shape[0]) & (cols < self._shape[1])
+        return COOMatrix(rows[keep], cols[keep], flat[keep], self._shape)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        m, n = self._shape
+        r, c = self._r, self._c
+        # Pad x to whole blocks, gather (mb, K, c) slices, contract.
+        x_pad = np.zeros(ceil_div(n, c) * c, dtype=VALUE_DTYPE)
+        x_pad[:n] = x
+        xb = x_pad.reshape(-1, c)[self._bcol]  # (mb, K, c)
+        y_blocks = np.einsum("bkrc,bkc->br", self._bvals, xb)  # (mb, r)
+        return y_blocks.reshape(-1)[:m]
+
+    def device_bytes(self) -> Dict[str, int]:
+        return {
+            "index": int(self._bcol.nbytes),
+            "values": int(self._bvals.nbytes),
+            "aux": 4 * int(self._blens.shape[0]),
+        }

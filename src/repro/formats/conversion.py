@@ -1,0 +1,54 @@
+"""Conversions between library formats, SciPy matrices and dense arrays."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import FormatError
+from .base import SparseFormat, get_format
+from .coo import COOMatrix
+
+__all__ = ["convert", "from_scipy", "to_scipy", "from_dense"]
+
+
+def convert(matrix: SparseFormat, target: str, **kwargs: Any) -> SparseFormat:
+    """Convert ``matrix`` to the registered format named ``target``.
+
+    Extra keyword arguments are forwarded to the target's ``from_coo``
+    (e.g. ``h=256`` for sliced formats, ``k=...`` for an explicit HYB split).
+    """
+    cls = get_format(target)
+    if isinstance(matrix, cls) and not kwargs:
+        return matrix
+    return cls.from_coo(matrix.to_coo(), **kwargs)
+
+
+def from_dense(dense: np.ndarray, target: str = "coo", **kwargs: Any) -> SparseFormat:
+    """Build a sparse matrix in format ``target`` from a dense array."""
+    coo = COOMatrix.from_dense(dense)
+    return convert(coo, target, **kwargs)
+
+
+def from_scipy(matrix: Any, target: str = "coo", **kwargs: Any) -> SparseFormat:
+    """Build from any ``scipy.sparse`` matrix (optional dependency)."""
+    if not hasattr(matrix, "tocoo"):
+        raise FormatError(
+            f"expected a scipy.sparse matrix with .tocoo(), got {type(matrix)!r}"
+        )
+    sp = matrix.tocoo()
+    coo = COOMatrix(sp.row, sp.col, sp.data, sp.shape)
+    return convert(coo, target, **kwargs)
+
+
+def to_scipy(matrix: SparseFormat):
+    """Convert to a ``scipy.sparse.coo_matrix`` (requires SciPy)."""
+    try:
+        from scipy import sparse
+    except ImportError as exc:  # pragma: no cover - scipy is a test dep
+        raise FormatError("SciPy is required for to_scipy()") from exc
+    coo = matrix.to_coo()
+    return sparse.coo_matrix(
+        (coo.vals, (coo.row_idx, coo.col_idx)), shape=coo.shape
+    )

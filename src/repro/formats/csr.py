@@ -1,0 +1,122 @@
+"""Compressed Sparse Row (CSR) format.
+
+Included as a baseline substrate (Willcock & Lumsdaine and Kourtis et al.
+compress CSR on the CPU; Baskaran & Bordawekar's GPU kernels use it) and as
+the fastest host-side representation for the iterative solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.validation import check_1d
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+@register_format
+class CSRMatrix(SparseFormat):
+    """Compressed sparse row matrix with ``int32`` indices."""
+
+    format_name = "csr"
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        vals: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        indptr = check_1d(indptr, "indptr").astype(np.int64, copy=False)
+        indices = check_1d(indices, "indices").astype(np.int64, copy=False)
+        vals = check_1d(vals, "vals").astype(VALUE_DTYPE, copy=True)
+        m, n = int(shape[0]), int(shape[1])
+        if m <= 0 or n <= 0:
+            raise ValidationError(f"shape must be positive, got {shape}")
+        if indptr.shape[0] != m + 1:
+            raise ValidationError(f"indptr must have length m+1={m + 1}")
+        if int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]:
+            raise ValidationError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        if indices.shape != vals.shape:
+            raise ValidationError("indices and vals must have equal length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValidationError("column index out of range")
+
+        self._indptr = indptr
+        self._indices = indices.astype(INDEX_DTYPE)
+        self._vals = vals
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        """Row pointer array (``int64``, length ``m + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Column index of every entry (``int32``)."""
+        return self._indices
+
+    @property
+    def vals(self) -> np.ndarray:
+        """Value of every entry (``float64``)."""
+        return self._vals
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._indices.shape[0])
+
+    def row_lengths(self) -> np.ndarray:
+        """Entries per row (``int64``)."""
+        return np.diff(self._indptr)
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        row = np.repeat(np.arange(self._shape[0], dtype=np.int64), self.row_lengths())
+        return COOMatrix(row, self._indices, self._vals, self._shape)
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, **kwargs) -> "CSRMatrix":
+        m = coo.shape[0]
+        lengths = coo.row_lengths()
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        # COOMatrix keeps entries sorted by (row, col), so indices/vals are
+        # already in CSR order.
+        return cls(indptr, coo.col_idx, coo.vals, coo.shape)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        products = self._vals * x[self._indices]
+        # Segment sum via reduceat; guard empty rows and the empty matrix.
+        if products.size == 0:
+            return np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        starts = self._indptr[:-1]
+        nonempty = np.flatnonzero(np.diff(self._indptr) > 0)
+        if nonempty.size:
+            sums = np.add.reduceat(products, starts[nonempty])
+            y[nonempty] = sums
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        # indptr is index metadata too; count it with 4-byte entries as CUSP
+        # stores it (int32 row offsets).
+        return {
+            "index": int(self._indices.nbytes),
+            "values": int(self._vals.nbytes),
+            "aux": int(4 * self._indptr.shape[0]),
+        }

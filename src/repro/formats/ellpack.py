@@ -1,0 +1,158 @@
+"""ELLPACK-ITPACK (ELL) format.
+
+Stores non-zeros in dense ``(m, k)`` arrays where ``k`` is the maximum row
+length, shifting entries left and padding shorter rows (paper Section 2.1.2).
+The GPU layout is column-major (one thread per row reads down a column),
+which the simulated kernel accounts for; host-side we keep C-order arrays and
+iterate column-wise.
+
+Padding entries store column index 0 and value 0.0, so the reference SpMV can
+blindly multiply-add them; the ``valid_mask`` derived from ``row_lengths``
+marks real entries for the compression and accounting paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.validation import check_2d
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+
+__all__ = ["ELLPACKMatrix", "ellpack_arrays_from_coo"]
+
+
+def ellpack_arrays_from_coo(
+    coo: COOMatrix, k: int | None = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build left-packed ``(col_idx, vals, row_lengths)`` arrays from COO.
+
+    ``k`` defaults to the maximum row length; passing a smaller ``k``
+    truncates longer rows (used by the HYB split, which moves the overflow
+    into a COO part).
+    """
+    m, _ = coo.shape
+    lengths = coo.row_lengths()
+    k_full = int(lengths.max()) if lengths.size else 0
+    if k is None:
+        k = k_full
+    k = int(k)
+    if k < 0:
+        raise ValidationError(f"k must be non-negative, got {k}")
+
+    col_idx = np.zeros((m, k), dtype=INDEX_DTYPE)
+    vals = np.zeros((m, k), dtype=VALUE_DTYPE)
+    if coo.nnz and k:
+        # Position of each entry within its row: COO entries are sorted by
+        # (row, col), so a per-row running counter is a cumulative count.
+        row = coo.row_idx.astype(np.int64)
+        starts = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(lengths, out=starts[1:])
+        pos = np.arange(coo.nnz, dtype=np.int64) - starts[row]
+        keep = pos < k
+        col_idx[row[keep], pos[keep]] = coo.col_idx[keep]
+        vals[row[keep], pos[keep]] = coo.vals[keep]
+    stored = np.minimum(lengths, k)
+    return col_idx, vals, stored
+
+
+@register_format
+class ELLPACKMatrix(SparseFormat):
+    """Dense-array ELLPACK storage (paper Section 2.1.2)."""
+
+    format_name = "ellpack"
+
+    def __init__(
+        self,
+        col_idx: np.ndarray,
+        vals: np.ndarray,
+        row_lengths: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        col_idx = check_2d(col_idx, "col_idx").astype(INDEX_DTYPE, copy=False)
+        vals = check_2d(vals, "vals").astype(VALUE_DTYPE, copy=False)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        m, n = int(shape[0]), int(shape[1])
+        if col_idx.shape != vals.shape:
+            raise ValidationError(
+                f"col_idx shape {col_idx.shape} != vals shape {vals.shape}"
+            )
+        if col_idx.shape[0] != m:
+            raise ValidationError(f"arrays have {col_idx.shape[0]} rows, shape says {m}")
+        if row_lengths.shape != (m,):
+            raise ValidationError("row_lengths must have one entry per row")
+        k = col_idx.shape[1]
+        if row_lengths.size and (row_lengths.min() < 0 or row_lengths.max() > k):
+            raise ValidationError(f"row lengths must be in [0, k={k}]")
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise ValidationError("column index out of range")
+
+        self._col_idx = col_idx
+        self._vals = vals
+        self._row_lengths = row_lengths
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def col_idx(self) -> np.ndarray:
+        """``(m, k)`` column indices, padding stored as 0."""
+        return self._col_idx
+
+    @property
+    def vals(self) -> np.ndarray:
+        """``(m, k)`` values, padding stored as 0.0."""
+        return self._vals
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Real (non-padding) entries per row."""
+        return self._row_lengths
+
+    @property
+    def k(self) -> int:
+        """Padded row width — the maximum row length."""
+        return int(self._col_idx.shape[1])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._row_lengths.sum())
+
+    @property
+    def padded_entries(self) -> int:
+        """Number of padding slots (wasted storage and wasted flops)."""
+        return int(self._shape[0] * self.k - self.nnz)
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean ``(m, k)`` mask of real entries."""
+        return np.arange(self.k)[np.newaxis, :] < self._row_lengths[:, np.newaxis]
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        mask = self.valid_mask()
+        row, pos = np.nonzero(mask)
+        return COOMatrix(row, self._col_idx[row, pos], self._vals[row, pos], self._shape)
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, **kwargs) -> "ELLPACKMatrix":
+        col_idx, vals, lengths = ellpack_arrays_from_coo(coo)
+        return cls(col_idx, vals, lengths, coo.shape)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        # Padding has value 0.0, so the gather on index 0 is harmless —
+        # exactly what the GPU kernel does when it multiplies padded slots.
+        return np.einsum("ij,ij->i", self._vals, x[self._col_idx])
+
+    def device_bytes(self) -> Dict[str, int]:
+        return {
+            "index": int(self._col_idx.nbytes),
+            "values": int(self._vals.nbytes),
+        }

@@ -1,0 +1,52 @@
+"""ELLPACK-R format (Vázquez et al., paper Section 2.1.4).
+
+The arrays are identical to ELLPACK; the extra ``row_length`` array lets the
+kernel stop each thread after its own row's entries, so the padded slots cost
+neither loads nor flops — a warp only runs as long as its longest row. The
+storage class therefore subclasses :class:`ELLPACKMatrix` and only changes
+the byte accounting (the ``row_length`` array is a real device array here,
+not just bookkeeping) and advertises the early-exit execution semantics that
+:mod:`repro.kernels.spmv_ellpack_r` implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import register_format
+from .coo import COOMatrix
+from .ellpack import ELLPACKMatrix, ellpack_arrays_from_coo
+
+__all__ = ["ELLPACKRMatrix"]
+
+
+@register_format
+class ELLPACKRMatrix(ELLPACKMatrix):
+    """ELLPACK plus an explicit per-row length array (ELLPACK-R)."""
+
+    format_name = "ellpack_r"
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, **kwargs) -> "ELLPACKRMatrix":
+        col_idx, vals, lengths = ellpack_arrays_from_coo(coo)
+        return cls(col_idx, vals, lengths, coo.shape)
+
+    def warp_iterations(self, warp_size: int = 32) -> np.ndarray:
+        """Iterations each warp executes: the max row length in the warp.
+
+        This is the paper's observation that "the time required by each
+        thread is only limited by the longest computing thread within the
+        same warp".
+        """
+        m = self.shape[0]
+        n_warps = -(-m // warp_size)
+        padded = np.zeros(n_warps * warp_size, dtype=np.int64)
+        padded[:m] = self._row_lengths
+        return padded.reshape(n_warps, warp_size).max(axis=1)
+
+    def device_bytes(self) -> Dict[str, int]:
+        base = super().device_bytes()
+        base["aux"] = 4 * self.shape[0]  # int32 row_length array
+        return base

@@ -1,0 +1,165 @@
+"""Hybrid ELLPACK + COO format (Bell & Garland, paper Section 2.1.3).
+
+The split heuristic follows the paper's description of [5]: the dividing
+column ``k`` is the largest width such that at least a third of the rows
+still have ``k`` or more non-zeros — i.e. every ELLPACK column is at least
+one-third utilized. The first ``k`` entries of each row go to the ELLPACK
+part; the overflow goes to the COO part.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import VALUE_DTYPE
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .ellpack import ELLPACKMatrix, ellpack_arrays_from_coo
+
+__all__ = ["HYBMatrix", "hyb_split_column"]
+
+#: Minimum fraction of rows that must reach a column for it to stay in the
+#: ELLPACK part (the "one third" of the Bell–Garland heuristic).
+ELL_UTILIZATION = 1.0 / 3.0
+
+
+def hyb_split_column(row_lengths: np.ndarray, fraction: float = ELL_UTILIZATION) -> int:
+    """Return the ELLPACK width ``k`` of the Bell–Garland HYB split.
+
+    ``k`` is the largest value such that the number of rows with at least
+    ``k`` non-zeros is ``>= fraction * m``; 0 means a pure-COO matrix.
+    """
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    if lengths.ndim != 1 or lengths.size == 0:
+        raise ValidationError("row_lengths must be a non-empty 1-D array")
+    m = lengths.shape[0]
+    max_len = int(lengths.max())
+    if max_len == 0:
+        return 0
+    # rows_with_at_least[j] = #rows with length >= j, for j in 0..max_len.
+    counts = np.bincount(lengths, minlength=max_len + 1)
+    rows_with_at_least = m - np.cumsum(counts) + counts
+    threshold = fraction * m
+    qualifying = np.flatnonzero(rows_with_at_least[1:] >= threshold) + 1
+    return int(qualifying.max()) if qualifying.size else 0
+
+
+def split_coo(coo: COOMatrix, k: int) -> Tuple[COOMatrix | None, COOMatrix | None]:
+    """Split a COO matrix at column position ``k`` of each row.
+
+    Returns ``(ell_part, coo_part)`` as COO matrices; either may be ``None``
+    when empty. The first ``k`` entries of every row land in ``ell_part``.
+    """
+    if k < 0:
+        raise ValidationError(f"split column k must be non-negative, got {k}")
+    lengths = coo.row_lengths()
+    csr = CSRMatrix.from_coo(coo)
+    pos = np.arange(coo.nnz, dtype=np.int64) - np.repeat(csr.indptr[:-1], lengths)
+    in_ell = pos < k
+    row = coo.row_idx
+    parts = []
+    for mask in (in_ell, ~in_ell):
+        if np.any(mask):
+            parts.append(
+                COOMatrix(row[mask], coo.col_idx[mask], coo.vals[mask], coo.shape)
+            )
+        else:
+            parts.append(None)
+    return parts[0], parts[1]
+
+
+@register_format
+class HYBMatrix(SparseFormat):
+    """Hybrid format: an ELLPACK part plus a COO overflow part."""
+
+    format_name = "hyb"
+
+    def __init__(self, ell: ELLPACKMatrix, coo: COOMatrix, shape: Tuple[int, int]) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        if ell.shape != (m, n) or coo.shape != (m, n):
+            raise ValidationError("HYB parts must share the logical shape")
+        self._ell = ell
+        self._coo = coo
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def ell(self) -> ELLPACKMatrix:
+        """The ELLPACK part (first ``k`` entries of each row)."""
+        return self._ell
+
+    @property
+    def coo(self) -> COOMatrix:
+        """The COO overflow part."""
+        return self._coo
+
+    @property
+    def k(self) -> int:
+        """Width of the ELLPACK part."""
+        return self._ell.k
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._ell.nnz + self._coo.nnz
+
+    @property
+    def ell_fraction(self) -> float:
+        """Fraction of non-zeros stored in the ELLPACK part (Table 4)."""
+        total = self.nnz
+        return float(self._ell.nnz) / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, k: int | None = None, **kwargs) -> "HYBMatrix":
+        """Build with the Bell–Garland split (or an explicit width ``k``)."""
+        if k is None:
+            k = hyb_split_column(coo.row_lengths())
+        ell_coo, tail_coo = split_coo(coo, k)
+        m, n = coo.shape
+        if ell_coo is None:
+            ell = ELLPACKMatrix(
+                np.zeros((m, 0), np.int32),
+                np.zeros((m, 0), np.float64),
+                np.zeros(m, np.int64),
+                coo.shape,
+            )
+        else:
+            col_idx, vals, lengths = ellpack_arrays_from_coo(ell_coo, k=k)
+            ell = ELLPACKMatrix(col_idx, vals, lengths, coo.shape)
+        if tail_coo is None:
+            tail_coo = COOMatrix(
+                np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), coo.shape
+            )
+        return cls(ell, tail_coo, coo.shape)
+
+    def to_coo(self) -> COOMatrix:
+        ell_coo = self._ell.to_coo()
+        return COOMatrix(
+            np.concatenate([ell_coo.row_idx, self._coo.row_idx]),
+            np.concatenate([ell_coo.col_idx, self._coo.col_idx]),
+            np.concatenate([ell_coo.vals, self._coo.vals]),
+            self._shape,
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        y = self._ell.spmv(x) if self._ell.k else np.zeros(self._shape[0], VALUE_DTYPE)
+        if self._coo.nnz:
+            y = y + self._coo.spmv(x)
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        ell_bytes = self._ell.device_bytes()
+        coo_bytes = self._coo.device_bytes()
+        return {
+            "index": int(ell_bytes["index"] + coo_bytes["index"]),
+            "values": int(ell_bytes["values"] + coo_bytes["values"]),
+        }

@@ -1,0 +1,210 @@
+"""Sliced-ELLPACK format (Monakov et al.), also the skeleton of BRO-ELL.
+
+Rows are partitioned into slices of height ``h`` (the paper maps one slice
+to one thread block, ``h = 256``). Each slice is stored as its own dense
+ELLPACK block whose width is that slice's maximum row length — the paper's
+``num_col = [l_1, ..., l_s]`` array — so a slice of short rows wastes no
+storage on the global maximum ``k``.
+
+BRO-ELL (:mod:`repro.core.bro_ell`) reuses exactly this partitioning and
+replaces each slice's dense ``col_idx`` block with a compressed bit stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.validation import check_positive
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["SlicedELLPACKMatrix", "slice_bounds"]
+
+
+def slice_bounds(m: int, h: int) -> np.ndarray:
+    """Row boundaries of each slice: ``[0, h, 2h, ..., m]`` (int64)."""
+    m = check_positive(m, "m")
+    h = check_positive(h, "h")
+    return np.append(np.arange(0, m, h, dtype=np.int64), np.int64(m))
+
+
+@register_format
+class SlicedELLPACKMatrix(SparseFormat):
+    """Slice-partitioned ELLPACK with per-slice widths.
+
+    Slice ``i`` covers rows ``[i*h, min((i+1)*h, m))`` and stores a dense
+    ``(h_i, l_i)`` block of column indices and values, flattened row-major
+    into the shared ``col_idx`` / ``vals`` buffers at ``block_ptr[i]``.
+    """
+
+    format_name = "sliced_ellpack"
+
+    def __init__(
+        self,
+        col_idx: np.ndarray,
+        vals: np.ndarray,
+        row_lengths: np.ndarray,
+        num_col: np.ndarray,
+        h: int,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        h = check_positive(h, "h")
+        self._edges = slice_bounds(m, h)
+        s = self._edges.shape[0] - 1
+        num_col = np.asarray(num_col, dtype=np.int64)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if num_col.shape != (s,):
+            raise ValidationError(f"num_col must have {s} entries, got {num_col.shape}")
+        if row_lengths.shape != (m,):
+            raise ValidationError("row_lengths must have one entry per row")
+        heights = np.diff(self._edges)
+        block_sizes = heights * num_col
+        expected = int(block_sizes.sum())
+        col_idx = np.asarray(col_idx, dtype=INDEX_DTYPE)
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if col_idx.shape != (expected,) or vals.shape != (expected,):
+            raise ValidationError(
+                f"flat buffers must have {expected} entries, got "
+                f"{col_idx.shape} and {vals.shape}"
+            )
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise ValidationError("column index out of range")
+
+        self._block_ptr = np.zeros(s + 1, dtype=np.int64)
+        np.cumsum(block_sizes, out=self._block_ptr[1:])
+        self._col_idx = col_idx
+        self._vals = vals
+        self._row_lengths = row_lengths
+        self._num_col = num_col
+        self._h = h
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def h(self) -> int:
+        """Slice height (threads per block in the paper's mapping)."""
+        return self._h
+
+    @property
+    def num_slices(self) -> int:
+        return self._edges.shape[0] - 1
+
+    @property
+    def num_col(self) -> np.ndarray:
+        """Per-slice width — the paper's ``num_col = [l_1, ..., l_s]``."""
+        return self._num_col
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Real entries per row."""
+        return self._row_lengths
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._row_lengths.sum())
+
+    @property
+    def slice_edges(self) -> np.ndarray:
+        """Row boundaries of each slice."""
+        return self._edges
+
+    def slice_block(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return slice ``i``'s ``(h_i, l_i)`` index and value blocks (views)."""
+        if not 0 <= i < self.num_slices:
+            raise ValidationError(f"slice index {i} out of range")
+        lo, hi = int(self._block_ptr[i]), int(self._block_ptr[i + 1])
+        h_i = int(self._edges[i + 1] - self._edges[i])
+        l_i = int(self._num_col[i])
+        return (
+            self._col_idx[lo:hi].reshape(h_i, l_i),
+            self._vals[lo:hi].reshape(h_i, l_i),
+        )
+
+    def iter_slices(self) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray]]:
+        """Yield ``(row_start, row_end, col_block, val_block)`` per slice."""
+        for i in range(self.num_slices):
+            cols, vals = self.slice_block(i)
+            yield int(self._edges[i]), int(self._edges[i + 1]), cols, vals
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, h: int = 256, **kwargs) -> "SlicedELLPACKMatrix":
+        m, _ = coo.shape
+        h = check_positive(h, "h")
+        lengths = coo.row_lengths()
+        edges = slice_bounds(m, h)
+        s = edges.shape[0] - 1
+        num_col = np.array(
+            [int(lengths[edges[i] : edges[i + 1]].max(initial=0)) for i in range(s)],
+            dtype=np.int64,
+        )
+        csr = CSRMatrix.from_coo(coo)
+        heights = np.diff(edges)
+        total = int((heights * num_col).sum())
+        col_idx = np.zeros(total, dtype=INDEX_DTYPE)
+        vals = np.zeros(total, dtype=VALUE_DTYPE)
+        block_ptr = np.zeros(s + 1, dtype=np.int64)
+        np.cumsum(heights * num_col, out=block_ptr[1:])
+        # Scatter every entry into its slice block (vectorized over entries).
+        if coo.nnz:
+            row = np.repeat(np.arange(m, dtype=np.int64), lengths)
+            pos = np.arange(coo.nnz, dtype=np.int64) - np.repeat(
+                csr.indptr[:-1], lengths
+            )
+            slice_of_row = np.searchsorted(edges, row, side="right") - 1
+            local_row = row - edges[slice_of_row]
+            flat = (
+                block_ptr[slice_of_row]
+                + local_row * num_col[slice_of_row]
+                + pos
+            )
+            col_idx[flat] = csr.indices
+            vals[flat] = csr.vals
+        return cls(col_idx, vals, lengths, num_col, h, coo.shape)
+
+    def to_coo(self) -> COOMatrix:
+        rows, cols, vals = [], [], []
+        for r0, r1, col_block, val_block in self.iter_slices():
+            h_i, l_i = col_block.shape
+            lens = self._row_lengths[r0:r1]
+            mask = np.arange(l_i)[np.newaxis, :] < lens[:, np.newaxis]
+            r, p = np.nonzero(mask)
+            rows.append(r + r0)
+            cols.append(col_block[r, p])
+            vals.append(val_block[r, p])
+        if rows:
+            return COOMatrix(
+                np.concatenate(rows),
+                np.concatenate(cols),
+                np.concatenate(vals),
+                self._shape,
+            )
+        return COOMatrix(
+            np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), self._shape
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, col_block, val_block in self.iter_slices():
+            if col_block.shape[1]:
+                y[r0:r1] = np.einsum("ij,ij->i", val_block, x[col_block])
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        return {
+            "index": int(self._col_idx.nbytes),
+            "values": int(self._vals.nbytes),
+            # num_col + block_ptr, stored as int32 on device.
+            "aux": int(4 * (self._num_col.shape[0] + self._block_ptr.shape[0])),
+        }

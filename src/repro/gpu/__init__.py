@@ -1,0 +1,54 @@
+"""Simulated-GPU execution substrate.
+
+The paper measures CUDA kernels on three Nvidia GPUs (Table 1). This
+package replaces the hardware with a performance model that the simulated
+kernels in :mod:`repro.kernels` feed with instrumentation counters:
+
+* :mod:`~repro.gpu.device` — device specifications (Table 1) plus the
+  measured bandwidths and calibrated decode throughputs (Section 4.1/4.2.1);
+* :mod:`~repro.gpu.warp` / :mod:`~repro.gpu.launch` — thread geometry and
+  occupancy (latency-hiding) factors;
+* :mod:`~repro.gpu.memory` — coalesced-transaction counting at DRAM
+  transaction granularity;
+* :mod:`~repro.gpu.texcache` — the texture-cache model for ``x`` reads;
+* :mod:`~repro.gpu.counters` — the counter record kernels emit;
+* :mod:`~repro.gpu.timing` — the roofline-style timing model converting
+  counters into predicted kernel time, GFlop/s and bandwidth utilization.
+
+See DESIGN.md §2 for why this substitution preserves the paper's
+conclusions and how the decode throughput is calibrated.
+"""
+
+from .counters import KernelCounters
+from .device import (
+    DEVICES,
+    GTX680,
+    TESLA_C2070,
+    TESLA_K20,
+    DeviceSpec,
+    get_device,
+)
+from .launch import LaunchConfig, occupancy_factor
+from .memory import contiguous_transactions, gather_transactions
+from .texcache import TextureCacheModel
+from .timing import TimingBreakdown, predict
+from .trace import SliceTrace, trace_bro_ell
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "get_device",
+    "TESLA_C2070",
+    "GTX680",
+    "TESLA_K20",
+    "KernelCounters",
+    "LaunchConfig",
+    "occupancy_factor",
+    "contiguous_transactions",
+    "gather_transactions",
+    "TextureCacheModel",
+    "TimingBreakdown",
+    "predict",
+    "SliceTrace",
+    "trace_bro_ell",
+]

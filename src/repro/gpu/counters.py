@@ -1,0 +1,91 @@
+"""Instrumentation counters emitted by the simulated kernels.
+
+A :class:`KernelCounters` record is the *only* interface between the
+functional kernels and the timing model: the kernels count what a CUDA
+profiler would count (DRAM bytes by source, flops, decode instructions,
+launches) and :mod:`repro.gpu.timing` turns the record into predicted time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..errors import ValidationError
+
+__all__ = ["KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Counter record of one (or several fused) kernel launches.
+
+    All byte counters are DRAM traffic after coalescing, i.e. whole
+    transactions, not requested bytes.
+    """
+
+    #: DRAM bytes of index data (column/row indices or packed streams).
+    index_bytes: int = 0
+    #: DRAM bytes of matrix values (including padded slots actually read).
+    value_bytes: int = 0
+    #: DRAM bytes of ``x``-vector reads (texture-cache misses x line size).
+    x_bytes: int = 0
+    #: DRAM bytes written to (and read-modify-written for atomics on) ``y``.
+    y_bytes: int = 0
+    #: DRAM bytes of auxiliary arrays (row lengths, pointers, bit tables).
+    aux_bytes: int = 0
+    #: Useful flops: 2 * nnz for SpMV.
+    useful_flops: int = 0
+    #: Flops actually issued, including padded slots and reduction trees.
+    issued_flops: int = 0
+    #: Bit-manipulation instructions of the BRO decode loop.
+    decode_ops: int = 0
+    #: Kernel launches performed.
+    launches: int = 1
+    #: Threads launched (for the occupancy model).
+    threads: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValidationError(f"counter {f.name} must be non-negative")
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM traffic of the launch."""
+        return int(
+            self.index_bytes
+            + self.value_bytes
+            + self.x_bytes
+            + self.y_bytes
+            + self.aux_bytes
+        )
+
+    @property
+    def effective_arithmetic_intensity(self) -> float:
+        """The paper's EAI (Fig. 5): useful flops per DRAM byte.
+
+        The paper defines EAI as F/B with F in flops/s and B the kernel
+        memory throughput in bytes/s; the runtimes cancel, leaving
+        flops-per-byte.
+        """
+        if self.dram_bytes == 0:
+            return 0.0
+        return self.useful_flops / self.dram_bytes
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        return KernelCounters(
+            index_bytes=self.index_bytes + other.index_bytes,
+            value_bytes=self.value_bytes + other.value_bytes,
+            x_bytes=self.x_bytes + other.x_bytes,
+            y_bytes=self.y_bytes + other.y_bytes,
+            aux_bytes=self.aux_bytes + other.aux_bytes,
+            useful_flops=self.useful_flops + other.useful_flops,
+            issued_flops=self.issued_flops + other.issued_flops,
+            decode_ops=self.decode_ops + other.decode_ops,
+            launches=self.launches + other.launches,
+            # Sequential launches: the occupancy model should see the larger
+            # of the two grids, not their sum.
+            threads=max(self.threads, other.threads),
+        )

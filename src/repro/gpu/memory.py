@@ -1,0 +1,87 @@
+"""Coalesced-transaction counting for simulated global-memory accesses.
+
+The GPU services a warp's loads in fixed-size transactions (128 B on the
+devices modelled here). These helpers count the transactions — and hence
+the DRAM bytes — that access patterns generate:
+
+* :func:`contiguous_transactions` — warp reads a contiguous, aligned run
+  (the coalesced case every format here is designed for);
+* :func:`gather_transactions` — warp gathers arbitrary addresses (used for
+  uncached indirect accesses, e.g. the CSR-scalar anti-pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.bits import ceil_div
+
+__all__ = ["contiguous_transactions", "gather_transactions", "transaction_bytes"]
+
+
+def contiguous_transactions(
+    n_elems: int,
+    elem_bytes: int,
+    warp_size: int = 32,
+    transaction_bytes: int = 128,
+) -> int:
+    """Transactions for warps reading ``n_elems`` contiguous elements.
+
+    Each warp touches ``warp_size * elem_bytes`` consecutive bytes; partial
+    final warps still issue whole transactions. Alignment to transaction
+    boundaries is assumed (allocators align device arrays).
+    """
+    if n_elems < 0 or elem_bytes <= 0:
+        raise ValidationError("n_elems must be >= 0 and elem_bytes > 0")
+    if n_elems == 0:
+        return 0
+    n_warps = ceil_div(n_elems, warp_size)
+    full, rem = divmod(n_elems, warp_size)
+    per_full_warp = ceil_div(warp_size * elem_bytes, transaction_bytes)
+    total = full * per_full_warp
+    if rem:
+        total += ceil_div(rem * elem_bytes, transaction_bytes)
+    assert n_warps >= full
+    return total
+
+
+def gather_transactions(
+    indices: np.ndarray,
+    elem_bytes: int,
+    warp_size: int = 32,
+    transaction_bytes: int = 128,
+) -> int:
+    """Transactions for warps gathering ``array[indices]`` uncached.
+
+    ``indices`` is the flat per-thread access sequence: thread ``t`` of warp
+    ``w`` reads element ``indices[w * warp_size + t]``. Each warp needs one
+    transaction per distinct transaction-line among its lanes.
+    """
+    indices = np.asarray(indices).reshape(-1)
+    if indices.size == 0:
+        return 0
+    if elem_bytes <= 0 or transaction_bytes <= 0:
+        raise ValidationError("sizes must be positive")
+    per_line = max(1, transaction_bytes // elem_bytes)
+    lines = indices.astype(np.int64) // per_line
+    n = lines.shape[0]
+    n_warps = ceil_div(n, warp_size)
+    padded = np.full(n_warps * warp_size, -1, dtype=np.int64)
+    padded[:n] = lines
+    grid = np.sort(padded.reshape(n_warps, warp_size), axis=1)
+    distinct = (grid[:, 1:] != grid[:, :-1]).sum(axis=1) + 1
+    # Warps whose padding sentinel (-1) created a phantom line.
+    has_pad = grid[:, 0] == -1
+    partial = has_pad & (grid[:, -1] != -1)
+    distinct = distinct - partial.astype(np.int64)
+    # A warp of pure padding (cannot happen: n >= 1 implies last warp has
+    # at least one real lane) would still count 1; guard anyway.
+    return int(distinct.sum())
+
+
+def transaction_bytes(n_transactions: int, size: int = 128) -> int:
+    """DRAM bytes of ``n_transactions`` whole transactions."""
+    if n_transactions < 0 or size <= 0:
+        raise ValidationError("transaction count must be >= 0 and size > 0")
+    return n_transactions * size

@@ -1,0 +1,108 @@
+"""Texture-cache model for reads of the dense input vector ``x``.
+
+Every SpMV kernel in the paper reads ``x`` through the texture cache
+(Section 2 / Algorithm 1). The model here has two regimes, blended by how
+much of a thread block's ``x`` footprint fits in the per-SM texture cache:
+
+* **spatial-only** (paper Eqn. 3 granularity): each warp iteration costs one
+  texture-line fetch per *distinct* line among its lanes — no reuse across
+  iterations. This is the regime of a footprint far larger than the cache.
+* **perfect temporal reuse**: each distinct line the block ever touches is
+  fetched exactly once — the regime of a footprint that fits in cache.
+
+With ``U`` the block footprint in lines, ``S`` the spatial-only count and
+``f = min(1, cache_bytes / (U * line_bytes))`` the cached fraction, the
+model charges ``U * f + S * (1 - f)`` line fetches. The paper itself notes
+its cost model "takes into account spatial locality but not temporal
+locality" (Section 3.4); passing ``temporal=False`` reproduces that
+spatial-only behaviour and is what the BAR objective uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.bits import ceil_div
+from .device import DeviceSpec
+
+__all__ = ["TextureCacheModel", "distinct_lines_per_warp_iteration"]
+
+
+def distinct_lines_per_warp_iteration(
+    lines: np.ndarray, valid: np.ndarray, warp_size: int
+) -> int:
+    """Sum over warps and iterations of the distinct valid lines accessed.
+
+    ``lines``/``valid`` are ``(h, L)`` blocks: row = thread, column =
+    iteration. Threads are grouped into warps of ``warp_size`` consecutive
+    rows; invalid lanes issue no read.
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    valid = np.asarray(valid, dtype=bool)
+    if lines.shape != valid.shape:
+        raise ValidationError("lines and valid must have the same shape")
+    h, L = lines.shape
+    if h == 0 or L == 0:
+        return 0
+    n_warps = ceil_div(h, warp_size)
+    padded = np.full((n_warps * warp_size, L), -1, dtype=np.int64)
+    padded[:h] = np.where(valid, lines, -1)
+    grid = padded.reshape(n_warps, warp_size, L)
+    grid = np.sort(grid, axis=1)  # sort lanes within each (warp, iteration)
+    distinct = (grid[:, 1:, :] != grid[:, :-1, :]).sum(axis=1) + 1
+    # Invalid lanes sort to the front as a -1 group; drop that group. A
+    # fully-invalid (warp, iteration) then counts 1 - 1 = 0 fetches.
+    distinct -= (grid[:, 0, :] == -1).astype(np.int64)
+    return int(distinct.sum())
+
+
+class TextureCacheModel:
+    """Per-device texture-cache traffic estimator for ``x`` reads."""
+
+    def __init__(self, device: DeviceSpec, value_bytes: int = 8, temporal: bool = True):
+        self.device = device
+        self.value_bytes = int(value_bytes)
+        if self.value_bytes <= 0:
+            raise ValidationError("value_bytes must be positive")
+        self.elems_per_line = max(1, device.tex_line_bytes // self.value_bytes)
+        self.temporal = bool(temporal)
+
+    # ------------------------------------------------------------------
+    def lines_of(self, cols: np.ndarray) -> np.ndarray:
+        """Texture line index of each column index."""
+        return np.asarray(cols, dtype=np.int64) // self.elems_per_line
+
+    def block_x_fetches(self, cols: np.ndarray, valid: np.ndarray) -> int:
+        """Line fetches for one thread block's ``(h, L)`` access pattern."""
+        cols = np.asarray(cols, dtype=np.int64)
+        valid = np.asarray(valid, dtype=bool)
+        if cols.shape != valid.shape:
+            raise ValidationError("cols and valid must have the same shape")
+        if cols.size == 0 or not valid.any():
+            return 0
+        lines = self.lines_of(cols)
+        spatial = distinct_lines_per_warp_iteration(
+            lines, valid, self.device.warp_size
+        )
+        if not self.temporal:
+            return spatial
+        footprint = int(np.unique(lines[valid]).shape[0])
+        cache_lines = self.device.tex_cache_bytes_per_sm // self.device.tex_line_bytes
+        f = min(1.0, cache_lines / footprint) if footprint else 0.0
+        fetches = footprint * f + spatial * (1.0 - f)
+        return int(round(fetches))
+
+    def block_x_bytes(self, cols: np.ndarray, valid: np.ndarray) -> int:
+        """DRAM bytes for one block's ``x`` reads."""
+        return self.block_x_fetches(cols, valid) * self.device.tex_line_bytes
+
+    # ------------------------------------------------------------------
+    def warp_sequence_fetches(self, cols_2d: np.ndarray, valid: np.ndarray) -> int:
+        """Line fetches for one warp walking a ``(w, L)`` lane arrangement.
+
+        Used by the COO kernels, where a single warp owns an interval: the
+        reuse unit is the warp rather than a block, but the arithmetic is
+        identical.
+        """
+        return self.block_x_fetches(cols_2d, valid)

@@ -1,0 +1,99 @@
+"""Roofline-style timing model turning kernel counters into predictions.
+
+The model of one launch (or fused launch sequence):
+
+.. code-block:: text
+
+    t = max(t_mem, t_flop) + t_decode + t_launch
+
+    t_mem    = dram_bytes  / (measured_bw * occupancy)
+    t_flop   = issued_flops / dp_peak
+    t_decode = decode_ops  / (decode_rate * occupancy)
+    t_launch = launches * launch_overhead
+
+Rationale:
+
+* SpMV is bandwidth-bound (paper Section 3), so memory and arithmetic
+  overlap — hence the ``max``;
+* the BRO decode instructions sit on the critical path between a symbol
+  load and the multiply-add that consumes the decoded index, so their
+  *exposed* cost adds to the roofline term. The decode rate is the one
+  calibrated parameter (see :mod:`repro.gpu.device`);
+* ``occupancy`` models latency-hiding loss on grids too small for the
+  device (:func:`repro.gpu.launch.occupancy_factor`).
+
+Derived metrics match the paper's figures: GFlop/s uses *useful* flops
+(2 x nnz), bandwidth utilization compares achieved DRAM throughput with the
+pin bandwidth (Fig. 6), EAI is flops-per-byte (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .launch import occupancy_factor
+
+__all__ = ["TimingBreakdown", "predict"]
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Predicted timing of one simulated kernel execution."""
+
+    device: DeviceSpec
+    counters: KernelCounters
+    occupancy: float
+    t_mem: float
+    t_flop: float
+    t_decode: float
+    t_launch: float
+
+    @property
+    def time(self) -> float:
+        """Predicted kernel time in seconds."""
+        return max(self.t_mem, self.t_flop) + self.t_decode + self.t_launch
+
+    @property
+    def gflops(self) -> float:
+        """Useful throughput in GFlop/s (the paper's reporting metric)."""
+        return self.counters.useful_flops / self.time / 1e9
+
+    @property
+    def achieved_bw_gbps(self) -> float:
+        """Achieved DRAM throughput in GB/s."""
+        return self.counters.dram_bytes / self.time / 1e9
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of pin bandwidth sustained (Fig. 6's metric)."""
+        return self.achieved_bw_gbps / self.device.peak_bw_gbps
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates: ``"memory"`` or ``"compute"``."""
+        return "memory" if self.t_mem >= self.t_flop else "compute"
+
+
+def predict(counters: KernelCounters, device: DeviceSpec) -> TimingBreakdown:
+    """Predict execution time of a kernel run described by ``counters``."""
+    if counters.threads <= 0:
+        raise ValidationError(
+            "counters.threads must be set so the occupancy model can run"
+        )
+    occ = occupancy_factor(counters.threads, device)
+    t_mem = counters.dram_bytes / (device.measured_bw * occ)
+    t_flop = counters.issued_flops / device.dp_flops
+    t_decode = counters.decode_ops / (device.decode_rate * occ)
+    t_launch = counters.launches * device.launch_overhead_us * 1e-6
+    return TimingBreakdown(
+        device=device,
+        counters=counters,
+        occupancy=occ,
+        t_mem=t_mem,
+        t_flop=t_flop,
+        t_decode=t_decode,
+        t_launch=t_launch,
+    )

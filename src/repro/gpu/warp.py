@@ -1,0 +1,41 @@
+"""Warp geometry helpers shared by the simulated kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.bits import ceil_div
+
+__all__ = ["num_warps", "pad_to_warps", "warp_reduce_flops"]
+
+
+def num_warps(n_threads: int, warp_size: int = 32) -> int:
+    """Warps needed for ``n_threads`` threads."""
+    if n_threads < 0 or warp_size <= 0:
+        raise ValidationError("n_threads must be >= 0 and warp_size > 0")
+    return ceil_div(n_threads, warp_size) if n_threads else 0
+
+
+def pad_to_warps(values: np.ndarray, warp_size: int, fill=0) -> np.ndarray:
+    """Pad a per-thread 1-D array up to a whole number of warps."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValidationError("values must be 1-D")
+    n = values.shape[0]
+    target = num_warps(n, warp_size) * warp_size
+    if target == n:
+        return values
+    out = np.full(target, fill, dtype=values.dtype)
+    out[:n] = values
+    return out
+
+
+def warp_reduce_flops(warp_size: int = 32) -> int:
+    """Flops of one tree-structured intra-warp segmented reduction.
+
+    ``log2(warp_size)`` shuffle-add steps per lane.
+    """
+    if warp_size <= 0 or warp_size & (warp_size - 1):
+        raise ValidationError("warp_size must be a positive power of two")
+    return int(np.log2(warp_size)) * warp_size

@@ -1,0 +1,44 @@
+"""Simulated GPU SpMV kernels.
+
+Each kernel executes the product *functionally* (bit-exact decode of real
+packed streams, vectorized over the threads of a block — legal because the
+BRO design gives all threads of a slice identical control flow) and emits a
+:class:`repro.gpu.counters.KernelCounters` record of the DRAM transactions,
+flops and decode instructions a CUDA profiler would report. The timing
+model (:mod:`repro.gpu.timing`) turns those counters into predicted time.
+"""
+
+from .base import SpMVKernel, SpMVResult, available_kernels, get_kernel
+from .dispatch import run_spmv
+from .spmv_bellpack import BELLPACKKernel
+from .spmv_coo import COOKernel
+from .spmv_csr import CSRVectorKernel
+from .spmv_ellpack import ELLPACKKernel
+from .spmv_ellpack_r import ELLPACKRKernel
+from .spmv_hyb import HYBKernel
+from .spmv_sliced_ell import SlicedELLKernel
+from .spmv_bro_coo import BROCOOKernel
+from .spmv_bro_ell import BROELLKernel
+from .spmv_bro_ell_mt import MultiRowBROELLKernel
+from .spmv_bro_ell_vc import BROELLVCKernel
+from .spmv_bro_hyb import BROHYBKernel
+
+__all__ = [
+    "SpMVKernel",
+    "SpMVResult",
+    "available_kernels",
+    "get_kernel",
+    "run_spmv",
+    "BELLPACKKernel",
+    "COOKernel",
+    "CSRVectorKernel",
+    "ELLPACKKernel",
+    "ELLPACKRKernel",
+    "SlicedELLKernel",
+    "HYBKernel",
+    "BROELLKernel",
+    "BROELLVCKernel",
+    "MultiRowBROELLKernel",
+    "BROCOOKernel",
+    "BROHYBKernel",
+]

@@ -1,0 +1,90 @@
+"""Kernel interface, result record and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from ..errors import KernelError
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from ..gpu.timing import TimingBreakdown, predict
+
+__all__ = [
+    "SpMVResult",
+    "SpMVKernel",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+]
+
+_REGISTRY: Dict[str, Type["SpMVKernel"]] = {}
+
+
+def register_kernel(cls: Type["SpMVKernel"]) -> Type["SpMVKernel"]:
+    """Class decorator registering a kernel under its format name."""
+    name = getattr(cls, "format_name", None)
+    if not name:
+        raise KernelError(f"{cls.__name__} does not define format_name")
+    if name in _REGISTRY:
+        raise KernelError(f"kernel for format {name!r} registered twice")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_kernel(format_name: str) -> "SpMVKernel":
+    """Instantiate the kernel registered for a format name."""
+    try:
+        return _REGISTRY[format_name]()
+    except KeyError as exc:
+        raise KernelError(
+            f"no kernel for format {format_name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Format names that have a simulated kernel."""
+    return tuple(sorted(_REGISTRY))
+
+
+@dataclass
+class SpMVResult:
+    """Output of one simulated SpMV execution."""
+
+    y: np.ndarray
+    counters: KernelCounters
+    device: DeviceSpec
+
+    @property
+    def timing(self) -> TimingBreakdown:
+        """Predicted timing of the run (lazy; pure function of counters)."""
+        return predict(self.counters, self.device)
+
+    @property
+    def gflops(self) -> float:
+        """Predicted useful throughput in GFlop/s."""
+        return self.timing.gflops
+
+
+class SpMVKernel(ABC):
+    """A simulated GPU SpMV kernel for one storage format."""
+
+    #: format this kernel executes (matches ``SparseFormat.format_name``).
+    format_name: str = ""
+
+    @abstractmethod
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        """Execute ``y = A @ x`` on the simulated device."""
+
+    def _check(self, matrix: SparseFormat, expected_type: type) -> None:
+        if not isinstance(matrix, expected_type):
+            raise KernelError(
+                f"{type(self).__name__} needs a {expected_type.__name__}, "
+                f"got {type(matrix).__name__}"
+            )

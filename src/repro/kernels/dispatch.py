@@ -1,0 +1,40 @@
+"""One-call SpMV entry point: pick the kernel from the matrix's format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..gpu.device import DeviceSpec, get_device
+from .base import SpMVResult, get_kernel
+
+__all__ = ["run_spmv"]
+
+
+def run_spmv(
+    matrix: SparseFormat,
+    x: np.ndarray,
+    device: DeviceSpec | str = "k20",
+) -> SpMVResult:
+    """Execute ``y = A @ x`` on the simulated device with the format's kernel.
+
+    Parameters
+    ----------
+    matrix:
+        Any registered sparse format with a simulated kernel.
+    x:
+        Dense input vector of length ``matrix.shape[1]``.
+    device:
+        A :class:`~repro.gpu.device.DeviceSpec` or a registry key
+        (``"c2070"``, ``"gtx680"``, ``"k20"``).
+
+    Returns
+    -------
+    SpMVResult
+        The product vector, the instrumentation counters and (lazily) the
+        predicted timing.
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    kernel = get_kernel(matrix.format_name)
+    return kernel.run(matrix, x, device)

@@ -1,0 +1,119 @@
+"""Simulated BRO-ELL SpMV kernel — Algorithm 1 of the paper.
+
+One thread block per slice, one thread per row. Each loop iteration reads
+the next column width from the (constant-memory) ``bit_alloc`` table,
+decodes one delta per thread from the per-thread symbol buffer — loading
+the next multiplexed symbol coalescedly when the buffer runs dry — and,
+when the decoded delta is valid (non-zero), accumulates the running column
+index and performs the multiply-add.
+
+The simulation uses :class:`repro.bitstream.reader.SliceDecoder`, whose
+scalar control state (remaining-bit count, symbol counter) is shared by all
+threads of the slice exactly as the real kernel's is — the property that
+makes the scheme divergence-free and lets us vectorize across threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitstream.reader import SliceDecoder
+from ..errors import DecompressionError
+from ..formats.base import SparseFormat
+from ..core.bro_ell import BROELLMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DECODE_OPS_PER_ITER, DECODE_OPS_PER_LOAD, DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..types import VALUE_DTYPE
+from ..utils.bits import ceil_div
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["BROELLKernel"]
+
+
+@register_kernel
+class BROELLKernel(SpMVKernel):
+    """Algorithm-1 decompress-and-multiply kernel."""
+
+    format_name = "bro_ell"
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, BROELLMatrix)
+        assert isinstance(matrix, BROELLMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+        launch = LaunchConfig(matrix.h, max(1, matrix.num_slices))
+        tb = device.transaction_bytes
+        ws = device.warp_size
+        sym_bytes = matrix.sym_len // 8
+        tex = TextureCacheModel(device)
+
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        idx_tx = 0
+        val_tx = 0
+        x_bytes = 0
+        decode_ops = 0
+        iterations = 0
+        for r0, r1, bit_alloc, stream_view, val_block in matrix.iter_slices():
+            h_i, l_i = val_block.shape
+            if l_i == 0:
+                continue
+            dec = SliceDecoder(stream_view, h=h_i, sym_len=matrix.sym_len)
+            col_idx = np.zeros(h_i, dtype=np.int64)
+            acc = np.zeros(h_i, dtype=VALUE_DTYPE)
+            cols_hist = np.zeros((h_i, l_i), dtype=np.int64)
+            valid_hist = np.zeros((h_i, l_i), dtype=bool)
+            warps = ceil_div(h_i, ws)
+            for c in range(l_i):
+                b = int(bit_alloc[c])
+                decoded = dec.decode(b)  # Algorithm 1 lines 5-16
+                valid = decoded != 0  # line 17 (0 = invalid marker)
+                col_idx = col_idx + decoded  # line 18 (padding adds 0)
+                gather = x[np.where(valid, col_idx - 1, 0)]  # 1-based -> 0-based
+                acc += np.where(valid, val_block[:, c] * gather, 0.0)  # line 19
+                cols_hist[:, c] = col_idx - 1
+                valid_hist[:, c] = valid
+            y[r0:r1] = acc
+
+            # ---- traffic accounting per slice -------------------------
+            # Symbol loads: dec.symbol_loads coalesced h_i-wide loads.
+            idx_tx += dec.symbol_loads * contiguous_transactions(
+                h_i, sym_bytes, ws, tb
+            )
+            # Values: a warp touches vals[:, c] only if one of its lanes is
+            # valid at column c (the multiply-add sits inside the branch).
+            val_per_iter = ceil_div(ws * 8, tb)
+            pad_rows = ceil_div(h_i, ws) * ws - h_i
+            warp_valid = np.any(
+                np.vstack([valid_hist, np.zeros((pad_rows, l_i), dtype=bool)])
+                .reshape(warps, ws, l_i),
+                axis=1,
+            )
+            val_tx += int(warp_valid.sum()) * val_per_iter
+            x_bytes += tex.block_x_bytes(cols_hist, valid_hist)
+            decode_ops += DECODE_OPS_PER_ITER * h_i * l_i
+            decode_ops += DECODE_OPS_PER_LOAD * dec.symbol_loads * h_i
+            iterations += h_i * l_i
+            if dec.remaining_symbols:
+                raise DecompressionError("stream not fully consumed")
+
+        y_tx = contiguous_transactions(m, 8, ws, tb)
+        counters = KernelCounters(
+            index_bytes=idx_tx * tb,
+            value_bytes=val_tx * tb,
+            x_bytes=x_bytes,
+            y_bytes=y_tx * tb,
+            # bit_alloc lives in constant memory; each block streams its
+            # table once (1 byte per width) plus the int32 num_col entry.
+            aux_bytes=int(matrix.num_col.sum()) + 4 * matrix.num_slices,
+            useful_flops=2 * matrix.nnz,
+            issued_flops=2 * matrix.nnz,
+            decode_ops=decode_ops,
+            launches=1,
+            threads=launch.total_threads,
+        )
+        return SpMVResult(y=y, counters=counters, device=device)

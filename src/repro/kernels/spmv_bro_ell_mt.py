@@ -1,0 +1,52 @@
+"""Simulated multi-thread-per-row BRO-ELL kernel (paper future work).
+
+Runs the plain Algorithm-1 kernel over the row-split storage, then folds
+each group of ``t`` partial sums. On a real GPU the fold is an intra-warp
+shuffle tree when ``t`` divides the warp (the layout guarantees the
+``t`` sub-rows of a row are adjacent threads), so it costs flops but no
+extra DRAM round-trip; the model charges the y-write at logical-row
+granularity plus the fold flops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.multirow import MultiRowBROELL
+from ..formats.base import SparseFormat
+from ..gpu.device import DeviceSpec
+from ..gpu.memory import contiguous_transactions
+from .base import SpMVKernel, SpMVResult, register_kernel
+from .spmv_bro_ell import BROELLKernel
+
+__all__ = ["MultiRowBROELLKernel"]
+
+
+@register_kernel
+class MultiRowBROELLKernel(SpMVKernel):
+    """Algorithm 1 over split rows + intra-warp fold."""
+
+    format_name = "bro_ell_mt"
+
+    def __init__(self) -> None:
+        self._inner_kernel = BROELLKernel()
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, MultiRowBROELL)
+        assert isinstance(matrix, MultiRowBROELL)
+        x = matrix.check_x(x)
+        inner_res = self._inner_kernel.run(matrix.inner, x, device)
+        y = matrix.fold(inner_res.y)
+
+        counters = inner_res.counters
+        m = matrix.shape[0]
+        t = matrix.threads_per_row
+        ws = device.warp_size
+        tb = device.transaction_bytes
+        # The inner kernel charged a y-write per *sub*-row; replace it with
+        # the logical-row write and charge the shuffle-tree fold flops.
+        counters.y_bytes = contiguous_transactions(m, 8, ws, tb) * tb
+        counters.issued_flops += m * (t - 1)
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,113 @@
+"""Simulated BRO-ELL kernel with dictionary-compressed values.
+
+Same Algorithm-1 loop as :class:`~repro.kernels.spmv_bro_ell.BROELLKernel`,
+with the value channel traffic replaced by the packed code stream plus a
+one-time dictionary load per slice (the dictionary is staged in shared
+memory, so gathers from it cost no DRAM traffic), and extra decode ops for
+the value-code extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitstream.reader import SliceDecoder
+from ..core.value_compression import BROELLVCMatrix
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DECODE_OPS_PER_ITER, DECODE_OPS_PER_LOAD, DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..types import VALUE_DTYPE
+from ..utils.bits import ceil_div
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["BROELLVCKernel"]
+
+
+@register_kernel
+class BROELLVCKernel(SpMVKernel):
+    """BRO-ELL + value-compression kernel (paper future work)."""
+
+    format_name = "bro_ell_vc"
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, BROELLVCMatrix)
+        assert isinstance(matrix, BROELLVCMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+        launch = LaunchConfig(matrix.h, max(1, matrix.num_slices))
+        tb = device.transaction_bytes
+        ws = device.warp_size
+        sym_bytes = matrix.sym_len // 8
+        tex = TextureCacheModel(device)
+
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        idx_tx = val_bytes = x_bytes = decode_ops = 0
+        for i in range(matrix.num_slices):
+            r0 = int(matrix.slice_edges[i])
+            r1 = int(matrix.slice_edges[i + 1])
+            h_i = r1 - r0
+            L = int(matrix.num_col[i])
+            if L == 0:
+                continue
+            bit_alloc = matrix.bit_allocs[i]
+            dec = SliceDecoder(
+                matrix.stream.slice_view(i), h=h_i, sym_len=matrix.sym_len
+            )
+            # Values decode through the compressed channel of this slice.
+            val_block = matrix.decoded_val_block(i)
+            col_idx = np.zeros(h_i, dtype=np.int64)
+            acc = np.zeros(h_i, dtype=VALUE_DTYPE)
+            cols_hist = np.zeros((h_i, L), dtype=np.int64)
+            valid_hist = np.zeros((h_i, L), dtype=bool)
+            for c in range(L):
+                decoded = dec.decode(int(bit_alloc[c]))
+                valid = decoded != 0
+                col_idx = col_idx + decoded
+                gather = x[np.where(valid, col_idx - 1, 0)]
+                acc += np.where(valid, val_block[:, c] * gather, 0.0)
+                cols_hist[:, c] = col_idx - 1
+                valid_hist[:, c] = valid
+            y[r0:r1] = acc
+
+            idx_tx += dec.symbol_loads * contiguous_transactions(
+                h_i, sym_bytes, ws, tb
+            )
+            vs = matrix.value_slices[i]
+            if vs.raw is not None:
+                # Uncompressed fallback slice: coalesced value reads only on
+                # (warp, column) pairs with at least one valid lane — the
+                # same predication the plain BRO-ELL kernel models.
+                warps = ceil_div(h_i, ws)
+                pad_rows = warps * ws - h_i
+                warp_valid = np.any(
+                    np.vstack([valid_hist, np.zeros((pad_rows, L), dtype=bool)])
+                    .reshape(warps, ws, L),
+                    axis=1,
+                )
+                val_bytes += int(warp_valid.sum()) * ceil_div(ws * 8, tb) * tb
+            else:
+                # Packed code stream (coalesced) + one dictionary stream-in.
+                val_bytes += int(vs.codes.nbytes) + int(vs.dictionary.nbytes)
+                decode_ops += DECODE_OPS_PER_ITER * h_i * L  # code extraction
+            x_bytes += tex.block_x_bytes(cols_hist, valid_hist)
+            decode_ops += DECODE_OPS_PER_ITER * h_i * L
+            decode_ops += DECODE_OPS_PER_LOAD * dec.symbol_loads * h_i
+
+        counters = KernelCounters(
+            index_bytes=idx_tx * tb,
+            value_bytes=int(val_bytes),
+            x_bytes=x_bytes,
+            y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+            aux_bytes=int(matrix.num_col.sum()) + 4 * matrix.num_slices,
+            useful_flops=2 * matrix.nnz,
+            issued_flops=2 * matrix.nnz,
+            decode_ops=decode_ops,
+            launches=1,
+            threads=launch.total_threads,
+        )
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,48 @@
+"""Simulated BRO-HYB SpMV kernel: BRO-ELL launch + BRO-COO launch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bro_hyb import BROHYBMatrix
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from .base import SpMVKernel, SpMVResult, register_kernel
+from .spmv_bro_coo import BROCOOKernel
+from .spmv_bro_ell import BROELLKernel
+
+__all__ = ["BROHYBKernel"]
+
+
+@register_kernel
+class BROHYBKernel(SpMVKernel):
+    """Two-launch BRO-HYB kernel (paper Section 3.3)."""
+
+    format_name = "bro_hyb"
+
+    def __init__(self) -> None:
+        self.ell_kernel = BROELLKernel()
+        self.coo_kernel = BROCOOKernel()
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, BROHYBMatrix)
+        assert isinstance(matrix, BROHYBMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+
+        if matrix.ell.nnz:
+            ell_res = self.ell_kernel.run(matrix.ell, x, device)
+            y = ell_res.y
+            counters = ell_res.counters
+        else:
+            y = np.zeros(m)
+            counters = KernelCounters(launches=0, threads=device.warp_size)
+
+        if matrix.coo.padded_nnz:
+            coo_res = self.coo_kernel.run(matrix.coo, x, device)
+            y = y + coo_res.y
+            counters = counters + coo_res.counters
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,135 @@
+"""Simulated COO SpMV kernel (CUSP-style segmented reduction).
+
+One warp per interval of the sorted entry list. Per iteration the warp
+streams 32 row indices, 32 column indices and 32 values (all coalesced),
+multiplies, and runs an intra-warp segmented scan; per-row partial sums are
+committed with atomics, and a small second kernel reduces the per-warp
+carries (paper Section 2.1.1 / [5]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.coo import COOMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..gpu.warp import warp_reduce_flops
+from ..types import VALUE_DTYPE
+from ..utils.bits import ceil_div
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["COOKernel", "coo_segmented_counters"]
+
+
+def coo_segmented_counters(
+    row_idx: np.ndarray,
+    col_idx: np.ndarray,
+    n_entries_padded: int,
+    device: DeviceSpec,
+    interval_size: int,
+) -> KernelCounters:
+    """Shared traffic/flop accounting of the segmented-reduction machinery.
+
+    Counts everything except the *row-index* traffic (4 B/entry for plain
+    COO, the packed stream for BRO-COO) so both kernels reuse it.
+    """
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+
+    n = n_entries_padded
+    col_tx = contiguous_transactions(n, 4, ws, tb)
+    val_tx = contiguous_transactions(n, 8, ws, tb)
+
+    # x reads: each interval (warp) walks its lane arrangement.
+    x_bytes = 0
+    n_int = ceil_div(n, interval_size) if n else 0
+    for i in range(n_int):
+        lo = i * interval_size
+        hi = min(lo + interval_size, n)
+        L = ceil_div(hi - lo, ws)
+        block = np.zeros(L * ws, dtype=np.int64)
+        block[: hi - lo] = col_idx[lo:hi]
+        valid = np.zeros(L * ws, dtype=bool)
+        valid[: hi - lo] = True
+        x_bytes += tex.warp_sequence_fetches(
+            block.reshape(L, ws).T, valid.reshape(L, ws).T
+        ) * device.tex_line_bytes
+
+    # y commits: one atomic read-modify-write (16 B) per distinct row per
+    # warp, plus the carry array (12 B per warp) handled by launch #2.
+    warp_iters = ceil_div(n, ws) if n else 0
+    y_updates = 0
+    for i in range(n_int):
+        lo = i * interval_size
+        hi = min(lo + interval_size, n)
+        y_updates += int(np.unique(row_idx[lo:hi]).shape[0])
+    y_bytes = 16 * y_updates + 12 * n_int
+
+    scan_flops = warp_reduce_flops(ws) * warp_iters
+    nnz_real = int(row_idx.shape[0]) if row_idx.shape[0] < n else n
+    return KernelCounters(
+        index_bytes=col_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        useful_flops=0,  # caller sets; padding-dependent
+        issued_flops=2 * n + scan_flops,
+        launches=2,  # main kernel + carry reduction
+        threads=max(ws, n_int * ws),
+    )
+
+
+@register_kernel
+class COOKernel(SpMVKernel):
+    """CUSP-style COO kernel with warp-level segmented reduction.
+
+    The interval size defaults to CUSP's adaptive sizing (work divided
+    over enough warps to fill the device) so small matrices — e.g. the
+    COO tail of a HYB split — do not starve the occupancy model.
+    """
+
+    format_name = "coo"
+
+    def __init__(self, interval_size: int | None = None) -> None:
+        self.interval_size = interval_size
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, COOMatrix)
+        assert isinstance(matrix, COOMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+
+        # ---- functional execution ------------------------------------
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        np.add.at(y, matrix.row_idx, matrix.vals * x[matrix.col_idx])
+
+        # ---- traffic accounting --------------------------------------
+        ws = device.warp_size
+        n = ceil_div(matrix.nnz, ws) * ws if matrix.nnz else 0
+        row = np.zeros(n, dtype=np.int64)
+        col = np.zeros(n, dtype=np.int64)
+        row[: matrix.nnz] = matrix.row_idx
+        col[: matrix.nnz] = matrix.col_idx
+        if matrix.nnz:
+            row[matrix.nnz :] = int(matrix.row_idx[-1])
+        from ..core.bro_coo import adaptive_interval_size
+
+        interval = self.interval_size or adaptive_interval_size(n, ws)
+        counters = coo_segmented_counters(row, col, n, device, interval)
+        # Row indices: one coalesced int32 stream (what BRO-COO compresses).
+        counters.index_bytes += (
+            contiguous_transactions(n, 4, ws, device.transaction_bytes)
+            * device.transaction_bytes
+        )
+        counters.useful_flops = 2 * matrix.nnz
+        if n == 0:
+            counters.threads = ws
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,83 @@
+"""Simulated ELLPACK SpMV kernel (one thread per row, column-major data).
+
+The CUSP-style kernel maps thread ``i`` to row ``i``; in iteration ``c``
+the whole grid reads column ``c`` of the column-major ``col_idx`` and
+``vals`` arrays — perfectly coalesced — multiplies, and accumulates.
+Every thread runs the full ``k`` iterations: padded slots are read,
+multiplied (by 0.0) and accumulated just like real entries, which is
+exactly the inefficiency ELLPACK-R and the BRO formats attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.ellpack import ELLPACKMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..types import VALUE_DTYPE
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["ELLPACKKernel"]
+
+
+@register_kernel
+class ELLPACKKernel(SpMVKernel):
+    """Bell–Garland ELLPACK kernel."""
+
+    format_name = "ellpack"
+
+    def __init__(self, threads_per_block: int = 256) -> None:
+        self.threads_per_block = int(threads_per_block)
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, ELLPACKMatrix)
+        assert isinstance(matrix, ELLPACKMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+        k = matrix.k
+        launch = LaunchConfig.for_rows(m, self.threads_per_block)
+        tb = device.transaction_bytes
+        ws = device.warp_size
+
+        # ---- functional execution (identical math to the GPU loop) ----
+        y = np.einsum("ij,ij->i", matrix.vals, x[matrix.col_idx]) if k else np.zeros(
+            m, VALUE_DTYPE
+        )
+
+        # ---- traffic accounting -------------------------------------
+        # Column-major reads: every iteration the grid streams one int32
+        # and one float64 column of length m, fully coalesced.
+        idx_tx = k * contiguous_transactions(m, 4, ws, tb)
+        val_tx = k * contiguous_transactions(m, 8, ws, tb)
+        y_tx = contiguous_transactions(m, 8, ws, tb)
+
+        # x reads go through the texture cache, one block at a time.
+        # Padding lanes read x[0] (their stored index) just like the real
+        # kernel, so they participate in the access pattern.
+        tex = TextureCacheModel(device)
+        x_bytes = 0
+        tpb = self.threads_per_block
+        for r0 in range(0, m, tpb):
+            block_cols = matrix.col_idx[r0 : r0 + tpb]
+            x_bytes += tex.block_x_bytes(
+                block_cols, np.ones(block_cols.shape, dtype=bool)
+            )
+
+        counters = KernelCounters(
+            index_bytes=idx_tx * tb,
+            value_bytes=val_tx * tb,
+            x_bytes=x_bytes,
+            y_bytes=y_tx * tb,
+            useful_flops=2 * matrix.nnz,
+            issued_flops=2 * m * k,
+            launches=1,
+            threads=launch.total_threads,
+        )
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,48 @@
+"""Simulated HYB SpMV kernel: ELLPACK launch + COO launch (Bell & Garland)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.hyb import HYBMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from .base import SpMVKernel, SpMVResult, register_kernel
+from .spmv_coo import COOKernel
+from .spmv_ellpack import ELLPACKKernel
+
+__all__ = ["HYBKernel"]
+
+
+@register_kernel
+class HYBKernel(SpMVKernel):
+    """Two-launch HYB kernel; the COO part accumulates into the ELL result."""
+
+    format_name = "hyb"
+
+    def __init__(self, threads_per_block: int = 256, interval_size: int | None = None):
+        self.ell_kernel = ELLPACKKernel(threads_per_block)
+        self.coo_kernel = COOKernel(interval_size)
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, HYBMatrix)
+        assert isinstance(matrix, HYBMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+
+        if matrix.ell.k:
+            ell_res = self.ell_kernel.run(matrix.ell, x, device)
+            y = ell_res.y
+            counters = ell_res.counters
+        else:
+            y = np.zeros(m)
+            counters = KernelCounters(launches=0, threads=device.warp_size)
+
+        if matrix.coo.nnz:
+            coo_res = self.coo_kernel.run(matrix.coo, x, device)
+            y = y + coo_res.y
+            counters = counters + coo_res.counters
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,71 @@
+"""Simulated Sliced-ELLPACK SpMV kernel (Monakov et al.).
+
+One thread block per slice; every thread of the block runs the slice's
+``num_col`` iterations (there is no per-row early exit — that is what the
+``num_col`` array already provides at slice granularity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.sliced_ellpack import SlicedELLPACKMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..types import VALUE_DTYPE
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["SlicedELLKernel"]
+
+
+@register_kernel
+class SlicedELLKernel(SpMVKernel):
+    """Sliced-ELLPACK kernel: one block per slice, per-slice widths."""
+
+    format_name = "sliced_ellpack"
+
+    def run(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, SlicedELLPACKMatrix)
+        assert isinstance(matrix, SlicedELLPACKMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+        launch = LaunchConfig(matrix.h, matrix.num_slices)
+        tb = device.transaction_bytes
+        ws = device.warp_size
+        tex = TextureCacheModel(device)
+
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        idx_tx = val_tx = 0
+        x_bytes = 0
+        issued = 0
+        for r0, r1, col_block, val_block in matrix.iter_slices():
+            h_i, l_i = col_block.shape
+            if l_i == 0:
+                continue
+            y[r0:r1] = np.einsum("ij,ij->i", val_block, x[col_block])
+            idx_tx += l_i * contiguous_transactions(h_i, 4, ws, tb)
+            val_tx += l_i * contiguous_transactions(h_i, 8, ws, tb)
+            x_bytes += tex.block_x_bytes(
+                col_block, np.ones(col_block.shape, dtype=bool)
+            )
+            issued += 2 * h_i * l_i
+        y_tx = contiguous_transactions(m, 8, ws, tb)
+
+        counters = KernelCounters(
+            index_bytes=idx_tx * tb,
+            value_bytes=val_tx * tb,
+            x_bytes=x_bytes,
+            y_bytes=y_tx * tb,
+            aux_bytes=4 * matrix.num_slices,  # num_col reads (int32)
+            useful_flops=2 * matrix.nnz,
+            issued_flops=issued,
+            launches=1,
+            threads=launch.total_threads,
+        )
+        return SpMVResult(y=y, counters=counters, device=device)

@@ -1,0 +1,49 @@
+"""Synthetic matrix suite standing in for the University of Florida set.
+
+The paper evaluates on 30 UF matrices (Table 2). Without network access we
+generate synthetic stand-ins that reproduce, per matrix: the dimensions,
+non-zero count, mean/std of row lengths, and — critically for this paper —
+the *index structure* of the matrix's family (stencil offsets, FEM block
+bands, circuit hubs, power-law tails, ...), because index structure is what
+determines delta magnitudes (compressibility, Table 3) and x-vector
+locality (texture-cache behaviour).
+
+* :mod:`~repro.matrices.generators` — structural family generators;
+* :mod:`~repro.matrices.suite` — the named Table 2 registry;
+* :mod:`~repro.matrices.analysis` — row-length/locality statistics;
+* :mod:`~repro.matrices.io` — MatrixMarket reader/writer.
+"""
+
+from .analysis import MatrixStats, analyze
+from .cache import generate_cached, load_matrix, save_matrix
+from .generators import (
+    banded_random,
+    block_band,
+    dense_rows,
+    power_law,
+    random_uniform,
+    stencil,
+)
+from .io import read_matrix_market, write_matrix_market
+from .suite import TABLE2, MatrixSpec, generate, test_set_1, test_set_2
+
+__all__ = [
+    "MatrixStats",
+    "analyze",
+    "stencil",
+    "banded_random",
+    "block_band",
+    "random_uniform",
+    "power_law",
+    "dense_rows",
+    "TABLE2",
+    "MatrixSpec",
+    "generate",
+    "generate_cached",
+    "save_matrix",
+    "load_matrix",
+    "test_set_1",
+    "test_set_2",
+    "read_matrix_market",
+    "write_matrix_market",
+]

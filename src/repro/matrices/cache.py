@@ -1,0 +1,74 @@
+"""On-disk caching of generated suite matrices (`.npz`).
+
+Full-scale Table 2 matrices take seconds to minutes to generate; caching
+them makes repeated full-scale benchmark runs cheap. The cache key is
+``(name, scale, seed)``; files are ordinary NumPy archives so they can be
+shipped between machines.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..formats.coo import COOMatrix
+from .suite import generate
+
+__all__ = ["save_matrix", "load_matrix", "generate_cached", "default_cache_dir"]
+
+_ENV_VAR = "REPRO_MATRIX_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: ``$REPRO_MATRIX_CACHE`` or ``~/.cache/repro``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def save_matrix(coo: COOMatrix, path: Union[str, os.PathLike]) -> None:
+    """Write a COO matrix to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        row=coo.row_idx,
+        col=coo.col_idx,
+        vals=coo.vals,
+        shape=np.array(coo.shape, dtype=np.int64),
+    )
+
+
+def load_matrix(path: Union[str, os.PathLike]) -> COOMatrix:
+    """Read a COO matrix from an ``.npz`` archive."""
+    with np.load(path) as data:
+        required = {"row", "col", "vals", "shape"}
+        if not required <= set(data.files):
+            raise ValidationError(
+                f"{path} is not a repro matrix archive (missing "
+                f"{sorted(required - set(data.files))})"
+            )
+        shape = tuple(int(v) for v in data["shape"])
+        return COOMatrix(data["row"], data["col"], data["vals"], shape)
+
+
+def generate_cached(
+    name: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    cache_dir: Union[str, os.PathLike, None] = None,
+) -> COOMatrix:
+    """Generate a suite matrix, reusing an on-disk copy when present."""
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    tag = f"{name}_s{scale:g}" + (f"_r{seed}" if seed is not None else "")
+    path = directory / f"{tag}.npz"
+    if path.exists():
+        return load_matrix(path)
+    coo = generate(name, scale=scale, seed=seed)
+    save_matrix(coo, path)
+    return coo

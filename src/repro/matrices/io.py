@@ -1,0 +1,104 @@
+"""MatrixMarket coordinate-format I/O (from scratch, no SciPy).
+
+Supports the subset the UF collection uses for the paper's matrices:
+``matrix coordinate (real|integer|pattern) (general|symmetric)``.
+Symmetric files are expanded to general storage on read.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from ..errors import MatrixMarketError
+from ..formats.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def _parse_header(line: str) -> tuple[str, str]:
+    parts = line.strip().split()
+    if len(parts) != 5 or parts[0] != _HEADER_PREFIX or parts[1].lower() != "matrix":
+        raise MatrixMarketError(f"bad MatrixMarket header: {line.strip()!r}")
+    _, _, fmt, field, symmetry = (p.lower() for p in parts)
+    if fmt != "coordinate":
+        raise MatrixMarketError(f"only coordinate format is supported, got {fmt!r}")
+    if field not in ("real", "integer", "pattern"):
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+    return field, symmetry
+
+
+def read_matrix_market(source: Union[str, os.PathLike, TextIO]) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`COOMatrix`."""
+    if hasattr(source, "read"):
+        return _read_stream(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="ascii") as fh:
+        return _read_stream(fh)
+
+
+def _read_stream(fh: TextIO) -> COOMatrix:
+    header = fh.readline()
+    if not header:
+        raise MatrixMarketError("empty file")
+    field, symmetry = _parse_header(header)
+    line = fh.readline()
+    while line and line.lstrip().startswith("%"):
+        line = fh.readline()
+    if not line:
+        raise MatrixMarketError("missing size line")
+    try:
+        m, n, nnz = (int(tok) for tok in line.split())
+    except ValueError as exc:
+        raise MatrixMarketError(f"bad size line: {line.strip()!r}") from exc
+
+    body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+    if body.shape[0] != nnz:
+        raise MatrixMarketError(
+            f"expected {nnz} entries, file holds {body.shape[0]}"
+        )
+    if field == "pattern":
+        if body.size and body.shape[1] != 2:
+            raise MatrixMarketError("pattern entries must have 2 columns")
+        rows = body[:, 0].astype(np.int64) - 1
+        cols = body[:, 1].astype(np.int64) - 1
+        vals = np.ones(nnz)
+    else:
+        if body.size and body.shape[1] != 3:
+            raise MatrixMarketError("real/integer entries must have 3 columns")
+        rows = body[:, 0].astype(np.int64) - 1
+        cols = body[:, 1].astype(np.int64) - 1
+        vals = body[:, 2].astype(np.float64) if nnz else np.zeros(0)
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        lower_r, lower_c = rows[off_diag], cols[off_diag]
+        rows = np.concatenate([rows, lower_c])
+        cols = np.concatenate([cols, lower_r])
+        vals = np.concatenate([vals, vals[off_diag]])
+    return COOMatrix(rows, cols, vals, (m, n))
+
+
+def write_matrix_market(
+    matrix: COOMatrix, target: Union[str, os.PathLike, TextIO]
+) -> None:
+    """Write a :class:`COOMatrix` as ``coordinate real general``."""
+    if hasattr(target, "write"):
+        _write_stream(matrix, target)  # type: ignore[arg-type]
+        return
+    with open(target, "w", encoding="ascii") as fh:
+        _write_stream(matrix, fh)
+
+
+def _write_stream(matrix: COOMatrix, fh: TextIO) -> None:
+    m, n = matrix.shape
+    fh.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+    fh.write("% written by repro (BRO-SpMV reproduction)\n")
+    fh.write(f"{m} {n} {matrix.nnz}\n")
+    for r, c, v in zip(matrix.row_idx, matrix.col_idx, matrix.vals):
+        fh.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")

@@ -1,0 +1,244 @@
+"""The named matrix suite of paper Table 2 (synthetic stand-ins).
+
+Each :class:`MatrixSpec` records the paper's published statistics
+(dimensions, nnz, mean/std of row length) plus the structural family and
+parameters used to generate a synthetic stand-in. ``scale`` shrinks the
+dimensions (preserving the row-length distribution) so CI and quick
+benchmark runs stay fast; ``scale=1.0`` reproduces full Table 2 sizes.
+
+Family/parameter choices are driven by what the paper's experiments are
+sensitive to: the row-length spread (ELL padding, HYB split, Table 4) and
+the delta-magnitude structure (compressibility, Tables 3/5). Bandwidth
+parameters were tuned once against Table 3's published space savings.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..formats.coo import COOMatrix
+from . import generators as g
+
+__all__ = ["MatrixSpec", "TABLE2", "generate", "test_set_1", "test_set_2"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One row of Table 2 plus its generator recipe."""
+
+    name: str
+    rows: int
+    cols: int
+    nnz: int
+    mu: float  #: mean row length (Table 2)
+    sigma: float  #: std of row lengths (Table 2)
+    test_set: int  #: 1 = BRO-ELL-representable, 2 = BRO-HYB
+    family: str
+    params: Dict = field(default_factory=dict)
+
+    def scaled_shape(self, scale: float) -> Tuple[int, int]:
+        """Dimensions after applying ``scale`` (floored at 256 rows)."""
+        if not 0 < scale <= 1:
+            raise ValidationError(f"scale must be in (0, 1], got {scale}")
+        m = max(256, int(round(self.rows * scale)))
+        n = max(256, int(round(self.cols * scale)))
+        return m, n
+
+
+def _seed(name: str) -> int:
+    """Stable per-matrix seed derived from the name."""
+    return zlib.crc32(name.encode()) & 0x7FFFFFFF
+
+
+def _grid_offsets_2d(m: int) -> List[int]:
+    """5-point-minus-center stencil on a sqrt(m) grid (mc2depi)."""
+    side = max(2, int(round(np.sqrt(m))))
+    return [-side, -1, 1, side]
+
+
+def _grid_offsets_3d(m: int) -> List[int]:
+    """3-D 7-point-minus-center stencil (epb3-like, mean ~5.5)."""
+    side = max(2, int(round(m ** (1.0 / 3.0))))
+    return [-side * side, -side, -1, 1, side, side * side]
+
+
+def _near_band_offsets(m: int) -> List[int]:
+    """Tight 6-point band stencil (epb3-like: one symbol per row stream)."""
+    return [-3, -2, -1, 1, 2, 3]
+
+
+def _qcd_offsets(m: int) -> List[int]:
+    """Lattice-QCD-like pattern: 13 bases x runs of 3 = 39 per row."""
+    side = max(2, int(round((m / 3.0) ** 0.25)))
+    bases = [0]
+    for stride in (3, 3 * side, 3 * side**2, 3 * side**3):
+        bases.extend([stride, -stride])
+    for stride in (6 * side, 6 * side**2):
+        bases.extend([stride, -stride])
+    offsets: List[int] = []
+    for b in bases:  # 13 bases
+        offsets.extend([b, b + 1, b + 2])
+    return offsets
+
+
+TABLE2: Dict[str, MatrixSpec] = {
+    spec.name: spec
+    for spec in [
+        # ----------------------- Test Set 1 ---------------------------
+        MatrixSpec("cage12", 130_000, 130_000, 2_032_536, 15.6, 4.7, 1,
+                   "band", {"bandwidth": 480}),
+        MatrixSpec("cant", 62_000, 62_000, 4_007_383, 64.2, 14.1, 1,
+                   "block_band", {"run": 3, "bandwidth": 9500}),
+        MatrixSpec("consph", 83_000, 83_000, 6_010_480, 72.1, 19.1, 1,
+                   "block_band", {"run": 3, "bandwidth": 16000}),
+        MatrixSpec("e40r5000", 17_000, 17_000, 553_956, 32.1, 15.5, 1,
+                   "block_band", {"run": 3, "bandwidth": 100}),
+        MatrixSpec("epb3", 85_000, 85_000, 463_625, 5.5, 0.5, 1,
+                   "stencil", {"offsets_fn": _near_band_offsets}),
+        MatrixSpec("lhr71", 70_000, 70_000, 1_528_092, 21.7, 26.3, 1,
+                   "block_band", {"run": 3, "bandwidth": 200}),
+        MatrixSpec("mc2depi", 526_000, 526_000, 2_100_225, 4.0, 0.1, 1,
+                   "stencil", {"offsets_fn": _grid_offsets_2d}),
+        MatrixSpec("pdb1HYS", 36_000, 36_000, 4_344_765, 119.3, 31.9, 1,
+                   "block_band", {"run": 4, "bandwidth": 4400}),
+        MatrixSpec("qcd5_4", 49_000, 49_000, 1_916_928, 39.0, 0.0, 1,
+                   "stencil", {"offsets_fn": _qcd_offsets}),
+        MatrixSpec("rim", 23_000, 23_000, 1_014_951, 45.0, 26.6, 1,
+                   "block_band", {"run": 3, "bandwidth": 150}),
+        MatrixSpec("rma10", 47_000, 47_000, 2_374_001, 50.7, 27.8, 1,
+                   "block_band", {"run": 3, "bandwidth": 450}),
+        MatrixSpec("shipsec1", 141_000, 141_000, 7_813_404, 55.5, 11.1, 1,
+                   "block_band", {"run": 3, "bandwidth": 90}),
+        MatrixSpec("stomach", 213_000, 213_000, 3_021_648, 14.2, 5.9, 1,
+                   "band", {"bandwidth": 3200}),
+        MatrixSpec("torso3", 259_000, 259_000, 4_429_042, 17.1, 4.4, 1,
+                   "band", {"bandwidth": 580}),
+        MatrixSpec("venkat01", 62_000, 62_000, 1_717_792, 27.5, 2.3, 1,
+                   "block_band", {"run": 4, "bandwidth": 300}),
+        MatrixSpec("xenon2", 157_000, 157_000, 3_866_688, 24.6, 4.1, 1,
+                   "band", {"bandwidth": 1900}),
+        # ----------------------- Test Set 2 ---------------------------
+        MatrixSpec("bcsstk32", 45_000, 45_000, 2_014_701, 45.2, 15.5, 2,
+                   "block_band", {"run": 3, "bandwidth": 2500}),
+        MatrixSpec("cop20k_A", 121_000, 121_000, 2_624_331, 21.7, 13.8, 2,
+                   "band_skewed", {"bandwidth": 2000}),
+        MatrixSpec("ct20stif", 52_000, 52_000, 2_698_463, 51.6, 17.0, 2,
+                   "block_band", {"run": 3, "bandwidth": 3000}),
+        MatrixSpec("gupta2", 62_000, 62_000, 4_248_286, 68.5, 356.0, 2,
+                   "hub_mixture", {"base_mu": 35.0, "tail_fraction": 0.005,
+                                   "tail_mu": 6800.0, "locality": 0.5}),
+        MatrixSpec("hvdc2", 190_000, 190_000, 1_347_273, 7.1, 3.8, 2,
+                   "band_skewed", {"bandwidth": 700}),
+        MatrixSpec("mac_econ", 207_000, 207_000, 1_273_389, 6.2, 4.4, 2,
+                   "band_skewed", {"bandwidth": 1500}),
+        MatrixSpec("ohne2", 181_000, 181_000, 11_063_545, 61.0, 21.1, 2,
+                   "block_band", {"run": 3, "bandwidth": 5000}),
+        MatrixSpec("pwtk", 218_000, 218_000, 11_634_424, 53.4, 4.7, 2,
+                   "block_band", {"run": 3, "bandwidth": 250}),
+        MatrixSpec("rail4284", 4_300, 109_000, 11_279_748, 2633.0, 4209.0, 2,
+                   "dense_rows", {}),
+        MatrixSpec("rajat30", 644_000, 644_000, 6_175_377, 9.6, 785.0, 2,
+                   "hub_mixture", {"base_mu": 6.8, "tail_fraction": 0.0004,
+                                   "tail_mu": 7200.0, "locality": 0.7}),
+        MatrixSpec("scircuit", 171_000, 171_000, 958_936, 5.6, 4.4, 2,
+                   "hub_mixture", {"base_mu": 5.2, "tail_fraction": 0.0025,
+                                   "tail_mu": 230.0, "locality": 0.8}),
+        MatrixSpec("sme3Da", 13_000, 13_000, 874_887, 70.0, 34.9, 2,
+                   "block_band", {"run": 3, "bandwidth": 2200}),
+        MatrixSpec("twotone", 121_000, 121_000, 1_224_224, 10.1, 15.0, 2,
+                   "hub_mixture", {"base_mu": 7.0, "tail_fraction": 0.004,
+                                   "tail_mu": 700.0, "locality": 0.75}),
+        MatrixSpec("webbase-1M", 1_000_000, 1_000_000, 3_105_536, 3.1, 25.3, 2,
+                   "hub_mixture", {"base_mu": 2.3, "tail_fraction": 0.0012,
+                                   "tail_mu": 550.0, "locality": 0.5,
+                                   "hub_fraction": 0.01}),
+    ]
+}
+
+
+def test_set_1() -> List[str]:
+    """Names of Test Set 1 (BRO-ELL-representable matrices)."""
+    return [s.name for s in TABLE2.values() if s.test_set == 1]
+
+
+def test_set_2() -> List[str]:
+    """Names of Test Set 2 (BRO-HYB matrices)."""
+    return [s.name for s in TABLE2.values() if s.test_set == 2]
+
+
+def generate(name: str, scale: float = 1.0, seed: int | None = None) -> COOMatrix:
+    """Generate the synthetic stand-in for a Table 2 matrix.
+
+    Parameters
+    ----------
+    name:
+        A Table 2 matrix name (see :data:`TABLE2`).
+    scale:
+        Dimension scale factor in ``(0, 1]``; nnz scales proportionally
+        because the row-length distribution is preserved.
+    seed:
+        Override the stable per-name seed (for sensitivity studies).
+    """
+    try:
+        spec = TABLE2[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown matrix {name!r}; available: {sorted(TABLE2)}"
+        ) from exc
+    m, n = spec.scaled_shape(scale)
+    s = _seed(name) if seed is None else int(seed)
+    p = dict(spec.params)
+
+    def fixed_bandwidth(default: int) -> int:
+        # Bandwidth is a structural property (delta magnitudes do not
+        # shrink when a mesh is coarsened), so it is NOT scaled; it is
+        # only clipped to the scaled matrix width.
+        return max(8, min(int(p.get("bandwidth", default)), n))
+
+    if spec.family == "stencil":
+        return g.stencil(m, p["offsets_fn"](m), seed=s, n=n)
+    if spec.family == "band":
+        return g.banded_random(
+            m, spec.mu, spec.sigma, bandwidth=fixed_bandwidth(int(4 * spec.mu)),
+            seed=s, n=n,
+        )
+    if spec.family == "band_skewed":
+        return g.banded_random(
+            m, spec.mu, spec.sigma, bandwidth=fixed_bandwidth(int(4 * spec.mu)),
+            seed=s, n=n, skewed=True,
+        )
+    if spec.family == "block_band":
+        return g.block_band(
+            m, spec.mu, spec.sigma, run=p.get("run", 3),
+            bandwidth=fixed_bandwidth(int(6 * spec.mu)), seed=s,
+        )
+    if spec.family == "hub_mixture":
+        # A scaled-down matrix cannot hold a full-size tail row; keep the
+        # *tail nnz mass* invariant by clipping tail_mu to the width and
+        # raising tail_fraction correspondingly.
+        tail_mu = float(p["tail_mu"])
+        cap = max(32.0, 0.9 * n)
+        tail_fraction = float(p["tail_fraction"]) * tail_mu / min(tail_mu, cap)
+        return g.hub_mixture(
+            m, p["base_mu"], min(tail_fraction, 0.2), min(tail_mu, cap),
+            seed=s, n=n,
+            locality=p.get("locality", 0.7),
+            hub_fraction=p.get("hub_fraction", 0.02),
+        )
+    if spec.family == "power_law":
+        # mu_factor oversamples entry counts to compensate for the
+        # duplicate-coordinate merging inherent to hub-heavy placement.
+        return g.power_law(
+            m, spec.mu * p.get("mu_factor", 1.0), seed=s, alpha=p.get("alpha", 2.0),
+            locality=p.get("locality", 0.7),
+            hub_fraction=p.get("hub_fraction", 0.05), n=n,
+        )
+    if spec.family == "dense_rows":
+        return g.dense_rows(m, n, max(1.0, spec.mu * scale),
+                            max(1.0, spec.sigma * scale), seed=s)
+    raise ValidationError(f"unknown family {spec.family!r}")  # pragma: no cover

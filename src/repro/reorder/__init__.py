@@ -1,0 +1,37 @@
+"""Matrix row reordering (paper Section 3.4).
+
+* :mod:`~repro.reorder.objective` — the memory-transaction objective of
+  Eqn. (1) with the bit-width term ``d`` (Eqn. 2) and the x-cacheline term
+  ``c`` (Eqn. 3);
+* :mod:`~repro.reorder.bar` — the BRO-aware reordering (BAR) greedy
+  clustering of Algorithm 2;
+* :mod:`~repro.reorder.rcm` — Reverse Cuthill–McKee (from scratch);
+* :mod:`~repro.reorder.amd` — approximate minimum degree (from scratch);
+* :mod:`~repro.reorder.rowsort` — row-length sorting (the Sliced-ELLPACK
+  heuristic of Monakov et al., used as a further baseline).
+"""
+
+from .amd import amd_permutation
+from .bar import BARReordering, bar_permutation
+from .base import apply_reordering, identity_permutation, invert_permutation
+from .metrics import OrderingMetrics, matrix_bandwidth, ordering_metrics, profile
+from .objective import bar_objective, cluster_cost
+from .rcm import rcm_permutation
+from .rowsort import rowsort_permutation
+
+__all__ = [
+    "bar_permutation",
+    "BARReordering",
+    "rcm_permutation",
+    "amd_permutation",
+    "rowsort_permutation",
+    "bar_objective",
+    "OrderingMetrics",
+    "ordering_metrics",
+    "matrix_bandwidth",
+    "profile",
+    "cluster_cost",
+    "apply_reordering",
+    "identity_permutation",
+    "invert_permutation",
+]

@@ -1,0 +1,84 @@
+"""Approximate minimum degree ordering (from scratch; Amestoy et al. [1]).
+
+A quotient-graph minimum-degree ordering with AMD's degree approximation:
+eliminated vertices become *elements*; a live vertex's degree is
+approximated by the size of its plain neighbourhood plus the sizes of its
+adjacent elements (an upper bound on the true external degree, as in AMD).
+Element absorption keeps adjacency lists compact.
+
+This implementation favours clarity over the heavily engineered SuiteSparse
+code; it orders the paper-scale (scaled) matrices in seconds and exhibits
+the fill-reducing behaviour the paper compares BAR against.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+from .base import check_permutation
+from .rcm import symmetric_adjacency
+
+__all__ = ["amd_permutation"]
+
+
+def amd_permutation(coo: COOMatrix) -> np.ndarray:
+    """Compute an approximate-minimum-degree gather permutation."""
+    m = coo.shape[0]
+    indptr, indices = symmetric_adjacency(coo)
+
+    # Vertex state: plain-vertex neighbours and adjacent elements.
+    neighbours = [set(indices[indptr[i] : indptr[i + 1]].tolist()) for i in range(m)]
+    elements: list[set[int]] = [set() for _ in range(m)]  # adjacent element ids
+    element_members: dict[int, set[int]] = {}  # element id -> live members
+    eliminated = np.zeros(m, dtype=bool)
+
+    def approx_degree(u: int) -> int:
+        deg = len(neighbours[u])
+        for e in elements[u]:
+            deg += len(element_members[e])
+        return deg
+
+    heap = [(len(neighbours[u]), u) for u in range(m)]
+    heapq.heapify(heap)
+
+    ordering = np.empty(m, dtype=np.int64)
+    pos = 0
+    while heap:
+        deg, u = heapq.heappop(heap)
+        if eliminated[u]:
+            continue
+        current = approx_degree(u)
+        if deg != current:
+            # Stale heap entry (lazy deletion): reinsert at the fresh key.
+            heapq.heappush(heap, (current, u))
+            continue
+        eliminated[u] = True
+        ordering[pos] = u
+        pos += 1
+
+        # Form the new element: u's live neighbourhood.
+        members = {v for v in neighbours[u] if not eliminated[v]}
+        for e in elements[u]:
+            members |= {v for v in element_members.pop(e) if not eliminated[v]}
+        eid = u
+        element_members[eid] = members
+
+        # Prune plain neighbours now covered by the element only while the
+        # element is small: the full AMD prune is O(|members|^2) per
+        # elimination and dominates on banded matrices, while skipping it
+        # merely loosens the (already approximate) degree upper bound.
+        prune = len(members) <= 64
+        for v in members:
+            neighbours[v].discard(u)
+            # Absorb u's old elements and point v at the new element.
+            elements[v] -= elements[u]
+            elements[v].add(eid)
+            if prune:
+                neighbours[v] -= members
+        # Member degrees are revalidated lazily at pop time instead of
+        # eagerly re-pushed here: eager pushes cost |members| heap inserts
+        # per elimination and dominate on banded matrices.
+    return check_permutation(ordering, m)

@@ -1,0 +1,49 @@
+"""Permutation utilities shared by the reordering algorithms.
+
+All reorderings in this package return a *gather* permutation ``perm``:
+row ``perm[i]`` of the original matrix becomes row ``i`` of the reordered
+matrix (``A' = P A``, matching :meth:`repro.formats.coo.COOMatrix.permute_rows`).
+The product is recovered as ``y = P^T y'`` — equivalently
+``y[perm] = y'`` — which :func:`apply_reordering` documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReorderingError
+from ..formats.coo import COOMatrix
+
+__all__ = ["identity_permutation", "invert_permutation", "apply_reordering",
+           "check_permutation"]
+
+
+def identity_permutation(m: int) -> np.ndarray:
+    """The no-op ordering."""
+    return np.arange(m, dtype=np.int64)
+
+
+def check_permutation(perm: np.ndarray, m: int) -> np.ndarray:
+    """Validate that ``perm`` is a permutation of ``range(m)``; return int64."""
+    perm = np.asarray(perm, dtype=np.int64).reshape(-1)
+    if perm.shape[0] != m or not np.array_equal(np.sort(perm), np.arange(m)):
+        raise ReorderingError(f"not a permutation of range({m})")
+    return perm
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return ``inv`` with ``inv[perm[i]] = i``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def apply_reordering(coo: COOMatrix, perm: np.ndarray) -> COOMatrix:
+    """Return ``P @ A`` for the gather permutation ``perm``.
+
+    The SpMV result of the reordered matrix satisfies
+    ``(P A) @ x = P (A @ x)``, i.e. ``y_original[perm[i]] == y_reordered[i]``.
+    """
+    perm = check_permutation(perm, coo.shape[0])
+    return coo.permute_rows(perm)

@@ -1,0 +1,21 @@
+"""Row-length sorting (the Sliced-ELLPACK heuristic of Monakov et al.).
+
+Groups rows of similar length so each slice's width matches its rows —
+a reordering baseline that targets padding, not compressibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+from .base import check_permutation
+
+__all__ = ["rowsort_permutation"]
+
+
+def rowsort_permutation(coo: COOMatrix, descending: bool = True) -> np.ndarray:
+    """Sort rows by length (stable, so ties keep their original locality)."""
+    lengths = coo.row_lengths()
+    key = -lengths if descending else lengths
+    return check_permutation(np.argsort(key, kind="stable"), coo.shape[0])

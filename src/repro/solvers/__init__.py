@@ -1,0 +1,24 @@
+"""Iterative solvers driving the SpMV kernels (paper Section 1 motivation).
+
+SpMV is "the main bottleneck of these iterative algorithms"; this package
+provides the Conjugate Gradient and restarted GMRES methods of Saad [21]
+on top of any stored format — optionally through the simulated GPU
+kernels, accumulating the predicted device time spent in SpMV so the
+examples can report end-to-end solver-level speedups of the BRO formats.
+"""
+
+from .bicgstab import BiCGSTABResult, bicgstab
+from .cg import CGResult, conjugate_gradient
+from .gmres import GMRESResult, gmres
+from .operators import FormatOperator, SimulatedOperator
+
+__all__ = [
+    "bicgstab",
+    "BiCGSTABResult",
+    "conjugate_gradient",
+    "CGResult",
+    "gmres",
+    "GMRESResult",
+    "FormatOperator",
+    "SimulatedOperator",
+]

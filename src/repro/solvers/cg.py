@@ -1,0 +1,111 @@
+"""Conjugate Gradient method for symmetric positive-definite systems.
+
+Standard (unpreconditioned or Jacobi-preconditioned) CG after Saad [21,
+Alg. 9.1]; the matrix is applied through any callable operator, so the
+same solver runs over the reference or the simulated-GPU SpMV path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+from ..types import VALUE_DTYPE
+
+__all__ = ["CGResult", "conjugate_gradient"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual: float  #: final relative residual ||b - Ax|| / ||b||
+    converged: bool
+    residual_history: List[float]
+
+
+def conjugate_gradient(
+    operator: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    jacobi_diagonal: Optional[np.ndarray] = None,
+    raise_on_fail: bool = False,
+) -> CGResult:
+    """Solve ``A x = b`` with (optionally Jacobi-preconditioned) CG.
+
+    Parameters
+    ----------
+    operator:
+        Callable applying the SPD matrix ``A``.
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (zeros by default).
+    tol:
+        Relative-residual convergence tolerance.
+    max_iter:
+        Iteration budget.
+    jacobi_diagonal:
+        Optional matrix diagonal for Jacobi (diagonal) preconditioning.
+    raise_on_fail:
+        Raise :class:`ConvergenceError` instead of returning a
+        non-converged result.
+    """
+    b = np.asarray(b, dtype=VALUE_DTYPE)
+    if b.ndim != 1:
+        raise ValidationError("b must be a vector")
+    n = b.shape[0]
+    x = np.zeros(n, dtype=VALUE_DTYPE) if x0 is None else np.array(x0, dtype=VALUE_DTYPE)
+    if x.shape != (n,):
+        raise ValidationError("x0 must match b's length")
+    if max_iter <= 0:
+        raise ValidationError("max_iter must be positive")
+
+    precond = None
+    if jacobi_diagonal is not None:
+        diag = np.asarray(jacobi_diagonal, dtype=VALUE_DTYPE)
+        if diag.shape != (n,) or np.any(diag == 0):
+            raise ValidationError("jacobi_diagonal must be a zero-free vector")
+        precond = 1.0 / diag
+
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return CGResult(np.zeros(n), 0, 0.0, True, [0.0])
+
+    r = b - operator(x)
+    z = r * precond if precond is not None else r
+    p = z.copy()
+    rz = float(r @ z)
+    history = [float(np.linalg.norm(r)) / b_norm]
+
+    for it in range(1, max_iter + 1):
+        ap = operator(p)
+        pap = float(p @ ap)
+        if pap <= 0:
+            raise ConvergenceError(
+                "matrix is not positive definite (p^T A p <= 0)", it, history[-1]
+            )
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        res = float(np.linalg.norm(r)) / b_norm
+        history.append(res)
+        if res < tol:
+            return CGResult(x, it, res, True, history)
+        z = r * precond if precond is not None else r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+
+    if raise_on_fail:
+        raise ConvergenceError(
+            f"CG did not converge in {max_iter} iterations", max_iter, history[-1]
+        )
+    return CGResult(x, max_iter, history[-1], False, history)

@@ -1,0 +1,49 @@
+"""Linear operators over stored sparse formats.
+
+:class:`FormatOperator` applies the matrix with the format's reference
+``spmv``. :class:`SimulatedOperator` routes every application through the
+simulated GPU kernel and accumulates the *predicted device time*, letting
+solver examples report how much faster an iterative solve would run with a
+BRO format — the paper's motivating use-case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..gpu.device import DeviceSpec, get_device
+from ..kernels.base import get_kernel
+
+__all__ = ["FormatOperator", "SimulatedOperator"]
+
+
+class FormatOperator:
+    """Callable ``y = A @ x`` over a stored format (host reference path)."""
+
+    def __init__(self, matrix: SparseFormat) -> None:
+        self.matrix = matrix
+        self.shape = matrix.shape
+        self.spmv_calls = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.spmv_calls += 1
+        return self.matrix.spmv(x)
+
+
+class SimulatedOperator(FormatOperator):
+    """Operator that executes on the simulated GPU and tracks device time."""
+
+    def __init__(self, matrix: SparseFormat, device: DeviceSpec | str = "k20"):
+        super().__init__(matrix)
+        self.device = get_device(device) if isinstance(device, str) else device
+        self._kernel = get_kernel(matrix.format_name)
+        self.device_time = 0.0  #: accumulated predicted seconds in SpMV
+        self.dram_bytes = 0  #: accumulated predicted DRAM traffic
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.spmv_calls += 1
+        result = self._kernel.run(self.matrix, x, self.device)
+        self.device_time += result.timing.time
+        self.dram_bytes += result.counters.dram_bytes
+        return result.y

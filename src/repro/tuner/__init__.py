@@ -1,0 +1,24 @@
+"""Model-driven format selection (autotuning).
+
+The paper's related work (Section 5) surveys autotuners — clSpMV's
+"Cocktail" format selection and the Grewe–Lokhmotov code generator —
+that pick a storage format per matrix. This package closes that loop for
+the formats implemented here: because the simulated kernels produce a
+*predicted time* from counted transactions, format selection becomes a
+cheap model query rather than an empirical sweep.
+
+* :mod:`~repro.tuner.advisor` — rank candidate formats for a matrix on a
+  device, optionally sweeping BRO-ELL's slice height;
+* :mod:`~repro.tuner.sampling` — row-sampling so recommendations for huge
+  matrices only execute the model on a representative stripe.
+"""
+
+from .advisor import FormatRecommendation, recommend_format, rank_formats
+from .sampling import sample_rows
+
+__all__ = [
+    "FormatRecommendation",
+    "recommend_format",
+    "rank_formats",
+    "sample_rows",
+]

@@ -1,0 +1,139 @@
+"""Format recommendation by model query.
+
+For each candidate format the advisor converts the (possibly sampled)
+matrix, runs the simulated kernel once, and ranks formats by predicted
+time per non-zero — the device- and size-independent figure of merit.
+BRO-ELL/BRO-HYB candidates can sweep the slice height ``h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..formats.base import SparseFormat
+from ..formats.conversion import convert
+from ..formats.coo import COOMatrix
+from ..gpu.device import DeviceSpec, get_device
+from ..kernels.base import get_kernel
+from .sampling import sample_rows
+
+__all__ = ["FormatRecommendation", "rank_formats", "recommend_format"]
+
+#: Formats the advisor considers by default (every format with a kernel,
+#: except the value-compressed variant which needs value redundancy the
+#: advisor checks separately).
+DEFAULT_CANDIDATES = (
+    "coo",
+    "csr",
+    "ellpack",
+    "ellpack_r",
+    "bellpack",
+    "sliced_ellpack",
+    "hyb",
+    "bro_ell",
+    "bro_coo",
+    "bro_hyb",
+)
+
+#: Matrices whose max/mean row-length ratio exceeds this skip the dense
+#: ELL-family candidates outright (the padded arrays would not fit on a
+#: real device, let alone win).
+ELL_PADDING_LIMIT = 20.0
+
+
+@dataclass(frozen=True)
+class FormatRecommendation:
+    """One ranked candidate."""
+
+    format_name: str
+    params: Dict
+    predicted_time: float  #: seconds for one SpMV of the (sampled) matrix
+    time_per_nnz: float  #: seconds per non-zero (size-independent)
+    gflops: float
+    dram_bytes: int
+
+    def describe(self) -> str:
+        """One human-readable ranking line."""
+        extra = f" {self.params}" if self.params else ""
+        return (
+            f"{self.format_name:<15s}{extra:<12s} "
+            f"{self.gflops:7.2f} GFlop/s  {self.time_per_nnz * 1e12:8.2f} ps/nnz"
+        )
+
+
+def _candidate_grid(
+    formats: Sequence[str], h_candidates: Sequence[int]
+) -> List[Tuple[str, Dict]]:
+    grid: List[Tuple[str, Dict]] = []
+    for fmt in formats:
+        if fmt in ("sliced_ellpack", "bro_ell", "bro_hyb"):
+            for h in h_candidates:
+                grid.append((fmt, {"h": int(h)}))
+        else:
+            grid.append((fmt, {}))
+    return grid
+
+
+def rank_formats(
+    coo: COOMatrix,
+    device: DeviceSpec | str = "k20",
+    formats: Sequence[str] = DEFAULT_CANDIDATES,
+    h_candidates: Sequence[int] = (256,),
+    sample_rows_limit: int = 16384,
+    seed: int = 0,
+) -> List[FormatRecommendation]:
+    """Rank candidate formats by predicted SpMV time on ``device``.
+
+    Large matrices are row-sampled first (``sample_rows_limit``); the
+    per-nnz ranking is what transfers back to the full matrix.
+    """
+    dev = get_device(device) if isinstance(device, str) else device
+    if coo.nnz == 0:
+        raise ValidationError("cannot rank formats for an empty matrix")
+    sampled, factor = sample_rows(coo, sample_rows_limit, seed=seed)
+    x = np.random.default_rng(seed).standard_normal(sampled.shape[1])
+
+    lengths = sampled.row_lengths()
+    mean_len = max(float(lengths.mean()), 1e-9)
+    padding_ratio = float(lengths.max()) / mean_len
+
+    out: List[FormatRecommendation] = []
+    for fmt, params in _candidate_grid(formats, h_candidates):
+        if (fmt in ("ellpack", "ellpack_r", "bellpack")
+                and padding_ratio > ELL_PADDING_LIMIT):
+            continue  # dense ELL arrays would be absurd; HYB covers this
+        mat: SparseFormat = convert(sampled, fmt, **params)
+        result = get_kernel(fmt).run(mat, x, dev)
+        # The per-nnz cost must reflect the FULL matrix's occupancy: the
+        # sample has `factor`x fewer threads, which would unfairly punish
+        # thread-per-row formats relative to warp-per-interval ones.
+        counters = result.counters
+        counters.threads = max(1, int(counters.threads * factor))
+        from ..gpu.timing import predict
+
+        time = predict(counters, dev).time
+        out.append(
+            FormatRecommendation(
+                format_name=fmt,
+                params=params,
+                predicted_time=time,
+                time_per_nnz=time / sampled.nnz,
+                gflops=result.gflops,
+                dram_bytes=result.counters.dram_bytes,
+            )
+        )
+    out.sort(key=lambda r: r.time_per_nnz)
+    return out
+
+
+def recommend_format(
+    coo: COOMatrix,
+    device: DeviceSpec | str = "k20",
+    **kwargs,
+) -> FormatRecommendation:
+    """The advisor's top pick for this matrix on this device."""
+    return rank_formats(coo, device, **kwargs)[0]

@@ -1,0 +1,65 @@
+"""Shared dtype and typing conventions.
+
+The library standardizes on the dtypes the paper's CUDA kernels use:
+
+* matrix values: IEEE-754 double precision (``float64``) — the paper's
+  evaluation is double precision (Table 1 lists DP throughput);
+* index arrays: 32-bit signed integers (``int32``), matching CUSP;
+* packed bit streams: unsigned words of the symbol length (``uint32`` or
+  ``uint64``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "VALUE_DTYPE",
+    "INDEX_DTYPE",
+    "SYMBOL_DTYPES",
+    "FloatArray",
+    "IndexArray",
+    "SymbolArray",
+    "ArrayLike",
+    "symbol_dtype",
+]
+
+#: dtype used for matrix/vector values throughout the library.
+VALUE_DTYPE = np.dtype(np.float64)
+
+#: dtype used for row/column index arrays (as in CUSP / the paper).
+INDEX_DTYPE = np.dtype(np.int32)
+
+#: mapping from symbol length in bits to the packed-stream word dtype.
+SYMBOL_DTYPES = {32: np.dtype(np.uint32), 64: np.dtype(np.uint64)}
+
+FloatArray = npt.NDArray[np.float64]
+IndexArray = npt.NDArray[np.int32]
+SymbolArray = Union[npt.NDArray[np.uint32], npt.NDArray[np.uint64]]
+ArrayLike = npt.ArrayLike
+
+
+def symbol_dtype(sym_len: int) -> np.dtype:
+    """Return the unsigned word dtype backing a ``sym_len``-bit stream.
+
+    Parameters
+    ----------
+    sym_len:
+        Symbol length in bits. The paper uses 32 or 64 (Section 3.1).
+
+    Raises
+    ------
+    repro.errors.ValidationError
+        If ``sym_len`` is not a supported symbol length.
+    """
+    from .errors import ValidationError
+
+    try:
+        return SYMBOL_DTYPES[int(sym_len)]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"sym_len must be one of {sorted(SYMBOL_DTYPES)}, got {sym_len!r}"
+        ) from exc

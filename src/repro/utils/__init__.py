@@ -1,0 +1,25 @@
+"""Small shared utilities: bit math, argument validation, statistics."""
+
+from .bits import bit_width, bit_width_array, ceil_div, mask, round_up
+from .validation import (
+    check_1d,
+    check_2d,
+    check_dtype,
+    check_in_range,
+    check_positive,
+    check_sorted_rows,
+)
+
+__all__ = [
+    "bit_width",
+    "bit_width_array",
+    "ceil_div",
+    "mask",
+    "round_up",
+    "check_1d",
+    "check_2d",
+    "check_dtype",
+    "check_in_range",
+    "check_positive",
+    "check_sorted_rows",
+]

@@ -1,0 +1,83 @@
+"""Bit-width arithmetic used by the BRO compression schemes.
+
+The paper's :math:`\\Gamma(u)` function (Section 3.4, Eqn. 2) returns the
+number of bits required to pack an unsigned integer ``u``. We adopt the
+convention :math:`\\Gamma(0) = 1`: a zero still occupies one bit so that the
+*invalid* marker (delta value 0, Algorithm 1 line 17) is representable in any
+column that mixes valid and padded entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["bit_width", "bit_width_array", "ceil_div", "round_up", "mask"]
+
+
+def bit_width(u: int) -> int:
+    """Return :math:`\\Gamma(u)`, the bits needed to pack unsigned ``u``.
+
+    ``bit_width(0) == 1`` by convention (see module docstring).
+
+    >>> bit_width(0), bit_width(1), bit_width(7), bit_width(8)
+    (1, 1, 3, 4)
+    """
+    u = int(u)
+    if u < 0:
+        raise ValidationError(f"bit_width requires a non-negative integer, got {u}")
+    return max(1, u.bit_length())
+
+
+def bit_width_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`bit_width` over an array of non-negative integers.
+
+    Returns an ``int64`` array of the same shape.
+    """
+    arr = np.asarray(values)
+    if arr.size and arr.min() < 0:
+        raise ValidationError("bit_width_array requires non-negative integers")
+    # Gamma(u) = floor(log2(u)) + 1 for u >= 1; computed branch-free via a
+    # comparison against powers of two so it stays exact for 64-bit inputs
+    # (log2 on large ints loses precision).
+    arr64 = arr.astype(np.uint64, copy=False)
+    out = np.ones(arr.shape, dtype=np.int64)
+    # For each bit position b >= 1, values >= 2**b need at least b+1 bits.
+    if arr.size:
+        top = int(arr64.max())
+        b = 1
+        threshold = np.uint64(2)
+        while threshold <= top:
+            out += (arr64 >= threshold).astype(np.int64)
+            b += 1
+            if b >= 64:
+                break
+            threshold = np.uint64(1) << np.uint64(b)
+    return out
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValidationError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValidationError(f"ceil_div dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(a: int, multiple: int) -> int:
+    """Round ``a`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(a, multiple) * multiple
+
+
+def mask(nbits: int) -> int:
+    """Return an integer with the low ``nbits`` bits set.
+
+    >>> mask(0), mask(3), mask(32) == 0xFFFFFFFF
+    (0, 7, True)
+    """
+    nbits = int(nbits)
+    if nbits < 0:
+        raise ValidationError(f"mask width must be non-negative, got {nbits}")
+    return (1 << nbits) - 1

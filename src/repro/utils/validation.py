@@ -1,0 +1,86 @@
+"""Argument-validation helpers shared across the library.
+
+These raise :class:`repro.errors.ValidationError` with messages that name the
+offending argument, so public entry points can validate inputs in one line
+each without repeating boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "check_1d",
+    "check_2d",
+    "check_dtype",
+    "check_positive",
+    "check_in_range",
+    "check_sorted_rows",
+]
+
+
+def check_1d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Ensure ``arr`` is a one-dimensional ndarray; return it."""
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_2d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Ensure ``arr`` is a two-dimensional ndarray; return it."""
+    arr = np.asarray(arr)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_dtype(arr: np.ndarray, dtype: np.dtype, name: str) -> np.ndarray:
+    """Ensure ``arr`` has exactly dtype ``dtype``; return it."""
+    if arr.dtype != dtype:
+        raise ValidationError(f"{name} must have dtype {dtype}, got {arr.dtype}")
+    return arr
+
+
+def check_positive(value: Any, name: str) -> int:
+    """Ensure ``value`` is a positive integer; return it as ``int``."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}") from exc
+    if ivalue <= 0 or ivalue != value:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Ensure ``lo <= value <= hi``; return ``value`` as ``float``."""
+    fvalue = float(value)
+    if not (lo <= fvalue <= hi):
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return fvalue
+
+
+def check_sorted_rows(col_idx: np.ndarray, valid: np.ndarray, name: str) -> None:
+    """Ensure column indices increase strictly along each valid row prefix.
+
+    ``col_idx`` is a 2-D ELLPACK-style index array and ``valid`` a boolean
+    mask of the same shape marking real (non-padding) entries. The BRO delta
+    encoding requires strictly increasing column indices within a row
+    (Section 3.1: "the delta values will be positive").
+    """
+    col_idx = np.asarray(col_idx)
+    valid = np.asarray(valid, dtype=bool)
+    if col_idx.shape != valid.shape:
+        raise ValidationError(
+            f"{name}: index array shape {col_idx.shape} != mask shape {valid.shape}"
+        )
+    if col_idx.shape[1] < 2:
+        return
+    both = valid[:, 1:] & valid[:, :-1]
+    if np.any(both & (col_idx[:, 1:] <= col_idx[:, :-1])):
+        raise ValidationError(f"{name}: column indices must strictly increase within each row")

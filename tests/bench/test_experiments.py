@@ -1,0 +1,92 @@
+"""Unit tests for the experiment definitions (tiny scale, shape only)."""
+
+import pytest
+
+from repro.bench import experiments as E
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = E.table1_devices()
+        assert [r["device"] for r in rows] == ["Tesla C2070", "GTX680",
+                                               "Tesla K20"]
+
+    def test_table2_covers_suite(self):
+        rows = E.table2_suite(scale=0.01)
+        assert len(rows) == 30
+        assert {r["test_set"] for r in rows} == {1, 2}
+
+    def test_table3_structure(self):
+        rows = E.table3_savings(scale=0.02)
+        assert len(rows) == 16
+        for r in rows:
+            assert 0 < r["eta_pct"] < 100
+            assert r["kappa"] > 1.0
+            assert r["compressed_bytes"] < r["original_bytes"]
+
+    def test_table4_structure(self):
+        rows = E.table4_hyb_split(scale=0.02)
+        assert len(rows) == 14
+        for r in rows:
+            assert 0 <= r["pct_bro_ell"] <= 100
+
+    def test_table5_structure(self):
+        rows = E.table5_bar_savings(scale=0.01, h=64)
+        assert len(rows) == 16
+        for r in rows:
+            assert r["delta_pp"] == pytest.approx(
+                r["eta_after_pct"] - r["eta_before_pct"], abs=1e-9
+            )
+
+
+class TestFigures:
+    def test_fig3_rows_and_break_even(self):
+        rows = E.fig3_savings_sweep(m=2048, k=16, bit_widths=(32, 16, 1),
+                                    devices=("k20",))
+        assert len(rows) == 3
+        eta = {r["bits"]: r["eta_pct"] for r in rows}
+        assert eta[32] == 0.0
+        assert eta[16] == 50.0
+        be = E.fig3_break_even(rows)
+        assert "k20" in be
+
+    def test_fig4_speedups_computed(self):
+        rows = E.fig4_bro_ell(scale=0.01, devices=("k20",),
+                              matrices=("epb3",), h=64)
+        assert len(rows) == 1
+        r = rows[0]
+        assert r["speedup_vs_ellpack"] == pytest.approx(
+            r["gflops_bro_ell"] / r["gflops_ellpack"]
+        )
+
+    def test_fig5_derived_from_fig4(self):
+        rows = E.fig5_eai(scale=0.01, h=64)
+        assert len(rows) == 16
+        for r in rows:
+            assert r["eai_ratio"] == pytest.approx(
+                r["eai_bro_ell"] / r["eai_ellpack"]
+            )
+
+    def test_fig6_first_six_only(self):
+        rows = E.fig6_bandwidth(scale=0.01, devices=("k20",), h=64)
+        assert len(rows) == 6
+
+    def test_fig7_subset(self):
+        rows = E.fig7_bro_coo(scale=0.01, devices=("k20",),
+                              matrices=("epb3", "scircuit"))
+        assert len(rows) == 2
+        for r in rows:
+            assert r["speedup_vs_coo"] > 0
+
+    def test_fig8_k20_default(self):
+        rows = E.fig8_bro_hyb(scale=0.01)
+        assert len(rows) == 14
+        assert all(r["device_key"] == "k20" for r in rows)
+
+    def test_fig9_single_matrix(self):
+        rows = E.fig9_reordering(scale=0.01, matrices=("epb3",), h=64)
+        assert len(rows) == 1
+        r = rows[0]
+        for label in ("bar", "rcm", "amd"):
+            assert f"gflops_{label}" in r
+            assert f"{label}_gain_pct" in r

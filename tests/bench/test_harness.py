@@ -1,0 +1,103 @@
+"""Unit tests for the benchmark harness and reporting helpers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BENCH_SCALE_ENV,
+    ExperimentGrid,
+    bench_scale,
+    cached_format,
+    cached_matrix,
+    spmv_once,
+)
+from repro.bench.reporting import format_table, geomean, write_csv
+from repro.errors import ValidationError
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(BENCH_SCALE_ENV, raising=False)
+        assert bench_scale() == 0.06
+        assert bench_scale(0.25) == 0.25
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BENCH_SCALE_ENV, "0.5")
+        assert bench_scale() == 0.5
+        assert bench_scale(0.25) == 0.5  # env wins over the default
+
+
+class TestCaching:
+    def test_matrix_cached(self):
+        a = cached_matrix("epb3", 0.01)
+        b = cached_matrix("epb3", 0.01)
+        assert a is b
+
+    def test_format_cached_and_correct(self):
+        mat = cached_format("epb3", 0.01, "bro_ell", 64)
+        coo = cached_matrix("epb3", 0.01)
+        np.testing.assert_allclose(mat.to_dense(), coo.to_dense())
+        assert cached_format("epb3", 0.01, "bro_ell", 64) is mat
+
+    def test_different_scale_different_matrix(self):
+        assert cached_matrix("epb3", 0.01) is not cached_matrix("epb3", 0.02)
+
+
+class TestSpmvOnce:
+    def test_result_fields(self):
+        mat = cached_format("epb3", 0.01, "ellpack")
+        res = spmv_once(mat, "k20")
+        assert res.gflops > 0
+        assert res.counters.dram_bytes > 0
+
+    def test_accepts_device_spec(self):
+        from repro.gpu.device import TESLA_C2070
+
+        mat = cached_format("epb3", 0.01, "coo")
+        assert spmv_once(mat, TESLA_C2070).device is TESLA_C2070
+
+
+class TestExperimentGrid:
+    def test_grid_rows_and_verification(self):
+        grid = ExperimentGrid(
+            matrices=["epb3"],
+            formats=("ellpack", "bro_ell"),
+            devices=("k20", "c2070"),
+            scale=0.01,
+            h=64,
+        )
+        rows = grid.run()
+        assert len(rows) == 2  # one per device
+        for row in rows:
+            assert row["matrix"] == "epb3"
+            assert row["gflops_ellpack"] > 0
+            assert row["gflops_bro_ell"] > 0
+            assert row["eai_bro_ell"] > row["eai_ellpack"]
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ValidationError):
+            geomean([])
+        with pytest.raises(ValidationError):
+            geomean([1.0, -1.0])
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123}]
+        text = format_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "0.12" in text  # default float format
+        assert format_table([], ["a"], "empty").endswith("(no rows)")
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out" / "rows.csv"
+        write_csv([{"a": 1, "b": "x", "ignored": 9}], str(path), ["a", "b"])
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,x"

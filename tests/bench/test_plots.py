@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.plots import bar_chart, line_chart
+from repro.errors import ValidationError
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") < lines[1].count("█")
+        assert lines[1].count("█") == 10  # max value fills the width
+
+    def test_title_and_units(self):
+        text = bar_chart(["x"], [3.0], title="T", unit=" GF")
+        assert text.splitlines()[0] == "T"
+        assert "3.00 GF" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [], title="t")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLineChart:
+    def test_series_markers_and_legend(self):
+        text = line_chart(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            title="trend",
+        )
+        assert "o up" in text
+        assert "x down" in text
+        assert text.splitlines()[0] == "trend"
+        # Extremes of the y-axis are labelled.
+        assert "1.00" in text and "0.00" in text
+
+    def test_monotone_series_renders_diagonal(self):
+        pts = [(float(i), float(i)) for i in range(8)]
+        text = line_chart({"s": pts}, width=16, height=8)
+        rows = [l for l in text.splitlines() if "o" in l]
+        cols = [r.index("o") for r in rows]
+        # y decreases down the grid while x grows rightward, so the marker
+        # column must decrease row by row — a falling diagonal on screen.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_single_point(self):
+        text = line_chart({"s": [(2.0, 5.0)]})
+        assert "o s" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({}, title="t")
+        assert "(no data)" in line_chart({"s": []})
+
+
+class TestCLIPlot:
+    def test_bench_with_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "table3", "--scale", "0.02", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out  # a bar chart rendered
+
+    def test_fig3_plot_is_line_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "fig3", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla C2070" in out
+        assert "└" in out  # chart frame

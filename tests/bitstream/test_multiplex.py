@@ -1,0 +1,71 @@
+"""Unit tests for the multi-slice stream container."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.multiplex import MultiplexedStream, concat_slices
+from repro.errors import ValidationError
+
+
+class TestConcatSlices:
+    def test_basic(self):
+        a = np.arange(4, dtype=np.uint32)
+        b = np.arange(6, dtype=np.uint32)
+        ms = concat_slices([a, b], sym_len=32)
+        assert ms.num_slices == 2
+        np.testing.assert_array_equal(ms.slice_view(0), a)
+        np.testing.assert_array_equal(ms.slice_view(1), b)
+        np.testing.assert_array_equal(ms.slice_ptr, [0, 4, 10])
+
+    def test_empty_list(self):
+        ms = concat_slices([], sym_len=32)
+        assert ms.num_slices == 0
+        assert ms.data.shape == (0,)
+
+    def test_empty_slice_allowed(self):
+        ms = concat_slices([np.zeros(0, dtype=np.uint32), np.ones(2, dtype=np.uint32)])
+        assert ms.num_slices == 2
+        assert ms.slice_view(0).shape == (0,)
+
+    def test_nbytes(self):
+        ms = concat_slices([np.zeros(3, dtype=np.uint32)])
+        assert ms.nbytes == 12
+        ms64 = concat_slices([np.zeros(3, dtype=np.uint64)], sym_len=64)
+        assert ms64.nbytes == 24
+
+    def test_iteration(self):
+        parts = [np.full(i, i, dtype=np.uint32) for i in (1, 2, 3)]
+        ms = concat_slices(parts)
+        for got, want in zip(ms, parts):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestValidation:
+    def test_dtype_mismatch(self):
+        with pytest.raises(ValidationError, match="dtype"):
+            MultiplexedStream(
+                data=np.zeros(2, dtype=np.uint64),
+                slice_ptr=np.array([0, 2]),
+                sym_len=32,
+            )
+
+    def test_bad_ptr_end(self):
+        with pytest.raises(ValidationError):
+            MultiplexedStream(
+                data=np.zeros(2, dtype=np.uint32),
+                slice_ptr=np.array([0, 3]),
+                sym_len=32,
+            )
+
+    def test_decreasing_ptr(self):
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            MultiplexedStream(
+                data=np.zeros(2, dtype=np.uint32),
+                slice_ptr=np.array([0, 3, 2]),
+                sym_len=32,
+            )
+
+    def test_out_of_range_view(self):
+        ms = concat_slices([np.zeros(1, dtype=np.uint32)])
+        with pytest.raises(ValidationError):
+            ms.slice_view(1)

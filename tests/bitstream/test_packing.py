@@ -1,0 +1,114 @@
+"""Unit tests for the vectorized slice packer/unpacker."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.packing import (
+    column_bit_offsets,
+    pack_slice,
+    row_stream_symbols,
+    unpack_slice,
+)
+from repro.errors import CompressionError, ValidationError
+
+
+class TestLayoutHelpers:
+    def test_column_bit_offsets(self):
+        np.testing.assert_array_equal(
+            column_bit_offsets(np.array([3, 1, 4])), np.array([0, 3, 4])
+        )
+
+    def test_row_stream_symbols_padding(self):
+        # 3+1+4 = 8 bits -> one 32-bit symbol with b_p = 24.
+        assert row_stream_symbols(np.array([3, 1, 4]), 32) == 1
+        assert row_stream_symbols(np.array([30, 3]), 32) == 2
+        assert row_stream_symbols(np.array([], dtype=np.int64), 32) == 0
+
+    def test_row_stream_symbols_exact_multiple(self):
+        assert row_stream_symbols(np.array([16, 16]), 32) == 1
+
+
+class TestPackSlice:
+    def test_paper_figure1_style_example(self):
+        # Two rows, widths [3, 2, 3], sym_len = 8 -> 1 symbol per row.
+        values = np.array([[5, 2, 7], [1, 0, 3]])
+        # sym_len=8 is not supported; use 32 and check bit positions.
+        stream = pack_slice(values, np.array([3, 2, 3]), sym_len=32)
+        assert stream.shape == (2,)  # 1 symbol * 2 rows
+        # Row 0: 101 10 111 -> 0b10110111 in the top 8 bits.
+        assert int(stream[0]) >> 24 == 0b10110111
+        # Row 1: 001 00 011
+        assert int(stream[1]) >> 24 == 0b00100011
+
+    def test_multiplexed_layout(self):
+        # Force 2 symbols per row and check symbol-major ordering.
+        h, widths = 3, np.array([32, 4])
+        values = np.arange(h * 2).reshape(h, 2)
+        stream = pack_slice(values, widths, sym_len=32)
+        assert stream.shape == (2 * h,)
+        # Symbol 0 of each row is that row's first (32-bit) value.
+        np.testing.assert_array_equal(stream[:h].astype(np.int64), values[:, 0])
+
+    def test_straddling_value(self):
+        # Width-20 then width-20: the second value straddles symbol 0/1.
+        values = np.array([[0xABCDE, 0x12345]])
+        stream = pack_slice(values, np.array([20, 20]), sym_len=32)
+        bits = (int(stream[0]) << 32) | int(stream[1])
+        assert (bits >> 44) & 0xFFFFF == 0xABCDE
+        assert (bits >> 24) & 0xFFFFF == 0x12345
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(CompressionError, match="does not fit"):
+            pack_slice(np.array([[8]]), np.array([3]), sym_len=32)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(CompressionError):
+            pack_slice(np.array([[-1]]), np.array([3]), sym_len=32)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(CompressionError, match=">= 1"):
+            pack_slice(np.array([[0]]), np.array([0]), sym_len=32)
+
+    def test_width_exceeding_symbol_rejected(self):
+        with pytest.raises(CompressionError, match="exceeds the symbol"):
+            pack_slice(np.array([[0]]), np.array([33]), sym_len=32)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pack_slice(np.zeros((2, 3), dtype=np.int64), np.array([1, 1]), sym_len=32)
+
+    def test_empty_slice(self):
+        out = pack_slice(np.zeros((4, 0), dtype=np.int64), np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sym_len", [32, 64])
+    def test_random_round_trip(self, sym_len):
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            h = int(rng.integers(1, 9))
+            L = int(rng.integers(1, 17))
+            widths = rng.integers(1, sym_len + 1, size=L)
+            values = np.empty((h, L), dtype=np.uint64)
+            for j, w in enumerate(widths):
+                hi = np.uint64(1) << np.uint64(min(int(w), 63))
+                values[:, j] = rng.integers(0, int(hi), size=h, dtype=np.uint64)
+            stream = pack_slice(values, widths, sym_len=sym_len)
+            out = unpack_slice(stream, widths, h, sym_len=sym_len)
+            np.testing.assert_array_equal(out.astype(np.uint64), values)
+
+    def test_full_width_64(self):
+        values = np.array([[2**63 + 12345, 7]], dtype=np.uint64)
+        widths = np.array([64, 3])
+        stream = pack_slice(values, widths, sym_len=64)
+        out = unpack_slice(stream, widths, 1, sym_len=64)
+        np.testing.assert_array_equal(out.astype(np.uint64), values)
+
+    def test_unpack_wrong_length_rejected(self):
+        with pytest.raises(ValidationError, match="expected"):
+            unpack_slice(np.zeros(3, dtype=np.uint32), np.array([4]), h=2)
+
+    def test_unpack_bad_height(self):
+        with pytest.raises(ValidationError, match="positive"):
+            unpack_slice(np.zeros(0, dtype=np.uint32), np.array([], dtype=np.int64), h=0)

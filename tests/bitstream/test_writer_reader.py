@@ -1,0 +1,141 @@
+"""Unit tests for the scalar BitWriter/BitReader and the SliceDecoder."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.packing import pack_slice, row_stream_symbols
+from repro.bitstream.reader import BitReader, SliceDecoder
+from repro.bitstream.writer import BitWriter
+from repro.errors import CompressionError, DecompressionError, ValidationError
+
+
+class TestBitWriter:
+    def test_single_symbol(self):
+        w = BitWriter(sym_len=32)
+        w.write(0b1011, 4)
+        syms = w.finish()
+        assert syms.shape == (1,)
+        assert int(syms[0]) == 0b1011 << 28
+
+    def test_exact_symbol_no_padding(self):
+        w = BitWriter(sym_len=32)
+        w.write(0xDEADBEEF, 32)
+        syms = w.finish()
+        assert int(syms[0]) == 0xDEADBEEF
+
+    def test_straddle(self):
+        w = BitWriter(sym_len=32)
+        w.write(0xFFFFF, 20)
+        w.write(0xFFFFF, 20)
+        syms = w.finish()
+        assert syms.shape == (2,)
+        assert int(syms[0]) == 0xFFFFFFFF
+        assert int(syms[1]) == 0xFF << 24
+
+    def test_bits_written(self):
+        w = BitWriter()
+        w.write(1, 5)
+        w.write(1, 30)
+        assert w.bits_written == 35
+
+    def test_value_too_big(self):
+        w = BitWriter()
+        with pytest.raises(CompressionError):
+            w.write(16, 4)
+
+    def test_write_after_finish_rejected(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.finish()
+        with pytest.raises(CompressionError):
+            w.write(1, 1)
+
+    def test_bad_nbits(self):
+        w = BitWriter(sym_len=32)
+        with pytest.raises(ValidationError):
+            w.write(0, 0)
+        with pytest.raises(ValidationError):
+            w.write(0, 33)
+
+
+class TestBitReader:
+    def test_round_trip(self):
+        w = BitWriter()
+        pieces = [(5, 3), (0, 1), (1023, 10), (0xFFFFFFFF, 32), (1, 2)]
+        for v, b in pieces:
+            w.write(v, b)
+        r = BitReader(w.finish())
+        for v, b in pieces:
+            assert r.read(b) == v
+
+    def test_overread_rejected(self):
+        w = BitWriter()
+        w.write(1, 1)
+        r = BitReader(w.finish())
+        r.read(32)  # padded symbol is fully readable
+        with pytest.raises(DecompressionError):
+            r.read(1)
+
+    def test_bits_remaining(self):
+        w = BitWriter()
+        w.write(1, 1)
+        r = BitReader(w.finish())
+        assert r.bits_remaining == 32
+        r.read(5)
+        assert r.bits_remaining == 27
+
+
+class TestSliceDecoder:
+    def _decode_all(self, stream, widths, h, sym_len=32):
+        dec = SliceDecoder(stream, h=h, sym_len=sym_len)
+        cols = [dec.decode(int(b)) for b in widths]
+        return np.stack(cols, axis=1), dec
+
+    @pytest.mark.parametrize("sym_len", [32, 64])
+    def test_matches_pack_slice(self, sym_len):
+        rng = np.random.default_rng(7)
+        h, L = 5, 12
+        widths = rng.integers(1, 17, size=L)
+        values = np.stack(
+            [rng.integers(0, 1 << int(w), size=h) for w in widths], axis=1
+        )
+        stream = pack_slice(values, widths, sym_len=sym_len)
+        out, _ = self._decode_all(stream, widths, h, sym_len)
+        np.testing.assert_array_equal(out, values)
+
+    def test_symbol_loads_counted(self):
+        widths = np.array([16, 16, 16, 16])  # 64 bits/row -> 2 symbols
+        values = np.ones((3, 4), dtype=np.int64)
+        stream = pack_slice(values, widths)
+        _, dec = self._decode_all(stream, widths, h=3)
+        assert dec.symbol_loads == 2
+        assert dec.remaining_symbols == 0
+
+    def test_exact_fit_no_overrun(self):
+        # Row stream exactly one symbol: must not try to load a second.
+        widths = np.array([32])
+        values = np.array([[123456]], dtype=np.int64)
+        stream = pack_slice(values, widths)
+        assert row_stream_symbols(widths, 32) == 1
+        out, dec = self._decode_all(stream, widths, h=1)
+        assert out[0, 0] == 123456
+        assert dec.symbol_loads == 1
+
+    def test_stream_exhaustion_raises(self):
+        dec = SliceDecoder(np.zeros(2, dtype=np.uint32), h=2)
+        dec.decode(32)
+        with pytest.raises(DecompressionError):
+            dec.decode(1)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValidationError):
+            SliceDecoder(np.zeros(3, dtype=np.uint32), h=2)
+        with pytest.raises(ValidationError):
+            SliceDecoder(np.zeros(2, dtype=np.uint32), h=0)
+
+    def test_bad_width(self):
+        dec = SliceDecoder(np.zeros(2, dtype=np.uint32), h=2)
+        with pytest.raises(ValidationError):
+            dec.decode(0)
+        with pytest.raises(ValidationError):
+            dec.decode(33)

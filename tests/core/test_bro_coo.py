@@ -1,0 +1,118 @@
+"""Unit tests for the BRO-COO format."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_coo import BROCOOMatrix
+from repro.core.slices import interval_bit_alloc
+from repro.errors import CompressionError, ValidationError
+from repro.formats.coo import COOMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestConstruction:
+    def test_paper_example(self, paper_matrix):
+        bro = BROCOOMatrix.from_coo(paper_matrix, interval_size=8, warp_size=4)
+        assert bro.nnz == 12
+        assert bro.num_intervals == 2
+        # Interval 0 holds entries 0..7, interval 1 entries 8..11.
+        assert bro.interval_entry_bounds(0) == (0, 8)
+        assert bro.interval_entry_bounds(1) == (8, 12)
+
+    def test_padding_to_lane_multiple(self):
+        coo = random_coo(20, 20, density=0.05, seed=3)  # nnz not multiple of 4
+        bro = BROCOOMatrix.from_coo(coo, interval_size=8, warp_size=4)
+        assert bro.padded_nnz % 4 == 0
+        assert bro.padded_nnz >= bro.nnz
+        # Phantom values are zero.
+        np.testing.assert_array_equal(bro.vals[bro.nnz :], 0.0)
+
+    def test_interval_size_must_divide(self):
+        with pytest.raises(ValidationError, match="multiple of warp_size"):
+            BROCOOMatrix.from_coo(
+                COOMatrix([0], [0], [1.0], (2, 2)), interval_size=10, warp_size=4
+            )
+
+    def test_empty_matrix(self):
+        bro = BROCOOMatrix.from_coo(COOMatrix([], [], [], (4, 4)))
+        assert bro.num_intervals == 0
+        np.testing.assert_array_equal(bro.spmv(np.ones(4)), np.zeros(4))
+
+
+class TestDecode:
+    def test_decode_rows_paper_example(self, paper_matrix):
+        bro = BROCOOMatrix.from_coo(paper_matrix, interval_size=8, warp_size=4)
+        np.testing.assert_array_equal(
+            bro.decode_rows()[:12], paper_matrix.row_idx
+        )
+
+    def test_round_trip(self, paper_matrix):
+        for interval, w in [(4, 4), (8, 4), (16, 8), (1024, 32)]:
+            bro = BROCOOMatrix.from_coo(
+                paper_matrix, interval_size=interval, warp_size=w
+            )
+            np.testing.assert_array_equal(bro.to_dense(), PAPER_A)
+
+    @pytest.mark.parametrize("sym_len", [32, 64])
+    def test_round_trip_random(self, sym_len):
+        for seed in range(3):
+            coo = random_coo(200, 150, density=0.03, seed=seed)
+            bro = BROCOOMatrix.from_coo(
+                coo, interval_size=64, warp_size=8, sym_len=sym_len
+            )
+            np.testing.assert_allclose(bro.to_dense(), coo.to_dense())
+
+    def test_interval_lanes(self, paper_matrix):
+        bro = BROCOOMatrix.from_coo(paper_matrix, interval_size=8, warp_size=4)
+        assert bro.interval_lanes(0) == 2
+        assert bro.interval_lanes(1) == 1
+
+
+class TestSpMV:
+    def test_paper_example(self, paper_matrix):
+        bro = BROCOOMatrix.from_coo(paper_matrix, interval_size=8, warp_size=4)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(bro.spmv(x), PAPER_A @ x)
+
+    def test_matches_coo(self):
+        coo = random_coo(150, 120, density=0.04, seed=7)
+        bro = BROCOOMatrix.from_coo(coo, interval_size=96, warp_size=16)
+        x = np.random.default_rng(8).standard_normal(120)
+        np.testing.assert_allclose(bro.spmv(x), coo.spmv(x), rtol=1e-12)
+
+    def test_long_row_spanning_intervals(self):
+        # One dense row: every delta inside an interval is 0.
+        coo = COOMatrix([0] * 64, np.arange(64), np.ones(64), (4, 64))
+        bro = BROCOOMatrix.from_coo(coo, interval_size=16, warp_size=4)
+        assert int(bro.bit_alloc.max()) == 1
+        np.testing.assert_allclose(bro.spmv(np.ones(64)), [64, 0, 0, 0])
+
+
+class TestCompression:
+    def test_row_stream_compresses(self):
+        coo = random_coo(300, 300, density=0.02, seed=10)
+        bro = BROCOOMatrix.from_coo(coo)
+        # The packed row stream must beat 4 bytes/entry.
+        assert bro.stream.nbytes < 4 * bro.padded_nnz
+
+    def test_device_bytes(self, paper_matrix):
+        bro = BROCOOMatrix.from_coo(paper_matrix, interval_size=8, warp_size=4)
+        db = bro.device_bytes()
+        assert db["values"] == bro.padded_nnz * 8
+        assert db["index"] == bro.stream.nbytes + bro.padded_nnz * 4
+
+
+class TestIntervalBitAlloc:
+    def test_single_width(self):
+        assert interval_bit_alloc(np.array([[1, 5, 0]])) == 3
+
+    def test_zero_deltas(self):
+        assert interval_bit_alloc(np.zeros((2, 2), np.int64)) == 1
+
+    def test_limit(self):
+        with pytest.raises(CompressionError):
+            interval_bit_alloc(np.array([[2**40]]), max_bits=32)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            interval_bit_alloc(np.zeros((0, 2), np.int64))

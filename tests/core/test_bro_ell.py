@@ -1,0 +1,137 @@
+"""Unit tests for the BRO-ELL format."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.slices import column_bit_alloc
+from repro.errors import CompressionError, ValidationError
+from repro.formats.ellpack import ELLPACKMatrix
+from repro.formats.sliced_ellpack import SlicedELLPACKMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestConstruction:
+    def test_paper_example_h2(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        assert bro.num_slices == 2
+        np.testing.assert_array_equal(bro.num_col, [5, 3])
+        # Slice 0 deltas (1-based): row0 [1,2,0,0,0], row1 [1,1,1,1,1]
+        # -> widths [1, 2, 1, 1, 1].
+        np.testing.assert_array_equal(bro.bit_allocs[0], [1, 2, 1, 1, 1])
+        # Slice 1 deltas: row2 (cols 1,2,4 -> 1-based 2,3,5) = [2,1,2];
+        # row3 (cols 3,4 -> 4,5) = [4,1,0] -> widths [3, 1, 2].
+        np.testing.assert_array_equal(bro.bit_allocs[1], [3, 1, 2])
+
+    def test_row_lengths_preserved(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        np.testing.assert_array_equal(bro.row_lengths, [2, 5, 3, 2])
+        assert bro.nnz == 12
+
+    def test_from_sliced_equivalent(self, paper_matrix):
+        sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=2)
+        bro = BROELLMatrix.from_sliced(sl)
+        np.testing.assert_array_equal(bro.to_dense(), PAPER_A)
+
+    def test_bad_bit_alloc_count(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        with pytest.raises(ValidationError):
+            BROELLMatrix(
+                bro.stream, bro.bit_allocs[:1], bro._vals, bro.row_lengths, 2, (4, 5)
+            )
+
+
+class TestRoundTrip:
+    def test_paper_example(self, paper_matrix):
+        for h in (1, 2, 3, 4, 8):
+            bro = BROELLMatrix.from_coo(paper_matrix, h=h)
+            np.testing.assert_array_equal(bro.to_dense(), PAPER_A)
+
+    @pytest.mark.parametrize("sym_len", [32, 64])
+    def test_random_matrices(self, sym_len):
+        for seed in range(4):
+            coo = random_coo(100, 90, density=0.05, seed=seed)
+            bro = BROELLMatrix.from_coo(coo, h=16, sym_len=sym_len)
+            np.testing.assert_allclose(bro.to_dense(), coo.to_dense())
+
+    def test_to_sliced_round_trip(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        sl = bro.to_sliced()
+        np.testing.assert_array_equal(sl.to_dense(), PAPER_A)
+
+    def test_decode_slice_cols(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        cols, valid = bro.decode_slice_cols(1)
+        np.testing.assert_array_equal(valid, [[True, True, True], [True, True, False]])
+        np.testing.assert_array_equal(cols[0], [1, 2, 4])
+        np.testing.assert_array_equal(cols[1, :2], [3, 4])
+
+
+class TestSpMV:
+    def test_paper_example(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(bro.spmv(x), PAPER_A @ x)
+
+    def test_matches_ellpack(self):
+        coo = random_coo(120, 100, density=0.04, seed=17)
+        ell = ELLPACKMatrix.from_coo(coo)
+        bro = BROELLMatrix.from_coo(coo, h=32)
+        x = np.random.default_rng(18).standard_normal(100)
+        np.testing.assert_allclose(bro.spmv(x), ell.spmv(x), rtol=1e-12)
+
+    def test_matrix_with_empty_rows(self):
+        from repro.formats.coo import COOMatrix
+
+        coo = COOMatrix([0, 5], [3, 9], [2.0, 4.0], (8, 10))
+        bro = BROELLMatrix.from_coo(coo, h=4)
+        y = bro.spmv(np.ones(10))
+        np.testing.assert_array_equal(y, [2, 0, 0, 0, 0, 4, 0, 0])
+
+
+class TestCompression:
+    def test_index_smaller_than_ellpack(self):
+        # A banded matrix: small deltas, highly compressible.
+        from repro.formats.coo import COOMatrix
+
+        m = 128
+        rows = np.repeat(np.arange(m), 5)
+        cols = (rows + np.tile(np.arange(5), m)) % m
+        coo = COOMatrix(rows, np.sort(cols.reshape(m, 5), axis=1).reshape(-1),
+                        np.ones(m * 5), (m, m))
+        ell = ELLPACKMatrix.from_coo(coo)
+        bro = BROELLMatrix.from_coo(coo, h=32)
+        assert bro.device_bytes()["index"] < ell.device_bytes()["index"] / 3
+
+    def test_device_bytes_components(self, paper_matrix):
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        db = bro.device_bytes()
+        assert db["values"] == (2 * 5 + 2 * 3) * 8
+        assert db["index"] == bro.stream.nbytes
+        assert db["aux"] > 0
+
+    def test_stream_bits_match_bit_alloc(self, paper_matrix):
+        from repro.bitstream.packing import row_stream_symbols
+
+        bro = BROELLMatrix.from_coo(paper_matrix, h=2)
+        for i in range(bro.num_slices):
+            n_sym = row_stream_symbols(bro.bit_allocs[i], bro.sym_len)
+            h_i = int(bro.slice_edges[i + 1] - bro.slice_edges[i])
+            assert bro.stream.slice_view(i).shape[0] == n_sym * h_i
+
+
+class TestColumnBitAlloc:
+    def test_widths(self):
+        deltas = np.array([[1, 4, 0], [3, 1, 7]])
+        np.testing.assert_array_equal(column_bit_alloc(deltas), [2, 3, 3])
+
+    def test_width_limit(self):
+        with pytest.raises(CompressionError, match="exceeding"):
+            column_bit_alloc(np.array([[2**40]]), max_bits=32)
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(CompressionError):
+            column_bit_alloc(np.zeros((0, 3), np.int64))
+
+    def test_zero_columns(self):
+        assert column_bit_alloc(np.zeros((2, 0), np.int64)).shape == (0,)

@@ -1,0 +1,99 @@
+"""Unit tests for the BRO-HYB format."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_hyb import BROHYBMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.hyb import HYBMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+def skewed_matrix(seed=0, m=200, n=200):
+    """Rows mostly short, a few very long — the HYB sweet spot."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 6, size=m)
+    lengths[rng.choice(m, size=m // 20, replace=False)] = rng.integers(
+        40, 80, size=m // 20
+    )
+    lengths = np.minimum(lengths, n)
+    rows = np.repeat(np.arange(m), lengths)
+    cols = np.concatenate(
+        [np.sort(rng.choice(n, size=int(k), replace=False)) for k in lengths]
+    )
+    return COOMatrix(rows, cols, rng.standard_normal(rows.size), (m, n))
+
+
+class TestConstruction:
+    def test_same_partition_as_hyb(self):
+        coo = skewed_matrix(1)
+        hyb = HYBMatrix.from_coo(coo)
+        bro = BROHYBMatrix.from_coo(coo, h=32)
+        assert bro.ell.nnz == hyb.ell.nnz
+        assert bro.coo.nnz == hyb.coo.nnz
+        assert bro.ell_fraction == pytest.approx(hyb.ell_fraction)
+
+    def test_paper_example(self, paper_matrix):
+        bro = BROHYBMatrix.from_coo(paper_matrix, h=2, interval_size=8, warp_size=4)
+        # Same split as HYB: k=3 -> ELL part 10 entries, COO part 2.
+        assert bro.ell.nnz == 10
+        assert bro.coo.nnz == 2
+
+    def test_explicit_k(self, paper_matrix):
+        bro = BROHYBMatrix.from_coo(
+            paper_matrix, k=1, h=2, interval_size=8, warp_size=4
+        )
+        assert bro.ell.nnz == 4
+        assert bro.coo.nnz == 8
+
+    def test_pure_ell_matrix(self):
+        # Uniform row lengths -> empty COO part.
+        coo = random_coo(64, 64, density=0.05, seed=2)
+        from repro.formats.hyb import hyb_split_column
+
+        k = int(coo.row_lengths().max())
+        bro = BROHYBMatrix.from_coo(coo, k=k, h=16)
+        assert bro.coo.nnz == 0
+        np.testing.assert_allclose(bro.to_dense(), coo.to_dense())
+
+
+class TestRoundTripAndSpMV:
+    def test_round_trip(self, paper_matrix):
+        bro = BROHYBMatrix.from_coo(paper_matrix, h=2, interval_size=8, warp_size=4)
+        np.testing.assert_array_equal(bro.to_dense(), PAPER_A)
+
+    def test_spmv_paper(self, paper_matrix):
+        bro = BROHYBMatrix.from_coo(paper_matrix, h=2, interval_size=8, warp_size=4)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(bro.spmv(x), PAPER_A @ x)
+
+    def test_spmv_matches_hyb(self):
+        coo = skewed_matrix(3)
+        hyb = HYBMatrix.from_coo(coo)
+        bro = BROHYBMatrix.from_coo(coo, h=32)
+        x = np.random.default_rng(4).standard_normal(200)
+        np.testing.assert_allclose(bro.spmv(x), hyb.spmv(x), rtol=1e-12)
+
+    def test_round_trip_random(self):
+        for seed in range(3):
+            coo = skewed_matrix(seed + 10)
+            bro = BROHYBMatrix.from_coo(coo, h=32)
+            np.testing.assert_allclose(bro.to_dense(), coo.to_dense())
+
+
+class TestAccounting:
+    def test_device_bytes_sum_of_parts(self, paper_matrix):
+        bro = BROHYBMatrix.from_coo(paper_matrix, h=2, interval_size=8, warp_size=4)
+        db = bro.device_bytes()
+        ell_db = bro.ell.device_bytes()
+        coo_db = bro.coo.device_bytes()
+        for key in db:
+            assert db[key] == ell_db.get(key, 0) + coo_db.get(key, 0)
+
+    def test_index_compresses_vs_hyb(self):
+        from repro.core.compression import index_compression_report
+
+        coo = skewed_matrix(5)
+        bro = BROHYBMatrix.from_coo(coo, h=32)
+        report = index_compression_report(bro, "skewed")
+        assert 0.0 < report.eta < 1.0

@@ -1,0 +1,73 @@
+"""Unit tests for space-savings / compression-ratio accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_coo import BROCOOMatrix
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.compression import (
+    CompressionReport,
+    compression_ratio,
+    index_compression_report,
+    space_savings,
+    space_savings_from_ratio,
+)
+from repro.errors import ValidationError
+from tests.conftest import random_coo
+
+
+class TestFormulas:
+    def test_space_savings(self):
+        assert space_savings(100, 25) == pytest.approx(0.75)
+        assert space_savings(100, 100) == 0.0
+        assert space_savings(100, 150) == pytest.approx(-0.5)
+
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 25) == pytest.approx(4.0)
+
+    def test_paper_relationship_eta_kappa(self):
+        # kappa = 1 / (1 - eta), Section 4.2.1.
+        for o, c in [(100, 25), (80, 60), (64, 8)]:
+            eta = space_savings(o, c)
+            kappa = compression_ratio(o, c)
+            assert kappa == pytest.approx(1.0 / (1.0 - eta))
+            assert space_savings_from_ratio(kappa) == pytest.approx(eta)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            space_savings(0, 10)
+        with pytest.raises(ValidationError):
+            space_savings(10, -1)
+        with pytest.raises(ValidationError):
+            compression_ratio(10, 0)
+        with pytest.raises(ValidationError):
+            space_savings_from_ratio(0.0)
+
+
+class TestReport:
+    def test_properties(self):
+        rep = CompressionReport("m", "bro_ell", 100, 20)
+        assert rep.eta == pytest.approx(0.8)
+        assert rep.kappa == pytest.approx(5.0)
+
+    def test_bro_ell_report(self):
+        coo = random_coo(128, 128, density=0.05, seed=1)
+        bro = BROELLMatrix.from_coo(coo, h=32)
+        rep = index_compression_report(bro, "rand")
+        assert rep.scheme == "bro_ell"
+        assert rep.matrix_name == "rand"
+        assert rep.compressed_index_bytes > 0
+        # Random 128-col indices need ~8 bits/delta at most; 32-bit original.
+        assert rep.eta > 0.3
+
+    def test_bro_coo_report(self):
+        coo = random_coo(256, 64, density=0.05, seed=2)
+        bro = BROCOOMatrix.from_coo(coo, interval_size=128, warp_size=32)
+        rep = index_compression_report(bro, "rand")
+        assert rep.scheme == "bro_coo"
+        assert rep.original_index_bytes == 4 * bro.padded_nnz
+        assert rep.eta > 0.0
+
+    def test_classical_format_rejected(self):
+        with pytest.raises(ValidationError):
+            index_compression_report(random_coo(4, 4, seed=3))

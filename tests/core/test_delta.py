@@ -1,0 +1,99 @@
+"""Unit tests for delta encoding (Section 3.1 / 3.2 conventions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import (
+    delta_decode_columns,
+    delta_decode_lanes,
+    delta_encode_columns,
+    delta_encode_lanes,
+)
+from repro.errors import CompressionError
+
+
+class TestColumnDeltas:
+    def test_paper_figure1_first_slice(self):
+        # Rows 0-1 of the example matrix, l = 5, 0-based cols with padding.
+        col_idx = np.array([[0, 2, 0, 0, 0], [0, 1, 2, 3, 4]])
+        valid = np.array(
+            [[True, True, False, False, False], [True, True, True, True, True]]
+        )
+        deltas = delta_encode_columns(col_idx, valid)
+        # 1-based: row0 = [1, 3] -> deltas [1, 2]; row1 = [1..5] -> all 1s.
+        np.testing.assert_array_equal(deltas, [[1, 2, 0, 0, 0], [1, 1, 1, 1, 1]])
+
+    def test_valid_deltas_always_positive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            L = int(rng.integers(1, 12))
+            cols = np.sort(rng.choice(50, size=L, replace=False))
+            deltas = delta_encode_columns(
+                cols[np.newaxis, :], np.ones((1, L), dtype=bool)
+            )
+            assert (deltas > 0).all()
+
+    def test_zero_marks_padding_only(self):
+        col_idx = np.array([[4, 7, 0]])
+        valid = np.array([[True, True, False]])
+        deltas = delta_encode_columns(col_idx, valid)
+        np.testing.assert_array_equal(deltas, [[5, 3, 0]])
+
+    def test_round_trip(self):
+        col_idx = np.array([[0, 2, 0], [1, 3, 6], [5, 0, 0]])
+        valid = np.array([[True, True, False], [True, True, True], [True, False, False]])
+        deltas = delta_encode_columns(col_idx, valid)
+        decoded, out_valid = delta_decode_columns(deltas)
+        np.testing.assert_array_equal(out_valid, valid)
+        np.testing.assert_array_equal(decoded[valid], col_idx[valid])
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(CompressionError, match="strictly increase"):
+            delta_encode_columns(np.array([[3, 3]]), np.ones((1, 2), bool))
+        with pytest.raises(CompressionError, match="strictly increase"):
+            delta_encode_columns(np.array([[5, 2]]), np.ones((1, 2), bool))
+
+    def test_not_left_packed_rejected(self):
+        valid = np.array([[False, True]])
+        with pytest.raises(CompressionError, match="left-packed"):
+            delta_encode_columns(np.array([[0, 1]]), valid)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CompressionError):
+            delta_encode_columns(np.zeros((2, 3)), np.ones((2, 2), bool))
+
+    def test_all_padding_row(self):
+        deltas = delta_encode_columns(
+            np.zeros((1, 3), np.int64), np.zeros((1, 3), bool)
+        )
+        np.testing.assert_array_equal(deltas, np.zeros((1, 3)))
+
+    def test_empty_block(self):
+        deltas = delta_encode_columns(
+            np.zeros((2, 0), np.int64), np.zeros((2, 0), bool)
+        )
+        assert deltas.shape == (2, 0)
+
+
+class TestLaneDeltas:
+    def test_basic(self):
+        rows = np.array([[0, 0, 2], [1, 1, 1]])
+        deltas = delta_encode_lanes(rows)
+        # 1-based with r_{i,-1} = 0: first delta is the absolute index + 1.
+        np.testing.assert_array_equal(deltas, [[1, 0, 2], [2, 0, 0]])
+
+    def test_zero_delta_is_valid(self):
+        # Repeated rows (a long matrix row spanning several entries).
+        rows = np.array([[5, 5, 5, 5]])
+        deltas = delta_encode_lanes(rows)
+        np.testing.assert_array_equal(deltas, [[6, 0, 0, 0]])
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        rows = np.sort(rng.integers(0, 100, size=(4, 10)), axis=1)
+        decoded = delta_decode_lanes(delta_encode_lanes(rows))
+        np.testing.assert_array_equal(decoded, rows)
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(CompressionError, match="non-decreasing"):
+            delta_encode_lanes(np.array([[3, 1]]))

@@ -1,0 +1,99 @@
+"""Unit tests for the multi-thread-per-row BRO-ELL extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.multirow import MultiRowBROELL, split_rows
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.kernels import run_spmv
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestSplitRows:
+    def test_paper_example_t2(self, paper_matrix):
+        out = split_rows(paper_matrix, 2)
+        assert out.shape == (8, 5)
+        assert out.nnz == 12
+        # Row 1 (5 entries, cols 0-4) deals into sub-rows 2 and 3.
+        sub2 = out.col_idx[out.row_idx == 2]
+        sub3 = out.col_idx[out.row_idx == 3]
+        np.testing.assert_array_equal(sub2, [0, 2, 4])
+        np.testing.assert_array_equal(sub3, [1, 3])
+
+    def test_columns_stay_increasing(self):
+        coo = random_coo(50, 60, density=0.1, seed=1)
+        out = split_rows(coo, 3)
+        # Within every sub-row, columns strictly increase (required by
+        # the BRO delta encoding).
+        for r in range(out.shape[0]):
+            cols = out.col_idx[out.row_idx == r]
+            assert (np.diff(cols) > 0).all()
+
+    def test_t1_is_identity_layout(self, paper_matrix):
+        out = split_rows(paper_matrix, 1)
+        np.testing.assert_array_equal(out.to_dense(), PAPER_A)
+
+    def test_empty_matrix(self):
+        out = split_rows(COOMatrix([], [], [], (3, 4)), 2)
+        assert out.shape == (6, 4)
+        assert out.nnz == 0
+
+    def test_sum_of_subrows_recovers_product(self):
+        coo = random_coo(40, 40, density=0.08, seed=2)
+        x = np.random.default_rng(3).standard_normal(40)
+        out = split_rows(coo, 4)
+        partial = out.spmv(x)
+        np.testing.assert_allclose(
+            partial.reshape(40, 4).sum(axis=1), coo.spmv(x), rtol=1e-12
+        )
+
+
+class TestMultiRowBROELL:
+    @pytest.mark.parametrize("t", [1, 2, 3, 4])
+    def test_spmv_correct(self, t, paper_matrix):
+        mt = MultiRowBROELL.from_coo(paper_matrix, threads_per_row=t, h=4)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(mt.spmv(x), PAPER_A @ x)
+
+    def test_kernel_correct(self):
+        coo = random_coo(128, 128, density=0.05, seed=4)
+        x = np.random.default_rng(5).standard_normal(128)
+        mt = MultiRowBROELL.from_coo(coo, threads_per_row=4, h=32)
+        res = run_spmv(mt, x, "gtx680")
+        np.testing.assert_allclose(res.y, coo.spmv(x), rtol=1e-10)
+
+    def test_round_trip(self, paper_matrix):
+        mt = MultiRowBROELL.from_coo(paper_matrix, threads_per_row=2, h=4)
+        np.testing.assert_array_equal(mt.to_dense(), PAPER_A)
+        assert mt.nnz == 12
+        assert mt.shape == (4, 5)
+
+    def test_occupancy_gain_on_small_matrix(self):
+        # The paper's future-work motivation: too few rows to fill the GPU.
+        coo = random_coo(1500, 1500, density=0.02, seed=6)
+        x = np.random.default_rng(7).standard_normal(1500)
+        base = run_spmv(BROELLMatrix.from_coo(coo, h=256), x, "k20")
+        mt = run_spmv(
+            MultiRowBROELL.from_coo(coo, threads_per_row=4, h=256), x, "k20"
+        )
+        assert mt.timing.occupancy > base.timing.occupancy
+        assert mt.gflops > base.gflops
+
+    def test_compression_cost_of_splitting(self):
+        # Sub-row deltas are sums of T original deltas: never narrower.
+        coo = random_coo(512, 512, density=0.03, seed=8)
+        base = BROELLMatrix.from_coo(coo, h=64)
+        mt = MultiRowBROELL.from_coo(coo, threads_per_row=4, h=64)
+        assert mt.device_bytes()["index"] >= base.device_bytes()["index"] * 0.8
+
+    def test_fold_validation(self, paper_matrix):
+        mt = MultiRowBROELL.from_coo(paper_matrix, threads_per_row=2, h=4)
+        with pytest.raises(ValidationError):
+            mt.fold(np.zeros(5))
+
+    def test_inner_shape_validated(self, paper_matrix):
+        inner = BROELLMatrix.from_coo(paper_matrix, h=4)
+        with pytest.raises(ValidationError):
+            MultiRowBROELL(inner, 2, paper_matrix.shape)

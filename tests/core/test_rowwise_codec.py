@@ -1,0 +1,103 @@
+"""Unit tests for the per-row-width strawman codec and its divergence
+profile (the Section 3 design-choice ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.rowwise_codec import RowwiseBROELL
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestRoundTrip:
+    def test_paper_example(self, paper_matrix):
+        rw = RowwiseBROELL.from_coo(paper_matrix, h=2)
+        np.testing.assert_array_equal(rw.to_dense(), PAPER_A)
+        assert rw.nnz == 12
+
+    @pytest.mark.parametrize("h", [1, 4, 16])
+    def test_random(self, h):
+        coo = random_coo(60, 60, density=0.08, seed=1)
+        rw = RowwiseBROELL.from_coo(coo, h=h)
+        np.testing.assert_allclose(rw.to_dense(), coo.to_dense())
+
+    def test_spmv(self, paper_matrix):
+        rw = RowwiseBROELL.from_coo(paper_matrix, h=2)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(rw.spmv(x), PAPER_A @ x)
+
+    def test_empty_rows(self):
+        coo = COOMatrix([0], [3], [2.0], (6, 6))
+        rw = RowwiseBROELL.from_coo(coo, h=2)
+        np.testing.assert_allclose(rw.to_dense(), coo.to_dense())
+
+
+class TestRowBits:
+    def test_row_width_is_row_max(self, paper_matrix):
+        rw = RowwiseBROELL.from_coo(paper_matrix, h=2)
+        # Row 3 (1-based deltas [4, 1]): max Gamma = 3 bits.
+        assert rw.row_bits[3] == 3
+        # Row 1 (all deltas 1): 1 bit.
+        assert rw.row_bits[1] == 1
+
+    def test_first_delta_poisons_row(self):
+        # A row whose first column sits far right needs wide codes for
+        # every delta — the compression weakness of per-row widths.
+        coo = COOMatrix(
+            [0, 0, 0, 0], [1000, 1001, 1002, 1003], np.ones(4), (1, 2000)
+        )
+        rw = RowwiseBROELL.from_coo(coo, h=1)
+        assert rw.row_bits[0] >= 10  # Gamma(1001)
+        per_col = BROELLMatrix.from_coo(coo, h=1)
+        # Per-column coding pays the wide width once, not four times.
+        assert (
+            int(per_col.bit_allocs[0].sum())
+            < int(rw.row_bits[0]) * 4
+        )
+
+
+class TestDivergenceProfile:
+    def test_uniform_widths_do_not_diverge(self):
+        # All rows identical structure -> same widths -> lockstep branches.
+        m, k = 64, 4
+        cols = np.tile(np.arange(k), m) + np.repeat(np.arange(m), k) % 2
+        coo = COOMatrix(np.repeat(np.arange(m), k), cols, np.ones(m * k),
+                        (m, m))
+        rw = RowwiseBROELL.from_coo(coo, h=32)
+        if len(set(rw.row_bits.tolist())) == 1:
+            profile = rw.divergence_profile(warp_size=32)
+            assert profile["divergent_fraction"] == 0.0
+
+    def test_mixed_widths_diverge(self):
+        # Alternate 1-bit-delta rows with wide-delta rows inside a warp.
+        rows, cols = [], []
+        for i in range(64):
+            if i % 2 == 0:
+                c = np.arange(6)
+            else:
+                c = np.arange(6) * 300
+            rows.extend([i] * 6)
+            cols.extend(c.tolist())
+        coo = COOMatrix(rows, cols, np.ones(len(rows)), (64, 2048))
+        rw = RowwiseBROELL.from_coo(coo, h=64)
+        profile = rw.divergence_profile(warp_size=32)
+        assert profile["divergent_fraction"] > 0.1
+        assert profile["mean_distinct_offsets"] > 2.0
+
+    def test_profile_keys(self, paper_matrix):
+        rw = RowwiseBROELL.from_coo(paper_matrix, h=4)
+        profile = rw.divergence_profile(warp_size=2)
+        assert set(profile) == {"divergent_fraction", "mean_distinct_offsets"}
+        assert 0.0 <= profile["divergent_fraction"] <= 1.0
+
+
+class TestValidation:
+    def test_bad_row_ptr(self, paper_matrix):
+        rw = RowwiseBROELL.from_coo(paper_matrix, h=2)
+        with pytest.raises(ValidationError):
+            RowwiseBROELL(
+                rw._stream, rw._row_ptr[:-1], rw.row_bits, rw._vals,
+                rw._row_lengths, rw.num_col, 2, 32, paper_matrix.shape,
+            )

@@ -1,0 +1,82 @@
+"""Unit tests for format conversion and the registry, cross-checked vs SciPy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.formats import (
+    COOMatrix,
+    available_formats,
+    convert,
+    from_dense,
+    from_scipy,
+    get_format,
+    to_scipy,
+)
+from tests.conftest import PAPER_A, random_coo
+
+ALL_FORMATS = ["coo", "csr", "ellpack", "ellpack_r", "sliced_ellpack", "hyb"]
+
+
+class TestRegistry:
+    def test_all_formats_registered(self):
+        assert set(ALL_FORMATS) <= set(available_formats())
+
+    def test_get_format(self):
+        assert get_format("coo") is COOMatrix
+
+    def test_unknown_format(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            get_format("nope")
+
+
+class TestConvert:
+    @pytest.mark.parametrize("name", ALL_FORMATS)
+    def test_round_trip_through_every_format(self, name, paper_matrix):
+        mat = convert(paper_matrix, name)
+        np.testing.assert_array_equal(mat.to_dense(), PAPER_A)
+        assert mat.nnz == 12
+
+    @pytest.mark.parametrize("name", ALL_FORMATS)
+    def test_spmv_consistent_across_formats(self, name):
+        coo = random_coo(64, 48, seed=77)
+        x = np.random.default_rng(7).standard_normal(48)
+        expected = coo.to_dense() @ x
+        mat = convert(coo, name)
+        np.testing.assert_allclose(mat.spmv(x), expected, rtol=1e-10)
+
+    def test_convert_same_format_is_identity(self, paper_matrix):
+        assert convert(paper_matrix, "coo") is paper_matrix
+
+    def test_convert_kwargs_forwarded(self, paper_matrix):
+        sl = convert(paper_matrix, "sliced_ellpack", h=2)
+        assert sl.h == 2
+
+    def test_from_dense(self):
+        mat = from_dense(PAPER_A, "csr")
+        assert mat.format_name == "csr"
+        assert mat.nnz == 12
+
+
+class TestScipyInterop:
+    def test_from_scipy_matches(self):
+        rng = np.random.default_rng(8)
+        spm = sp.random(30, 20, density=0.1, random_state=rng, format="csr")
+        ours = from_scipy(spm, "ellpack")
+        np.testing.assert_allclose(ours.to_dense(), spm.toarray())
+
+    def test_to_scipy_matches(self, paper_matrix):
+        spm = to_scipy(paper_matrix)
+        np.testing.assert_array_equal(spm.toarray(), PAPER_A)
+
+    def test_spmv_matches_scipy(self):
+        rng = np.random.default_rng(9)
+        spm = sp.random(50, 50, density=0.08, random_state=rng, format="csr")
+        x = rng.standard_normal(50)
+        ours = from_scipy(spm, "hyb")
+        np.testing.assert_allclose(ours.spmv(x), spm @ x, rtol=1e-10)
+
+    def test_from_scipy_rejects_non_sparse(self):
+        with pytest.raises(FormatError):
+            from_scipy(np.zeros((2, 2)))

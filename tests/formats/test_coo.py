@@ -1,0 +1,110 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ValidationError
+from repro.formats.coo import COOMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestConstruction:
+    def test_from_dense_matches_paper_example(self, paper_matrix):
+        assert paper_matrix.shape == (4, 5)
+        assert paper_matrix.nnz == 12
+        # Paper Section 2.1.1 arrays (1-based there, 0-based here).
+        np.testing.assert_array_equal(
+            paper_matrix.row_idx, [0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 3, 3]
+        )
+        np.testing.assert_array_equal(
+            paper_matrix.col_idx, [0, 2, 0, 1, 2, 3, 4, 1, 2, 4, 3, 4]
+        )
+        np.testing.assert_array_equal(
+            paper_matrix.vals, [3, 2, 2, 6, 5, 4, 1, 1, 9, 7, 8, 3]
+        )
+
+    def test_sorting(self):
+        coo = COOMatrix([1, 0, 0], [0, 1, 0], [1.0, 2.0, 3.0], (2, 2))
+        np.testing.assert_array_equal(coo.row_idx, [0, 0, 1])
+        np.testing.assert_array_equal(coo.col_idx, [0, 1, 0])
+        np.testing.assert_array_equal(coo.vals, [3.0, 2.0, 1.0])
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix([0, 0, 0], [1, 1, 0], [1.0, 2.0, 5.0], (1, 2))
+        assert coo.nnz == 2
+        np.testing.assert_array_equal(coo.vals, [5.0, 3.0])
+
+    def test_duplicates_rejected_when_asked(self):
+        with pytest.raises(FormatError):
+            COOMatrix([0, 0], [1, 1], [1.0, 2.0], (1, 2), sum_duplicates=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([2], [0], [1.0], (2, 2))
+        with pytest.raises(ValidationError):
+            COOMatrix([0], [-1], [1.0], (2, 2))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([], [], [], (0, 3))
+
+    def test_empty_matrix_allowed(self):
+        coo = COOMatrix([], [], [], (3, 3))
+        assert coo.nnz == 0
+        np.testing.assert_array_equal(coo.to_dense(), np.zeros((3, 3)))
+
+
+class TestOperations:
+    def test_dense_round_trip(self, paper_matrix):
+        np.testing.assert_array_equal(paper_matrix.to_dense(), PAPER_A)
+
+    def test_spmv_matches_dense(self, paper_matrix):
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(paper_matrix.spmv(x), PAPER_A @ x)
+
+    def test_spmv_random_matches_dense(self):
+        coo = random_coo(40, 33, seed=5)
+        x = np.random.default_rng(1).standard_normal(33)
+        np.testing.assert_allclose(coo.spmv(x), coo.to_dense() @ x, rtol=1e-12)
+
+    def test_spmv_rejects_bad_x(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            paper_matrix.spmv(np.zeros(4))
+
+    def test_row_lengths(self, paper_matrix):
+        np.testing.assert_array_equal(paper_matrix.row_lengths(), [2, 5, 3, 2])
+
+    def test_device_bytes(self, paper_matrix):
+        db = paper_matrix.device_bytes()
+        assert db["index"] == 2 * 12 * 4  # two int32 arrays
+        assert db["values"] == 12 * 8
+        assert paper_matrix.total_bytes == db["index"] + db["values"]
+
+
+class TestPermuteRows:
+    def test_identity(self, paper_matrix):
+        out = paper_matrix.permute_rows(np.arange(4))
+        np.testing.assert_array_equal(out.to_dense(), PAPER_A)
+
+    def test_reversal(self, paper_matrix):
+        out = paper_matrix.permute_rows(np.array([3, 2, 1, 0]))
+        np.testing.assert_array_equal(out.to_dense(), PAPER_A[::-1])
+
+    def test_spmv_equivalence(self):
+        coo = random_coo(30, 30, seed=9)
+        rng = np.random.default_rng(2)
+        perm = rng.permutation(30)
+        x = rng.standard_normal(30)
+        np.testing.assert_allclose(
+            coo.permute_rows(perm).spmv(x), coo.spmv(x)[perm], rtol=1e-12
+        )
+
+    def test_invalid_perm_rejected(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            paper_matrix.permute_rows(np.array([0, 0, 1, 2]))
+        with pytest.raises(ValidationError):
+            paper_matrix.permute_rows(np.array([0, 1]))

@@ -1,0 +1,63 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestConstruction:
+    def test_from_coo(self, paper_matrix):
+        csr = CSRMatrix.from_coo(paper_matrix)
+        np.testing.assert_array_equal(csr.indptr, [0, 2, 7, 10, 12])
+        np.testing.assert_array_equal(csr.row_lengths(), [2, 5, 3, 2])
+        assert csr.nnz == 12
+
+    def test_bad_indptr(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(np.array([0, 2]), np.array([0]), np.array([1.0]), (2, 2))
+        with pytest.raises(ValidationError):
+            CSRMatrix(np.array([0, 2, 1]), np.array([0, 1]), np.ones(2), (2, 2))
+        with pytest.raises(ValidationError):
+            CSRMatrix(np.array([1, 1, 2]), np.array([0, 1]), np.ones(2), (2, 2))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 2))
+
+
+class TestOperations:
+    def test_round_trip(self, paper_matrix):
+        csr = CSRMatrix.from_coo(paper_matrix)
+        np.testing.assert_array_equal(csr.to_coo().to_dense(), PAPER_A)
+
+    def test_spmv_matches_dense(self, paper_matrix):
+        csr = CSRMatrix.from_coo(paper_matrix)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(csr.spmv(x), PAPER_A @ x)
+
+    def test_spmv_with_empty_rows(self):
+        coo = COOMatrix([0, 2], [0, 1], [1.0, 2.0], (4, 2))
+        csr = CSRMatrix.from_coo(coo)
+        y = csr.spmv(np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(y, [1.0, 0.0, 2.0, 0.0])
+
+    def test_spmv_empty_matrix(self):
+        csr = CSRMatrix.from_coo(COOMatrix([], [], [], (3, 3)))
+        np.testing.assert_array_equal(csr.spmv(np.ones(3)), np.zeros(3))
+
+    def test_spmv_random_matches_coo(self):
+        coo = random_coo(50, 64, seed=11)
+        csr = CSRMatrix.from_coo(coo)
+        x = np.random.default_rng(3).standard_normal(64)
+        np.testing.assert_allclose(csr.spmv(x), coo.spmv(x), rtol=1e-12)
+
+    def test_device_bytes(self, paper_matrix):
+        csr = CSRMatrix.from_coo(paper_matrix)
+        db = csr.device_bytes()
+        assert db["index"] == 12 * 4
+        assert db["values"] == 12 * 8
+        assert db["aux"] == 5 * 4

@@ -1,0 +1,113 @@
+"""Unit tests for ELLPACK and ELLPACK-R."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.ellpack import ELLPACKMatrix
+from repro.formats.ellpack_r import ELLPACKRMatrix
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestELLPACK:
+    def test_paper_example_layout(self, paper_matrix):
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        assert ell.k == 5
+        # Paper Section 2.1.2 arrays (0-based; '*' padding stored as 0).
+        np.testing.assert_array_equal(
+            ell.col_idx,
+            [
+                [0, 2, 0, 0, 0],
+                [0, 1, 2, 3, 4],
+                [1, 2, 4, 0, 0],
+                [3, 4, 0, 0, 0],
+            ],
+        )
+        np.testing.assert_array_equal(
+            ell.vals,
+            [
+                [3, 2, 0, 0, 0],
+                [2, 6, 5, 4, 1],
+                [1, 9, 7, 0, 0],
+                [8, 3, 0, 0, 0],
+            ],
+        )
+        np.testing.assert_array_equal(ell.row_lengths, [2, 5, 3, 2])
+
+    def test_round_trip(self, paper_matrix):
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        np.testing.assert_array_equal(ell.to_coo().to_dense(), PAPER_A)
+
+    def test_spmv(self, paper_matrix):
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(ell.spmv(x), PAPER_A @ x)
+
+    def test_padding_accounting(self, paper_matrix):
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        assert ell.nnz == 12
+        assert ell.padded_entries == 4 * 5 - 12
+        db = ell.device_bytes()
+        assert db["index"] == 4 * 5 * 4
+        assert db["values"] == 4 * 5 * 8
+
+    def test_valid_mask(self, paper_matrix):
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        mask = ell.valid_mask()
+        assert mask.sum() == 12
+        assert mask[0].tolist() == [True, True, False, False, False]
+
+    def test_spmv_random(self):
+        coo = random_coo(37, 29, seed=21)
+        ell = ELLPACKMatrix.from_coo(coo)
+        x = np.random.default_rng(4).standard_normal(29)
+        np.testing.assert_allclose(ell.spmv(x), coo.spmv(x), rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ELLPACKMatrix(
+                np.zeros((2, 3), np.int32),
+                np.zeros((2, 2)),
+                np.zeros(2, np.int64),
+                (2, 4),
+            )
+        with pytest.raises(ValidationError):
+            ELLPACKMatrix(
+                np.zeros((2, 2), np.int32),
+                np.zeros((2, 2)),
+                np.array([3, 0]),  # length > k
+                (2, 4),
+            )
+
+    def test_empty_rows_matrix(self):
+        from repro.formats.coo import COOMatrix
+
+        coo = COOMatrix([1], [1], [5.0], (3, 3))
+        ell = ELLPACKMatrix.from_coo(coo)
+        assert ell.k == 1
+        np.testing.assert_allclose(ell.spmv(np.ones(3)), [0.0, 5.0, 0.0])
+
+
+class TestELLPACKR:
+    def test_same_arrays_as_ellpack(self, paper_matrix):
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        ellr = ELLPACKRMatrix.from_coo(paper_matrix)
+        np.testing.assert_array_equal(ell.col_idx, ellr.col_idx)
+        np.testing.assert_array_equal(ell.vals, ellr.vals)
+        np.testing.assert_array_equal(ellr.row_lengths, [2, 5, 3, 2])
+
+    def test_aux_bytes_counted(self, paper_matrix):
+        ellr = ELLPACKRMatrix.from_coo(paper_matrix)
+        assert ellr.device_bytes()["aux"] == 4 * 4
+
+    def test_warp_iterations(self, paper_matrix):
+        ellr = ELLPACKRMatrix.from_coo(paper_matrix)
+        # warp_size=2 -> warps {rows 0,1} and {rows 2,3}.
+        np.testing.assert_array_equal(ellr.warp_iterations(warp_size=2), [5, 3])
+        # A single warp covers everything.
+        np.testing.assert_array_equal(ellr.warp_iterations(warp_size=32), [5])
+
+    def test_spmv(self, paper_matrix):
+        ellr = ELLPACKRMatrix.from_coo(paper_matrix)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(ellr.spmv(x), PAPER_A @ x)

@@ -1,0 +1,107 @@
+"""Unit tests for the HYB format and the Bell-Garland split heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.hyb import HYBMatrix, hyb_split_column, split_coo
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestSplitColumn:
+    def test_uniform_rows_pure_ell(self):
+        # Every row has 4 entries -> all columns fully utilized -> k = 4.
+        assert hyb_split_column(np.full(30, 4)) == 4
+
+    def test_single_long_row(self):
+        # 99 rows of length 2, one of length 50: columns past 2 are used by
+        # 1% of rows only -> k = 2.
+        lengths = np.full(100, 2)
+        lengths[0] = 50
+        assert hyb_split_column(lengths) == 2
+
+    def test_paper_example_partition(self, paper_matrix):
+        # Row lengths [2, 5, 3, 2]: k=3 is reached by 2/4 >= 1/3 of rows,
+        # k=4 by only 1/4 < 1/3 -> k = 3, matching Section 2.1.3's example.
+        assert hyb_split_column(paper_matrix.row_lengths()) == 3
+
+    def test_all_zero_rows(self):
+        assert hyb_split_column(np.zeros(5, dtype=np.int64)) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            hyb_split_column(np.array([], dtype=np.int64))
+
+
+class TestSplitCoo:
+    def test_paper_example(self, paper_matrix):
+        ell_part, coo_part = split_coo(paper_matrix, k=3)
+        assert ell_part.nnz == 10
+        assert coo_part.nnz == 2
+        # The COO part holds row 1's entries at columns 3 and 4 (0-based),
+        # exactly the paper's example COO partition.
+        np.testing.assert_array_equal(coo_part.row_idx, [1, 1])
+        np.testing.assert_array_equal(coo_part.col_idx, [3, 4])
+        np.testing.assert_array_equal(coo_part.vals, [4.0, 1.0])
+
+    def test_k_zero_all_coo(self, paper_matrix):
+        ell_part, coo_part = split_coo(paper_matrix, k=0)
+        assert ell_part is None
+        assert coo_part.nnz == 12
+
+    def test_k_large_all_ell(self, paper_matrix):
+        ell_part, coo_part = split_coo(paper_matrix, k=10)
+        assert coo_part is None
+        assert ell_part.nnz == 12
+
+
+class TestHYBMatrix:
+    def test_from_coo_paper_example(self, paper_matrix):
+        hyb = HYBMatrix.from_coo(paper_matrix)
+        assert hyb.k == 3
+        assert hyb.ell.nnz == 10
+        assert hyb.coo.nnz == 2
+        assert hyb.nnz == 12
+        assert hyb.ell_fraction == pytest.approx(10 / 12)
+
+    def test_round_trip(self, paper_matrix):
+        hyb = HYBMatrix.from_coo(paper_matrix)
+        np.testing.assert_array_equal(hyb.to_coo().to_dense(), PAPER_A)
+
+    def test_spmv(self, paper_matrix):
+        hyb = HYBMatrix.from_coo(paper_matrix)
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(hyb.spmv(x), PAPER_A @ x)
+
+    def test_spmv_random(self):
+        coo = random_coo(80, 60, seed=61)
+        hyb = HYBMatrix.from_coo(coo)
+        x = np.random.default_rng(6).standard_normal(60)
+        np.testing.assert_allclose(hyb.spmv(x), coo.spmv(x), rtol=1e-12)
+
+    def test_explicit_k(self, paper_matrix):
+        hyb = HYBMatrix.from_coo(paper_matrix, k=1)
+        assert hyb.k == 1
+        assert hyb.ell.nnz == 4
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(hyb.spmv(x), PAPER_A @ x)
+
+    def test_pure_coo_when_k_zero(self):
+        # One dense row in an otherwise near-empty matrix.
+        coo = COOMatrix([0] * 10, list(range(10)), np.ones(10), (40, 10))
+        hyb = HYBMatrix.from_coo(coo)
+        assert hyb.k == 0
+        np.testing.assert_allclose(hyb.spmv(np.ones(10)), coo.spmv(np.ones(10)))
+
+    def test_hyb_storage_beats_ellpack_on_skewed_rows(self):
+        from repro.formats.ellpack import ELLPACKMatrix
+
+        lengths = np.full(64, 3)
+        lengths[0] = 40
+        rows = np.repeat(np.arange(64), lengths)
+        cols = np.concatenate([np.arange(n) for n in lengths])
+        coo = COOMatrix(rows, cols, np.ones(rows.size), (64, 64))
+        ell = ELLPACKMatrix.from_coo(coo)
+        hyb = HYBMatrix.from_coo(coo)
+        assert hyb.total_bytes < ell.total_bytes

@@ -1,0 +1,81 @@
+"""Unit tests for Sliced-ELLPACK."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from tests.conftest import PAPER_A, random_coo
+
+
+class TestSliceBounds:
+    def test_exact_multiple(self):
+        np.testing.assert_array_equal(slice_bounds(8, 4), [0, 4, 8])
+
+    def test_remainder(self):
+        np.testing.assert_array_equal(slice_bounds(10, 4), [0, 4, 8, 10])
+
+    def test_single_slice(self):
+        np.testing.assert_array_equal(slice_bounds(3, 4), [0, 3])
+
+    def test_h_one(self):
+        np.testing.assert_array_equal(slice_bounds(3, 1), [0, 1, 2, 3])
+
+
+class TestSlicedELLPACK:
+    def test_paper_example_with_h2(self, paper_matrix):
+        sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=2)
+        assert sl.num_slices == 2
+        # Slice 0 holds rows {0,1} with max length 5; slice 1 rows {2,3}
+        # with max length 3 (this is Fig. 1's num_col = [5, 3]).
+        np.testing.assert_array_equal(sl.num_col, [5, 3])
+        cols0, vals0 = sl.slice_block(0)
+        assert cols0.shape == (2, 5)
+        cols1, vals1 = sl.slice_block(1)
+        assert cols1.shape == (2, 3)
+        np.testing.assert_array_equal(cols1, [[1, 2, 4], [3, 4, 0]])
+        np.testing.assert_array_equal(vals1, [[1, 9, 7], [8, 3, 0]])
+
+    def test_storage_smaller_than_ellpack(self, paper_matrix):
+        from repro.formats.ellpack import ELLPACKMatrix
+
+        ell = ELLPACKMatrix.from_coo(paper_matrix)
+        sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=2)
+        assert sl.device_bytes()["index"] < ell.device_bytes()["index"]
+
+    def test_round_trip(self, paper_matrix):
+        sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=2)
+        np.testing.assert_array_equal(sl.to_coo().to_dense(), PAPER_A)
+
+    def test_round_trip_random(self):
+        coo = random_coo(50, 40, seed=31)
+        sl = SlicedELLPACKMatrix.from_coo(coo, h=8)
+        np.testing.assert_allclose(sl.to_coo().to_dense(), coo.to_dense())
+
+    def test_spmv(self, paper_matrix):
+        for h in (1, 2, 3, 4, 8):
+            sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=h)
+            x = np.arange(1.0, 6.0)
+            np.testing.assert_allclose(sl.spmv(x), PAPER_A @ x)
+
+    def test_spmv_random(self):
+        coo = random_coo(45, 45, seed=41)
+        sl = SlicedELLPACKMatrix.from_coo(coo, h=7)
+        x = np.random.default_rng(5).standard_normal(45)
+        np.testing.assert_allclose(sl.spmv(x), coo.spmv(x), rtol=1e-12)
+
+    def test_partial_final_slice(self):
+        coo = random_coo(10, 10, seed=51)
+        sl = SlicedELLPACKMatrix.from_coo(coo, h=4)
+        assert sl.num_slices == 3
+        cols, vals = sl.slice_block(2)
+        assert cols.shape[0] == 2  # last slice holds 2 rows
+
+    def test_bad_slice_index(self, paper_matrix):
+        sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=2)
+        with pytest.raises(ValidationError):
+            sl.slice_block(2)
+
+    def test_nnz_preserved(self, paper_matrix):
+        sl = SlicedELLPACKMatrix.from_coo(paper_matrix, h=2)
+        assert sl.nnz == 12

@@ -1,0 +1,91 @@
+"""Unit tests for the device registry (paper Table 1)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import (
+    DEVICES,
+    GTX680,
+    TESLA_C2070,
+    TESLA_K20,
+    DeviceSpec,
+    get_device,
+)
+
+
+class TestTable1Specs:
+    """The registry must reproduce Table 1 verbatim."""
+
+    def test_c2070(self):
+        assert TESLA_C2070.compute_capability == "2.0"
+        assert TESLA_C2070.cores == 448
+        assert TESLA_C2070.peak_bw_gbps == 144.0
+        assert TESLA_C2070.dp_gflops == 515.0
+        assert TESLA_C2070.sm_count == 14  # 448 cores / 32 per SM
+
+    def test_gtx680(self):
+        assert GTX680.compute_capability == "3.0"
+        assert GTX680.cores == 1536
+        assert GTX680.peak_bw_gbps == 192.3
+        assert GTX680.dp_gflops == 129.0
+
+    def test_k20(self):
+        assert TESLA_K20.compute_capability == "3.5"
+        assert TESLA_K20.cores == 2496
+        assert TESLA_K20.peak_bw_gbps == 208.0
+        assert TESLA_K20.dp_gflops == 1170.0
+
+    def test_measured_bandwidths_section_4_1(self):
+        assert TESLA_C2070.measured_bw_gbps == pytest.approx(114.0)
+        assert GTX680.measured_bw_gbps == pytest.approx(149.0)
+        assert TESLA_K20.measured_bw_gbps == pytest.approx(159.0)
+
+    def test_bandwidth_ordering(self):
+        # K20 > GTX680 > C2070 (drives Fig. 3's curve ordering).
+        assert TESLA_K20.measured_bw > GTX680.measured_bw > TESLA_C2070.measured_bw
+
+
+class TestCalibration:
+    def test_decode_rates_positive(self):
+        for dev in DEVICES.values():
+            assert dev.decode_gops > 0
+
+    def test_gtx680_has_highest_decode_rate(self):
+        # The lowest break-even (9%) implies the cheapest decode.
+        assert GTX680.decode_gops > TESLA_K20.decode_gops
+        assert GTX680.decode_gops > TESLA_C2070.decode_gops
+
+
+class TestRegistry:
+    def test_lookup_by_key(self):
+        assert get_device("k20") is TESLA_K20
+        assert get_device("C2070") is TESLA_C2070
+        assert get_device("Tesla K20") is TESLA_K20
+
+    def test_lookup_by_full_name(self):
+        assert get_device("GTX680") is GTX680
+
+    def test_unknown(self):
+        with pytest.raises(DeviceError):
+            get_device("rtx9090")
+
+
+class TestValidation:
+    def test_measured_above_peak_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="bad",
+                compute_capability="0",
+                cores=1,
+                sm_count=1,
+                peak_bw_gbps=100.0,
+                measured_bw_gbps=120.0,
+                dp_gflops=1.0,
+                decode_gops=1.0,
+            )
+
+    def test_derived_properties(self):
+        assert TESLA_K20.measured_bw == pytest.approx(159e9)
+        assert TESLA_K20.dp_flops == pytest.approx(1170e9)
+        assert TESLA_K20.tex_cache_bytes_per_sm == 48 * 1024
+        assert TESLA_K20.saturation_threads == 13 * 16 * 32

@@ -1,0 +1,70 @@
+"""Unit tests for coalesced-transaction counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.memory import (
+    contiguous_transactions,
+    gather_transactions,
+    transaction_bytes,
+)
+
+
+class TestContiguous:
+    def test_perfectly_coalesced_int32(self):
+        # 32 threads x 4 B = 128 B = exactly one transaction per warp.
+        assert contiguous_transactions(32, 4) == 1
+        assert contiguous_transactions(64, 4) == 2
+
+    def test_doubles_need_two_transactions(self):
+        # 32 threads x 8 B = 256 B = two transactions.
+        assert contiguous_transactions(32, 8) == 2
+
+    def test_partial_warp(self):
+        assert contiguous_transactions(5, 4) == 1
+        assert contiguous_transactions(33, 4) == 2
+
+    def test_zero(self):
+        assert contiguous_transactions(0, 4) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            contiguous_transactions(-1, 4)
+        with pytest.raises(ValidationError):
+            contiguous_transactions(4, 0)
+
+
+class TestGather:
+    def test_same_line_coalesces(self):
+        # All 32 lanes hit the same 128-byte line of int32s.
+        idx = np.zeros(32, dtype=np.int64)
+        assert gather_transactions(idx, 4) == 1
+
+    def test_fully_scattered(self):
+        # Each lane a different line: 32 transactions.
+        idx = np.arange(32) * 32  # 32 int32 per 128B line
+        assert gather_transactions(idx, 4) == 32
+
+    def test_contiguous_doubles(self):
+        # 32 consecutive doubles span two 128-byte lines.
+        assert gather_transactions(np.arange(32), 8) == 2
+
+    def test_two_warps(self):
+        idx = np.concatenate([np.zeros(32), np.full(32, 1000)])
+        assert gather_transactions(idx, 8) == 2
+
+    def test_partial_final_warp(self):
+        idx = np.zeros(40)  # 1 full warp + 8 lanes, all one line
+        assert gather_transactions(idx, 4) == 2  # one per warp
+
+    def test_empty(self):
+        assert gather_transactions(np.array([]), 4) == 0
+
+
+class TestBytes:
+    def test_transaction_bytes(self):
+        assert transaction_bytes(3) == 384
+        assert transaction_bytes(0) == 0
+        with pytest.raises(ValidationError):
+            transaction_bytes(-1)

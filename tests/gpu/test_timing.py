@@ -1,0 +1,153 @@
+"""Unit tests for counters, launch geometry and the timing model."""
+
+import pytest
+
+from repro.errors import KernelError, ValidationError
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GTX680, TESLA_C2070, TESLA_K20
+from repro.gpu.launch import LaunchConfig, occupancy_factor
+from repro.gpu.timing import predict
+from repro.gpu.warp import num_warps, pad_to_warps, warp_reduce_flops
+
+
+class TestCounters:
+    def test_dram_bytes_sums_components(self):
+        c = KernelCounters(
+            index_bytes=10, value_bytes=20, x_bytes=5, y_bytes=3, aux_bytes=2
+        )
+        assert c.dram_bytes == 40
+
+    def test_eai(self):
+        c = KernelCounters(value_bytes=100, useful_flops=50)
+        assert c.effective_arithmetic_intensity == pytest.approx(0.5)
+        assert KernelCounters().effective_arithmetic_intensity == 0.0
+
+    def test_addition(self):
+        a = KernelCounters(index_bytes=1, useful_flops=2, launches=1, threads=100)
+        b = KernelCounters(index_bytes=3, useful_flops=4, launches=1, threads=50)
+        c = a + b
+        assert c.index_bytes == 4
+        assert c.useful_flops == 6
+        assert c.launches == 2
+        assert c.threads == 100  # max, not sum
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelCounters(index_bytes=-1)
+
+
+class TestLaunch:
+    def test_for_rows(self):
+        cfg = LaunchConfig.for_rows(1000, threads_per_block=256)
+        assert cfg.num_blocks == 4
+        assert cfg.total_threads == 1024
+
+    def test_for_warps(self):
+        cfg = LaunchConfig.for_warps(17, warp_size=32, warps_per_block=8)
+        assert cfg.num_blocks == 3
+
+    def test_invalid(self):
+        with pytest.raises(KernelError):
+            LaunchConfig(0, 1)
+        with pytest.raises(KernelError):
+            LaunchConfig.for_rows(0)
+
+    def test_occupancy_saturates(self):
+        assert occupancy_factor(10**6, TESLA_K20) == 1.0
+
+    def test_occupancy_small_grid(self):
+        # Far fewer threads than needed -> proportional slowdown.
+        f = occupancy_factor(TESLA_K20.saturation_threads // 2, TESLA_K20)
+        assert f == pytest.approx(0.5)
+
+    def test_occupancy_floor(self):
+        assert occupancy_factor(1, TESLA_K20) >= 0.05
+
+
+class TestWarpHelpers:
+    def test_num_warps(self):
+        assert num_warps(0) == 0
+        assert num_warps(1) == 1
+        assert num_warps(32) == 1
+        assert num_warps(33) == 2
+
+    def test_pad_to_warps(self):
+        import numpy as np
+
+        out = pad_to_warps(np.arange(5), warp_size=4, fill=-1)
+        assert out.shape == (8,)
+        assert (out[5:] == -1).all()
+
+    def test_warp_reduce_flops(self):
+        assert warp_reduce_flops(32) == 5 * 32
+        with pytest.raises(ValidationError):
+            warp_reduce_flops(33)
+
+
+class TestPredict:
+    def _mem_bound_counters(self, gbytes=1.0):
+        return KernelCounters(
+            value_bytes=int(gbytes * 1e9),
+            useful_flops=10**6,
+            issued_flops=10**6,
+            threads=10**6,
+        )
+
+    def test_memory_bound_time(self):
+        t = predict(self._mem_bound_counters(), TESLA_K20)
+        # 1 GB at 159 GB/s.
+        assert t.t_mem == pytest.approx(1.0 / 159.0, rel=1e-6)
+        assert t.bound == "memory"
+        assert t.time > t.t_mem  # launch overhead included
+
+    def test_faster_device_is_faster(self):
+        c = self._mem_bound_counters()
+        assert predict(c, TESLA_K20).time < predict(c, GTX680).time
+        assert predict(c, GTX680).time < predict(c, TESLA_C2070).time
+
+    def test_decode_adds_time(self):
+        base = self._mem_bound_counters()
+        with_decode = self._mem_bound_counters()
+        with_decode.decode_ops = 10**9
+        assert predict(with_decode, TESLA_K20).time > predict(base, TESLA_K20).time
+
+    def test_gflops_uses_useful_flops(self):
+        c = KernelCounters(
+            value_bytes=159 * 10**6,  # 1 ms on K20
+            useful_flops=2 * 10**6,
+            issued_flops=4 * 10**6,  # padding doubled the issue count
+            threads=10**6,
+        )
+        t = predict(c, TESLA_K20)
+        assert t.gflops == pytest.approx(2e6 / t.time / 1e9)
+
+    def test_bandwidth_utilization_below_one(self):
+        t = predict(self._mem_bound_counters(), TESLA_K20)
+        assert 0 < t.bandwidth_utilization < 1.0
+        # Pure memory-bound: utilization approaches measured/peak.
+        assert t.bandwidth_utilization == pytest.approx(
+            159.0 / 208.0 * (t.t_mem / t.time), rel=1e-6
+        )
+
+    def test_low_occupancy_slows_kernel(self):
+        c = self._mem_bound_counters()
+        c.threads = TESLA_K20.saturation_threads // 4
+        slow = predict(c, TESLA_K20)
+        c2 = self._mem_bound_counters()
+        fast = predict(c2, TESLA_K20)
+        assert slow.time > fast.time
+        assert slow.occupancy == pytest.approx(0.25)
+
+    def test_compute_bound_on_weak_dp_device(self):
+        # GTX680 has only 129 DP GFlop/s: a flop-heavy kernel binds compute.
+        c = KernelCounters(
+            value_bytes=10**6,
+            useful_flops=10**9,
+            issued_flops=10**9,
+            threads=10**6,
+        )
+        assert predict(c, GTX680).bound == "compute"
+
+    def test_threads_required(self):
+        with pytest.raises(ValidationError):
+            predict(KernelCounters(), TESLA_K20)

@@ -1,0 +1,67 @@
+"""Unit tests for the per-slice kernel trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_ell import BROELLMatrix
+from repro.errors import ValidationError
+from repro.gpu.device import TESLA_K20
+from repro.gpu.trace import SliceTrace, trace_bro_ell
+from repro.kernels import run_spmv
+from tests.conftest import random_coo
+
+
+@pytest.fixture(scope="module")
+def traced():
+    coo = random_coo(300, 300, density=0.04, seed=1)
+    bro = BROELLMatrix.from_coo(coo, h=64)
+    return coo, bro, trace_bro_ell(bro, TESLA_K20)
+
+
+class TestTrace:
+    def test_one_row_per_slice(self, traced):
+        _, bro, traces = traced
+        assert len(traces) == bro.num_slices
+        assert [t.slice_id for t in traces] == list(range(bro.num_slices))
+
+    def test_nnz_adds_up(self, traced):
+        coo, _, traces = traced
+        assert sum(t.nnz for t in traces) == coo.nnz
+
+    def test_rows_add_up(self, traced):
+        coo, _, traces = traced
+        assert sum(t.rows for t in traces) == coo.shape[0]
+
+    def test_totals_match_kernel_counters(self, traced):
+        coo, bro, traces = traced
+        res = run_spmv(bro, np.ones(coo.shape[1]), "k20")
+        assert sum(t.stream_bytes for t in traces) == res.counters.index_bytes
+        assert sum(t.value_bytes for t in traces) == res.counters.value_bytes
+        assert sum(t.x_bytes for t in traces) == res.counters.x_bytes
+        assert sum(t.decode_ops for t in traces) == res.counters.decode_ops
+
+    def test_padding_fraction_bounds(self, traced):
+        _, _, traces = traced
+        for t in traces:
+            assert 0.0 <= t.padding_fraction < 1.0
+
+    def test_row_rendering(self, traced):
+        _, _, traces = traced
+        header = SliceTrace.header()
+        line = traces[0].row()
+        assert "slice" in header
+        assert str(traces[0].nnz) in line
+
+    def test_rejects_non_bro_matrix(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            trace_bro_ell(paper_matrix, TESLA_K20)
+
+    def test_empty_slice_handled(self):
+        from repro.formats.coo import COOMatrix
+
+        # Rows 64.. empty: their slice has num_col == 0.
+        coo = COOMatrix([0], [0], [1.0], (128, 4))
+        bro = BROELLMatrix.from_coo(coo, h=64)
+        traces = trace_bro_ell(bro, TESLA_K20)
+        assert traces[1].num_col == 0
+        assert traces[1].nnz == 0

@@ -1,0 +1,141 @@
+"""End-to-end pipelines across subsystems.
+
+These tests exercise the flows a user of the library composes: suite
+matrix -> format zoo -> simulated kernels -> solver, with reordering and
+file I/O in the loop. They are the closest thing to the paper's actual
+experimental procedure, at miniature scale.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    BROELLMatrix,
+    BROHYBMatrix,
+    SimulatedOperator,
+    bar_permutation,
+    conjugate_gradient,
+    convert,
+    gmres,
+    index_compression_report,
+    run_spmv,
+)
+from repro.formats.coo import COOMatrix
+from repro.matrices import generate, read_matrix_market, write_matrix_market
+from repro.matrices.suite import test_set_1 as set1_names
+
+
+class TestPaperPipeline:
+    """The Fig. 4 procedure on one matrix, miniature scale."""
+
+    def test_generate_compress_run_verify(self):
+        coo = generate("venkat01", scale=0.02)
+        x = np.random.default_rng(0).standard_normal(coo.shape[1])
+        reference = coo.spmv(x)
+
+        ell = convert(coo, "ellpack")
+        bro = convert(coo, "bro_ell", h=256)
+        report = index_compression_report(bro, "venkat01")
+        assert report.eta > 0.8  # Table 3 regime
+
+        for device in ("c2070", "gtx680", "k20"):
+            res_ell = run_spmv(ell, x, device)
+            res_bro = run_spmv(bro, x, device)
+            np.testing.assert_allclose(res_ell.y, reference, rtol=1e-9)
+            np.testing.assert_allclose(res_bro.y, reference, rtol=1e-9)
+            assert res_bro.gflops > res_ell.gflops  # Fig. 4 regime
+
+    def test_reorder_then_compress_then_run(self):
+        coo = generate("rim", scale=0.02)
+        perm = bar_permutation(coo, h=256)
+        reordered = coo.permute_rows(perm)
+        bro_before = BROELLMatrix.from_coo(coo, h=256)
+        bro_after = BROELLMatrix.from_coo(reordered, h=256)
+        # Table 5 regime: BAR does not hurt, usually helps.
+        eta_b = index_compression_report(bro_before, "rim").eta
+        eta_a = index_compression_report(bro_after, "rim").eta
+        assert eta_a > eta_b - 0.01
+        x = np.random.default_rng(1).standard_normal(coo.shape[1])
+        res = run_spmv(bro_after, x, "k20")
+        np.testing.assert_allclose(res.y, coo.spmv(x)[perm], rtol=1e-9)
+
+    @pytest.mark.parametrize("name", ["epb3", "qcd5_4"])
+    def test_every_set1_format_agrees(self, name):
+        coo = generate(name, scale=0.02)
+        x = np.random.default_rng(2).standard_normal(coo.shape[1])
+        reference = coo.spmv(x)
+        for fmt in ("coo", "csr", "ellpack", "ellpack_r", "sliced_ellpack",
+                    "hyb", "bro_ell", "bro_coo", "bro_hyb"):
+            kwargs = {"h": 64} if fmt in ("sliced_ellpack", "bro_ell",
+                                          "bro_hyb") else {}
+            res = run_spmv(convert(coo, fmt, **kwargs), x, "gtx680")
+            np.testing.assert_allclose(res.y, reference, rtol=1e-9,
+                                       err_msg=fmt)
+
+
+class TestSolverPipeline:
+    def test_cg_through_simulated_bro_hyb(self):
+        # SPD system solved over the compressed format on the device model.
+        m = 512
+        rng = np.random.default_rng(3)
+        band = np.clip(np.arange(m)[:, None] + np.arange(-2, 3)[None, :], 0, m - 1)
+        rows = np.repeat(np.arange(m), 5)
+        vals = np.where(band.reshape(-1) == rows, 10.0, -1.0)
+        coo = COOMatrix(rows, band.reshape(-1), vals, (m, m))
+        b = coo.spmv(np.ones(m))
+        op = SimulatedOperator(BROHYBMatrix.from_coo(coo, h=64), "k20")
+        result = conjugate_gradient(op, b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.ones(m), rtol=1e-6)
+        assert op.device_time > 0
+
+    def test_gmres_on_suite_matrix_plus_identity(self):
+        coo = generate("scircuit", scale=0.003)
+        m = coo.shape[0]
+        # Shift to diagonal dominance so GMRES converges quickly.
+        shift = float(np.abs(coo.vals).sum() / m + 1.0) * 10
+        rows = np.concatenate([coo.row_idx, np.arange(m)])
+        cols = np.concatenate([coo.col_idx, np.arange(m)])
+        vals = np.concatenate([coo.vals, np.full(m, shift)])
+        system = COOMatrix(rows, cols, vals, (m, m))
+        b = np.ones(m)
+        op = SimulatedOperator(convert(system, "bro_coo"), "c2070")
+        result = gmres(op, b, tol=1e-8, restart=20, max_iter=400)
+        assert result.converged
+        np.testing.assert_allclose(system.spmv(result.x), b, atol=1e-6)
+
+
+class TestFileRoundTrip:
+    def test_matrix_market_through_compression(self):
+        coo = generate("e40r5000", scale=0.02)
+        buf = io.StringIO()
+        write_matrix_market(coo, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.nnz == coo.nnz
+        x = np.random.default_rng(4).standard_normal(coo.shape[1])
+        bro_a = BROELLMatrix.from_coo(coo, h=128)
+        bro_b = BROELLMatrix.from_coo(back, h=128)
+        np.testing.assert_allclose(
+            run_spmv(bro_a, x, "k20").y, run_spmv(bro_b, x, "k20").y
+        )
+        # Identical matrices compress identically.
+        assert bro_a.stream.nbytes == bro_b.stream.nbytes
+
+
+class TestSuiteCoverage:
+    def test_all_set1_matrices_compress_and_run(self):
+        x_cache = {}
+        for name in set1_names():
+            coo = generate(name, scale=0.01)
+            bro = BROELLMatrix.from_coo(coo, h=256)
+            x = x_cache.setdefault(
+                coo.shape[1],
+                np.random.default_rng(5).standard_normal(coo.shape[1]),
+            )
+            res = run_spmv(bro, x, "k20")
+            np.testing.assert_allclose(res.y, coo.spmv(x), rtol=1e-8,
+                                       err_msg=name)
+            assert res.counters.dram_bytes > 0

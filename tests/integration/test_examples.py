@@ -1,0 +1,47 @@
+"""Smoke-run every example script: they are part of the public surface."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", [], "Space savings"),
+        ("cg_solver.py", [], "converged=True"),
+        ("format_explorer.py", ["epb3", "0.02"], "GFlop/s are modeled"),
+        ("reordering_study.py", ["rim", "0.02"], "BAR"),
+        ("autotune.py", [], "top format"),
+    ],
+)
+def test_example_runs(script, args, expect):
+    result = run_example(script, *args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expect in result.stdout
+
+
+def test_format_explorer_rejects_unknown_matrix():
+    result = run_example("format_explorer.py", "not_a_matrix")
+    assert result.returncode != 0
+    assert "unknown matrix" in (result.stderr + result.stdout)
+
+
+def test_profile_slices_example():
+    result = run_example("profile_slices.py", "venkat01", "0.02")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "hottest slices" in result.stdout
+    assert "worst-compressed" in result.stdout

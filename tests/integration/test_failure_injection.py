@@ -1,0 +1,119 @@
+"""Failure injection: corrupted streams and malformed inputs must fail
+loudly, never silently produce wrong numbers."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.multiplex import MultiplexedStream
+from repro.bitstream.reader import SliceDecoder
+from repro.core.bro_ell import BROELLMatrix
+from repro.errors import (
+    CompressionError,
+    DecompressionError,
+    ReproError,
+    ValidationError,
+)
+from repro.formats.coo import COOMatrix
+from tests.conftest import random_coo
+
+
+class TestCorruptedStreams:
+    def test_truncated_stream_detected(self):
+        coo = random_coo(64, 64, density=0.08, seed=1)
+        bro = BROELLMatrix.from_coo(coo, h=16)
+        truncated = MultiplexedStream(
+            data=bro.stream.data[: bro.stream.data.shape[0] - 1],
+            slice_ptr=np.append(
+                bro.stream.slice_ptr[:-1], bro.stream.slice_ptr[-1] - 1
+            ),
+            sym_len=32,
+        )
+        with pytest.raises(ReproError):
+            corrupt = BROELLMatrix(
+                truncated, bro.bit_allocs, bro._vals, bro.row_lengths, 16,
+                coo.shape,
+            )
+            corrupt.to_dense()
+
+    def test_bit_flip_changes_output_not_crashes_silently(self):
+        # A flipped bit inside a delta field must change the decoded matrix
+        # (the format has no checksums — corruption is visible, not hidden).
+        coo = random_coo(64, 64, density=0.08, seed=2)
+        bro = BROELLMatrix.from_coo(coo, h=16)
+        data = bro.stream.data.copy()
+        data[0] ^= np.uint32(1 << 31)  # flip the very first packed bit
+        tampered = BROELLMatrix(
+            MultiplexedStream(data, bro.stream.slice_ptr, 32),
+            bro.bit_allocs, bro._vals, bro.row_lengths, 16, coo.shape,
+        )
+        try:
+            different = not np.array_equal(tampered.to_dense(), coo.to_dense())
+        except ReproError:
+            different = True  # decoding detected the inconsistency
+        assert different
+
+    def test_decoder_overrun_raises(self):
+        dec = SliceDecoder(np.zeros(4, dtype=np.uint32), h=2)
+        dec.decode(32)
+        dec.decode(32)
+        with pytest.raises(DecompressionError):
+            dec.decode(1)
+
+
+class TestMalformedConstruction:
+    def test_bit_alloc_wider_than_symbol(self):
+        from repro.bitstream.packing import pack_slice
+
+        with pytest.raises(CompressionError):
+            pack_slice(np.zeros((2, 1), np.int64), np.array([40]), sym_len=32)
+
+    def test_vals_length_mismatch(self):
+        coo = random_coo(32, 32, density=0.1, seed=3)
+        bro = BROELLMatrix.from_coo(coo, h=8)
+        with pytest.raises(ValidationError):
+            BROELLMatrix(
+                bro.stream, bro.bit_allocs, bro._vals[:-1], bro.row_lengths,
+                8, coo.shape,
+            )
+
+    def test_row_lengths_mismatch(self):
+        coo = random_coo(32, 32, density=0.1, seed=4)
+        bro = BROELLMatrix.from_coo(coo, h=8)
+        with pytest.raises(ValidationError):
+            BROELLMatrix(
+                bro.stream, bro.bit_allocs, bro._vals,
+                bro.row_lengths[:-1], 8, coo.shape,
+            )
+
+    def test_unsorted_columns_rejected_at_compression(self):
+        # Delta coding requires strictly increasing columns; the COO class
+        # sorts on construction, so feed the encoder directly.
+        from repro.core.delta import delta_encode_columns
+
+        with pytest.raises(CompressionError):
+            delta_encode_columns(
+                np.array([[5, 3]]), np.ones((1, 2), dtype=bool)
+            )
+
+
+class TestKernelInputValidation:
+    def test_wrong_x_length(self, paper_matrix):
+        from repro.kernels import run_spmv
+
+        with pytest.raises(ValidationError):
+            run_spmv(paper_matrix, np.ones(4), "k20")
+
+    def test_unknown_device(self, paper_matrix):
+        from repro.errors import DeviceError
+        from repro.kernels import run_spmv
+
+        with pytest.raises(DeviceError):
+            run_spmv(paper_matrix, np.ones(5), "h100")
+
+    def test_format_kernel_mismatch(self, paper_matrix):
+        from repro.gpu.device import TESLA_K20
+        from repro.errors import KernelError
+        from repro.kernels import get_kernel
+
+        with pytest.raises(KernelError):
+            get_kernel("bro_ell").run(paper_matrix, np.ones(5), TESLA_K20)

@@ -1,0 +1,142 @@
+"""Counter-level behaviour: the traffic model must show the paper's effects."""
+
+import numpy as np
+import pytest
+
+from repro.formats import convert
+from repro.formats.coo import COOMatrix
+from repro.gpu.device import DEVICES, TESLA_K20
+from repro.kernels import run_spmv
+from tests.conftest import random_coo
+
+
+def banded_matrix(m=4096, k=16):
+    """Uniform banded matrix: maximally compressible index data."""
+    cols = np.minimum(
+        np.arange(k) + np.maximum(0, np.arange(m)[:, None] - k // 2), m - 1
+    )
+    rows = np.repeat(np.arange(m), k)
+    return COOMatrix(rows, cols.reshape(-1), np.ones(m * k), (m, m))
+
+
+def skewed_matrix(m=2048, seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 8, size=m)
+    lengths[:: m // 16] = 64
+    rows = np.repeat(np.arange(m), lengths)
+    cols = np.concatenate(
+        [np.sort(rng.choice(m, size=int(k), replace=False)) for k in lengths]
+    )
+    return COOMatrix(rows, cols, np.ones(rows.size), (m, m))
+
+
+@pytest.fixture(scope="module")
+def banded():
+    return banded_matrix()
+
+
+class TestBROELLTraffic:
+    def test_index_traffic_shrinks(self, banded):
+        x = np.ones(banded.shape[1])
+        ell = run_spmv(convert(banded, "ellpack"), x, "k20")
+        bro = run_spmv(convert(banded, "bro_ell"), x, "k20")
+        # Small deltas: packed stream must be far below 4 B/entry.
+        assert bro.counters.index_bytes < ell.counters.index_bytes / 4
+
+    def test_value_traffic_comparable(self, banded):
+        x = np.ones(banded.shape[1])
+        ell = run_spmv(convert(banded, "ellpack"), x, "k20")
+        bro = run_spmv(convert(banded, "bro_ell"), x, "k20")
+        assert bro.counters.value_bytes == pytest.approx(
+            ell.counters.value_bytes, rel=0.05
+        )
+
+    def test_decode_ops_charged(self, banded):
+        bro = run_spmv(convert(banded, "bro_ell"), np.ones(banded.shape[1]), "k20")
+        assert bro.counters.decode_ops > banded.nnz  # several ops per entry
+
+    def test_bro_ell_faster_on_compressible_matrix(self, banded):
+        x = np.ones(banded.shape[1])
+        ell = run_spmv(convert(banded, "ellpack"), x, "k20")
+        bro = run_spmv(convert(banded, "bro_ell"), x, "k20")
+        assert bro.gflops > ell.gflops
+
+    def test_higher_eai_than_ellpack(self, banded):
+        # Fig. 5: BRO-ELL achieves higher effective arithmetic intensity.
+        x = np.ones(banded.shape[1])
+        ell = run_spmv(convert(banded, "ellpack"), x, "k20")
+        bro = run_spmv(convert(banded, "bro_ell"), x, "k20")
+        assert (
+            bro.counters.effective_arithmetic_intensity
+            > ell.counters.effective_arithmetic_intensity
+        )
+
+
+class TestELLPACKRPayoff:
+    def test_skewed_rows_cut_traffic(self):
+        coo = skewed_matrix()
+        x = np.ones(coo.shape[1])
+        ell = run_spmv(convert(coo, "ellpack"), x, "k20")
+        ellr = run_spmv(convert(coo, "ellpack_r"), x, "k20")
+        assert ellr.counters.value_bytes < ell.counters.value_bytes
+        assert ellr.counters.issued_flops < ell.counters.issued_flops
+
+    def test_uniform_rows_no_penalty_beyond_aux(self, banded):
+        x = np.ones(banded.shape[1])
+        ell = run_spmv(convert(banded, "ellpack"), x, "k20")
+        ellr = run_spmv(convert(banded, "ellpack_r"), x, "k20")
+        assert ellr.counters.index_bytes == ell.counters.index_bytes
+        assert ellr.counters.aux_bytes > 0
+
+
+class TestCOOFamily:
+    def test_bro_coo_compresses_row_stream_only(self):
+        coo = random_coo(2048, 2048, density=0.004, seed=3)
+        x = np.ones(2048)
+        plain = run_spmv(coo, x, "k20")
+        bro = run_spmv(convert(coo, "bro_coo"), x, "k20")
+        assert bro.counters.index_bytes < plain.counters.index_bytes
+        # Values are identical streams.
+        assert bro.counters.value_bytes == pytest.approx(
+            plain.counters.value_bytes, rel=0.05
+        )
+
+    def test_two_launches(self):
+        coo = random_coo(256, 256, density=0.02, seed=4)
+        res = run_spmv(coo, np.ones(256), "k20")
+        assert res.counters.launches == 2
+
+    def test_coo_gains_smaller_than_ell_gains(self, banded):
+        # Fig. 7 vs Fig. 4: BRO-COO's speedup is weaker than BRO-ELL's.
+        x = np.ones(banded.shape[1])
+        ell_speedup = (
+            run_spmv(convert(banded, "bro_ell"), x, "k20").gflops
+            / run_spmv(convert(banded, "ellpack"), x, "k20").gflops
+        )
+        coo_speedup = (
+            run_spmv(convert(banded, "bro_coo"), x, "k20").gflops
+            / run_spmv(convert(banded, "coo"), x, "k20").gflops
+        )
+        assert ell_speedup > coo_speedup
+
+
+class TestOccupancyEffect:
+    def test_small_matrix_underutilizes_bandwidth(self):
+        # The e40r5000 effect (Fig. 6): too few rows to fill the device.
+        small = banded_matrix(m=1024, k=16)
+        big = banded_matrix(m=65536, k=16)
+        x_s, x_b = np.ones(1024), np.ones(65536)
+        util_small = run_spmv(convert(small, "bro_ell"), x_s, "k20").timing
+        util_big = run_spmv(convert(big, "bro_ell"), x_b, "k20").timing
+        assert util_small.occupancy < util_big.occupancy
+        assert util_small.bandwidth_utilization < util_big.bandwidth_utilization
+
+
+class TestDeviceScaling:
+    def test_gflops_follow_bandwidth(self, banded):
+        # Fig. 3 ordering: K20 > GTX680 > C2070 on a big uniform matrix.
+        big = banded_matrix(m=131072, k=8)
+        x = np.ones(big.shape[1])
+        mat = convert(big, "bro_ell")
+        perf = {d: run_spmv(mat, x, d).gflops for d in DEVICES}
+        assert perf["k20"] > perf["gtx680"] > perf["c2070"]

@@ -1,0 +1,63 @@
+"""Unit tests for the on-disk matrix cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matrices.cache import (
+    default_cache_dir,
+    generate_cached,
+    load_matrix,
+    save_matrix,
+)
+from tests.conftest import random_coo
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        coo = random_coo(60, 40, density=0.1, seed=1)
+        path = tmp_path / "m.npz"
+        save_matrix(coo, path)
+        back = load_matrix(path)
+        assert back.shape == coo.shape
+        np.testing.assert_array_equal(back.row_idx, coo.row_idx)
+        np.testing.assert_array_equal(back.col_idx, coo.col_idx)
+        np.testing.assert_array_equal(back.vals, coo.vals)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        coo = random_coo(10, 10, seed=2)
+        path = tmp_path / "a" / "b" / "m.npz"
+        save_matrix(coo, path)
+        assert path.exists()
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValidationError, match="not a repro matrix"):
+            load_matrix(path)
+
+
+class TestGenerateCached:
+    def test_first_call_writes_second_reads(self, tmp_path):
+        a = generate_cached("epb3", scale=0.01, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        b = generate_cached("epb3", scale=0.01, cache_dir=tmp_path)
+        np.testing.assert_array_equal(a.col_idx, b.col_idx)
+
+    def test_cache_key_includes_scale_and_seed(self, tmp_path):
+        generate_cached("epb3", scale=0.01, cache_dir=tmp_path)
+        generate_cached("epb3", scale=0.02, cache_dir=tmp_path)
+        generate_cached("epb3", scale=0.01, seed=7, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 3
+
+    def test_cached_equals_generated(self, tmp_path):
+        from repro.matrices.suite import generate
+
+        cached = generate_cached("venkat01", scale=0.01, cache_dir=tmp_path)
+        fresh = generate("venkat01", scale=0.01)
+        np.testing.assert_array_equal(cached.to_dense(), fresh.to_dense())
+
+    def test_env_var_controls_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MATRIX_CACHE", str(tmp_path / "cache"))
+        assert default_cache_dir() == tmp_path / "cache"

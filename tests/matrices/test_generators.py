@@ -1,0 +1,137 @@
+"""Unit tests for the structural matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matrices.generators import (
+    banded_random,
+    block_band,
+    dense_rows,
+    power_law,
+    random_uniform,
+    row_lengths_lognormal,
+    row_lengths_normal,
+    row_lengths_zipf,
+    stencil,
+)
+
+
+class TestRowLengthDistributions:
+    def test_normal_mean(self):
+        rng = np.random.default_rng(0)
+        lengths = row_lengths_normal(20000, 30.0, 5.0, 100, rng)
+        assert abs(lengths.mean() - 30.0) < 0.5
+        assert lengths.min() >= 1
+        assert lengths.max() <= 100
+
+    def test_lognormal_skew(self):
+        rng = np.random.default_rng(1)
+        lengths = row_lengths_lognormal(20000, 20.0, 25.0, 1000, rng)
+        assert abs(lengths.mean() - 20.0) < 2.0
+        # Right-skewed: median below mean.
+        assert np.median(lengths) < lengths.mean()
+
+    def test_lognormal_rejects_bad_mu(self):
+        with pytest.raises(ValidationError):
+            row_lengths_lognormal(10, 0.0, 1.0, 10, np.random.default_rng(0))
+
+    def test_zipf_heavy_tail(self):
+        rng = np.random.default_rng(2)
+        lengths = row_lengths_zipf(50000, 5.0, 10000, rng, alpha=1.8)
+        assert lengths.max() > 20 * lengths.mean()  # heavy tail
+        assert lengths.min() >= 1
+
+
+class TestStencil:
+    def test_exact_pattern(self):
+        coo = stencil(100, [-10, -1, 1, 10])
+        lengths = coo.row_lengths()
+        # Interior rows have exactly 4 entries.
+        assert (lengths[10:90] == 4).all()
+        # Row 50 holds exactly the stencil columns.
+        mask = coo.row_idx == 50
+        np.testing.assert_array_equal(coo.col_idx[mask], [40, 49, 51, 60])
+
+    def test_boundary_clipping(self):
+        coo = stencil(100, [-10, -1, 1, 10])
+        assert coo.row_lengths()[0] == 2  # only +1 and +10 fit
+
+    def test_deterministic(self):
+        a = stencil(64, [-1, 1], seed=3)
+        b = stencil(64, [-1, 1], seed=3)
+        np.testing.assert_array_equal(a.vals, b.vals)
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValidationError):
+            stencil(10, [])
+
+
+class TestBandedRandom:
+    def test_statistics(self):
+        coo = banded_random(20000, 15.0, 4.0, bandwidth=100, seed=4)
+        lengths = coo.row_lengths()
+        assert abs(lengths.mean() - 15.0) < 0.5
+        assert abs(lengths.std() - 4.0) < 0.5
+
+    def test_band_respected(self):
+        coo = banded_random(5000, 10.0, 2.0, bandwidth=50, seed=5)
+        span = np.abs(coo.col_idx.astype(np.int64) - coo.row_idx.astype(np.int64))
+        assert span.max() <= 101  # window of half-width 50 (+ clipping slack)
+
+    def test_distinct_columns_per_row(self):
+        coo = banded_random(2000, 12.0, 3.0, bandwidth=40, seed=6)
+        # COOMatrix sums duplicates; distinct sampling means nnz == raw count.
+        lengths = coo.row_lengths()
+        assert lengths.sum() == coo.nnz
+
+    def test_skewed_variant(self):
+        coo = banded_random(20000, 10.0, 12.0, bandwidth=200, seed=7, skewed=True)
+        lengths = coo.row_lengths()
+        assert np.median(lengths) < lengths.mean()
+
+
+class TestBlockBand:
+    def test_runs_of_unit_deltas(self):
+        coo = block_band(4096, 30.0, 6.0, run=3, bandwidth=200, seed=8)
+        # At least ~60% of within-row deltas must be exactly 1 (runs).
+        from repro.core.delta import delta_encode_columns
+        from repro.formats.ellpack import ellpack_arrays_from_coo
+
+        col_idx, _v, stored = ellpack_arrays_from_coo(coo)
+        valid = np.arange(col_idx.shape[1])[None, :] < stored[:, None]
+        deltas = delta_encode_columns(col_idx, valid)
+        unit_fraction = (deltas[valid] == 1).mean()
+        assert unit_fraction > 0.55
+
+    def test_mean_row_length(self):
+        coo = block_band(8192, 45.0, 10.0, run=3, bandwidth=400, seed=9)
+        assert abs(coo.row_lengths().mean() - 45.0) < 5.0
+
+
+class TestPowerLaw:
+    def test_heavy_tailed_rows(self):
+        coo = power_law(30000, 8.0, seed=10, alpha=1.7)
+        lengths = coo.row_lengths()
+        # Heavy tail: sigma well above mu (duplicate-merging trims it a bit).
+        assert lengths.std() > 2.5 * lengths.mean()
+        assert lengths.max() > 15 * lengths.mean()
+
+    def test_hub_columns_reused(self):
+        coo = power_law(10000, 6.0, seed=11, locality=0.3, hub_fraction=0.01)
+        counts = np.bincount(coo.col_idx, minlength=coo.shape[1])
+        # Hubs: some columns are referenced far more than average.
+        assert counts.max() > 20 * max(counts.mean(), 1e-9)
+
+
+class TestDenseRows:
+    def test_wide_shape(self):
+        coo = dense_rows(64, 2000, 300.0, 400.0, seed=12)
+        assert coo.shape == (64, 2000)
+        assert coo.row_lengths().mean() > 100
+
+    def test_random_uniform_full_width(self):
+        coo = random_uniform(1000, 1000, 8.0, 2.0, seed=13)
+        # Columns should span (almost) the full width.
+        assert coo.col_idx.max() > 900
+        assert coo.col_idx.min() < 100

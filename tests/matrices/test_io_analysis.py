@@ -1,0 +1,114 @@
+"""Unit tests for MatrixMarket I/O and matrix analysis."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.formats.coo import COOMatrix
+from repro.matrices.analysis import analyze
+from repro.matrices.io import read_matrix_market, write_matrix_market
+from tests.conftest import PAPER_A
+
+
+class TestWriteRead:
+    def test_round_trip_stream(self, paper_matrix):
+        buf = io.StringIO()
+        write_matrix_market(paper_matrix, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        np.testing.assert_array_equal(back.to_dense(), PAPER_A)
+
+    def test_round_trip_file(self, paper_matrix, tmp_path):
+        path = tmp_path / "a.mtx"
+        write_matrix_market(paper_matrix, path)
+        back = read_matrix_market(path)
+        np.testing.assert_array_equal(back.to_dense(), PAPER_A)
+
+    def test_values_exact(self, tmp_path):
+        coo = COOMatrix([0], [0], [1.0 / 3.0], (1, 1))
+        path = tmp_path / "v.mtx"
+        write_matrix_market(coo, path)
+        back = read_matrix_market(path)
+        assert back.vals[0] == 1.0 / 3.0  # repr round-trip
+
+
+class TestReadVariants:
+    def test_pattern_matrix(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        coo = read_matrix_market(io.StringIO(text))
+        np.testing.assert_array_equal(coo.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 5.0\n2 1 2.0\n3 3 1.0\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        dense = coo.to_dense()
+        assert dense[1, 0] == dense[0, 1] == 2.0
+        assert coo.nnz == 4
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n1 1 1\n1 1 3.5\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        assert coo.vals[0] == 3.5
+
+    def test_bad_header(self):
+        with pytest.raises(MatrixMarketError, match="header"):
+            read_matrix_market(io.StringIO("%%NotMM matrix x y z\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_entry_count_mismatch(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        with pytest.raises(MatrixMarketError, match="expected 3"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_empty_file(self):
+        with pytest.raises(MatrixMarketError, match="empty"):
+            read_matrix_market(io.StringIO(""))
+
+
+class TestAnalyze:
+    def test_paper_example_stats(self, paper_matrix):
+        stats = analyze(paper_matrix, "A")
+        assert stats.rows == 4
+        assert stats.cols == 5
+        assert stats.nnz == 12
+        assert stats.mu == pytest.approx(3.0)
+        assert stats.max_row == 5
+        assert stats.min_row == 2
+        assert stats.mean_delta_bits > 0
+
+    def test_delta_bits_reflect_structure(self):
+        # A unit-band matrix has tiny deltas; a scattered one has large ones.
+        band = COOMatrix(
+            np.repeat(np.arange(100), 2),
+            np.clip(np.repeat(np.arange(100), 2) + np.tile([0, 1], 100), 0, 99),
+            np.ones(200),
+            (100, 100),
+        )
+        rng = np.random.default_rng(0)
+        scattered = COOMatrix(
+            np.repeat(np.arange(100), 2),
+            np.sort(rng.choice(10000, (100, 2)), axis=1).reshape(-1),
+            np.ones(200),
+            (100, 10000),
+        )
+        assert (
+            analyze(band, "band").mean_delta_bits
+            < analyze(scattered, "scattered").mean_delta_bits
+        )
+
+    def test_report_row_format(self, paper_matrix):
+        line = analyze(paper_matrix, "A").row()
+        assert "A" in line and "12" in line

@@ -1,0 +1,99 @@
+"""Unit tests for the Table 2 suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matrices.analysis import analyze
+from repro.matrices.suite import TABLE2, generate
+from repro.matrices.suite import test_set_1 as set1_names
+from repro.matrices.suite import test_set_2 as set2_names
+
+
+class TestRegistry:
+    def test_thirty_matrices(self):
+        assert len(TABLE2) == 30
+
+    def test_sixteen_in_set1_fourteen_in_set2(self):
+        assert len(set1_names()) == 16
+        assert len(set2_names()) == 14
+
+    def test_table2_statistics_recorded(self):
+        # Spot-check published Table 2 rows.
+        assert TABLE2["cage12"].nnz == 2_032_536
+        assert TABLE2["pdb1HYS"].mu == 119.3
+        assert TABLE2["qcd5_4"].sigma == 0.0
+        assert TABLE2["rail4284"].rows == 4_300
+        assert TABLE2["rail4284"].cols == 109_000
+        assert TABLE2["webbase-1M"].rows == 1_000_000
+        assert TABLE2["gupta2"].sigma == 356.0
+
+    def test_unknown_matrix(self):
+        with pytest.raises(ValidationError, match="unknown matrix"):
+            generate("not_a_matrix")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", ["cage12", "shipsec1", "mc2depi", "scircuit"])
+    def test_statistics_close_to_table2(self, name):
+        spec = TABLE2[name]
+        coo = generate(name, scale=0.1)
+        stats = analyze(coo, name)
+        assert abs(stats.mu - spec.mu) / spec.mu < 0.25
+
+    def test_scale_changes_dimensions(self):
+        small = generate("cage12", scale=0.05)
+        big = generate("cage12", scale=0.1)
+        assert big.shape[0] > small.shape[0]
+
+    def test_deterministic_by_default(self):
+        a = generate("epb3", scale=0.05)
+        b = generate("epb3", scale=0.05)
+        np.testing.assert_array_equal(a.col_idx, b.col_idx)
+        np.testing.assert_array_equal(a.vals, b.vals)
+
+    def test_seed_override_changes_matrix(self):
+        a = generate("cage12", scale=0.05)
+        b = generate("cage12", scale=0.05, seed=99)
+        assert a.nnz != b.nnz or not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValidationError):
+            generate("cage12", scale=0.0)
+        with pytest.raises(ValidationError):
+            generate("cage12", scale=1.5)
+
+    def test_qcd_row_length_regular(self):
+        coo = generate("qcd5_4", scale=0.1)
+        lengths = coo.row_lengths()
+        # QCD is near-uniform: 39 entries for interior sites.
+        assert abs(lengths.mean() - 39.0) < 4.0
+        assert np.median(lengths) == 39
+
+    def test_rail4284_shape(self):
+        coo = generate("rail4284", scale=0.1)
+        m, n = coo.shape
+        assert n > 10 * m  # short and wide
+
+    def test_set2_matrices_have_higher_spread(self):
+        # gupta2's sigma/mu ratio must dwarf a Test Set 1 FEM matrix's.
+        gupta = analyze(generate("gupta2", scale=0.05), "gupta2")
+        ship = analyze(generate("shipsec1", scale=0.05), "shipsec1")
+        assert gupta.sigma / gupta.mu > 3 * ship.sigma / ship.mu
+
+
+class TestCompressibilityShape:
+    def test_mc2depi_least_compressible_of_stencils(self):
+        """Table 3's qualitative shape: mc2depi ~50%, shipsec1 ~93%."""
+        from repro.core.bro_ell import BROELLMatrix
+        from repro.core.compression import index_compression_report
+
+        etas = {}
+        for name in ("mc2depi", "shipsec1", "stomach"):
+            coo = generate(name, scale=0.08)
+            etas[name] = index_compression_report(
+                BROELLMatrix.from_coo(coo, h=256), name
+            ).eta
+        assert etas["mc2depi"] < etas["stomach"] < etas["shipsec1"]
+        assert etas["mc2depi"] < 0.6
+        assert etas["shipsec1"] > 0.85

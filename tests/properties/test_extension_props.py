@@ -1,0 +1,78 @@
+"""Property-based tests on the extension features (VC, multi-row, advisor)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multirow import MultiRowBROELL, split_rows
+from repro.core.value_compression import (
+    compress_value_block,
+    decompress_value_block,
+)
+from repro.formats.coo import COOMatrix
+from tests.properties.test_format_props import sparse_matrices
+
+
+@st.composite
+def value_blocks(draw, max_h=12, max_l=10, max_palette=20):
+    """Random (h, L) value block drawn from a small palette."""
+    h = draw(st.integers(1, max_h))
+    L = draw(st.integers(1, max_l))
+    n_vals = draw(st.integers(1, max_palette))
+    palette = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=n_vals, max_size=n_vals, unique=True,
+        )
+    )
+    picks = draw(
+        st.lists(st.integers(0, n_vals - 1), min_size=h * L, max_size=h * L)
+    )
+    return np.array(palette)[np.array(picks)].reshape(h, L)
+
+
+@given(value_blocks(), st.sampled_from([4, 8]))
+@settings(max_examples=100, deadline=None)
+def test_value_compression_lossless(block, max_bits):
+    cs = compress_value_block(block, max_bits=max_bits)
+    out = decompress_value_block(cs, block.shape[0], block.shape[1])
+    np.testing.assert_array_equal(out, block)
+    # Compression never inflates storage (fallback guarantees it).
+    assert cs.nbytes <= block.nbytes
+
+
+@given(value_blocks())
+@settings(max_examples=60, deadline=None)
+def test_value_compression_dictionary_minimal(block):
+    cs = compress_value_block(block, max_bits=8)
+    if cs.raw is None:
+        # Every dictionary entry is actually used by some code.
+        codes = decompress_value_block(cs, *block.shape)
+        assert set(np.unique(codes)) == set(np.unique(block))
+
+
+@given(sparse_matrices(), st.integers(1, 5))
+@settings(max_examples=80, deadline=None)
+def test_split_rows_preserves_product(coo, t):
+    x = np.random.default_rng(0).standard_normal(coo.shape[1])
+    out = split_rows(coo, t)
+    assert out.shape == (coo.shape[0] * t, coo.shape[1])
+    assert out.nnz == coo.nnz
+    partial = out.spmv(x)
+    np.testing.assert_allclose(
+        partial.reshape(coo.shape[0], t).sum(axis=1),
+        coo.spmv(x),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+
+
+@given(sparse_matrices(), st.sampled_from([1, 2, 4]))
+@settings(max_examples=60, deadline=None)
+def test_multirow_matches_reference(coo, t):
+    mt = MultiRowBROELL.from_coo(coo, threads_per_row=t, h=8)
+    x = np.random.default_rng(1).standard_normal(coo.shape[1])
+    np.testing.assert_allclose(
+        mt.spmv(x), coo.to_dense() @ x, rtol=1e-9, atol=1e-9
+    )
+    np.testing.assert_allclose(mt.to_dense(), coo.to_dense(), rtol=1e-12)

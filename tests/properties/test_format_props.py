@@ -1,0 +1,110 @@
+"""Property-based tests over the format zoo.
+
+Invariants:
+
+* every format round-trips through COO losslessly;
+* every format's reference SpMV agrees with the dense product;
+* BRO compression is lossless for arbitrary sparsity patterns;
+* row permutation commutes with SpMV.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bro_coo import BROCOOMatrix
+from repro.core.bro_ell import BROELLMatrix
+from repro.formats import convert
+from repro.formats.coo import COOMatrix
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=40, max_nnz=120):
+    """Random COO matrices, duplicates allowed (summed by the class)."""
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(rows, cols, vals, (m, n))
+
+
+FORMATS = ["csr", "ellpack", "ellpack_r", "sliced_ellpack", "hyb",
+           "bro_ell", "bro_coo", "bro_hyb"]
+
+
+@given(sparse_matrices(), st.sampled_from(FORMATS))
+@settings(max_examples=120, deadline=None)
+def test_conversion_is_lossless(coo, fmt):
+    kwargs = {"h": 8} if fmt in ("sliced_ellpack", "bro_ell", "bro_hyb") else {}
+    mat = convert(coo, fmt, **kwargs)
+    np.testing.assert_allclose(mat.to_dense(), coo.to_dense(), rtol=1e-12)
+    assert mat.nnz == coo.nnz
+    assert mat.shape == coo.shape
+
+
+@given(sparse_matrices(), st.sampled_from(FORMATS), st.integers(0, 2**31 - 1))
+@settings(max_examples=120, deadline=None)
+def test_spmv_matches_dense(coo, fmt, seed):
+    kwargs = {"h": 8} if fmt in ("sliced_ellpack", "bro_ell", "bro_hyb") else {}
+    mat = convert(coo, fmt, **kwargs)
+    x = np.random.default_rng(seed).standard_normal(coo.shape[1])
+    np.testing.assert_allclose(
+        mat.spmv(x), coo.to_dense() @ x, rtol=1e-9, atol=1e-9
+    )
+
+
+@given(sparse_matrices(), st.integers(1, 16), st.sampled_from([32, 64]))
+@settings(max_examples=100, deadline=None)
+def test_bro_ell_compression_lossless(coo, h, sym_len):
+    bro = BROELLMatrix.from_coo(coo, h=h, sym_len=sym_len)
+    np.testing.assert_allclose(bro.to_dense(), coo.to_dense(), rtol=1e-12)
+    # bit_alloc widths are always within the symbol length.
+    for widths in bro.bit_allocs:
+        if widths.size:
+            assert 1 <= widths.min() and widths.max() <= sym_len
+
+
+@given(sparse_matrices(), st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_bro_coo_compression_lossless(coo, lanes_pow):
+    w = 2**lanes_pow  # warp sizes 2..16 for variety
+    bro = BROCOOMatrix.from_coo(coo, interval_size=8 * w, warp_size=w)
+    np.testing.assert_allclose(bro.to_dense(), coo.to_dense(), rtol=1e-12)
+    # Decoded rows are sorted (entry order preserved).
+    rows = bro.decode_rows()
+    assert (np.diff(rows) >= 0).all()
+
+
+@given(sparse_matrices(), st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_permutation_commutes_with_spmv(coo, seed):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(coo.shape[0])
+    x = rng.standard_normal(coo.shape[1])
+    np.testing.assert_allclose(
+        coo.permute_rows(perm).spmv(x), coo.spmv(x)[perm], rtol=1e-9, atol=1e-12
+    )
+
+
+@given(sparse_matrices())
+@settings(max_examples=80, deadline=None)
+def test_device_bytes_are_consistent(coo):
+    for fmt in ("coo", "ellpack", "bro_ell", "hyb"):
+        kwargs = {"h": 8} if fmt == "bro_ell" else {}
+        mat = convert(coo, fmt, **kwargs)
+        db = mat.device_bytes()
+        assert set(db) >= {"index", "values"}
+        assert all(v >= 0 for v in db.values())
+        assert mat.total_bytes == sum(db.values())

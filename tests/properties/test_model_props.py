@@ -1,0 +1,97 @@
+"""Property-based tests on the GPU model's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import DEVICES, TESLA_K20
+from repro.gpu.launch import occupancy_factor
+from repro.gpu.memory import contiguous_transactions, gather_transactions
+from repro.gpu.timing import predict
+
+
+counters_strategy = st.builds(
+    KernelCounters,
+    index_bytes=st.integers(0, 10**9),
+    value_bytes=st.integers(0, 10**9),
+    x_bytes=st.integers(0, 10**9),
+    y_bytes=st.integers(0, 10**8),
+    aux_bytes=st.integers(0, 10**7),
+    useful_flops=st.integers(0, 10**9),
+    issued_flops=st.integers(0, 10**9),
+    decode_ops=st.integers(0, 10**9),
+    launches=st.integers(1, 8),
+    threads=st.integers(1, 10**7),
+)
+
+
+@given(counters_strategy)
+@settings(max_examples=200, deadline=None)
+def test_time_positive_and_composed_of_parts(c):
+    for dev in DEVICES.values():
+        t = predict(c, dev)
+        assert t.time > 0
+        assert t.time >= t.t_launch
+        assert t.time >= max(t.t_mem, t.t_flop)
+        assert 0.05 <= t.occupancy <= 1.0
+
+
+@given(counters_strategy, st.integers(1, 10**9))
+@settings(max_examples=200, deadline=None)
+def test_more_bytes_never_faster(c, extra):
+    slow = KernelCounters(**{**c.__dict__, "value_bytes": c.value_bytes + extra})
+    assert predict(slow, TESLA_K20).time >= predict(c, TESLA_K20).time
+
+
+@given(counters_strategy, st.integers(1, 10**9))
+@settings(max_examples=200, deadline=None)
+def test_more_decode_never_faster(c, extra):
+    slow = KernelCounters(**{**c.__dict__, "decode_ops": c.decode_ops + extra})
+    assert predict(slow, TESLA_K20).time >= predict(c, TESLA_K20).time
+
+
+@given(counters_strategy)
+@settings(max_examples=100, deadline=None)
+def test_bandwidth_utilization_bounded(c):
+    t = predict(c, TESLA_K20)
+    # Achieved bandwidth can never exceed the measured bandwidth, hence
+    # never the pin bandwidth either.
+    assert t.achieved_bw_gbps <= TESLA_K20.measured_bw_gbps * 1.0 + 1e-9
+    assert 0.0 <= t.bandwidth_utilization <= 1.0
+
+
+@given(st.integers(0, 10**6), st.sampled_from([1, 2, 4, 8, 16]))
+@settings(max_examples=200, deadline=None)
+def test_contiguous_transactions_tight_bounds(n, elem_bytes):
+    tx = contiguous_transactions(n, elem_bytes)
+    lower = -(-n * elem_bytes // 128) if n else 0
+    # Within one extra transaction per warp of the byte-exact lower bound.
+    upper = lower + (-(-n // 32)) if n else 0
+    assert lower <= tx <= max(upper, lower)
+
+
+@given(
+    st.lists(st.integers(0, 10**6), min_size=1, max_size=200),
+    st.sampled_from([4, 8]),
+)
+@settings(max_examples=200, deadline=None)
+def test_gather_bounded_by_lanes_and_lines(indices, elem_bytes):
+    idx = np.array(indices)
+    tx = gather_transactions(idx, elem_bytes)
+    n_warps = -(-idx.size // 32)
+    per_line = 128 // elem_bytes
+    distinct_lines = np.unique(idx // per_line).shape[0]
+    assert tx >= max(n_warps, 0)
+    assert tx <= min(idx.size, n_warps * 32)
+    # One transaction per (warp, distinct line) is the exact upper bound,
+    # and every distinct line must be fetched at least once.
+    assert distinct_lines <= tx <= n_warps * distinct_lines
+
+
+@given(st.integers(1, 10**8))
+@settings(max_examples=100, deadline=None)
+def test_occupancy_monotone(threads):
+    f1 = occupancy_factor(threads, TESLA_K20)
+    f2 = occupancy_factor(threads * 2, TESLA_K20)
+    assert f2 >= f1

@@ -1,0 +1,66 @@
+"""Property tests across subsystem boundaries: I/O, reordering, advisor."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices.io import read_matrix_market, write_matrix_market
+from repro.reorder import (
+    amd_permutation,
+    bar_permutation,
+    invert_permutation,
+    rcm_permutation,
+    rowsort_permutation,
+)
+from tests.properties.test_format_props import sparse_matrices
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_matrix_market_round_trip(coo):
+    buf = io.StringIO()
+    write_matrix_market(coo, buf)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    assert back.shape == coo.shape
+    assert back.nnz == coo.nnz
+    np.testing.assert_array_equal(back.row_idx, coo.row_idx)
+    np.testing.assert_array_equal(back.col_idx, coo.col_idx)
+    np.testing.assert_array_equal(back.vals, coo.vals)  # repr round-trip
+
+
+@given(sparse_matrices(max_dim=24, max_nnz=60), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_bar_always_valid_permutation(coo, h):
+    perm = bar_permutation(coo, h=h)
+    assert np.array_equal(np.sort(perm), np.arange(coo.shape[0]))
+    inv = invert_permutation(perm)
+    assert np.array_equal(perm[inv], np.arange(coo.shape[0]))
+
+
+@given(sparse_matrices(max_dim=20, max_nnz=50))
+@settings(max_examples=40, deadline=None)
+def test_square_reorderings_always_valid(coo):
+    if coo.shape[0] != coo.shape[1]:
+        return  # RCM/AMD require square matrices
+    for fn in (rcm_permutation, amd_permutation, rowsort_permutation):
+        perm = fn(coo)
+        assert np.array_equal(np.sort(perm), np.arange(coo.shape[0])), fn
+
+
+@given(sparse_matrices(max_dim=30, max_nnz=80), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_advisor_deterministic_and_consistent(coo, seed):
+    from repro.tuner.advisor import rank_formats
+
+    if coo.nnz == 0:
+        return
+    a = rank_formats(coo, "k20", formats=("coo", "bro_ell"), seed=seed)
+    b = rank_formats(coo, "k20", formats=("coo", "bro_ell"), seed=seed)
+    assert [r.format_name for r in a] == [r.format_name for r in b]
+    assert all(r.predicted_time > 0 for r in a)
+    # Ranking is by time/nnz, ascending.
+    times = [r.time_per_nnz for r in a]
+    assert times == sorted(times)

@@ -1,0 +1,72 @@
+"""Unit tests for ordering-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices.generators import banded_random
+from repro.reorder import (
+    apply_reordering,
+    bar_permutation,
+    matrix_bandwidth,
+    ordering_metrics,
+    profile,
+    rcm_permutation,
+)
+
+
+class TestBandwidthAndProfile:
+    def test_diagonal_matrix(self):
+        coo = COOMatrix.from_dense(np.eye(5))
+        assert matrix_bandwidth(coo) == 0
+        assert profile(coo) == 0
+
+    def test_known_bandwidth(self):
+        coo = COOMatrix([0, 2], [3, 0], [1.0, 1.0], (4, 4))
+        assert matrix_bandwidth(coo) == 3
+
+    def test_profile_counts_envelope(self):
+        # Row 2 reaches left to column 0: profile contribution 2.
+        coo = COOMatrix([0, 1, 2], [0, 1, 0], np.ones(3), (3, 3))
+        assert profile(coo) == 2
+
+    def test_empty(self):
+        coo = COOMatrix([], [], [], (3, 3))
+        assert matrix_bandwidth(coo) == 0
+        assert profile(coo) == 0
+
+
+class TestOrderingMetrics:
+    def test_rcm_improves_bandwidth_bar_improves_eta(self):
+        """Each ordering wins on its own objective — the Fig. 9 story."""
+        band = banded_random(400, 6.0, 1.0, bandwidth=8, seed=1)
+        rng = np.random.default_rng(2)
+        shuffle = rng.permutation(400)
+        scrambled = COOMatrix(
+            shuffle[band.row_idx], shuffle[band.col_idx], band.vals, band.shape
+        )
+        base = ordering_metrics(scrambled, h=64)
+        # RCM permutes rows only in our pipeline; to exercise its bandwidth
+        # objective, apply it to rows (columns fixed): bandwidth shrinks
+        # only partially, but the BAR comparison below is row-based too.
+        rcm = ordering_metrics(
+            apply_reordering(scrambled, rcm_permutation(scrambled)), h=64
+        )
+        bar = ordering_metrics(
+            apply_reordering(scrambled, bar_permutation(scrambled, h=64)), h=64
+        )
+        assert bar.eta >= rcm.eta - 0.01  # BAR at least matches RCM on eta
+        assert base.eta <= bar.eta + 1e-9  # and improves on the baseline
+
+    def test_mean_delta_bits_tracks_structure(self):
+        tight = banded_random(200, 5.0, 1.0, bandwidth=6, seed=3)
+        loose = banded_random(200, 5.0, 1.0, bandwidth=90, seed=3)
+        assert (
+            ordering_metrics(tight, h=32).mean_delta_bits
+            < ordering_metrics(loose, h=32).mean_delta_bits
+        )
+
+    def test_empty_matrix(self):
+        metrics = ordering_metrics(COOMatrix([], [], [], (4, 4)))
+        assert metrics.eta == 0.0
+        assert metrics.mean_delta_bits == 0.0

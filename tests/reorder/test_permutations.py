@@ -1,0 +1,118 @@
+"""Correctness of all reordering algorithms: valid permutations, SpMV
+equivalence, and the structural properties each ordering promises."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReorderingError
+from repro.formats.coo import COOMatrix
+from repro.matrices.generators import banded_random, block_band
+from repro.reorder import (
+    amd_permutation,
+    apply_reordering,
+    bar_permutation,
+    identity_permutation,
+    invert_permutation,
+    rcm_permutation,
+    rowsort_permutation,
+)
+from tests.conftest import random_coo
+
+ALL_REORDERINGS = [
+    ("bar", lambda c: bar_permutation(c, h=8)),
+    ("rcm", rcm_permutation),
+    ("amd", amd_permutation),
+    ("rowsort", rowsort_permutation),
+]
+
+
+class TestPermutationValidity:
+    @pytest.mark.parametrize("name,fn", ALL_REORDERINGS)
+    def test_valid_permutation(self, name, fn):
+        coo = random_coo(64, 64, density=0.06, seed=1)
+        perm = fn(coo)
+        assert np.array_equal(np.sort(perm), np.arange(64))
+
+    @pytest.mark.parametrize("name,fn", ALL_REORDERINGS)
+    def test_spmv_equivalence(self, name, fn):
+        coo = random_coo(80, 80, density=0.05, seed=2)
+        x = np.random.default_rng(3).standard_normal(80)
+        perm = fn(coo)
+        reordered = apply_reordering(coo, perm)
+        np.testing.assert_allclose(reordered.spmv(x), coo.spmv(x)[perm], rtol=1e-12)
+
+    @pytest.mark.parametrize("name,fn", ALL_REORDERINGS)
+    def test_deterministic(self, name, fn):
+        coo = random_coo(50, 50, density=0.08, seed=4)
+        np.testing.assert_array_equal(fn(coo), fn(coo))
+
+    def test_disconnected_graph_handled(self):
+        # Two disjoint blocks.
+        coo = COOMatrix([0, 1, 4, 5], [1, 0, 5, 4], np.ones(4), (8, 8))
+        for name, fn in ALL_REORDERINGS:
+            perm = fn(coo)
+            assert np.array_equal(np.sort(perm), np.arange(8)), name
+
+
+class TestBaseHelpers:
+    def test_identity(self):
+        np.testing.assert_array_equal(identity_permutation(4), [0, 1, 2, 3])
+
+    def test_invert(self):
+        perm = np.array([2, 0, 3, 1])
+        inv = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], [0, 1, 2, 3])
+
+    def test_apply_rejects_bad_perm(self, paper_matrix):
+        with pytest.raises(ReorderingError):
+            apply_reordering(paper_matrix, np.array([0, 0, 1, 2]))
+
+
+class TestRCMProperties:
+    def test_reduces_bandwidth_of_shuffled_band(self):
+        # Take a banded matrix, shuffle its rows+cols, RCM should restore
+        # a narrow profile.
+        band = banded_random(200, 5.0, 1.0, bandwidth=6, seed=5)
+        rng = np.random.default_rng(6)
+        shuffle = rng.permutation(200)
+        scrambled = COOMatrix(
+            shuffle[band.row_idx], shuffle[band.col_idx], band.vals, band.shape
+        )
+        perm = rcm_permutation(scrambled)
+        inv = invert_permutation(perm)
+        new_span = np.abs(
+            inv[scrambled.row_idx].astype(np.int64)
+            - inv[scrambled.col_idx].astype(np.int64)
+        )
+        old_span = np.abs(
+            scrambled.row_idx.astype(np.int64) - scrambled.col_idx.astype(np.int64)
+        )
+        assert new_span.mean() < old_span.mean() / 3
+
+    def test_rejects_rectangular(self):
+        coo = COOMatrix([0], [1], [1.0], (2, 3))
+        with pytest.raises(ReorderingError, match="square"):
+            rcm_permutation(coo)
+
+
+class TestRowSort:
+    def test_descending_lengths(self, paper_matrix):
+        perm = rowsort_permutation(paper_matrix)
+        lengths = paper_matrix.row_lengths()[perm]
+        assert (np.diff(lengths) <= 0).all()
+
+    def test_ascending(self, paper_matrix):
+        perm = rowsort_permutation(paper_matrix, descending=False)
+        lengths = paper_matrix.row_lengths()[perm]
+        assert (np.diff(lengths) >= 0).all()
+
+
+class TestAMDProperties:
+    def test_isolated_vertices_first_ish(self):
+        # A star graph: the hub has max degree and should be eliminated last.
+        m = 20
+        rows = np.concatenate([np.zeros(m - 1), np.arange(1, m)])
+        cols = np.concatenate([np.arange(1, m), np.zeros(m - 1)])
+        coo = COOMatrix(rows, cols, np.ones(rows.size), (m, m))
+        perm = amd_permutation(coo)
+        assert perm[-1] == 0  # hub eliminated last

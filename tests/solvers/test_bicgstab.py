@@ -1,0 +1,74 @@
+"""Unit tests for the BiCGSTAB solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.formats.coo import COOMatrix
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.operators import FormatOperator, SimulatedOperator
+from tests.solvers.test_gmres import unsymmetric_matrix
+
+
+class TestBiCGSTAB:
+    def test_solves_unsymmetric_system(self):
+        coo, dense = unsymmetric_matrix()
+        rng = np.random.default_rng(1)
+        x_true = rng.standard_normal(60)
+        b = dense @ x_true
+        result = bicgstab(FormatOperator(coo), b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+    def test_two_spmv_per_iteration(self):
+        coo, dense = unsymmetric_matrix(seed=2)
+        op = FormatOperator(coo)
+        result = bicgstab(op, np.ones(60), tol=1e-10)
+        assert result.converged
+        # 1 initial residual + (<= 2 per iteration).
+        assert op.spmv_calls <= 1 + 2 * result.iterations
+
+    def test_zero_rhs(self):
+        coo, _ = unsymmetric_matrix()
+        result = bicgstab(FormatOperator(coo), np.zeros(60))
+        assert result.converged
+        np.testing.assert_array_equal(result.x, np.zeros(60))
+
+    def test_spd_system_also_works(self):
+        rng = np.random.default_rng(3)
+        b_mat = rng.standard_normal((40, 40)) * 0.2
+        dense = b_mat.T @ b_mat + 40 * np.eye(40)
+        coo = COOMatrix.from_dense(dense)
+        b = np.ones(40)
+        result = bicgstab(FormatOperator(coo), b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(dense @ result.x, b, atol=1e-7)
+
+    def test_budget_and_raise(self):
+        coo, _ = unsymmetric_matrix(seed=4)
+        result = bicgstab(FormatOperator(coo), np.ones(60), tol=1e-15,
+                          max_iter=2)
+        assert not result.converged
+        with pytest.raises(ConvergenceError):
+            bicgstab(FormatOperator(coo), np.ones(60), tol=1e-15, max_iter=2,
+                     raise_on_fail=True)
+
+    def test_validation(self):
+        coo, _ = unsymmetric_matrix()
+        with pytest.raises(ValidationError):
+            bicgstab(FormatOperator(coo), np.ones((2, 3)))
+        with pytest.raises(ValidationError):
+            bicgstab(FormatOperator(coo), np.ones(60), x0=np.ones(5))
+        with pytest.raises(ValidationError):
+            bicgstab(FormatOperator(coo), np.ones(60), max_iter=0)
+
+    def test_through_simulated_bro_ell(self):
+        from repro.formats import convert
+
+        coo, dense = unsymmetric_matrix(seed=5)
+        b = np.ones(60)
+        op = SimulatedOperator(convert(coo, "bro_ell", h=16), "k20")
+        result = bicgstab(op, b, tol=1e-9)
+        assert result.converged
+        np.testing.assert_allclose(dense @ result.x, b, atol=1e-6)
+        assert op.device_time > 0

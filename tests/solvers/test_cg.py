@@ -1,0 +1,105 @@
+"""Unit tests for the Conjugate Gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.operators import FormatOperator, SimulatedOperator
+
+
+def spd_matrix(n=64, seed=0, density=0.05):
+    """A random sparse SPD matrix: A = B^T B + n*I (diagonally dominant)."""
+    rng = np.random.default_rng(seed)
+    nnz = int(density * n * n)
+    b = np.zeros((n, n))
+    b[rng.integers(0, n, nnz), rng.integers(0, n, nnz)] = rng.standard_normal(nnz)
+    dense = b.T @ b + n * np.eye(n)
+    return COOMatrix.from_dense(dense), dense
+
+
+class TestCG:
+    def test_solves_spd_system(self):
+        coo, dense = spd_matrix()
+        rng = np.random.default_rng(1)
+        x_true = rng.standard_normal(64)
+        b = dense @ x_true
+        result = conjugate_gradient(FormatOperator(coo), b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+    def test_residual_history_decreases_overall(self):
+        coo, dense = spd_matrix(seed=2)
+        b = np.ones(64)
+        result = conjugate_gradient(FormatOperator(coo), b, tol=1e-10)
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_jacobi_preconditioning_converges(self):
+        coo, dense = spd_matrix(seed=3)
+        b = np.ones(64)
+        plain = conjugate_gradient(FormatOperator(coo), b, tol=1e-10)
+        pre = conjugate_gradient(
+            FormatOperator(coo), b, tol=1e-10, jacobi_diagonal=np.diag(dense)
+        )
+        assert pre.converged and plain.converged
+
+    def test_zero_rhs(self):
+        coo, _ = spd_matrix()
+        result = conjugate_gradient(FormatOperator(coo), np.zeros(64))
+        assert result.converged
+        np.testing.assert_array_equal(result.x, np.zeros(64))
+
+    def test_non_spd_detected(self):
+        # An indefinite matrix makes p^T A p negative quickly.
+        dense = np.diag(np.concatenate([np.ones(3), -np.ones(3)]))
+        coo = COOMatrix.from_dense(dense)
+        with pytest.raises(ConvergenceError, match="positive definite"):
+            conjugate_gradient(FormatOperator(coo), np.ones(6))
+
+    def test_iteration_budget(self):
+        coo, _ = spd_matrix(seed=4)
+        result = conjugate_gradient(FormatOperator(coo), np.ones(64), max_iter=2)
+        assert not result.converged
+        assert result.iterations == 2
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(
+                FormatOperator(coo), np.ones(64), max_iter=2, raise_on_fail=True
+            )
+
+    def test_validation(self):
+        coo, _ = spd_matrix()
+        with pytest.raises(ValidationError):
+            conjugate_gradient(FormatOperator(coo), np.ones((4, 4)))
+        with pytest.raises(ValidationError):
+            conjugate_gradient(FormatOperator(coo), np.ones(64), x0=np.ones(3))
+        with pytest.raises(ValidationError):
+            conjugate_gradient(FormatOperator(coo), np.ones(64), max_iter=0)
+        with pytest.raises(ValidationError):
+            conjugate_gradient(
+                FormatOperator(coo), np.ones(64), jacobi_diagonal=np.zeros(64)
+            )
+
+
+class TestOperators:
+    def test_format_operator_counts_calls(self):
+        coo, dense = spd_matrix()
+        op = FormatOperator(coo)
+        conjugate_gradient(op, np.ones(64), tol=1e-10)
+        assert op.spmv_calls > 1
+
+    def test_simulated_operator_accumulates_time(self):
+        coo, _ = spd_matrix()
+        op = SimulatedOperator(CSRMatrix.from_coo(coo), "k20")
+        result = conjugate_gradient(op, np.ones(64), tol=1e-8)
+        assert result.converged
+        assert op.device_time > 0
+        assert op.dram_bytes > 0
+
+    def test_simulated_matches_reference(self):
+        coo, dense = spd_matrix(seed=5)
+        b = np.ones(64)
+        ref = conjugate_gradient(FormatOperator(coo), b, tol=1e-10)
+        sim = conjugate_gradient(SimulatedOperator(coo, "c2070"), b, tol=1e-10)
+        np.testing.assert_allclose(sim.x, ref.x, rtol=1e-8)

@@ -1,0 +1,80 @@
+"""Unit tests for the restarted GMRES solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.formats.coo import COOMatrix
+from repro.solvers.gmres import gmres
+from repro.solvers.operators import FormatOperator, SimulatedOperator
+
+
+def unsymmetric_matrix(n=60, seed=0):
+    """A well-conditioned unsymmetric system (diagonally dominant)."""
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) * 0.2
+    dense[np.abs(dense) < 0.15] = 0.0
+    dense += np.diag(np.abs(dense).sum(axis=1) + 1.0)
+    return COOMatrix.from_dense(dense), dense
+
+
+class TestGMRES:
+    def test_solves_unsymmetric_system(self):
+        coo, dense = unsymmetric_matrix()
+        rng = np.random.default_rng(1)
+        x_true = rng.standard_normal(60)
+        b = dense @ x_true
+        result = gmres(FormatOperator(coo), b, tol=1e-10, restart=30)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+    def test_restart_smaller_than_needed_still_converges(self):
+        coo, dense = unsymmetric_matrix(seed=2)
+        b = np.ones(60)
+        result = gmres(FormatOperator(coo), b, tol=1e-8, restart=5, max_iter=500)
+        assert result.converged
+        np.testing.assert_allclose(dense @ result.x, b, atol=1e-6)
+
+    def test_zero_rhs(self):
+        coo, _ = unsymmetric_matrix()
+        result = gmres(FormatOperator(coo), np.zeros(60))
+        assert result.converged
+        np.testing.assert_array_equal(result.x, np.zeros(60))
+
+    def test_identity_converges_instantly(self):
+        coo = COOMatrix.from_dense(np.eye(8))
+        b = np.arange(1.0, 9.0)
+        result = gmres(FormatOperator(coo), b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, b, rtol=1e-10)
+
+    def test_budget_exhaustion(self):
+        # An ill-conditioned system with a tiny budget.
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((40, 40)) + 40 * np.eye(40)
+        coo = COOMatrix.from_dense(dense)
+        result = gmres(FormatOperator(coo), np.ones(40), tol=1e-14, max_iter=3)
+        assert not result.converged
+        with pytest.raises(ConvergenceError):
+            gmres(FormatOperator(coo), np.ones(40), tol=1e-14, max_iter=3,
+                  raise_on_fail=True)
+
+    def test_validation(self):
+        coo, _ = unsymmetric_matrix()
+        with pytest.raises(ValidationError):
+            gmres(FormatOperator(coo), np.ones((2, 2)))
+        with pytest.raises(ValidationError):
+            gmres(FormatOperator(coo), np.ones(60), restart=0)
+        with pytest.raises(ValidationError):
+            gmres(FormatOperator(coo), np.ones(60), x0=np.ones(2))
+
+    def test_with_simulated_operator_on_bro_format(self):
+        from repro.formats import convert
+
+        coo, dense = unsymmetric_matrix(seed=4)
+        b = np.ones(60)
+        op = SimulatedOperator(convert(coo, "bro_ell", h=16), "k20")
+        result = gmres(op, b, tol=1e-8)
+        assert result.converged
+        np.testing.assert_allclose(dense @ result.x, b, atol=1e-6)
+        assert op.device_time > 0

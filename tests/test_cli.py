@@ -1,0 +1,128 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfoCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla C2070" in out
+        assert "GTX680" in out
+        assert "Tesla K20" in out
+        assert "144.00" in out  # Table 1 pin bandwidth
+
+    def test_matrices(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "cage12" in out and "webbase-1M" in out
+        assert out.count("\n") > 30
+
+
+class TestMatrixCommands:
+    def test_analyze_suite_name(self, capsys):
+        assert main(["analyze", "epb3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "non-zeros" in out
+        assert "delta width" in out
+
+    def test_analyze_mtx_file(self, capsys, tmp_path, paper_matrix):
+        from repro.matrices.io import write_matrix_market
+
+        path = tmp_path / "a.mtx"
+        write_matrix_market(paper_matrix, path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 x 5" in out
+
+    def test_unknown_matrix_errors(self, capsys):
+        assert main(["analyze", "not_a_matrix"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compress(self, capsys):
+        assert main(["compress", "venkat01", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "space savings" in out
+        assert "bro_ell" in out
+
+    def test_compress_bro_coo(self, capsys):
+        assert main(
+            ["compress", "epb3", "--scale", "0.02", "--format", "bro_coo"]
+        ) == 0
+        assert "bro_coo" in capsys.readouterr().out
+
+    def test_spmv(self, capsys):
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--device", "gtx680"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "GFlop/s" in out
+        assert "GTX680" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "epb3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Format ranking" in out
+        assert "1." in out
+
+
+class TestBenchCommand:
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "Tesla K20" in capsys.readouterr().out
+
+    def test_bench_table3_scaled(self, capsys):
+        assert main(["bench", "table3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "shipsec1" in out
+
+    def test_bench_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+
+class TestExportCommand:
+    def test_export_and_reload(self, capsys, tmp_path):
+        out = tmp_path / "epb3.mtx"
+        assert main(["export", "epb3", str(out), "--scale", "0.01"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["analyze", str(out)]) == 0
+        assert "non-zeros" in capsys.readouterr().out
+
+    def test_export_unknown_matrix(self, capsys, tmp_path):
+        assert main(["export", "nope", str(tmp_path / "x.mtx")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "selfcheck passed" in out
+        assert "bro_ell" in out
+        assert "break-even" in out
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        import subprocess, sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "devices"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "Tesla K20" in result.stdout

@@ -1,0 +1,87 @@
+"""Coverage for the small foundation modules: types, registries, errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    FormatError,
+    KernelError,
+    ReproError,
+    ValidationError,
+)
+from repro.formats.base import SparseFormat, register_format
+from repro.kernels.base import SpMVKernel, register_kernel
+from repro.types import INDEX_DTYPE, VALUE_DTYPE, symbol_dtype
+
+
+class TestTypes:
+    def test_dtypes(self):
+        assert VALUE_DTYPE == np.float64
+        assert INDEX_DTYPE == np.int32
+
+    def test_symbol_dtype(self):
+        assert symbol_dtype(32) == np.uint32
+        assert symbol_dtype(64) == np.uint64
+
+    def test_symbol_dtype_rejects_others(self):
+        for bad in (8, 16, 33, 0, "x"):
+            with pytest.raises(ValidationError):
+                symbol_dtype(bad)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ValidationError, FormatError, KernelError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # So numpy-style callers catching ValueError still work.
+        assert issubclass(ValidationError, ValueError)
+
+    def test_convergence_error_carries_state(self):
+        err = ConvergenceError("no", 42, 0.5)
+        assert err.iterations == 42
+        assert err.residual == 0.5
+
+
+class TestFormatRegistry:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(FormatError, match="twice"):
+            @register_format
+            class Dup(SparseFormat):  # noqa - test class
+                format_name = "coo"  # already taken
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(FormatError, match="format_name"):
+            @register_format
+            class NoName(SparseFormat):  # noqa - test class
+                pass
+
+
+class TestKernelRegistry:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(KernelError, match="twice"):
+            @register_kernel
+            class Dup(SpMVKernel):  # noqa - test class
+                format_name = "coo"
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(KernelError, match="format_name"):
+            @register_kernel
+            class NoName(SpMVKernel):  # noqa - test class
+                pass
+
+
+class TestSparseFormatHelpers:
+    def test_check_x_casts_dtype(self, paper_matrix):
+        x = paper_matrix.check_x(np.ones(5, dtype=np.float32))
+        assert x.dtype == VALUE_DTYPE
+
+    def test_repr(self, paper_matrix):
+        assert "4x5" in repr(paper_matrix)
+        assert "nnz=12" in repr(paper_matrix)
+
+    def test_index_and_total_bytes(self, paper_matrix):
+        assert paper_matrix.index_bytes == 96
+        assert paper_matrix.total_bytes == 96 + 96

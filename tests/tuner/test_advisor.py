@@ -1,0 +1,102 @@
+"""Unit tests for the format advisor and row sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.matrices.generators import block_band, hub_mixture
+from repro.tuner.advisor import rank_formats, recommend_format
+from repro.tuner.sampling import sample_rows
+from tests.conftest import random_coo
+
+
+class TestSampling:
+    def test_small_matrix_returned_verbatim(self):
+        coo = random_coo(100, 80, seed=1)
+        sampled, factor = sample_rows(coo, 200)
+        assert sampled is coo
+        assert factor == 1.0
+
+    def test_stripe_shape_and_factor(self):
+        coo = random_coo(1000, 300, density=0.02, seed=2)
+        sampled, factor = sample_rows(coo, 100, seed=3)
+        assert sampled.shape == (100, 300)
+        assert factor == pytest.approx(10.0)
+
+    def test_stripe_preserves_density_roughly(self):
+        coo = random_coo(2000, 500, density=0.02, seed=4)
+        sampled, _ = sample_rows(coo, 500, seed=5)
+        full_density = coo.nnz / coo.shape[0]
+        samp_density = sampled.nnz / sampled.shape[0]
+        assert abs(samp_density - full_density) / full_density < 0.25
+
+    def test_deterministic(self):
+        coo = random_coo(500, 100, seed=6)
+        a, _ = sample_rows(coo, 50, seed=7)
+        b, _ = sample_rows(coo, 50, seed=7)
+        np.testing.assert_array_equal(a.col_idx, b.col_idx)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            sample_rows(random_coo(10, 10, seed=0), 0)
+
+
+class TestAdvisor:
+    def test_returns_full_ranking(self):
+        coo = block_band(1024, 20.0, 4.0, run=3, bandwidth=200, seed=1)
+        ranking = rank_formats(coo, "k20")
+        assert len(ranking) >= 6
+        times = [r.time_per_nnz for r in ranking]
+        assert times == sorted(times)
+
+    def test_bro_wins_on_compressible_fem(self):
+        # Uniform FEM block band: the paper's BRO-ELL sweet spot.
+        coo = block_band(4096, 40.0, 6.0, run=3, bandwidth=400, seed=2)
+        best = recommend_format(coo, "k20")
+        assert best.format_name in ("bro_ell", "bro_hyb", "bro_ell_vc")
+
+    def test_ell_family_skipped_on_extreme_skew(self):
+        # One enormous row: dense ELLPACK arrays are excluded outright.
+        rows = np.concatenate([np.zeros(3000), np.arange(1, 3000)])
+        cols = np.concatenate([np.arange(3000), np.zeros(2999)])
+        coo = COOMatrix(rows, cols, np.ones(rows.size), (3000, 3000))
+        names = [r.format_name for r in rank_formats(coo, "k20")]
+        assert "ellpack" not in names
+        assert "hyb" in names or "bro_hyb" in names
+
+    def test_hyb_family_wins_on_bimodal_matrix(self):
+        coo = hub_mixture(4096, base_mu=6.0, tail_fraction=0.01,
+                          tail_mu=800.0, seed=3)
+        best = recommend_format(coo, "k20")
+        assert best.format_name in ("hyb", "bro_hyb", "bro_coo", "coo")
+
+    def test_h_sweep_adds_candidates(self):
+        coo = block_band(1024, 20.0, 4.0, run=3, bandwidth=200, seed=4)
+        base = rank_formats(coo, "k20", formats=("bro_ell",))
+        swept = rank_formats(coo, "k20", formats=("bro_ell",),
+                             h_candidates=(64, 128, 256))
+        assert len(swept) == 3 * len(base)
+        assert {r.params["h"] for r in swept} == {64, 128, 256}
+
+    def test_prediction_matches_direct_model(self):
+        from repro.bench.harness import spmv_once
+        from repro.formats import convert
+
+        coo = block_band(512, 16.0, 3.0, run=3, bandwidth=100, seed=5)
+        ranking = rank_formats(coo, "c2070", formats=("ellpack",),
+                               sample_rows_limit=10**6, seed=9)
+        direct = spmv_once(convert(coo, "ellpack"), "c2070",
+                           np.random.default_rng(9).standard_normal(512))
+        assert ranking[0].predicted_time == pytest.approx(
+            direct.timing.time, rel=1e-9
+        )
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            rank_formats(COOMatrix([], [], [], (4, 4)), "k20")
+
+    def test_describe_line(self):
+        coo = block_band(256, 8.0, 2.0, run=2, bandwidth=64, seed=6)
+        line = recommend_format(coo, "k20").describe()
+        assert "GFlop/s" in line and "ps/nnz" in line

@@ -1,0 +1,89 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.bits import bit_width, bit_width_array, ceil_div, mask, round_up
+
+
+class TestBitWidth:
+    def test_zero_takes_one_bit(self):
+        assert bit_width(0) == 1
+
+    def test_small_values(self):
+        assert bit_width(1) == 1
+        assert bit_width(2) == 2
+        assert bit_width(3) == 2
+        assert bit_width(4) == 3
+        assert bit_width(7) == 3
+        assert bit_width(8) == 4
+
+    def test_powers_of_two_boundaries(self):
+        for b in range(1, 63):
+            assert bit_width(2**b - 1) == b
+            assert bit_width(2**b) == b + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            bit_width(-1)
+
+
+class TestBitWidthArray:
+    def test_matches_scalar(self):
+        vals = np.array([0, 1, 2, 3, 4, 7, 8, 255, 256, 2**31 - 1, 2**40])
+        expected = np.array([bit_width(int(v)) for v in vals])
+        np.testing.assert_array_equal(bit_width_array(vals), expected)
+
+    def test_2d_shape_preserved(self):
+        vals = np.arange(12).reshape(3, 4)
+        out = bit_width_array(vals)
+        assert out.shape == (3, 4)
+        assert out[0, 0] == 1  # Gamma(0) == 1
+
+    def test_empty(self):
+        out = bit_width_array(np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            bit_width_array(np.array([1, -2]))
+
+    def test_large_uint64(self):
+        assert bit_width_array(np.array([2**63], dtype=np.uint64))[0] == 64
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_inexact(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_bad_args(self):
+        with pytest.raises(ValidationError):
+            ceil_div(4, 0)
+        with pytest.raises(ValidationError):
+            ceil_div(-1, 4)
+
+
+class TestRoundUpAndMask:
+    def test_round_up(self):
+        assert round_up(0, 32) == 0
+        assert round_up(1, 32) == 32
+        assert round_up(32, 32) == 32
+        assert round_up(33, 32) == 64
+
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+        assert mask(32) == 0xFFFFFFFF
+        assert mask(64) == (1 << 64) - 1
+
+    def test_mask_negative(self):
+        with pytest.raises(ValidationError):
+            mask(-1)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_dtype,
+    check_in_range,
+    check_positive,
+    check_sorted_rows,
+)
+
+
+class TestShapeChecks:
+    def test_check_1d_accepts(self):
+        arr = check_1d([1, 2, 3], "x")
+        assert arr.shape == (3,)
+
+    def test_check_1d_rejects_2d(self):
+        with pytest.raises(ValidationError, match="x must be 1-D"):
+            check_1d(np.zeros((2, 2)), "x")
+
+    def test_check_2d_accepts(self):
+        arr = check_2d(np.zeros((2, 3)), "m")
+        assert arr.shape == (2, 3)
+
+    def test_check_2d_rejects_1d(self):
+        with pytest.raises(ValidationError, match="m must be 2-D"):
+            check_2d(np.zeros(4), "m")
+
+
+class TestScalarChecks:
+    def test_check_dtype(self):
+        arr = np.zeros(3, dtype=np.float64)
+        assert check_dtype(arr, np.dtype(np.float64), "v") is arr
+        with pytest.raises(ValidationError):
+            check_dtype(arr, np.dtype(np.int32), "v")
+
+    def test_check_positive(self):
+        assert check_positive(5, "h") == 5
+        for bad in (0, -1, 1.5, "x"):
+            with pytest.raises(ValidationError):
+                check_positive(bad, "h")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0.0, 1.0, "eta") == 0.5
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, 0.0, 1.0, "eta")
+
+
+class TestSortedRows:
+    def test_strictly_increasing_ok(self):
+        col = np.array([[1, 3, 5], [2, 4, 0]])
+        valid = np.array([[True, True, True], [True, True, False]])
+        check_sorted_rows(col, valid, "col_idx")  # no raise
+
+    def test_padding_ignored(self):
+        col = np.array([[1, 0, 0]])
+        valid = np.array([[True, False, False]])
+        check_sorted_rows(col, valid, "col_idx")  # padding may decrease
+
+    def test_duplicate_rejected(self):
+        col = np.array([[1, 1]])
+        valid = np.ones((1, 2), dtype=bool)
+        with pytest.raises(ValidationError, match="strictly increase"):
+            check_sorted_rows(col, valid, "col_idx")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_sorted_rows(np.zeros((2, 2)), np.ones((2, 3), dtype=bool), "col_idx")
+
+    def test_single_column_trivially_ok(self):
+        check_sorted_rows(np.array([[7]]), np.array([[True]]), "col_idx")
