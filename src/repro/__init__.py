@@ -29,6 +29,7 @@ from . import (
     core,
     formats,
     gpu,
+    integrity,
     kernels,
     matrices,
     reorder,
@@ -59,6 +60,7 @@ from .formats import (
     to_scipy,
 )
 from .gpu import DEVICES, DeviceSpec, get_device
+from .integrity import run_campaign, seal, validate_structure, verify_integrity
 from .kernels import SpMVResult, run_spmv
 from .reorder import (
     amd_permutation,
@@ -110,12 +112,18 @@ __all__ = [
     "conjugate_gradient",
     "gmres",
     "SimulatedOperator",
+    # integrity
+    "seal",
+    "verify_integrity",
+    "validate_structure",
+    "run_campaign",
     # subpackages
     "bench",
     "bitstream",
     "core",
     "formats",
     "gpu",
+    "integrity",
     "kernels",
     "matrices",
     "reorder",

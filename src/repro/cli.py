@@ -20,6 +20,10 @@ Commands
     Write a generated suite matrix to a MatrixMarket file.
 ``selfcheck``
     Quick internal verification (formats, kernels, calibration).
+``verify``
+    Integrity check + seeded fault-injection campaign over the registered
+    formats; prints a detection/recovery table and exits non-zero on any
+    silent corruption.
 
 ``<matrix>`` is either a Table 2 name (generated synthetically at
 ``--scale``) or a path to a MatrixMarket ``.mtx`` file.
@@ -74,6 +78,13 @@ _EXPERIMENTS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def _load_matrix(spec: str, scale: float) -> COOMatrix:
     if spec in TABLE2:
         return generate(spec, scale=scale)
@@ -96,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("devices", help="print the simulated GPU registry")
     sub.add_parser("matrices", help="list the Table 2 matrix suite")
     sub.add_parser("selfcheck", help="quick internal verification")
+
+    p = sub.add_parser(
+        "verify", help="integrity check + fault-injection campaign"
+    )
+    p.add_argument("--faults", type=_positive_int, default=150,
+                   help="faults to inject across the BRO formats (default 150)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
 
     def matrix_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("matrix", help="Table 2 name or a .mtx file path")
@@ -279,6 +299,106 @@ def _cmd_selfcheck() -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Integrity self-check + seeded fault-injection campaign."""
+    import tempfile
+    from pathlib import Path
+
+    from .formats.base import available_formats
+    from .integrity import (
+        ARCHIVE_FAULT_KINDS,
+        corrupt_archive,
+        run_campaign,
+        seal,
+        validate_structure,
+    )
+    from .kernels.base import available_kernels
+    from .matrices.cache import load_matrix, save_matrix
+    from .matrices.generators import banded_random
+
+    failures = 0
+
+    # 1. Verified round trip of every format that has a kernel: seal the
+    #    container, dispatch under full verification, compare to reference.
+    coo = banded_random(512, 10.0, 3.0, bandwidth=96, seed=args.seed)
+    x = np.random.default_rng(args.seed).standard_normal(coo.shape[1])
+    reference = coo.spmv(x)
+    for fmt in sorted(set(available_formats()) & set(available_kernels())):
+        kwargs = {"h": 64} if fmt in ("sliced_ellpack", "bro_ell",
+                                      "bro_hyb", "bro_ell_vc") else {}
+        if fmt == "bro_ell_mt":
+            kwargs = {"threads_per_row": 2, "h": 64}
+        mat = seal(convert(coo, fmt, **kwargs))
+        try:
+            validate_structure(mat, deep=True)
+            res = run_spmv(mat, x, args.device, verify="full")
+        except ReproError as exc:
+            print(f"FAIL {fmt}: verified dispatch raised {exc}")
+            failures += 1
+            continue
+        if not np.allclose(res.y, reference, rtol=1e-8):
+            print(f"FAIL {fmt}: verified kernel output mismatch")
+            failures += 1
+            continue
+        print(f"ok  {fmt}: structure + checksums + verified kernel output")
+
+    # 2. The fault-injection campaign over the BRO formats.
+    report = run_campaign(
+        n_faults=args.faults, seed=args.seed, device=args.device
+    )
+    print()
+    print(format_table(
+        report.rows(),
+        ["format", "fault", "injected", "detected", "recovered", "benign",
+         "silent"],
+        f"Fault-injection campaign ({report.injected} faults, "
+        f"seed {args.seed})",
+    ))
+    print(f"\ncampaign: {report.injected} injected, {report.detected} "
+          f"detected, {report.recovered} recovered via CSR fallback, "
+          f"{report.benign} benign, {report.silent} SILENT")
+    if not report.clean:
+        for r in report.silent_records()[:10]:
+            print(f"SILENT {r.format_name}/{r.kind}: {r.target}")
+        failures += report.silent
+
+    # 3. On-disk archive corruption: every corrupted cache file must be
+    #    rejected by load_matrix with a typed error, never half-loaded.
+    rng = np.random.default_rng(args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        archive_ok = 0
+        archive_total = 0
+        small = banded_random(64, 6.0, 2.0, bandwidth=20, seed=args.seed)
+        for kind in ARCHIVE_FAULT_KINDS:
+            for trial in range(4):
+                path = Path(tmp) / f"{kind}_{trial}.npz"
+                save_matrix(small, path)
+                corrupt_archive(path, rng, kind=kind)
+                archive_total += 1
+                try:
+                    loaded = load_matrix(path)
+                except ReproError:
+                    archive_ok += 1
+                    continue
+                # A flip can land in zip padding and leave the payload
+                # intact; loading the exact original matrix is not silent
+                # corruption.
+                if (loaded.shape == small.shape
+                        and np.array_equal(loaded.to_dense(), small.to_dense())):
+                    archive_ok += 1
+                else:
+                    print(f"FAIL cache: {kind} trial {trial} loaded corrupt data")
+                    failures += 1
+        print(f"ok  cache archives: {archive_ok}/{archive_total} corruptions "
+              "detected or harmless")
+
+    if failures:
+        print(f"\nverify FAILED ({failures} problem(s))")
+        return 1
+    print("\nverify passed: zero silent corruption")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .matrices.io import write_matrix_market
 
@@ -338,6 +458,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_advise(args)
         if args.command == "selfcheck":
             return _cmd_selfcheck()
+        if args.command == "verify":
+            return _cmd_verify(args)
         if args.command == "export":
             return _cmd_export(args)
         if args.command == "bench":

@@ -18,6 +18,7 @@ __all__ = [
     "ReorderingError",
     "ConvergenceError",
     "MatrixMarketError",
+    "IntegrityError",
 ]
 
 
@@ -64,3 +65,16 @@ class ConvergenceError(ReproError):
 
 class MatrixMarketError(ReproError):
     """A MatrixMarket file could not be parsed or written."""
+
+
+class IntegrityError(ReproError):
+    """Stored data failed an integrity check (checksum or structure).
+
+    Carries the names of the fields whose checksums (or structural
+    invariants) did not match, so callers can report *where* a container
+    was corrupted, not just that it was.
+    """
+
+    def __init__(self, message: str, fields: tuple = ()) -> None:
+        super().__init__(message)
+        self.fields = tuple(fields)

@@ -1,0 +1,75 @@
+"""Per-process integrity counters.
+
+A production SpMV service needs to know *how often* its integrity layer
+fires: how many runs were verified, how many faults were detected and how
+many requests were served by the CSR fallback instead of the compressed
+kernel. The counters live at process scope (one service worker = one
+process) and every :class:`~repro.kernels.base.SpMVResult` produced through
+the verified dispatch path carries a snapshot of them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["IntegritySnapshot", "IntegrityCounters", "COUNTERS"]
+
+
+@dataclass(frozen=True)
+class IntegritySnapshot:
+    """Immutable copy of the process counters at one point in time."""
+
+    verifications: int  #: verified dispatches attempted
+    detections: int  #: typed faults caught (checksum, structure, decode)
+    fallbacks: int  #: dispatches served by the reference fallback kernel
+    raised: int  #: faults detected with no fallback available (re-raised)
+
+
+class IntegrityCounters:
+    """Thread-safe per-process counters for the integrity layer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._verifications = 0
+        self._detections = 0
+        self._fallbacks = 0
+        self._raised = 0
+
+    def record_verification(self) -> None:
+        with self._lock:
+            self._verifications += 1
+
+    def record_detection(self) -> None:
+        with self._lock:
+            self._detections += 1
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self._fallbacks += 1
+
+    def record_raised(self) -> None:
+        with self._lock:
+            self._raised += 1
+
+    def snapshot(self) -> IntegritySnapshot:
+        """Consistent copy of all four counters."""
+        with self._lock:
+            return IntegritySnapshot(
+                verifications=self._verifications,
+                detections=self._detections,
+                fallbacks=self._fallbacks,
+                raised=self._raised,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        with self._lock:
+            self._verifications = 0
+            self._detections = 0
+            self._fallbacks = 0
+            self._raised = 0
+
+
+#: The process-wide counter instance used by :func:`repro.kernels.dispatch.run_spmv`.
+COUNTERS = IntegrityCounters()

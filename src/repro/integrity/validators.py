@@ -1,0 +1,218 @@
+"""Structural validators for stored sparse containers.
+
+Checksums catch *any* mutation but need the original seal; these validators
+need no prior state — they recheck the internal invariants of a container
+as it sits in (simulated) device memory, in O(metadata) time for the fast
+pass. ``deep=True`` additionally decodes every packed stream and
+bounds-checks the decoded indices against the logical shape, which catches
+corruptions that keep the container self-consistent but would make the
+kernel gather out-of-range ``x`` entries.
+
+All failures raise a typed :class:`~repro.errors.IntegrityError` (or
+propagate :class:`~repro.errors.DecompressionError` from the decoders),
+never a bare ``ValueError`` — the graceful-degradation path in
+:func:`repro.kernels.dispatch.run_spmv` keys off :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..bitstream.packing import row_stream_symbols
+from ..core.bro_coo import BROCOOMatrix
+from ..core.bro_ell import BROELLMatrix
+from ..core.bro_hyb import BROHYBMatrix
+from ..errors import IntegrityError
+from ..formats.base import SparseFormat
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.sliced_ellpack import slice_bounds
+
+__all__ = ["validate_structure", "structural_validators"]
+
+_VALIDATORS: Dict[str, Callable[[SparseFormat, bool], None]] = {}
+
+
+def _register(name: str):
+    def deco(fn):
+        _VALIDATORS[name] = fn
+        return fn
+
+    return deco
+
+
+def _fail(fmt: str, field: str, why: str) -> None:
+    raise IntegrityError(f"{fmt} structure invalid: {field} {why}", fields=(field,))
+
+
+def structural_validators() -> tuple:
+    """Format names that have a dedicated structural validator."""
+    return tuple(sorted(_VALIDATORS))
+
+
+def validate_structure(matrix: SparseFormat, deep: bool = False) -> None:
+    """Validate a container's internal invariants.
+
+    Parameters
+    ----------
+    matrix:
+        Any registered sparse format. Formats without a dedicated validator
+        pass the fast check trivially (their constructors re-validate on
+        every conversion).
+    deep:
+        Also decode packed streams and bounds-check decoded indices.
+    """
+    validator = _VALIDATORS.get(matrix.format_name)
+    if validator is not None:
+        validator(matrix, deep)
+
+
+# ---------------------------------------------------------------------------
+# BRO-ELL
+# ---------------------------------------------------------------------------
+
+
+@_register("bro_ell")
+def _validate_bro_ell(m: BROELLMatrix, deep: bool) -> None:
+    fmt = "bro_ell"
+    rows, cols = m.shape
+    edges = m.slice_edges
+    expected_edges = slice_bounds(rows, m.h)
+    if not np.array_equal(edges, expected_edges):
+        _fail(fmt, "slice_edges", f"do not partition {rows} rows into slices of {m.h}")
+    if m.sym_len not in (32, 64):
+        _fail(fmt, "sym_len", f"must be 32 or 64, got {m.sym_len}")
+    ptr = m.stream.slice_ptr
+    if ptr.shape[0] != m.num_slices + 1:
+        _fail(fmt, "slice_ptr", f"has {ptr.shape[0]} entries for {m.num_slices} slices")
+    if int(ptr[0]) != 0 or int(ptr[-1]) != m.stream.data.shape[0]:
+        _fail(fmt, "slice_ptr", "must start at 0 and end at the stream length")
+    if np.any(np.diff(ptr) < 0):
+        _fail(fmt, "slice_ptr", "must be non-decreasing")
+    lengths = m.row_lengths
+    if lengths.shape != (rows,):
+        _fail(fmt, "row_lengths", f"shape {lengths.shape} != ({rows},)")
+    if lengths.size and int(lengths.min()) < 0:
+        _fail(fmt, "row_lengths", "holds a negative entry")
+    for i in range(m.num_slices):
+        ba = m.bit_allocs[i]
+        h_i = int(edges[i + 1] - edges[i])
+        if int(m.num_col[i]) != ba.shape[0]:
+            _fail(fmt, f"num_col[{i}]", f"is {int(m.num_col[i])}, bit_alloc has {ba.shape[0]}")
+        if ba.size and (int(ba.min()) < 1 or int(ba.max()) > m.sym_len):
+            _fail(fmt, f"bit_alloc[{i}]", f"widths must lie in [1, {m.sym_len}]")
+        expected = row_stream_symbols(ba, m.sym_len) * h_i
+        have = int(ptr[i + 1] - ptr[i])
+        if have != expected:
+            _fail(fmt, f"stream[{i}]", f"holds {have} symbols, widths require {expected}")
+        slice_lens = lengths[int(edges[i]) : int(edges[i + 1])]
+        if slice_lens.size and int(slice_lens.max()) > ba.shape[0]:
+            _fail(fmt, f"row_lengths[slice {i}]", f"exceed the slice width {ba.shape[0]}")
+    if deep:
+        for i in range(m.num_slices):
+            cols_blk, valid = m.decode_slice_cols(i)
+            real = cols_blk[valid]
+            if real.size and (int(real.min()) < 0 or int(real.max()) >= cols):
+                _fail(fmt, f"decoded columns[slice {i}]", f"fall outside [0, {cols})")
+            both = valid[:, 1:] & valid[:, :-1]
+            if np.any(both & (cols_blk[:, 1:] <= cols_blk[:, :-1])):
+                _fail(fmt, f"decoded columns[slice {i}]", "must strictly increase per row")
+
+
+# ---------------------------------------------------------------------------
+# BRO-COO
+# ---------------------------------------------------------------------------
+
+
+@_register("bro_coo")
+def _validate_bro_coo(m: BROCOOMatrix, deep: bool) -> None:
+    fmt = "bro_coo"
+    rows, cols = m.shape
+    if m.interval_size <= 0 or m.warp_size <= 0 or m.interval_size % m.warp_size:
+        _fail(fmt, "interval_size", f"{m.interval_size} is not a multiple of warp {m.warp_size}")
+    padded = m.padded_nnz
+    if padded % m.warp_size:
+        _fail(fmt, "padded entries", f"count {padded} not a multiple of warp {m.warp_size}")
+    if not 0 <= m.nnz <= padded:
+        _fail(fmt, "nnz", f"{m.nnz} outside [0, {padded}]")
+    if m.col_idx.shape != m.vals.shape:
+        _fail(fmt, "col_idx/vals", "length mismatch")
+    if m.col_idx.size and (int(m.col_idx.min()) < 0 or int(m.col_idx.max()) >= cols):
+        _fail(fmt, "col_idx", f"falls outside [0, {cols})")
+    ba = m.bit_alloc
+    if ba.size and (int(ba.min()) < 1 or int(ba.max()) > m.stream.sym_len):
+        _fail(fmt, "bit_alloc", f"widths must lie in [1, {m.stream.sym_len}]")
+    ptr = m.stream.slice_ptr
+    if ptr.shape[0] != m.num_intervals + 1:
+        _fail(fmt, "slice_ptr", f"has {ptr.shape[0]} entries for {m.num_intervals} intervals")
+    if int(ptr[0]) != 0 or int(ptr[-1]) != m.stream.data.shape[0]:
+        _fail(fmt, "slice_ptr", "must start at 0 and end at the stream length")
+    for i in range(m.num_intervals):
+        L = m.interval_lanes(i)
+        widths = np.full(L, int(ba[i]), dtype=np.int64)
+        expected = row_stream_symbols(widths, m.stream.sym_len) * m.warp_size
+        have = int(ptr[i + 1] - ptr[i])
+        if have != expected:
+            _fail(fmt, f"stream[{i}]", f"holds {have} symbols, width requires {expected}")
+    if deep:
+        prev_last = None
+        for i in range(m.num_intervals):
+            rows_2d = m.decode_interval_rows(i)
+            lo, hi = m.interval_entry_bounds(i)
+            flat = rows_2d.T.reshape(-1)[: hi - lo]
+            if flat.size and (int(flat.min()) < 0 or int(flat.max()) >= rows):
+                _fail(fmt, f"decoded rows[interval {i}]", f"fall outside [0, {rows})")
+            if np.any(np.diff(flat) < 0):
+                _fail(fmt, f"decoded rows[interval {i}]", "must be non-decreasing")
+            if prev_last is not None and flat.size and int(flat[0]) < prev_last:
+                _fail(fmt, f"decoded rows[interval {i}]", "regress across the interval boundary")
+            if flat.size:
+                prev_last = int(flat[-1])
+
+
+# ---------------------------------------------------------------------------
+# BRO-HYB / baselines
+# ---------------------------------------------------------------------------
+
+
+@_register("bro_hyb")
+def _validate_bro_hyb(m: BROHYBMatrix, deep: bool) -> None:
+    if m.ell.shape != m.shape or m.coo.shape != m.shape:
+        _fail("bro_hyb", "parts", "do not share the logical shape")
+    _validate_bro_ell(m.ell, deep)
+    _validate_bro_coo(m.coo, deep)
+
+
+@_register("csr")
+def _validate_csr(m: CSRMatrix, deep: bool) -> None:
+    fmt = "csr"
+    rows, cols = m.shape
+    if m.indptr.shape[0] != rows + 1:
+        _fail(fmt, "indptr", f"must have length {rows + 1}")
+    if int(m.indptr[0]) != 0 or int(m.indptr[-1]) != m.indices.shape[0]:
+        _fail(fmt, "indptr", "must start at 0 and end at nnz")
+    if np.any(np.diff(m.indptr) < 0):
+        _fail(fmt, "indptr", "must be non-decreasing")
+    if m.indices.shape != m.vals.shape:
+        _fail(fmt, "indices/vals", "length mismatch")
+    if m.indices.size and (int(m.indices.min()) < 0 or int(m.indices.max()) >= cols):
+        _fail(fmt, "indices", f"fall outside [0, {cols})")
+    if deep and m.vals.size and not np.all(np.isfinite(m.vals)):
+        _fail(fmt, "vals", "hold non-finite entries")
+
+
+@_register("coo")
+def _validate_coo(m: COOMatrix, deep: bool) -> None:
+    fmt = "coo"
+    rows, cols = m.shape
+    if not (m.row_idx.shape == m.col_idx.shape == m.vals.shape):
+        _fail(fmt, "row_idx/col_idx/vals", "length mismatch")
+    if m.row_idx.size:
+        if int(m.row_idx.min()) < 0 or int(m.row_idx.max()) >= rows:
+            _fail(fmt, "row_idx", f"falls outside [0, {rows})")
+        if int(m.col_idx.min()) < 0 or int(m.col_idx.max()) >= cols:
+            _fail(fmt, "col_idx", f"falls outside [0, {cols})")
+    if deep and m.vals.size and not np.all(np.isfinite(m.vals)):
+        _fail(fmt, "vals", "hold non-finite entries")

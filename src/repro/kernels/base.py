@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..integrity.counters import IntegritySnapshot
 
 from ..errors import KernelError
 from ..formats.base import SparseFormat
@@ -53,11 +56,24 @@ def available_kernels() -> Tuple[str, ...]:
 
 @dataclass
 class SpMVResult:
-    """Output of one simulated SpMV execution."""
+    """Output of one simulated SpMV execution.
+
+    The integrity fields are populated by the verified dispatch path
+    (:func:`repro.kernels.dispatch.run_spmv` with ``verify``/``fallback``):
+    ``fault_detected`` records that a typed integrity fault was caught,
+    ``fallback_used`` that the result came from the reference fallback
+    kernel instead of the requested format's kernel, and
+    ``integrity_counters`` snapshots the per-process detection/fallback
+    totals at the time the result was produced.
+    """
 
     y: np.ndarray
     counters: KernelCounters
     device: DeviceSpec
+    fault_detected: bool = False
+    fallback_used: bool = False
+    integrity_error: Optional[str] = None
+    integrity_counters: Optional["IntegritySnapshot"] = None
 
     @property
     def timing(self) -> TimingBreakdown:

@@ -1,20 +1,67 @@
-"""One-call SpMV entry point: pick the kernel from the matrix's format."""
+"""One-call SpMV entry point: pick the kernel from the matrix's format.
+
+Beyond plain dispatch, :func:`run_spmv` is the integrity boundary of the
+library: with ``verify`` enabled it structurally validates the container
+(and checks its CRC32 header when the matrix was sealed with
+:func:`repro.integrity.seal`) before running the kernel, and with a
+``fallback`` matrix supplied it degrades gracefully — any typed
+:class:`~repro.errors.ReproError` raised during verification or decode
+reroutes the request to the fallback's reference kernel (typically CSR)
+instead of failing, recording the event in the per-process integrity
+counters and on the returned :class:`~repro.kernels.base.SpMVResult`.
+"""
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
 
+from ..errors import ReproError, ValidationError
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
+from ..integrity.checksums import is_sealed, verify_integrity
+from ..integrity.counters import COUNTERS
+from ..integrity.validators import validate_structure
 from .base import SpMVResult, get_kernel
 
 __all__ = ["run_spmv"]
+
+#: Accepted ``verify`` levels, in increasing strictness.
+_VERIFY_LEVELS = (False, "structure", "checksum", "full")
+
+#: Exceptions treated as container-corruption symptoms on the guarded path.
+#: A corrupted container does not always fail with a typed ReproError —
+#: out-of-range decoded indices surface from NumPy as IndexError, and
+#: garbage widths can trip ValueError/OverflowError inside the decoder.
+_CORRUPTION_ERRORS = (ReproError, IndexError, ValueError, OverflowError)
+
+
+def _normalize_verify(verify: Union[bool, str, None]) -> Union[bool, str]:
+    if verify is None or verify is False:
+        return False
+    if verify is True:
+        return "checksum"
+    if verify in ("structure", "checksum", "full"):
+        return verify
+    raise ValidationError(
+        f"verify must be one of {_VERIFY_LEVELS}, got {verify!r}"
+    )
+
+
+def _verify_matrix(matrix: SparseFormat, level: str) -> None:
+    validate_structure(matrix, deep=(level == "full"))
+    if level in ("checksum", "full") and is_sealed(matrix):
+        verify_integrity(matrix)
 
 
 def run_spmv(
     matrix: SparseFormat,
     x: np.ndarray,
     device: DeviceSpec | str = "k20",
+    *,
+    verify: Union[bool, str, None] = False,
+    fallback: Optional[SparseFormat] = None,
 ) -> SpMVResult:
     """Execute ``y = A @ x`` on the simulated device with the format's kernel.
 
@@ -27,14 +74,49 @@ def run_spmv(
     device:
         A :class:`~repro.gpu.device.DeviceSpec` or a registry key
         (``"c2070"``, ``"gtx680"``, ``"k20"``).
+    verify:
+        ``False`` (default) — dispatch as before; ``"structure"`` — fast
+        structural validation of the container; ``True`` / ``"checksum"``
+        — structural validation plus CRC32 verification when the matrix is
+        sealed; ``"full"`` — deep validation (decode and bounds-check every
+        packed stream) plus checksums.
+    fallback:
+        A trusted matrix (typically the pristine
+        :class:`~repro.formats.csr.CSRMatrix`) to serve the request with
+        when ``matrix`` fails verification or its kernel raises a typed
+        :class:`~repro.errors.ReproError` (or a NumPy-level corruption
+        symptom: ``IndexError``, ``ValueError``, ``OverflowError``).
+        Without a fallback the error propagates.
 
     Returns
     -------
     SpMVResult
-        The product vector, the instrumentation counters and (lazily) the
-        predicted timing.
+        The product vector, the instrumentation counters, (lazily) the
+        predicted timing and — on the verified path — the integrity flags
+        and the per-process counter snapshot.
     """
     if isinstance(device, str):
         device = get_device(device)
-    kernel = get_kernel(matrix.format_name)
-    return kernel.run(matrix, x, device)
+    level = _normalize_verify(verify)
+
+    if level is False and fallback is None:
+        # The historical fast path: no verification, failures propagate.
+        return get_kernel(matrix.format_name).run(matrix, x, device)
+
+    COUNTERS.record_verification()
+    try:
+        if level is not False:
+            _verify_matrix(matrix, level)
+        result = get_kernel(matrix.format_name).run(matrix, x, device)
+    except _CORRUPTION_ERRORS as exc:
+        COUNTERS.record_detection()
+        if fallback is None:
+            COUNTERS.record_raised()
+            raise
+        result = get_kernel(fallback.format_name).run(fallback, x, device)
+        COUNTERS.record_fallback()
+        result.fault_detected = True
+        result.fallback_used = True
+        result.integrity_error = f"{type(exc).__name__}: {exc}"
+    result.integrity_counters = COUNTERS.snapshot()
+    return result

@@ -4,23 +4,41 @@ Full-scale Table 2 matrices take seconds to minutes to generate; caching
 them makes repeated full-scale benchmark runs cheap. The cache key is
 ``(name, scale, seed)``; files are ordinary NumPy archives so they can be
 shipped between machines.
+
+Robustness
+----------
+Writes are *atomic*: the archive is staged to a temp file in the target
+directory, fsynced, and moved into place with :func:`os.replace`, so a
+crash mid-write can never leave a half-written archive under the cache
+key. Each archive carries per-field CRC32 checksums; :func:`load_matrix`
+verifies them (when present), validates dtypes and index bounds, and
+raises :class:`~repro.errors.ValidationError` naming the offending field
+instead of constructing an invalid :class:`COOMatrix` from garbage.
+:func:`generate_cached` treats a corrupt archive as a cache miss: it
+deletes the file and regenerates the matrix.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import ReproError, ValidationError
 from ..formats.coo import COOMatrix
 from .suite import generate
 
 __all__ = ["save_matrix", "load_matrix", "generate_cached", "default_cache_dir"]
 
 _ENV_VAR = "REPRO_MATRIX_CACHE"
+
+#: Archive fields that carry matrix data, in the order their CRCs are stored.
+_DATA_FIELDS = ("row", "col", "vals", "shape")
 
 
 def default_cache_dir() -> Path:
@@ -31,30 +49,124 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def _field_crc(arr: np.ndarray) -> int:
+    arr = np.ascontiguousarray(arr)
+    tag = f"{arr.dtype.str}:{arr.shape}".encode("ascii")
+    return zlib.crc32(arr.tobytes(), zlib.crc32(tag)) & 0xFFFFFFFF
+
+
 def save_matrix(coo: COOMatrix, path: Union[str, os.PathLike]) -> None:
-    """Write a COO matrix to an ``.npz`` archive."""
+    """Atomically write a COO matrix to an ``.npz`` archive.
+
+    The archive lands under ``path`` either complete (checksummed) or not
+    at all — a crash mid-write leaves only a stray ``*.tmp`` staging file
+    that the next write cleans over.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        row=coo.row_idx,
-        col=coo.col_idx,
-        vals=coo.vals,
-        shape=np.array(coo.shape, dtype=np.int64),
+    arrays = {
+        "row": coo.row_idx,
+        "col": coo.col_idx,
+        "vals": coo.vals,
+        "shape": np.array(coo.shape, dtype=np.int64),
+    }
+    crc = np.array([_field_crc(arrays[name]) for name in _DATA_FIELDS], dtype=np.uint32)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
     )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, crc=crc, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _check_field(condition: bool, field: str, why: str, path) -> None:
+    if not condition:
+        raise ValidationError(f"{path}: archive field {field!r} {why}")
 
 
 def load_matrix(path: Union[str, os.PathLike]) -> COOMatrix:
-    """Read a COO matrix from an ``.npz`` archive."""
-    with np.load(path) as data:
-        required = {"row", "col", "vals", "shape"}
+    """Read and validate a COO matrix from an ``.npz`` archive.
+
+    Raises
+    ------
+    ValidationError
+        When the file is not a readable archive, a required field is
+        missing, a checksum mismatches, a dtype is wrong, or an index
+        falls outside the stored shape — always naming the offending field.
+    """
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError, EOFError, zlib.error, zipfile.BadZipFile) as exc:
+        raise ValidationError(f"{path} is not a readable .npz archive: {exc}") from exc
+    with archive as data:
+        required = set(_DATA_FIELDS)
         if not required <= set(data.files):
             raise ValidationError(
                 f"{path} is not a repro matrix archive (missing "
                 f"{sorted(required - set(data.files))})"
             )
-        shape = tuple(int(v) for v in data["shape"])
-        return COOMatrix(data["row"], data["col"], data["vals"], shape)
+        try:
+            arrays = {name: data[name] for name in _DATA_FIELDS}
+            crc = data["crc"] if "crc" in data.files else None
+        except (OSError, ValueError, EOFError, zlib.error, zipfile.BadZipFile) as exc:
+            raise ValidationError(f"{path}: archive payload is corrupt: {exc}") from exc
+
+    if crc is not None:
+        _check_field(crc.shape == (len(_DATA_FIELDS),), "crc", "has the wrong length", path)
+        for i, name in enumerate(_DATA_FIELDS):
+            if _field_crc(arrays[name]) != int(crc[i]):
+                raise ValidationError(
+                    f"{path}: archive field {name!r} failed its CRC32 check "
+                    "(corrupt or tampered archive)"
+                )
+
+    row, col, vals, shape = (arrays[name] for name in _DATA_FIELDS)
+    _check_field(
+        shape.ndim == 1 and shape.shape[0] == 2, "shape", "must hold two entries", path
+    )
+    _check_field(
+        np.issubdtype(shape.dtype, np.integer), "shape", "must be integer", path
+    )
+    m, n = int(shape[0]), int(shape[1])
+    _check_field(m > 0 and n > 0, "shape", f"must be positive, got ({m}, {n})", path)
+    _check_field(
+        row.ndim == 1 and np.issubdtype(row.dtype, np.integer),
+        "row", "must be a 1-D integer array", path,
+    )
+    _check_field(
+        col.ndim == 1 and np.issubdtype(col.dtype, np.integer),
+        "col", "must be a 1-D integer array", path,
+    )
+    _check_field(
+        vals.ndim == 1 and np.issubdtype(vals.dtype, np.floating),
+        "vals", "must be a 1-D floating array", path,
+    )
+    _check_field(
+        row.shape == col.shape == vals.shape,
+        "row/col/vals", "must have equal lengths", path,
+    )
+    if row.size:
+        _check_field(
+            int(row.min()) >= 0 and int(row.max()) < m,
+            "row", f"holds indices outside [0, {m})", path,
+        )
+        _check_field(
+            int(col.min()) >= 0 and int(col.max()) < n,
+            "col", f"holds indices outside [0, {n})", path,
+        )
+        _check_field(
+            bool(np.all(np.isfinite(vals))), "vals", "holds non-finite entries", path
+        )
+    return COOMatrix(row, col, vals, (m, n))
 
 
 def generate_cached(
@@ -63,12 +175,23 @@ def generate_cached(
     seed: int | None = None,
     cache_dir: Union[str, os.PathLike, None] = None,
 ) -> COOMatrix:
-    """Generate a suite matrix, reusing an on-disk copy when present."""
+    """Generate a suite matrix, reusing an on-disk copy when present.
+
+    A corrupt cached archive (failed checksum, truncation, garbage) is
+    deleted and regenerated instead of propagating the error — the cache
+    is a performance layer, never a source of truth.
+    """
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     tag = f"{name}_s{scale:g}" + (f"_r{seed}" if seed is not None else "")
     path = directory / f"{tag}.npz"
     if path.exists():
-        return load_matrix(path)
+        try:
+            return load_matrix(path)
+        except ReproError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
     coo = generate(name, scale=scale, seed=seed)
     save_matrix(coo, path)
     return coo

@@ -56,8 +56,16 @@ def _read_stream(fh: TextIO) -> COOMatrix:
         m, n, nnz = (int(tok) for tok in line.split())
     except ValueError as exc:
         raise MatrixMarketError(f"bad size line: {line.strip()!r}") from exc
+    if m <= 0 or n <= 0 or nnz < 0:
+        raise MatrixMarketError(
+            f"size line must hold positive dimensions and nnz >= 0, "
+            f"got {m} {n} {nnz}"
+        )
 
-    body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+    try:
+        body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+    except ValueError as exc:
+        raise MatrixMarketError(f"unparseable entry data: {exc}") from exc
     if body.shape[0] != nnz:
         raise MatrixMarketError(
             f"expected {nnz} entries, file holds {body.shape[0]}"
@@ -75,6 +83,8 @@ def _read_stream(fh: TextIO) -> COOMatrix:
         cols = body[:, 1].astype(np.int64) - 1
         vals = body[:, 2].astype(np.float64) if nnz else np.zeros(0)
 
+    _check_entries(rows, cols, vals, m, n)
+
     if symmetry == "symmetric":
         off_diag = rows != cols
         lower_r, lower_c = rows[off_diag], cols[off_diag]
@@ -82,6 +92,36 @@ def _read_stream(fh: TextIO) -> COOMatrix:
         cols = np.concatenate([cols, lower_r])
         vals = np.concatenate([vals, vals[off_diag]])
     return COOMatrix(rows, cols, vals, (m, n))
+
+
+def _check_entries(
+    rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, m: int, n: int
+) -> None:
+    """Reject out-of-range indices and non-finite values with file-level errors.
+
+    Without these checks a malformed file would either propagate a generic
+    :class:`~repro.errors.ValidationError` out of :class:`COOMatrix` or —
+    worse, for NaN/Inf values — flow silently into the compressed formats.
+    """
+    if rows.size == 0:
+        return
+    if int(rows.min()) < 0 or int(rows.max()) >= m:
+        bad = int(np.argmax((rows < 0) | (rows >= m)))
+        raise MatrixMarketError(
+            f"entry {bad + 1}: row index {int(rows[bad]) + 1} outside [1, {m}]"
+        )
+    if int(cols.min()) < 0 or int(cols.max()) >= n:
+        bad = int(np.argmax((cols < 0) | (cols >= n)))
+        raise MatrixMarketError(
+            f"entry {bad + 1}: column index {int(cols[bad]) + 1} outside [1, {n}]"
+        )
+    finite = np.isfinite(vals)
+    if not np.all(finite):
+        bad = int(np.argmax(~finite))
+        raise MatrixMarketError(
+            f"entry {bad + 1}: non-finite value {vals[bad]!r} "
+            "(NaN/Inf entries are rejected)"
+        )
 
 
 def write_matrix_market(

@@ -11,6 +11,7 @@ from .bicgstab import BiCGSTABResult, bicgstab
 from .cg import CGResult, conjugate_gradient
 from .gmres import GMRESResult, gmres
 from .operators import FormatOperator, SimulatedOperator
+from .resilient import ResilientSolveResult, solve_with_retry
 
 __all__ = [
     "bicgstab",
@@ -21,4 +22,6 @@ __all__ = [
     "GMRESResult",
     "FormatOperator",
     "SimulatedOperator",
+    "solve_with_retry",
+    "ResilientSolveResult",
 ]

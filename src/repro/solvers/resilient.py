@@ -1,0 +1,129 @@
+"""Retry wrapper for the iterative solvers (fault-tolerant solves).
+
+Iterative solves on top of a compressed operator can fail two ways: the
+method stagnates (:class:`~repro.errors.ConvergenceError`, breakdown) or
+the operator itself trips an integrity fault mid-solve. A production
+service should not give up on the first failure: :func:`solve_with_retry`
+re-runs the solver with a deterministically perturbed initial guess —
+restarted Krylov methods frequently escape stagnation from a nearby
+starting point — and, once the retry budget is exhausted, falls back to a
+trusted reference operator when one is provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, ReproError, ValidationError
+from ..types import VALUE_DTYPE
+
+__all__ = ["ResilientSolveResult", "solve_with_retry"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ResilientSolveResult:
+    """Outcome of a retried solve."""
+
+    x: np.ndarray
+    iterations: int  #: inner iterations of the successful attempt
+    residual: float
+    converged: bool
+    attempts: int  #: solver invocations performed (1 = first try succeeded)
+    used_fallback_operator: bool
+    errors: List[str]  #: stringified failure of every unsuccessful attempt
+
+
+def solve_with_retry(
+    solver: Callable[..., object],
+    operator: Operator,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    max_retries: int = 2,
+    perturbation: float = 1e-3,
+    fallback_operator: Optional[Operator] = None,
+    seed: int = 0,
+    **solver_kwargs: object,
+) -> ResilientSolveResult:
+    """Run ``solver(operator, b, ...)`` with perturbed restarts and fallback.
+
+    Parameters
+    ----------
+    solver:
+        :func:`~repro.solvers.gmres.gmres`,
+        :func:`~repro.solvers.bicgstab.bicgstab` or any callable with the
+        same ``(operator, b, x0=..., raise_on_fail=...)`` shape returning a
+        result with ``x``/``iterations``/``residual``/``converged`` fields.
+    operator:
+        The (possibly compressed/simulated) ``y = A @ x`` callable.
+    b:
+        Right-hand side.
+    x0:
+        Initial guess for the first attempt (default zero).
+    max_retries:
+        Perturbed re-runs after the first failure, before the fallback.
+    perturbation:
+        Relative scale of the random perturbation added to the initial
+        guess on each retry (scaled by ``||b||``; deterministic in ``seed``).
+    fallback_operator:
+        Trusted reference operator (e.g. a
+        :class:`~repro.solvers.operators.FormatOperator` over the pristine
+        CSR matrix) used for one final attempt when every retry on the
+        primary operator failed. Without it the last error re-raises.
+    solver_kwargs:
+        Passed through to ``solver`` (``tol``, ``restart``, ``max_iter``...).
+
+    Notes
+    -----
+    Solver breakdowns surfacing as :class:`numpy.linalg.LinAlgError` (a
+    singular least-squares system after a Krylov breakdown) are treated
+    like :class:`~repro.errors.ConvergenceError` and retried.
+    """
+    b = np.asarray(b, dtype=VALUE_DTYPE)
+    if max_retries < 0:
+        raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+    rng = np.random.default_rng(seed)
+    b_scale = float(np.linalg.norm(b)) or 1.0
+    guess = None if x0 is None else np.asarray(x0, dtype=VALUE_DTYPE)
+
+    errors: List[str] = []
+    attempts = 0
+    for retry in range(max_retries + 1):
+        attempts += 1
+        try:
+            result = solver(operator, b, x0=guess, raise_on_fail=True, **solver_kwargs)
+            return ResilientSolveResult(
+                x=result.x,
+                iterations=result.iterations,
+                residual=result.residual,
+                converged=True,
+                attempts=attempts,
+                used_fallback_operator=False,
+                errors=errors,
+            )
+        except (ConvergenceError, ReproError, np.linalg.LinAlgError) as exc:
+            errors.append(f"{type(exc).__name__}: {exc}")
+            last_error = exc
+        # Restart from a perturbed guess: the previous guess (or zero) plus
+        # a small deterministic random displacement scaled to the problem.
+        base = np.zeros_like(b) if guess is None else guess
+        guess = base + perturbation * b_scale * rng.standard_normal(b.shape[0])
+
+    if fallback_operator is not None:
+        result = solver(
+            fallback_operator, b, x0=x0, raise_on_fail=True, **solver_kwargs
+        )
+        return ResilientSolveResult(
+            x=result.x,
+            iterations=result.iterations,
+            residual=result.residual,
+            converged=True,
+            attempts=attempts + 1,
+            used_fallback_operator=True,
+            errors=errors,
+        )
+    raise last_error

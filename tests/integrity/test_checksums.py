@@ -1,0 +1,127 @@
+"""CRC32 integrity headers: seal, verify, mismatch reporting."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.bro_coo import BROCOOMatrix
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.bro_hyb import BROHYBMatrix
+from repro.errors import IntegrityError
+from repro.formats.csr import CSRMatrix
+from repro.formats.sliced_ellpack import SlicedELLPACKMatrix
+from repro.integrity import (
+    array_crc,
+    compute_header,
+    get_header,
+    is_sealed,
+    seal,
+    verify_integrity,
+)
+from tests.conftest import random_coo
+
+
+class TestArrayCRC:
+    def test_deterministic(self):
+        a = np.arange(100, dtype=np.uint32)
+        assert array_crc(a) == array_crc(a.copy())
+
+    def test_sensitive_to_content(self):
+        a = np.arange(100, dtype=np.uint32)
+        b = a.copy()
+        b[50] ^= 1
+        assert array_crc(a) != array_crc(b)
+
+    def test_sensitive_to_dtype_and_shape(self):
+        a = np.zeros(8, dtype=np.uint32)
+        assert array_crc(a) != array_crc(a.astype(np.uint64))
+        assert array_crc(a) != array_crc(a.reshape(2, 4))
+        # A truncated array must not collide with its original even though
+        # its raw bytes are a prefix of the original's.
+        assert array_crc(a) != array_crc(a[:4])
+
+
+class TestSealVerify:
+    @pytest.mark.parametrize("fmt_cls,kwargs", [
+        (BROELLMatrix, {"h": 16}),
+        (BROCOOMatrix, {"interval_size": 64}),
+        (BROHYBMatrix, {"h": 16, "interval_size": 64}),
+        (CSRMatrix, {}),
+    ])
+    def test_pristine_matrix_verifies(self, fmt_cls, kwargs):
+        coo = random_coo(64, 48, density=0.08, seed=5)
+        mat = seal(fmt_cls.from_coo(coo, **kwargs))
+        assert is_sealed(mat)
+        verify_integrity(mat)  # must not raise
+
+    def test_unsealed_matrix_rejected(self):
+        coo = random_coo(32, 32, density=0.1, seed=6)
+        mat = BROELLMatrix.from_coo(coo, h=8)
+        assert not is_sealed(mat)
+        with pytest.raises(IntegrityError, match="no integrity header"):
+            verify_integrity(mat)
+
+    def test_stream_corruption_names_field(self):
+        coo = random_coo(64, 48, density=0.08, seed=7)
+        mat = seal(BROELLMatrix.from_coo(coo, h=16))
+        bad = copy.deepcopy(mat)
+        bad.stream.data[0] ^= np.uint32(1)
+        with pytest.raises(IntegrityError) as exc_info:
+            verify_integrity(bad)
+        assert "stream" in exc_info.value.fields
+
+    def test_value_corruption_names_field(self):
+        coo = random_coo(64, 48, density=0.08, seed=8)
+        mat = seal(BROCOOMatrix.from_coo(coo, interval_size=64))
+        bad = copy.deepcopy(mat)
+        bad.vals[0] += 1.0
+        with pytest.raises(IntegrityError) as exc_info:
+            verify_integrity(bad)
+        assert "vals" in exc_info.value.fields
+
+    def test_hyb_part_corruption_names_prefixed_field(self):
+        coo = random_coo(96, 64, density=0.08, seed=9)
+        mat = seal(BROHYBMatrix.from_coo(coo, h=16, interval_size=64))
+        bad = copy.deepcopy(mat)
+        bad.ell.stream.data[0] ^= np.uint32(1 << 7)
+        with pytest.raises(IntegrityError) as exc_info:
+            verify_integrity(bad)
+        assert any(f.startswith("ell.") for f in exc_info.value.fields)
+
+    def test_metadata_corruption_detected(self):
+        coo = random_coo(64, 48, density=0.08, seed=10)
+        mat = seal(BROCOOMatrix.from_coo(coo, interval_size=64))
+        bad = copy.deepcopy(mat)
+        bad._nnz += 1
+        with pytest.raises(IntegrityError) as exc_info:
+            verify_integrity(bad)
+        assert "metadata" in exc_info.value.fields
+
+    def test_deepcopy_inherits_header(self):
+        coo = random_coo(32, 32, density=0.1, seed=11)
+        mat = seal(BROELLMatrix.from_coo(coo, h=8))
+        dup = copy.deepcopy(mat)
+        assert is_sealed(dup)
+        verify_integrity(dup)
+
+    def test_original_untouched_by_copy_corruption(self):
+        coo = random_coo(32, 32, density=0.1, seed=12)
+        mat = seal(BROELLMatrix.from_coo(coo, h=8))
+        bad = copy.deepcopy(mat)
+        bad.stream.data[:] ^= np.uint32(0xFF)
+        verify_integrity(mat)  # pristine original still verifies
+
+    def test_generic_extractor_covers_unregistered_formats(self):
+        coo = random_coo(48, 40, density=0.1, seed=13)
+        mat = seal(SlicedELLPACKMatrix.from_coo(coo, h=16))
+        verify_integrity(mat)
+        header = get_header(mat)
+        assert any(name.startswith("coo.") for name in header.field_crcs)
+
+    def test_compute_header_does_not_attach(self):
+        coo = random_coo(32, 32, density=0.1, seed=14)
+        mat = BROELLMatrix.from_coo(coo, h=8)
+        header = compute_header(mat)
+        assert not is_sealed(mat)
+        header.verify(mat)  # standalone header still verifies

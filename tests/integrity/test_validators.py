@@ -1,0 +1,111 @@
+"""Structural validators: self-consistency without a prior seal."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.bro_coo import BROCOOMatrix
+from repro.core.bro_ell import BROELLMatrix
+from repro.core.bro_hyb import BROHYBMatrix
+from repro.errors import IntegrityError, ReproError
+from repro.formats.csr import CSRMatrix
+from repro.integrity import structural_validators, validate_structure
+from tests.conftest import random_coo
+
+
+def _bro_ell(seed=1):
+    return BROELLMatrix.from_coo(random_coo(64, 48, density=0.08, seed=seed), h=16)
+
+
+def _bro_coo(seed=1):
+    return BROCOOMatrix.from_coo(
+        random_coo(64, 48, density=0.08, seed=seed), interval_size=64
+    )
+
+
+class TestFastPass:
+    def test_pristine_formats_pass(self):
+        coo = random_coo(96, 64, density=0.08, seed=2)
+        for mat in (
+            coo,
+            CSRMatrix.from_coo(coo),
+            BROELLMatrix.from_coo(coo, h=16),
+            BROCOOMatrix.from_coo(coo, interval_size=64),
+            BROHYBMatrix.from_coo(coo, h=16, interval_size=64),
+        ):
+            validate_structure(mat, deep=True)
+
+    def test_registry_lists_validators(self):
+        names = structural_validators()
+        for fmt in ("bro_ell", "bro_coo", "bro_hyb", "csr", "coo"):
+            assert fmt in names
+
+    def test_ell_width_out_of_range(self):
+        bad = copy.deepcopy(_bro_ell())
+        bad._bit_allocs[0][0] = 0
+        with pytest.raises(IntegrityError, match="bit_alloc"):
+            validate_structure(bad)
+
+    def test_ell_stream_length_mismatch(self):
+        bad = copy.deepcopy(_bro_ell())
+        # Widening a column makes the stored stream too short for the widths.
+        ba = bad._bit_allocs[0]
+        ba[0] = min(32, int(ba[0]) + 8)
+        with pytest.raises(IntegrityError, match="stream"):
+            validate_structure(bad)
+
+    def test_ell_inflated_num_col(self):
+        bad = copy.deepcopy(_bro_ell())
+        bad._num_col[0] += 1
+        with pytest.raises(IntegrityError, match="num_col"):
+            validate_structure(bad)
+
+    def test_ell_row_lengths_exceed_width(self):
+        bad = copy.deepcopy(_bro_ell())
+        bad._row_lengths[0] = int(bad.num_col[0]) + 3
+        with pytest.raises(IntegrityError, match="row_lengths"):
+            validate_structure(bad)
+
+    def test_coo_col_out_of_range(self):
+        bad = copy.deepcopy(_bro_coo())
+        bad._col_idx[0] = bad.shape[1] + 10
+        with pytest.raises(IntegrityError, match="col_idx"):
+            validate_structure(bad)
+
+    def test_coo_nnz_beyond_padding(self):
+        bad = copy.deepcopy(_bro_coo())
+        bad._nnz = bad.padded_nnz + 1
+        with pytest.raises(IntegrityError, match="nnz"):
+            validate_structure(bad)
+
+    def test_csr_indptr_corruption(self):
+        coo = random_coo(32, 32, density=0.1, seed=3)
+        bad = CSRMatrix.from_coo(coo)
+        bad._indptr[1] = bad._indptr[2] + 5
+        with pytest.raises(IntegrityError, match="indptr"):
+            validate_structure(bad)
+
+
+class TestDeepPass:
+    def test_deep_catches_garbage_stream(self):
+        # Saturating the packed stream decodes to huge deltas: the running
+        # column index leaves [0, n) and the deep pass must notice.
+        bad = copy.deepcopy(_bro_ell())
+        bad.stream.data[:] = np.uint32(0xFFFFFFFF)
+        with pytest.raises(ReproError):
+            validate_structure(bad, deep=True)
+
+    def test_deep_catches_nonfinite_csr_values(self):
+        coo = random_coo(32, 32, density=0.1, seed=4)
+        bad = CSRMatrix.from_coo(coo)
+        bad.vals[0] = np.inf
+        validate_structure(bad)  # fast pass does not look at values
+        with pytest.raises(IntegrityError, match="vals"):
+            validate_structure(bad, deep=True)
+
+    def test_formats_without_validator_pass_trivially(self):
+        from repro.formats.ellpack import ELLPACKMatrix
+
+        coo = random_coo(24, 24, density=0.1, seed=5)
+        validate_structure(ELLPACKMatrix.from_coo(coo), deep=True)

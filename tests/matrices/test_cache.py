@@ -1,5 +1,7 @@
 """Unit tests for the on-disk matrix cache."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -61,3 +63,103 @@ class TestGenerateCached:
     def test_env_var_controls_default_dir(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_MATRIX_CACHE", str(tmp_path / "cache"))
         assert default_cache_dir() == tmp_path / "cache"
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_leaves_old_archive_intact(self, tmp_path, monkeypatch):
+        old = random_coo(20, 20, density=0.1, seed=10)
+        path = tmp_path / "m.npz"
+        save_matrix(old, path)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_matrix(random_coo(20, 20, density=0.1, seed=11), path)
+        monkeypatch.undo()
+        # The archive under the cache key is still the complete old version
+        # and no staging temp file was left behind.
+        back = load_matrix(path)
+        np.testing.assert_array_equal(back.vals, old.vals)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stray_temp_file_is_ignored_by_load(self, tmp_path):
+        coo = random_coo(16, 16, density=0.1, seed=12)
+        path = tmp_path / "m.npz"
+        save_matrix(coo, path)
+        # A partial staging file from a crashed writer sits alongside.
+        (tmp_path / "m.npz.abc123.tmp").write_bytes(b"PK\x03\x04 partial junk")
+        back = load_matrix(path)
+        assert back.shape == coo.shape
+
+
+class TestCorruptionDetection:
+    @pytest.fixture
+    def archive(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_matrix(random_coo(48, 32, density=0.1, seed=13), path)
+        return path
+
+    def test_crc_catches_payload_tampering(self, archive, tmp_path):
+        data = dict(np.load(archive))
+        data["vals"][0] += 1.0  # tamper after the CRCs were computed
+        np.savez_compressed(tmp_path / "evil.npz", **data)
+        with pytest.raises(ValidationError, match="'vals' failed its CRC32"):
+            load_matrix(tmp_path / "evil.npz")
+
+    def test_truncated_file_rejected(self, archive):
+        raw = archive.read_bytes()
+        archive.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValidationError):
+            load_matrix(archive)
+
+    def test_garbage_file_rejected(self, archive):
+        archive.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValidationError, match="not a readable .npz"):
+            load_matrix(archive)
+
+    def test_out_of_range_indices_named(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez_compressed(
+            path,
+            row=np.array([0, 99], dtype=np.int64),
+            col=np.array([0, 1], dtype=np.int64),
+            vals=np.array([1.0, 2.0]),
+            shape=np.array([4, 4], dtype=np.int64),
+        )
+        with pytest.raises(ValidationError, match="'row' holds indices outside"):
+            load_matrix(path)
+
+    def test_nonfinite_values_named(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez_compressed(
+            path,
+            row=np.array([0], dtype=np.int64),
+            col=np.array([0], dtype=np.int64),
+            vals=np.array([np.nan]),
+            shape=np.array([2, 2], dtype=np.int64),
+        )
+        with pytest.raises(ValidationError, match="'vals' holds non-finite"):
+            load_matrix(path)
+
+    def test_wrong_dtype_named(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez_compressed(
+            path,
+            row=np.array([0.5]),  # float rows
+            col=np.array([0], dtype=np.int64),
+            vals=np.array([1.0]),
+            shape=np.array([2, 2], dtype=np.int64),
+        )
+        with pytest.raises(ValidationError, match="'row' must be a 1-D integer"):
+            load_matrix(path)
+
+    def test_generate_cached_regenerates_over_corruption(self, tmp_path):
+        a = generate_cached("epb3", scale=0.01, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.npz")
+        path.write_bytes(b"corrupted beyond recognition")
+        b = generate_cached("epb3", scale=0.01, cache_dir=tmp_path)
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+        # The regenerated archive is valid again.
+        load_matrix(path)

@@ -1,0 +1,105 @@
+"""Retry wrapper: perturbed restarts, reference-operator fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, IntegrityError, ValidationError
+from repro.solvers import gmres, solve_with_retry
+
+
+def _spd_system(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    q = np.linalg.qr(rng.standard_normal((n, n)))[0]
+    a = q @ np.diag(np.linspace(1.0, 10.0, n)) @ q.T
+    b = rng.standard_normal(n)
+    return a, b
+
+
+class _FlakyOperator:
+    """Raises on the first ``failures`` applications, then works."""
+
+    def __init__(self, a, failures, exc_factory):
+        self.a = a
+        self.remaining = failures
+        self.exc_factory = exc_factory
+
+    def __call__(self, x):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc_factory()
+        return self.a @ x
+
+
+class TestSolveWithRetry:
+    def test_clean_solve_is_single_attempt(self):
+        a, b = _spd_system()
+        result = solve_with_retry(gmres, lambda x: a @ x, b, tol=1e-10)
+        assert result.converged
+        assert result.attempts == 1
+        assert not result.used_fallback_operator
+        assert result.errors == []
+        np.testing.assert_allclose(a @ result.x, b, atol=1e-8)
+
+    def test_retry_recovers_from_transient_integrity_fault(self):
+        a, b = _spd_system(seed=1)
+        flaky = _FlakyOperator(a, 1, lambda: IntegrityError("transient CRC fault"))
+        result = solve_with_retry(gmres, flaky, b, tol=1e-10)
+        assert result.converged
+        assert result.attempts == 2
+        assert not result.used_fallback_operator
+        assert "IntegrityError" in result.errors[0]
+        np.testing.assert_allclose(a @ result.x, b, atol=1e-8)
+
+    def test_fallback_operator_used_after_budget_exhausted(self):
+        a, b = _spd_system(seed=2)
+
+        def always_broken(x):
+            raise IntegrityError("operator is permanently corrupt")
+
+        result = solve_with_retry(
+            gmres, always_broken, b,
+            max_retries=1, fallback_operator=lambda x: a @ x, tol=1e-10,
+        )
+        assert result.converged
+        assert result.used_fallback_operator
+        assert result.attempts == 3  # first try + 1 retry + fallback
+        assert len(result.errors) == 2
+        np.testing.assert_allclose(a @ result.x, b, atol=1e-8)
+
+    def test_exhausted_budget_without_fallback_reraises(self):
+        _, b = _spd_system(seed=3)
+
+        def always_broken(x):
+            raise ConvergenceError("stagnated", iterations=0, residual=np.inf)
+
+        with pytest.raises(ConvergenceError, match="stagnated"):
+            solve_with_retry(gmres, always_broken, b, max_retries=2)
+
+    def test_nonconvergence_is_retried_then_reraised(self):
+        a, b = _spd_system(seed=4)
+        calls = []
+
+        def counting_op(x):
+            calls.append(1)
+            return a @ x
+
+        # One inner iteration can't reach tol, so raise_on_fail makes every
+        # attempt (first try + 2 retries) fail with ConvergenceError.
+        with pytest.raises(ConvergenceError):
+            solve_with_retry(
+                gmres, counting_op, b, max_retries=2, max_iter=1, restart=1
+            )
+        assert len(calls) >= 3  # the operator really ran on every attempt
+
+    def test_negative_retry_budget_rejected(self):
+        _, b = _spd_system(seed=5)
+        with pytest.raises(ValidationError, match="max_retries"):
+            solve_with_retry(gmres, lambda x: x, b, max_retries=-1)
+
+    def test_deterministic_in_seed(self):
+        a, b = _spd_system(seed=6)
+        flaky1 = _FlakyOperator(a, 1, lambda: IntegrityError("boom"))
+        flaky2 = _FlakyOperator(a, 1, lambda: IntegrityError("boom"))
+        r1 = solve_with_retry(gmres, flaky1, b, seed=7, tol=1e-10)
+        r2 = solve_with_retry(gmres, flaky2, b, seed=7, tol=1e-10)
+        np.testing.assert_array_equal(r1.x, r2.x)

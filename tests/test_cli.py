@@ -116,6 +116,21 @@ class TestSelfcheck:
         assert "break-even" in out
 
 
+class TestVerify:
+    def test_verify_passes_with_zero_silent(self, capsys):
+        assert main(["verify", "--faults", "30", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "zero silent corruption" in out
+        assert "bro_ell" in out
+        assert "silent" in out  # the detection/recovery table header
+
+    def test_verify_reports_campaign_table(self, capsys):
+        main(["verify", "--faults", "30", "--seed", "1"])
+        out = capsys.readouterr().out
+        for col in ("format", "fault", "injected", "detected", "recovered"):
+            assert col in out
+
+
 class TestMainModule:
     def test_python_dash_m_repro(self):
         import subprocess, sys
