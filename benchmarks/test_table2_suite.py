@@ -22,15 +22,19 @@ def test_table2_suite(benchmark):
         "table2_suite", rows, COLUMNS,
         f"Table 2: matrix suite at scale={bench_scale()} (mu/sigma vs paper)",
     )
-    assert len(rows) == 30
+    assert len(rows) == 31
     from repro.matrices.suite import TABLE2
 
     for row in rows:
         target = row["mu_paper"]
-        if TABLE2[row["matrix"]].family == "dense_rows":
+        family = TABLE2[row["matrix"]].family
+        if family == "dense_rows":
             # rail4284's enormous rows scale with the matrix width by
             # design (a 2633-entry row cannot exist in a scaled-down n).
             target = max(1.0, target * bench_scale())
+        elif family == "dense":
+            # dense2's mean row length is exactly the scaled width.
+            target = row["cols"]
         # Within 30% of the target (power-law duplicate merging and
         # boundary clipping account for the slack).
         assert abs(row["mu"] - target) / target < 0.30, row["matrix"]

@@ -34,6 +34,7 @@ from . import (
     matrices,
     reorder,
     solvers,
+    telemetry,
     tuner,
 )
 from .core import (
@@ -128,5 +129,6 @@ __all__ = [
     "matrices",
     "reorder",
     "solvers",
+    "telemetry",
     "tuner",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import CompressionError, ValidationError
+from ..telemetry import metrics as _metrics
 from ..types import symbol_dtype
 from ..utils.bits import bit_width_array, ceil_div, mask
 from ..utils.validation import check_1d, check_2d
@@ -103,6 +104,8 @@ def pack_slice(values: np.ndarray, bit_alloc: np.ndarray, sym_len: int = 32) -> 
     h, L = values.shape
     n_sym = row_stream_symbols(bit_alloc, sym_len)
     _validate_pack_args(values, bit_alloc, sym_len)
+    if _metrics.collecting():
+        _metrics.record_bitstream_encode(n_sym * h, int(bit_alloc.sum()) * h)
     if n_sym == 0 or h == 0:
         return np.zeros(0, dtype=dtype)
 
@@ -159,6 +162,8 @@ def unpack_slice(
         raise ValidationError(
             f"stream has {stream.shape[0]} symbols, expected n_sym*h = {n_sym * h}"
         )
+    if _metrics.collecting():
+        _metrics.record_bitstream_decode(stream.shape[0])
     if L == 0:
         return np.zeros((h, 0), dtype=np.int64)
 

@@ -15,7 +15,14 @@ Commands
 ``advise <matrix>``
     Rank all storage formats for the matrix on a device.
 ``bench <experiment>``
-    Regenerate one of the paper's tables/figures and print its rows.
+    Regenerate one of the paper's tables/figures and print its rows;
+    ``--save`` writes a ``BENCH_<experiment>.json`` report and
+    ``--compare <baseline.json>`` reruns at the baseline's scale and fails
+    on regressions.
+``profile <matrix>``
+    Trace one full pipeline run (load, convert, seal, verified dispatch,
+    kernel) and print the span tree plus the roofline attribution — or
+    export it as JSONL, Chrome trace-event JSON or Prometheus text.
 ``export <matrix> <out.mtx>``
     Write a generated suite matrix to a MatrixMarket file.
 ``selfcheck``
@@ -116,6 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="campaign seed (default 0)")
     p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON summary instead of text")
 
     def matrix_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("matrix", help="Table 2 name or a .mtx file path")
@@ -124,6 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="matrix statistics")
     matrix_arg(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the statistics as JSON instead of text")
 
     p = sub.add_parser("compress", help="BRO compression report")
     matrix_arg(p)
@@ -138,7 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="k20", choices=sorted(DEVICES))
     p.add_argument("--h", type=int, default=256)
     p.add_argument("--trace", action="store_true",
-                   help="print a per-slice profile (bro_ell only)")
+                   help="print a per-block profile (bro_ell, bro_coo, hyb, "
+                        "bro_hyb)")
 
     p = sub.add_parser("advise", help="rank formats for a matrix")
     matrix_arg(p)
@@ -154,6 +166,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="matrix scale (defaults per experiment)")
     p.add_argument("--plot", action="store_true",
                    help="also render an ASCII chart of the experiment")
+    p.add_argument("--save", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="write a BENCH_<experiment>.json report "
+                        "(optionally to PATH)")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="compare against a baseline BENCH json (rerun at its "
+                        "recorded scale); exit 1 on regressions")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative regression threshold (default 0.05)")
+
+    p = sub.add_parser(
+        "profile", help="trace one full pipeline run and attribute time"
+    )
+    matrix_arg(p)
+    p.add_argument("--storage", default="bro_ell",
+                   help="target storage format (default bro_ell)")
+    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+    p.add_argument("--h", type=int, default=256, help="slice height")
+    p.add_argument("--format", default="table",
+                   choices=["table", "json", "chrome", "prom"],
+                   help="output format (default table)")
+    p.add_argument("--output", metavar="PATH",
+                   help="write the export to PATH instead of stdout")
     return parser
 
 
@@ -189,6 +224,24 @@ def _cmd_matrices() -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     coo = _load_matrix(args.matrix, args.scale)
     stats = analyze(coo, args.matrix)
+    if args.json:
+        import json
+
+        from .telemetry.benchreport import _json_default
+
+        print(json.dumps({
+            "matrix": stats.name,
+            "rows": stats.rows,
+            "cols": stats.cols,
+            "nnz": stats.nnz,
+            "mu": stats.mu,
+            "sigma": stats.sigma,
+            "min_row": stats.min_row,
+            "max_row": stats.max_row,
+            "mean_delta_bits": stats.mean_delta_bits,
+            "mean_col_span": stats.mean_col_span,
+        }, indent=2, sort_keys=True, default=_json_default))
+        return 0
     print(f"matrix          : {stats.name}")
     print(f"shape           : {stats.rows} x {stats.cols}")
     print(f"non-zeros       : {stats.nnz}")
@@ -238,15 +291,38 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
           f"{t.achieved_bw_gbps:.1f} GB/s "
           f"({100 * t.bandwidth_utilization:.0f}% of pin bandwidth)")
     if getattr(args, "trace", False):
+        from .core.bro_coo import BROCOOMatrix
         from .core.bro_ell import BROELLMatrix
-        from .gpu.trace import SliceTrace, trace_bro_ell
+        from .core.bro_hyb import BROHYBMatrix
+        from .formats.hyb import HYBMatrix
+        from .gpu.trace import (
+            IntervalTrace,
+            PartTrace,
+            SliceTrace,
+            trace_bro_coo,
+            trace_bro_ell,
+            trace_hyb,
+        )
 
-        if not isinstance(mat, BROELLMatrix):
-            raise ReproError("--trace currently supports --format bro_ell")
-        print("\nper-slice profile:")
-        print(SliceTrace.header())
-        for tr in trace_bro_ell(mat, t.device):
-            print(tr.row())
+        if isinstance(mat, BROELLMatrix):
+            print("\nper-slice profile:")
+            print(SliceTrace.header())
+            for tr in trace_bro_ell(mat, t.device):
+                print(tr.row())
+        elif isinstance(mat, BROCOOMatrix):
+            print("\nper-interval profile:")
+            print(IntervalTrace.header())
+            for tr in trace_bro_coo(mat, t.device):
+                print(tr.row())
+        elif isinstance(mat, (HYBMatrix, BROHYBMatrix)):
+            print("\nper-part profile:")
+            print(PartTrace.header())
+            for tr in trace_hyb(mat, t.device):
+                print(tr.row())
+        else:
+            raise ReproError(
+                "--trace supports --format bro_ell, bro_coo, hyb and bro_hyb"
+            )
     return 0
 
 
@@ -316,7 +392,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from .matrices.cache import load_matrix, save_matrix
     from .matrices.generators import banded_random
 
+    json_mode = getattr(args, "json", False)
+    emit = (lambda *a, **k: None) if json_mode else print
     failures = 0
+    format_rows = []
 
     # 1. Verified round trip of every format that has a kernel: seal the
     #    container, dispatch under full verification, compare to reference.
@@ -333,33 +412,38 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             validate_structure(mat, deep=True)
             res = run_spmv(mat, x, args.device, verify="full")
         except ReproError as exc:
-            print(f"FAIL {fmt}: verified dispatch raised {exc}")
+            emit(f"FAIL {fmt}: verified dispatch raised {exc}")
+            format_rows.append({"format": fmt, "ok": False, "error": str(exc)})
             failures += 1
             continue
         if not np.allclose(res.y, reference, rtol=1e-8):
-            print(f"FAIL {fmt}: verified kernel output mismatch")
+            emit(f"FAIL {fmt}: verified kernel output mismatch")
+            format_rows.append(
+                {"format": fmt, "ok": False, "error": "output mismatch"}
+            )
             failures += 1
             continue
-        print(f"ok  {fmt}: structure + checksums + verified kernel output")
+        emit(f"ok  {fmt}: structure + checksums + verified kernel output")
+        format_rows.append({"format": fmt, "ok": True, "error": None})
 
     # 2. The fault-injection campaign over the BRO formats.
     report = run_campaign(
         n_faults=args.faults, seed=args.seed, device=args.device
     )
-    print()
-    print(format_table(
+    emit()
+    emit(format_table(
         report.rows(),
         ["format", "fault", "injected", "detected", "recovered", "benign",
          "silent"],
         f"Fault-injection campaign ({report.injected} faults, "
         f"seed {args.seed})",
     ))
-    print(f"\ncampaign: {report.injected} injected, {report.detected} "
-          f"detected, {report.recovered} recovered via CSR fallback, "
-          f"{report.benign} benign, {report.silent} SILENT")
+    emit(f"\ncampaign: {report.injected} injected, {report.detected} "
+         f"detected, {report.recovered} recovered via CSR fallback, "
+         f"{report.benign} benign, {report.silent} SILENT")
     if not report.clean:
         for r in report.silent_records()[:10]:
-            print(f"SILENT {r.format_name}/{r.kind}: {r.target}")
+            emit(f"SILENT {r.format_name}/{r.kind}: {r.target}")
         failures += report.silent
 
     # 3. On-disk archive corruption: every corrupted cache file must be
@@ -387,15 +471,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                         and np.array_equal(loaded.to_dense(), small.to_dense())):
                     archive_ok += 1
                 else:
-                    print(f"FAIL cache: {kind} trial {trial} loaded corrupt data")
+                    emit(f"FAIL cache: {kind} trial {trial} loaded corrupt data")
                     failures += 1
-        print(f"ok  cache archives: {archive_ok}/{archive_total} corruptions "
-              "detected or harmless")
+        emit(f"ok  cache archives: {archive_ok}/{archive_total} corruptions "
+             "detected or harmless")
+
+    if json_mode:
+        import json
+
+        print(json.dumps({
+            "formats": format_rows,
+            "campaign": {
+                "injected": report.injected,
+                "detected": report.detected,
+                "recovered": report.recovered,
+                "benign": report.benign,
+                "silent": report.silent,
+                "seed": args.seed,
+            },
+            "archive": {"ok": archive_ok, "total": archive_total},
+            "failures": failures,
+            "passed": failures == 0,
+        }, indent=2, sort_keys=True))
 
     if failures:
-        print(f"\nverify FAILED ({failures} problem(s))")
+        emit(f"\nverify FAILED ({failures} problem(s))")
         return 1
-    print("\nverify passed: zero silent corruption")
+    emit("\nverify passed: zero silent corruption")
     return 0
 
 
@@ -410,12 +512,105 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from .telemetry import benchreport as br
+
     fn, columns = _EXPERIMENTS[args.experiment]
-    rows = fn() if args.scale is None else fn(scale=args.scale)
+
+    baseline = None
+    scale = args.scale
+    if args.compare:
+        baseline = br.load_report(args.compare)
+        if scale is None:
+            # Rerun at the baseline's recorded scale so the simulated rows
+            # are directly comparable.
+            scale = baseline.get("scale")
+
+    rows = fn() if scale is None else fn(scale=scale)
     print(format_table(rows, columns, f"Experiment {args.experiment}"))
     if args.plot:
         print()
         print(_render_plot(args.experiment, rows, columns))
+
+    report = br.make_report(args.experiment, rows, scale=scale)
+    if args.save is not None:
+        path = args.save or br.default_report_path(args.experiment)
+        br.write_report(report, path)
+        print(f"\nwrote benchmark report to {path}")
+
+    if baseline is not None:
+        comp = br.compare_reports(baseline, report, threshold=args.threshold)
+        print(f"\ncomparison vs {args.compare}: {comp.summary()}")
+        if comp.deltas:
+            print(format_table(
+                [d.row() for d in comp.deltas],
+                ["row", "metric", "baseline", "current", "delta_pct",
+                 "status"],
+                "Metrics beyond threshold",
+            ))
+        for key in comp.missing_rows:
+            print(f"MISSING baseline row: {key}")
+        if not comp.clean:
+            print("bench comparison FAILED")
+            return 1
+        print("bench comparison passed: zero regressions")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .telemetry import exporters
+    from .telemetry.profiler import profile_matrix
+
+    rep = profile_matrix(
+        args.matrix,
+        storage=args.storage,
+        device=args.device,
+        scale=args.scale,
+        h=args.h,
+    )
+
+    if args.format != "table":
+        if args.format == "json":
+            text = exporters.to_jsonl(rep.tracer)
+        elif args.format == "chrome":
+            text = exporters.to_chrome_trace(rep.tracer, indent=2)
+        else:  # prom
+            text = exporters.prometheus_text(rep.snapshot)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {args.format} export to {args.output}")
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+
+    t = rep.result.timing
+    print(f"profile    : {rep.matrix} as {rep.storage} on {rep.device_name}")
+    print(f"verified   : checksum-verified dispatch "
+          f"(fault_detected={rep.result.fault_detected})")
+    print(f"time       : {t.time * 1e6:.2f} us   bound: {t.bound}   "
+          f"occupancy: {t.occupancy:.2f}")
+    print(f"throughput : {t.gflops:.2f} GFlop/s   "
+          f"{100 * t.bandwidth_utilization:.0f}% of pin bandwidth")
+
+    print("\npipeline spans:")
+    print(f"{'span':<44s} {'category':<10s} {'dur us':>10s}")
+    for row in rep.span_rows():
+        print(f"{row['span']:<44s} {row['category']:<10s} "
+              f"{row['dur_us']:>10.1f}")
+
+    print("\nroofline attribution:")
+    print(f"{'component':<10s} {'us':>10s} {'exposed us':>11s} {'share':>7s}")
+    for row in rep.attribution():
+        print(f"{row['component']:<10s} {row['us']:>10.2f} "
+              f"{row['exposed_us']:>11.2f} {row['share_pct']:>6.1f}%")
+
+    block = rep.block_profile()
+    if block is not None:
+        header, rows = block
+        print("\nper-block profile:")
+        print(header)
+        for line in rows:
+            print(line)
     return 0
 
 
@@ -464,6 +659,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@ from ..bitstream.packing import pack_slice, unpack_slice
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
+from ..telemetry.tracer import span as _span
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.bits import ceil_div
 from ..utils.validation import check_positive
@@ -232,19 +233,22 @@ class BROCOOMatrix(SparseFormat):
             row_idx[:nnz] = coo.row_idx
             row_idx[nnz:] = int(coo.row_idx[-1])  # phantom: repeat last row
 
-        streams, widths = [], []
-        for i in range(n_int):
-            lo = i * interval_size
-            hi = min(lo + interval_size, padded)
-            L = ceil_div(hi - lo, warp_size)
-            block = row_idx[lo:hi].reshape(L, warp_size).T  # lane i = t % w
-            deltas = delta_encode_lanes(block)
-            b = interval_bit_alloc(deltas, max_bits=sym_len)
-            widths.append(b)
-            streams.append(
-                pack_slice(deltas, np.full(L, b, dtype=np.int64), sym_len=sym_len)
-            )
-        stream = concat_slices(streams, sym_len=sym_len)
+        with _span("encode.bro_coo", "pipeline", intervals=n_int,
+                   sym_len=sym_len):
+            streams, widths = [], []
+            for i in range(n_int):
+                lo = i * interval_size
+                hi = min(lo + interval_size, padded)
+                L = ceil_div(hi - lo, warp_size)
+                block = row_idx[lo:hi].reshape(L, warp_size).T  # lane i = t % w
+                deltas = delta_encode_lanes(block)
+                b = interval_bit_alloc(deltas, max_bits=sym_len)
+                widths.append(b)
+                streams.append(
+                    pack_slice(deltas, np.full(L, b, dtype=np.int64),
+                               sym_len=sym_len)
+                )
+            stream = concat_slices(streams, sym_len=sym_len)
         return cls(
             stream,
             np.array(widths, dtype=np.int64),

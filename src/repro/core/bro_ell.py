@@ -24,6 +24,7 @@ from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
 from ..formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
 from ..utils.validation import check_positive
 from .delta import delta_decode_columns, delta_encode_columns
@@ -166,6 +167,14 @@ class BROELLMatrix(SparseFormat):
         cls, sl: SlicedELLPACKMatrix, sym_len: int = 32
     ) -> "BROELLMatrix":
         """Compress a Sliced-ELLPACK matrix (the offline host-side step)."""
+        with _span("encode.bro_ell", "pipeline", slices=sl.num_slices,
+                   sym_len=sym_len):
+            return cls._from_sliced(sl, sym_len)
+
+    @classmethod
+    def _from_sliced(
+        cls, sl: SlicedELLPACKMatrix, sym_len: int
+    ) -> "BROELLMatrix":
         streams = []
         bit_allocs = []
         val_blocks = []

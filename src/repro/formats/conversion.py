@@ -7,6 +7,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import FormatError
+from ..telemetry.tracer import span as _span
 from .base import SparseFormat, get_format
 from .coo import COOMatrix
 
@@ -22,7 +23,9 @@ def convert(matrix: SparseFormat, target: str, **kwargs: Any) -> SparseFormat:
     cls = get_format(target)
     if isinstance(matrix, cls) and not kwargs:
         return matrix
-    return cls.from_coo(matrix.to_coo(), **kwargs)
+    with _span(f"convert.{target}", "pipeline",
+               source=matrix.format_name, target=target):
+        return cls.from_coo(matrix.to_coo(), **kwargs)
 
 
 def from_dense(dense: np.ndarray, target: str = "coo", **kwargs: Any) -> SparseFormat:

@@ -32,7 +32,14 @@ from .launch import LaunchConfig, occupancy_factor
 from .memory import contiguous_transactions, gather_transactions
 from .texcache import TextureCacheModel
 from .timing import TimingBreakdown, predict
-from .trace import SliceTrace, trace_bro_ell
+from .trace import (
+    IntervalTrace,
+    PartTrace,
+    SliceTrace,
+    trace_bro_coo,
+    trace_bro_ell,
+    trace_hyb,
+)
 
 __all__ = [
     "DeviceSpec",
@@ -50,5 +57,9 @@ __all__ = [
     "TimingBreakdown",
     "predict",
     "SliceTrace",
+    "IntervalTrace",
+    "PartTrace",
     "trace_bro_ell",
+    "trace_bro_coo",
+    "trace_hyb",
 ]

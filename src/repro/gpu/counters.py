@@ -8,7 +8,8 @@ launches) and :mod:`repro.gpu.timing` turns the record into predicted time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterable, Union
 
 from ..errors import ValidationError
 
@@ -89,3 +90,31 @@ class KernelCounters:
             # of the two grids, not their sum.
             threads=max(self.threads, other.threads),
         )
+
+    def __radd__(self, other: Union[int, "KernelCounters"]) -> "KernelCounters":
+        # `sum(counters_list)` starts from the int 0; absorbing it keeps the
+        # total exact (a `KernelCounters()` start value would inject its
+        # default launches=1 into the sum).
+        if other == 0:
+            return replace(self)
+        if isinstance(other, KernelCounters):
+            return other.__add__(self)
+        return NotImplemented
+
+    @classmethod
+    def sum(cls, counters: Iterable["KernelCounters"]) -> "KernelCounters":
+        """Exact aggregate of a multi-launch trace.
+
+        Unlike ``sum(list, KernelCounters())``, an empty-input total has
+        ``launches=0`` and no phantom launch is added by the start value.
+        """
+        total: Union[int, KernelCounters] = 0
+        for c in counters:
+            total = c if total == 0 else total + c
+        return replace(total) if isinstance(total, KernelCounters) else cls(launches=0)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-int view of every counter field plus the derived totals."""
+        out = {f.name: int(getattr(self, f.name)) for f in fields(self)}
+        out["dram_bytes"] = self.dram_bytes
+        return out

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ValidationError
+from ..telemetry import metrics as _metrics
 from ..utils.bits import ceil_div
 from .device import DeviceSpec
 
@@ -86,12 +87,19 @@ class TextureCacheModel:
             lines, valid, self.device.warp_size
         )
         if not self.temporal:
-            return spatial
-        footprint = int(np.unique(lines[valid]).shape[0])
-        cache_lines = self.device.tex_cache_bytes_per_sm // self.device.tex_line_bytes
-        f = min(1.0, cache_lines / footprint) if footprint else 0.0
-        fetches = footprint * f + spatial * (1.0 - f)
-        return int(round(fetches))
+            fetches = spatial
+        else:
+            footprint = int(np.unique(lines[valid]).shape[0])
+            cache_lines = (
+                self.device.tex_cache_bytes_per_sm // self.device.tex_line_bytes
+            )
+            f = min(1.0, cache_lines / footprint) if footprint else 0.0
+            fetches = int(round(footprint * f + spatial * (1.0 - f)))
+        if _metrics.collecting():
+            _metrics.record_texcache(
+                int(valid.sum()), fetches, self.device.tex_line_bytes
+            )
+        return fetches
 
     def block_x_bytes(self, cols: np.ndarray, valid: np.ndarray) -> int:
         """DRAM bytes for one block's ``x`` reads."""

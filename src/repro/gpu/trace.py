@@ -1,20 +1,23 @@
-"""Per-slice execution traces for the BRO-ELL kernel.
+"""Per-block execution traces for the BRO kernels.
 
-A :class:`SliceTrace` row per thread block answers the questions a CUDA
-profiler timeline would: which slices carry the bytes, where the decode
-overhead concentrates, which slices have poor x locality. Used by the
-``python -m repro spmv --trace`` flag and by performance debugging in the
-examples.
+A :class:`SliceTrace` row per thread block (BRO-ELL), an
+:class:`IntervalTrace` row per warp interval (BRO-COO) or a
+:class:`PartTrace` row per HYB part answers the questions a CUDA profiler
+timeline would: which slices carry the bytes, where the decode overhead
+concentrates, which intervals force atomic collisions. Used by the
+``python -m repro spmv --trace`` and ``python -m repro profile`` commands
+and by performance debugging in the examples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
 
 import numpy as np
 
 from ..bitstream.reader import SliceDecoder
+from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
 from ..errors import ValidationError
 from ..gpu.device import DECODE_OPS_PER_ITER, DECODE_OPS_PER_LOAD, DeviceSpec
@@ -22,7 +25,14 @@ from ..gpu.memory import contiguous_transactions
 from ..gpu.texcache import TextureCacheModel
 from ..utils.bits import ceil_div
 
-__all__ = ["SliceTrace", "trace_bro_ell"]
+__all__ = [
+    "SliceTrace",
+    "IntervalTrace",
+    "PartTrace",
+    "trace_bro_ell",
+    "trace_bro_coo",
+    "trace_hyb",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +121,170 @@ def trace_bro_ell(matrix: BROELLMatrix, device: DeviceSpec) -> List[SliceTrace]:
                 decode_ops=DECODE_OPS_PER_ITER * h_i * L
                 + DECODE_OPS_PER_LOAD * dec.symbol_loads * h_i,
                 padding_fraction=1.0 - nnz / (h_i * L),
+            )
+        )
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# BRO-COO: one warp per interval
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntervalTrace:
+    """Profile of one BRO-COO interval (= one simulated warp)."""
+
+    interval_id: int
+    entries: int  #: padded entries covered by the interval
+    nnz: int  #: real (non-phantom) entries
+    lanes: int  #: iterations per lane (``L``)
+    bits: int  #: the interval's single delta bit width
+    segments: int  #: distinct output rows touched
+    atomics: int  #: atomic flushes (per-lane row changes + final flush)
+    stream_bytes: int
+    value_bytes: int
+    x_bytes: int
+    decode_ops: int
+
+    def row(self) -> str:
+        """One formatted trace line."""
+        return (
+            f"{self.interval_id:>6d} {self.entries:>8d} {self.nnz:>8d} "
+            f"{self.lanes:>5d} {self.bits:>4d} {self.segments:>7d} "
+            f"{self.atomics:>7d} {self.stream_bytes:>9d} "
+            f"{self.value_bytes:>10d} {self.x_bytes:>8d}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'intvl':>6s} {'entries':>8s} {'nnz':>8s} {'iters':>5s} "
+            f"{'bits':>4s} {'segs':>7s} {'atomic':>7s} {'idx B':>9s} "
+            f"{'val B':>10s} {'x B':>8s}"
+        )
+
+
+def trace_bro_coo(matrix: BROCOOMatrix, device: DeviceSpec) -> List[IntervalTrace]:
+    """Profile every interval of a BRO-COO matrix on a device.
+
+    Decodes each interval's row stream (exactly as the kernel does) and
+    reports where the traffic, decode work and atomic pressure would land.
+    """
+    if not isinstance(matrix, BROCOOMatrix):
+        raise ValidationError("trace_bro_coo needs a BROCOOMatrix")
+    tex = TextureCacheModel(device)
+    tb = device.transaction_bytes
+    w = matrix.warp_size
+    sym_bytes = matrix.stream.sym_len // 8
+    val_per_iter = ceil_div(w * 8, tb)
+    traces: List[IntervalTrace] = []
+    for i, lo, hi, stream_view in matrix.iter_intervals():
+        L = matrix.interval_lanes(i)
+        b = int(matrix.bit_alloc[i])
+        dec = SliceDecoder(stream_view, h=w, sym_len=matrix.stream.sym_len)
+        for _ in range(L):
+            dec.decode(b)
+        rows_2d = matrix.decode_interval_rows(i)  # (w, L)
+        flat_rows = rows_2d.T.reshape(-1)[: hi - lo]
+        # One atomic per row change down each lane, plus the final flush.
+        atomics = int((rows_2d[:, 1:] != rows_2d[:, :-1]).sum()) + w if L else 0
+        cols_2d = np.zeros((w, L), dtype=np.int64)
+        cols_2d.T.reshape(-1)[: hi - lo] = matrix.col_idx[lo:hi]
+        valid = np.ones((w, L), dtype=bool)  # phantom lanes still read x
+        traces.append(
+            IntervalTrace(
+                interval_id=i,
+                entries=hi - lo,
+                nnz=max(0, min(hi, matrix.nnz) - lo),
+                lanes=L,
+                bits=b,
+                segments=int(np.unique(flat_rows).shape[0]) if L else 0,
+                atomics=atomics,
+                stream_bytes=dec.symbol_loads
+                * contiguous_transactions(w, sym_bytes, device.warp_size, tb) * tb,
+                value_bytes=L * val_per_iter * tb,
+                x_bytes=tex.warp_sequence_fetches(cols_2d, valid)
+                * device.tex_line_bytes,
+                decode_ops=DECODE_OPS_PER_ITER * w * L
+                + DECODE_OPS_PER_LOAD * dec.symbol_loads * w,
+            )
+        )
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# HYB / BRO-HYB: one row per part
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartTrace:
+    """Profile of one part (ELL or COO) of a hybrid matrix."""
+
+    part: str  #: "ell" or "coo"
+    format_name: str  #: storage format of the part
+    nnz: int
+    frac_nnz: float  #: share of the hybrid's non-zeros
+    index_bytes: int
+    value_bytes: int
+    x_bytes: int
+    dram_bytes: int
+    decode_ops: int
+    t_us: float  #: predicted part time (roofline model)
+
+    def row(self) -> str:
+        """One formatted trace line."""
+        return (
+            f"{self.part:>5s} {self.format_name:>10s} {self.nnz:>10d} "
+            f"{100 * self.frac_nnz:>6.1f}% {self.index_bytes:>11d} "
+            f"{self.value_bytes:>11d} {self.x_bytes:>10d} "
+            f"{self.decode_ops:>10d} {self.t_us:>9.2f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'part':>5s} {'format':>10s} {'nnz':>10s} {'nnz %':>7s} "
+            f"{'idx B':>11s} {'val B':>11s} {'x B':>10s} {'decode':>10s} "
+            f"{'t us':>9s}"
+        )
+
+
+def trace_hyb(matrix, device: DeviceSpec) -> List[PartTrace]:
+    """Profile the ELL and COO parts of a HYB or BRO-HYB matrix.
+
+    Runs each part's kernel (counters only; the product is discarded) and
+    attributes traffic and predicted time per part — the split-quality view
+    behind Table 4.
+    """
+    # Imported here: repro.kernels imports this package at module scope.
+    from ..core.bro_hyb import BROHYBMatrix
+    from ..formats.hyb import HYBMatrix
+    from ..kernels.base import get_kernel
+    from .timing import predict
+
+    if not isinstance(matrix, (HYBMatrix, BROHYBMatrix)):
+        raise ValidationError("trace_hyb needs a HYBMatrix or BROHYBMatrix")
+    total = max(1, matrix.nnz)
+    x = np.ones(matrix.shape[1], dtype=np.float64)
+    traces: List[PartTrace] = []
+    for part_name, part in (("ell", matrix.ell), ("coo", matrix.coo)):
+        result = get_kernel(part.format_name).run(part, x, device)
+        c = result.counters
+        timing = predict(c, device)
+        traces.append(
+            PartTrace(
+                part=part_name,
+                format_name=part.format_name,
+                nnz=part.nnz,
+                frac_nnz=part.nnz / total,
+                index_bytes=c.index_bytes,
+                value_bytes=c.value_bytes,
+                x_bytes=c.x_bytes,
+                dram_bytes=c.dram_bytes,
+                decode_ops=c.decode_ops,
+                t_us=timing.time * 1e6,
             )
         )
     return traces

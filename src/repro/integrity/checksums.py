@@ -29,6 +29,7 @@ from ..errors import IntegrityError
 from ..formats.base import SparseFormat
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from ..telemetry.tracer import span as _span
 
 __all__ = [
     "array_crc",
@@ -186,7 +187,8 @@ def compute_header(matrix: SparseFormat) -> IntegrityHeader:
 
 def seal(matrix: SparseFormat) -> SparseFormat:
     """Attach a freshly computed integrity header to ``matrix`` and return it."""
-    object.__setattr__(matrix, _HEADER_ATTR, compute_header(matrix))
+    with _span("integrity.seal", "integrity", format=matrix.format_name):
+        object.__setattr__(matrix, _HEADER_ATTR, compute_header(matrix))
     return matrix
 
 
@@ -214,5 +216,6 @@ def verify_integrity(matrix: SparseFormat) -> IntegrityHeader:
             f"{matrix.format_name} matrix carries no integrity header; "
             "seal() it before requesting checksum verification"
         )
-    header.verify(matrix)
+    with _span("verify.checksum", "integrity", format=matrix.format_name):
+        header.verify(matrix)
     return header

@@ -29,6 +29,7 @@ from ..formats.base import SparseFormat
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..formats.sliced_ellpack import slice_bounds
+from ..telemetry.tracer import span as _span
 
 __all__ = ["validate_structure", "structural_validators"]
 
@@ -66,7 +67,9 @@ def validate_structure(matrix: SparseFormat, deep: bool = False) -> None:
     """
     validator = _VALIDATORS.get(matrix.format_name)
     if validator is not None:
-        validator(matrix, deep)
+        with _span("verify.structure", "integrity",
+                   format=matrix.format_name, deep=deep):
+            validator(matrix, deep)
 
 
 # ---------------------------------------------------------------------------

@@ -11,11 +11,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..integrity.counters import IntegritySnapshot
 
-from ..errors import KernelError
+from ..errors import KernelError, ValidationError
 from ..formats.base import SparseFormat
 from ..gpu.counters import KernelCounters
 from ..gpu.device import DeviceSpec
 from ..gpu.timing import TimingBreakdown, predict
+from ..telemetry import metrics as _metrics
+from ..telemetry import tracer as _tracer
 
 __all__ = [
     "SpMVResult",
@@ -87,16 +89,51 @@ class SpMVResult:
 
 
 class SpMVKernel(ABC):
-    """A simulated GPU SpMV kernel for one storage format."""
+    """A simulated GPU SpMV kernel for one storage format.
+
+    Subclasses implement :meth:`_execute`; the public :meth:`run` wraps it
+    with the telemetry layer — a ``kernel.<format>`` span carrying the
+    launch's :class:`KernelCounters` and timing-model attribution, plus
+    per-format metric emission into the active
+    :class:`~repro.telemetry.metrics.MetricsRegistry`. With telemetry
+    disabled (the default), ``run`` falls straight through to
+    ``_execute`` without allocating anything, so results and performance
+    are identical to an uninstrumented kernel.
+    """
 
     #: format this kernel executes (matches ``SparseFormat.format_name``).
     format_name: str = ""
 
-    @abstractmethod
     def run(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         """Execute ``y = A @ x`` on the simulated device."""
+        tracer = _tracer.get_tracer()
+        if tracer is None and not _metrics.collecting():
+            return self._execute(matrix, x, device)
+
+        if tracer is not None:
+            with tracer.start(
+                f"kernel.{self.format_name}",
+                "kernel",
+                {"format": self.format_name, "device": device.name},
+            ) as sp:
+                result = self._execute(matrix, x, device)
+                sp.attach_counters(result.counters)
+                try:
+                    sp.attach_timing(result.timing)
+                except ValidationError:  # pragma: no cover - defensive
+                    pass
+        else:
+            result = self._execute(matrix, x, device)
+        _metrics.record_kernel(self.format_name, device.name, result.counters)
+        return result
+
+    @abstractmethod
+    def _execute(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        """Format-specific simulation; implemented by each kernel."""
 
     def _check(self, matrix: SparseFormat, expected_type: type) -> None:
         if not isinstance(matrix, expected_type):

@@ -23,6 +23,8 @@ from ..gpu.device import DeviceSpec, get_device
 from ..integrity.checksums import is_sealed, verify_integrity
 from ..integrity.counters import COUNTERS
 from ..integrity.validators import validate_structure
+from ..telemetry.tracer import NULL_SPAN, get_tracer
+from ..telemetry.tracer import span as _span
 from .base import SpMVResult, get_kernel
 
 __all__ = ["run_spmv"]
@@ -101,22 +103,48 @@ def run_spmv(
 
     if level is False and fallback is None:
         # The historical fast path: no verification, failures propagate.
-        return get_kernel(matrix.format_name).run(matrix, x, device)
+        # Telemetry-free unless a tracer is active (the kernel's own span
+        # still fires inside run() when one is).
+        if get_tracer() is None:
+            return get_kernel(matrix.format_name).run(matrix, x, device)
+        with _span(
+            "spmv.dispatch",
+            "pipeline",
+            format=matrix.format_name,
+            device=device.name,
+            verify="off",
+        ):
+            return get_kernel(matrix.format_name).run(matrix, x, device)
 
-    COUNTERS.record_verification()
-    try:
-        if level is not False:
-            _verify_matrix(matrix, level)
-        result = get_kernel(matrix.format_name).run(matrix, x, device)
-    except _CORRUPTION_ERRORS as exc:
-        COUNTERS.record_detection()
-        if fallback is None:
-            COUNTERS.record_raised()
-            raise
-        result = get_kernel(fallback.format_name).run(fallback, x, device)
-        COUNTERS.record_fallback()
-        result.fault_detected = True
-        result.fallback_used = True
-        result.integrity_error = f"{type(exc).__name__}: {exc}"
-    result.integrity_counters = COUNTERS.snapshot()
-    return result
+    with _span(
+        "spmv.dispatch",
+        "pipeline",
+        format=matrix.format_name,
+        device=device.name,
+        verify=level if level is not False else "off",
+        fallback=fallback.format_name if fallback is not None else None,
+    ) as sp:
+        COUNTERS.record_verification()
+        try:
+            if level is not False:
+                _verify_matrix(matrix, level)
+            result = get_kernel(matrix.format_name).run(matrix, x, device)
+        except _CORRUPTION_ERRORS as exc:
+            COUNTERS.record_detection()
+            if sp is not NULL_SPAN:
+                sp.event(
+                    "integrity.detected",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            if fallback is None:
+                COUNTERS.record_raised()
+                raise
+            result = get_kernel(fallback.format_name).run(fallback, x, device)
+            COUNTERS.record_fallback()
+            if sp is not NULL_SPAN:
+                sp.event("integrity.fallback", format=fallback.format_name)
+            result.fault_detected = True
+            result.fallback_used = True
+            result.integrity_error = f"{type(exc).__name__}: {exc}"
+        result.integrity_counters = COUNTERS.snapshot()
+        return result

@@ -32,7 +32,7 @@ class BELLPACKKernel(SpMVKernel):
     def __init__(self, threads_per_block: int = 256) -> None:
         self.threads_per_block = int(threads_per_block)
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, BELLPACKMatrix)

@@ -17,6 +17,7 @@ from ..formats.base import SparseFormat
 from ..gpu.counters import KernelCounters
 from ..gpu.device import DECODE_OPS_PER_ITER, DECODE_OPS_PER_LOAD, DeviceSpec
 from ..gpu.memory import contiguous_transactions
+from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
 from ..utils.bits import ceil_div
 from .base import SpMVKernel, SpMVResult, register_kernel
@@ -31,7 +32,7 @@ class BROCOOKernel(SpMVKernel):
 
     format_name = "bro_coo"
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, BROCOOMatrix)
@@ -63,7 +64,8 @@ class BROCOOKernel(SpMVKernel):
             decode_ops += DECODE_OPS_PER_ITER * ws_fmt * L
             decode_ops += DECODE_OPS_PER_LOAD * dec.symbol_loads * ws_fmt
         products = matrix.vals * x[matrix.col_idx]
-        np.add.at(y, rows, products)  # phantom padding carries value 0.0
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, rows, products)  # phantom padding carries value 0.0
 
         # ---- traffic accounting --------------------------------------
         counters = coo_segmented_counters(

@@ -39,7 +39,7 @@ class BROELLKernel(SpMVKernel):
 
     format_name = "bro_ell"
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, BROELLMatrix)

@@ -31,7 +31,7 @@ class MultiRowBROELLKernel(SpMVKernel):
     def __init__(self) -> None:
         self._inner_kernel = BROELLKernel()
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, MultiRowBROELL)

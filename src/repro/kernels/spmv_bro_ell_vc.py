@@ -32,7 +32,7 @@ class BROELLVCKernel(SpMVKernel):
 
     format_name = "bro_ell_vc"
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, BROELLVCMatrix)

@@ -25,7 +25,7 @@ class BROHYBKernel(SpMVKernel):
         self.ell_kernel = BROELLKernel()
         self.coo_kernel = BROCOOKernel()
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, BROHYBMatrix)

@@ -19,6 +19,7 @@ from ..gpu.launch import LaunchConfig
 from ..gpu.memory import contiguous_transactions
 from ..gpu.texcache import TextureCacheModel
 from ..gpu.warp import warp_reduce_flops
+from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
 from ..utils.bits import ceil_div
 from .base import SpMVKernel, SpMVResult, register_kernel
@@ -99,7 +100,7 @@ class COOKernel(SpMVKernel):
     def __init__(self, interval_size: int | None = None) -> None:
         self.interval_size = interval_size
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, COOMatrix)
@@ -109,7 +110,8 @@ class COOKernel(SpMVKernel):
 
         # ---- functional execution ------------------------------------
         y = np.zeros(m, dtype=VALUE_DTYPE)
-        np.add.at(y, matrix.row_idx, matrix.vals * x[matrix.col_idx])
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, matrix.row_idx, matrix.vals * x[matrix.col_idx])
 
         # ---- traffic accounting --------------------------------------
         ws = device.warp_size

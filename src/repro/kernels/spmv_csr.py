@@ -31,7 +31,7 @@ class CSRVectorKernel(SpMVKernel):
 
     format_name = "csr"
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, CSRMatrix)

@@ -25,7 +25,7 @@ class HYBKernel(SpMVKernel):
         self.ell_kernel = ELLPACKKernel(threads_per_block)
         self.coo_kernel = COOKernel(interval_size)
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, HYBMatrix)

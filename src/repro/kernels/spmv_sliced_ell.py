@@ -28,7 +28,7 @@ class SlicedELLKernel(SpMVKernel):
 
     format_name = "sliced_ellpack"
 
-    def run(
+    def _execute(
         self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
     ) -> SpMVResult:
         self._check(matrix, SlicedELLPACKMatrix)

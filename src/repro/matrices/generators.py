@@ -30,6 +30,7 @@ __all__ = [
     "block_band",
     "random_uniform",
     "power_law",
+    "dense",
     "dense_rows",
     "row_lengths_normal",
     "row_lengths_lognormal",
@@ -305,6 +306,21 @@ def power_law(
     )
     cols = np.where(is_local, local_cols, random_cols)
     cols = np.clip(cols, 0, n - 1)
+    return _coo_from_rows(rows, cols, (m, n), rng)
+
+
+def dense(m: int, n: int, seed: int = 0) -> COOMatrix:
+    """Fully dense matrix in COO storage (Bell & Garland's ``dense2``).
+
+    Every row holds all ``n`` columns, so every column delta is exactly 1 —
+    the best case for bit-width compression and the canonical control
+    workload for the telemetry profiler's roofline attribution.
+    """
+    m = check_positive(m, "m")
+    n = check_positive(n, "n")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(m, dtype=np.int64), n)
+    cols = np.tile(np.arange(n, dtype=np.int64), m)
     return _coo_from_rows(rows, cols, (m, n), rng)
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import MatrixMarketError
 from ..formats.coo import COOMatrix
+from ..telemetry.tracer import NULL_SPAN, span as _span
 
 __all__ = ["read_matrix_market", "write_matrix_market"]
 
@@ -36,10 +37,16 @@ def _parse_header(line: str) -> tuple[str, str]:
 
 def read_matrix_market(source: Union[str, os.PathLike, TextIO]) -> COOMatrix:
     """Read a MatrixMarket coordinate file into a :class:`COOMatrix`."""
-    if hasattr(source, "read"):
-        return _read_stream(source)  # type: ignore[arg-type]
-    with open(source, "r", encoding="ascii") as fh:
-        return _read_stream(fh)
+    name = "<stream>" if hasattr(source, "read") else os.fspath(source)
+    with _span("matrix.load", "pipeline", source=str(name)) as sp:
+        if hasattr(source, "read"):
+            coo = _read_stream(source)  # type: ignore[arg-type]
+        else:
+            with open(source, "r", encoding="ascii") as fh:
+                coo = _read_stream(fh)
+        if sp is not NULL_SPAN:
+            sp.set(rows=coo.shape[0], cols=coo.shape[1], nnz=coo.nnz)
+        return coo
 
 
 def _read_stream(fh: TextIO) -> COOMatrix:

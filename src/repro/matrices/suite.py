@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..formats.coo import COOMatrix
+from ..telemetry.tracer import span as _span
 from . import generators as g
 
 __all__ = ["MatrixSpec", "TABLE2", "generate", "test_set_1", "test_set_2"]
@@ -90,6 +91,11 @@ TABLE2: Dict[str, MatrixSpec] = {
     spec.name: spec
     for spec in [
         # ----------------------- Test Set 1 ---------------------------
+        # dense2 is Bell & Garland's fully-dense control matrix; the paper
+        # runs it through the same pipeline as the sparse suite, and the
+        # telemetry profiler uses it as the canonical best-case workload.
+        MatrixSpec("dense2", 2_000, 2_000, 4_000_000, 2000.0, 0.0, 1,
+                   "dense", {}),
         MatrixSpec("cage12", 130_000, 130_000, 2_032_536, 15.6, 4.7, 1,
                    "band", {"bandwidth": 480}),
         MatrixSpec("cant", 62_000, 62_000, 4_007_383, 64.2, 14.1, 1,
@@ -190,6 +196,12 @@ def generate(name: str, scale: float = 1.0, seed: int | None = None) -> COOMatri
         raise ValidationError(
             f"unknown matrix {name!r}; available: {sorted(TABLE2)}"
         ) from exc
+    with _span("matrix.generate", "pipeline", matrix=name, scale=scale):
+        return _generate(spec, scale, seed)
+
+
+def _generate(spec: MatrixSpec, scale: float, seed: int | None) -> COOMatrix:
+    name = spec.name
     m, n = spec.scaled_shape(scale)
     s = _seed(name) if seed is None else int(seed)
     p = dict(spec.params)
@@ -200,6 +212,8 @@ def generate(name: str, scale: float = 1.0, seed: int | None = None) -> COOMatri
         # only clipped to the scaled matrix width.
         return max(8, min(int(p.get("bandwidth", default)), n))
 
+    if spec.family == "dense":
+        return g.dense(m, n, seed=s)
     if spec.family == "stencil":
         return g.stencil(m, p["offsets_fn"](m), seed=s, n=n)
     if spec.family == "band":

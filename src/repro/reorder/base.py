@@ -13,6 +13,7 @@ import numpy as np
 
 from ..errors import ReorderingError
 from ..formats.coo import COOMatrix
+from ..telemetry.tracer import span as _span
 
 __all__ = ["identity_permutation", "invert_permutation", "apply_reordering",
            "check_permutation"]
@@ -46,4 +47,5 @@ def apply_reordering(coo: COOMatrix, perm: np.ndarray) -> COOMatrix:
     ``(P A) @ x = P (A @ x)``, i.e. ``y_original[perm[i]] == y_reordered[i]``.
     """
     perm = check_permutation(perm, coo.shape[0])
-    return coo.permute_rows(perm)
+    with _span("reorder.apply", "pipeline", rows=coo.shape[0], nnz=coo.nnz):
+        return coo.permute_rows(perm)

@@ -1,0 +1,121 @@
+"""repro.telemetry — pipeline tracing, unified metrics, and exporters.
+
+The observability layer of the simulator:
+
+* :mod:`~repro.telemetry.tracer` — span-based pipeline tracing with a
+  zero-overhead disabled path;
+* :mod:`~repro.telemetry.metrics` — one registry unifying kernel
+  counters, texture-cache stats, bitstream stats and the integrity
+  counters behind a single snapshot API;
+* :mod:`~repro.telemetry.exporters` — JSONL, Chrome trace-event and
+  Prometheus text renderings;
+* :mod:`~repro.telemetry.benchreport` — ``BENCH_<run>.json`` emission and
+  the regression comparator used by ``repro bench --compare`` and CI;
+* :mod:`~repro.telemetry.profiler` — the ``repro profile`` pipeline
+  (imported lazily; it depends on the format/kernel layers).
+
+Switch the whole layer on and off with :func:`enable` / :func:`disable`,
+or scoped with :func:`tracing`::
+
+    from repro import telemetry
+
+    with telemetry.tracing() as tracer:
+        run_spmv(matrix, x, "k20")
+    print(telemetry.exporters.to_chrome_trace(tracer))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from . import benchreport, exporters, metrics, tracer
+from .benchreport import compare_reports, load_report, make_report, write_report
+from .exporters import prometheus_text, to_chrome_trace, to_jsonl
+from .metrics import REGISTRY, MetricsRegistry
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    # submodules
+    "tracer",
+    "metrics",
+    "exporters",
+    "benchreport",
+    # tracing
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "span",
+    "get_tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "tracing",
+    # metrics
+    "MetricsRegistry",
+    "REGISTRY",
+    # exporters
+    "to_jsonl",
+    "to_chrome_trace",
+    "prometheus_text",
+    # bench reports
+    "make_report",
+    "write_report",
+    "load_report",
+    "compare_reports",
+]
+
+
+def enable(
+    trace: Optional[Tracer] = None,
+    collect_metrics: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+) -> Tracer:
+    """Switch the telemetry layer on; returns the active tracer."""
+    t = enable_tracing(trace)
+    if collect_metrics:
+        metrics.start_collecting(registry)
+    return t
+
+
+def disable() -> None:
+    """Switch tracing and metric collection off (the default state)."""
+    disable_tracing()
+    metrics.stop_collecting()
+
+
+def enabled() -> bool:
+    """True while a tracer is installed."""
+    return get_tracer() is not None
+
+
+@contextmanager
+def tracing(
+    trace: Optional[Tracer] = None,
+    collect_metrics: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[Tracer]:
+    """Scoped telemetry: enable on entry, restore the prior state on exit."""
+    prev_tracer = get_tracer()
+    prev_collecting = metrics.collecting()
+    prev_registry = metrics.registry() if prev_collecting else None
+    t = enable(trace, collect_metrics=collect_metrics, registry=registry)
+    try:
+        yield t
+    finally:
+        if prev_tracer is not None:
+            enable_tracing(prev_tracer)
+        else:
+            disable_tracing()
+        if prev_collecting:
+            metrics.start_collecting(prev_registry)
+        else:
+            metrics.stop_collecting()

@@ -1,0 +1,235 @@
+"""Benchmark reports (``BENCH_<run>.json``) and run-to-run regression checks.
+
+The ``repro bench`` experiments return structured rows; this module
+persists them as a versioned JSON report and compares two reports so CI
+(and developers) can catch performance regressions of the *simulated*
+pipeline — e.g. a kernel change that silently inflates DRAM traffic or
+deflates predicted GFlop/s.
+
+Metric direction is inferred from the column name: throughput-like
+metrics (``gflops``, ``speedup``, ``eta``, ``bw_util``) regress when they
+*drop*; cost-like metrics (``bytes``, ``time``, ``decode``) regress when
+they *grow*. Unrecognized numeric columns are reported as *changed* when
+they move beyond the threshold but never fail a comparison on their own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "make_report",
+    "write_report",
+    "load_report",
+    "default_report_path",
+    "metric_direction",
+    "Delta",
+    "Comparison",
+    "compare_reports",
+]
+
+SCHEMA_VERSION = 1
+
+#: Column-name fragments implying "higher is better" (a drop regresses).
+_HIGHER_BETTER = ("gflops", "speedup", "eta", "bw_util", "savings", "gain")
+#: Column-name fragments implying "lower is better" (a rise regresses).
+_LOWER_BETTER = ("bytes", "time", "decode_ops", "silent", "_us", "t_mem",
+                 "t_flop", "t_launch")
+
+
+def metric_direction(name: str) -> int:
+    """+1 = higher is better, -1 = lower is better, 0 = informational."""
+    low = name.lower()
+    for frag in _HIGHER_BETTER:
+        if frag in low:
+            return 1
+    for frag in _LOWER_BETTER:
+        if frag in low:
+            return -1
+    return 0
+
+
+def default_report_path(run_name: str, directory: str = ".") -> str:
+    """The conventional report filename: ``BENCH_<run>.json``."""
+    return os.path.join(directory, f"BENCH_{run_name}.json")
+
+
+def make_report(
+    run_name: str,
+    rows: Sequence[Dict[str, Any]],
+    scale: Optional[float] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a versioned benchmark report from experiment rows."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run": run_name,
+        "scale": scale,
+        "meta": dict(meta) if meta else {},
+        "rows": [dict(r) for r in rows],
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=_json_default)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"cannot read benchmark report {path!r}: {exc}")
+    if not isinstance(report, dict) or "rows" not in report:
+        raise ValidationError(
+            f"{path!r} is not a benchmark report (missing 'rows')"
+        )
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path!r} has schema_version {version!r}, expected {SCHEMA_VERSION}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Delta:
+    """One (row, metric) difference between baseline and current."""
+
+    row_key: str
+    metric: str
+    baseline: float
+    current: float
+    rel_delta: float  #: (current - baseline) / |baseline|
+    direction: int  #: +1 higher-better, -1 lower-better, 0 informational
+    regression: bool  #: beyond threshold in the *worse* direction
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "row": self.row_key,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta_pct": 100.0 * self.rel_delta,
+            "status": "REGRESSION" if self.regression else "changed",
+        }
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a current run against a baseline report."""
+
+    run: str
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)  #: beyond-threshold only
+    missing_rows: List[str] = field(default_factory=list)
+    extra_rows: List[str] = field(default_factory=list)
+    compared_metrics: int = 0
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing regressed (missing rows count as regressions)."""
+        return not self.regressions and not self.missing_rows
+
+    def summary(self) -> str:
+        n_reg = len(self.regressions)
+        parts = [
+            f"{self.compared_metrics} metrics compared at "
+            f"threshold {100 * self.threshold:.1f}%",
+            f"{len(self.deltas)} beyond threshold",
+            f"{n_reg} regression(s)",
+        ]
+        if self.missing_rows:
+            parts.append(f"{len(self.missing_rows)} baseline row(s) missing")
+        return ", ".join(parts)
+
+
+def _row_key(row: Dict[str, Any]) -> str:
+    """Identity of a row: its non-numeric fields, sorted by column name."""
+    parts = [
+        f"{k}={v}"
+        for k, v in sorted(row.items())
+        if not isinstance(v, (int, float)) or isinstance(v, bool)
+    ]
+    return "|".join(parts) if parts else "row0"
+
+
+def _numeric_items(row: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        k: float(v)
+        for k, v in row.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = 0.05,
+) -> Comparison:
+    """Compare two benchmark reports row-by-row, metric-by-metric.
+
+    Rows are matched on their non-numeric columns (matrix, device, ...).
+    A :class:`Delta` is emitted for every shared numeric metric whose
+    relative change exceeds ``threshold``; it is a *regression* when the
+    metric has a known direction and moved the wrong way. A baseline
+    metric of exactly 0 uses absolute change instead.
+    """
+    if threshold < 0:
+        raise ValidationError("threshold must be non-negative")
+    base_rows = {_row_key(r): r for r in baseline.get("rows", [])}
+    cur_rows = {_row_key(r): r for r in current.get("rows", [])}
+
+    comp = Comparison(run=str(current.get("run", "?")), threshold=threshold)
+    comp.missing_rows = sorted(set(base_rows) - set(cur_rows))
+    comp.extra_rows = sorted(set(cur_rows) - set(base_rows))
+
+    for key in sorted(set(base_rows) & set(cur_rows)):
+        base_m = _numeric_items(base_rows[key])
+        cur_m = _numeric_items(cur_rows[key])
+        for metric in sorted(set(base_m) & set(cur_m)):
+            b, c = base_m[metric], cur_m[metric]
+            comp.compared_metrics += 1
+            rel = (c - b) / abs(b) if b != 0 else (c - b)
+            if abs(rel) <= threshold:
+                continue
+            direction = metric_direction(metric)
+            worse = (direction == 1 and rel < 0) or (direction == -1 and rel > 0)
+            comp.deltas.append(
+                Delta(
+                    row_key=key,
+                    metric=metric,
+                    baseline=b,
+                    current=c,
+                    rel_delta=rel,
+                    direction=direction,
+                    regression=worse,
+                )
+            )
+    return comp
+
+
+def _json_default(obj: Any) -> Any:
+    """Serialize NumPy scalars transparently."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")

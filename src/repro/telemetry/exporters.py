@@ -1,0 +1,175 @@
+"""Exporters: JSONL event log, Chrome trace-event JSON, Prometheus text.
+
+Three render targets for one traced run:
+
+* :func:`to_jsonl` — one JSON object per span, machine-greppable;
+* :func:`chrome_trace_events` / :func:`to_chrome_trace` — the Chrome
+  trace-event format (an array of complete ``"ph": "X"`` events plus
+  instant ``"ph": "i"`` events), loadable in ``chrome://tracing`` and
+  `Perfetto <https://ui.perfetto.dev>`_;
+* :func:`prometheus_text` — the Prometheus text exposition format for a
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`.
+
+All functions are pure: they take a tracer/snapshot and return a string
+(or event list); ``write_*`` variants add the file plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per span, in start order, newline-delimited."""
+    lines = []
+    for s in tracer.spans:
+        record = {"type": "span", **s.to_dict()}
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    _write(path, to_jsonl(tracer))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event dicts (complete-event ``ph: "X"``).
+
+    Timestamps (``ts``) and durations (``dur``) are microseconds relative
+    to the tracer's start, as the format requires. Span events become
+    instant events (``ph: "i"``).
+    """
+    events: List[Dict[str, Any]] = []
+    for s in tracer.spans:
+        d = s.to_dict()
+        args: Dict[str, Any] = {}
+        for key in ("attrs", "counters", "timing"):
+            if key in d:
+                args[key] = d[key]
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category or "repro",
+                "ph": "X",
+                "ts": d["ts_us"],
+                "dur": d["dur_us"],
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+        for e in d.get("events", ()):
+            events.append(
+                {
+                    "name": f"{s.name}:{e.get('name', 'event')}",
+                    "cat": s.category or "repro",
+                    "ph": "i",
+                    "ts": e.get("ts_us", d["ts_us"]),
+                    "pid": 1,
+                    "tid": 1,
+                    "s": "t",  # thread-scoped instant
+                    "args": {k: v for k, v in e.items() if k not in ("ts_us",)},
+                }
+            )
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, indent: int | None = None) -> str:
+    """The Chrome trace as a JSON array string."""
+    return json.dumps(chrome_trace_events(tracer), indent=indent)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    _write(path, to_chrome_trace(tracer))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(key: str) -> str:
+    """``kernel.dram_bytes{format="x"}`` -> (metric, labels) parts with
+    dots mapped to underscores (Prometheus naming rules)."""
+    if "{" in key:
+        name, _, rest = key.partition("{")
+        return name.replace(".", "_") + "{" + rest
+    return key.replace(".", "_")
+
+
+def prometheus_text(snapshot: Dict[str, Any], prefix: str = "repro_") -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    ``snapshot`` is the dict returned by
+    :meth:`MetricsRegistry.snapshot` / ``unified_snapshot``.
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def emit(kind: str, key: str, value: float) -> None:
+        series = prefix + _prom_name(key)
+        bare = series.partition("{")[0]
+        if seen_types.get(bare) != kind:
+            lines.append(f"# TYPE {bare} {kind}")
+            seen_types[bare] = kind
+        lines.append(f"{series} {value:g}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        emit("counter", key, snapshot["counters"][key])
+    for key in sorted(snapshot.get("gauges", {})):
+        emit("gauge", key, snapshot["gauges"][key])
+    for key in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][key]
+        series = prefix + _prom_name(key)
+        base, _, labels = series.partition("{")
+        labels = labels[:-1]  # drop trailing "}" (empty when unlabelled)
+        if seen_types.get(base) != "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            seen_types[base] = "histogram"
+
+        def bucket_line(le: str, cum: int) -> str:
+            inner = f'{labels},le="{le}"' if labels else f'le="{le}"'
+            return f"{base}_bucket{{{inner}}} {cum}"
+
+        for bound, cum in zip(h["buckets"], h["cumulative"]):
+            lines.append(bucket_line(f"{bound:g}", cum))
+        lines.append(bucket_line("+Inf", h["count"]))
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{base}_sum{suffix} {h['sum']:g}")
+        lines.append(f"{base}_count{suffix} {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str, unified: bool = True
+) -> None:
+    snap = registry.unified_snapshot() if unified else registry.snapshot()
+    _write(path, prometheus_text(snap))
+
+
+# ----------------------------------------------------------------------
+def _write(path: str, text: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

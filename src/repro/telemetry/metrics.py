@@ -1,0 +1,289 @@
+"""Unified metrics registry: counters, gauges and histograms.
+
+One :class:`MetricsRegistry` gathers everything the simulator can measure
+behind a single snapshot API:
+
+* per-kernel :class:`~repro.gpu.counters.KernelCounters` totals (DRAM
+  bytes by stream, flops, decode ops, launches), labelled by format and
+  device — emitted by ``repro.kernels.base.SpMVKernel.run``;
+* texture-cache request/fetch statistics from
+  :class:`repro.gpu.texcache.TextureCacheModel`;
+* bitstream encode statistics from :func:`repro.bitstream.packing.pack_slice`
+  and :func:`~repro.bitstream.packing.unpack_slice`;
+* the per-process integrity counters
+  (:data:`repro.integrity.counters.COUNTERS`), folded in at snapshot time.
+
+Collection is off by default; hot-path emitters check :func:`collecting`
+(one module-global read) before doing any work, so the disabled path stays
+allocation-free. ``telemetry.enable()`` switches both tracing and metric
+collection on together.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "registry",
+    "collecting",
+    "start_collecting",
+    "stop_collecting",
+    "record_kernel",
+    "record_texcache",
+    "record_bitstream_encode",
+    "record_bitstream_decode",
+]
+
+#: Default histogram buckets for byte-sized observations (powers of 4).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(4.0 ** k for k in range(2, 14))
+
+
+def _label_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    """Canonical series key: ``name`` or ``name{a="x",b="y"}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        b = sorted(float(x) for x in buckets)
+        if not b:
+            raise ValidationError("histogram needs at least one bucket bound")
+        self.buckets: Tuple[float, ...] = tuple(b)
+        self.counts = [0] * (len(b) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        cumulative = []
+        running = 0
+        for c in self.counts[:-1]:
+            running += c
+            cumulative.append(running)
+        return {
+            "buckets": list(self.buckets),
+            "cumulative": cumulative,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = _label_key(name, labels)
+        with self._lock:
+            c = self._counters.get(key)
+            if c is None:
+                c = self._counters[key] = Counter()
+            return c
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = _label_key(name, labels)
+        with self._lock:
+            g = self._gauges.get(key)
+            if g is None:
+                g = self._gauges[key] = Gauge()
+            return g
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        key = _label_key(name, labels)
+        with self._lock:
+            h = self._histograms.get(key)
+            if h is None:
+                h = self._histograms[key] = Histogram(buckets)
+            return h
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Consistent copy: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` keyed by the canonical series key."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def unified_snapshot(self) -> Dict[str, Any]:
+        """:meth:`snapshot` plus the per-process integrity counters.
+
+        The integrity layer predates the registry and keeps its own
+        process-scope counters; this folds them in as gauges so one call
+        sees the whole system.
+        """
+        snap = self.snapshot()
+        from ..integrity.counters import COUNTERS  # lazy: avoid cycle
+
+        integrity = COUNTERS.snapshot()
+        snap["gauges"].update(
+            {
+                "integrity.verifications": float(integrity.verifications),
+                "integrity.detections": float(integrity.detections),
+                "integrity.fallbacks": float(integrity.fallbacks),
+                "integrity.raised": float(integrity.raised),
+            }
+        )
+        return snap
+
+    def reset(self) -> None:
+        """Drop every registered series (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry.
+REGISTRY = MetricsRegistry()
+
+#: Registry currently receiving hot-path emissions (None = collection off).
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def registry() -> MetricsRegistry:
+    """The registry receiving emissions, or the default one when off."""
+    return _ACTIVE if _ACTIVE is not None else REGISTRY
+
+
+def collecting() -> bool:
+    """True while hot-path metric emission is switched on."""
+    return _ACTIVE is not None
+
+
+def start_collecting(target: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Switch hot-path emission on, optionally into a private registry."""
+    global _ACTIVE
+    _ACTIVE = target if target is not None else REGISTRY
+    return _ACTIVE
+
+
+def stop_collecting() -> None:
+    """Switch hot-path emission off."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+# ----------------------------------------------------------------------
+# Hot-path emission helpers. Each checks `collecting()` first so the
+# disabled path is one global read; callers may also guard themselves.
+# ----------------------------------------------------------------------
+def record_kernel(format_name: str, device_name: str, counters: Any) -> None:
+    """Fold one kernel launch's :class:`KernelCounters` into the registry."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    labels = {"format": format_name, "device": device_name}
+    reg.counter("kernel.launches", labels).inc(counters.launches or 1)
+    reg.counter("kernel.dram_bytes", labels).inc(counters.dram_bytes)
+    reg.counter("kernel.index_bytes", labels).inc(counters.index_bytes)
+    reg.counter("kernel.value_bytes", labels).inc(counters.value_bytes)
+    reg.counter("kernel.x_bytes", labels).inc(counters.x_bytes)
+    reg.counter("kernel.y_bytes", labels).inc(counters.y_bytes)
+    reg.counter("kernel.aux_bytes", labels).inc(counters.aux_bytes)
+    reg.counter("kernel.useful_flops", labels).inc(counters.useful_flops)
+    reg.counter("kernel.issued_flops", labels).inc(counters.issued_flops)
+    reg.counter("kernel.decode_ops", labels).inc(counters.decode_ops)
+    reg.histogram("kernel.dram_bytes_per_launch", labels).observe(
+        counters.dram_bytes
+    )
+
+
+def record_texcache(requests: int, fetches: int, line_bytes: int) -> None:
+    """Texture-cache statistics for one block/warp access pattern."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.counter("texcache.requests").inc(requests)
+    reg.counter("texcache.fetches").inc(fetches)
+    reg.counter("texcache.hits").inc(max(0, requests - fetches))
+    reg.counter("texcache.bytes").inc(fetches * line_bytes)
+
+
+def record_bitstream_encode(symbols: int, payload_bits: int) -> None:
+    """One packed slice/interval on the encode side."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.counter("bitstream.slices_encoded").inc()
+    reg.counter("bitstream.symbols_written").inc(symbols)
+    reg.counter("bitstream.payload_bits").inc(payload_bits)
+
+
+def record_bitstream_decode(symbols: int) -> None:
+    """One unpacked slice/interval on the host-side decode path."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.counter("bitstream.slices_decoded").inc()
+    reg.counter("bitstream.symbols_read").inc(symbols)

@@ -1,0 +1,194 @@
+"""The ``repro profile`` pipeline: trace one full SpMV run end to end.
+
+:func:`profile_matrix` executes the whole pipeline — matrix
+generate/load, format conversion (delta-encode + bit-pack inside),
+sealing, verified dispatch, kernel and reduction — under an enabled
+tracer and metrics registry, then wraps everything a profiler view needs
+in a :class:`ProfileReport`: the span tree, the roofline timing
+attribution (``t_mem``/``t_flop``/``t_decode``/``t_launch``), the unified
+metrics snapshot, and the per-block profile of the storage format
+(per-slice for BRO-ELL, per-interval for BRO-COO, per-part for the
+hybrids).
+
+This module sits *above* the format and kernel layers, so it is imported
+lazily by :mod:`repro.telemetry` consumers (the CLI) rather than from the
+package ``__init__`` — the rest of the telemetry package must stay
+importable from the hot paths it instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..formats.conversion import convert
+from ..formats.coo import COOMatrix
+from ..integrity.checksums import seal
+from ..kernels.dispatch import run_spmv
+from . import metrics as _metrics
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+from . import tracing
+
+__all__ = ["ProfileReport", "profile_matrix"]
+
+#: Formats whose converters take a slice height ``h``.
+_H_FORMATS = ("sliced_ellpack", "bro_ell", "bro_hyb", "bro_ell_vc")
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled pipeline run produced."""
+
+    matrix: str
+    storage: str
+    device_name: str
+    scale: float
+    tracer: Tracer
+    result: Any  #: the SpMVResult of the dispatched kernel
+    snapshot: Dict[str, Any]  #: unified metrics snapshot
+    container: Any  #: the converted (sealed) storage container
+
+    # ------------------------------------------------------------------
+    def attribution(self) -> List[Dict[str, Any]]:
+        """Roofline attribution of the predicted kernel time.
+
+        One row per timing component with its share of the total; the
+        ``max(t_mem, t_flop)`` overlap means the hidden component shows a
+        zero exposed share.
+        """
+        t = self.result.timing
+        total = t.time
+        exposed = {
+            "t_mem": t.t_mem if t.t_mem >= t.t_flop else 0.0,
+            "t_flop": t.t_flop if t.t_flop > t.t_mem else 0.0,
+            "t_decode": t.t_decode,
+            "t_launch": t.t_launch,
+        }
+        raw = {
+            "t_mem": t.t_mem,
+            "t_flop": t.t_flop,
+            "t_decode": t.t_decode,
+            "t_launch": t.t_launch,
+        }
+        return [
+            {
+                "component": name,
+                "us": raw[name] * 1e6,
+                "exposed_us": exposed[name] * 1e6,
+                "share_pct": (100.0 * exposed[name] / total) if total else 0.0,
+            }
+            for name in ("t_mem", "t_flop", "t_decode", "t_launch")
+        ]
+
+    def span_rows(self) -> List[Dict[str, Any]]:
+        """The span tree flattened to printable rows, in start order."""
+        return [
+            {
+                "span": ("  " * s.depth) + s.name,
+                "category": s.category,
+                "dur_us": s.duration_us,
+            }
+            for s in self.tracer.spans
+        ]
+
+    def block_profile(self) -> Optional[Tuple[str, List[str]]]:
+        """Per-block profile (header, rows) for the storage format.
+
+        BRO-ELL gets a per-slice profile, BRO-COO a per-interval profile,
+        HYB/BRO-HYB a per-part profile; other formats have no block-level
+        view and return ``None``.
+        """
+        from ..core.bro_coo import BROCOOMatrix
+        from ..core.bro_ell import BROELLMatrix
+        from ..core.bro_hyb import BROHYBMatrix
+        from ..formats.hyb import HYBMatrix
+        from ..gpu.trace import (
+            IntervalTrace,
+            PartTrace,
+            SliceTrace,
+            trace_bro_coo,
+            trace_bro_ell,
+            trace_hyb,
+        )
+
+        device = self.result.device
+        mat = self.container
+        if isinstance(mat, BROELLMatrix):
+            return SliceTrace.header(), [
+                t.row() for t in trace_bro_ell(mat, device)
+            ]
+        if isinstance(mat, BROCOOMatrix):
+            return IntervalTrace.header(), [
+                t.row() for t in trace_bro_coo(mat, device)
+            ]
+        if isinstance(mat, (HYBMatrix, BROHYBMatrix)):
+            return PartTrace.header(), [
+                t.row() for t in trace_hyb(mat, device)
+            ]
+        return None
+
+
+def _load(spec: str, scale: float) -> COOMatrix:
+    from ..matrices.io import read_matrix_market
+    from ..matrices.suite import TABLE2, generate
+
+    if spec in TABLE2:
+        return generate(spec, scale=scale)
+    if spec.endswith(".mtx"):
+        return read_matrix_market(spec)
+    raise ReproError(
+        f"{spec!r} is neither a Table 2 matrix name nor a .mtx path"
+    )
+
+
+def profile_matrix(
+    spec: str,
+    storage: str = "bro_ell",
+    device: str = "k20",
+    scale: float = 0.05,
+    h: int = 256,
+    seed: int = 0,
+    verify: str = "checksum",
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> ProfileReport:
+    """Run the full pipeline for one matrix under telemetry.
+
+    Parameters
+    ----------
+    spec:
+        A Table 2 matrix name (generated at ``scale``) or a ``.mtx`` path.
+    storage:
+        Target storage format (any registered format with a kernel).
+    device:
+        Simulated device name (see ``repro devices``).
+    verify:
+        Integrity mode passed to the dispatcher (``"off"``, ``"checksum"``,
+        ``"structure"`` or ``"full"``); the default exercises the seal and
+        checksum-verification spans.
+    tracer / registry:
+        Inject a tracer (e.g. with a deterministic clock) or a private
+        metrics registry; fresh ones are created by default.
+    """
+    own_registry = registry if registry is not None else MetricsRegistry()
+    with tracing(tracer, registry=own_registry) as t:
+        coo = _load(spec, scale)
+        kwargs: Dict[str, Any] = {"h": h} if storage in _H_FORMATS else {}
+        mat = seal(convert(coo, storage, **kwargs))
+        x = np.random.default_rng(seed).standard_normal(coo.shape[1])
+        result = run_spmv(mat, x, device, verify=verify)
+        snapshot = _metrics.registry().unified_snapshot()
+    return ProfileReport(
+        matrix=spec,
+        storage=storage,
+        device_name=result.device.name,
+        scale=scale,
+        tracer=t,
+        result=result,
+        snapshot=snapshot,
+        container=mat,
+    )

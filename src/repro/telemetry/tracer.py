@@ -1,0 +1,345 @@
+"""Span-based pipeline tracer (NVTX/nvprof-style) for the SpMV simulator.
+
+The tracer answers "where did the bytes and cycles go" for a *whole*
+pipeline run — matrix generate/load, format conversion, delta-encode and
+bit-pack, reordering, sealing, verified dispatch, the kernel itself and
+its reductions — by recording one :class:`Span` per instrumented region.
+Spans nest (a ``spmv.dispatch`` span contains a ``verify.checksum`` span
+and a ``kernel.bro_ell`` span), carry free-form attributes, and can have a
+:class:`~repro.gpu.counters.KernelCounters` record and a timing-model
+attribution (``t_mem``/``t_flop``/``t_decode``/``t_launch``) attached.
+
+Zero overhead when disabled
+---------------------------
+Tracing is off by default. :func:`span` then returns a process-wide
+singleton no-op context manager — no object is allocated, no clock is
+read, nothing is recorded — so instrumented hot paths (every simulated
+kernel launch) cost one global load and one ``is None`` test. Hot callers
+that would otherwise build an attribute dict should guard on
+:func:`get_tracer` first (see ``repro.kernels.base``).
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.tracing() as tracer:
+        result = run_spmv(matrix, x, "k20", verify="checksum")
+    for s in tracer.spans:
+        print(s.name, s.duration_us)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "get_tracer",
+]
+
+
+class NullSpan:
+    """The shared no-op span: every method returns ``self`` and records
+    nothing. One instance (:data:`NULL_SPAN`) serves the whole process so
+    the disabled tracer allocates no memory per call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> "NullSpan":
+        return self
+
+    def attach_counters(self, counters: Any) -> "NullSpan":
+        return self
+
+    def attach_timing(self, timing: Any) -> "NullSpan":
+        return self
+
+
+#: Process-wide no-op span returned by :func:`span` while tracing is off.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One recorded region of the pipeline.
+
+    Spans are created by :meth:`Tracer.start` (usually via the module-level
+    :func:`span` helper) and finished by leaving their ``with`` block; the
+    tracer keeps them in start order.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "depth",
+        "t_start",
+        "t_end",
+        "attrs",
+        "counters",
+        "timing",
+        "events",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        t_start: float,
+        tracer: "Tracer",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: Any = None
+        self.timing: Optional[Dict[str, float]] = None
+        self.events: List[Dict[str, Any]] = []
+        self._tracer = tracer
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._tracer.finish(self)
+        return False
+
+    # -- annotation API -------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach free-form attributes (merged into :attr:`attrs`)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> "Span":
+        """Record a point-in-time event inside the span (e.g. an integrity
+        detection or a fallback decision)."""
+        self.events.append(
+            {"name": name, "ts": self._tracer.clock(), **attrs}
+        )
+        return self
+
+    def attach_counters(self, counters: Any) -> "Span":
+        """Attach a :class:`~repro.gpu.counters.KernelCounters` record."""
+        self.counters = counters
+        return self
+
+    def attach_timing(self, timing: Any) -> "Span":
+        """Attach a timing-model attribution.
+
+        Accepts a :class:`~repro.gpu.timing.TimingBreakdown` (or any object
+        with ``t_mem``/``t_flop``/``t_decode``/``t_launch``) or a plain
+        mapping; stored as a flat dict of floats.
+        """
+        if timing is None:
+            return self
+        if isinstance(timing, dict):
+            self.timing = {k: float(v) for k, v in timing.items()}
+            return self
+        att = {
+            "t_mem": timing.t_mem,
+            "t_flop": timing.t_flop,
+            "t_decode": timing.t_decode,
+            "t_launch": timing.t_launch,
+            "time": timing.time,
+            "occupancy": timing.occupancy,
+        }
+        self.timing = {k: float(v) for k, v in att.items()}
+        return self
+
+    # -- derived --------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration in seconds (0.0 while unfinished)."""
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock duration in microseconds."""
+        return self.duration * 1e6
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of the span (used by the exporters)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "ts_us": (self.t_start - self._tracer.t0) * 1e6,
+            "dur_us": self.duration_us,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.counters is not None:
+            c = self.counters
+            out["counters"] = {
+                "index_bytes": int(c.index_bytes),
+                "value_bytes": int(c.value_bytes),
+                "x_bytes": int(c.x_bytes),
+                "y_bytes": int(c.y_bytes),
+                "aux_bytes": int(c.aux_bytes),
+                "dram_bytes": int(c.dram_bytes),
+                "useful_flops": int(c.useful_flops),
+                "issued_flops": int(c.issued_flops),
+                "decode_ops": int(c.decode_ops),
+                "launches": int(c.launches),
+                "threads": int(c.threads),
+            }
+        if self.timing is not None:
+            out["timing"] = self.timing
+        if self.events:
+            events = []
+            for e in self.events:
+                e = dict(e)
+                if "ts" in e:
+                    e["ts_us"] = (e.pop("ts") - self._tracer.t0) * 1e6
+                events.append(e)
+            out["events"] = events
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, depth={self.depth}, "
+            f"dur={self.duration_us:.1f}us)"
+        )
+
+
+class Tracer:
+    """Collects spans for one traced pipeline run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source in seconds. Injectable so tests and golden
+        files get deterministic timestamps; defaults to
+        :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.t0 = clock()
+        self.spans: List[Span] = []  # completed + in-flight, in start order
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        category: str = "",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span nested under the current innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        s = Span(
+            name=name,
+            category=category,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            t_start=self.clock(),
+            tracer=self,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(s)
+        self._stack.append(s)
+        return s
+
+    def finish(self, s: Span) -> None:
+        """Close a span (normally via its ``with`` block)."""
+        s.t_end = self.clock()
+        if self._stack and self._stack[-1] is s:
+            self._stack.pop()
+        elif s in self._stack:  # mismatched exit: unwind to the span
+            while self._stack and self._stack[-1] is not s:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Spans started but not yet finished."""
+        return len(self._stack)
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, parent: Span) -> List[Span]:
+        """Direct children of a span, in start order."""
+        return [s for s in self.spans if s.parent_id == parent.span_id]
+
+    def clear(self) -> None:
+        """Drop all recorded spans (keeps the clock origin)."""
+        self.spans.clear()
+        self._stack.clear()
+        self._next_id = 0
+
+
+#: The active tracer, or None while tracing is disabled.
+_TRACER: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` when tracing is disabled."""
+    return _TRACER
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the active tracer."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Remove the active tracer; :func:`span` becomes a no-op again."""
+    global _TRACER
+    _TRACER = None
+
+
+def span(name: str, category: str = "", **attrs: Any):
+    """Open a traced region; the module-level entry point.
+
+    Returns the :data:`NULL_SPAN` singleton while tracing is disabled, so
+    ``with span("encode.bro_ell"): ...`` costs nothing on the default path.
+    Callers on allocation-critical paths should avoid keyword attributes
+    (the ``**attrs`` dict would be built before the enabled check) and
+    guard on :func:`get_tracer` instead.
+    """
+    t = _TRACER
+    if t is None:
+        return NULL_SPAN
+    return t.start(name, category, attrs if attrs else None)

@@ -13,12 +13,12 @@ class TestTables:
 
     def test_table2_covers_suite(self):
         rows = E.table2_suite(scale=0.01)
-        assert len(rows) == 30
+        assert len(rows) == 31  # Table 2's thirty plus the dense2 control
         assert {r["test_set"] for r in rows} == {1, 2}
 
     def test_table3_structure(self):
         rows = E.table3_savings(scale=0.02)
-        assert len(rows) == 16
+        assert len(rows) == 17
         for r in rows:
             assert 0 < r["eta_pct"] < 100
             assert r["kappa"] > 1.0
@@ -32,7 +32,7 @@ class TestTables:
 
     def test_table5_structure(self):
         rows = E.table5_bar_savings(scale=0.01, h=64)
-        assert len(rows) == 16
+        assert len(rows) == 17
         for r in rows:
             assert r["delta_pp"] == pytest.approx(
                 r["eta_after_pct"] - r["eta_before_pct"], abs=1e-9
@@ -61,7 +61,7 @@ class TestFigures:
 
     def test_fig5_derived_from_fig4(self):
         rows = E.fig5_eai(scale=0.01, h=64)
-        assert len(rows) == 16
+        assert len(rows) == 17
         for r in rows:
             assert r["eai_ratio"] == pytest.approx(
                 r["eai_bro_ell"] / r["eai_ellpack"]

@@ -1,12 +1,21 @@
-"""Unit tests for the per-slice kernel trace."""
+"""Unit tests for the per-block kernel traces (slice/interval/part)."""
 
 import numpy as np
 import pytest
 
+from repro.core.bro_coo import BROCOOMatrix
 from repro.core.bro_ell import BROELLMatrix
 from repro.errors import ValidationError
+from repro.formats.conversion import convert
 from repro.gpu.device import TESLA_K20
-from repro.gpu.trace import SliceTrace, trace_bro_ell
+from repro.gpu.trace import (
+    IntervalTrace,
+    PartTrace,
+    SliceTrace,
+    trace_bro_coo,
+    trace_bro_ell,
+    trace_hyb,
+)
 from repro.kernels import run_spmv
 from tests.conftest import random_coo
 
@@ -65,3 +74,109 @@ class TestTrace:
         traces = trace_bro_ell(bro, TESLA_K20)
         assert traces[1].num_col == 0
         assert traces[1].nnz == 0
+
+
+@pytest.fixture(scope="module")
+def traced_coo():
+    coo = random_coo(300, 300, density=0.04, seed=1)
+    bro = BROCOOMatrix.from_coo(coo)
+    return coo, bro, trace_bro_coo(bro, TESLA_K20)
+
+
+class TestIntervalTrace:
+    def test_one_row_per_interval(self, traced_coo):
+        _, bro, traces = traced_coo
+        assert len(traces) == bro.num_intervals
+        assert [t.interval_id for t in traces] == list(range(bro.num_intervals))
+
+    def test_entries_add_up_to_padded_nnz(self, traced_coo):
+        _, bro, traces = traced_coo
+        assert sum(t.entries for t in traces) == bro.padded_nnz
+
+    def test_nnz_adds_up(self, traced_coo):
+        coo, _, traces = traced_coo
+        assert sum(t.nnz for t in traces) == coo.nnz
+
+    def test_bits_match_interval_allocation(self, traced_coo):
+        _, bro, traces = traced_coo
+        assert [t.bits for t in traces] == [int(b) for b in bro.bit_alloc]
+
+    def test_decode_ops_match_kernel_counters(self, traced_coo):
+        coo, bro, traces = traced_coo
+        res = run_spmv(bro, np.ones(coo.shape[1]), "k20")
+        assert sum(t.decode_ops for t in traces) == res.counters.decode_ops
+
+    def test_atomic_pressure_bounds(self, traced_coo):
+        _, bro, traces = traced_coo
+        w = bro.warp_size
+        for t in traces:
+            # At least the final flush per lane, at most one per iteration
+            # per lane plus the flush.
+            assert w <= t.atomics <= t.lanes * w + w
+            assert 1 <= t.segments <= t.entries
+
+    def test_row_rendering(self, traced_coo):
+        _, _, traces = traced_coo
+        header = IntervalTrace.header()
+        assert "intvl" in header
+        assert "atomic" in header
+        assert str(traces[0].nnz) in traces[0].row()
+
+    def test_rejects_non_bro_coo_matrix(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            trace_bro_coo(paper_matrix, TESLA_K20)
+
+
+@pytest.fixture(scope="module")
+def hyb_pair():
+    coo = random_coo(300, 300, density=0.04, seed=1)
+    return coo, convert(coo, "hyb"), convert(coo, "bro_hyb", h=64)
+
+
+class TestPartTrace:
+    def test_two_parts_in_order(self, hyb_pair):
+        _, hyb, bro_hyb = hyb_pair
+        for mat in (hyb, bro_hyb):
+            traces = trace_hyb(mat, TESLA_K20)
+            assert [t.part for t in traces] == ["ell", "coo"]
+
+    def test_nnz_split_adds_up(self, hyb_pair):
+        coo, hyb, bro_hyb = hyb_pair
+        for mat in (hyb, bro_hyb):
+            traces = trace_hyb(mat, TESLA_K20)
+            assert sum(t.nnz for t in traces) == coo.nnz
+            assert sum(t.frac_nnz for t in traces) == pytest.approx(1.0)
+
+    def test_part_formats(self, hyb_pair):
+        _, hyb, bro_hyb = hyb_pair
+        assert [t.format_name for t in trace_hyb(hyb, TESLA_K20)] == [
+            "ellpack",
+            "coo",
+        ]
+        assert [t.format_name for t in trace_hyb(bro_hyb, TESLA_K20)] == [
+            "bro_ell",
+            "bro_coo",
+        ]
+
+    def test_traffic_and_time_positive(self, hyb_pair):
+        _, _, bro_hyb = hyb_pair
+        for t in trace_hyb(bro_hyb, TESLA_K20):
+            assert t.dram_bytes > 0
+            assert t.t_us > 0
+            assert t.dram_bytes >= t.index_bytes + t.value_bytes + t.x_bytes
+
+    def test_bro_parts_decode(self, hyb_pair):
+        _, hyb, bro_hyb = hyb_pair
+        # The classical HYB parts never decode; the BRO parts always do.
+        assert all(t.decode_ops == 0 for t in trace_hyb(hyb, TESLA_K20))
+        assert all(t.decode_ops > 0 for t in trace_hyb(bro_hyb, TESLA_K20))
+
+    def test_row_rendering(self, hyb_pair):
+        _, hyb, _ = hyb_pair
+        traces = trace_hyb(hyb, TESLA_K20)
+        assert "part" in PartTrace.header()
+        assert "ell" in traces[0].row()
+
+    def test_rejects_non_hybrid_matrix(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            trace_hyb(paper_matrix, TESLA_K20)

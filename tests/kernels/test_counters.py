@@ -140,3 +140,50 @@ class TestDeviceScaling:
         mat = convert(big, "bro_ell")
         perf = {d: run_spmv(mat, x, d).gflops for d in DEVICES}
         assert perf["k20"] > perf["gtx680"] > perf["c2070"]
+
+
+class TestCounterArithmetic:
+    def make(self, launches=1, threads=0, **kw):
+        from repro.gpu.counters import KernelCounters
+
+        return KernelCounters(launches=launches, threads=threads, **kw)
+
+    def test_add_is_fieldwise_except_threads(self):
+        a = self.make(index_bytes=100, useful_flops=10, threads=256)
+        b = self.make(index_bytes=50, useful_flops=5, threads=512)
+        total = a + b
+        assert total.index_bytes == 150
+        assert total.useful_flops == 15
+        assert total.launches == 2
+        # Sequential launches: the occupancy model sees the larger grid.
+        assert total.threads == 512
+
+    def test_radd_absorbs_int_zero(self):
+        a = self.make(index_bytes=100)
+        total = 0 + a
+        assert total == a
+        assert total is not a  # a fresh record, not an alias
+
+    def test_builtin_sum_is_exact(self):
+        parts = [self.make(launches=1, index_bytes=10) for _ in range(3)]
+        total = sum(parts)
+        # The int-0 start value must not inject a phantom launch.
+        assert total.launches == 3
+        assert total.index_bytes == 30
+
+    def test_classmethod_sum_matches_builtin(self):
+        from repro.gpu.counters import KernelCounters
+
+        parts = [self.make(launches=2, value_bytes=7) for _ in range(4)]
+        assert KernelCounters.sum(parts) == sum(parts)
+
+    def test_classmethod_sum_empty_has_zero_launches(self):
+        from repro.gpu.counters import KernelCounters
+
+        total = KernelCounters.sum([])
+        assert total.launches == 0
+        assert total.dram_bytes == 0
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            self.make() + 1

@@ -11,11 +11,12 @@ from repro.matrices.suite import test_set_2 as set2_names
 
 
 class TestRegistry:
-    def test_thirty_matrices(self):
-        assert len(TABLE2) == 30
+    def test_suite_size(self):
+        # Table 2's thirty matrices plus the dense2 control matrix.
+        assert len(TABLE2) == 31
 
-    def test_sixteen_in_set1_fourteen_in_set2(self):
-        assert len(set1_names()) == 16
+    def test_set_sizes(self):
+        assert len(set1_names()) == 17
         assert len(set2_names()) == 14
 
     def test_table2_statistics_recorded(self):
@@ -74,6 +75,13 @@ class TestGeneration:
         coo = generate("rail4284", scale=0.1)
         m, n = coo.shape
         assert n > 10 * m  # short and wide
+
+    def test_dense2_fully_dense(self):
+        coo = generate("dense2", scale=0.05)
+        m, n = coo.shape
+        assert coo.nnz == m * n
+        lengths = coo.row_lengths()
+        assert int(lengths.min()) == int(lengths.max()) == n
 
     def test_set2_matrices_have_higher_spread(self):
         # gupta2's sigma/mu ratio must dwarf a Test Set 1 FEM matrix's.

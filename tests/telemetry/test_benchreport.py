@@ -1,0 +1,175 @@
+"""Benchmark report round-trip and the regression comparator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.benchreport import (
+    SCHEMA_VERSION,
+    compare_reports,
+    default_report_path,
+    load_report,
+    make_report,
+    metric_direction,
+    write_report,
+)
+
+
+def rows(gflops, dram):
+    return [
+        {"matrix": "dense2", "device": "k20", "gflops": gflops,
+         "dram_bytes": dram},
+        {"matrix": "cant", "device": "k20", "gflops": 10.0,
+         "dram_bytes": 1000},
+    ]
+
+
+class TestReportIO:
+    def test_round_trip(self, tmp_path):
+        report = make_report("fig4", rows(20.0, 500), scale=0.05,
+                             meta={"host": "ci"})
+        path = tmp_path / "BENCH_fig4.json"
+        write_report(report, str(path))
+        loaded = load_report(str(path))
+        assert loaded == report
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["scale"] == 0.05
+        assert loaded["meta"] == {"host": "ci"}
+
+    def test_numpy_scalars_serialize(self, tmp_path):
+        report = make_report(
+            "np", [{"matrix": "m", "gflops": np.float64(1.5),
+                    "nnz": np.int64(7)}]
+        )
+        path = tmp_path / "BENCH_np.json"
+        write_report(report, str(path))
+        row = load_report(str(path))["rows"][0]
+        assert row == {"matrix": "m", "gflops": 1.5, "nnz": 7}
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_report(str(tmp_path / "nope.json"))
+
+    def test_load_rejects_wrong_schema_version(self, tmp_path):
+        report = make_report("x", [])
+        report["schema_version"] = 99
+        path = tmp_path / "bad.json"
+        write_report(report, str(path))
+        with pytest.raises(ValidationError, match="schema_version"):
+            load_report(str(path))
+
+    def test_load_rejects_non_report_json(self, tmp_path):
+        path = tmp_path / "notareport.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValidationError, match="rows"):
+            load_report(str(path))
+
+    def test_default_report_path(self):
+        assert default_report_path("fig4") == "./BENCH_fig4.json"
+        assert default_report_path("fig4", "/tmp/out").endswith(
+            "/tmp/out/BENCH_fig4.json"
+        )
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name", ["gflops", "speedup_vs_hyb", "eta", "bw_util", "savings_pct"]
+    )
+    def test_higher_better(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize(
+        "name", ["dram_bytes", "time_s", "decode_ops", "silent", "dur_us",
+                 "t_mem"]
+    )
+    def test_lower_better(self, name):
+        assert metric_direction(name) == -1
+
+    def test_unknown_is_informational(self):
+        assert metric_direction("rows") == 0
+
+
+class TestComparator:
+    def test_identical_reports_are_clean(self):
+        base = make_report("fig4", rows(20.0, 500))
+        comp = compare_reports(base, base)
+        assert comp.clean
+        assert comp.deltas == []
+        assert comp.compared_metrics == 4
+
+    def test_throughput_drop_is_a_regression(self):
+        base = make_report("fig4", rows(20.0, 500))
+        cur = make_report("fig4", rows(15.0, 500))  # -25% gflops
+        comp = compare_reports(base, cur, threshold=0.05)
+        assert not comp.clean
+        (reg,) = comp.regressions
+        assert reg.metric == "gflops"
+        assert "dense2" in reg.row_key
+        assert reg.rel_delta == pytest.approx(-0.25)
+        assert reg.row()["status"] == "REGRESSION"
+
+    def test_throughput_gain_is_not_a_regression(self):
+        base = make_report("fig4", rows(20.0, 500))
+        cur = make_report("fig4", rows(30.0, 500))  # +50% gflops
+        comp = compare_reports(base, cur, threshold=0.05)
+        assert comp.clean
+        (delta,) = comp.deltas  # reported as changed, not regressed
+        assert not delta.regression
+        assert delta.row()["status"] == "changed"
+
+    def test_cost_rise_is_a_regression(self):
+        base = make_report("fig4", rows(20.0, 500))
+        cur = make_report("fig4", rows(20.0, 800))  # +60% dram_bytes
+        comp = compare_reports(base, cur)
+        (reg,) = comp.regressions
+        assert reg.metric == "dram_bytes"
+
+    def test_within_threshold_is_silent(self):
+        base = make_report("fig4", rows(20.0, 500))
+        cur = make_report("fig4", rows(19.5, 510))  # -2.5%, +2%
+        comp = compare_reports(base, cur, threshold=0.05)
+        assert comp.clean
+        assert comp.deltas == []
+
+    def test_missing_row_fails_comparison(self):
+        base = make_report("fig4", rows(20.0, 500))
+        cur = make_report("fig4", rows(20.0, 500)[:1])
+        comp = compare_reports(base, cur)
+        assert not comp.clean
+        assert len(comp.missing_rows) == 1
+        assert "cant" in comp.missing_rows[0]
+        assert "missing" in comp.summary()
+
+    def test_extra_row_is_tolerated(self):
+        base = make_report("fig4", rows(20.0, 500)[:1])
+        cur = make_report("fig4", rows(20.0, 500))
+        comp = compare_reports(base, cur)
+        assert comp.clean
+        assert len(comp.extra_rows) == 1
+
+    def test_informational_metric_never_regresses(self):
+        base = make_report("r", [{"matrix": "m", "padding": 1.0}])
+        cur = make_report("r", [{"matrix": "m", "padding": 99.0}])
+        comp = compare_reports(base, cur)
+        assert comp.clean
+        (delta,) = comp.deltas
+        assert delta.direction == 0
+
+    def test_zero_baseline_uses_absolute_delta(self):
+        base = make_report("r", [{"matrix": "m", "time_s": 0.0}])
+        cur = make_report("r", [{"matrix": "m", "time_s": 0.04}])
+        assert compare_reports(base, cur, threshold=0.05).clean
+        cur = make_report("r", [{"matrix": "m", "time_s": 0.5}])
+        assert not compare_reports(base, cur, threshold=0.05).clean
+
+    def test_negative_threshold_rejected(self):
+        base = make_report("r", [])
+        with pytest.raises(ValidationError):
+            compare_reports(base, base, threshold=-0.1)
+
+    def test_summary_mentions_counts(self):
+        base = make_report("fig4", rows(20.0, 500))
+        cur = make_report("fig4", rows(15.0, 500))
+        s = compare_reports(base, cur).summary()
+        assert "4 metrics compared" in s
+        assert "1 regression(s)" in s

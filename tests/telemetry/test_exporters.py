@@ -1,0 +1,153 @@
+"""Exporter formats: JSONL schema, Chrome trace events, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import (
+    chrome_trace_events,
+    prometheus_text,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 0.001  # 1 ms per read -> deterministic ts/dur
+        return self.t
+
+
+@pytest.fixture
+def traced():
+    """A small deterministic trace: root > (child with event, leaf)."""
+    t = Tracer(clock=FakeClock())
+    root = t.start("pipeline", "repro")
+    child = t.start("kernel", "gpu", attrs={"format": "bro_ell"})
+    child.event("integrity.detected", code=2)
+    t.finish(child)
+    leaf = t.start("reduce", "gpu")
+    t.finish(leaf)
+    t.finish(root)
+    return t
+
+
+class TestJsonl:
+    def test_one_valid_object_per_span(self, traced):
+        lines = to_jsonl(traced).splitlines()
+        assert len(lines) == 3
+        records = [json.loads(ln) for ln in lines]
+        assert all(r["type"] == "span" for r in records)
+        assert [r["name"] for r in records] == ["pipeline", "kernel", "reduce"]
+
+    def test_parent_links_and_relative_times(self, traced):
+        records = [json.loads(ln) for ln in to_jsonl(traced).splitlines()]
+        root, child, leaf = records
+        assert child["parent_id"] == root["span_id"]
+        assert leaf["parent_id"] == root["span_id"]
+        # FakeClock ticks 1 ms per read: t0 is the first tick, the root
+        # span starts one tick later and outlives both children.
+        assert root["ts_us"] == pytest.approx(1000.0)
+        assert root["dur_us"] > child["dur_us"] > 0
+
+    def test_empty_tracer_yields_empty_string(self):
+        assert to_jsonl(Tracer(clock=FakeClock())) == ""
+
+    def test_write_jsonl(self, traced, tmp_path):
+        path = tmp_path / "out" / "trace.jsonl"
+        write_jsonl(traced, str(path))
+        assert len(path.read_text().splitlines()) == 3
+
+
+class TestChromeTrace:
+    def test_complete_events_schema(self, traced):
+        events = chrome_trace_events(traced)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == ["pipeline", "kernel", "reduce"]
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert e["ts"] >= 0
+            assert e["dur"] > 0
+
+    def test_instant_event_for_span_event(self, traced):
+        instants = [e for e in chrome_trace_events(traced) if e["ph"] == "i"]
+        assert len(instants) == 1
+        (inst,) = instants
+        assert inst["name"] == "kernel:integrity.detected"
+        assert inst["s"] == "t"
+        assert inst["args"]["code"] == 2
+
+    def test_nesting_is_containment(self, traced):
+        events = {e["name"]: e for e in chrome_trace_events(traced) if e["ph"] == "X"}
+        root, child = events["pipeline"], events["kernel"]
+        assert root["ts"] <= child["ts"]
+        assert root["ts"] + root["dur"] >= child["ts"] + child["dur"]
+
+    def test_to_chrome_trace_is_valid_json_array(self, traced):
+        parsed = json.loads(to_chrome_trace(traced))
+        assert isinstance(parsed, list)
+        assert len(parsed) == 4  # 3 spans + 1 instant
+
+    def test_deterministic_with_injected_clock(self):
+        def make():
+            t = Tracer(clock=FakeClock())
+            s = t.start("a")
+            t.finish(s)
+            return to_chrome_trace(t)
+
+        assert make() == make()
+
+    def test_write_chrome_trace(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced, str(path))
+        assert json.loads(path.read_text())
+
+
+class TestPrometheus:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("kernel.dram_bytes", {"format": "bro_ell"}).inc(640)
+        reg.gauge("integrity.detections").set(3)
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE repro_kernel_dram_bytes counter" in text
+        assert 'repro_kernel_dram_bytes{format="bro_ell"} 640' in text
+        assert "# TYPE repro_integrity_detections gauge" in text
+        assert "repro_integrity_detections 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=[1, 10])
+        for v in (0.5, 5, 50):
+            h.observe(v)
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE repro_lat histogram" in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="10"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 55.5" in text
+        assert "repro_lat_count 3" in text
+
+    def test_labelled_histogram_keeps_labels_before_le(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", {"fmt": "coo"}, buckets=[1]).observe(0.5)
+        text = prometheus_text(reg.snapshot())
+        assert 'repro_lat_bucket{fmt="coo",le="1"} 1' in text
+        assert 'repro_lat_sum{fmt="coo"} 0.5' in text
+
+    def test_empty_snapshot_is_empty_string(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_write_prometheus_unified(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(MetricsRegistry(), str(path))
+        text = path.read_text()
+        assert "repro_integrity_verifications" in text

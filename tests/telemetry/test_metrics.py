@@ -1,0 +1,171 @@
+"""MetricsRegistry semantics and the hot-path record_* helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.counters import KernelCounters
+from repro.telemetry import metrics as M
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _label_key,
+)
+
+
+@pytest.fixture(autouse=True)
+def collection_off():
+    M.stop_collecting()
+    yield
+    M.stop_collecting()
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4.5)
+        assert c.value == 5.5
+        with pytest.raises(ValidationError):
+            c.inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8.0
+
+    def test_histogram_cumulative_buckets(self):
+        h = Histogram(buckets=[1, 10, 100])
+        for v in (0.5, 5, 5, 50, 500):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["buckets"] == [1.0, 10.0, 100.0]
+        assert d["cumulative"] == [1, 3, 4]  # <=1, <=10, <=100
+        assert d["count"] == 5
+        assert d["sum"] == pytest.approx(560.5)
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=[])
+
+    def test_label_key_is_sorted_and_canonical(self):
+        assert _label_key("m", None) == "m"
+        assert _label_key("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", {"x": "1"}) is not reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=[1]).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_unified_snapshot_includes_integrity_gauges(self):
+        snap = MetricsRegistry().unified_snapshot()
+        for key in (
+            "integrity.verifications",
+            "integrity.detections",
+            "integrity.fallbacks",
+            "integrity.raised",
+        ):
+            assert key in snap["gauges"]
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestCollectionSwitch:
+    def test_off_by_default_and_routes_to_default_registry(self):
+        assert not M.collecting()
+        assert M.registry() is M.REGISTRY
+
+    def test_start_collecting_into_private_registry(self):
+        private = MetricsRegistry()
+        assert M.start_collecting(private) is private
+        assert M.collecting()
+        assert M.registry() is private
+        M.stop_collecting()
+        assert not M.collecting()
+
+    def test_record_helpers_are_noops_when_off(self):
+        reg = MetricsRegistry()
+        M.record_kernel("bro_ell", "k20", KernelCounters())
+        M.record_texcache(10, 4, 32)
+        M.record_bitstream_encode(100, 800)
+        M.record_bitstream_decode(100)
+        assert reg.snapshot()["counters"] == {}
+        assert M.REGISTRY is M.registry()
+
+
+class TestRecordHelpers:
+    def test_record_kernel_labels_and_totals(self):
+        reg = M.start_collecting(MetricsRegistry())
+        counters = KernelCounters(
+            index_bytes=100,
+            value_bytes=200,
+            x_bytes=50,
+            y_bytes=25,
+            useful_flops=400,
+            issued_flops=500,
+            decode_ops=60,
+            launches=2,
+        )
+        M.record_kernel("bro_ell", "k20", counters)
+        snap = reg.snapshot()
+        key = 'kernel.dram_bytes{device="k20",format="bro_ell"}'
+        assert snap["counters"][key] == counters.dram_bytes
+        assert (
+            snap["counters"]['kernel.launches{device="k20",format="bro_ell"}']
+            == 2
+        )
+        hist = snap["histograms"][
+            'kernel.dram_bytes_per_launch{device="k20",format="bro_ell"}'
+        ]
+        assert hist["count"] == 1
+
+    def test_record_kernel_zero_launches_counts_one(self):
+        reg = M.start_collecting(MetricsRegistry())
+        M.record_kernel("coo", "k20", KernelCounters(launches=0))
+        key = 'kernel.launches{device="k20",format="coo"}'
+        assert reg.snapshot()["counters"][key] == 1
+
+    def test_record_texcache_derives_hits(self):
+        reg = M.start_collecting(MetricsRegistry())
+        M.record_texcache(requests=32, fetches=5, line_bytes=32)
+        snap = reg.snapshot()["counters"]
+        assert snap["texcache.requests"] == 32
+        assert snap["texcache.fetches"] == 5
+        assert snap["texcache.hits"] == 27
+        assert snap["texcache.bytes"] == 160
+
+    def test_record_bitstream_round_trip(self):
+        reg = M.start_collecting(MetricsRegistry())
+        M.record_bitstream_encode(symbols=256, payload_bits=1024)
+        M.record_bitstream_decode(symbols=256)
+        snap = reg.snapshot()["counters"]
+        assert snap["bitstream.slices_encoded"] == 1
+        assert snap["bitstream.symbols_written"] == 256
+        assert snap["bitstream.payload_bits"] == 1024
+        assert snap["bitstream.slices_decoded"] == 1
+        assert snap["bitstream.symbols_read"] == 256

@@ -1,0 +1,126 @@
+"""Telemetry must cost nothing when disabled and change nothing when on.
+
+The acceptance bar from the issue: with telemetry off, ``run_spmv`` is
+bit-identical to a run that never imported telemetry, and the disabled
+``span()`` fast path performs no allocation per call.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.formats.conversion import convert
+from repro.formats.coo import COOMatrix
+from repro.kernels.dispatch import run_spmv
+from repro.telemetry import metrics as M
+from repro.telemetry.tracer import NULL_SPAN, disable_tracing, span
+
+
+def banded_matrix(m=512, k=8):
+    cols = np.minimum(
+        np.arange(k) + np.maximum(0, np.arange(m)[:, None] - k // 2), m - 1
+    )
+    rows = np.repeat(np.arange(m), k)
+    return COOMatrix(rows, cols.reshape(-1), np.ones(m * k), (m, m))
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    coo = banded_matrix()
+    mat = convert(coo, "bro_ell", h=64)
+    x = np.random.default_rng(3).standard_normal(coo.shape[1])
+    return mat, x
+
+
+class TestDisabledCost:
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert span("kernel.bro_ell", "gpu", fmt="bro_ell") is NULL_SPAN
+
+    def test_disabled_span_allocates_nothing(self):
+        """Net allocated blocks stay flat across many disabled spans."""
+        disable_tracing()
+        # Warm up: let any lazy caches (bound methods, etc.) settle.
+        for _ in range(64):
+            with span("warmup"):
+                pass
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            with span("hot", "gpu"):
+                pass
+        after = sys.getallocatedblocks()
+        # Interpreter noise is possible but must not scale with the loop.
+        assert after - before < 16
+
+    def test_disabled_metrics_helpers_allocate_nothing(self):
+        M.stop_collecting()
+        for _ in range(64):
+            M.record_texcache(1, 1, 32)
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            M.record_texcache(32, 4, 32)
+            M.record_bitstream_decode(256)
+        after = sys.getallocatedblocks()
+        assert after - before < 16
+
+    def test_no_spans_recorded_while_disabled(self, workload):
+        mat, x = workload
+        run_spmv(mat, x, "k20")
+        with telemetry.tracing() as t:
+            pass  # enabled and immediately closed: nothing traced
+        assert t.spans == []
+
+
+class TestBitIdentical:
+    def test_run_spmv_identical_with_and_without_telemetry(self, workload):
+        mat, x = workload
+        plain = run_spmv(mat, x, "k20")
+        with telemetry.tracing():
+            traced = run_spmv(mat, x, "k20")
+        rerun = run_spmv(mat, x, "k20")
+
+        assert np.array_equal(plain.y, traced.y)  # bit-identical, no tolerance
+        assert np.array_equal(plain.y, rerun.y)
+        assert plain.counters == traced.counters
+
+    def test_verified_path_identical_with_and_without_telemetry(self, workload):
+        from repro.integrity.checksums import seal
+
+        mat, x = workload
+        sealed = seal(mat)
+        plain = run_spmv(sealed, x, "k20", verify="checksum")
+        with telemetry.tracing() as t:
+            traced = run_spmv(sealed, x, "k20", verify="checksum")
+        assert np.array_equal(plain.y, traced.y)
+        assert plain.counters == traced.counters
+        # ... and the traced run actually produced the dispatch span tree.
+        names = [s.name for s in t.spans]
+        assert "spmv.dispatch" in names
+        assert any(n.startswith("kernel.") for n in names)
+
+    def test_tracing_captures_kernel_counters(self, workload):
+        mat, x = workload
+        with telemetry.tracing() as t:
+            result = run_spmv(mat, x, "k20")
+        (kspan,) = t.find("kernel.bro_ell")
+        assert kspan.counters is not None
+        assert kspan.counters.dram_bytes == result.counters.dram_bytes
+        assert kspan.timing is not None
+        assert kspan.timing["time"] == pytest.approx(result.timing.time)
+
+    def test_metrics_collected_match_kernel_counters(self, workload):
+        mat, x = workload
+        reg = M.MetricsRegistry()
+        with telemetry.tracing(registry=reg):
+            result = run_spmv(mat, x, "k20")
+        snap = reg.snapshot()
+        key = f'kernel.dram_bytes{{device="{result.device.name}",format="bro_ell"}}'
+        assert snap["counters"][key] == result.counters.dram_bytes

@@ -1,0 +1,150 @@
+"""Span lifecycle: nesting, ordering, annotation and the disabled path."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    NullSpan,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances 1 ms per read."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 0.001
+        return self.t
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestDisabled:
+    def test_span_returns_the_singleton(self):
+        assert span("anything", "cat", k=1) is NULL_SPAN
+        assert get_tracer() is None
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with span("x") as s:
+            assert s is NULL_SPAN
+            assert s.set(a=1) is s
+            assert s.event("e", b=2) is s
+            assert s.attach_counters(None) is s
+            assert s.attach_timing(None) is s
+
+    def test_null_span_has_no_instance_dict(self):
+        # __slots__ = () guarantees no per-instance allocation is possible.
+        assert not hasattr(NullSpan(), "__dict__")
+
+
+class TestNesting:
+    def test_parent_child_depth(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with span("outer") as a:
+            with span("inner") as b:
+                assert b.parent_id == a.span_id
+                assert b.depth == 1
+        assert a.parent_id is None
+        assert a.depth == 0
+        assert t.open_spans == 0
+
+    def test_start_order_preserved(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with span("a"):
+            with span("b"):
+                pass
+            with span("c"):
+                pass
+        assert [s.name for s in t.spans] == ["a", "b", "c"]
+        assert [s.span_id for s in t.spans] == [0, 1, 2]
+
+    def test_children_of(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with span("root") as r:
+            with span("kid1"):
+                pass
+            with span("kid2"):
+                with span("grandkid"):
+                    pass
+        kids = t.children_of(r)
+        assert [s.name for s in kids] == ["kid1", "kid2"]
+
+    def test_durations_monotone(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with span("outer") as a:
+            with span("inner") as b:
+                pass
+        assert a.duration > b.duration > 0
+        assert a.t_start <= b.t_start
+        assert a.t_end >= b.t_end
+        assert t.find("inner") == [b]
+
+    def test_exception_annotates_and_closes(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        s = t.find("failing")[0]
+        assert s.t_end is not None
+        assert "RuntimeError" in s.attrs["error"]
+        assert t.open_spans == 0
+
+
+class TestAnnotation:
+    def test_attrs_and_events(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with span("s", "cat", fmt="bro_ell") as s:
+            s.set(extra=7)
+            s.event("detected", code=3)
+        d = s.to_dict()
+        assert d["attrs"] == {"fmt": "bro_ell", "extra": 7}
+        assert d["events"][0]["name"] == "detected"
+        assert d["events"][0]["code"] == 3
+        assert "ts_us" in d["events"][0]
+        assert "ts" not in d["events"][0]
+        assert t.spans[0] is s
+
+    def test_timing_attachment_from_mapping(self):
+        enable_tracing(Tracer(clock=FakeClock()))
+        with span("k") as s:
+            s.attach_timing({"t_mem": 1e-6, "t_flop": 2e-6})
+        assert s.to_dict()["timing"] == {"t_mem": 1e-6, "t_flop": 2e-6}
+
+    def test_clear_resets(self):
+        t = enable_tracing(Tracer(clock=FakeClock()))
+        with span("x"):
+            pass
+        t.clear()
+        assert t.spans == []
+        with span("y") as s:
+            pass
+        assert s.span_id == 0
+
+
+class TestScopedTracing:
+    def test_context_manager_restores_disabled(self):
+        with telemetry.tracing() as t:
+            assert get_tracer() is t
+            with span("inside"):
+                pass
+        assert get_tracer() is None
+        assert len(t.spans) == 1
+
+    def test_context_manager_restores_prior_tracer(self):
+        outer = enable_tracing(Tracer(clock=FakeClock()))
+        with telemetry.tracing() as inner:
+            assert get_tracer() is inner
+        assert get_tracer() is outer

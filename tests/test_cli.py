@@ -131,6 +131,155 @@ class TestVerify:
             assert col in out
 
 
+class TestJsonModes:
+    def test_analyze_json(self, capsys):
+        import json
+
+        assert main(["analyze", "epb3", "--scale", "0.02", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["matrix"] == "epb3"
+        assert data["nnz"] > 0
+        assert "mean_delta_bits" in data
+
+    def test_verify_json(self, capsys):
+        import json
+
+        assert main(["verify", "--faults", "20", "--seed", "0", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is True
+        assert data["campaign"]["silent"] == 0
+        assert data["campaign"]["injected"] == 20
+        assert any(row["ok"] for row in data["formats"])
+
+
+class TestSpmvTrace:
+    def test_trace_bro_ell(self, capsys):
+        assert main(["spmv", "epb3", "--scale", "0.02", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "per-slice profile" in out
+
+    def test_trace_bro_coo(self, capsys):
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--format", "bro_coo",
+             "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-interval profile" in out
+        assert "atomic" in out
+
+    def test_trace_bro_hyb(self, capsys):
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--format", "bro_hyb",
+             "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-part profile" in out
+        assert "bro_coo" in out
+
+    def test_trace_unsupported_format_errors(self, capsys):
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--format", "csr", "--trace"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_table(self, capsys):
+        assert main(["profile", "dense2", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline spans" in out
+        assert "roofline attribution" in out
+        assert "per-block profile" in out
+        assert "kernel.bro_ell" in out
+
+    def test_profile_chrome_is_valid_trace_json(self, capsys):
+        import json
+
+        assert main(
+            ["profile", "dense2", "--scale", "0.05", "--format", "chrome"]
+        ) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert isinstance(events, list) and events
+        assert all(e["ph"] in ("X", "i") for e in events)
+        assert any(e["name"] == "kernel.bro_ell" for e in events)
+
+    def test_profile_jsonl(self, capsys):
+        import json
+
+        assert main(
+            ["profile", "dense2", "--scale", "0.05", "--format", "json"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        spans = [json.loads(ln) for ln in lines]
+        assert {"matrix.generate", "spmv.dispatch"} <= {
+            s["name"] for s in spans
+        }
+
+    def test_profile_prometheus(self, capsys):
+        assert main(
+            ["profile", "dense2", "--scale", "0.05", "--format", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_kernel_dram_bytes counter" in out
+        assert "repro_integrity_verifications" in out
+
+    def test_profile_output_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["profile", "dense2", "--scale", "0.05", "--format", "chrome",
+             "--output", str(path)]
+        ) == 0
+        assert "wrote chrome export" in capsys.readouterr().out
+        assert json.loads(path.read_text())
+
+    def test_profile_bro_coo_storage(self, capsys):
+        assert main(
+            ["profile", "epb3", "--scale", "0.02", "--storage", "bro_coo"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kernel.bro_coo" in out
+        assert "intvl" in out  # per-interval block profile
+
+
+class TestBenchReports:
+    def test_save_then_compare_clean(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_table1.json"
+        assert main(["bench", "table1", "--save", str(path)]) == 0
+        assert "wrote benchmark report" in capsys.readouterr().out
+        assert main(["bench", "table1", "--compare", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        assert "bench comparison passed" in out
+
+    def test_save_default_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "table1", "--save"]) == 0
+        assert (tmp_path / "BENCH_table1.json").is_file()
+
+    def test_compare_detects_regression(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_table1.json"
+        assert main(["bench", "table1", "--save", str(path)]) == 0
+        capsys.readouterr()
+        baseline = json.loads(path.read_text())
+        for row in baseline["rows"]:
+            row["dp_gflops"] *= 2  # current run now looks 50% slower
+        path.write_text(json.dumps(baseline))
+        assert main(["bench", "table1", "--compare", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "bench comparison FAILED" in out
+
+    def test_compare_rejects_bad_baseline(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["bench", "table1", "--compare", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestMainModule:
     def test_python_dash_m_repro(self):
         import subprocess, sys
