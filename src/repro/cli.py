@@ -82,6 +82,9 @@ _EXPERIMENTS = {
     "fig9": (exp.fig9_reordering, ["matrix", "gflops_bro_ell", "gflops_bar",
                                    "bar_gain_pct", "rcm_gain_pct",
                                    "amd_gain_pct"]),
+    "wallclock": (exp.wallclock_engines, ["matrix", "format", "mode",
+                                          "build_time_ms", "ref_time_ms",
+                                          "fast_time_ms", "speedup"]),
 }
 
 
@@ -175,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "recorded scale); exit 1 on regressions")
     p.add_argument("--threshold", type=float, default=0.05,
                    help="relative regression threshold (default 0.05)")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   help="fail unless every row's 'speedup' column is >= X "
+                        "(used by the wallclock perf-smoke gate)")
 
     p = sub.add_parser(
         "profile", help="trace one full pipeline run and attribute time"
@@ -553,6 +559,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("bench comparison FAILED")
             return 1
         print("bench comparison passed: zero regressions")
+
+    if args.min_speedup is not None:
+        gated = [r for r in rows if "speedup" in r]
+        slow = [r for r in gated if r["speedup"] < args.min_speedup]
+        if not gated:
+            print(f"\nmin-speedup gate FAILED: no rows carry a 'speedup' column")
+            return 1
+        if slow:
+            print(f"\nmin-speedup gate FAILED ({args.min_speedup:.1f}x):")
+            for r in slow:
+                keys = [str(v) for v in r.values() if isinstance(v, str)]
+                print(f"  {' '.join(keys)}: {r['speedup']:.2f}x")
+            return 1
+        worst = min(r["speedup"] for r in gated)
+        print(f"\nmin-speedup gate passed: worst row {worst:.2f}x "
+              f">= {args.min_speedup:.1f}x")
     return 0
 
 

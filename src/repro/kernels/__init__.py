@@ -9,7 +9,9 @@ model (:mod:`repro.gpu.timing`) turns those counters into predicted time.
 """
 
 from .base import SpMVKernel, SpMVResult, available_kernels, get_kernel
-from .dispatch import run_spmv
+from .dispatch import run_spmm, run_spmv
+from .plan import SpMVPlan, has_planner, plannable_formats, prepare
+from .plancache import PLAN_CACHE, PlanCache
 from .spmv_bellpack import BELLPACKKernel
 from .spmv_coo import COOKernel
 from .spmv_csr import CSRVectorKernel
@@ -29,6 +31,13 @@ __all__ = [
     "available_kernels",
     "get_kernel",
     "run_spmv",
+    "run_spmm",
+    "SpMVPlan",
+    "prepare",
+    "has_planner",
+    "plannable_formats",
+    "PlanCache",
+    "PLAN_CACHE",
     "BELLPACKKernel",
     "COOKernel",
     "CSRVectorKernel",

@@ -9,6 +9,23 @@ library: with ``verify`` enabled it structurally validates the container
 reroutes the request to the fallback's reference kernel (typically CSR)
 instead of failing, recording the event in the per-process integrity
 counters and on the returned :class:`~repro.kernels.base.SpMVResult`.
+
+It is also the engine selector. Two execution engines produce identical
+results (same ``y`` bits, equal :class:`KernelCounters`):
+
+* ``"reference"`` — the stepwise simulated kernels, re-decoding every
+  packed stream on each call (Algorithm 1 as written).
+* ``"fast"`` — a prepared :class:`~repro.kernels.plan.SpMVPlan` that
+  decoded once and replays cached gather tables; plans come from the
+  ``plan=`` argument or an LRU :class:`~repro.kernels.plancache.PlanCache`.
+
+``engine="auto"`` (the default) keeps historical behavior: it uses the
+fast engine only when a plan source was supplied (``plan=`` or
+``plan_cache=``), so existing callers see the exact error types and span
+trees they always did, while solvers and benchmarks opt in by passing a
+cache. :func:`run_spmm` is the multi-RHS variant (``X`` of shape
+``(n, k)``), where ``"auto"`` prefers the fast engine outright because
+amortizing one decode across ``k`` vectors is the point of batching.
 """
 
 from __future__ import annotations
@@ -17,7 +34,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import ReproError, ValidationError
+from ..errors import KernelError, ReproError, ValidationError
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
 from ..integrity.checksums import is_sealed, verify_integrity
@@ -26,11 +43,16 @@ from ..integrity.validators import validate_structure
 from ..telemetry.tracer import NULL_SPAN, get_tracer
 from ..telemetry.tracer import span as _span
 from .base import SpMVResult, get_kernel
+from .plan import SpMVPlan, check_multi_x, has_planner
+from .plancache import PLAN_CACHE, PlanCache
 
-__all__ = ["run_spmv"]
+__all__ = ["run_spmv", "run_spmm"]
 
 #: Accepted ``verify`` levels, in increasing strictness.
 _VERIFY_LEVELS = (False, "structure", "checksum", "full")
+
+#: Accepted ``engine`` selectors.
+_ENGINES = ("auto", "fast", "reference")
 
 #: Exceptions treated as container-corruption symptoms on the guarded path.
 #: A corrupted container does not always fail with a typed ReproError —
@@ -57,6 +79,95 @@ def _verify_matrix(matrix: SparseFormat, level: str) -> None:
         verify_integrity(matrix)
 
 
+def _resolve_engine(
+    matrix: SparseFormat,
+    engine: str,
+    plan: Optional[SpMVPlan],
+    plan_cache: Optional[PlanCache],
+    *,
+    prefer_fast: bool,
+) -> str:
+    """Pick the engine for this call; validate the selector combination."""
+    if engine not in _ENGINES:
+        raise ValidationError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if plan is not None:
+        if engine == "reference":
+            raise ValidationError("plan= cannot be combined with engine='reference'")
+        return "fast"
+    if engine == "fast":
+        if not has_planner(matrix.format_name):
+            raise KernelError(
+                f"engine='fast' has no plan builder for format "
+                f"{matrix.format_name!r}; use engine='auto' or 'reference'"
+            )
+        return "fast"
+    if engine == "auto" and has_planner(matrix.format_name):
+        if prefer_fast or plan_cache is not None:
+            return "fast"
+    return "reference"
+
+
+def _check_plan(plan: SpMVPlan, matrix: SparseFormat, device: DeviceSpec) -> None:
+    if plan.matrix is not matrix:
+        raise ValidationError(
+            "plan was prepared for a different matrix object; re-run "
+            "prepare() (or use a PlanCache) after replacing the container"
+        )
+    if plan.device.name != device.name:
+        raise ValidationError(
+            f"plan was prepared for device {plan.device.name!r}, "
+            f"cannot execute on {device.name!r}"
+        )
+
+
+def _primary_spmv(
+    matrix: SparseFormat,
+    x: np.ndarray,
+    device: DeviceSpec,
+    engine: str,
+    plan: Optional[SpMVPlan],
+    plan_cache: Optional[PlanCache],
+) -> SpMVResult:
+    """Run the selected engine for one vector (no integrity handling)."""
+    if engine == "fast":
+        if plan is None:
+            cache = plan_cache if plan_cache is not None else PLAN_CACHE
+            plan = cache.get_or_build(matrix, device)
+        else:
+            _check_plan(plan, matrix, device)
+        return plan.execute(x)
+    return get_kernel(matrix.format_name).run(matrix, x, device)
+
+
+def _primary_spmm(
+    matrix: SparseFormat,
+    X: np.ndarray,
+    device: DeviceSpec,
+    engine: str,
+    plan: Optional[SpMVPlan],
+    plan_cache: Optional[PlanCache],
+) -> SpMVResult:
+    """Run the selected engine for a multi-RHS block (no integrity handling)."""
+    if engine == "fast":
+        if plan is None:
+            cache = plan_cache if plan_cache is not None else PLAN_CACHE
+            plan = cache.get_or_build(matrix, device)
+        else:
+            _check_plan(plan, matrix, device)
+        return plan.execute_many(X)
+    # Reference SpMM: k independent kernel runs, one per column. The
+    # summed counters equal the fast engine's scaled prototype because
+    # the accounting is x-independent (k identical records).
+    X = check_multi_x(matrix, X)
+    kernel = get_kernel(matrix.format_name)
+    results = [kernel.run(matrix, X[:, j], device) for j in range(X.shape[1])]
+    return SpMVResult(
+        y=np.stack([r.y for r in results], axis=1),
+        counters=sum(r.counters for r in results),
+        device=device,
+    )
+
+
 def run_spmv(
     matrix: SparseFormat,
     x: np.ndarray,
@@ -64,6 +175,9 @@ def run_spmv(
     *,
     verify: Union[bool, str, None] = False,
     fallback: Optional[SparseFormat] = None,
+    engine: str = "auto",
+    plan: Optional[SpMVPlan] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> SpMVResult:
     """Execute ``y = A @ x`` on the simulated device with the format's kernel.
 
@@ -89,6 +203,19 @@ def run_spmv(
         :class:`~repro.errors.ReproError` (or a NumPy-level corruption
         symptom: ``IndexError``, ``ValueError``, ``OverflowError``).
         Without a fallback the error propagates.
+    engine:
+        ``"auto"`` (default) — fast engine when a ``plan`` or
+        ``plan_cache`` was supplied and the format has a plan builder,
+        reference otherwise; ``"fast"`` — prepared-plan replay (raises
+        :class:`~repro.errors.KernelError` for formats without a
+        builder); ``"reference"`` — always the stepwise kernel.
+    plan:
+        A plan from :func:`repro.kernels.plan.prepare` to replay. Must
+        have been prepared for this exact ``matrix`` object and device.
+    plan_cache:
+        A :class:`~repro.kernels.plancache.PlanCache` to build/reuse the
+        plan from; defaults to the process-wide ``PLAN_CACHE`` when the
+        fast engine is selected without an explicit plan.
 
     Returns
     -------
@@ -100,21 +227,23 @@ def run_spmv(
     if isinstance(device, str):
         device = get_device(device)
     level = _normalize_verify(verify)
+    engine = _resolve_engine(matrix, engine, plan, plan_cache, prefer_fast=False)
 
     if level is False and fallback is None:
         # The historical fast path: no verification, failures propagate.
         # Telemetry-free unless a tracer is active (the kernel's own span
         # still fires inside run() when one is).
         if get_tracer() is None:
-            return get_kernel(matrix.format_name).run(matrix, x, device)
+            return _primary_spmv(matrix, x, device, engine, plan, plan_cache)
         with _span(
             "spmv.dispatch",
             "pipeline",
             format=matrix.format_name,
             device=device.name,
             verify="off",
+            engine=engine,
         ):
-            return get_kernel(matrix.format_name).run(matrix, x, device)
+            return _primary_spmv(matrix, x, device, engine, plan, plan_cache)
 
     with _span(
         "spmv.dispatch",
@@ -123,12 +252,16 @@ def run_spmv(
         device=device.name,
         verify=level if level is not False else "off",
         fallback=fallback.format_name if fallback is not None else None,
+        engine=engine,
     ) as sp:
         COUNTERS.record_verification()
         try:
             if level is not False:
                 _verify_matrix(matrix, level)
-            result = get_kernel(matrix.format_name).run(matrix, x, device)
+            # Plan building happens inside the guarded region: a corrupted
+            # stream fails the vectorized decode with the same typed
+            # errors the stepwise decoder raises, and degrades identically.
+            result = _primary_spmv(matrix, x, device, engine, plan, plan_cache)
         except _CORRUPTION_ERRORS as exc:
             COUNTERS.record_detection()
             if sp is not NULL_SPAN:
@@ -140,6 +273,80 @@ def run_spmv(
                 COUNTERS.record_raised()
                 raise
             result = get_kernel(fallback.format_name).run(fallback, x, device)
+            COUNTERS.record_fallback()
+            if sp is not NULL_SPAN:
+                sp.event("integrity.fallback", format=fallback.format_name)
+            result.fault_detected = True
+            result.fallback_used = True
+            result.integrity_error = f"{type(exc).__name__}: {exc}"
+        result.integrity_counters = COUNTERS.snapshot()
+        return result
+
+
+def run_spmm(
+    matrix: SparseFormat,
+    X: np.ndarray,
+    device: DeviceSpec | str = "k20",
+    *,
+    verify: Union[bool, str, None] = False,
+    fallback: Optional[SparseFormat] = None,
+    engine: str = "auto",
+    plan: Optional[SpMVPlan] = None,
+    plan_cache: Optional[PlanCache] = None,
+) -> SpMVResult:
+    """Execute ``Y = A @ X`` for a multi-RHS block ``X`` of shape ``(n, k)``.
+
+    Column ``j`` of the result is bit-identical to ``run_spmv(matrix,
+    X[:, j], ...)``, and the counters equal the sum of the ``k``
+    single-vector records. ``engine="auto"`` prefers the fast engine for
+    every plannable format (one decode amortized over ``k`` vectors);
+    other parameters behave exactly as in :func:`run_spmv`.
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    level = _normalize_verify(verify)
+    engine = _resolve_engine(matrix, engine, plan, plan_cache, prefer_fast=True)
+
+    if level is False and fallback is None:
+        if get_tracer() is None:
+            return _primary_spmm(matrix, X, device, engine, plan, plan_cache)
+        with _span(
+            "spmm.dispatch",
+            "pipeline",
+            format=matrix.format_name,
+            device=device.name,
+            verify="off",
+            engine=engine,
+        ):
+            return _primary_spmm(matrix, X, device, engine, plan, plan_cache)
+
+    with _span(
+        "spmm.dispatch",
+        "pipeline",
+        format=matrix.format_name,
+        device=device.name,
+        verify=level if level is not False else "off",
+        fallback=fallback.format_name if fallback is not None else None,
+        engine=engine,
+    ) as sp:
+        COUNTERS.record_verification()
+        try:
+            if level is not False:
+                _verify_matrix(matrix, level)
+            result = _primary_spmm(matrix, X, device, engine, plan, plan_cache)
+        except _CORRUPTION_ERRORS as exc:
+            COUNTERS.record_detection()
+            if sp is not NULL_SPAN:
+                sp.event(
+                    "integrity.detected",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            if fallback is None:
+                COUNTERS.record_raised()
+                raise
+            result = _primary_spmm(
+                fallback, X, device, "reference", None, None
+            )
             COUNTERS.record_fallback()
             if sp is not NULL_SPAN:
                 sp.event("integrity.fallback", format=fallback.format_name)

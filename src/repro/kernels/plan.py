@@ -1,0 +1,827 @@
+"""Prepared-plan SpMV execution: decode once, replay for every ``x``.
+
+The simulated kernels re-derive everything on every call — the stepwise
+:class:`~repro.bitstream.reader.SliceDecoder` walk, the texture-cache
+model, the transaction counting — even though none of it depends on the
+input vector. Iterative solvers and the benchmark sweeps call SpMV with
+the *same* matrix hundreds of times, so this module separates the two
+phases the way SMASH-style schemes separate setup from multiply:
+
+* :func:`prepare` runs the decode exactly once per (matrix, device) using
+  the vectorized :func:`~repro.bitstream.packing.unpack_slice` instead of
+  the per-column decoder loop, and caches everything that is independent
+  of ``x``: per-slice gather indices, validity masks, transposed value
+  blocks, and the *entire* traffic accounting as a
+  :class:`~repro.gpu.counters.KernelCounters` prototype.
+* :meth:`SpMVPlan.execute` replays the plan for one ``x`` — a handful of
+  NumPy gathers/FMAs plus a counter copy.
+* :meth:`SpMVPlan.execute_many` batches a multi-RHS ``X`` of shape
+  ``(n, k)`` through one plan (SpMM), amortizing the single decode across
+  ``k`` vectors.
+
+Equivalence contract
+--------------------
+A plan replay is **bit-identical** to the reference kernel — same ``y``
+to the last ulp and an equal :class:`KernelCounters` record — because the
+replay performs the same floating-point operations in the same order
+(sequential per-column accumulation, the same ``np.where`` masking, the
+same element-ordered ``np.add.at`` scatter) and the counters prototype
+reproduces the reference accounting term by term
+(``symbol_loads == row_stream_symbols`` for a fully-consumed stream, and
+the texture-cache model depends only on the decoded access pattern).
+``tests/kernels/test_plan_equivalence.py`` enforces this for every suite
+matrix, every BRO format and both symbol lengths.
+
+Telemetry
+---------
+Replays emit the same ``kernel.<format>`` span and per-format
+:func:`~repro.telemetry.metrics.record_kernel` metrics as the reference
+engine (with an ``engine="fast"`` attribute); plan builds emit a
+``spmv.plan`` span and ``plan.builds`` / ``plan.build_seconds`` counters.
+Texture-cache and bitstream-decode metrics are emitted once at build time
+rather than per call — they are properties of the structure, not the run.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bitstream.packing import row_stream_symbols, unpack_slice
+from ..core.bro_coo import BROCOOMatrix, adaptive_interval_size
+from ..core.bro_ell import BROELLMatrix
+from ..core.bro_hyb import BROHYBMatrix
+from ..core.multirow import MultiRowBROELL
+from ..core.value_compression import BROELLVCMatrix
+from ..errors import KernelError, ValidationError
+from ..formats.base import SparseFormat
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.ellpack import ELLPACKMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import (
+    DECODE_OPS_PER_ITER,
+    DECODE_OPS_PER_LOAD,
+    DeviceSpec,
+    get_device,
+)
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..gpu.warp import warp_reduce_flops
+from ..telemetry import metrics as _metrics
+from ..telemetry import tracer as _tracer
+from ..telemetry.tracer import span as _span
+from ..types import VALUE_DTYPE
+from ..utils.bits import ceil_div
+
+from .base import SpMVResult
+from .spmv_coo import coo_segmented_counters
+
+__all__ = [
+    "SpMVPlan",
+    "prepare",
+    "register_planner",
+    "has_planner",
+    "plannable_formats",
+    "check_multi_x",
+]
+
+
+def check_multi_x(matrix: SparseFormat, X: np.ndarray) -> np.ndarray:
+    """Validate a multi-RHS block ``X`` of shape ``(n, k)`` for SpMM."""
+    X = np.asarray(X, dtype=VALUE_DTYPE)
+    if X.ndim != 2 or X.shape[0] != matrix.shape[1] or X.shape[1] < 1:
+        raise ValidationError(
+            f"X must have shape ({matrix.shape[1]}, k) with k >= 1, "
+            f"got shape {X.shape}"
+        )
+    return X
+
+
+class SpMVPlan(ABC):
+    """A prepared, x-independent execution plan for one (matrix, device).
+
+    Holds a strong reference to its matrix (so a cached plan can never be
+    confused with a new object reusing the same ``id``), the device spec,
+    and a :class:`KernelCounters` prototype that every replay copies.
+    """
+
+    #: format this plan executes (matches ``SparseFormat.format_name``).
+    format_name: str = ""
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+    ) -> None:
+        self.matrix = matrix
+        self.device = device
+        self._counters = counters
+        #: wall-clock seconds the one-time build took (set by prepare()).
+        self.build_seconds = 0.0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    def counters(self, k: int = 1) -> KernelCounters:
+        """A fresh counters record for a ``k``-vector replay.
+
+        ``k`` sequential products scale every traffic/flop/launch counter
+        linearly; ``threads`` stays the per-launch grid size (the
+        occupancy model sees the same grid ``k`` times, not a bigger one).
+        """
+        c = self._counters
+        if k == 1:
+            return replace(c)
+        return KernelCounters(
+            index_bytes=c.index_bytes * k,
+            value_bytes=c.value_bytes * k,
+            x_bytes=c.x_bytes * k,
+            y_bytes=c.y_bytes * k,
+            aux_bytes=c.aux_bytes * k,
+            useful_flops=c.useful_flops * k,
+            issued_flops=c.issued_flops * k,
+            decode_ops=c.decode_ops * k,
+            launches=c.launches * k,
+            threads=c.threads,
+        )
+
+    # -- execution ------------------------------------------------------
+    def execute(self, x: np.ndarray) -> SpMVResult:
+        """Replay the plan for one input vector."""
+        x = self.matrix.check_x(x)
+        tracer = _tracer.get_tracer()
+        if tracer is None and not _metrics.collecting():
+            return SpMVResult(
+                y=self._replay(x), counters=self.counters(), device=self.device
+            )
+        return self._instrumented(tracer, lambda: self._replay(x), 1)
+
+    def execute_many(self, X: np.ndarray) -> SpMVResult:
+        """Replay the plan for a multi-RHS block ``X`` of shape ``(n, k)``.
+
+        Returns an :class:`SpMVResult` whose ``y`` has shape ``(m, k)``;
+        column ``j`` is bit-identical to ``execute(X[:, j]).y``.
+        """
+        X = check_multi_x(self.matrix, X)
+        k = X.shape[1]
+        tracer = _tracer.get_tracer()
+        if tracer is None and not _metrics.collecting():
+            return SpMVResult(
+                y=self._replay_many(X), counters=self.counters(k),
+                device=self.device,
+            )
+        return self._instrumented(tracer, lambda: self._replay_many(X), k)
+
+    def _instrumented(
+        self, tracer, fn: Callable[[], np.ndarray], k: int
+    ) -> SpMVResult:
+        """Replay under the same span/metric protocol as ``SpMVKernel.run``."""
+        if tracer is not None:
+            attrs = {
+                "format": self.format_name,
+                "device": self.device.name,
+                "engine": "fast",
+            }
+            if k != 1:
+                attrs["k"] = k
+            with tracer.start(f"kernel.{self.format_name}", "kernel", attrs) as sp:
+                result = SpMVResult(
+                    y=fn(), counters=self.counters(k), device=self.device
+                )
+                sp.attach_counters(result.counters)
+                try:
+                    sp.attach_timing(result.timing)
+                except ValidationError:  # pragma: no cover - defensive
+                    pass
+        else:
+            result = SpMVResult(
+                y=fn(), counters=self.counters(k), device=self.device
+            )
+        _metrics.record_kernel(self.format_name, self.device.name, result.counters)
+        return result
+
+    # -- format-specific replay -----------------------------------------
+    @abstractmethod
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``y`` for one validated ``x``."""
+
+    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        # Generic fallback: one replay per column. Formats whose replay
+        # vectorizes across columns without changing the per-column
+        # floating-point order override this.
+        return np.stack(
+            [self._replay(X[:, j]) for j in range(X.shape[1])], axis=1
+        )
+
+
+# ----------------------------------------------------------------------
+# Planner registry
+# ----------------------------------------------------------------------
+_PLANNERS: Dict[str, Callable[[SparseFormat, DeviceSpec], SpMVPlan]] = {}
+
+
+def register_planner(format_name: str):
+    """Decorator registering a plan builder for a format name."""
+
+    def deco(fn: Callable[[SparseFormat, DeviceSpec], SpMVPlan]):
+        if format_name in _PLANNERS:
+            raise KernelError(f"planner for format {format_name!r} registered twice")
+        _PLANNERS[format_name] = fn
+        return fn
+
+    return deco
+
+
+def has_planner(format_name: str) -> bool:
+    """Whether :func:`prepare` supports the format."""
+    return format_name in _PLANNERS
+
+
+def plannable_formats() -> Tuple[str, ...]:
+    """Format names with a prepared-plan builder."""
+    return tuple(sorted(_PLANNERS))
+
+
+def prepare(matrix: SparseFormat, device: DeviceSpec | str = "k20") -> SpMVPlan:
+    """Build an :class:`SpMVPlan` — the one-time decode + accounting pass.
+
+    Raises :class:`~repro.errors.KernelError` for formats without a plan
+    builder (they stay on the reference engine) and propagates the same
+    typed errors a reference run would raise on a corrupted container.
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    builder = _PLANNERS.get(matrix.format_name)
+    if builder is None:
+        raise KernelError(
+            f"no prepared-plan builder for format {matrix.format_name!r}; "
+            f"plannable formats: {plannable_formats()}"
+        )
+    t0 = time.perf_counter()
+    with _span(
+        "spmv.plan", "pipeline", format=matrix.format_name, device=device.name
+    ):
+        plan = builder(matrix, device)
+    plan.build_seconds = time.perf_counter() - t0
+    _metrics.record_plan_build(matrix.format_name, device.name, plan.build_seconds)
+    return plan
+
+
+def _check_plan_type(matrix: SparseFormat, expected: type) -> None:
+    if not isinstance(matrix, expected):
+        raise KernelError(
+            f"planner needs a {expected.__name__}, got {type(matrix).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+# BRO-ELL (and the value-compressed variant, which shares the replay)
+# ----------------------------------------------------------------------
+def _decode_ell_slice(
+    stream_view: np.ndarray, bit_alloc: np.ndarray, h_i: int, sym_len: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized decode of one slice: ``(cols, valid, gather)`` blocks.
+
+    ``cols`` is the running column index (``col_idx - 1`` of Algorithm 1,
+    cumulative over deltas), ``valid`` the non-zero-delta mask, and
+    ``gather`` the x-gather index with invalid lanes parked on 0 — exactly
+    the values the stepwise kernel computes column by column.
+    """
+    deltas = unpack_slice(stream_view, bit_alloc, h_i, sym_len)
+    valid = deltas != 0
+    cols = np.cumsum(deltas, axis=1) - 1
+    gather = np.where(valid, cols, 0)
+    return cols, valid, gather
+
+
+def _ell_slice_traffic(
+    cols: np.ndarray,
+    valid: np.ndarray,
+    bit_alloc: np.ndarray,
+    h_i: int,
+    sym_len: int,
+    device: DeviceSpec,
+    tex: TextureCacheModel,
+) -> Tuple[int, int, int, int]:
+    """Per-slice traffic terms shared by the BRO-ELL and VC planners.
+
+    Returns ``(idx_tx, warp_valid_cols, x_bytes, decode_ops)``. A fully
+    consumed stream costs exactly ``row_stream_symbols`` coalesced loads —
+    the stepwise decoder's ``symbol_loads`` equals ``ceil(total_bits /
+    sym_len)`` because it loads lazily and the packer emits no spare
+    symbols — so the prototype needs no decoder walk.
+    """
+    ws = device.warp_size
+    tb = device.transaction_bytes
+    l_i = valid.shape[1]
+    n_sym = row_stream_symbols(bit_alloc, sym_len)
+    idx_tx = n_sym * contiguous_transactions(h_i, sym_len // 8, ws, tb)
+    warps = ceil_div(h_i, ws)
+    pad_rows = warps * ws - h_i
+    warp_valid = np.any(
+        np.vstack([valid, np.zeros((pad_rows, l_i), dtype=bool)])
+        .reshape(warps, ws, l_i),
+        axis=1,
+    )
+    x_bytes = tex.block_x_bytes(cols, valid)
+    decode_ops = DECODE_OPS_PER_ITER * h_i * l_i + DECODE_OPS_PER_LOAD * n_sym * h_i
+    return idx_tx, int(warp_valid.sum()), x_bytes, decode_ops
+
+
+#: One prepared slice: (r0, r1, vals_T, gather_T, valid_T), all (l_i, h_i)
+#: C-contiguous so the replay's per-column accumulation reads rows.
+_EllSlice = Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]
+
+
+class BROELLPlan(SpMVPlan):
+    """Replay plan for Algorithm 1: gather, mask, accumulate per column."""
+
+    format_name = "bro_ell"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        slices: List[_EllSlice],
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._slices = slices
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t in self._slices:
+            # Same ops, same order as the stepwise kernel: a masked FMA
+            # per column, accumulated sequentially (not pairwise), so the
+            # result is bit-identical — including the -0.0 and 0*inf
+            # corner cases the np.where masking preserves.
+            prod = np.where(valid_t, vals_t * x[gather_t], 0.0)
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[r0:r1] = acc
+        return y
+
+    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        k = X.shape[1]
+        y = np.zeros((self.matrix.shape[0], k), dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t in self._slices:
+            prod = np.where(
+                valid_t[:, :, None], vals_t[:, :, None] * X[gather_t], 0.0
+            )
+            acc = np.zeros((r1 - r0, k), dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[r0:r1] = acc
+        return y
+
+
+@register_planner("bro_ell")
+def _plan_bro_ell(matrix: SparseFormat, device: DeviceSpec) -> BROELLPlan:
+    _check_plan_type(matrix, BROELLMatrix)
+    assert isinstance(matrix, BROELLMatrix)
+    m, _ = matrix.shape
+    launch = LaunchConfig(matrix.h, max(1, matrix.num_slices))
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+    val_per_iter = ceil_div(ws * 8, tb)
+
+    idx_tx = val_tx = x_bytes = decode_ops = 0
+    slices: List[_EllSlice] = []
+    for r0, r1, bit_alloc, stream_view, val_block in matrix.iter_slices():
+        h_i, l_i = val_block.shape
+        if l_i == 0:
+            continue
+        cols, valid, gather = _decode_ell_slice(
+            stream_view, bit_alloc, h_i, matrix.sym_len
+        )
+        s_idx_tx, warp_cols, s_x_bytes, s_decode = _ell_slice_traffic(
+            cols, valid, bit_alloc, h_i, matrix.sym_len, device, tex
+        )
+        idx_tx += s_idx_tx
+        val_tx += warp_cols * val_per_iter
+        x_bytes += s_x_bytes
+        decode_ops += s_decode
+        slices.append(
+            (
+                r0,
+                r1,
+                np.ascontiguousarray(val_block.T),
+                np.ascontiguousarray(gather.T),
+                np.ascontiguousarray(valid.T),
+            )
+        )
+
+    counters = KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+        aux_bytes=int(matrix.num_col.sum()) + 4 * matrix.num_slices,
+        useful_flops=2 * matrix.nnz,
+        issued_flops=2 * matrix.nnz,
+        decode_ops=decode_ops,
+        launches=1,
+        threads=launch.total_threads,
+    )
+    return BROELLPlan(matrix, device, counters, slices)
+
+
+class BROELLVCPlan(BROELLPlan):
+    """Same replay as BRO-ELL; values were decoded once at build time."""
+
+    format_name = "bro_ell_vc"
+
+
+@register_planner("bro_ell_vc")
+def _plan_bro_ell_vc(matrix: SparseFormat, device: DeviceSpec) -> BROELLVCPlan:
+    _check_plan_type(matrix, BROELLVCMatrix)
+    assert isinstance(matrix, BROELLVCMatrix)
+    m, _ = matrix.shape
+    launch = LaunchConfig(matrix.h, max(1, matrix.num_slices))
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+
+    idx_tx = val_bytes = x_bytes = decode_ops = 0
+    slices: List[_EllSlice] = []
+    for i in range(matrix.num_slices):
+        r0 = int(matrix.slice_edges[i])
+        r1 = int(matrix.slice_edges[i + 1])
+        h_i = r1 - r0
+        l_i = int(matrix.num_col[i])
+        if l_i == 0:
+            continue
+        bit_alloc = matrix.bit_allocs[i]
+        cols, valid, gather = _decode_ell_slice(
+            matrix.stream.slice_view(i), bit_alloc, h_i, matrix.sym_len
+        )
+        val_block = matrix.decoded_val_block(i)
+        s_idx_tx, warp_cols, s_x_bytes, s_decode = _ell_slice_traffic(
+            cols, valid, bit_alloc, h_i, matrix.sym_len, device, tex
+        )
+        idx_tx += s_idx_tx
+        vs = matrix.value_slices[i]
+        if vs.raw is not None:
+            val_bytes += warp_cols * ceil_div(ws * 8, tb) * tb
+        else:
+            val_bytes += int(vs.codes.nbytes) + int(vs.dictionary.nbytes)
+            decode_ops += DECODE_OPS_PER_ITER * h_i * l_i
+        x_bytes += s_x_bytes
+        decode_ops += s_decode
+        slices.append(
+            (
+                r0,
+                r1,
+                np.ascontiguousarray(val_block.T),
+                np.ascontiguousarray(gather.T),
+                np.ascontiguousarray(valid.T),
+            )
+        )
+
+    counters = KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=int(val_bytes),
+        x_bytes=x_bytes,
+        y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+        aux_bytes=int(matrix.num_col.sum()) + 4 * matrix.num_slices,
+        useful_flops=2 * matrix.nnz,
+        issued_flops=2 * matrix.nnz,
+        decode_ops=decode_ops,
+        launches=1,
+        threads=launch.total_threads,
+    )
+    return BROELLVCPlan(matrix, device, counters, slices)
+
+
+# ----------------------------------------------------------------------
+# BRO-ELL multi-thread-per-row: inner plan + fold
+# ----------------------------------------------------------------------
+class MultiRowBROELLPlan(SpMVPlan):
+    """Inner BRO-ELL plan over the row-split storage plus the fold."""
+
+    format_name = "bro_ell_mt"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        inner_plan: BROELLPlan,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._inner_plan = inner_plan
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        inner = self._inner_plan.execute(x)
+        return self.matrix.fold(inner.y)
+
+    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        partial = self._inner_plan.execute_many(X).y
+        m = self.matrix.shape[0]
+        t = self.matrix.threads_per_row
+        return partial.reshape(m, t, X.shape[1]).sum(axis=1)
+
+
+@register_planner("bro_ell_mt")
+def _plan_bro_ell_mt(matrix: SparseFormat, device: DeviceSpec) -> MultiRowBROELLPlan:
+    _check_plan_type(matrix, MultiRowBROELL)
+    assert isinstance(matrix, MultiRowBROELL)
+    inner_plan = _plan_bro_ell(matrix.inner, device)
+    counters = inner_plan.counters()
+    m = matrix.shape[0]
+    t = matrix.threads_per_row
+    counters.y_bytes = (
+        contiguous_transactions(m, 8, device.warp_size, device.transaction_bytes)
+        * device.transaction_bytes
+    )
+    counters.issued_flops += m * (t - 1)
+    return MultiRowBROELLPlan(matrix, device, counters, inner_plan)
+
+
+# ----------------------------------------------------------------------
+# BRO-COO: cached decoded rows + vectorized segmented reduction
+# ----------------------------------------------------------------------
+class BROCOOPlan(SpMVPlan):
+    """Replay: multiply against the cached decoded (padded) row indices."""
+
+    format_name = "bro_coo"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        rows: np.ndarray,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._rows = rows
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        products = self.matrix.vals * x[self.matrix.col_idx]
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, self._rows, products)
+        return y
+
+    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        products = self.matrix.vals[:, None] * X[self.matrix.col_idx]
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, self._rows, products)
+        return y
+
+
+@register_planner("bro_coo")
+def _plan_bro_coo(matrix: SparseFormat, device: DeviceSpec) -> BROCOOPlan:
+    _check_plan_type(matrix, BROCOOMatrix)
+    assert isinstance(matrix, BROCOOMatrix)
+    ws_fmt = matrix.warp_size
+    tb = device.transaction_bytes
+    sym_len = matrix.stream.sym_len
+
+    rows = np.zeros(matrix.padded_nnz, dtype=np.int64)
+    decode_ops = 0
+    idx_stream_tx = 0
+    for i, lo, hi, _stream_view in matrix.iter_intervals():
+        L = matrix.interval_lanes(i)
+        block = matrix.decode_interval_rows(i)  # (w, L), cumulative - 1
+        rows[lo:hi] = block.T.reshape(-1)[: hi - lo]
+        bits = L * int(matrix.bit_alloc[i])
+        n_sym = ceil_div(bits, sym_len) if bits else 0
+        idx_stream_tx += n_sym * contiguous_transactions(
+            ws_fmt, sym_len // 8, device.warp_size, tb
+        )
+        decode_ops += DECODE_OPS_PER_ITER * ws_fmt * L
+        decode_ops += DECODE_OPS_PER_LOAD * n_sym * ws_fmt
+
+    counters = coo_segmented_counters(
+        rows,
+        matrix.col_idx.astype(np.int64),
+        matrix.padded_nnz,
+        device,
+        matrix.interval_size,
+    )
+    counters.index_bytes += idx_stream_tx * tb
+    counters.aux_bytes += matrix.num_intervals
+    counters.decode_ops = decode_ops
+    counters.useful_flops = 2 * matrix.nnz
+    if matrix.padded_nnz == 0:
+        counters.threads = device.warp_size
+    return BROCOOPlan(matrix, device, counters, rows)
+
+
+# ----------------------------------------------------------------------
+# BRO-HYB: composed ELL + COO sub-plans (two launches, like the kernel)
+# ----------------------------------------------------------------------
+class BROHYBPlan(SpMVPlan):
+    """Composition of the part plans, mirroring the two-launch kernel."""
+
+    format_name = "bro_hyb"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        ell_plan: Optional[BROELLPlan],
+        coo_plan: Optional[BROCOOPlan],
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._ell_plan = ell_plan
+        self._coo_plan = coo_plan
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        if self._ell_plan is not None:
+            y = self._ell_plan.execute(x).y
+        else:
+            y = np.zeros(m)
+        if self._coo_plan is not None:
+            y = y + self._coo_plan.execute(x).y
+        return y
+
+    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        if self._ell_plan is not None:
+            y = self._ell_plan.execute_many(X).y
+        else:
+            y = np.zeros((m, X.shape[1]))
+        if self._coo_plan is not None:
+            y = y + self._coo_plan.execute_many(X).y
+        return y
+
+
+@register_planner("bro_hyb")
+def _plan_bro_hyb(matrix: SparseFormat, device: DeviceSpec) -> BROHYBPlan:
+    _check_plan_type(matrix, BROHYBMatrix)
+    assert isinstance(matrix, BROHYBMatrix)
+    ell_plan = _plan_bro_ell(matrix.ell, device) if matrix.ell.nnz else None
+    coo_plan = (
+        _plan_bro_coo(matrix.coo, device) if matrix.coo.padded_nnz else None
+    )
+    if ell_plan is not None:
+        counters = ell_plan.counters()
+    else:
+        counters = KernelCounters(launches=0, threads=device.warp_size)
+    if coo_plan is not None:
+        counters = counters + coo_plan.counters()
+    return BROHYBPlan(matrix, device, counters, ell_plan, coo_plan)
+
+
+# ----------------------------------------------------------------------
+# Uncompressed baselines: the functional replay is already one gather
+# away, but the traffic accounting (texture-cache walks over every block
+# or row) dominates the reference call — caching it is the whole win.
+# ----------------------------------------------------------------------
+class ELLPACKPlan(SpMVPlan):
+    format_name = "ellpack"
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        if mat.k:
+            return np.einsum("ij,ij->i", mat.vals, x[mat.col_idx])
+        return np.zeros(mat.shape[0], VALUE_DTYPE)
+
+
+@register_planner("ellpack")
+def _plan_ellpack(matrix: SparseFormat, device: DeviceSpec) -> ELLPACKPlan:
+    _check_plan_type(matrix, ELLPACKMatrix)
+    assert isinstance(matrix, ELLPACKMatrix)
+    m, _ = matrix.shape
+    k = matrix.k
+    threads_per_block = 256  # ELLPACKKernel's default launch shape
+    launch = LaunchConfig.for_rows(m, threads_per_block)
+    tb = device.transaction_bytes
+    ws = device.warp_size
+
+    idx_tx = k * contiguous_transactions(m, 4, ws, tb)
+    val_tx = k * contiguous_transactions(m, 8, ws, tb)
+    y_tx = contiguous_transactions(m, 8, ws, tb)
+
+    tex = TextureCacheModel(device)
+    x_bytes = 0
+    for r0 in range(0, m, threads_per_block):
+        block_cols = matrix.col_idx[r0 : r0 + threads_per_block]
+        x_bytes += tex.block_x_bytes(
+            block_cols, np.ones(block_cols.shape, dtype=bool)
+        )
+
+    counters = KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=y_tx * tb,
+        useful_flops=2 * matrix.nnz,
+        issued_flops=2 * m * k,
+        launches=1,
+        threads=launch.total_threads,
+    )
+    return ELLPACKPlan(matrix, device, counters)
+
+
+class COOPlan(SpMVPlan):
+    format_name = "coo"
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros(mat.shape[0], dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, mat.row_idx, mat.vals * x[mat.col_idx])
+        return y
+
+    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, mat.row_idx, mat.vals[:, None] * X[mat.col_idx])
+        return y
+
+
+@register_planner("coo")
+def _plan_coo(matrix: SparseFormat, device: DeviceSpec) -> COOPlan:
+    _check_plan_type(matrix, COOMatrix)
+    assert isinstance(matrix, COOMatrix)
+    ws = device.warp_size
+    tb = device.transaction_bytes
+    n = ceil_div(matrix.nnz, ws) * ws if matrix.nnz else 0
+    row = np.zeros(n, dtype=np.int64)
+    col = np.zeros(n, dtype=np.int64)
+    row[: matrix.nnz] = matrix.row_idx
+    col[: matrix.nnz] = matrix.col_idx
+    if matrix.nnz:
+        row[matrix.nnz :] = int(matrix.row_idx[-1])
+
+    interval = adaptive_interval_size(n, ws)
+    counters = coo_segmented_counters(row, col, n, device, interval)
+    counters.index_bytes += contiguous_transactions(n, 4, ws, tb) * tb
+    counters.useful_flops = 2 * matrix.nnz
+    if n == 0:
+        counters.threads = ws
+    return COOPlan(matrix, device, counters)
+
+
+class CSRPlan(SpMVPlan):
+    format_name = "csr"
+
+    def _replay(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix.spmv(x)
+
+
+@register_planner("csr")
+def _plan_csr(matrix: SparseFormat, device: DeviceSpec) -> CSRPlan:
+    _check_plan_type(matrix, CSRMatrix)
+    assert isinstance(matrix, CSRMatrix)
+    m, _ = matrix.shape
+    ws = device.warp_size
+    tb = device.transaction_bytes
+    launch = LaunchConfig.for_warps(m, ws)
+
+    lengths = matrix.row_lengths()
+    starts = matrix.indptr[:-1]
+    misaligned_idx = ((starts * 4) % tb != 0) & (lengths > 0)
+    misaligned_val = ((starts * 8) % tb != 0) & (lengths > 0)
+    idx_tx = int(np.ceil(lengths * 4 / tb).sum() + misaligned_idx.sum())
+    val_tx = int(np.ceil(lengths * 8 / tb).sum() + misaligned_val.sum())
+    y_tx = contiguous_transactions(m, 8, ws, tb)
+    aux_tx = contiguous_transactions(m + 1, 4, ws, tb)
+
+    tex = TextureCacheModel(device)
+    x_bytes = 0
+    for r in range(m):
+        lo, hi = int(matrix.indptr[r]), int(matrix.indptr[r + 1])
+        if lo == hi:
+            continue
+        L = ceil_div(hi - lo, ws)
+        block = np.zeros(L * ws, dtype=np.int64)
+        block[: hi - lo] = matrix.indices[lo:hi]
+        valid = np.zeros(L * ws, dtype=bool)
+        valid[: hi - lo] = True
+        x_bytes += (
+            tex.warp_sequence_fetches(
+                block.reshape(L, ws).T, valid.reshape(L, ws).T
+            )
+            * device.tex_line_bytes
+        )
+
+    counters = KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=y_tx * tb,
+        aux_bytes=aux_tx * tb,
+        useful_flops=2 * matrix.nnz,
+        issued_flops=2 * matrix.nnz + warp_reduce_flops(ws) * m,
+        launches=1,
+        threads=launch.total_threads,
+    )
+    return CSRPlan(matrix, device, counters)

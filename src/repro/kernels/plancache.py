@@ -1,0 +1,174 @@
+"""Bounded LRU cache of prepared SpMV plans, keyed by container identity.
+
+A plan is valid only for the exact bytes it decoded, so cache entries are
+keyed by ``(id(matrix), format_name, device)`` and guarded by the
+integrity layer's CRC32 fingerprint: each entry remembers the header
+token the container carried when its plan was built, and a lookup whose
+current token differs — the container was re-sealed after mutation —
+invalidates the stale plan and rebuilds. Entries hold a strong reference
+to their matrix (via the plan), so a cached ``id`` can never be recycled
+to a different object while the entry lives.
+
+Validation levels per lookup:
+
+* ``"none"`` — trust the key; no fingerprint comparison.
+* ``"header"`` (default) — compare the *attached* header token; catches
+  every mutate-then-reseal cycle at the cost of one attribute read.
+* ``"full"`` — recompute the CRC32 header from the current array bytes
+  and compare; also catches silent (unsealed) mutation, at O(bytes) cost.
+
+Unsealed containers cache fine (token ``None``) but then only ``"full"``
+can detect mutation — seal containers you intend to mutate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+from ..formats.base import SparseFormat
+from ..gpu.device import DeviceSpec, get_device
+from ..integrity.checksums import IntegrityHeader, compute_header, get_header
+from ..telemetry import metrics as _metrics
+from .plan import SpMVPlan, prepare
+
+__all__ = ["PlanCache", "PLAN_CACHE", "fingerprint_token"]
+
+_Key = Tuple[int, str, str]
+_Token = Optional[Tuple[str, int, Tuple[Tuple[str, int], ...]]]
+
+
+def fingerprint_token(header: Optional[IntegrityHeader]) -> _Token:
+    """Hashable identity token of an integrity header (``None`` if unsealed)."""
+    if header is None:
+        return None
+    return (
+        header.format_name,
+        header.meta_crc,
+        tuple(sorted(header.field_crcs.items())),
+    )
+
+
+class PlanCache:
+    """Thread-safe bounded LRU cache of :class:`SpMVPlan` objects."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[_Key, Tuple[SpMVPlan, _Token]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "builds": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+
+    # -- internal -------------------------------------------------------
+    @staticmethod
+    def _key(matrix: SparseFormat, device: DeviceSpec) -> _Key:
+        return (id(matrix), matrix.format_name, device.name)
+
+    def _current_token(self, matrix: SparseFormat, validate: str) -> _Token:
+        if validate == "full":
+            return fingerprint_token(compute_header(matrix))
+        return fingerprint_token(get_header(matrix))
+
+    def _bump(self, event: str, count: int = 1) -> None:
+        self._stats[event] += count
+        _metrics.record_plan_cache(event, count)
+
+    # -- public API -----------------------------------------------------
+    def get_or_build(
+        self,
+        matrix: SparseFormat,
+        device: Union[DeviceSpec, str] = "k20",
+        *,
+        validate: str = "header",
+    ) -> SpMVPlan:
+        """Return a cached plan for ``(matrix, device)``, building on miss.
+
+        ``validate`` selects the staleness check (see module docstring).
+        """
+        if validate not in ("none", "header", "full"):
+            raise ValueError(f"unknown validate level {validate!r}")
+        if isinstance(device, str):
+            device = get_device(device)
+        key = self._key(matrix, device)
+
+        token: _Token = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                plan, cached_token = entry
+                if validate == "none":
+                    self._entries.move_to_end(key)
+                    self._bump("hits")
+                    return plan
+                token = self._current_token(matrix, validate)
+                if cached_token == token:
+                    self._entries.move_to_end(key)
+                    self._bump("hits")
+                    return plan
+                # Fingerprint changed under us: the container was mutated
+                # (and re-sealed, for "header"); the plan is stale.
+                del self._entries[key]
+                self._bump("invalidations")
+            else:
+                if validate != "none":
+                    token = self._current_token(matrix, validate)
+            self._bump("misses")
+
+        # Build outside the lock — builds are the expensive part and must
+        # not serialize unrelated lookups. A concurrent duplicate build of
+        # the same key is possible; the last insert wins, which is safe
+        # because equal inputs produce equivalent plans.
+        plan = prepare(matrix, device)
+        with self._lock:
+            self._bump("builds")
+            self._entries[key] = (plan, token)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._bump("evictions")
+        return plan
+
+    def invalidate(self, matrix: SparseFormat) -> int:
+        """Drop every cached plan for ``matrix`` (all devices); return count."""
+        mid = id(matrix)
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == mid]
+            for k in doomed:
+                del self._entries[k]
+            if doomed:
+                self._bump("invalidations", len(doomed))
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the LRU order (stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Copy of the lifetime hit/miss/build/eviction/invalidation counts."""
+        with self._lock:
+            return dict(self._stats)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, matrix: object) -> bool:
+        if not isinstance(matrix, SparseFormat):
+            return False
+        mid = id(matrix)
+        with self._lock:
+            return any(k[0] == mid for k in self._entries)
+
+
+#: Process-wide default cache used by ``run_spmv(engine="auto"|"fast")``
+#: and :class:`~repro.solvers.operators.SimulatedOperator`.
+PLAN_CACHE = PlanCache()

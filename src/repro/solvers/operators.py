@@ -9,11 +9,15 @@ BRO format — the paper's motivating use-case.
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
 
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
-from ..kernels.base import get_kernel
+from ..kernels.dispatch import run_spmv
+from ..kernels.plan import has_planner
+from ..kernels.plancache import PLAN_CACHE, PlanCache
 
 __all__ = ["FormatOperator", "SimulatedOperator"]
 
@@ -32,18 +36,57 @@ class FormatOperator:
 
 
 class SimulatedOperator(FormatOperator):
-    """Operator that executes on the simulated GPU and tracks device time."""
+    """Operator that executes on the simulated GPU and tracks device time.
 
-    def __init__(self, matrix: SparseFormat, device: DeviceSpec | str = "k20"):
+    Every application goes through :func:`~repro.kernels.dispatch.run_spmv`
+    — the integrity boundary — so operator-driven solves honor the same
+    ``verify``/``fallback`` protections as direct dispatch, and the
+    dispatch span shows up in traces. Plannable formats use the prepared
+    execution engine by default: the first call builds (or fetches) the
+    plan from ``plan_cache`` and subsequent iterations replay it, which is
+    what makes a many-iteration CG/BiCGSTAB solve fast in host wall-clock.
+    Pass ``engine="reference"`` to force the stepwise kernels.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec | str = "k20",
+        *,
+        verify: Union[bool, str, None] = False,
+        fallback: Optional[SparseFormat] = None,
+        engine: str = "auto",
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
         super().__init__(matrix)
         self.device = get_device(device) if isinstance(device, str) else device
-        self._kernel = get_kernel(matrix.format_name)
+        self.verify = verify
+        self.fallback = fallback
+        if engine == "auto":
+            engine = "fast" if has_planner(matrix.format_name) else "reference"
+        self.engine = engine
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None or engine == "reference"
+            else PLAN_CACHE
+        )
         self.device_time = 0.0  #: accumulated predicted seconds in SpMV
         self.dram_bytes = 0  #: accumulated predicted DRAM traffic
+        self.fallbacks_used = 0  #: applications served by the fallback matrix
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         self.spmv_calls += 1
-        result = self._kernel.run(self.matrix, x, self.device)
+        result = run_spmv(
+            self.matrix,
+            x,
+            self.device,
+            verify=self.verify,
+            fallback=self.fallback,
+            engine=self.engine,
+            plan_cache=self.plan_cache,
+        )
+        if result.fallback_used:
+            self.fallbacks_used += 1
         self.device_time += result.timing.time
         self.dram_bytes += result.counters.dram_bytes
         return result.y

@@ -41,6 +41,8 @@ __all__ = [
     "record_texcache",
     "record_bitstream_encode",
     "record_bitstream_decode",
+    "record_plan_build",
+    "record_plan_cache",
 ]
 
 #: Default histogram buckets for byte-sized observations (powers of 4).
@@ -287,3 +289,21 @@ def record_bitstream_decode(symbols: int) -> None:
         return
     reg.counter("bitstream.slices_decoded").inc()
     reg.counter("bitstream.symbols_read").inc(symbols)
+
+
+def record_plan_build(format_name: str, device_name: str, seconds: float) -> None:
+    """One prepared-plan build (the one-time decode + accounting pass)."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    labels = {"format": format_name, "device": device_name}
+    reg.counter("plan.builds", labels).inc()
+    reg.counter("plan.build_seconds", labels).inc(seconds)
+
+
+def record_plan_cache(event: str, count: int = 1) -> None:
+    """A plan-cache lifecycle event: hits/misses/builds/evictions/invalidations."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.counter(f"plan_cache.{event}").inc(count)
