@@ -7,7 +7,7 @@ averages near the paper's 1.6x/1.3x/1.4x (C2070/GTX680/K20).
 
 from conftest import save_table
 
-from repro.bench.experiments import fig8_bro_hyb, table4_hyb_split
+from repro.bench.experiments import fig8_bro_hyb
 from repro.bench.harness import bench_scale, cached_format, spmv_once
 from repro.bench.reporting import geomean
 

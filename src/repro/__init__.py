@@ -32,6 +32,7 @@ from . import (
     integrity,
     kernels,
     matrices,
+    registry,
     reorder,
     solvers,
     telemetry,
@@ -63,6 +64,8 @@ from .formats import (
 from .gpu import DEVICES, DeviceSpec, get_device
 from .integrity import run_campaign, seal, validate_structure, verify_integrity
 from .kernels import SpMVResult, run_spmv
+from .pipeline import Session
+from .serialize import load_container, save_container
 from .reorder import (
     amd_permutation,
     apply_reordering,
@@ -118,7 +121,12 @@ __all__ = [
     "verify_integrity",
     "validate_structure",
     "run_campaign",
+    # pipeline + persistence
+    "Session",
+    "save_container",
+    "load_container",
     # subpackages
+    "registry",
     "bench",
     "bitstream",
     "core",

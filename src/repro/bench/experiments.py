@@ -11,7 +11,6 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
 from ..core.bro_hyb import BROHYBMatrix
 from ..core.compression import index_compression_report
@@ -445,7 +444,9 @@ def wallclock_engines(
         # CG on an SPD system built from the matrix: the acceptance case —
         # one decode amortized over a many-iteration operator-driven solve.
         spd = _spd_system(name, min(scale, 0.02))
-        kwargs = {"h": h} if "bro_ell" in formats or "bro_hyb" in formats else {}
+        from .. import registry as _registry
+
+        kwargs = {"h": h} if _registry.get_spec(formats[0]).accepts("h") else {}
         spd_mat = convert(spd, formats[0], **kwargs)
         b = np.ones(spd_mat.shape[1])
 

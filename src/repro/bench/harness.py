@@ -11,16 +11,18 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
+from .. import registry as _registry
 from ..formats.base import SparseFormat
 from ..formats.conversion import convert
 from ..formats.coo import COOMatrix
 from ..gpu.device import DEVICES, DeviceSpec, get_device
-from ..kernels.base import SpMVResult, get_kernel
+from ..kernels.base import SpMVResult
 from ..matrices.suite import generate
+from ..pipeline import Session
 
 __all__ = [
     "BENCH_SCALE_ENV",
@@ -53,7 +55,7 @@ def cached_matrix(name: str, scale: float) -> COOMatrix:
 def cached_format(name: str, scale: float, fmt: str, h: int = 256) -> SparseFormat:
     """Convert (once per process) a suite matrix into a stored format."""
     coo = cached_matrix(name, scale)
-    kwargs = {"h": h} if fmt in ("sliced_ellpack", "bro_ell", "bro_hyb") else {}
+    kwargs = {"h": h} if _registry.get_spec(fmt).accepts("h") else {}
     return convert(coo, fmt, **kwargs)
 
 
@@ -64,12 +66,11 @@ def _x_vector(n: int) -> np.ndarray:
 def spmv_once(
     matrix: SparseFormat, device: DeviceSpec | str, x: np.ndarray | None = None
 ) -> SpMVResult:
-    """Run one simulated SpMV and sanity-check it against the reference."""
+    """Run one simulated SpMV with the format's stepwise reference kernel."""
     dev = get_device(device) if isinstance(device, str) else device
     if x is None:
         x = _x_vector(matrix.shape[1])
-    result = get_kernel(matrix.format_name).run(matrix, x, dev)
-    return result
+    return Session(dev, engine="reference").use(matrix).execute(x)
 
 
 @dataclass

@@ -5,7 +5,7 @@ from __future__ import annotations
 import csv
 import math
 import os
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from ..errors import ValidationError
 

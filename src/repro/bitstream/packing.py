@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import CompressionError, ValidationError
 from ..telemetry import metrics as _metrics
 from ..types import symbol_dtype
-from ..utils.bits import bit_width_array, ceil_div, mask
+from ..utils.bits import bit_width_array, ceil_div
 from ..utils.validation import check_1d, check_2d
 
 __all__ = ["pack_slice", "unpack_slice", "row_stream_symbols", "column_bit_offsets"]

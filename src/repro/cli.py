@@ -11,7 +11,12 @@ Commands
 ``compress <matrix>``
     Compress with a BRO format and print the space-savings report.
 ``spmv <matrix>``
-    Run one simulated SpMV and print the timing breakdown.
+    Run one simulated SpMV and print the timing breakdown; ``--save``
+    persists the converted container as a ``.brx`` file, and ``<matrix>``
+    may itself be a saved ``.brx`` container.
+``formats``
+    Print the format capability matrix (kernel, planner, tracer, tuner,
+    validator, integrity, serializer) straight from the registry.
 ``advise <matrix>``
     Rank all storage formats for the matrix on a device.
 ``bench <experiment>``
@@ -44,6 +49,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import registry as _registry
 from .bench import experiments as exp
 from .bench.reporting import format_table
 from .core.compression import index_compression_report
@@ -55,6 +61,7 @@ from .kernels.dispatch import run_spmv
 from .matrices.analysis import analyze
 from .matrices.io import read_matrix_market
 from .matrices.suite import TABLE2, generate
+from .pipeline import Session
 from .tuner.advisor import rank_formats
 
 __all__ = ["main", "build_parser"]
@@ -106,6 +113,17 @@ def _load_matrix(spec: str, scale: float) -> COOMatrix:
     )
 
 
+def _suite_kwargs(fmt: str, h: int) -> dict:
+    """Conversion overrides for a self-check sweep, asked of the registry."""
+    spec = _registry.get_spec(fmt)
+    kwargs: dict = {}
+    if spec.accepts("h"):
+        kwargs["h"] = h
+    if spec.accepts("threads_per_row"):
+        kwargs["threads_per_row"] = 2
+    return kwargs
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -117,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("devices", help="print the simulated GPU registry")
     sub.add_parser("matrices", help="list the Table 2 matrix suite")
     sub.add_parser("selfcheck", help="quick internal verification")
+
+    p = sub.add_parser(
+        "formats", help="print the format capability matrix"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the capability matrix as JSON instead of text")
 
     p = sub.add_parser(
         "verify", help="integrity check + fault-injection campaign"
@@ -147,13 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sym-len", type=int, default=32, choices=[32, 64])
 
     p = sub.add_parser("spmv", help="run one simulated SpMV")
-    matrix_arg(p)
+    p.add_argument("matrix",
+                   help="Table 2 name, a .mtx file or a saved .brx container")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="generation scale for suite names (default 0.05)")
     p.add_argument("--format", default="bro_ell")
     p.add_argument("--device", default="k20", choices=sorted(DEVICES))
     p.add_argument("--h", type=int, default=256)
     p.add_argument("--trace", action="store_true",
-                   help="print a per-block profile (bro_ell, bro_coo, hyb, "
-                        "bro_hyb)")
+                   help="print the format's per-block profile (formats with "
+                        "a registered tracer; see `repro formats`)")
+    p.add_argument("--save", metavar="PATH",
+                   help="write the converted, sealed container to a .brx file")
 
     p = sub.add_parser("advise", help="rank formats for a matrix")
     matrix_arg(p)
@@ -262,7 +291,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_compress(args: argparse.Namespace) -> int:
     coo = _load_matrix(args.matrix, args.scale)
     kwargs = {"sym_len": args.sym_len}
-    if args.format in ("bro_ell", "bro_hyb"):
+    if _registry.get_spec(args.format).accepts("h"):
         kwargs["h"] = args.h
     mat = convert(coo, args.format, **kwargs)
     report = index_compression_report(mat, args.matrix)
@@ -275,17 +304,20 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_spmv(args: argparse.Namespace) -> int:
-    coo = _load_matrix(args.matrix, args.scale)
-    kwargs = {"h": args.h} if args.format in (
-        "sliced_ellpack", "bro_ell", "bro_hyb", "bro_ell_vc") else {}
-    mat = convert(coo, args.format, **kwargs)
-    x = np.random.default_rng(0).standard_normal(coo.shape[1])
-    result = run_spmv(mat, x, args.device)
-    if not np.allclose(result.y, coo.spmv(x), rtol=1e-8):
+    sess = Session(device=args.device).load(args.matrix, scale=args.scale)
+    if sess.format_name != args.format:
+        kwargs = (
+            {"h": args.h}
+            if _registry.get_spec(args.format).accepts("h") else {}
+        )
+        sess.convert(args.format, **kwargs)
+    x = np.random.default_rng(0).standard_normal(sess.matrix.shape[1])
+    result = sess.execute(x)
+    if not np.allclose(result.y, sess.source.spmv(x), rtol=1e-8):
         raise ReproError("kernel verification failed")  # pragma: no cover
     t = result.timing
     c = result.counters
-    print(f"format     : {args.format}   device: {t.device.name}")
+    print(f"format     : {sess.format_name}   device: {t.device.name}")
     print(f"verified   : kernel output matches reference")
     print(f"DRAM bytes : index {c.index_bytes:,} | values {c.value_bytes:,} "
           f"| x {c.x_bytes:,} | y {c.y_bytes:,} | aux {c.aux_bytes:,}")
@@ -297,38 +329,47 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
           f"{t.achieved_bw_gbps:.1f} GB/s "
           f"({100 * t.bandwidth_utilization:.0f}% of pin bandwidth)")
     if getattr(args, "trace", False):
-        from .core.bro_coo import BROCOOMatrix
-        from .core.bro_ell import BROELLMatrix
-        from .core.bro_hyb import BROHYBMatrix
-        from .formats.hyb import HYBMatrix
-        from .gpu.trace import (
-            IntervalTrace,
-            PartTrace,
-            SliceTrace,
-            trace_bro_coo,
-            trace_bro_ell,
-            trace_hyb,
-        )
-
-        if isinstance(mat, BROELLMatrix):
-            print("\nper-slice profile:")
-            print(SliceTrace.header())
-            for tr in trace_bro_ell(mat, t.device):
-                print(tr.row())
-        elif isinstance(mat, BROCOOMatrix):
-            print("\nper-interval profile:")
-            print(IntervalTrace.header())
-            for tr in trace_bro_coo(mat, t.device):
-                print(tr.row())
-        elif isinstance(mat, (HYBMatrix, BROHYBMatrix)):
-            print("\nper-part profile:")
-            print(PartTrace.header())
-            for tr in trace_hyb(mat, t.device):
-                print(tr.row())
-        else:
+        tracer = _registry.tracer_for(sess.format_name)
+        if tracer is None:
+            traced = [n for n in _registry.available_formats()
+                      if _registry.tracer_for(n) is not None]
             raise ReproError(
-                "--trace supports --format bro_ell, bro_coo, hyb and bro_hyb"
+                f"--trace is not available for format {sess.format_name!r}; "
+                f"formats with a block tracer: {', '.join(traced)}"
             )
+        print(f"\n{tracer.title}:")
+        print(tracer.header())
+        for tr in tracer.rows(sess.matrix, t.device):
+            print(tr.row())
+    if getattr(args, "save", None):
+        sess.seal().save(args.save)
+        print(f"\nwrote sealed {sess.format_name} container to {args.save}")
+    return 0
+
+
+def _cmd_formats(args: argparse.Namespace) -> int:
+    rows = _registry.capability_matrix()
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    printable = []
+    for row in rows:
+        out = dict(row)
+        out["default_kwargs"] = ",".join(
+            f"{k}={v}" for k, v in sorted(row["default_kwargs"].items())
+        ) or "-"
+        for key in ("kernel", "planner", "tracer", "tuner", "validator",
+                    "integrity", "serializer"):
+            out[key] = "yes" if row[key] else "-"
+        printable.append(out)
+    print(format_table(
+        printable,
+        ["format", "container", "kernel", "planner", "tracer", "tuner",
+         "validator", "integrity", "serializer", "default_kwargs"],
+        "Format capability matrix (from repro.registry)",
+    ))
     return 0
 
 
@@ -345,20 +386,14 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 def _cmd_selfcheck() -> int:
     """A fast end-to-end verification a user can run after installing."""
     from .bench.experiments import fig3_break_even, fig3_savings_sweep
-    from .formats.base import available_formats
-    from .kernels.base import available_kernels
     from .matrices.generators import banded_random
 
     checks = 0
     coo = banded_random(2048, 12.0, 3.0, bandwidth=120, seed=42)
     x = np.random.default_rng(42).standard_normal(coo.shape[1])
     reference = coo.spmv(x)
-    for fmt in sorted(set(available_formats()) & set(available_kernels())):
-        kwargs = {"h": 128} if fmt in ("sliced_ellpack", "bro_ell",
-                                       "bro_hyb", "bro_ell_vc") else {}
-        if fmt == "bro_ell_mt":
-            kwargs = {"threads_per_row": 2, "h": 128}
-        mat = convert(coo, fmt, **kwargs)
+    for fmt in _registry.kernel_formats():
+        mat = convert(coo, fmt, **_suite_kwargs(fmt, h=128))
         if not np.allclose(mat.to_dense(), coo.to_dense()):
             print(f"FAIL: {fmt} round trip")
             return 1
@@ -386,7 +421,6 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     import tempfile
     from pathlib import Path
 
-    from .formats.base import available_formats
     from .integrity import (
         ARCHIVE_FAULT_KINDS,
         corrupt_archive,
@@ -394,7 +428,6 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         seal,
         validate_structure,
     )
-    from .kernels.base import available_kernels
     from .matrices.cache import load_matrix, save_matrix
     from .matrices.generators import banded_random
 
@@ -408,12 +441,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     coo = banded_random(512, 10.0, 3.0, bandwidth=96, seed=args.seed)
     x = np.random.default_rng(args.seed).standard_normal(coo.shape[1])
     reference = coo.spmv(x)
-    for fmt in sorted(set(available_formats()) & set(available_kernels())):
-        kwargs = {"h": 64} if fmt in ("sliced_ellpack", "bro_ell",
-                                      "bro_hyb", "bro_ell_vc") else {}
-        if fmt == "bro_ell_mt":
-            kwargs = {"threads_per_row": 2, "h": 64}
-        mat = seal(convert(coo, fmt, **kwargs))
+    for fmt in _registry.kernel_formats():
+        mat = seal(convert(coo, fmt, **_suite_kwargs(fmt, h=64)))
         try:
             validate_structure(mat, deep=True)
             res = run_spmv(mat, x, args.device, verify="full")
@@ -665,6 +694,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_devices()
         if args.command == "matrices":
             return _cmd_matrices()
+        if args.command == "formats":
+            return _cmd_formats(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
         if args.command == "compress":

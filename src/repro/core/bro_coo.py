@@ -14,7 +14,7 @@ decode loop needs no bounds checks (no divergence).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..bitstream.packing import pack_slice, unpack_slice
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
+from ..registry import TunerProfile
 from ..telemetry.tracer import span as _span
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.bits import ceil_div
@@ -58,7 +59,10 @@ def adaptive_interval_size(
     return int(min(max(per, 8 * warp_size), max_interval))
 
 
-@register_format
+@register_format(
+    default_kwargs={"interval_size": None, "warp_size": 32, "sym_len": 32},
+    tuner=TunerProfile(),
+)
 class BROCOOMatrix(SparseFormat):
     """Sparse matrix stored in the BRO-COO compressed format."""
 
@@ -273,6 +277,37 @@ class BROCOOMatrix(SparseFormat):
         rows = self.decode_rows()[: self._nnz]
         return COOMatrix(
             rows, self._col_idx[: self._nnz], self._vals[: self._nnz], self._shape
+        )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape),
+            "nnz": self._nnz,
+            "warp_size": self._w,
+            "interval_size": self._interval,
+            "sym_len": self._stream.sym_len,
+        }
+        arrays = {
+            "stream": self._stream.data,
+            "slice_ptr": self._stream.slice_ptr,
+            "bit_alloc": self._bit_alloc,
+            "col_idx": self._col_idx,
+            "vals": self._vals,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "BROCOOMatrix":
+        stream = MultiplexedStream(
+            arrays["stream"], arrays["slice_ptr"], int(meta["sym_len"])
+        )
+        return cls(
+            stream, arrays["bit_alloc"], arrays["col_idx"], arrays["vals"],
+            int(meta["nnz"]), int(meta["warp_size"]),
+            int(meta["interval_size"]), tuple(meta["shape"]),
         )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:

@@ -14,7 +14,7 @@ work; we implement it separately in :mod:`repro.core.value_compression`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Any, Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
 from ..formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from ..registry import TunerProfile
 from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
 from ..utils.validation import check_positive
@@ -33,7 +34,10 @@ from .slices import column_bit_alloc
 __all__ = ["BROELLMatrix"]
 
 
-@register_format
+@register_format(
+    default_kwargs={"h": 256, "sym_len": 32},
+    tuner=TunerProfile(sweep_h=True),
+)
 class BROELLMatrix(SparseFormat):
     """Sparse matrix stored in the BRO-ELL compressed format."""
 
@@ -246,6 +250,43 @@ class BROELLMatrix(SparseFormat):
 
     def to_coo(self) -> COOMatrix:
         return self.to_sliced().to_coo()
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "h": self._h, "sym_len": self.sym_len,
+        }
+        # The ragged per-slice bit_alloc arrays flatten into one buffer;
+        # num_col holds the split points for the reverse transform.
+        bit_alloc = (
+            np.concatenate(self._bit_allocs)
+            if self._bit_allocs
+            else np.zeros(0, dtype=np.int64)
+        )
+        arrays = {
+            "stream": self._stream.data,
+            "slice_ptr": self._stream.slice_ptr,
+            "bit_alloc": bit_alloc,
+            "num_col": self._num_col,
+            "vals": self._vals,
+            "row_lengths": self._row_lengths,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "BROELLMatrix":
+        stream = MultiplexedStream(
+            arrays["stream"], arrays["slice_ptr"], int(meta["sym_len"])
+        )
+        num_col = np.asarray(arrays["num_col"], dtype=np.int64)
+        splits = np.cumsum(num_col)[:-1]
+        bit_allocs = np.split(np.asarray(arrays["bit_alloc"]), splits)
+        return cls(
+            stream, bit_allocs, arrays["vals"], arrays["row_lengths"],
+            int(meta["h"]), tuple(meta["shape"]),
+        )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """Reference SpMV: host-side decode then dense gather per slice."""

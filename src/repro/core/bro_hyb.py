@@ -8,7 +8,7 @@ identical partitions; each part is then stored in its BRO variant.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
 from ..formats.hyb import hyb_split_column, split_coo
+from ..registry import TunerProfile
 from ..types import VALUE_DTYPE
 from .bro_coo import BROCOOMatrix
 from .bro_ell import BROELLMatrix
@@ -23,7 +24,13 @@ from .bro_ell import BROELLMatrix
 __all__ = ["BROHYBMatrix"]
 
 
-@register_format
+@register_format(
+    default_kwargs={
+        "k": None, "h": 256, "sym_len": 32,
+        "interval_size": None, "warp_size": 32,
+    },
+    tuner=TunerProfile(sweep_h=True),
+)
 class BROHYBMatrix(SparseFormat):
     """Sparse matrix stored as a BRO-ELL part plus a BRO-COO part."""
 
@@ -106,6 +113,31 @@ class BROHYBMatrix(SparseFormat):
             np.concatenate([ell_coo.vals, coo_coo.vals]),
             self._shape,
         )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        ell_meta, ell_arrays = self._ell.to_state()
+        coo_meta, coo_arrays = self._coo.to_state()
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "ell": ell_meta, "coo": coo_meta,
+        }
+        arrays = {f"ell.{k}": v for k, v in ell_arrays.items()}
+        arrays.update({f"coo.{k}": v for k, v in coo_arrays.items()})
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "BROHYBMatrix":
+        ell = BROELLMatrix.from_state(
+            meta["ell"],
+            {k[4:]: v for k, v in arrays.items() if k.startswith("ell.")},
+        )
+        coo = BROCOOMatrix.from_state(
+            meta["coo"],
+            {k[4:]: v for k, v in arrays.items() if k.startswith("coo.")},
+        )
+        return cls(ell, coo, tuple(meta["shape"]))
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

@@ -20,7 +20,7 @@ The win is occupancy: a matrix with too few rows to fill the device
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -28,7 +28,6 @@ from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
-from ..types import VALUE_DTYPE
 from ..utils.validation import check_positive
 from .bro_ell import BROELLMatrix
 
@@ -57,7 +56,7 @@ def split_rows(coo: COOMatrix, t: int) -> COOMatrix:
     return COOMatrix(rows, coo.col_idx, coo.vals, (m * t, n))
 
 
-@register_format
+@register_format(default_kwargs={"threads_per_row": 2, "h": 256, "sym_len": 32})
 class MultiRowBROELL(SparseFormat):
     """BRO-ELL with ``t`` threads (sub-rows) per logical matrix row."""
 
@@ -120,6 +119,25 @@ class MultiRowBROELL(SparseFormat):
             sub.vals,
             self._shape,
         )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        inner_meta, inner_arrays = self._inner.to_state()
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "t": self._t, "inner": inner_meta,
+        }
+        arrays = {f"inner.{k}": v for k, v in inner_arrays.items()}
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "MultiRowBROELL":
+        inner = BROELLMatrix.from_state(
+            meta["inner"],
+            {k[6:]: v for k, v in arrays.items() if k.startswith("inner.")},
+        )
+        return cls(inner, int(meta["t"]), tuple(meta["shape"]))
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

@@ -26,7 +26,7 @@ their size analytically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -36,14 +36,14 @@ from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
 from ..formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
 from ..types import VALUE_DTYPE, symbol_dtype
-from ..utils.bits import bit_width_array, ceil_div
+from ..utils.bits import bit_width_array
 from ..utils.validation import check_positive
 from .delta import delta_decode_columns, delta_encode_columns
 
 __all__ = ["RowwiseBROELL"]
 
 
-@register_format
+@register_format(default_kwargs={"h": 256, "sym_len": 32})
 class RowwiseBROELL(SparseFormat):
     """BRO-ELL variant with one bit width per row (the divergent strawman).
 
@@ -209,6 +209,31 @@ class RowwiseBROELL(SparseFormat):
             )
         return COOMatrix(np.zeros(0, np.int64), np.zeros(0, np.int64),
                          np.zeros(0), self._shape)
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "h": self._h, "sym_len": self._sym_len,
+        }
+        arrays = {
+            "stream": self._stream,
+            "row_ptr": self._row_ptr,
+            "row_bits": self._row_bits,
+            "vals": self._vals,
+            "row_lengths": self._row_lengths,
+            "num_col": self._num_col,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "RowwiseBROELL":
+        return cls(
+            arrays["stream"], arrays["row_ptr"], arrays["row_bits"],
+            arrays["vals"], arrays["row_lengths"], arrays["num_col"],
+            int(meta["h"]), int(meta["sym_len"]), tuple(meta["shape"]),
+        )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

@@ -23,11 +23,11 @@ matching kernel lives in :mod:`repro.kernels.spmv_bro_ell_vc`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..bitstream.multiplex import MultiplexedStream, concat_slices
+from ..bitstream.multiplex import MultiplexedStream
 from ..bitstream.packing import pack_slice, unpack_slice
 from ..errors import ValidationError
 from ..formats.base import register_format
@@ -101,7 +101,7 @@ def decompress_value_block(
     return slice_.dictionary[codes]
 
 
-@register_format
+@register_format(default_kwargs={"h": 256, "sym_len": 32, "max_bits": 8})
 class BROELLVCMatrix(BROELLMatrix):
     """BRO-ELL with the value channel dictionary-compressed per slice."""
 
@@ -165,6 +165,51 @@ class BROELLVCMatrix(BROELLMatrix):
         L = int(self.num_col[i])
         return decompress_value_block(
             self._value_slices[i], h_i, L, self.sym_len
+        )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta, arrays = super().to_state()
+        meta["max_bits"] = self._max_bits
+        channels: List[Dict[str, int | str]] = []
+        for i, s in enumerate(self._value_slices):
+            if s.raw is not None:
+                channels.append({"kind": "raw", "code_bits": 0})
+                arrays[f"vc{i}.raw"] = s.raw
+            else:
+                channels.append({"kind": "dict", "code_bits": s.code_bits})
+                arrays[f"vc{i}.dict"] = s.dictionary
+                arrays[f"vc{i}.codes"] = s.codes
+        meta["value_slices"] = channels
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "BROELLVCMatrix":
+        stream = MultiplexedStream(
+            arrays["stream"], arrays["slice_ptr"], int(meta["sym_len"])
+        )
+        num_col = np.asarray(arrays["num_col"], dtype=np.int64)
+        splits = np.cumsum(num_col)[:-1]
+        bit_allocs = np.split(np.asarray(arrays["bit_alloc"]), splits)
+        value_slices = []
+        for i, channel in enumerate(meta["value_slices"]):
+            if channel["kind"] == "raw":
+                value_slices.append(
+                    CompressedValueSlice(None, None, 0, arrays[f"vc{i}.raw"])
+                )
+            else:
+                value_slices.append(
+                    CompressedValueSlice(
+                        arrays[f"vc{i}.dict"], arrays[f"vc{i}.codes"],
+                        int(channel["code_bits"]), None,
+                    )
+                )
+        return cls(
+            stream, bit_allocs, arrays["vals"], arrays["row_lengths"],
+            int(meta["h"]), tuple(meta["shape"]),
+            value_slices=value_slices, max_bits=int(meta["max_bits"]),
         )
 
     def device_bytes(self) -> Dict[str, int]:

@@ -1,13 +1,20 @@
-"""Abstract base class and registry for sparse storage formats."""
+"""Abstract base class for sparse storage formats.
+
+Registration lives in :mod:`repro.registry`; the names re-exported here
+(:func:`register_format`, :func:`get_format`, :func:`available_formats`)
+are thin delegates kept for compatibility with existing call sites.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, Dict, Tuple, Type
+from typing import TYPE_CHECKING, Any, Dict, Tuple, Type
 
 import numpy as np
 
+from .. import registry as _registry
 from ..errors import FormatError, ValidationError
+from ..registry import register_format
 from ..types import VALUE_DTYPE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -15,33 +22,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["SparseFormat", "register_format", "get_format", "available_formats"]
 
-_REGISTRY: Dict[str, Type["SparseFormat"]] = {}
-
-
-def register_format(cls: Type["SparseFormat"]) -> Type["SparseFormat"]:
-    """Class decorator adding a format to the global registry by its name."""
-    name = getattr(cls, "format_name", None)
-    if not name:
-        raise FormatError(f"{cls.__name__} does not define format_name")
-    if name in _REGISTRY:
-        raise FormatError(f"format {name!r} registered twice")
-    _REGISTRY[name] = cls
-    return cls
-
 
 def get_format(name: str) -> Type["SparseFormat"]:
     """Look up a registered format class by name (e.g. ``"ellpack"``)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError as exc:
-        raise FormatError(
-            f"unknown format {name!r}; available: {sorted(_REGISTRY)}"
-        ) from exc
+    return _registry.get_spec(name).container
 
 
 def available_formats() -> Tuple[str, ...]:
     """Names of all registered formats, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return _registry.available_formats()
 
 
 class SparseFormat(ABC):
@@ -54,7 +43,11 @@ class SparseFormat(ABC):
       coordinate representation;
     * ``spmv(x)`` — reference host SpMV (vectorized NumPy, no simulation);
     * ``device_bytes()`` — per-component byte accounting, the input to the
-      compression statistics (Tables 3–5) and the GPU timing model.
+      compression statistics (Tables 3–5) and the GPU timing model;
+    * ``to_state()`` / ``from_state()`` — optional lossless state
+      decomposition backing the ``.brx`` container files
+      (:mod:`repro.serialize`). Formats that skip it simply are not
+      serializable; everything else keeps working.
     """
 
     #: registry key; subclasses must override.
@@ -91,6 +84,31 @@ class SparseFormat(ABC):
         formats with auxiliary arrays (row lengths, slice pointers, bit
         allocations, ...) add an ``"aux"`` key.
         """
+
+    # ------------------------------------------------------------------
+    # Serialization protocol (optional per format)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Decompose into ``(meta, arrays)`` for container serialization.
+
+        ``meta`` must be JSON-serializable; ``arrays`` maps names to the
+        container's ndarrays. ``from_state(meta, arrays)`` must rebuild a
+        bit-identical container.
+        """
+        raise FormatError(
+            f"format {self.format_name!r} does not support serialization"
+        )
+
+    to_state.__serializer_stub__ = True  # type: ignore[attr-defined]
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "SparseFormat":
+        """Rebuild a container from :meth:`to_state` output."""
+        raise FormatError(
+            f"format {cls.format_name!r} does not support serialization"
+        )
 
     # ------------------------------------------------------------------
     # Shared conveniences

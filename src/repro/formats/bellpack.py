@@ -14,11 +14,12 @@ blocks (``cant``, ``shipsec1``...).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..registry import TunerProfile
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.bits import ceil_div
 from ..utils.validation import check_positive
@@ -28,7 +29,7 @@ from .coo import COOMatrix
 __all__ = ["BELLPACKMatrix"]
 
 
-@register_format
+@register_format(default_kwargs={"r": 3, "c": 3}, tuner=TunerProfile(dense_family=True))
 class BELLPACKMatrix(SparseFormat):
     """Blocked-ELLPACK storage with ``r x c`` dense blocks."""
 
@@ -185,6 +186,28 @@ class BELLPACKMatrix(SparseFormat):
         flat = vals.reshape(-1)
         keep = (flat != 0) & (rows < self._shape[0]) & (cols < self._shape[1])
         return COOMatrix(rows[keep], cols[keep], flat[keep], self._shape)
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "r": self._r, "c": self._c,
+        }
+        arrays = {
+            "block_col_idx": self._bcol,
+            "block_vals": self._bvals,
+            "block_row_lengths": self._blens,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "BELLPACKMatrix":
+        return cls(
+            arrays["block_col_idx"], arrays["block_vals"],
+            arrays["block_row_lengths"],
+            (int(meta["r"]), int(meta["c"])), tuple(meta["shape"]),
+        )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

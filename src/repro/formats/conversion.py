@@ -6,9 +6,10 @@ from typing import Any
 
 import numpy as np
 
+from .. import registry as _registry
 from ..errors import FormatError
 from ..telemetry.tracer import span as _span
-from .base import SparseFormat, get_format
+from .base import SparseFormat
 from .coo import COOMatrix
 
 __all__ = ["convert", "from_scipy", "to_scipy", "from_dense"]
@@ -17,15 +18,23 @@ __all__ = ["convert", "from_scipy", "to_scipy", "from_dense"]
 def convert(matrix: SparseFormat, target: str, **kwargs: Any) -> SparseFormat:
     """Convert ``matrix`` to the registered format named ``target``.
 
-    Extra keyword arguments are forwarded to the target's ``from_coo``
-    (e.g. ``h=256`` for sliced formats, ``k=...`` for an explicit HYB split).
+    Extra keyword arguments override the target's registry-declared
+    conversion defaults and are forwarded to its ``from_coo`` (e.g.
+    ``h=256`` for sliced formats, ``k=...`` for an explicit HYB split);
+    unknown keywords raise :class:`~repro.errors.FormatError` naming the
+    declared ones.
+
+    The early return compares ``format_name`` — not ``isinstance`` — so a
+    subclassed format (``ellpack_r`` is an ``ELLPACKMatrix``) still
+    converts to its parent format rather than passing through unchanged.
     """
-    cls = get_format(target)
-    if isinstance(matrix, cls) and not kwargs:
+    spec = _registry.get_spec(target)
+    if matrix.format_name == spec.name and not kwargs:
         return matrix
+    merged = spec.conversion_kwargs(**kwargs)
     with _span(f"convert.{target}", "pipeline",
                source=matrix.format_name, target=target):
-        return cls.from_coo(matrix.to_coo(), **kwargs)
+        return spec.container.from_coo(matrix.to_coo(), **merged)
 
 
 def from_dense(dense: np.ndarray, target: str = "coo", **kwargs: Any) -> SparseFormat:

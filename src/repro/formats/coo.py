@@ -7,11 +7,12 @@ other format can convert through COO deterministically. Index arrays are
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
 from ..errors import FormatError, ValidationError
+from ..registry import TunerProfile
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.validation import check_1d
 from .base import SparseFormat, register_format
@@ -19,7 +20,7 @@ from .base import SparseFormat, register_format
 __all__ = ["COOMatrix"]
 
 
-@register_format
+@register_format(tuner=TunerProfile())
 class COOMatrix(SparseFormat):
     """Sorted, deduplicated coordinate-format sparse matrix.
 
@@ -119,6 +120,21 @@ class COOMatrix(SparseFormat):
     @classmethod
     def from_coo(cls, coo: "COOMatrix", **kwargs) -> "COOMatrix":
         return coo
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {"shape": list(self._shape)}
+        arrays = {"row_idx": self._row, "col_idx": self._col, "vals": self._vals}
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "COOMatrix":
+        return cls(
+            arrays["row_idx"], arrays["col_idx"], arrays["vals"],
+            tuple(meta["shape"]),
+        )
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "COOMatrix":

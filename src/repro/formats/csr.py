@@ -7,11 +7,12 @@ the fastest host-side representation for the iterative solvers.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..registry import TunerProfile
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.validation import check_1d
 from .base import SparseFormat, register_format
@@ -20,7 +21,7 @@ from .coo import COOMatrix
 __all__ = ["CSRMatrix"]
 
 
-@register_format
+@register_format(tuner=TunerProfile())
 class CSRMatrix(SparseFormat):
     """Compressed sparse row matrix with ``int32`` indices."""
 
@@ -97,6 +98,21 @@ class CSRMatrix(SparseFormat):
         # COOMatrix keeps entries sorted by (row, col), so indices/vals are
         # already in CSR order.
         return cls(indptr, coo.col_idx, coo.vals, coo.shape)
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {"shape": list(self._shape)}
+        arrays = {"indptr": self._indptr, "indices": self._indices, "vals": self._vals}
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "CSRMatrix":
+        return cls(
+            arrays["indptr"], arrays["indices"], arrays["vals"],
+            tuple(meta["shape"]),
+        )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

@@ -13,11 +13,12 @@ marks real entries for the compression and accounting paths.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..registry import TunerProfile
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.validation import check_2d
 from .base import SparseFormat, register_format
@@ -60,7 +61,7 @@ def ellpack_arrays_from_coo(
     return col_idx, vals, stored
 
 
-@register_format
+@register_format(tuner=TunerProfile(dense_family=True))
 class ELLPACKMatrix(SparseFormat):
     """Dense-array ELLPACK storage (paper Section 2.1.2)."""
 
@@ -144,6 +145,25 @@ class ELLPACKMatrix(SparseFormat):
     def from_coo(cls, coo: COOMatrix, **kwargs) -> "ELLPACKMatrix":
         col_idx, vals, lengths = ellpack_arrays_from_coo(coo)
         return cls(col_idx, vals, lengths, coo.shape)
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {"shape": list(self._shape)}
+        arrays = {
+            "col_idx": self._col_idx,
+            "vals": self._vals,
+            "row_lengths": self._row_lengths,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "ELLPACKMatrix":
+        return cls(
+            arrays["col_idx"], arrays["vals"], arrays["row_lengths"],
+            tuple(meta["shape"]),
+        )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

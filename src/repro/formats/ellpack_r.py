@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..registry import TunerProfile
 from .base import register_format
 from .coo import COOMatrix
 from .ellpack import ELLPACKMatrix, ellpack_arrays_from_coo
@@ -22,7 +23,7 @@ from .ellpack import ELLPACKMatrix, ellpack_arrays_from_coo
 __all__ = ["ELLPACKRMatrix"]
 
 
-@register_format
+@register_format(tuner=TunerProfile(dense_family=True))
 class ELLPACKRMatrix(ELLPACKMatrix):
     """ELLPACK plus an explicit per-row length array (ELLPACK-R)."""
 

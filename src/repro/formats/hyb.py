@@ -9,11 +9,12 @@ part; the overflow goes to the COO part.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..registry import TunerProfile
 from ..types import VALUE_DTYPE
 from .base import SparseFormat, register_format
 from .coo import COOMatrix
@@ -72,7 +73,7 @@ def split_coo(coo: COOMatrix, k: int) -> Tuple[COOMatrix | None, COOMatrix | Non
     return parts[0], parts[1]
 
 
-@register_format
+@register_format(default_kwargs={"k": None}, tuner=TunerProfile())
 class HYBMatrix(SparseFormat):
     """Hybrid format: an ELLPACK part plus a COO overflow part."""
 
@@ -148,6 +149,31 @@ class HYBMatrix(SparseFormat):
             np.concatenate([ell_coo.vals, self._coo.vals]),
             self._shape,
         )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        ell_meta, ell_arrays = self._ell.to_state()
+        coo_meta, coo_arrays = self._coo.to_state()
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "ell": ell_meta, "coo": coo_meta,
+        }
+        arrays = {f"ell.{k}": v for k, v in ell_arrays.items()}
+        arrays.update({f"coo.{k}": v for k, v in coo_arrays.items()})
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "HYBMatrix":
+        ell = ELLPACKMatrix.from_state(
+            meta["ell"],
+            {k[4:]: v for k, v in arrays.items() if k.startswith("ell.")},
+        )
+        coo = COOMatrix.from_state(
+            meta["coo"],
+            {k[4:]: v for k, v in arrays.items() if k.startswith("coo.")},
+        )
+        return cls(ell, coo, tuple(meta["shape"]))
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         x = self.check_x(x)

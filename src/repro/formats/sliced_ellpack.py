@@ -12,11 +12,12 @@ replaces each slice's dense ``col_idx`` block with a compressed bit stream.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..registry import TunerProfile
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.validation import check_positive
 from .base import SparseFormat, register_format
@@ -33,7 +34,7 @@ def slice_bounds(m: int, h: int) -> np.ndarray:
     return np.append(np.arange(0, m, h, dtype=np.int64), np.int64(m))
 
 
-@register_format
+@register_format(default_kwargs={"h": 256}, tuner=TunerProfile(sweep_h=True))
 class SlicedELLPACKMatrix(SparseFormat):
     """Slice-partitioned ELLPACK with per-slice widths.
 
@@ -191,6 +192,26 @@ class SlicedELLPACKMatrix(SparseFormat):
             )
         return COOMatrix(
             np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), self._shape
+        )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {"shape": list(self._shape), "h": self._h}
+        arrays = {
+            "col_idx": self._col_idx,
+            "vals": self._vals,
+            "row_lengths": self._row_lengths,
+            "num_col": self._num_col,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "SlicedELLPACKMatrix":
+        return cls(
+            arrays["col_idx"], arrays["vals"], arrays["row_lengths"],
+            arrays["num_col"], int(meta["h"]), tuple(meta["shape"]),
         )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:

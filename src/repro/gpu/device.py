@@ -18,7 +18,7 @@ Each :class:`DeviceSpec` combines
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..errors import DeviceError

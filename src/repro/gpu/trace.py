@@ -12,10 +12,11 @@ and by performance debugging in the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List
 
 import numpy as np
 
+from .. import registry as _registry
 from ..bitstream.reader import SliceDecoder
 from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
@@ -261,7 +262,7 @@ def trace_hyb(matrix, device: DeviceSpec) -> List[PartTrace]:
     # Imported here: repro.kernels imports this package at module scope.
     from ..core.bro_hyb import BROHYBMatrix
     from ..formats.hyb import HYBMatrix
-    from ..kernels.base import get_kernel
+    from ..registry import kernel_for
     from .timing import predict
 
     if not isinstance(matrix, (HYBMatrix, BROHYBMatrix)):
@@ -270,7 +271,7 @@ def trace_hyb(matrix, device: DeviceSpec) -> List[PartTrace]:
     x = np.ones(matrix.shape[1], dtype=np.float64)
     traces: List[PartTrace] = []
     for part_name, part in (("ell", matrix.ell), ("coo", matrix.coo)):
-        result = get_kernel(part.format_name).run(part, x, device)
+        result = kernel_for(part.format_name).run(part, x, device)
         c = result.counters
         timing = predict(c, device)
         traces.append(
@@ -288,3 +289,29 @@ def trace_hyb(matrix, device: DeviceSpec) -> List[PartTrace]:
             )
         )
     return traces
+
+
+# ---------------------------------------------------------------------------
+# Capability-registry bindings: one BlockTracer record per traceable format
+# (the value-compressed BRO-ELL variant shares the slice tracer).
+# ---------------------------------------------------------------------------
+_registry.bind_tracer(
+    "bro_ell",
+    _registry.BlockTracer("per-slice profile", SliceTrace.header, trace_bro_ell),
+)
+_registry.bind_tracer(
+    "bro_ell_vc",
+    _registry.BlockTracer("per-slice profile", SliceTrace.header, trace_bro_ell),
+)
+_registry.bind_tracer(
+    "bro_coo",
+    _registry.BlockTracer("per-interval profile", IntervalTrace.header, trace_bro_coo),
+)
+_registry.bind_tracer(
+    "hyb",
+    _registry.BlockTracer("per-part profile", PartTrace.header, trace_hyb),
+)
+_registry.bind_tracer(
+    "bro_hyb",
+    _registry.BlockTracer("per-part profile", PartTrace.header, trace_hyb),
+)

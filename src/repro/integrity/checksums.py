@@ -22,6 +22,7 @@ from typing import Callable, Dict, Mapping, Tuple
 
 import numpy as np
 
+from .. import registry as _registry
 from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
 from ..core.bro_hyb import BROHYBMatrix
@@ -38,6 +39,7 @@ __all__ = [
     "seal",
     "is_sealed",
     "get_header",
+    "attach_header",
     "verify_integrity",
 ]
 
@@ -61,16 +63,15 @@ def _meta_crc(meta: Tuple) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Per-format field extraction
+# Per-format field extraction — bound into the capability registry
 # ---------------------------------------------------------------------------
 
 _Extractor = Callable[[SparseFormat], Tuple[Dict[str, np.ndarray], Tuple]]
-_EXTRACTORS: Dict[str, _Extractor] = {}
 
 
 def _register(name: str) -> Callable[[_Extractor], _Extractor]:
     def deco(fn: _Extractor) -> _Extractor:
-        _EXTRACTORS[name] = fn
+        _registry.bind_integrity_fields(name, fn)
         return fn
 
     return deco
@@ -135,7 +136,9 @@ def _fields_generic(m: SparseFormat) -> Tuple[Dict[str, np.ndarray], Tuple]:
 
 
 def _extract(matrix: SparseFormat) -> Tuple[Dict[str, np.ndarray], Tuple]:
-    extractor = _EXTRACTORS.get(matrix.format_name, _fields_generic)
+    extractor = _registry.integrity_fields_for(matrix.format_name)
+    if extractor is None:
+        extractor = _fields_generic
     return extractor(matrix)
 
 
@@ -200,6 +203,18 @@ def is_sealed(matrix: SparseFormat) -> bool:
 def get_header(matrix: SparseFormat) -> IntegrityHeader | None:
     """The attached header, or ``None`` when the matrix is unsealed."""
     return getattr(matrix, _HEADER_ATTR, None)
+
+
+def attach_header(matrix: SparseFormat, header: IntegrityHeader) -> SparseFormat:
+    """Attach a previously computed header without recomputing it.
+
+    Used by the ``.brx`` loader (:mod:`repro.serialize`) to restore the
+    seal a container carried when it was saved — the stored CRCs keep
+    guarding against on-disk or in-flight corruption precisely because
+    they are *not* recomputed from the loaded bytes.
+    """
+    object.__setattr__(matrix, _HEADER_ATTR, header)
+    return matrix
 
 
 def verify_integrity(matrix: SparseFormat) -> IntegrityHeader:

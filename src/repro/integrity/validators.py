@@ -16,10 +16,9 @@ never a bare ``ValueError`` — the graceful-degradation path in
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
 import numpy as np
 
+from .. import registry as _registry
 from ..bitstream.packing import row_stream_symbols
 from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
@@ -33,12 +32,9 @@ from ..telemetry.tracer import span as _span
 
 __all__ = ["validate_structure", "structural_validators"]
 
-_VALIDATORS: Dict[str, Callable[[SparseFormat, bool], None]] = {}
-
-
 def _register(name: str):
     def deco(fn):
-        _VALIDATORS[name] = fn
+        _registry.bind_validator(name, fn)
         return fn
 
     return deco
@@ -50,7 +46,9 @@ def _fail(fmt: str, field: str, why: str) -> None:
 
 def structural_validators() -> tuple:
     """Format names that have a dedicated structural validator."""
-    return tuple(sorted(_VALIDATORS))
+    return tuple(
+        spec.name for spec in _registry.iter_specs() if spec.validator is not None
+    )
 
 
 def validate_structure(matrix: SparseFormat, deep: bool = False) -> None:
@@ -65,7 +63,7 @@ def validate_structure(matrix: SparseFormat, deep: bool = False) -> None:
     deep:
         Also decode packed streams and bounds-check decoded indices.
     """
-    validator = _VALIDATORS.get(matrix.format_name)
+    validator = _registry.validator_for(matrix.format_name)
     if validator is not None:
         with _span("verify.structure", "integrity",
                    format=matrix.format_name, deep=deep):

@@ -1,16 +1,25 @@
-"""Kernel interface, result record and registry."""
+"""Kernel interface and result record.
+
+Kernel registration lives in the unified capability registry
+(:mod:`repro.registry`); :func:`register_kernel` binds a kernel class to
+its format's :class:`~repro.registry.FormatSpec`. The module-level
+:func:`get_kernel`/:func:`available_kernels` lookups are deprecated
+shims over the registry, kept so pre-registry call sites keep working.
+"""
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Optional, Tuple, Type
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..integrity.counters import IntegritySnapshot
 
+from .. import registry as _registry
 from ..errors import KernelError, ValidationError
 from ..formats.base import SparseFormat
 from ..gpu.counters import KernelCounters
@@ -27,33 +36,41 @@ __all__ = [
     "available_kernels",
 ]
 
-_REGISTRY: Dict[str, Type["SpMVKernel"]] = {}
-
 
 def register_kernel(cls: Type["SpMVKernel"]) -> Type["SpMVKernel"]:
-    """Class decorator registering a kernel under its format name."""
+    """Class decorator binding a kernel to its format's capability record."""
     name = getattr(cls, "format_name", None)
     if not name:
         raise KernelError(f"{cls.__name__} does not define format_name")
-    if name in _REGISTRY:
-        raise KernelError(f"kernel for format {name!r} registered twice")
-    _REGISTRY[name] = cls
+    _registry.bind_kernel(name, cls)
     return cls
 
 
 def get_kernel(format_name: str) -> "SpMVKernel":
-    """Instantiate the kernel registered for a format name."""
-    try:
-        return _REGISTRY[format_name]()
-    except KeyError as exc:
-        raise KernelError(
-            f"no kernel for format {format_name!r}; available: {sorted(_REGISTRY)}"
-        ) from exc
+    """Instantiate the kernel registered for a format name.
+
+    .. deprecated:: use :func:`repro.registry.kernel_for`.
+    """
+    warnings.warn(
+        "repro.kernels.get_kernel is deprecated; use repro.registry.kernel_for",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _registry.kernel_for(format_name)
 
 
 def available_kernels() -> Tuple[str, ...]:
-    """Format names that have a simulated kernel."""
-    return tuple(sorted(_REGISTRY))
+    """Format names that have a simulated kernel.
+
+    .. deprecated:: use :func:`repro.registry.kernel_formats`.
+    """
+    warnings.warn(
+        "repro.kernels.available_kernels is deprecated; "
+        "use repro.registry.kernel_formats",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _registry.kernel_formats()
 
 
 @dataclass

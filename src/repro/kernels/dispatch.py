@@ -40,10 +40,11 @@ from ..gpu.device import DeviceSpec, get_device
 from ..integrity.checksums import is_sealed, verify_integrity
 from ..integrity.counters import COUNTERS
 from ..integrity.validators import validate_structure
+from ..registry import has_planner, kernel_for
 from ..telemetry.tracer import NULL_SPAN, get_tracer
 from ..telemetry.tracer import span as _span
-from .base import SpMVResult, get_kernel
-from .plan import SpMVPlan, check_multi_x, has_planner
+from .base import SpMVResult
+from .plan import SpMVPlan, check_multi_x
 from .plancache import PLAN_CACHE, PlanCache
 
 __all__ = ["run_spmv", "run_spmm"]
@@ -136,7 +137,7 @@ def _primary_spmv(
         else:
             _check_plan(plan, matrix, device)
         return plan.execute(x)
-    return get_kernel(matrix.format_name).run(matrix, x, device)
+    return kernel_for(matrix.format_name).run(matrix, x, device)
 
 
 def _primary_spmm(
@@ -159,7 +160,7 @@ def _primary_spmm(
     # summed counters equal the fast engine's scaled prototype because
     # the accounting is x-independent (k identical records).
     X = check_multi_x(matrix, X)
-    kernel = get_kernel(matrix.format_name)
+    kernel = kernel_for(matrix.format_name)
     results = [kernel.run(matrix, X[:, j], device) for j in range(X.shape[1])]
     return SpMVResult(
         y=np.stack([r.y for r in results], axis=1),
@@ -272,7 +273,7 @@ def run_spmv(
             if fallback is None:
                 COUNTERS.record_raised()
                 raise
-            result = get_kernel(fallback.format_name).run(fallback, x, device)
+            result = kernel_for(fallback.format_name).run(fallback, x, device)
             COUNTERS.record_fallback()
             if sp is not NULL_SPAN:
                 sp.event("integrity.fallback", format=fallback.format_name)

@@ -47,10 +47,11 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import registry as _registry
 from ..bitstream.packing import row_stream_symbols, unpack_slice
 from ..core.bro_coo import BROCOOMatrix, adaptive_interval_size
 from ..core.bro_ell import BROELLMatrix
@@ -223,18 +224,13 @@ class SpMVPlan(ABC):
 
 
 # ----------------------------------------------------------------------
-# Planner registry
+# Planner registration — delegates to the unified capability registry
 # ----------------------------------------------------------------------
-_PLANNERS: Dict[str, Callable[[SparseFormat, DeviceSpec], SpMVPlan]] = {}
-
-
 def register_planner(format_name: str):
-    """Decorator registering a plan builder for a format name."""
+    """Decorator binding a plan builder to its format's capability record."""
 
     def deco(fn: Callable[[SparseFormat, DeviceSpec], SpMVPlan]):
-        if format_name in _PLANNERS:
-            raise KernelError(f"planner for format {format_name!r} registered twice")
-        _PLANNERS[format_name] = fn
+        _registry.bind_planner(format_name, fn)
         return fn
 
     return deco
@@ -242,12 +238,12 @@ def register_planner(format_name: str):
 
 def has_planner(format_name: str) -> bool:
     """Whether :func:`prepare` supports the format."""
-    return format_name in _PLANNERS
+    return _registry.has_planner(format_name)
 
 
 def plannable_formats() -> Tuple[str, ...]:
     """Format names with a prepared-plan builder."""
-    return tuple(sorted(_PLANNERS))
+    return _registry.plannable_formats()
 
 
 def prepare(matrix: SparseFormat, device: DeviceSpec | str = "k20") -> SpMVPlan:
@@ -259,7 +255,7 @@ def prepare(matrix: SparseFormat, device: DeviceSpec | str = "k20") -> SpMVPlan:
     """
     if isinstance(device, str):
         device = get_device(device)
-    builder = _PLANNERS.get(matrix.format_name)
+    builder = _registry.planner_for(matrix.format_name)
     if builder is None:
         raise KernelError(
             f"no prepared-plan builder for format {matrix.format_name!r}; "

@@ -6,8 +6,16 @@ integrity layer's CRC32 fingerprint: each entry remembers the header
 token the container carried when its plan was built, and a lookup whose
 current token differs — the container was re-sealed after mutation —
 invalidates the stale plan and rebuilds. Entries hold a strong reference
-to their matrix (via the plan), so a cached ``id`` can never be recycled
-to a different object while the entry lives.
+to their matrix, so a cached ``id`` can never be recycled to a different
+object while the entry lives.
+
+Sealed containers also participate in a **content index**: the
+fingerprint token doubles as a content address, so a *different* object
+with the same sealed bytes — typically a container just loaded from a
+``.brx`` file (:mod:`repro.serialize`) — warm-hits the cache instead of
+rebuilding the plan. Content hits count as ``hits`` (plus a separate
+``content_hits`` stat) and alias the plan under the new object's
+identity key, so subsequent lookups are ordinary identity hits.
 
 Validation levels per lookup:
 
@@ -37,6 +45,8 @@ __all__ = ["PlanCache", "PLAN_CACHE", "fingerprint_token"]
 
 _Key = Tuple[int, str, str]
 _Token = Optional[Tuple[str, int, Tuple[Tuple[str, int], ...]]]
+#: entry = (plan, fingerprint token, anchor matrix keeping id(key) alive)
+_Entry = Tuple[SpMVPlan, _Token, SparseFormat]
 
 
 def fingerprint_token(header: Optional[IntegrityHeader]) -> _Token:
@@ -57,7 +67,9 @@ class PlanCache:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
-        self._entries: "OrderedDict[_Key, Tuple[SpMVPlan, _Token]]" = OrderedDict()
+        self._entries: "OrderedDict[_Key, _Entry]" = OrderedDict()
+        #: content index: sealed fingerprint + device -> newest identity key
+        self._by_token: Dict[Tuple[_Token, str], _Key] = {}
         self._lock = threading.Lock()
         self._stats = {
             "hits": 0,
@@ -65,6 +77,7 @@ class PlanCache:
             "builds": 0,
             "evictions": 0,
             "invalidations": 0,
+            "content_hits": 0,
         }
 
     # -- internal -------------------------------------------------------
@@ -81,6 +94,36 @@ class PlanCache:
         self._stats[event] += count
         _metrics.record_plan_cache(event, count)
 
+    def _insert(self, key: _Key, entry: _Entry) -> None:
+        """Insert/refresh an entry, index its token, enforce the bound."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        token = entry[1]
+        if token is not None:
+            self._by_token[(token, key[2])] = key
+        while len(self._entries) > self.maxsize:
+            old_key, _ = self._entries.popitem(last=False)
+            self._unindex(old_key)
+            self._bump("evictions")
+
+    def _remove(self, key: _Key) -> None:
+        del self._entries[key]
+        self._unindex(key)
+
+    def _unindex(self, key: _Key) -> None:
+        """Drop content-index pointers at ``key`` (if still pointing there)."""
+        for tkey, k in list(self._by_token.items()):
+            if k == key:
+                del self._by_token[tkey]
+
+    def _content_lookup(self, token: _Token, device_name: str) -> Optional[_Entry]:
+        if token is None:
+            return None
+        key = self._by_token.get((token, device_name))
+        if key is None:
+            return None
+        return self._entries.get(key)
+
     # -- public API -----------------------------------------------------
     def get_or_build(
         self,
@@ -92,6 +135,9 @@ class PlanCache:
         """Return a cached plan for ``(matrix, device)``, building on miss.
 
         ``validate`` selects the staleness check (see module docstring).
+        An identity miss with a sealed container falls through to the
+        content index before building: equal fingerprints mean equal
+        bytes, so a plan built for a twin object replays bit-identically.
         """
         if validate not in ("none", "header", "full"):
             raise ValueError(f"unknown validate level {validate!r}")
@@ -103,7 +149,7 @@ class PlanCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                plan, cached_token = entry
+                plan, cached_token, _anchor = entry
                 if validate == "none":
                     self._entries.move_to_end(key)
                     self._bump("hits")
@@ -115,11 +161,22 @@ class PlanCache:
                     return plan
                 # Fingerprint changed under us: the container was mutated
                 # (and re-sealed, for "header"); the plan is stale.
-                del self._entries[key]
+                self._remove(key)
                 self._bump("invalidations")
             else:
                 if validate != "none":
                     token = self._current_token(matrix, validate)
+                twin = self._content_lookup(token, device.name)
+                if twin is not None:
+                    # Same sealed bytes under a different object identity
+                    # (e.g. freshly deserialized): alias the plan under
+                    # this object's key so the next lookup is an identity
+                    # hit, and anchor the new matrix so its id stays live.
+                    plan = twin[0]
+                    self._insert(key, (plan, token, matrix))
+                    self._bump("hits")
+                    self._bump("content_hits")
+                    return plan
             self._bump("misses")
 
         # Build outside the lock — builds are the expensive part and must
@@ -129,11 +186,7 @@ class PlanCache:
         plan = prepare(matrix, device)
         with self._lock:
             self._bump("builds")
-            self._entries[key] = (plan, token)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self._bump("evictions")
+            self._insert(key, (plan, token, matrix))
         return plan
 
     def invalidate(self, matrix: SparseFormat) -> int:
@@ -142,7 +195,7 @@ class PlanCache:
         with self._lock:
             doomed = [k for k in self._entries if k[0] == mid]
             for k in doomed:
-                del self._entries[k]
+                self._remove(k)
             if doomed:
                 self._bump("invalidations", len(doomed))
         return len(doomed)
@@ -151,6 +204,7 @@ class PlanCache:
         """Drop every entry and reset the LRU order (stats are kept)."""
         with self._lock:
             self._entries.clear()
+            self._by_token.clear()
 
     def stats(self) -> Dict[str, int]:
         """Copy of the lifetime hit/miss/build/eviction/invalidation counts."""

@@ -14,12 +14,10 @@ import numpy as np
 from ..bitstream.reader import SliceDecoder
 from ..core.bro_coo import BROCOOMatrix
 from ..formats.base import SparseFormat
-from ..gpu.counters import KernelCounters
 from ..gpu.device import DECODE_OPS_PER_ITER, DECODE_OPS_PER_LOAD, DeviceSpec
 from ..gpu.memory import contiguous_transactions
 from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
-from ..utils.bits import ceil_div
 from .base import SpMVKernel, SpMVResult, register_kernel
 from .spmv_coo import coo_segmented_counters
 

@@ -15,7 +15,6 @@ from ..formats.base import SparseFormat
 from ..formats.coo import COOMatrix
 from ..gpu.counters import KernelCounters
 from ..gpu.device import DeviceSpec
-from ..gpu.launch import LaunchConfig
 from ..gpu.memory import contiguous_transactions
 from ..gpu.texcache import TextureCacheModel
 from ..gpu.warp import warp_reduce_flops

@@ -1,0 +1,304 @@
+"""Versioned on-disk BRO containers (``.brx`` files).
+
+A ``.brx`` file stores one sparse container exactly as it sits in
+(simulated) device memory: the format name, the scalar metadata, every
+device array byte-for-byte, and — when the container was sealed — its
+CRC32 :class:`~repro.integrity.checksums.IntegrityHeader`. Loading
+reconstructs a bit-identical container, so SpMV products, kernel
+counters and integrity verification all replay exactly.
+
+Layout (version 1)::
+
+    magic   b"REPROBRX"                       8 bytes
+    version u32 little-endian                 4 bytes
+    hlen    u32 little-endian                 4 bytes
+    header  JSON (utf-8), hlen bytes:
+            {"format": str,
+             "meta": {...},                # format-specific scalars
+             "arrays": [{"name", "dtype", "shape", "offset", "nbytes"}],
+             "integrity": {"format_name", "meta_crc", "field_crcs"} | null}
+    arrays  raw little-endian bytes, each 64-byte aligned
+
+Array payloads are 64-byte aligned so :func:`load_container` can hand out
+zero-copy views of a memory map — loading a multi-GB container touches no
+array bytes until a kernel reads them. Writes are atomic (temp file +
+fsync + ``os.replace``), mirroring :mod:`repro.matrices.cache`.
+
+The integrity seal is stored, not recomputed, on load: the saved CRCs
+keep guarding against on-disk corruption. :func:`load_container` verifies
+the reattached header against the loaded bytes before returning, so a
+flipped bit in the file surfaces as a typed
+:class:`~repro.errors.IntegrityError` naming the corrupted field.
+
+A loaded container also warm-starts the prepared-plan engine: its seal's
+:func:`~repro.kernels.plancache.fingerprint_token` matches the one the
+original object was cached under, so the first
+``PLAN_CACHE.get_or_build(loaded, ...)`` is a content hit, not a rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import registry as _registry
+from .errors import FormatError, IntegrityError, ReproError
+from .formats.base import SparseFormat
+from .integrity.checksums import (
+    IntegrityHeader,
+    attach_header,
+    get_header,
+)
+from .telemetry.tracer import span as _span
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "save_container",
+    "load_container",
+    "read_header",
+    "content_fingerprint",
+]
+
+MAGIC = b"REPROBRX"
+SCHEMA_VERSION = 1
+_ALIGN = 64
+
+
+class SerializationError(ReproError):
+    """A ``.brx`` file is malformed, truncated or from an unknown schema."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _header_to_json(header: IntegrityHeader) -> Dict[str, Any]:
+    return {
+        "format_name": header.format_name,
+        "meta_crc": header.meta_crc,
+        "field_crcs": dict(header.field_crcs),
+    }
+
+
+def _header_from_json(obj: Dict[str, Any]) -> IntegrityHeader:
+    return IntegrityHeader(
+        format_name=str(obj["format_name"]),
+        field_crcs={str(k): int(v) for k, v in obj["field_crcs"].items()},
+        meta_crc=int(obj["meta_crc"]),
+    )
+
+
+def save_container(
+    matrix: SparseFormat, path: Union[str, os.PathLike]
+) -> Path:
+    """Atomically write ``matrix`` to a versioned ``.brx`` container.
+
+    The container's integrity seal (if any) is stored alongside the
+    arrays; unsealed containers save fine and load unsealed.
+
+    Raises
+    ------
+    FormatError
+        When the format does not declare a serializer
+        (``to_state``/``from_state``).
+    """
+    spec = _registry.get_spec(matrix.format_name)
+    if not spec.has_serializer:
+        raise FormatError(
+            f"format {matrix.format_name!r} does not support serialization; "
+            f"serializable formats: {list(_registry.serializable_formats())}"
+        )
+    path = Path(path)
+    with _span("serialize.save", "pipeline", format=matrix.format_name,
+               path=str(path)):
+        meta, arrays = matrix.to_state()
+        table: List[Dict[str, Any]] = []
+        offset = 0
+        blobs: List[Tuple[int, bytes]] = []
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = _align(offset)
+            table.append({
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": int(arr.nbytes),
+            })
+            blobs.append((offset, arr.tobytes()))
+            offset += arr.nbytes
+        header = get_header(matrix)
+        doc = {
+            "format": matrix.format_name,
+            "meta": meta,
+            "arrays": table,
+            "integrity": _header_to_json(header) if header else None,
+        }
+        header_bytes = json.dumps(doc, sort_keys=True).encode("utf-8")
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(MAGIC)
+                fh.write(SCHEMA_VERSION.to_bytes(4, "little"))
+                fh.write(len(header_bytes).to_bytes(4, "little"))
+                fh.write(header_bytes)
+                base = fh.tell()
+                for arr_offset, payload in blobs:
+                    fh.seek(base + arr_offset)
+                    fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    return path
+
+
+def read_header(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Read and validate a ``.brx`` file's JSON header without the arrays."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        preamble = fh.read(16)
+        if len(preamble) < 16 or preamble[:8] != MAGIC:
+            raise SerializationError(
+                f"{path} is not a .brx container (bad magic)"
+            )
+        version = int.from_bytes(preamble[8:12], "little")
+        if version != SCHEMA_VERSION:
+            raise SerializationError(
+                f"{path} uses .brx schema version {version}; "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        hlen = int.from_bytes(preamble[12:16], "little")
+        header_bytes = fh.read(hlen)
+        if len(header_bytes) != hlen:
+            raise SerializationError(f"{path} is truncated mid-header")
+        try:
+            doc = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"{path} holds a corrupt header") from exc
+    for key in ("format", "meta", "arrays"):
+        if key not in doc:
+            raise SerializationError(f"{path} header is missing {key!r}")
+    doc["_payload_base"] = 16 + hlen
+    return doc
+
+
+def load_container(
+    path: Union[str, os.PathLike],
+    *,
+    mmap_arrays: bool = True,
+    verify: bool = True,
+) -> SparseFormat:
+    """Load a ``.brx`` container back into its registered format.
+
+    Parameters
+    ----------
+    path:
+        A file written by :func:`save_container`.
+    mmap_arrays:
+        Memory-map the file and hand the constructor zero-copy read-only
+        views (default). ``False`` reads the arrays into private heap
+        buffers — use it when the file will be deleted or rewritten while
+        the container is alive.
+    verify:
+        When the file carries an integrity seal, recompute every CRC
+        against the loaded bytes and raise
+        :class:`~repro.errors.IntegrityError` on mismatch (default).
+
+    The stored seal is *reattached*, not recomputed, so the returned
+    container fingerprint-matches the original — and warm-hits any plan
+    cached for the container that was saved.
+    """
+    path = Path(path)
+    doc = read_header(path)
+    name = str(doc["format"])
+    spec = _registry.get_spec(name)
+    if not spec.has_serializer:
+        raise FormatError(
+            f"format {name!r} has no serializer in this build; "
+            f"cannot load {path}"
+        )
+    base = doc.pop("_payload_base")
+    size = path.stat().st_size
+    with _span("serialize.load", "pipeline", format=name, path=str(path),
+               mmap=mmap_arrays):
+        with open(path, "rb") as fh:
+            if mmap_arrays:
+                buf: Union[mmap.mmap, bytes] = mmap.mmap(
+                    fh.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            else:
+                buf = fh.read()
+        arrays: Dict[str, np.ndarray] = {}
+        for entry in doc["arrays"]:
+            lo = base + int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            # Zero-length arrays occupy no payload bytes; their aligned
+            # offset may legitimately sit at (or past) end-of-file when
+            # they trail the last non-empty blob.
+            if nbytes and lo + nbytes > size:
+                raise SerializationError(
+                    f"{path} is truncated: array {entry['name']!r} "
+                    f"extends past end of file"
+                )
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(entry["shape"])
+            if nbytes == 0:
+                arr = np.zeros(shape, dtype=dtype)
+            else:
+                arr = np.frombuffer(
+                    buf, dtype=dtype,
+                    count=int(np.prod(shape, dtype=np.int64)),
+                    offset=lo,
+                ).reshape(shape)
+            arrays[str(entry["name"])] = arr
+        try:
+            matrix = spec.container.from_state(doc["meta"], arrays)
+        except ReproError:
+            raise
+        except (KeyError, ValueError, TypeError, IndexError) as exc:
+            raise SerializationError(
+                f"{path} holds inconsistent {name!r} state: {exc}"
+            ) from exc
+        stored = doc.get("integrity")
+        if stored is not None:
+            header = _header_from_json(stored)
+            attach_header(matrix, header)
+            if verify:
+                mismatched = header.mismatches(matrix)
+                if mismatched:
+                    raise IntegrityError(
+                        f"{path} failed its stored checksum seal; corrupted "
+                        f"fields: {', '.join(mismatched)}",
+                        fields=mismatched,
+                    )
+    return matrix
+
+
+def content_fingerprint(
+    matrix: SparseFormat,
+) -> Optional[Tuple[str, int, Tuple[Tuple[str, int], ...]]]:
+    """The container's sealed content address (``None`` when unsealed).
+
+    Equal fingerprints mean byte-identical device arrays — the token the
+    :class:`~repro.kernels.plancache.PlanCache` content index keys on.
+    """
+    from .kernels.plancache import fingerprint_token
+
+    return fingerprint_token(get_header(matrix))

@@ -1,10 +1,11 @@
 """Linear operators over stored sparse formats.
 
 :class:`FormatOperator` applies the matrix with the format's reference
-``spmv``. :class:`SimulatedOperator` routes every application through the
-simulated GPU kernel and accumulates the *predicted device time*, letting
-solver examples report how much faster an iterative solve would run with a
-BRO format — the paper's motivating use-case.
+``spmv``. :class:`SimulatedOperator` routes every application through a
+:class:`~repro.pipeline.Session` — and therefore through the simulated GPU
+kernel and the dispatch integrity boundary — accumulating the *predicted
+device time*, letting solver examples report how much faster an iterative
+solve would run with a BRO format — the paper's motivating use-case.
 """
 
 from __future__ import annotations
@@ -14,10 +15,10 @@ from typing import Optional, Union
 import numpy as np
 
 from ..formats.base import SparseFormat
-from ..gpu.device import DeviceSpec, get_device
-from ..kernels.dispatch import run_spmv
-from ..kernels.plan import has_planner
-from ..kernels.plancache import PLAN_CACHE, PlanCache
+from ..gpu.device import DeviceSpec
+from ..pipeline import Session
+from ..registry import has_planner
+from ..kernels.plancache import PlanCache
 
 __all__ = ["FormatOperator", "SimulatedOperator"]
 
@@ -38,13 +39,15 @@ class FormatOperator:
 class SimulatedOperator(FormatOperator):
     """Operator that executes on the simulated GPU and tracks device time.
 
-    Every application goes through :func:`~repro.kernels.dispatch.run_spmv`
-    — the integrity boundary — so operator-driven solves honor the same
-    ``verify``/``fallback`` protections as direct dispatch, and the
-    dispatch span shows up in traces. Plannable formats use the prepared
-    execution engine by default: the first call builds (or fetches) the
-    plan from ``plan_cache`` and subsequent iterations replay it, which is
-    what makes a many-iteration CG/BiCGSTAB solve fast in host wall-clock.
+    A thin callable facade over a single-matrix
+    :class:`~repro.pipeline.Session`: every application goes through
+    :func:`~repro.kernels.dispatch.run_spmv` — the integrity boundary — so
+    operator-driven solves honor the same ``verify``/``fallback``
+    protections as direct dispatch, and the dispatch span shows up in
+    traces. Plannable formats use the prepared execution engine by
+    default: the first call builds (or fetches) the plan from
+    ``plan_cache`` and subsequent iterations replay it, which is what
+    makes a many-iteration CG/BiCGSTAB solve fast in host wall-clock.
     Pass ``engine="reference"`` to force the stepwise kernels.
     """
 
@@ -59,34 +62,51 @@ class SimulatedOperator(FormatOperator):
         plan_cache: Optional[PlanCache] = None,
     ) -> None:
         super().__init__(matrix)
-        self.device = get_device(device) if isinstance(device, str) else device
-        self.verify = verify
-        self.fallback = fallback
         if engine == "auto":
             engine = "fast" if has_planner(matrix.format_name) else "reference"
-        self.engine = engine
-        self.plan_cache = (
-            plan_cache
-            if plan_cache is not None or engine == "reference"
-            else PLAN_CACHE
-        )
-        self.device_time = 0.0  #: accumulated predicted seconds in SpMV
-        self.dram_bytes = 0  #: accumulated predicted DRAM traffic
-        self.fallbacks_used = 0  #: applications served by the fallback matrix
+        self.session = Session(
+            device,
+            verify=verify,
+            fallback=fallback,
+            engine=engine,
+            plan_cache=plan_cache,
+        ).use(matrix)
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.session.device
+
+    @property
+    def verify(self) -> Union[bool, str, None]:
+        return self.session.verify
+
+    @property
+    def fallback(self) -> Optional[SparseFormat]:
+        return self.session.fallback
+
+    @property
+    def engine(self) -> str:
+        return self.session.engine
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        return self.session.plan_cache
+
+    @property
+    def device_time(self) -> float:
+        """Accumulated predicted seconds in SpMV."""
+        return self.session.device_time
+
+    @property
+    def dram_bytes(self) -> int:
+        """Accumulated predicted DRAM traffic."""
+        return self.session.dram_bytes
+
+    @property
+    def fallbacks_used(self) -> int:
+        """Applications served by the fallback matrix."""
+        return self.session.fallbacks_used
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         self.spmv_calls += 1
-        result = run_spmv(
-            self.matrix,
-            x,
-            self.device,
-            verify=self.verify,
-            fallback=self.fallback,
-            engine=self.engine,
-            plan_cache=self.plan_cache,
-        )
-        if result.fallback_used:
-            self.fallbacks_used += 1
-        self.device_time += result.timing.time
-        self.dram_bytes += result.counters.dram_bytes
-        return result.y
+        return self.session.execute(x).y

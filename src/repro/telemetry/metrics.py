@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ValidationError
 

@@ -23,20 +23,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
-from ..formats.conversion import convert
-from ..formats.coo import COOMatrix
-from ..integrity.checksums import seal
-from ..kernels.dispatch import run_spmv
+from .. import registry as _registry
 from . import metrics as _metrics
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 from . import tracing
 
 __all__ = ["ProfileReport", "profile_matrix"]
-
-#: Formats whose converters take a slice height ``h``.
-_H_FORMATS = ("sliced_ellpack", "bro_ell", "bro_hyb", "bro_ell_vc")
 
 
 @dataclass
@@ -98,51 +91,18 @@ class ProfileReport:
     def block_profile(self) -> Optional[Tuple[str, List[str]]]:
         """Per-block profile (header, rows) for the storage format.
 
-        BRO-ELL gets a per-slice profile, BRO-COO a per-interval profile,
-        HYB/BRO-HYB a per-part profile; other formats have no block-level
-        view and return ``None``.
+        The view comes from the format's registry-declared
+        :class:`~repro.registry.BlockTracer` (per-slice for BRO-ELL,
+        per-interval for BRO-COO, per-part for the hybrids); formats
+        without one return ``None``.
         """
-        from ..core.bro_coo import BROCOOMatrix
-        from ..core.bro_ell import BROELLMatrix
-        from ..core.bro_hyb import BROHYBMatrix
-        from ..formats.hyb import HYBMatrix
-        from ..gpu.trace import (
-            IntervalTrace,
-            PartTrace,
-            SliceTrace,
-            trace_bro_coo,
-            trace_bro_ell,
-            trace_hyb,
-        )
-
+        tracer = _registry.tracer_for(self.container.format_name)
+        if tracer is None:
+            return None
         device = self.result.device
-        mat = self.container
-        if isinstance(mat, BROELLMatrix):
-            return SliceTrace.header(), [
-                t.row() for t in trace_bro_ell(mat, device)
-            ]
-        if isinstance(mat, BROCOOMatrix):
-            return IntervalTrace.header(), [
-                t.row() for t in trace_bro_coo(mat, device)
-            ]
-        if isinstance(mat, (HYBMatrix, BROHYBMatrix)):
-            return PartTrace.header(), [
-                t.row() for t in trace_hyb(mat, device)
-            ]
-        return None
-
-
-def _load(spec: str, scale: float) -> COOMatrix:
-    from ..matrices.io import read_matrix_market
-    from ..matrices.suite import TABLE2, generate
-
-    if spec in TABLE2:
-        return generate(spec, scale=scale)
-    if spec.endswith(".mtx"):
-        return read_matrix_market(spec)
-    raise ReproError(
-        f"{spec!r} is neither a Table 2 matrix name nor a .mtx path"
-    )
+        return tracer.header(), [
+            t.row() for t in tracer.rows(self.container, device)
+        ]
 
 
 def profile_matrix(
@@ -174,14 +134,22 @@ def profile_matrix(
         Inject a tracer (e.g. with a deterministic clock) or a private
         metrics registry; fresh ones are created by default.
     """
+    from ..pipeline import Session
+
     own_registry = registry if registry is not None else MetricsRegistry()
     with tracing(tracer, registry=own_registry) as t:
-        coo = _load(spec, scale)
-        kwargs: Dict[str, Any] = {"h": h} if storage in _H_FORMATS else {}
-        mat = seal(convert(coo, storage, **kwargs))
-        x = np.random.default_rng(seed).standard_normal(coo.shape[1])
-        result = run_spmv(mat, x, device, verify=verify)
+        # The reference engine keeps the historical span tree (the
+        # stepwise kernel span, not a plan replay) in the profile output.
+        sess = Session(device, verify=verify, engine="reference")
+        sess.load(spec, scale=scale)
+        kwargs: Dict[str, Any] = (
+            {"h": h} if _registry.get_spec(storage).accepts("h") else {}
+        )
+        sess.convert(storage, **kwargs).seal()
+        x = np.random.default_rng(seed).standard_normal(sess.matrix.shape[1])
+        result = sess.execute(x)
         snapshot = _metrics.registry().unified_snapshot()
+        mat = sess.matrix
     return ProfileReport(
         matrix=spec,
         storage=storage,

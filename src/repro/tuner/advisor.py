@@ -9,35 +9,41 @@ BRO-ELL/BRO-HYB candidates can sweep the slice height ``h``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import registry as _registry
 from ..errors import ValidationError
 from ..formats.base import SparseFormat
 from ..formats.conversion import convert
 from ..formats.coo import COOMatrix
 from ..gpu.device import DeviceSpec, get_device
-from ..kernels.base import get_kernel
 from .sampling import sample_rows
 
-__all__ = ["FormatRecommendation", "rank_formats", "recommend_format"]
+__all__ = [
+    "FormatRecommendation",
+    "default_candidates",
+    "rank_formats",
+    "recommend_format",
+]
 
-#: Formats the advisor considers by default (every format with a kernel,
-#: except the value-compressed variant which needs value redundancy the
-#: advisor checks separately).
-DEFAULT_CANDIDATES = (
-    "coo",
-    "csr",
-    "ellpack",
-    "ellpack_r",
-    "bellpack",
-    "sliced_ellpack",
-    "hyb",
-    "bro_ell",
-    "bro_coo",
-    "bro_hyb",
-)
+
+def default_candidates() -> Tuple[str, ...]:
+    """Formats the advisor considers by default.
+
+    Every registered format with a kernel whose
+    :class:`~repro.registry.TunerProfile` marks it as an advisor
+    candidate — specialty variants (multi-threads-per-row, the
+    value-compressed and strawman codecs) opt out at their registration
+    site.
+    """
+    out = []
+    for fmt in _registry.kernel_formats():
+        profile = _registry.tuner_profile_for(fmt)
+        if profile is not None and profile.candidate:
+            out.append(fmt)
+    return tuple(out)
 
 #: Matrices whose max/mean row-length ratio exceeds this skip the dense
 #: ELL-family candidates outright (the padded arrays would not fit on a
@@ -70,7 +76,8 @@ def _candidate_grid(
 ) -> List[Tuple[str, Dict]]:
     grid: List[Tuple[str, Dict]] = []
     for fmt in formats:
-        if fmt in ("sliced_ellpack", "bro_ell", "bro_hyb"):
+        profile = _registry.tuner_profile_for(fmt)
+        if profile is not None and profile.sweep_h:
             for h in h_candidates:
                 grid.append((fmt, {"h": int(h)}))
         else:
@@ -78,10 +85,15 @@ def _candidate_grid(
     return grid
 
 
+def _is_dense_family(fmt: str) -> bool:
+    profile = _registry.tuner_profile_for(fmt)
+    return profile is not None and profile.dense_family
+
+
 def rank_formats(
     coo: COOMatrix,
     device: DeviceSpec | str = "k20",
-    formats: Sequence[str] = DEFAULT_CANDIDATES,
+    formats: Optional[Sequence[str]] = None,
     h_candidates: Sequence[int] = (256,),
     sample_rows_limit: int = 16384,
     seed: int = 0,
@@ -92,6 +104,8 @@ def rank_formats(
     per-nnz ranking is what transfers back to the full matrix.
     """
     dev = get_device(device) if isinstance(device, str) else device
+    if formats is None:
+        formats = default_candidates()
     if coo.nnz == 0:
         raise ValidationError("cannot rank formats for an empty matrix")
     sampled, factor = sample_rows(coo, sample_rows_limit, seed=seed)
@@ -103,11 +117,10 @@ def rank_formats(
 
     out: List[FormatRecommendation] = []
     for fmt, params in _candidate_grid(formats, h_candidates):
-        if (fmt in ("ellpack", "ellpack_r", "bellpack")
-                and padding_ratio > ELL_PADDING_LIMIT):
+        if _is_dense_family(fmt) and padding_ratio > ELL_PADDING_LIMIT:
             continue  # dense ELL arrays would be absurd; HYB covers this
         mat: SparseFormat = convert(sampled, fmt, **params)
-        result = get_kernel(fmt).run(mat, x, dev)
+        result = _registry.kernel_for(fmt).run(mat, x, dev)
         # The per-nnz cost must reflect the FULL matrix's occupancy: the
         # sample has `factor`x fewer threads, which would unfairly punish
         # thread-per-row formats relative to warp-per-interval ones.

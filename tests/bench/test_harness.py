@@ -1,6 +1,5 @@
 """Unit tests for the benchmark harness and reporting helpers."""
 
-import os
 
 import numpy as np
 import pytest

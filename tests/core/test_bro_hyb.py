@@ -49,7 +49,6 @@ class TestConstruction:
     def test_pure_ell_matrix(self):
         # Uniform row lengths -> empty COO part.
         coo = random_coo(64, 64, density=0.05, seed=2)
-        from repro.formats.hyb import hyb_split_column
 
         k = int(coo.row_lengths().max())
         bro = BROHYBMatrix.from_coo(coo, k=k, h=16)

@@ -1,6 +1,5 @@
 """Unit tests for space-savings / compression-ratio accounting."""
 
-import numpy as np
 import pytest
 
 from repro.core.bro_coo import BROCOOMatrix

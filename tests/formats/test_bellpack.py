@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.formats.bellpack import BELLPACKMatrix
-from repro.formats.coo import COOMatrix
 from repro.kernels import run_spmv
 from repro.matrices.generators import block_band
 from tests.conftest import PAPER_A, random_coo

@@ -59,6 +59,64 @@ class TestConvert:
         assert mat.nnz == 12
 
 
+class TestRegistryRouting:
+    """The conversion fix: registry defaults + format_name equality."""
+
+    def test_subclass_converts_to_parent_format(self, paper_matrix):
+        # ellpack_r IS-A ELLPACKMatrix; conversion must still rebuild it
+        # as plain ellpack instead of passing the subclass through.
+        from repro.formats import ELLPACKRMatrix
+
+        ell_r = convert(paper_matrix, "ellpack_r")
+        assert isinstance(ell_r, ELLPACKRMatrix)
+        ell = convert(ell_r, "ellpack")
+        assert ell.format_name == "ellpack"
+        assert not isinstance(ell, ELLPACKRMatrix)
+        np.testing.assert_array_equal(ell.to_dense(), PAPER_A)
+
+    def test_same_format_with_kwargs_reconverts(self, paper_matrix):
+        sl = convert(paper_matrix, "sliced_ellpack", h=2)
+        resliced = convert(sl, "sliced_ellpack", h=4)
+        assert resliced is not sl
+        assert resliced.h == 4
+
+    def test_registry_defaults_honored(self, paper_matrix):
+        from repro import registry as _registry
+
+        coo = random_coo(600, 600, seed=5)
+        sl = convert(coo, "sliced_ellpack")
+        assert sl.h == _registry.get_spec("sliced_ellpack").default_kwargs["h"]
+        assert convert(coo, "sliced_ellpack", h=64).h == 64
+
+    def test_unknown_kwarg_names_declared_set(self, paper_matrix):
+        with pytest.raises(FormatError, match="does not accept") as excinfo:
+            convert(paper_matrix, "sliced_ellpack", sym_len=32)
+        assert "'h'" in str(excinfo.value)  # message lists declared keys
+
+    def test_kwargless_format_rejects_any_kwarg(self, paper_matrix):
+        with pytest.raises(FormatError, match="csr"):
+            convert(paper_matrix, "csr", h=64)
+
+
+class TestCapabilityMatrix:
+    def test_every_format_has_container_and_serializer(self):
+        from repro import registry as _registry
+
+        for row in _registry.capability_matrix():
+            assert row["container"], row["format"]
+            assert row["serializer"], row["format"]
+
+    def test_bro_formats_fully_capable(self):
+        from repro import registry as _registry
+
+        rows = {r["format"]: r for r in _registry.capability_matrix()}
+        for fmt in ("bro_ell", "bro_coo", "bro_hyb"):
+            row = rows[fmt]
+            for cap in ("kernel", "planner", "tracer", "tuner",
+                        "validator", "integrity", "serializer"):
+                assert row[cap], f"{fmt} lacks {cap}"
+
+
 class TestScipyInterop:
     def test_from_scipy_matches(self):
         rng = np.random.default_rng(8)

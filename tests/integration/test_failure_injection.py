@@ -13,7 +13,6 @@ from repro.errors import (
     ReproError,
     ValidationError,
 )
-from repro.formats.coo import COOMatrix
 from tests.conftest import random_coo
 
 

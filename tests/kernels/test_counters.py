@@ -5,7 +5,7 @@ import pytest
 
 from repro.formats import convert
 from repro.formats.coo import COOMatrix
-from repro.gpu.device import DEVICES, TESLA_K20
+from repro.gpu.device import DEVICES
 from repro.kernels import run_spmv
 from tests.conftest import random_coo
 

@@ -1,13 +1,11 @@
 """Per-kernel counter details not covered by the cross-format tests."""
 
 import numpy as np
-import pytest
 
 from repro.formats import convert
 from repro.formats.coo import COOMatrix
 from repro.gpu.device import TESLA_K20
 from repro.kernels import get_kernel, run_spmv
-from tests.conftest import random_coo
 
 
 def uniform_band(m=2048, k=8):

@@ -10,7 +10,6 @@ import pytest
 
 from repro import telemetry
 from repro.formats.conversion import convert
-from repro.formats.coo import COOMatrix
 from repro.integrity.checksums import seal
 from repro.kernels import PLAN_CACHE, PlanCache, run_spmv
 from repro.kernels.plancache import fingerprint_token

@@ -90,7 +90,6 @@ class TestValidation:
         import copy
 
         from repro.formats.csr import CSRMatrix
-        from repro.integrity.checksums import seal
 
         coo, mat = make("bro_ell")
         mat = copy.deepcopy(mat)

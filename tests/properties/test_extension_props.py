@@ -9,7 +9,6 @@ from repro.core.value_compression import (
     compress_value_block,
     decompress_value_block,
 )
-from repro.formats.coo import COOMatrix
 from tests.properties.test_format_props import sparse_matrices
 
 

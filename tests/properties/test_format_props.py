@@ -9,7 +9,7 @@ Invariants:
 """
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bro_coo import BROCOOMatrix

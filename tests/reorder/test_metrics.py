@@ -1,7 +1,6 @@
 """Unit tests for ordering-quality metrics."""
 
 import numpy as np
-import pytest
 
 from repro.formats.coo import COOMatrix
 from repro.matrices.generators import banded_random

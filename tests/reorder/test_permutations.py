@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ReorderingError
 from repro.formats.coo import COOMatrix
-from repro.matrices.generators import banded_random, block_band
+from repro.matrices.generators import banded_random
 from repro.reorder import (
     amd_permutation,
     apply_reordering,

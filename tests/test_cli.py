@@ -152,6 +152,51 @@ class TestJsonModes:
         assert any(row["ok"] for row in data["formats"])
 
 
+class TestFormatsCommand:
+    def test_formats_table(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        assert "format" in out and "kernel" in out and "serializer" in out
+        for fmt in ("bro_ell", "bro_coo", "bro_hyb", "csr", "hyb"):
+            assert fmt in out
+
+    def test_formats_json_matches_registry(self, capsys):
+        import json
+
+        from repro import registry as _registry
+
+        assert main(["formats", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["format"] for r in rows} == set(_registry.available_formats())
+        bro = next(r for r in rows if r["format"] == "bro_ell")
+        assert bro["kernel"] and bro["planner"] and bro["serializer"]
+        assert bro["default_kwargs"] == {"h": 256, "sym_len": 32}
+
+
+class TestSpmvSaveLoad:
+    def test_save_then_spmv_from_container(self, capsys, tmp_path):
+        path = tmp_path / "epb3.brx"
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--save", str(path)]
+        ) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["spmv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "GFlop/s" in out
+
+    def test_saved_container_verifies(self, capsys, tmp_path):
+        from repro.integrity.checksums import verify_integrity
+        from repro.serialize import load_container
+
+        path = tmp_path / "sealed.brx"
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--format", "bro_coo",
+             "--save", str(path)]
+        ) == 0
+        verify_integrity(load_container(path))
+
+
 class TestSpmvTrace:
     def test_trace_bro_ell(self, capsys):
         assert main(["spmv", "epb3", "--scale", "0.02", "--trace"]) == 0
