@@ -27,6 +27,7 @@ from . import (
     bench,
     bitstream,
     core,
+    exec,
     formats,
     gpu,
     integrity,
@@ -48,6 +49,11 @@ from .core import (
     space_savings,
 )
 from .errors import ReproError
+# Importing the partitioner registers the "sharded" container format, so
+# sharded .brx files round-trip through plain load_container().
+from .exec.partition import ShardedMatrix, partition
+from .exec.policy import ExecutionPolicy
+from .exec.scaling import strong_scaling
 from .formats import (
     COOMatrix,
     CSRMatrix,
@@ -63,8 +69,9 @@ from .formats import (
 )
 from .gpu import DEVICES, DeviceSpec, get_device
 from .integrity import run_campaign, seal, validate_structure, verify_integrity
-from .kernels import SpMVResult, run_spmv
+from .kernels import SpMVResult, prepare, run_spmm, run_spmv
 from .pipeline import Session
+from .registry import register_format
 from .serialize import load_container, save_container
 from .reorder import (
     amd_permutation,
@@ -105,7 +112,16 @@ __all__ = [
     "DEVICES",
     "get_device",
     "run_spmv",
+    "run_spmm",
+    "prepare",
     "SpMVResult",
+    # execution policy + multi-device sharding
+    "ExecutionPolicy",
+    "ShardedMatrix",
+    "partition",
+    "strong_scaling",
+    # extension points
+    "register_format",
     # reordering
     "bar_permutation",
     "rcm_permutation",
@@ -130,6 +146,7 @@ __all__ = [
     "bench",
     "bitstream",
     "core",
+    "exec",
     "formats",
     "gpu",
     "integrity",

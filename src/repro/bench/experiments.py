@@ -14,6 +14,7 @@ import numpy as np
 from ..core.bro_ell import BROELLMatrix
 from ..core.bro_hyb import BROHYBMatrix
 from ..core.compression import index_compression_report
+from ..exec.policy import ExecutionPolicy
 from ..formats.coo import COOMatrix
 from ..formats.ellpack import ELLPACKMatrix
 from ..gpu.device import DEVICES
@@ -406,8 +407,9 @@ def wallclock_engines(
             plan = prepare(mat, device)
             build_time = time.perf_counter() - t0
 
+            ref_policy = ExecutionPolicy(engine="reference")
             ref_spmv = _time_repeat(
-                lambda: run_spmv(mat, x, device, engine="reference"), repeats
+                lambda: run_spmv(mat, x, device, policy=ref_policy), repeats
             )
             fast_spmv = _time_repeat(lambda: plan.execute(x), repeats)
             rows.append(
@@ -423,7 +425,7 @@ def wallclock_engines(
             )
 
             ref_spmm = _time_repeat(
-                lambda: run_spmm(mat, X, device, engine="reference"),
+                lambda: run_spmm(mat, X, device, policy=ref_policy),
                 max(1, repeats // 2),
             )
             fast_spmm = _time_repeat(
@@ -450,13 +452,17 @@ def wallclock_engines(
         spd_mat = convert(spd, formats[0], **kwargs)
         b = np.ones(spd_mat.shape[1])
 
-        op_ref = SimulatedOperator(spd_mat, device, engine="reference")
+        op_ref = SimulatedOperator(
+            spd_mat, device, policy=ExecutionPolicy(engine="reference")
+        )
         t0 = time.perf_counter()
         conjugate_gradient(op_ref, b, tol=0.0, max_iter=cg_iters)
         ref_cg = time.perf_counter() - t0
 
         cache = PlanCache()
-        op_fast = SimulatedOperator(spd_mat, device, plan_cache=cache)
+        op_fast = SimulatedOperator(
+            spd_mat, device, policy=ExecutionPolicy(plan_cache=cache)
+        )
         t0 = time.perf_counter()
         conjugate_gradient(op_fast, b, tol=0.0, max_iter=cg_iters)
         fast_cg = time.perf_counter() - t0

@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from .. import registry as _registry
+from ..exec.policy import ExecutionPolicy
 from ..formats.base import SparseFormat
 from ..formats.conversion import convert
 from ..formats.coo import COOMatrix
@@ -70,7 +71,11 @@ def spmv_once(
     dev = get_device(device) if isinstance(device, str) else device
     if x is None:
         x = _x_vector(matrix.shape[1])
-    return Session(dev, engine="reference").use(matrix).execute(x)
+    return (
+        Session(dev, policy=ExecutionPolicy(engine="reference"))
+        .use(matrix)
+        .execute(x)
+    )
 
 
 @dataclass

@@ -13,7 +13,13 @@ Commands
 ``spmv <matrix>``
     Run one simulated SpMV and print the timing breakdown; ``--save``
     persists the converted container as a ``.brx`` file, and ``<matrix>``
-    may itself be a saved ``.brx`` container.
+    may itself be a saved ``.brx`` container. ``--devices N`` shards the
+    run across N simulated devices (``--partition``/``--comms`` select
+    the row partitioner and x-distribution strategy).
+``scale <matrix>``
+    Strong-scaling sweep: run the sharded engine across a list of device
+    counts (``--devices 1,2,4,8``) and report modeled speedup/efficiency
+    with the interconnect term broken out.
 ``formats``
     Print the format capability matrix (kernel, planner, tracer, tuner,
     validator, integrity, serializer) straight from the registry.
@@ -54,6 +60,7 @@ from .bench import experiments as exp
 from .bench.reporting import format_table
 from .core.compression import index_compression_report
 from .errors import ReproError
+from .exec.policy import PARTITIONERS, ExecutionPolicy
 from .formats.conversion import convert
 from .formats.coo import COOMatrix
 from .gpu.device import DEVICES
@@ -113,6 +120,17 @@ def _load_matrix(spec: str, scale: float) -> COOMatrix:
     )
 
 
+def _conversion_kwargs(fmt: str, args: argparse.Namespace) -> dict:
+    """Conversion overrides from the shared --h/--sym-len flags."""
+    spec = _registry.get_spec(fmt)
+    kwargs: dict = {}
+    if spec.accepts("h"):
+        kwargs["h"] = args.h
+    if getattr(args, "sym_len", None) is not None and spec.accepts("sym_len"):
+        kwargs["sym_len"] = args.sym_len
+    return kwargs
+
+
 def _suite_kwargs(fmt: str, h: int) -> dict:
     """Conversion overrides for a self-check sweep, asked of the registry."""
     spec = _registry.get_spec(fmt)
@@ -124,75 +142,130 @@ def _suite_kwargs(fmt: str, h: int) -> dict:
     return kwargs
 
 
+def _device_list(text: str) -> List[int]:
+    """Parse a ``--devices`` sweep list like ``1,2,4,8``."""
+    try:
+        counts = sorted({int(part) for part in text.split(",") if part})
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated integer list, got {text!r}"
+        )
+    if not counts or counts[0] < 1:
+        raise argparse.ArgumentTypeError(
+            f"device counts must be positive integers, got {text!r}"
+        )
+    return counts
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing and docs)."""
+    """Construct the argument parser (exposed for testing and docs).
+
+    Subcommands share one spelling for the common flags via argparse
+    parent parsers: ``--scale``, ``--device``, ``--json`` and the
+    conversion trio ``--format``/``--h``/``--sym-len``. ``--format``
+    always names the *storage* format; machine-readable output is always
+    ``--json`` (``profile`` adds ``--export`` for its non-JSON trace
+    formats).
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BRO sparse formats + simulated-GPU SpMV (SC '13 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared flag groups — one definition, one spelling, every subcommand.
+    matrix_p = argparse.ArgumentParser(add_help=False)
+    matrix_p.add_argument("matrix", help="Table 2 name or a .mtx file path")
+    matrix_p.add_argument("--scale", type=float, default=0.05,
+                          help="generation scale for suite names "
+                               "(default 0.05)")
+    device_p = argparse.ArgumentParser(add_help=False)
+    device_p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+    json_p = argparse.ArgumentParser(add_help=False)
+    json_p.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    def conv_parent(default_format: str = "bro_ell",
+                    default_sym_len: Optional[int] = None,
+                    ) -> argparse.ArgumentParser:
+        # A fresh parent per subcommand: argparse parents share action
+        # objects, so per-subcommand defaults must not mutate a shared one.
+        cp = argparse.ArgumentParser(add_help=False)
+        cp.add_argument("--format", default=default_format,
+                        help=f"storage format (default {default_format})")
+        cp.add_argument("--h", type=int, default=256, help="slice height")
+        cp.add_argument("--sym-len", type=int, default=default_sym_len,
+                        choices=[32, 64], dest="sym_len",
+                        help="symbol length in bits (format default if unset)")
+        return cp
+
     sub.add_parser("devices", help="print the simulated GPU registry")
     sub.add_parser("matrices", help="list the Table 2 matrix suite")
     sub.add_parser("selfcheck", help="quick internal verification")
 
-    p = sub.add_parser(
-        "formats", help="print the format capability matrix"
-    )
-    p.add_argument("--json", action="store_true",
-                   help="emit the capability matrix as JSON instead of text")
+    sub.add_parser("formats", parents=[json_p],
+                   help="print the format capability matrix")
 
-    p = sub.add_parser(
-        "verify", help="integrity check + fault-injection campaign"
-    )
+    p = sub.add_parser("verify", parents=[device_p, json_p],
+                       help="integrity check + fault-injection campaign")
     p.add_argument("--faults", type=_positive_int, default=150,
                    help="faults to inject across the BRO formats (default 150)")
     p.add_argument("--seed", type=int, default=0,
                    help="campaign seed (default 0)")
-    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
-    p.add_argument("--json", action="store_true",
-                   help="emit a machine-readable JSON summary instead of text")
 
-    def matrix_arg(p: argparse.ArgumentParser) -> None:
-        p.add_argument("matrix", help="Table 2 name or a .mtx file path")
-        p.add_argument("--scale", type=float, default=0.05,
-                       help="generation scale for suite names (default 0.05)")
+    sub.add_parser("analyze", parents=[matrix_p, json_p],
+                   help="matrix statistics")
 
-    p = sub.add_parser("analyze", help="matrix statistics")
-    matrix_arg(p)
-    p.add_argument("--json", action="store_true",
-                   help="emit the statistics as JSON instead of text")
+    sub.add_parser("compress",
+                   parents=[matrix_p, conv_parent(default_sym_len=32)],
+                   help="BRO compression report")
 
-    p = sub.add_parser("compress", help="BRO compression report")
-    matrix_arg(p)
-    p.add_argument("--format", default="bro_ell",
-                   choices=["bro_ell", "bro_coo", "bro_hyb"])
-    p.add_argument("--h", type=int, default=256, help="slice height")
-    p.add_argument("--sym-len", type=int, default=32, choices=[32, 64])
-
-    p = sub.add_parser("spmv", help="run one simulated SpMV")
-    p.add_argument("matrix",
-                   help="Table 2 name, a .mtx file or a saved .brx container")
-    p.add_argument("--scale", type=float, default=0.05,
-                   help="generation scale for suite names (default 0.05)")
-    p.add_argument("--format", default="bro_ell")
-    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
-    p.add_argument("--h", type=int, default=256)
+    p = sub.add_parser("spmv",
+                       parents=[matrix_p, device_p, conv_parent(), json_p],
+                       help="run one simulated SpMV")
+    p.add_argument("--devices", type=_positive_int, default=1, metavar="N",
+                   help="shard across N simulated devices (default 1)")
+    p.add_argument("--partition", default="greedy-nnz",
+                   choices=sorted(PARTITIONERS),
+                   help="row partitioner for --devices > 1")
+    p.add_argument("--comms", default="auto",
+                   choices=["auto", "broadcast", "halo"],
+                   help="x-distribution strategy for --devices > 1")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "fast", "reference"],
+                   help="execution engine (default auto)")
+    p.add_argument("--plan-cache", default="on", choices=["on", "off"],
+                   dest="plan_cache",
+                   help="use the process-wide prepared-plan cache "
+                        "(default on)")
     p.add_argument("--trace", action="store_true",
                    help="print the format's per-block profile (formats with "
                         "a registered tracer; see `repro formats`)")
     p.add_argument("--save", metavar="PATH",
                    help="write the converted, sealed container to a .brx file")
 
-    p = sub.add_parser("advise", help="rank formats for a matrix")
-    matrix_arg(p)
-    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+    p = sub.add_parser("scale",
+                       parents=[matrix_p, device_p, conv_parent("csr"),
+                                json_p],
+                       help="strong-scaling sweep across simulated devices")
+    p.add_argument("--devices", type=_device_list, default=[1, 2, 4, 8],
+                   metavar="LIST",
+                   help="comma-separated device counts (default 1,2,4,8)")
+    p.add_argument("--partition", default="greedy-nnz",
+                   choices=sorted(PARTITIONERS),
+                   help="row partitioner (default greedy-nnz)")
+    p.add_argument("--comms", default="auto",
+                   choices=["auto", "broadcast", "halo"],
+                   help="x-distribution strategy (default auto)")
 
-    p = sub.add_parser("export", help="write a suite matrix to .mtx")
-    matrix_arg(p)
+    sub.add_parser("advise", parents=[matrix_p, device_p],
+                   help="rank formats for a matrix")
+
+    p = sub.add_parser("export", parents=[matrix_p],
+                       help="write a suite matrix to .mtx")
     p.add_argument("output", help="destination .mtx path")
 
-    p = sub.add_parser("bench", help="regenerate one paper experiment")
+    p = sub.add_parser("bench", parents=[json_p],
+                       help="regenerate one paper experiment")
     p.add_argument("experiment", choices=sorted(_EXPERIMENTS))
     p.add_argument("--scale", type=float, default=None,
                    help="matrix scale (defaults per experiment)")
@@ -212,16 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(used by the wallclock perf-smoke gate)")
 
     p = sub.add_parser(
-        "profile", help="trace one full pipeline run and attribute time"
+        "profile", parents=[matrix_p, device_p, conv_parent(), json_p],
+        help="trace one full pipeline run and attribute time",
     )
-    matrix_arg(p)
-    p.add_argument("--storage", default="bro_ell",
-                   help="target storage format (default bro_ell)")
-    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
-    p.add_argument("--h", type=int, default=256, help="slice height")
-    p.add_argument("--format", default="table",
+    p.add_argument("--storage", dest="format", metavar="FORMAT",
+                   help="alias for --format")
+    p.add_argument("--export", default="table",
                    choices=["table", "json", "chrome", "prom"],
-                   help="output format (default table)")
+                   help="trace export format (default table; --json is "
+                        "shorthand for --export json)")
     p.add_argument("--output", metavar="PATH",
                    help="write the export to PATH instead of stdout")
     return parser
@@ -289,11 +361,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
+    if args.format not in ("bro_ell", "bro_coo", "bro_hyb"):
+        raise ReproError(
+            f"compress reports BRO index compression; --format must be "
+            f"bro_ell, bro_coo or bro_hyb, got {args.format!r}"
+        )
     coo = _load_matrix(args.matrix, args.scale)
-    kwargs = {"sym_len": args.sym_len}
-    if _registry.get_spec(args.format).accepts("h"):
-        kwargs["h"] = args.h
-    mat = convert(coo, args.format, **kwargs)
+    mat = convert(coo, args.format, **_conversion_kwargs(args.format, args))
     report = index_compression_report(mat, args.matrix)
     print(f"scheme            : {report.scheme}")
     print(f"original index    : {report.original_index_bytes:,} bytes")
@@ -304,21 +378,54 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_spmv(args: argparse.Namespace) -> int:
-    sess = Session(device=args.device).load(args.matrix, scale=args.scale)
-    if sess.format_name != args.format:
-        kwargs = (
-            {"h": args.h}
-            if _registry.get_spec(args.format).accepts("h") else {}
-        )
-        sess.convert(args.format, **kwargs)
+    policy = ExecutionPolicy(
+        engine=args.engine,
+        devices=args.devices,
+        partitioner=args.partition,
+        comms=args.comms,
+    )
+    sess = Session(device=args.device, policy=policy)
+    if args.plan_cache == "off":
+        sess.policy = sess.policy.with_(plan_cache=None)
+    sess.load(args.matrix, scale=args.scale)
+    # A .brx container may already hold a sharded matrix; leave it alone.
+    if sess.format_name not in (args.format, "sharded"):
+        sess.convert(args.format, **_conversion_kwargs(args.format, args))
     x = np.random.default_rng(0).standard_normal(sess.matrix.shape[1])
     result = sess.execute(x)
     if not np.allclose(result.y, sess.source.spmv(x), rtol=1e-8):
         raise ReproError("kernel verification failed")  # pragma: no cover
     t = result.timing
     c = result.counters
+    comms = getattr(result, "comms", None)
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = {
+            "matrix": args.matrix,
+            "format": sess.format_name,
+            "device": t.device.name,
+            "devices": getattr(result, "n_devices", 1),
+            "time_us": t.time * 1e6,
+            "occupancy": t.occupancy,
+            "bound": t.bound,
+            "gflops": t.gflops,
+            "achieved_bw_gbps": t.achieved_bw_gbps,
+            "bandwidth_utilization": t.bandwidth_utilization,
+            "counters": dataclasses.asdict(c),
+            "comms": comms.to_dict() if comms is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"format     : {sess.format_name}   device: {t.device.name}")
     print(f"verified   : kernel output matches reference")
+    if comms is not None:
+        print(f"devices    : {result.n_devices} "
+              f"(partition {result.partitioner}, comms {comms.strategy})")
+        print(f"interlink  : {c.interconnect_bytes:,} bytes, "
+              f"{comms.messages} messages, "
+              f"t_comm {t.t_comm * 1e6:.2f} us")
     print(f"DRAM bytes : index {c.index_bytes:,} | values {c.value_bytes:,} "
           f"| x {c.x_bytes:,} | y {c.y_bytes:,} | aux {c.aux_bytes:,}")
     print(f"time       : {t.time * 1e6:.2f} us "
@@ -344,6 +451,55 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
     if getattr(args, "save", None):
         sess.seal().save(args.save)
         print(f"\nwrote sealed {sess.format_name} container to {args.save}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from .exec.scaling import strong_scaling
+
+    coo = _load_matrix(args.matrix, args.scale)
+    mat = convert(coo, args.format, **_conversion_kwargs(args.format, args))
+    rows = strong_scaling(
+        mat,
+        args.device,
+        args.devices,
+        partitioner=args.partition,
+        comms=args.comms,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "matrix": args.matrix,
+            "scale": args.scale,
+            "format": args.format,
+            "device": args.device,
+            "partition": args.partition,
+            "rows": rows,
+        }, indent=2, sort_keys=True))
+        return 0
+    printable = [
+        {
+            "devices": r["devices"],
+            "comms": r["comms"] or "-",
+            "t_total_us": 1e6 * r["t_total"],
+            "t_kernel_us": 1e6 * r["t_kernel"],
+            "t_comm_us": 1e6 * r["t_comm"],
+            "gflops": r["gflops"],
+            "link_bytes": r["interconnect_bytes"],
+            "speedup": r["speedup"],
+            "efficiency": r["efficiency"],
+            "bound": r["bound"],
+        }
+        for r in rows
+    ]
+    print(format_table(
+        printable,
+        ["devices", "comms", "t_total_us", "t_kernel_us", "t_comm_us",
+         "gflops", "link_bytes", "speedup", "efficiency", "bound"],
+        f"Strong scaling: {args.matrix} as {args.format} on "
+        f"{DEVICES[args.device].name} ({args.partition})",
+    ))
     return 0
 
 
@@ -445,7 +601,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         mat = seal(convert(coo, fmt, **_suite_kwargs(fmt, h=64)))
         try:
             validate_structure(mat, deep=True)
-            res = run_spmv(mat, x, args.device, verify="full")
+            res = run_spmv(
+                mat, x, args.device, policy=ExecutionPolicy(verify="full")
+            )
         except ReproError as exc:
             emit(f"FAIL {fmt}: verified dispatch raised {exc}")
             format_rows.append({"format": fmt, "ok": False, "error": str(exc)})
@@ -561,10 +719,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             scale = baseline.get("scale")
 
     rows = fn() if scale is None else fn(scale=scale)
-    print(format_table(rows, columns, f"Experiment {args.experiment}"))
-    if args.plot:
-        print()
-        print(_render_plot(args.experiment, rows, columns))
+    if args.json:
+        import json
+
+        from .telemetry.benchreport import _json_default
+
+        print(json.dumps({
+            "experiment": args.experiment,
+            "scale": scale,
+            "rows": rows,
+        }, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(format_table(rows, columns, f"Experiment {args.experiment}"))
+        if args.plot:
+            print()
+            print(_render_plot(args.experiment, rows, columns))
 
     report = br.make_report(args.experiment, rows, scale=scale)
     if args.save is not None:
@@ -613,23 +782,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     rep = profile_matrix(
         args.matrix,
-        storage=args.storage,
+        storage=args.format,
         device=args.device,
         scale=args.scale,
         h=args.h,
     )
 
-    if args.format != "table":
-        if args.format == "json":
+    export = "json" if args.json and args.export == "table" else args.export
+    if export != "table":
+        if export == "json":
             text = exporters.to_jsonl(rep.tracer)
-        elif args.format == "chrome":
+        elif export == "chrome":
             text = exporters.to_chrome_trace(rep.tracer, indent=2)
         else:  # prom
             text = exporters.prometheus_text(rep.snapshot)
         if args.output:
             with open(args.output, "w", encoding="utf-8") as fh:
                 fh.write(text if text.endswith("\n") else text + "\n")
-            print(f"wrote {args.format} export to {args.output}")
+            print(f"wrote {export} export to {args.output}")
         else:
             print(text, end="" if text.endswith("\n") else "\n")
         return 0
@@ -702,6 +872,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compress(args)
         if args.command == "spmv":
             return _cmd_spmv(args)
+        if args.command == "scale":
+            return _cmd_scale(args)
         if args.command == "advise":
             return _cmd_advise(args)
         if args.command == "selfcheck":

@@ -297,7 +297,17 @@ class BROELLMatrix(SparseFormat):
                 continue
             cols, valid = self.decode_slice_cols(i)
             cols = np.where(valid, cols, 0)
-            y[r0:r1] = np.einsum("ij,ij->i", np.where(valid, val_block, 0.0), x[cols])
+            # One masked FMA per ELL column, accumulated sequentially —
+            # the same order as Algorithm 1's device loop. A pairwise or
+            # SIMD-blocked reduction (einsum) would make the summation
+            # tree depend on the slice's padded width, so row results
+            # would drift by ULPs between differently-padded slices (e.g.
+            # the same row inside a row-sharded partition).
+            prod = np.where(valid, val_block * x[cols], 0.0)
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[1]):
+                acc += prod[:, c]
+            y[r0:r1] = acc
         return y
 
     def device_bytes(self) -> Dict[str, int]:

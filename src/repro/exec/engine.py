@@ -1,0 +1,181 @@
+"""The sharded execution engine: N shards, N simulated devices.
+
+:func:`execute_sharded` is where a ``devices > 1``
+:class:`~repro.exec.policy.ExecutionPolicy` lands after
+:func:`repro.kernels.run_spmv` has done its verify/fallback work. The
+engine
+
+1. partitions the matrix (or accepts a pre-built
+   :class:`~repro.exec.partition.ShardedMatrix`), caching the partition
+   on the container so solver loops pay for it once;
+2. prepares and runs every shard's kernel concurrently on a
+   ``ThreadPoolExecutor`` — each shard goes through the same
+   single-device engine selection (reference kernels or prepared-plan
+   replay) the unsharded path uses;
+3. concatenates the per-shard ``y`` blocks (bit-identical to the
+   single-device result, because shards are contiguous row blocks and
+   every kernel accumulates rows in ascending-column order);
+4. merges the per-shard :class:`~repro.gpu.counters.KernelCounters` and
+   adds the modeled interconnect traffic
+   (:func:`~repro.exec.comms.model_comms`), so
+   ``merged == sum(shard counters)`` in every DRAM field while
+   ``interconnect_bytes`` carries the communication volume.
+
+Thread-safety note: the telemetry tracer keeps one global span stack,
+so when a tracer is active the shards run sequentially (same results
+and counters, deterministic span tree); the pool is used only for
+untraced runs. NumPy releases the GIL on the large kernels, so the pool
+gives real overlap in the common case.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.timing import MultiDeviceBreakdown, predict_sharded
+from ..kernels.base import SpMVResult
+from ..telemetry import metrics as _metrics
+from ..telemetry.tracer import get_tracer
+from ..telemetry.tracer import span as _span
+from .comms import CommsReport, model_comms
+from .partition import ShardedMatrix, partition
+from .policy import ExecutionPolicy
+
+__all__ = ["ShardedSpMVResult", "execute_sharded", "sharded_view"]
+
+
+@dataclass
+class ShardedSpMVResult(SpMVResult):
+    """Result of a multi-device SpMV.
+
+    ``y``/``counters`` behave exactly like the single-device record
+    (``counters`` is the merged view, carrying the modeled
+    ``interconnect_bytes``); the extra fields expose the per-shard
+    results, the communication accounting and the sharded timing model.
+    """
+
+    shard_results: Tuple[SpMVResult, ...] = ()
+    comms: Optional[CommsReport] = None
+    partitioner: str = "greedy-nnz"
+
+    @property
+    def timing(self) -> MultiDeviceBreakdown:  # type: ignore[override]
+        """Sharded timing: parallel kernel phase + interconnect term."""
+        return predict_sharded(
+            self.counters,
+            tuple(r.counters for r in self.shard_results),
+            self.device,
+            messages=self.comms.messages if self.comms is not None else 0,
+        )
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.shard_results)
+
+
+def sharded_view(
+    matrix: SparseFormat,
+    devices: int,
+    partitioner: str = "greedy-nnz",
+) -> ShardedMatrix:
+    """The matrix partitioned for ``devices``, cached on the container.
+
+    Re-invoking with the same ``(devices, partitioner)`` returns the
+    cached :class:`ShardedMatrix`, so iterative solvers re-encode shards
+    once per operator, not once per multiplication.
+    """
+    if isinstance(matrix, ShardedMatrix):
+        # devices == 1 means "no explicit request": use the container as-is.
+        if devices > 1 and matrix.n_shards != devices:
+            raise ValidationError(
+                f"matrix is already sharded for {matrix.n_shards} devices, "
+                f"policy asks for {devices}; re-partition explicitly"
+            )
+        return matrix
+    cache = getattr(matrix, "_repro_shard_cache", None)
+    if cache is None:
+        cache = {}
+        matrix._repro_shard_cache = cache  # type: ignore[attr-defined]
+    key = (devices, partitioner)
+    if key not in cache:
+        cache[key] = partition(matrix, devices, partitioner)
+    return cache[key]
+
+
+def _merge(
+    shard_results: List[SpMVResult], comms: CommsReport
+) -> KernelCounters:
+    merged = KernelCounters.sum(r.counters for r in shard_results)
+    return replace(
+        merged,
+        interconnect_bytes=merged.interconnect_bytes + comms.total_bytes,
+    )
+
+
+def execute_sharded(
+    matrix: SparseFormat,
+    x: np.ndarray,
+    device: DeviceSpec | str,
+    policy: ExecutionPolicy,
+) -> ShardedSpMVResult:
+    """Run ``y = A @ x`` across ``policy.devices`` simulated devices.
+
+    Integrity (verify/fallback) is the caller's concern —
+    :func:`repro.kernels.run_spmv` wraps this call in its guarded
+    region, so corruption inside any shard degrades exactly like a
+    single-device failure. Each shard runs with a single-device variant
+    of ``policy`` (same engine selection and plan cache).
+    """
+    from ..kernels.dispatch import run_spmv  # late: dispatch imports us
+
+    if isinstance(device, str):
+        device = get_device(device)
+    if not policy.sharded and not isinstance(matrix, ShardedMatrix):
+        raise ValidationError("execute_sharded needs policy.devices > 1")
+
+    sharded = sharded_view(matrix, policy.devices, policy.partitioner)
+    comms = model_comms(sharded, device, policy.comms)
+    x = sharded.check_x(x)
+    shard_policy = policy.with_(
+        devices=1, verify=False, fallback=None, plan=None
+    )
+
+    def run_one(shard: SparseFormat) -> SpMVResult:
+        return run_spmv(shard, x, device, policy=shard_policy)
+
+    with _span(
+        "exec.sharded",
+        "pipeline",
+        format=sharded.inner_format,
+        devices=sharded.n_shards,
+        partitioner=sharded.partitioner,
+        comms=comms.strategy,
+    ):
+        if get_tracer() is not None or sharded.n_shards == 1:
+            # The tracer's span stack is global: keep the tree deterministic.
+            results = [run_one(s) for s in sharded.shards]
+        else:
+            with ThreadPoolExecutor(max_workers=sharded.n_shards) as pool:
+                results = list(pool.map(run_one, sharded.shards))
+
+    y = np.concatenate([r.y for r in results])
+    merged = _merge(results, comms)
+    _metrics.record_exec(
+        sharded.inner_format, device.name, sharded.n_shards, merged, comms
+    )
+    return ShardedSpMVResult(
+        y=y,
+        counters=merged,
+        device=device,
+        shard_results=tuple(results),
+        comms=comms,
+        partitioner=sharded.partitioner,
+    )

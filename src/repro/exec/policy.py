@@ -1,0 +1,233 @@
+"""The typed execution contract: one frozen object instead of five kwargs.
+
+Before this module, every execution entry point — ``run_spmv``,
+``run_spmm``, :meth:`Session.execute`, ``SimulatedOperator`` — grew the
+same five loose keywords (``verify=``, ``fallback=``, ``engine=``,
+``plan=``, ``plan_cache=``), each call site re-documenting and
+re-validating them. :class:`ExecutionPolicy` replaces the sprawl with a
+single frozen dataclass that also carries the *new* multi-device knobs
+(``devices``, ``partitioner``), so every execution target — single
+device or sharded — is configured the same way::
+
+    from repro import ExecutionPolicy, run_spmv
+
+    policy = ExecutionPolicy(verify="checksum", devices=4,
+                             partitioner="greedy-nnz")
+    result = run_spmv(matrix, x, "k20", policy=policy)
+
+The legacy keywords keep working for one release as deprecated shims
+(:func:`coerce_policy` folds them into a policy and emits a
+``DeprecationWarning``); mixing ``policy=`` with a legacy keyword is an
+error so a call never has two sources of truth.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from ..errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
+    from ..formats.base import SparseFormat
+    from ..kernels.plan import SpMVPlan
+    from ..kernels.plancache import PlanCache
+
+__all__ = ["ExecutionPolicy", "coerce_policy", "UNSET"]
+
+#: Accepted ``verify`` levels, in increasing strictness.
+VERIFY_LEVELS = (False, "structure", "checksum", "full")
+
+#: Accepted ``engine`` selectors.
+ENGINES = ("auto", "fast", "reference")
+
+#: Registered row-partitioner names (mirrored by repro.exec.partition).
+PARTITIONERS = ("contiguous", "greedy-nnz", "slice-aligned")
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+#: Singleton default for the deprecated keyword shims.
+UNSET = _Unset()
+
+
+def normalize_verify(verify: Union[bool, str, None]) -> Union[bool, str]:
+    """Map the accepted ``verify`` spellings onto their canonical level."""
+    if verify is None or verify is False:
+        return False
+    if verify is True:
+        return "checksum"
+    if verify in ("structure", "checksum", "full"):
+        return verify
+    raise ValidationError(
+        f"verify must be one of {VERIFY_LEVELS}, got {verify!r}"
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Complete configuration of one SpMV/SpMM execution path.
+
+    Parameters
+    ----------
+    engine:
+        ``"auto"`` (default) — fast engine when a plan source is present
+        and the format has a plan builder; ``"fast"`` — prepared-plan
+        replay; ``"reference"`` — always the stepwise kernels.
+    verify:
+        Integrity level applied before dispatch: ``False`` (default),
+        ``"structure"``, ``True``/``"checksum"`` or ``"full"``.
+    fallback:
+        Trusted container served when the primary fails verification or
+        decode (typically the pristine CSR); ``None`` propagates errors.
+    plan:
+        Explicit :class:`~repro.kernels.plan.SpMVPlan` to replay.
+    plan_cache:
+        :class:`~repro.kernels.plancache.PlanCache` to build/reuse plans
+        from; ``None`` falls back to the process-wide cache when the
+        fast engine is selected.
+    devices:
+        Number of simulated devices. ``1`` (default) executes exactly as
+        before; ``> 1`` routes through the sharded engine
+        (:mod:`repro.exec.engine`): rows are partitioned, each shard runs
+        on its own device, partial products are reduced, and the timing
+        model adds the interconnect term.
+    partitioner:
+        Row-partitioning strategy for ``devices > 1``: ``"greedy-nnz"``
+        (default, balances non-zeros), ``"contiguous"`` (balances rows)
+        or ``"slice-aligned"`` (greedy-nnz with boundaries snapped to
+        BRO-ELL slice multiples so shard bitstreams re-encode without
+        cross-shard slices).
+    comms:
+        Interconnect strategy modeled for the x-vector distribution:
+        ``"auto"`` (default, cheaper of the two), ``"broadcast"`` (full x
+        to every device) or ``"halo"`` (each device fetches only the
+        remote cachelines its columns reach).
+    """
+
+    engine: str = "auto"
+    verify: Union[bool, str] = False
+    fallback: Optional["SparseFormat"] = field(default=None, compare=False)
+    plan: Optional["SpMVPlan"] = field(default=None, compare=False)
+    plan_cache: Optional["PlanCache"] = field(default=None, compare=False)
+    devices: int = 1
+    partitioner: str = "greedy-nnz"
+    comms: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        object.__setattr__(self, "verify", normalize_verify(self.verify))
+        if not isinstance(self.devices, int) or self.devices < 1:
+            raise ValidationError(
+                f"devices must be a positive integer, got {self.devices!r}"
+            )
+        if self.partitioner not in PARTITIONERS:
+            raise ValidationError(
+                f"partitioner must be one of {PARTITIONERS}, "
+                f"got {self.partitioner!r}"
+            )
+        if self.comms not in ("auto", "broadcast", "halo"):
+            raise ValidationError(
+                f"comms must be 'auto', 'broadcast' or 'halo', "
+                f"got {self.comms!r}"
+            )
+        if self.devices > 1 and self.plan is not None:
+            raise ValidationError(
+                "an explicit plan= cannot drive a multi-device execution; "
+                "shards build their own plans (pass plan_cache= instead)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def sharded(self) -> bool:
+        """Whether this policy routes through the multi-device engine."""
+        return self.devices > 1
+
+    def with_(self, **updates: Any) -> "ExecutionPolicy":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **updates)
+
+    def describe(self) -> dict:
+        """JSON-able summary (objects reduced to presence flags)."""
+        return {
+            "engine": self.engine,
+            "verify": self.verify,
+            "fallback": (
+                self.fallback.format_name if self.fallback is not None else None
+            ),
+            "plan": self.plan is not None,
+            "plan_cache": self.plan_cache is not None,
+            "devices": self.devices,
+            "partitioner": self.partitioner,
+            "comms": self.comms,
+        }
+
+
+#: The library-wide default policy (single device, reference-compatible).
+_DEFAULT = ExecutionPolicy()
+
+#: Legacy keyword names folded by :func:`coerce_policy`, in the order the
+#: old signatures declared them.
+_LEGACY_KEYS = ("verify", "fallback", "engine", "plan", "plan_cache")
+
+
+def coerce_policy(
+    policy: Optional[ExecutionPolicy],
+    *,
+    caller: str,
+    verify: Any = UNSET,
+    fallback: Any = UNSET,
+    engine: Any = UNSET,
+    plan: Any = UNSET,
+    plan_cache: Any = UNSET,
+) -> ExecutionPolicy:
+    """Fold the deprecated loose keywords into an :class:`ExecutionPolicy`.
+
+    * Neither given — the default policy.
+    * ``policy=`` only — returned as-is.
+    * Legacy keywords only — folded into a fresh policy, with one
+      ``DeprecationWarning`` naming the keywords and the caller.
+    * Both — :class:`~repro.errors.ValidationError`; a call must have a
+      single source of truth.
+    """
+    passed = {
+        name: value
+        for name, value in zip(
+            _LEGACY_KEYS, (verify, fallback, engine, plan, plan_cache)
+        )
+        if value is not UNSET
+    }
+    if policy is not None:
+        if not isinstance(policy, ExecutionPolicy):
+            raise ValidationError(
+                f"policy must be an ExecutionPolicy, got {type(policy).__name__}"
+            )
+        if passed:
+            raise ValidationError(
+                f"{caller}: pass either policy= or the legacy keyword(s) "
+                f"{sorted(passed)}, not both"
+            )
+        return policy
+    if not passed:
+        return _DEFAULT
+    warnings.warn(
+        f"{caller}: the {sorted(passed)} keyword(s) are deprecated; pass "
+        f"policy=ExecutionPolicy({', '.join(sorted(passed))}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    defaults = {"verify": False, "fallback": None, "engine": "auto",
+                "plan": None, "plan_cache": None}
+    defaults.update(passed)
+    return ExecutionPolicy(**defaults)

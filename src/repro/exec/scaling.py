@@ -1,0 +1,112 @@
+"""Strong-scaling experiment: one matrix, 1..N simulated devices.
+
+The reportable experiment behind ``repro scale``: fix the matrix and
+format, sweep the device count, and compare the sharded timing model
+against the single-device baseline. Because the kernel phase is the
+slowest shard while communication grows with the device count, the rows
+expose the classic strong-scaling shape — near-linear speedup while the
+shards stay bandwidth-bound, flattening when the interconnect term or
+load imbalance dominates.
+
+Every sweep row is checked for bit-identity against the single-device
+reference product before it is reported, so a scaling table is also an
+end-to-end correctness assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..formats.base import SparseFormat
+from ..gpu.device import DeviceSpec, get_device
+from .engine import execute_sharded
+from .policy import ExecutionPolicy
+
+__all__ = ["strong_scaling"]
+
+
+def strong_scaling(
+    matrix: SparseFormat,
+    device: Union[DeviceSpec, str] = "k20",
+    devices: Sequence[int] = (1, 2, 4, 8),
+    *,
+    partitioner: str = "greedy-nnz",
+    comms: str = "auto",
+    engine: str = "auto",
+    x: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Sweep the device count and report modeled speedup/efficiency.
+
+    Returns one dict per entry of ``devices`` with the modeled times
+    (``t_total``, ``t_kernel``, ``t_comm``), the achieved GFlop/s, the
+    communication volume and ``speedup``/``efficiency`` relative to the
+    single-device baseline (always computed, even when ``1`` is not in
+    ``devices``). Raises :class:`~repro.errors.ValidationError` if any
+    sharded product deviates from the single-device result by a single
+    bit.
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    counts = sorted({int(d) for d in devices})
+    if not counts or counts[0] < 1:
+        raise ValidationError(f"devices must be positive integers, got {devices!r}")
+    if x is None:
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(matrix.shape[1])
+
+    # Single-device baseline through the ordinary dispatch path.
+    from ..kernels.dispatch import run_spmv
+
+    base = run_spmv(matrix, x, device,
+                    policy=ExecutionPolicy(engine=engine))
+    t_base = base.timing.time
+
+    rows: List[Dict[str, object]] = []
+    for n in counts:
+        if n == 1:
+            rows.append({
+                "devices": 1,
+                "partitioner": partitioner,
+                "comms": None,
+                "t_total": t_base,
+                "t_kernel": t_base,
+                "t_comm": 0.0,
+                "gflops": base.timing.gflops,
+                "interconnect_bytes": 0,
+                "messages": 0,
+                "speedup": 1.0,
+                "efficiency": 1.0,
+                "bound": base.timing.bound,
+            })
+            continue
+        result = execute_sharded(
+            matrix, x, device,
+            ExecutionPolicy(engine=engine, devices=n,
+                            partitioner=partitioner, comms=comms),
+        )
+        if not np.array_equal(result.y, base.y):
+            raise ValidationError(
+                f"sharded product on {n} devices deviates from the "
+                f"single-device reference"
+            )
+        timing = result.timing
+        speedup = t_base / timing.time
+        rows.append({
+            "devices": n,
+            "partitioner": partitioner,
+            "comms": result.comms.strategy if result.comms else comms,
+            "t_total": timing.time,
+            "t_kernel": timing.t_kernel,
+            "t_comm": timing.t_comm,
+            "gflops": timing.gflops,
+            "interconnect_bytes": int(result.counters.interconnect_bytes),
+            "messages": timing.messages,
+            "speedup": speedup,
+            "efficiency": speedup / n,
+            "bound": timing.bound,
+        })
+    return rows

@@ -31,7 +31,12 @@ from .device import (
 from .launch import LaunchConfig, occupancy_factor
 from .memory import contiguous_transactions, gather_transactions
 from .texcache import TextureCacheModel
-from .timing import TimingBreakdown, predict
+from .timing import (
+    MultiDeviceBreakdown,
+    TimingBreakdown,
+    predict,
+    predict_sharded,
+)
 from .trace import (
     IntervalTrace,
     PartTrace,
@@ -55,7 +60,9 @@ __all__ = [
     "gather_transactions",
     "TextureCacheModel",
     "TimingBreakdown",
+    "MultiDeviceBreakdown",
     "predict",
+    "predict_sharded",
     "SliceTrace",
     "IntervalTrace",
     "PartTrace",

@@ -44,6 +44,9 @@ class KernelCounters:
     launches: int = 1
     #: Threads launched (for the occupancy model).
     threads: int = 0
+    #: Device-to-device bytes moved over the interconnect (multi-device
+    #: execution only; not DRAM traffic, so excluded from ``dram_bytes``).
+    interconnect_bytes: int = 0
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -89,6 +92,7 @@ class KernelCounters:
             # Sequential launches: the occupancy model should see the larger
             # of the two grids, not their sum.
             threads=max(self.threads, other.threads),
+            interconnect_bytes=self.interconnect_bytes + other.interconnect_bytes,
         )
 
     def __radd__(self, other: Union[int, "KernelCounters"]) -> "KernelCounters":

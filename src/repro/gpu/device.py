@@ -7,6 +7,13 @@ Each :class:`DeviceSpec` combines
   and 159 GB/s) — the timing model uses these, not the pin bandwidth;
 * micro-architecture constants (warp size, DRAM transaction size, texture
   cacheline size, read-only/texture cache capacity per SM);
+* an **interconnect model** for multi-device execution
+  (:mod:`repro.exec`): a PCIe/NVLink-style link bandwidth, a per-message
+  latency and the transfer granularity used when the sharded engine
+  accounts broadcast/halo traffic. The defaults model an NVLink-class
+  peer link (~25 GB/s effective, ~2 us per transfer);
+  :func:`dataclasses.replace` builds PCIe-class variants (e.g. 12 GB/s,
+  10 us) for sensitivity studies;
 * a **calibrated decode throughput**: the one free parameter of the timing
   model. Section 4.2.1 reports that BRO-ELL needs space savings of 17%, 9%
   and 23% on the C2070, GTX680 and K20 to break even with ELLPACK; solving
@@ -59,6 +66,12 @@ class DeviceSpec:
     launch_overhead_us: float = 5.0  #: per-kernel-launch fixed cost
     #: warps per SM needed for full latency hiding (occupancy model).
     saturation_warps_per_sm: int = 16
+    #: device-to-device link bandwidth (NVLink-class effective rate).
+    interconnect_bw_gbps: float = 25.0
+    #: fixed latency charged per critical-path device-to-device message.
+    interconnect_latency_us: float = 2.0
+    #: transfer granularity of halo/broadcast traffic (one cacheline).
+    interconnect_line_bytes: int = 128
 
     def __post_init__(self) -> None:
         if self.cores <= 0 or self.sm_count <= 0:
@@ -67,6 +80,10 @@ class DeviceSpec:
             raise DeviceError(f"{self.name}: measured bandwidth exceeds peak")
         if min(self.measured_bw_gbps, self.dp_gflops, self.decode_gops) <= 0:
             raise DeviceError(f"{self.name}: throughputs must be positive")
+        if self.interconnect_bw_gbps <= 0 or self.interconnect_line_bytes <= 0:
+            raise DeviceError(f"{self.name}: interconnect model must be positive")
+        if self.interconnect_latency_us < 0:
+            raise DeviceError(f"{self.name}: interconnect latency must be >= 0")
 
     @property
     def measured_bw(self) -> float:
@@ -97,6 +114,16 @@ class DeviceSpec:
     def saturation_threads(self) -> int:
         """Total resident threads needed to hide memory latency."""
         return self.sm_count * self.saturation_warps_per_sm * self.warp_size
+
+    @property
+    def interconnect_bw(self) -> float:
+        """Device-to-device link bandwidth in bytes/second."""
+        return self.interconnect_bw_gbps * 1e9
+
+    @property
+    def interconnect_latency(self) -> float:
+        """Per-message interconnect latency in seconds."""
+        return self.interconnect_latency_us * 1e-6
 
 
 def _calibrated_decode_gops(measured_bw_gbps: float, eta_star: float) -> float:

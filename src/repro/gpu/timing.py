@@ -30,13 +30,14 @@ pin bandwidth (Fig. 6), EAI is flops-per-byte (Fig. 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..errors import ValidationError
 from .counters import KernelCounters
 from .device import DeviceSpec
 from .launch import occupancy_factor
 
-__all__ = ["TimingBreakdown", "predict"]
+__all__ = ["TimingBreakdown", "MultiDeviceBreakdown", "predict", "predict_sharded"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,94 @@ class TimingBreakdown:
         return "memory" if self.t_mem >= self.t_flop else "compute"
 
 
+@dataclass(frozen=True)
+class MultiDeviceBreakdown:
+    """Predicted timing of one sharded execution across ``n`` devices.
+
+    The kernel phase runs in parallel — every device executes its shard
+    concurrently, so the exposed kernel time is the *slowest* shard's
+    roofline prediction — and the communication phase (the x broadcast
+    or halo exchange) is charged on the interconnect beforehand:
+
+    .. code-block:: text
+
+        t = max_i(t_shard_i) + t_comm
+        t_comm = interconnect_bytes / link_bw + messages * link_latency
+
+    The per-shard terms reuse the single-device roofline model
+    unchanged; the interconnect term is the only addition, parameterized
+    by the :class:`~repro.gpu.device.DeviceSpec` interconnect fields.
+    """
+
+    device: DeviceSpec
+    counters: KernelCounters  #: merged counters (includes interconnect bytes)
+    shards: Tuple[TimingBreakdown, ...]
+    t_comm: float
+    messages: int
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.shards)
+
+    @property
+    def t_kernel(self) -> float:
+        """Exposed kernel time: the slowest shard (devices run in parallel)."""
+        return max(s.time for s in self.shards)
+
+    @property
+    def time(self) -> float:
+        """Predicted end-to-end time in seconds."""
+        return self.t_kernel + self.t_comm
+
+    @property
+    def occupancy(self) -> float:
+        """Occupancy of the slowest shard (the exposed one)."""
+        return max(self.shards, key=lambda s: s.time).occupancy
+
+    @property
+    def gflops(self) -> float:
+        """Useful throughput in GFlop/s across the whole device group."""
+        return self.counters.useful_flops / self.time / 1e9
+
+    @property
+    def achieved_bw_gbps(self) -> float:
+        """Aggregate achieved DRAM throughput in GB/s."""
+        return self.counters.dram_bytes / self.time / 1e9
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of the group's total pin bandwidth sustained."""
+        return self.achieved_bw_gbps / (
+            self.device.peak_bw_gbps * self.n_devices
+        )
+
+    @property
+    def bound(self) -> str:
+        """Dominant term: ``"memory"``/``"compute"`` of the slowest shard,
+        or ``"interconnect"`` when communication exceeds the kernel phase."""
+        if self.t_comm > self.t_kernel:
+            return "interconnect"
+        return max(self.shards, key=lambda s: s.time).bound
+
+    # Mirror TimingBreakdown's roofline terms so sharded results drop
+    # into existing reporting code (exposed terms of the slowest shard).
+    @property
+    def t_mem(self) -> float:
+        return max(self.shards, key=lambda s: s.time).t_mem
+
+    @property
+    def t_flop(self) -> float:
+        return max(self.shards, key=lambda s: s.time).t_flop
+
+    @property
+    def t_decode(self) -> float:
+        return max(self.shards, key=lambda s: s.time).t_decode
+
+    @property
+    def t_launch(self) -> float:
+        return max(self.shards, key=lambda s: s.time).t_launch
+
+
 def predict(counters: KernelCounters, device: DeviceSpec) -> TimingBreakdown:
     """Predict execution time of a kernel run described by ``counters``."""
     if counters.threads <= 0:
@@ -96,4 +185,33 @@ def predict(counters: KernelCounters, device: DeviceSpec) -> TimingBreakdown:
         t_flop=t_flop,
         t_decode=t_decode,
         t_launch=t_launch,
+    )
+
+
+def predict_sharded(
+    merged: KernelCounters,
+    shard_counters: Tuple[KernelCounters, ...],
+    device: DeviceSpec,
+    *,
+    messages: int,
+) -> MultiDeviceBreakdown:
+    """Predict a multi-device execution from per-shard counter records.
+
+    ``merged`` is the aggregate record (its ``interconnect_bytes`` drives
+    the communication term); ``shard_counters`` are the per-device
+    launches, each predicted with the unchanged single-device roofline.
+    """
+    if not shard_counters:
+        raise ValidationError("predict_sharded needs at least one shard")
+    shards = tuple(predict(c, device) for c in shard_counters)
+    t_comm = (
+        merged.interconnect_bytes / device.interconnect_bw
+        + messages * device.interconnect_latency
+    )
+    return MultiDeviceBreakdown(
+        device=device,
+        counters=merged,
+        shards=shards,
+        t_comm=t_comm,
+        messages=int(messages),
     )

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
+from ..exec.policy import ExecutionPolicy
 from ..formats.base import SparseFormat
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
@@ -182,7 +183,8 @@ def run_campaign(
             continue
         try:
             result = run_spmv(
-                injected.matrix, x, device, verify=verify, fallback=fallback
+                injected.matrix, x, device,
+                policy=ExecutionPolicy(verify=verify, fallback=fallback),
             )
         except ReproError as exc:
             report.records.append(

@@ -1,40 +1,57 @@
 """One-call SpMV entry point: pick the kernel from the matrix's format.
 
 Beyond plain dispatch, :func:`run_spmv` is the integrity boundary of the
-library: with ``verify`` enabled it structurally validates the container
-(and checks its CRC32 header when the matrix was sealed with
+library: with verification enabled it structurally validates the
+container (and checks its CRC32 header when the matrix was sealed with
 :func:`repro.integrity.seal`) before running the kernel, and with a
-``fallback`` matrix supplied it degrades gracefully — any typed
+fallback matrix supplied it degrades gracefully — any typed
 :class:`~repro.errors.ReproError` raised during verification or decode
 reroutes the request to the fallback's reference kernel (typically CSR)
 instead of failing, recording the event in the per-process integrity
 counters and on the returned :class:`~repro.kernels.base.SpMVResult`.
 
-It is also the engine selector. Two execution engines produce identical
-results (same ``y`` bits, equal :class:`KernelCounters`):
+Execution is configured by one object — an
+:class:`~repro.exec.policy.ExecutionPolicy`::
+
+    run_spmv(matrix, x, "k20", policy=ExecutionPolicy(verify="checksum",
+                                                      devices=4))
+
+The policy selects between two single-device engines that produce
+identical results (same ``y`` bits, equal :class:`KernelCounters`):
 
 * ``"reference"`` — the stepwise simulated kernels, re-decoding every
-  packed stream on each call (Algorithm 1 as written).
+  packed stream on each call (Algorithm 1 as written);
 * ``"fast"`` — a prepared :class:`~repro.kernels.plan.SpMVPlan` that
-  decoded once and replays cached gather tables; plans come from the
-  ``plan=`` argument or an LRU :class:`~repro.kernels.plancache.PlanCache`.
+  decoded once and replays cached gather tables; plans come from
+  ``policy.plan`` or an LRU :class:`~repro.kernels.plancache.PlanCache`.
 
-``engine="auto"`` (the default) keeps historical behavior: it uses the
-fast engine only when a plan source was supplied (``plan=`` or
-``plan_cache=``), so existing callers see the exact error types and span
-trees they always did, while solvers and benchmarks opt in by passing a
-cache. :func:`run_spmm` is the multi-RHS variant (``X`` of shape
-``(n, k)``), where ``"auto"`` prefers the fast engine outright because
+``engine="auto"`` keeps historical behavior: the fast engine is used
+only when a plan source was supplied, so existing callers see the exact
+error types and span trees they always did. :func:`run_spmm` (multi-RHS,
+``X`` of shape ``(n, k)``) prefers the fast engine outright because
 amortizing one decode across ``k`` vectors is the point of batching.
+
+With ``policy.devices > 1`` (or a pre-built
+:class:`~repro.exec.partition.ShardedMatrix`) the primary execution
+routes through the sharded engine (:mod:`repro.exec.engine`) *inside*
+the guarded region, so verification and graceful degradation apply to
+multi-device runs unchanged.
+
+The pre-policy loose keywords (``verify=``, ``fallback=``, ``engine=``,
+``plan=``, ``plan_cache=``) still work but emit ``DeprecationWarning``;
+they are folded into a policy by
+:func:`~repro.exec.policy.coerce_policy` and cannot be mixed with
+``policy=``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional
 
 import numpy as np
 
 from ..errors import KernelError, ReproError, ValidationError
+from ..exec.policy import UNSET, ExecutionPolicy, coerce_policy
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
 from ..integrity.checksums import is_sealed, verify_integrity
@@ -45,15 +62,9 @@ from ..telemetry.tracer import NULL_SPAN, get_tracer
 from ..telemetry.tracer import span as _span
 from .base import SpMVResult
 from .plan import SpMVPlan, check_multi_x
-from .plancache import PLAN_CACHE, PlanCache
+from .plancache import PLAN_CACHE
 
 __all__ = ["run_spmv", "run_spmm"]
-
-#: Accepted ``verify`` levels, in increasing strictness.
-_VERIFY_LEVELS = (False, "structure", "checksum", "full")
-
-#: Accepted ``engine`` selectors.
-_ENGINES = ("auto", "fast", "reference")
 
 #: Exceptions treated as container-corruption symptoms on the guarded path.
 #: A corrupted container does not always fail with a typed ReproError —
@@ -62,35 +73,31 @@ _ENGINES = ("auto", "fast", "reference")
 _CORRUPTION_ERRORS = (ReproError, IndexError, ValueError, OverflowError)
 
 
-def _normalize_verify(verify: Union[bool, str, None]) -> Union[bool, str]:
-    if verify is None or verify is False:
-        return False
-    if verify is True:
-        return "checksum"
-    if verify in ("structure", "checksum", "full"):
-        return verify
-    raise ValidationError(
-        f"verify must be one of {_VERIFY_LEVELS}, got {verify!r}"
-    )
-
-
 def _verify_matrix(matrix: SparseFormat, level: str) -> None:
     validate_structure(matrix, deep=(level == "full"))
     if level in ("checksum", "full") and is_sealed(matrix):
         verify_integrity(matrix)
 
 
+def _is_sharded_run(matrix: SparseFormat, policy: ExecutionPolicy) -> bool:
+    """Whether this call routes through the multi-device engine."""
+    return policy.sharded or matrix.format_name == "sharded"
+
+
 def _resolve_engine(
     matrix: SparseFormat,
-    engine: str,
-    plan: Optional[SpMVPlan],
-    plan_cache: Optional[PlanCache],
+    policy: ExecutionPolicy,
     *,
     prefer_fast: bool,
 ) -> str:
-    """Pick the engine for this call; validate the selector combination."""
-    if engine not in _ENGINES:
-        raise ValidationError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    """Pick the single-device engine; validate the selector combination.
+
+    Sharded runs keep the policy's selector verbatim — each shard
+    re-resolves it against the *inner* format inside the engine.
+    """
+    if _is_sharded_run(matrix, policy):
+        return policy.engine
+    engine, plan, plan_cache = policy.engine, policy.plan, policy.plan_cache
     if plan is not None:
         if engine == "reference":
             raise ValidationError("plan= cannot be combined with engine='reference'")
@@ -126,13 +133,17 @@ def _primary_spmv(
     x: np.ndarray,
     device: DeviceSpec,
     engine: str,
-    plan: Optional[SpMVPlan],
-    plan_cache: Optional[PlanCache],
+    policy: ExecutionPolicy,
 ) -> SpMVResult:
     """Run the selected engine for one vector (no integrity handling)."""
+    if _is_sharded_run(matrix, policy):
+        from ..exec.engine import execute_sharded  # lazy: engine imports us
+
+        return execute_sharded(matrix, x, device, policy)
     if engine == "fast":
+        plan = policy.plan
         if plan is None:
-            cache = plan_cache if plan_cache is not None else PLAN_CACHE
+            cache = policy.plan_cache if policy.plan_cache is not None else PLAN_CACHE
             plan = cache.get_or_build(matrix, device)
         else:
             _check_plan(plan, matrix, device)
@@ -145,13 +156,26 @@ def _primary_spmm(
     X: np.ndarray,
     device: DeviceSpec,
     engine: str,
-    plan: Optional[SpMVPlan],
-    plan_cache: Optional[PlanCache],
+    policy: ExecutionPolicy,
 ) -> SpMVResult:
     """Run the selected engine for a multi-RHS block (no integrity handling)."""
+    if _is_sharded_run(matrix, policy):
+        from ..exec.engine import execute_sharded  # lazy: engine imports us
+
+        X = check_multi_x(matrix, X)
+        results = [
+            execute_sharded(matrix, X[:, j], device, policy)
+            for j in range(X.shape[1])
+        ]
+        return SpMVResult(
+            y=np.stack([r.y for r in results], axis=1),
+            counters=sum(r.counters for r in results),
+            device=device,
+        )
     if engine == "fast":
+        plan = policy.plan
         if plan is None:
-            cache = plan_cache if plan_cache is not None else PLAN_CACHE
+            cache = policy.plan_cache if policy.plan_cache is not None else PLAN_CACHE
             plan = cache.get_or_build(matrix, device)
         else:
             _check_plan(plan, matrix, device)
@@ -174,77 +198,70 @@ def run_spmv(
     x: np.ndarray,
     device: DeviceSpec | str = "k20",
     *,
-    verify: Union[bool, str, None] = False,
-    fallback: Optional[SparseFormat] = None,
-    engine: str = "auto",
-    plan: Optional[SpMVPlan] = None,
-    plan_cache: Optional[PlanCache] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    verify: Any = UNSET,
+    fallback: Any = UNSET,
+    engine: Any = UNSET,
+    plan: Any = UNSET,
+    plan_cache: Any = UNSET,
 ) -> SpMVResult:
     """Execute ``y = A @ x`` on the simulated device with the format's kernel.
 
     Parameters
     ----------
     matrix:
-        Any registered sparse format with a simulated kernel.
+        Any registered sparse format with a simulated kernel, including a
+        :class:`~repro.exec.partition.ShardedMatrix` (which always runs
+        through the multi-device engine).
     x:
         Dense input vector of length ``matrix.shape[1]``.
     device:
         A :class:`~repro.gpu.device.DeviceSpec` or a registry key
-        (``"c2070"``, ``"gtx680"``, ``"k20"``).
-    verify:
-        ``False`` (default) — dispatch as before; ``"structure"`` — fast
-        structural validation of the container; ``True`` / ``"checksum"``
-        — structural validation plus CRC32 verification when the matrix is
-        sealed; ``"full"`` — deep validation (decode and bounds-check every
-        packed stream) plus checksums.
-    fallback:
-        A trusted matrix (typically the pristine
-        :class:`~repro.formats.csr.CSRMatrix`) to serve the request with
-        when ``matrix`` fails verification or its kernel raises a typed
-        :class:`~repro.errors.ReproError` (or a NumPy-level corruption
-        symptom: ``IndexError``, ``ValueError``, ``OverflowError``).
-        Without a fallback the error propagates.
-    engine:
-        ``"auto"`` (default) — fast engine when a ``plan`` or
-        ``plan_cache`` was supplied and the format has a plan builder,
-        reference otherwise; ``"fast"`` — prepared-plan replay (raises
-        :class:`~repro.errors.KernelError` for formats without a
-        builder); ``"reference"`` — always the stepwise kernel.
-    plan:
-        A plan from :func:`repro.kernels.plan.prepare` to replay. Must
-        have been prepared for this exact ``matrix`` object and device.
-    plan_cache:
-        A :class:`~repro.kernels.plancache.PlanCache` to build/reuse the
-        plan from; defaults to the process-wide ``PLAN_CACHE`` when the
-        fast engine is selected without an explicit plan.
+        (``"c2070"``, ``"gtx680"``, ``"k20"``). With ``policy.devices >
+        1`` every simulated device uses this spec.
+    policy:
+        The :class:`~repro.exec.policy.ExecutionPolicy` configuring
+        verification, fallback, engine selection, plan caching and
+        multi-device sharding. ``None`` means the default policy.
+
+    The remaining keywords are the **deprecated** pre-policy spellings of
+    the same settings; they emit ``DeprecationWarning`` and cannot be
+    combined with ``policy=``.
 
     Returns
     -------
     SpMVResult
         The product vector, the instrumentation counters, (lazily) the
         predicted timing and — on the verified path — the integrity flags
-        and the per-process counter snapshot.
+        and the per-process counter snapshot. Multi-device runs return a
+        :class:`~repro.exec.engine.ShardedSpMVResult` carrying per-shard
+        results and the communication report.
     """
+    pol = coerce_policy(
+        policy, caller="run_spmv", verify=verify, fallback=fallback,
+        engine=engine, plan=plan, plan_cache=plan_cache,
+    )
     if isinstance(device, str):
         device = get_device(device)
-    level = _normalize_verify(verify)
-    engine = _resolve_engine(matrix, engine, plan, plan_cache, prefer_fast=False)
+    level = pol.verify
+    eng = _resolve_engine(matrix, pol, prefer_fast=False)
 
-    if level is False and fallback is None:
+    if level is False and pol.fallback is None:
         # The historical fast path: no verification, failures propagate.
         # Telemetry-free unless a tracer is active (the kernel's own span
         # still fires inside run() when one is).
         if get_tracer() is None:
-            return _primary_spmv(matrix, x, device, engine, plan, plan_cache)
+            return _primary_spmv(matrix, x, device, eng, pol)
         with _span(
             "spmv.dispatch",
             "pipeline",
             format=matrix.format_name,
             device=device.name,
             verify="off",
-            engine=engine,
+            engine=eng,
+            devices=pol.devices,
         ):
-            return _primary_spmv(matrix, x, device, engine, plan, plan_cache)
+            return _primary_spmv(matrix, x, device, eng, pol)
 
     with _span(
         "spmv.dispatch",
@@ -252,17 +269,19 @@ def run_spmv(
         format=matrix.format_name,
         device=device.name,
         verify=level if level is not False else "off",
-        fallback=fallback.format_name if fallback is not None else None,
-        engine=engine,
+        fallback=pol.fallback.format_name if pol.fallback is not None else None,
+        engine=eng,
+        devices=pol.devices,
     ) as sp:
         COUNTERS.record_verification()
         try:
             if level is not False:
                 _verify_matrix(matrix, level)
-            # Plan building happens inside the guarded region: a corrupted
+            # Plan building (and shard re-encoding on the multi-device
+            # path) happens inside the guarded region: a corrupted
             # stream fails the vectorized decode with the same typed
             # errors the stepwise decoder raises, and degrades identically.
-            result = _primary_spmv(matrix, x, device, engine, plan, plan_cache)
+            result = _primary_spmv(matrix, x, device, eng, pol)
         except _CORRUPTION_ERRORS as exc:
             COUNTERS.record_detection()
             if sp is not NULL_SPAN:
@@ -270,13 +289,15 @@ def run_spmv(
                     "integrity.detected",
                     error=f"{type(exc).__name__}: {exc}",
                 )
-            if fallback is None:
+            if pol.fallback is None:
                 COUNTERS.record_raised()
                 raise
-            result = kernel_for(fallback.format_name).run(fallback, x, device)
+            result = kernel_for(pol.fallback.format_name).run(
+                pol.fallback, x, device
+            )
             COUNTERS.record_fallback()
             if sp is not NULL_SPAN:
-                sp.event("integrity.fallback", format=fallback.format_name)
+                sp.event("integrity.fallback", format=pol.fallback.format_name)
             result.fault_detected = True
             result.fallback_used = True
             result.integrity_error = f"{type(exc).__name__}: {exc}"
@@ -289,11 +310,12 @@ def run_spmm(
     X: np.ndarray,
     device: DeviceSpec | str = "k20",
     *,
-    verify: Union[bool, str, None] = False,
-    fallback: Optional[SparseFormat] = None,
-    engine: str = "auto",
-    plan: Optional[SpMVPlan] = None,
-    plan_cache: Optional[PlanCache] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    verify: Any = UNSET,
+    fallback: Any = UNSET,
+    engine: Any = UNSET,
+    plan: Any = UNSET,
+    plan_cache: Any = UNSET,
 ) -> SpMVResult:
     """Execute ``Y = A @ X`` for a multi-RHS block ``X`` of shape ``(n, k)``.
 
@@ -301,25 +323,31 @@ def run_spmm(
     X[:, j], ...)``, and the counters equal the sum of the ``k``
     single-vector records. ``engine="auto"`` prefers the fast engine for
     every plannable format (one decode amortized over ``k`` vectors);
-    other parameters behave exactly as in :func:`run_spmv`.
+    ``policy`` and the deprecated keywords behave exactly as in
+    :func:`run_spmv`.
     """
+    pol = coerce_policy(
+        policy, caller="run_spmm", verify=verify, fallback=fallback,
+        engine=engine, plan=plan, plan_cache=plan_cache,
+    )
     if isinstance(device, str):
         device = get_device(device)
-    level = _normalize_verify(verify)
-    engine = _resolve_engine(matrix, engine, plan, plan_cache, prefer_fast=True)
+    level = pol.verify
+    eng = _resolve_engine(matrix, pol, prefer_fast=True)
 
-    if level is False and fallback is None:
+    if level is False and pol.fallback is None:
         if get_tracer() is None:
-            return _primary_spmm(matrix, X, device, engine, plan, plan_cache)
+            return _primary_spmm(matrix, X, device, eng, pol)
         with _span(
             "spmm.dispatch",
             "pipeline",
             format=matrix.format_name,
             device=device.name,
             verify="off",
-            engine=engine,
+            engine=eng,
+            devices=pol.devices,
         ):
-            return _primary_spmm(matrix, X, device, engine, plan, plan_cache)
+            return _primary_spmm(matrix, X, device, eng, pol)
 
     with _span(
         "spmm.dispatch",
@@ -327,14 +355,15 @@ def run_spmm(
         format=matrix.format_name,
         device=device.name,
         verify=level if level is not False else "off",
-        fallback=fallback.format_name if fallback is not None else None,
-        engine=engine,
+        fallback=pol.fallback.format_name if pol.fallback is not None else None,
+        engine=eng,
+        devices=pol.devices,
     ) as sp:
         COUNTERS.record_verification()
         try:
             if level is not False:
                 _verify_matrix(matrix, level)
-            result = _primary_spmm(matrix, X, device, engine, plan, plan_cache)
+            result = _primary_spmm(matrix, X, device, eng, pol)
         except _CORRUPTION_ERRORS as exc:
             COUNTERS.record_detection()
             if sp is not NULL_SPAN:
@@ -342,15 +371,15 @@ def run_spmm(
                     "integrity.detected",
                     error=f"{type(exc).__name__}: {exc}",
                 )
-            if fallback is None:
+            if pol.fallback is None:
                 COUNTERS.record_raised()
                 raise
             result = _primary_spmm(
-                fallback, X, device, "reference", None, None
+                pol.fallback, X, device, "reference", ExecutionPolicy()
             )
             COUNTERS.record_fallback()
             if sp is not NULL_SPAN:
-                sp.event("integrity.fallback", format=fallback.format_name)
+                sp.event("integrity.fallback", format=pol.fallback.format_name)
             result.fault_detected = True
             result.fallback_used = True
             result.integrity_error = f"{type(exc).__name__}: {exc}"

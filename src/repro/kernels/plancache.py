@@ -223,6 +223,7 @@ class PlanCache:
             return any(k[0] == mid for k in self._entries)
 
 
-#: Process-wide default cache used by ``run_spmv(engine="auto"|"fast")``
-#: and :class:`~repro.solvers.operators.SimulatedOperator`.
+#: Process-wide default cache used by ``run_spmv`` when the policy's
+#: ``engine`` is ``"auto"``/``"fast"`` with no explicit cache, and by
+#: :class:`~repro.solvers.operators.SimulatedOperator`.
 PLAN_CACHE = PlanCache()

@@ -46,6 +46,7 @@ import numpy as np
 
 from . import registry as _registry
 from .errors import ReproError, ValidationError
+from .exec.policy import UNSET, ExecutionPolicy, coerce_policy
 from .formats.base import SparseFormat
 from .formats.conversion import convert as _convert
 from .formats.coo import COOMatrix
@@ -88,19 +89,18 @@ class Session:
     ----------
     device:
         Simulated device to execute on (spec or registry key).
-    verify:
-        Default integrity level for :meth:`execute` / :meth:`execute_many`
-        (same values as :func:`~repro.kernels.dispatch.run_spmv`).
-    fallback:
-        Optional trusted container served when the primary fails
-        verification or decode; :meth:`with_fallback` can derive one from
-        the session's own source matrix.
-    engine:
-        Default engine selector (``"auto"``/``"fast"``/``"reference"``).
-    plan_cache:
-        :class:`~repro.kernels.plancache.PlanCache` used by
-        :meth:`prepare` and fast-engine execution. Defaults to the
-        process-wide cache unless ``engine="reference"``.
+    policy:
+        The session's default :class:`~repro.exec.policy.ExecutionPolicy`
+        — verification level, fallback container, engine selector, plan
+        cache and multi-device sharding, exactly as accepted by
+        :func:`~repro.kernels.dispatch.run_spmv`. Unless the policy asks
+        for the reference engine, a session without an explicit plan
+        cache adopts the process-wide one, so ``engine="auto"`` sessions
+        use the prepared-plan engine (historical behavior).
+
+    The loose ``verify=``/``fallback=``/``engine=``/``plan_cache=``
+    keywords are **deprecated** spellings of the same settings (one
+    ``DeprecationWarning``, cannot be mixed with ``policy=``).
 
     Mutating steps return ``self`` so pipelines chain; execution steps
     return the :class:`~repro.kernels.base.SpMVResult`. The session
@@ -112,20 +112,20 @@ class Session:
         self,
         device: DeviceSpec | str = "k20",
         *,
-        verify: Union[bool, str, None] = False,
-        fallback: Optional[SparseFormat] = None,
-        engine: str = "auto",
-        plan_cache: Optional[PlanCache] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        verify: Any = UNSET,
+        fallback: Any = UNSET,
+        engine: Any = UNSET,
+        plan_cache: Any = UNSET,
     ) -> None:
         self.device = get_device(device) if isinstance(device, str) else device
-        self.verify = verify
-        self.fallback = fallback
-        self.engine = engine
-        self.plan_cache = (
-            plan_cache
-            if plan_cache is not None or engine == "reference"
-            else PLAN_CACHE
+        pol = coerce_policy(
+            policy, caller="Session", verify=verify, fallback=fallback,
+            engine=engine, plan_cache=plan_cache,
         )
+        if pol.plan_cache is None and pol.engine != "reference":
+            pol = pol.with_(plan_cache=PLAN_CACHE)
+        self.policy = pol
         self._source: Optional[COOMatrix] = None
         self._matrix: Optional[SparseFormat] = None
         self._permutation: Optional[np.ndarray] = None
@@ -134,6 +134,33 @@ class Session:
         self.device_time = 0.0  #: accumulated predicted seconds in SpMV
         self.dram_bytes = 0  #: accumulated predicted DRAM traffic
         self.fallbacks_used = 0  #: executions served by the fallback matrix
+
+    # -- policy views ----------------------------------------------------
+    # Read/write aliases kept so pre-policy call sites (and the fluent
+    # with_fallback step) keep working against the single policy object.
+    @property
+    def verify(self) -> Union[bool, str]:
+        return self.policy.verify
+
+    @verify.setter
+    def verify(self, value: Union[bool, str, None]) -> None:
+        self.policy = self.policy.with_(verify=value)
+
+    @property
+    def fallback(self) -> Optional[SparseFormat]:
+        return self.policy.fallback
+
+    @fallback.setter
+    def fallback(self, value: Optional[SparseFormat]) -> None:
+        self.policy = self.policy.with_(fallback=value)
+
+    @property
+    def engine(self) -> str:
+        return self.policy.engine
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        return self.policy.plan_cache
 
     # -- state ----------------------------------------------------------
     @property
@@ -315,23 +342,45 @@ class Session:
         self.last_result = result
         return result
 
+    def _call_policy(
+        self, policy: Optional[ExecutionPolicy],
+        verify: Union[bool, str, None], engine: Optional[str],
+    ) -> ExecutionPolicy:
+        """The effective policy of one execute call.
+
+        ``policy=`` replaces the session default outright (except that a
+        missing plan cache inherits the session's); the legacy
+        ``verify=``/``engine=`` keywords override individual fields.
+        """
+        if policy is not None:
+            if verify is not None or engine is not None:
+                raise ValidationError(
+                    "execute: pass either policy= or the legacy "
+                    "verify=/engine= overrides, not both"
+                )
+            if policy.plan_cache is None and policy.engine != "reference":
+                policy = policy.with_(plan_cache=self.policy.plan_cache)
+            return policy
+        pol = self.policy
+        if verify is not None:
+            pol = pol.with_(verify=verify)
+        if engine is not None:
+            pol = pol.with_(engine=engine)
+        return pol
+
     def execute(
         self,
         x: np.ndarray,
         *,
+        policy: Optional[ExecutionPolicy] = None,
         verify: Union[bool, str, None] = None,
         engine: Optional[str] = None,
     ) -> SpMVResult:
         """Run ``y = A @ x`` through the dispatch/integrity boundary."""
         return self._record(
             run_spmv(
-                self.matrix,
-                x,
-                self.device,
-                verify=self.verify if verify is None else verify,
-                fallback=self.fallback,
-                engine=engine if engine is not None else self.engine,
-                plan_cache=self.plan_cache,
+                self.matrix, x, self.device,
+                policy=self._call_policy(policy, verify, engine),
             )
         )
 
@@ -339,19 +388,15 @@ class Session:
         self,
         X: np.ndarray,
         *,
+        policy: Optional[ExecutionPolicy] = None,
         verify: Union[bool, str, None] = None,
         engine: Optional[str] = None,
     ) -> SpMVResult:
         """Run ``Y = A @ X`` for a multi-RHS block (``X`` of shape (n, k))."""
         return self._record(
             run_spmm(
-                self.matrix,
-                X,
-                self.device,
-                verify=self.verify if verify is None else verify,
-                fallback=self.fallback,
-                engine=engine if engine is not None else self.engine,
-                plan_cache=self.plan_cache,
+                self.matrix, X, self.device,
+                policy=self._call_policy(policy, verify, engine),
             )
         )
 
@@ -370,6 +415,7 @@ class Session:
             "nnz": int(self._matrix.nnz) if self._matrix is not None else None,
             "device": self.device.name,
             "engine": self.engine,
+            "devices": self.policy.devices,
             "sealed": header is not None,
             "reordered": self._permutation is not None,
             "plannable": bool(spec and _registry.has_planner(spec.name)),

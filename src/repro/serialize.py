@@ -63,6 +63,7 @@ __all__ = [
     "save_container",
     "load_container",
     "read_header",
+    "read_manifest",
     "content_fingerprint",
 ]
 
@@ -197,6 +198,26 @@ def read_header(path: Union[str, os.PathLike]) -> Dict[str, Any]:
             raise SerializationError(f"{path} header is missing {key!r}")
     doc["_payload_base"] = 16 + hlen
     return doc
+
+
+def read_manifest(path: Union[str, os.PathLike]) -> Optional[Dict[str, Any]]:
+    """The shard manifest of a sharded ``.brx`` container, header-only.
+
+    Reads just the JSON header — no array bytes are touched — and returns
+    the manifest recorded by
+    :meth:`~repro.exec.partition.ShardedMatrix.manifest`: the device
+    count, partitioner, shape and per-shard ``{index, row_start, row_end,
+    rows, nnz}`` rows. Returns ``None`` for single-device containers.
+    """
+    doc = read_header(path)
+    if str(doc["format"]) != "sharded":
+        return None
+    manifest = doc["meta"].get("manifest")
+    if manifest is None:
+        raise SerializationError(
+            f"{path} holds a sharded container without a shard manifest"
+        )
+    return manifest
 
 
 def load_container(

@@ -10,10 +10,11 @@ solve would run with a BRO format — the paper's motivating use-case.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 import numpy as np
 
+from ..exec.policy import UNSET, ExecutionPolicy, coerce_policy
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec
 from ..pipeline import Session
@@ -48,7 +49,11 @@ class SimulatedOperator(FormatOperator):
     default: the first call builds (or fetches) the plan from
     ``plan_cache`` and subsequent iterations replay it, which is what
     makes a many-iteration CG/BiCGSTAB solve fast in host wall-clock.
-    Pass ``engine="reference"`` to force the stepwise kernels.
+    Pass ``policy=ExecutionPolicy(engine="reference")`` to force the
+    stepwise kernels, or ``devices=N`` in the policy to shard the solve
+    across simulated devices. The loose ``verify=``/``fallback=``/
+    ``engine=``/``plan_cache=`` keywords are deprecated spellings of the
+    same settings.
     """
 
     def __init__(
@@ -56,21 +61,22 @@ class SimulatedOperator(FormatOperator):
         matrix: SparseFormat,
         device: DeviceSpec | str = "k20",
         *,
-        verify: Union[bool, str, None] = False,
-        fallback: Optional[SparseFormat] = None,
-        engine: str = "auto",
-        plan_cache: Optional[PlanCache] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        verify: Any = UNSET,
+        fallback: Any = UNSET,
+        engine: Any = UNSET,
+        plan_cache: Any = UNSET,
     ) -> None:
         super().__init__(matrix)
-        if engine == "auto":
-            engine = "fast" if has_planner(matrix.format_name) else "reference"
-        self.session = Session(
-            device,
-            verify=verify,
-            fallback=fallback,
-            engine=engine,
-            plan_cache=plan_cache,
-        ).use(matrix)
+        pol = coerce_policy(
+            policy, caller="SimulatedOperator", verify=verify,
+            fallback=fallback, engine=engine, plan_cache=plan_cache,
+        )
+        if pol.engine == "auto":
+            pol = pol.with_(
+                engine="fast" if has_planner(matrix.format_name) else "reference"
+            )
+        self.session = Session(device, policy=pol).use(matrix)
 
     @property
     def device(self) -> DeviceSpec:

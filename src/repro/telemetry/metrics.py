@@ -43,6 +43,7 @@ __all__ = [
     "record_bitstream_decode",
     "record_plan_build",
     "record_plan_cache",
+    "record_exec",
 ]
 
 #: Default histogram buckets for byte-sized observations (powers of 4).
@@ -299,6 +300,37 @@ def record_plan_build(format_name: str, device_name: str, seconds: float) -> Non
     labels = {"format": format_name, "device": device_name}
     reg.counter("plan.builds", labels).inc()
     reg.counter("plan.build_seconds", labels).inc(seconds)
+
+
+def record_exec(
+    format_name: str,
+    device_name: str,
+    devices: int,
+    counters: Any,
+    comms: Any = None,
+) -> None:
+    """One sharded multi-device execution (merged view).
+
+    The per-shard launches already emitted through :func:`record_kernel`;
+    this adds the engine-level series — executions by shard count and the
+    modeled interconnect traffic — so dashboards can separate kernel
+    work from communication.
+    """
+    reg = _ACTIVE
+    if reg is None:
+        return
+    labels = {
+        "format": format_name,
+        "device": device_name,
+        "devices": str(devices),
+    }
+    reg.counter("exec.sharded_runs", labels).inc()
+    reg.counter("exec.interconnect_bytes", labels).inc(
+        counters.interconnect_bytes
+    )
+    if comms is not None:
+        reg.counter(f"exec.comms_{comms.strategy}_runs", labels).inc()
+        reg.counter("exec.messages", labels).inc(comms.messages)
 
 
 def record_plan_cache(event: str, count: int = 1) -> None:

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import registry as _registry
+from ..exec.policy import ExecutionPolicy
 from . import metrics as _metrics
 from .metrics import MetricsRegistry
 from .tracer import Tracer
@@ -140,7 +141,9 @@ def profile_matrix(
     with tracing(tracer, registry=own_registry) as t:
         # The reference engine keeps the historical span tree (the
         # stepwise kernel span, not a plan replay) in the profile output.
-        sess = Session(device, verify=verify, engine="reference")
+        sess = Session(
+            device, policy=ExecutionPolicy(verify=verify, engine="reference")
+        )
         sess.load(spec, scale=scale)
         kwargs: Dict[str, Any] = (
             {"h": h} if _registry.get_spec(storage).accepts("h") else {}

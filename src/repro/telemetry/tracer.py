@@ -23,7 +23,8 @@ Typical use::
     from repro import telemetry
 
     with telemetry.tracing() as tracer:
-        result = run_spmv(matrix, x, "k20", verify="checksum")
+        result = run_spmv(matrix, x, "k20",
+                          policy=ExecutionPolicy(verify="checksum"))
     for s in tracer.spans:
         print(s.name, s.duration_us)
 """

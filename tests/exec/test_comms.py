@@ -1,0 +1,119 @@
+"""Interconnect traffic model: broadcast vs halo at cacheline granularity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.comms import model_comms
+from repro.exec.partition import partition
+from repro.formats.conversion import convert
+from repro.formats.coo import COOMatrix
+from repro.gpu.device import get_device
+
+from ..conftest import random_coo
+
+K20 = get_device("k20")
+LINE = K20.interconnect_line_bytes
+
+
+def banded_matrix(m=2048, band=4):
+    """Tridiagonal-ish band: column reach stays local to the row block."""
+    rows, cols = [], []
+    for r in range(m):
+        for c in range(max(0, r - band), min(m, r + band + 1)):
+            rows.append(r)
+            cols.append(c)
+    vals = np.ones(len(rows))
+    return COOMatrix(np.array(rows), np.array(cols), vals, (m, m))
+
+
+class TestSingleDevice:
+    def test_no_traffic(self):
+        sharded = partition(convert(random_coo(256, 256, 0.05, seed=0), "csr"), 1)
+        rep = model_comms(sharded, K20)
+        assert rep.total_bytes == 0
+        assert rep.messages == 0
+        assert rep.x_bytes_per_device == (0,)
+
+
+class TestBroadcast:
+    def test_bytes_are_pattern_independent(self):
+        dense_cols = random_coo(1024, 1024, 0.08, seed=1)
+        sparse_cols = banded_matrix(1024)
+        a = model_comms(partition(convert(dense_cols, "csr"), 4), K20, "broadcast")
+        b = model_comms(partition(convert(sparse_cols, "csr"), 4), K20, "broadcast")
+        assert a.broadcast_bytes == b.broadcast_bytes > 0
+
+    def test_critical_path_messages(self):
+        sharded = partition(convert(random_coo(1024, 1024, 0.05, seed=2), "csr"), 4)
+        rep = model_comms(sharded, K20, "broadcast")
+        # Each device receives the other three owners' chunks on its link.
+        assert rep.messages == 3
+
+    def test_cacheline_granularity(self):
+        sharded = partition(convert(random_coo(500, 333, 0.05, seed=3), "csr"), 4)
+        rep = model_comms(sharded, K20, "broadcast")
+        assert rep.broadcast_bytes % LINE == 0
+        for b in rep.x_bytes_per_device:
+            assert b % LINE == 0
+
+
+class TestHalo:
+    def test_banded_matrix_needs_almost_no_halo(self):
+        sharded = partition(convert(banded_matrix(), "csr"), 4)
+        rep = model_comms(sharded, K20, "halo")
+        # Only the lines straddling the four ownership boundaries move.
+        assert 0 < rep.halo_bytes < rep.broadcast_bytes / 10
+
+    def test_full_column_reach_floors_at_broadcast(self):
+        # Every shard touches every column: halo degenerates to all
+        # remote lines, which equals the broadcast volume.
+        sharded = partition(convert(random_coo(512, 512, 0.5, seed=4), "csr"), 4)
+        rep = model_comms(sharded, K20, "halo")
+        assert rep.halo_bytes == rep.broadcast_bytes
+
+    def test_messages_bounded_by_remote_owners(self):
+        sharded = partition(convert(banded_matrix(), "csr"), 4)
+        rep = model_comms(sharded, K20, "halo")
+        # A band only straddles adjacent ownership boundaries.
+        assert 1 <= rep.messages <= 2
+
+
+class TestAutoSelection:
+    def test_auto_picks_the_cheaper_strategy(self):
+        for coo in (banded_matrix(), random_coo(512, 512, 0.5, seed=5)):
+            sharded = partition(convert(coo, "csr"), 4)
+            rep = model_comms(sharded, K20, "auto")
+            assert rep.x_bytes == min(rep.broadcast_bytes, rep.halo_bytes)
+
+    def test_banded_prefers_halo(self):
+        rep = model_comms(partition(convert(banded_matrix(), "csr"), 4),
+                          K20, "auto")
+        assert rep.strategy == "halo"
+
+
+class TestReportMechanics:
+    def test_cached_per_matrix_and_strategy(self):
+        sharded = partition(convert(random_coo(256, 256, 0.05, seed=6), "csr"), 2)
+        a = model_comms(sharded, K20, "auto")
+        assert model_comms(sharded, K20, "auto") is a
+        assert model_comms(sharded, K20, "broadcast") is not a
+
+    def test_gather_bytes_informational_not_charged(self):
+        sharded = partition(convert(random_coo(512, 512, 0.05, seed=7), "csr"), 4)
+        rep = model_comms(sharded, K20)
+        assert rep.gather_bytes >= sharded.shape[0] * 8
+        assert rep.total_bytes == rep.x_bytes  # y-gather not included
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        sharded = partition(convert(random_coo(256, 256, 0.05, seed=8), "csr"), 2)
+        doc = model_comms(sharded, K20).to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["devices"] == 2
+
+    def test_unknown_strategy_rejected(self):
+        sharded = partition(convert(random_coo(64, 64, 0.1, seed=9), "csr"), 2)
+        with pytest.raises(ValidationError):
+            model_comms(sharded, K20, "multicast")

@@ -1,0 +1,202 @@
+"""Row partitioners and the ShardedMatrix container.
+
+The greedy-nnz property tests cover the full TABLE2 suite: bounds are
+always strictly increasing (no zero-row shard can exist), every row
+lands in exactly one shard, and the concatenated shard products are
+bit-identical to the unsharded product for every format the acceptance
+matrix names ({bro_ell, bro_coo, bro_hyb, csr}).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ValidationError
+from repro.exec.partition import (
+    ShardedMatrix,
+    partition,
+    partition_bounds,
+    recover_conversion_kwargs,
+)
+from repro.formats.conversion import convert
+from repro.matrices.suite import TABLE2, generate
+
+from ..conftest import random_coo
+
+FORMATS = ("bro_ell", "bro_coo", "bro_hyb", "csr")
+PARTITIONERS = ("contiguous", "greedy-nnz", "slice-aligned")
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """All TABLE2 matrices generated once at a small scale."""
+    return {name: generate(name, scale=SCALE, seed=0) for name in sorted(TABLE2)}
+
+
+class TestBoundsProperties:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_every_table2_matrix_partitions_cleanly(self, suite, partitioner):
+        for name, coo in suite.items():
+            m = coo.shape[0]
+            for devices in (1, 2, 4):
+                bounds = partition_bounds(coo, devices, partitioner)
+                assert bounds[0] == 0 and bounds[-1] == m, name
+                # Strictly increasing bounds == no shard has zero rows.
+                assert np.all(np.diff(bounds) > 0), (name, partitioner, devices)
+                assert len(bounds) == devices + 1, name
+
+    def test_every_row_in_exactly_one_shard(self, suite):
+        for name, coo in suite.items():
+            bounds = partition_bounds(coo, 4, "greedy-nnz")
+            covered = np.concatenate([
+                np.arange(b0, b1) for b0, b1 in zip(bounds[:-1], bounds[1:])
+            ])
+            assert np.array_equal(covered, np.arange(coo.shape[0])), name
+
+    def test_greedy_nnz_balances_better_than_contiguous_on_skew(self):
+        # Heavily skewed rows: first rows dense, rest nearly empty.
+        rng = np.random.default_rng(7)
+        rows, cols = [], []
+        for r in range(64):
+            k = 120 if r < 8 else 2
+            rows.extend([r] * k)
+            cols.extend(rng.integers(0, 512, size=k).tolist())
+        from repro.formats.coo import COOMatrix
+
+        coo = COOMatrix(np.array(rows), np.array(cols),
+                        np.ones(len(rows)), (64, 512))
+        nnz_per_row = np.bincount(coo.row_idx, minlength=64)
+
+        def imbalance(bounds):
+            loads = [nnz_per_row[b0:b1].sum()
+                     for b0, b1 in zip(bounds[:-1], bounds[1:])]
+            return max(loads) / (sum(loads) / len(loads))
+
+        greedy = imbalance(partition_bounds(coo, 4, "greedy-nnz"))
+        contig = imbalance(partition_bounds(coo, 4, "contiguous"))
+        assert greedy < contig
+
+    def test_slice_aligned_inner_bounds_are_h_multiples(self):
+        coo = random_coo(2048, 512, density=0.02, seed=3)
+        mat = convert(coo, "bro_ell", h=256)
+        bounds = partition_bounds(mat, 4, "slice-aligned")
+        for b in bounds[1:-1]:
+            assert b % 256 == 0
+
+    def test_more_devices_than_rows_rejected(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            partition_bounds(paper_matrix, 10, "greedy-nnz")
+
+    def test_unknown_partitioner_rejected(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            partition_bounds(paper_matrix, 2, "round-robin")
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_all_table2_sharded_products_bit_identical(self, suite, fmt):
+        for name, coo in suite.items():
+            mat = convert(coo, fmt)
+            x = np.random.default_rng(11).standard_normal(mat.shape[1])
+            y = mat.spmv(x)
+            for devices in (1, 2, 4):
+                sharded = partition(mat, devices)
+                assert np.array_equal(sharded.spmv(x), y), (name, fmt, devices)
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_partitioner_choice_preserves_bits(self, partitioner):
+        coo = generate("cant", scale=SCALE, seed=0)
+        mat = convert(coo, "bro_ell")
+        x = np.random.default_rng(5).standard_normal(mat.shape[1])
+        sharded = partition(mat, 4, partitioner)
+        assert np.array_equal(sharded.spmv(x), mat.spmv(x))
+
+
+class TestShardedContainer:
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        coo = generate("cant", scale=SCALE, seed=0)
+        return partition(convert(coo, "bro_ell"), 4)
+
+    def test_shard_shapes_and_nnz(self, sharded):
+        assert sharded.n_shards == 4
+        assert sum(s.shape[0] for s in sharded.shards) == sharded.shape[0]
+        assert sum(s.nnz for s in sharded.shards) == sharded.nnz
+
+    def test_manifest_schema(self, sharded):
+        man = sharded.manifest()
+        assert man["devices"] == 4
+        assert man["inner_format"] == "bro_ell"
+        assert man["partitioner"] == "greedy-nnz"
+        assert len(man["shards"]) == 4
+        for i, row in enumerate(man["shards"]):
+            assert row["index"] == i
+            assert row["rows"] == row["row_end"] - row["row_start"] > 0
+            assert row["nnz"] > 0
+
+    def test_to_coo_round_trip(self, sharded):
+        coo = sharded.to_coo()
+        assert coo.shape == sharded.shape
+        assert coo.nnz == sharded.nnz
+
+    def test_from_coo_refused_with_hint(self, paper_matrix):
+        with pytest.raises(FormatError, match="partition"):
+            ShardedMatrix.from_coo(paper_matrix)
+
+    def test_repartitioning_a_sharded_matrix(self, sharded):
+        re2 = partition(sharded, 2)
+        assert re2.n_shards == 2
+        x = np.random.default_rng(9).standard_normal(sharded.shape[1])
+        assert np.array_equal(re2.spmv(x), sharded.spmv(x))
+
+    def test_partition_cache_on_engine_view(self):
+        from repro.exec.engine import sharded_view
+
+        coo = generate("dense2", scale=0.05, seed=0)
+        mat = convert(coo, "bro_ell")
+        a = sharded_view(mat, 2)
+        b = sharded_view(mat, 2)
+        assert a is b
+        assert sharded_view(mat, 4) is not a
+
+
+class TestConversionKwargRecovery:
+    def test_bro_ell_kwargs(self):
+        coo = random_coo(600, 300, density=0.03, seed=1)
+        mat = convert(coo, "bro_ell", h=64, sym_len=64)
+        kwargs = recover_conversion_kwargs(mat)
+        assert kwargs["h"] == 64
+        assert kwargs["sym_len"] == 64
+
+    def test_bro_hyb_pins_global_split(self):
+        coo = random_coo(600, 300, density=0.03, seed=2)
+        mat = convert(coo, "bro_hyb")
+        kwargs = recover_conversion_kwargs(mat)
+        # k is pinned so shard-local Bell-Garland splits cannot diverge.
+        assert kwargs["k"] == int(mat.ell.row_lengths.max())
+
+    def test_sharded_brx_round_trip_with_manifest(self, tmp_path):
+        from repro.serialize import load_container, read_manifest, save_container
+
+        coo = generate("dense2", scale=0.05, seed=0)
+        sharded = partition(convert(coo, "bro_ell"), 4)
+        path = tmp_path / "sharded.brx"
+        save_container(sharded, path)
+
+        man = read_manifest(path)
+        assert man is not None and man["devices"] == 4
+        assert [s["nnz"] for s in man["shards"]] == \
+            [s.nnz for s in sharded.shards]
+
+        loaded = load_container(path)
+        assert isinstance(loaded, ShardedMatrix)
+        x = np.random.default_rng(3).standard_normal(sharded.shape[1])
+        assert np.array_equal(loaded.spmv(x), sharded.spmv(x))
+
+    def test_read_manifest_none_for_plain_container(self, tmp_path):
+        from repro.serialize import read_manifest, save_container
+
+        coo = generate("dense2", scale=0.05, seed=0)
+        path = tmp_path / "plain.brx"
+        save_container(convert(coo, "bro_ell"), path)
+        assert read_manifest(path) is None

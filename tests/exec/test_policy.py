@@ -1,0 +1,180 @@
+"""ExecutionPolicy validation and the deprecated-keyword shims.
+
+Satellite (a) of the execution-API redesign: every legacy keyword on
+``run_spmv`` / ``run_spmm`` / ``Session`` / ``SimulatedOperator`` must
+keep working for one release, emit a ``DeprecationWarning`` naming the
+caller, and refuse to be mixed with an explicit ``policy=``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.policy import UNSET, ExecutionPolicy, coerce_policy
+from repro.formats.conversion import convert
+from repro.kernels.dispatch import run_spmm, run_spmv
+from repro.pipeline import Session
+from repro.solvers.operators import SimulatedOperator
+
+from ..conftest import random_coo
+
+
+@pytest.fixture(scope="module")
+def mat():
+    return convert(random_coo(512, 512, density=0.02, seed=0), "bro_ell")
+
+
+@pytest.fixture(scope="module")
+def x(mat):
+    return np.random.default_rng(1).standard_normal(mat.shape[1])
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        pol = ExecutionPolicy()
+        assert pol.engine == "auto"
+        assert pol.verify is False
+        assert pol.devices == 1
+        assert pol.partitioner == "greedy-nnz"
+        assert pol.comms == "auto"
+        assert not pol.sharded
+
+    def test_verify_normalization(self):
+        assert ExecutionPolicy(verify=True).verify == "checksum"
+        assert ExecutionPolicy(verify=None).verify is False
+        assert ExecutionPolicy(verify="full").verify == "full"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"engine": "turbo"},
+        {"verify": "paranoid"},
+        {"devices": 0},
+        {"devices": 2.5},
+        {"partitioner": "round-robin"},
+        {"comms": "carrier-pigeon"},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(**kwargs)
+
+    def test_explicit_plan_incompatible_with_sharding(self, mat):
+        from repro.kernels.plan import prepare
+
+        plan = prepare(mat, "k20")
+        with pytest.raises(ValidationError, match="multi-device"):
+            ExecutionPolicy(devices=2, plan=plan)
+
+    def test_with_returns_validated_copy(self):
+        pol = ExecutionPolicy()
+        sharded = pol.with_(devices=4)
+        assert sharded.devices == 4 and pol.devices == 1
+        assert sharded.sharded
+        with pytest.raises(ValidationError):
+            pol.with_(engine="nope")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionPolicy().engine = "fast"
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        doc = ExecutionPolicy(devices=2, verify="full").describe()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["devices"] == 2 and doc["verify"] == "full"
+
+
+class TestCoercePolicy:
+    def test_neither_gives_default(self):
+        assert coerce_policy(None, caller="t") == ExecutionPolicy()
+
+    def test_policy_passes_through_unchanged(self):
+        pol = ExecutionPolicy(devices=2)
+        assert coerce_policy(pol, caller="t") is pol
+
+    def test_legacy_keywords_fold_with_warning(self):
+        with pytest.warns(DeprecationWarning, match=r"t: .*verify.*deprecated"):
+            pol = coerce_policy(None, caller="t", verify="checksum")
+        assert pol.verify == "checksum"
+
+    def test_mixing_raises(self):
+        with pytest.raises(ValidationError, match="not both"):
+            coerce_policy(ExecutionPolicy(), caller="t", engine="fast")
+
+    def test_non_policy_object_rejected(self):
+        with pytest.raises(ValidationError, match="ExecutionPolicy"):
+            coerce_policy({"engine": "fast"}, caller="t")
+
+    def test_unset_sentinel_means_not_passed(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pol = coerce_policy(None, caller="t", verify=UNSET, engine=UNSET)
+        assert pol == ExecutionPolicy()
+
+
+class TestDeprecatedEntryPointShims:
+    def test_run_spmv_legacy_kwarg_warns(self, mat, x):
+        with pytest.warns(DeprecationWarning, match="run_spmv"):
+            res = run_spmv(mat, x, "k20", engine="reference")
+        ref = run_spmv(mat, x, "k20",
+                       policy=ExecutionPolicy(engine="reference"))
+        assert np.array_equal(res.y, ref.y)
+
+    def test_run_spmm_legacy_kwarg_warns(self, mat, x):
+        X = np.stack([x, 2 * x], axis=1)
+        with pytest.warns(DeprecationWarning, match="run_spmm"):
+            res = run_spmm(mat, X, "k20", engine="reference")
+        assert res.y.shape == (mat.shape[0], 2)
+
+    def test_session_legacy_kwarg_warns(self, mat, x):
+        with pytest.warns(DeprecationWarning, match="Session"):
+            sess = Session("k20", verify="structure")
+        assert sess.policy.verify == "structure"
+        assert np.array_equal(
+            sess.use(mat).execute(x).y,
+            Session("k20").use(mat).execute(x).y,
+        )
+
+    def test_operator_legacy_kwarg_warns(self, mat):
+        with pytest.warns(DeprecationWarning, match="SimulatedOperator"):
+            op = SimulatedOperator(mat, "k20", engine="reference")
+        assert op.engine == "reference"
+
+    def test_run_spmv_mixing_policy_and_legacy_raises(self, mat, x):
+        with pytest.raises(ValidationError, match="not both"):
+            run_spmv(mat, x, "k20",
+                     policy=ExecutionPolicy(), engine="reference")
+
+    def test_session_mixing_policy_and_legacy_raises(self):
+        with pytest.raises(ValidationError, match="not both"):
+            Session("k20", policy=ExecutionPolicy(), verify="full")
+
+    def test_policy_only_call_is_warning_free(self, mat, x):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_spmv(mat, x, "k20", policy=ExecutionPolicy(engine="reference"))
+            Session("k20", policy=ExecutionPolicy()).use(mat).execute(x)
+
+
+class TestSessionPolicyView:
+    def test_session_fills_plan_cache_for_fast_engines(self):
+        sess = Session("k20", policy=ExecutionPolicy())
+        assert sess.plan_cache is not None
+        ref = Session("k20", policy=ExecutionPolicy(engine="reference"))
+        assert ref.plan_cache is None
+
+    def test_property_setters_update_policy(self):
+        sess = Session("k20")
+        sess.verify = "checksum"
+        assert sess.policy.verify == "checksum"
+        sess.fallback = None
+        assert sess.policy.fallback is None
+
+    def test_describe_reports_devices(self, mat):
+        sess = Session("k20", policy=ExecutionPolicy(devices=4)).use(mat)
+        assert sess.describe()["devices"] == 4

@@ -1,0 +1,81 @@
+"""Strong-scaling sweep: modeled speedup over 1..N simulated devices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.scaling import strong_scaling
+from repro.formats.conversion import convert
+from repro.matrices.suite import generate
+
+ROW_KEYS = {
+    "devices", "partitioner", "comms", "t_total", "t_kernel", "t_comm",
+    "gflops", "interconnect_bytes", "messages", "speedup", "efficiency",
+    "bound",
+}
+
+
+@pytest.fixture(scope="module")
+def cant_csr():
+    return convert(generate("cant", scale=0.05, seed=0), "csr")
+
+
+class TestSweepShape:
+    def test_row_schema_and_ordering(self, cant_csr):
+        rows = strong_scaling(cant_csr, "k20", (4, 1, 2))
+        assert [r["devices"] for r in rows] == [1, 2, 4]
+        for row in rows:
+            assert set(row) == ROW_KEYS
+
+    def test_duplicate_counts_deduplicated(self, cant_csr):
+        rows = strong_scaling(cant_csr, "k20", (2, 2, 1))
+        assert [r["devices"] for r in rows] == [1, 2]
+
+    def test_single_device_row_is_the_baseline(self, cant_csr):
+        row = strong_scaling(cant_csr, "k20", (1,))[0]
+        assert row["speedup"] == 1.0
+        assert row["efficiency"] == 1.0
+        assert row["t_comm"] == 0.0
+        assert row["interconnect_bytes"] == 0
+
+    def test_rejects_non_positive_counts(self, cant_csr):
+        with pytest.raises(ValidationError):
+            strong_scaling(cant_csr, "k20", (0, 2))
+        with pytest.raises(ValidationError):
+            strong_scaling(cant_csr, "k20", ())
+
+
+class TestModeledScaling:
+    def test_speedup_above_one_at_four_devices(self, cant_csr):
+        # Acceptance: matrices with >= 4*256 rows show modeled speedup.
+        assert cant_csr.shape[0] >= 4 * 256
+        rows = strong_scaling(cant_csr, "k20", (1, 4))
+        by_n = {r["devices"]: r for r in rows}
+        assert by_n[4]["speedup"] > 1.0
+        assert by_n[4]["interconnect_bytes"] > 0
+        assert by_n[4]["efficiency"] == pytest.approx(
+            by_n[4]["speedup"] / 4
+        )
+
+    def test_bro_ell_scales_when_slices_saturate(self):
+        mat = convert(generate("dense2", scale=0.05, seed=0), "bro_ell")
+        rows = strong_scaling(mat, "k20", (1, 4))
+        assert rows[1]["speedup"] > 1.0
+
+    def test_comm_grows_with_device_count(self, cant_csr):
+        rows = strong_scaling(cant_csr, "k20", (2, 4, 8))
+        bytes_by_n = [r["interconnect_bytes"] for r in rows]
+        assert bytes_by_n == sorted(bytes_by_n)
+        assert all(b > 0 for b in bytes_by_n)
+
+    def test_explicit_x_is_used(self, cant_csr):
+        x = np.zeros(cant_csr.shape[1])
+        rows = strong_scaling(cant_csr, "k20", (1, 2), x=x)
+        assert len(rows) == 2  # zero vector still bit-identical
+
+    def test_partitioner_and_comms_are_reported(self, cant_csr):
+        rows = strong_scaling(
+            cant_csr, "k20", (2,), partitioner="contiguous", comms="broadcast"
+        )
+        assert rows[0]["partitioner"] == "contiguous"
+        assert rows[0]["comms"] == "broadcast"

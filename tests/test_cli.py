@@ -241,7 +241,7 @@ class TestProfileCommand:
         import json
 
         assert main(
-            ["profile", "dense2", "--scale", "0.05", "--format", "chrome"]
+            ["profile", "dense2", "--scale", "0.05", "--export", "chrome"]
         ) == 0
         events = json.loads(capsys.readouterr().out)
         assert isinstance(events, list) and events
@@ -252,7 +252,7 @@ class TestProfileCommand:
         import json
 
         assert main(
-            ["profile", "dense2", "--scale", "0.05", "--format", "json"]
+            ["profile", "dense2", "--scale", "0.05", "--export", "json"]
         ) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         spans = [json.loads(ln) for ln in lines]
@@ -262,7 +262,7 @@ class TestProfileCommand:
 
     def test_profile_prometheus(self, capsys):
         assert main(
-            ["profile", "dense2", "--scale", "0.05", "--format", "prom"]
+            ["profile", "dense2", "--scale", "0.05", "--export", "prom"]
         ) == 0
         out = capsys.readouterr().out
         assert "# TYPE repro_kernel_dram_bytes counter" in out
@@ -273,7 +273,7 @@ class TestProfileCommand:
 
         path = tmp_path / "trace.json"
         assert main(
-            ["profile", "dense2", "--scale", "0.05", "--format", "chrome",
+            ["profile", "dense2", "--scale", "0.05", "--export", "chrome",
              "--output", str(path)]
         ) == 0
         assert "wrote chrome export" in capsys.readouterr().out
@@ -286,6 +286,101 @@ class TestProfileCommand:
         out = capsys.readouterr().out
         assert "kernel.bro_coo" in out
         assert "intvl" in out  # per-interval block profile
+
+    def test_profile_format_flag_selects_storage(self, capsys):
+        # --format is the unified storage spelling; --storage is an alias.
+        assert main(
+            ["profile", "epb3", "--scale", "0.02", "--format", "bro_coo"]
+        ) == 0
+        assert "kernel.bro_coo" in capsys.readouterr().out
+
+    def test_profile_json_shorthand(self, capsys):
+        import json
+
+        assert main(["profile", "dense2", "--scale", "0.05", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        spans = [json.loads(ln) for ln in lines]
+        assert any(s["name"] == "spmv.dispatch" for s in spans)
+
+
+class TestShardedSpmv:
+    def test_spmv_devices_flag(self, capsys):
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--devices", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "devices    : 4" in out
+        assert "greedy-nnz" in out
+        assert "t_comm" in out
+
+    def test_spmv_partition_flag(self, capsys):
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--devices", "2",
+             "--partition", "slice-aligned"]
+        ) == 0
+        assert "slice-aligned" in capsys.readouterr().out
+
+    def test_spmv_json(self, capsys):
+        import json
+
+        assert main(
+            ["spmv", "epb3", "--scale", "0.02", "--devices", "2", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["devices"] == 2
+        assert data["comms"]["strategy"] in ("broadcast", "halo")
+        assert data["counters"]["interconnect_bytes"] > 0
+        assert data["gflops"] > 0
+
+    def test_spmv_single_device_json(self, capsys):
+        import json
+
+        assert main(["spmv", "epb3", "--scale", "0.02", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["devices"] == 1
+        assert data["comms"] is None
+
+
+class TestScaleCommand:
+    def test_scale_table(self, capsys):
+        assert main(
+            ["scale", "cant", "--scale", "0.05", "--devices", "1,2,4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Strong scaling" in out
+        assert "speedup" in out
+        assert "csr" in out  # default format
+
+    def test_scale_json_speedup_at_four_devices(self, capsys):
+        import json
+
+        # Acceptance: matrices with >= 4*256 rows show modeled speedup > 1
+        # at 4 devices in `repro scale --json` (cant@0.05 is 3100 rows).
+        assert main(
+            ["scale", "cant", "--scale", "0.05", "--devices", "1,4",
+             "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "csr"
+        four = next(r for r in data["rows"] if r["devices"] == 4)
+        assert four["speedup"] > 1.0
+        assert four["interconnect_bytes"] > 0
+
+    def test_scale_bro_ell_small_dense(self, capsys):
+        import json
+
+        assert main(
+            ["scale", "dense2", "--format", "bro_ell", "--devices", "1,4",
+             "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        four = next(r for r in data["rows"] if r["devices"] == 4)
+        assert four["speedup"] > 1.0
+
+    def test_scale_rejects_bad_device_list(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "cant", "--devices", "0,2"])
 
 
 class TestBenchReports:
