@@ -51,9 +51,10 @@ from .core import (
 from .errors import ReproError
 # Importing the partitioner registers the "sharded" container format, so
 # sharded .brx files round-trip through plain load_container().
+from .exec.chaos import ChaosPolicy, run_chaos_campaign
 from .exec.partition import ShardedMatrix, partition
 from .exec.policy import ExecutionPolicy
-from .exec.scaling import strong_scaling
+from .exec.scaling import strong_scaling, weak_scaling
 from .formats import (
     COOMatrix,
     CSRMatrix,
@@ -120,6 +121,10 @@ __all__ = [
     "ShardedMatrix",
     "partition",
     "strong_scaling",
+    "weak_scaling",
+    # fault tolerance + chaos testing
+    "ChaosPolicy",
+    "run_chaos_campaign",
     # extension points
     "register_format",
     # reordering

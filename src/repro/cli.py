@@ -17,9 +17,18 @@ Commands
     run across N simulated devices (``--partition``/``--comms`` select
     the row partitioner and x-distribution strategy).
 ``scale <matrix>``
-    Strong-scaling sweep: run the sharded engine across a list of device
-    counts (``--devices 1,2,4,8``) and report modeled speedup/efficiency
-    with the interconnect term broken out.
+    Scaling sweep: run the sharded engine across a list of device counts
+    (``--devices 1,2,4,8``) and report modeled speedup/efficiency with
+    the interconnect term broken out. ``--weak`` switches to the
+    weak-scaling experiment (matrix grows with the device count at fixed
+    work per device) and ``--backend process`` runs the sweep on the
+    fault-tolerant worker pool.
+``chaos``
+    Chaos-engineering campaign: inject seeded faults (worker kills,
+    stalls, corrupted shard results, container bit flips) into sharded
+    executions and assert the zero-silent-corruption contract — every
+    injected fault either recovers to a bit-identical product or raises
+    a typed error. Exits non-zero on any silent corruption.
 ``formats``
     Print the format capability matrix (kernel, planner, tracer, tuner,
     validator, integrity, serializer) straight from the registry.
@@ -233,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="auto",
                    choices=["auto", "fast", "reference"],
                    help="execution engine (default auto)")
+    p.add_argument("--backend", default="thread",
+                   choices=["thread", "process"],
+                   help="sharded execution backend for --devices > 1 "
+                        "(default thread)")
     p.add_argument("--plan-cache", default="on", choices=["on", "off"],
                    dest="plan_cache",
                    help="use the process-wide prepared-plan cache "
@@ -244,9 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the converted, sealed container to a .brx file")
 
     p = sub.add_parser("scale",
-                       parents=[matrix_p, device_p, conv_parent("csr"),
-                                json_p],
-                       help="strong-scaling sweep across simulated devices")
+                       parents=[device_p, conv_parent("csr"), json_p],
+                       help="strong/weak-scaling sweep across simulated "
+                            "devices")
+    # The matrix is only meaningful for strong scaling; weak scaling
+    # generates its own growing problem, so the positional is optional.
+    p.add_argument("matrix", nargs="?", default=None,
+                   help="Table 2 name or a .mtx file path (required "
+                        "unless --weak)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="generation scale for suite names (default 0.05)")
     p.add_argument("--devices", type=_device_list, default=[1, 2, 4, 8],
                    metavar="LIST",
                    help="comma-separated device counts (default 1,2,4,8)")
@@ -256,6 +276,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--comms", default="auto",
                    choices=["auto", "broadcast", "halo"],
                    help="x-distribution strategy (default auto)")
+    p.add_argument("--backend", default="thread",
+                   choices=["thread", "process"],
+                   help="sharded execution backend (default thread)")
+    p.add_argument("--weak", action="store_true",
+                   help="weak scaling: grow the matrix with the device "
+                        "count at fixed work per device (ignores <matrix>)")
+    p.add_argument("--rows-per-device", type=_positive_int, default=256,
+                   dest="rows_per_device", metavar="N",
+                   help="weak-scaling work per device (default 256 rows)")
+
+    p = sub.add_parser("chaos", parents=[device_p, json_p],
+                       help="fault-injection campaign against the sharded "
+                            "engines (zero-silent-corruption gate)")
+    p.add_argument("--campaign", action="store_true",
+                   help="accepted for symmetry with `repro verify`; the "
+                        "campaign is the only mode")
+    p.add_argument("--workers", type=_positive_int, default=4,
+                   help="worker processes / shards per trial (default 4)")
+    p.add_argument("--formats", default="bro_ell,csr",
+                   help="comma-separated storage formats "
+                        "(default bro_ell,csr)")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated fault kinds (default: kill-worker,"
+                        "stall-worker,corrupt-shard-result,stream_bit_flip)")
+    p.add_argument("--repeats", type=_positive_int, default=1,
+                   help="trials per (format, kind) cell (default 1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--backend", default="process",
+                   choices=["thread", "process"],
+                   help="sharded backend under test (default process)")
+    p.add_argument("--timeout", type=float, default=1.0, metavar="S",
+                   help="per-shard deadline in seconds (default 1.0)")
+    p.add_argument("--retries", type=_positive_int, default=3,
+                   help="per-shard retry budget (default 3)")
+    p.add_argument("--output", metavar="PATH",
+                   help="also write the campaign report JSON to PATH")
 
     sub.add_parser("advise", parents=[matrix_p, device_p],
                    help="rank formats for a matrix")
@@ -383,6 +440,7 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
         devices=args.devices,
         partitioner=args.partition,
         comms=args.comms,
+        backend=args.backend,
     )
     sess = Session(device=args.device, policy=policy)
     if args.plan_cache == "off":
@@ -455,31 +513,55 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
 
 
 def _cmd_scale(args: argparse.Namespace) -> int:
-    from .exec.scaling import strong_scaling
+    from .exec.scaling import strong_scaling, weak_scaling
 
-    coo = _load_matrix(args.matrix, args.scale)
-    mat = convert(coo, args.format, **_conversion_kwargs(args.format, args))
-    rows = strong_scaling(
-        mat,
-        args.device,
-        args.devices,
-        partitioner=args.partition,
-        comms=args.comms,
-    )
+    if args.weak:
+        rows = weak_scaling(
+            args.format,
+            args.device,
+            args.devices,
+            rows_per_device=args.rows_per_device,
+            partitioner=args.partition,
+            comms=args.comms,
+            backend=args.backend,
+        )
+        mode = "Weak"
+        ratio_col = None
+    else:
+        if args.matrix is None:
+            print("error: a matrix name is required for strong scaling "
+                  "(pass one, or use --weak)", file=sys.stderr)
+            return 2
+        coo = _load_matrix(args.matrix, args.scale)
+        mat = convert(coo, args.format,
+                      **_conversion_kwargs(args.format, args))
+        rows = strong_scaling(
+            mat,
+            args.device,
+            args.devices,
+            partitioner=args.partition,
+            comms=args.comms,
+            backend=args.backend,
+        )
+        mode = "Strong"
+        ratio_col = "speedup"
     if args.json:
         import json
 
         print(json.dumps({
-            "matrix": args.matrix,
+            "matrix": None if args.weak else args.matrix,
+            "mode": mode.lower(),
             "scale": args.scale,
             "format": args.format,
             "device": args.device,
             "partition": args.partition,
+            "backend": args.backend,
             "rows": rows,
         }, indent=2, sort_keys=True))
         return 0
-    printable = [
-        {
+    printable = []
+    for r in rows:
+        row = {
             "devices": r["devices"],
             "comms": r["comms"] or "-",
             "t_total_us": 1e6 * r["t_total"],
@@ -487,19 +569,80 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             "t_comm_us": 1e6 * r["t_comm"],
             "gflops": r["gflops"],
             "link_bytes": r["interconnect_bytes"],
-            "speedup": r["speedup"],
             "efficiency": r["efficiency"],
             "bound": r["bound"],
         }
-        for r in rows
-    ]
+        if ratio_col:
+            row["speedup"] = r["speedup"]
+        if args.weak:
+            row["rows"] = r["rows"]
+        printable.append(row)
+    columns = ["devices"] + (["rows"] if args.weak else []) + [
+        "comms", "t_total_us", "t_kernel_us", "t_comm_us", "gflops",
+        "link_bytes",
+    ] + (["speedup"] if ratio_col else []) + ["efficiency", "bound"]
+    subject = args.format if args.weak else f"{args.matrix} as {args.format}"
     print(format_table(
         printable,
-        ["devices", "comms", "t_total_us", "t_kernel_us", "t_comm_us",
-         "gflops", "link_bytes", "speedup", "efficiency", "bound"],
-        f"Strong scaling: {args.matrix} as {args.format} on "
-        f"{DEVICES[args.device].name} ({args.partition})",
+        columns,
+        f"{mode} scaling: {subject} on {DEVICES[args.device].name} "
+        f"({args.partition}, {args.backend} backend)",
     ))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .exec.chaos import DEFAULT_CAMPAIGN_KINDS, run_chaos_campaign
+
+    formats = tuple(f for f in args.formats.split(",") if f)
+    kinds = (
+        tuple(k for k in args.kinds.split(",") if k)
+        if args.kinds else DEFAULT_CAMPAIGN_KINDS
+    )
+    report = run_chaos_campaign(
+        formats=formats,
+        kinds=kinds,
+        workers=args.workers,
+        repeats=args.repeats,
+        seed=args.seed,
+        device=args.device,
+        backend=args.backend,
+        shard_timeout_s=args.timeout,
+        max_retries=args.retries,
+    )
+    doc = report.to_dict()
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        import json
+
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            report.rows(),
+            ["format", "fault", "injected", "recovered", "unaffected",
+             "detected", "silent", "untyped"],
+            f"Chaos campaign: {args.backend} backend, {args.workers} "
+            f"workers, seed {args.seed}",
+        ))
+        print(f"\ncampaign: {report.injected} faults injected, "
+              f"{report.recovered} recovered bit-identically, "
+              f"{report.unaffected} unaffected, {report.detected} raised "
+              f"typed errors, {report.silent} SILENT, "
+              f"{report.untyped} untyped")
+        if args.output:
+            print(f"wrote campaign report to {args.output}")
+    if not report.clean:
+        if not args.json:
+            print("chaos campaign FAILED: silent corruption or untyped "
+                  "errors detected")
+        return 1
+    if not args.json:
+        print("chaos campaign passed: zero silent corruption")
     return 0
 
 
@@ -874,6 +1017,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_spmv(args)
         if args.command == "scale":
             return _cmd_scale(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "advise":
             return _cmd_advise(args)
         if args.command == "selfcheck":

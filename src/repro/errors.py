@@ -19,6 +19,8 @@ __all__ = [
     "ConvergenceError",
     "MatrixMarketError",
     "IntegrityError",
+    "ShardTimeoutError",
+    "WorkerFailureError",
 ]
 
 
@@ -78,3 +80,36 @@ class IntegrityError(ReproError):
     def __init__(self, message: str, fields: tuple = ()) -> None:
         super().__init__(message)
         self.fields = tuple(fields)
+
+
+class ShardTimeoutError(ReproError):
+    """A shard missed its per-shard execution deadline.
+
+    Raised by both sharded backends when ``policy.shard_timeout_s`` is
+    set: the thread engine raises it directly when a shard future does
+    not complete in time, and the process engine raises it once a
+    stalled shard has exhausted its retry budget. Carries the shard
+    index and the deadline that was missed.
+    """
+
+    def __init__(self, message: str, shard: int = -1,
+                 timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.shard = int(shard)
+        self.timeout_s = float(timeout_s)
+
+
+class WorkerFailureError(ReproError):
+    """A shard could not be completed by the process-worker pool.
+
+    Raised when a shard's retry budget is exhausted by worker deaths or
+    corrupt shard results, or when no live worker remains to take a
+    reassigned shard. Carries the shard index and the per-attempt
+    failure descriptions accumulated before giving up.
+    """
+
+    def __init__(self, message: str, shard: int = -1,
+                 attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.shard = int(shard)
+        self.attempts = tuple(attempts)

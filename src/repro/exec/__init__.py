@@ -5,18 +5,26 @@ multi-GPU one, and owns the configuration object every execution entry
 point now shares:
 
 * :class:`~repro.exec.policy.ExecutionPolicy` — one frozen dataclass for
-  engine/verify/fallback/plan-cache/devices/partitioner, accepted by
-  ``run_spmv``/``run_spmm``, :class:`~repro.pipeline.Session` and
-  :class:`~repro.solvers.operators.SimulatedOperator` (the old loose
-  keywords remain as deprecated shims for one release);
+  engine/verify/fallback/plan-cache/devices/partitioner plus the
+  fault-tolerance knobs (backend/shard_timeout_s/max_retries/elastic/
+  chaos), accepted by ``run_spmv``/``run_spmm``,
+  :class:`~repro.pipeline.Session` and
+  :class:`~repro.solvers.operators.SimulatedOperator`;
 * :func:`~repro.exec.partition.partition` and the registered
   ``"sharded"`` container — contiguous row blocks re-encoded per device,
   serializable to ``.brx`` with a shard manifest;
 * :func:`~repro.exec.comms.model_comms` — broadcast vs halo-exchange
   x-distribution accounting at interconnect-cacheline granularity;
-* :func:`~repro.exec.engine.execute_sharded` — the thread-pooled shard
-  executor producing bit-identical results and merged counters;
-* :func:`~repro.exec.scaling.strong_scaling` — the 1..N device sweep
+* :func:`~repro.exec.engine.execute_sharded` — the shard executor
+  producing bit-identical results and merged counters, on a thread pool
+  or on the fault-tolerant :mod:`~repro.exec.workers` process pool
+  (heartbeats, shard failover, elastic respawn);
+* :class:`~repro.exec.chaos.ChaosPolicy` and
+  :func:`~repro.exec.chaos.run_chaos_campaign` — seeded fault injection
+  into the sharded engines and the zero-silent-corruption campaign
+  behind ``repro chaos``;
+* :func:`~repro.exec.scaling.strong_scaling` /
+  :func:`~repro.exec.scaling.weak_scaling` — the 1..N device sweeps
   behind ``repro scale``.
 
 Exports resolve lazily (PEP 562): the kernel dispatcher imports
@@ -30,7 +38,6 @@ from typing import Any
 
 __all__ = [
     "ExecutionPolicy",
-    "coerce_policy",
     "PARTITIONERS",
     "ShardedMatrix",
     "partition",
@@ -41,13 +48,20 @@ __all__ = [
     "ShardedSpMVResult",
     "execute_sharded",
     "sharded_view",
+    "shutdown_pools",
+    "ChaosPolicy",
+    "ChaosCampaignReport",
+    "PROCESS_FAULT_KINDS",
+    "run_chaos_campaign",
+    "WorkerPool",
+    "worker_pool",
     "strong_scaling",
+    "weak_scaling",
 ]
 
 #: export name -> submodule that defines it.
 _EXPORTS = {
     "ExecutionPolicy": ".policy",
-    "coerce_policy": ".policy",
     "PARTITIONERS": ".partition",
     "ShardedMatrix": ".partition",
     "partition": ".partition",
@@ -58,7 +72,15 @@ _EXPORTS = {
     "ShardedSpMVResult": ".engine",
     "execute_sharded": ".engine",
     "sharded_view": ".engine",
+    "shutdown_pools": ".engine",
+    "ChaosPolicy": ".chaos",
+    "ChaosCampaignReport": ".chaos",
+    "PROCESS_FAULT_KINDS": ".chaos",
+    "run_chaos_campaign": ".chaos",
+    "WorkerPool": ".workers",
+    "worker_pool": ".workers",
     "strong_scaling": ".scaling",
+    "weak_scaling": ".scaling",
 }
 
 

@@ -1,0 +1,376 @@
+"""Seeded chaos injection for the sharded execution engines.
+
+A :class:`ChaosPolicy` describes *which* faults to inject into a sharded
+run and *how often*; attaching one to an
+:class:`~repro.exec.policy.ExecutionPolicy` (``policy.chaos``) makes the
+engine inject at most one fault per call, always on a shard's first
+attempt, so the recovery machinery — retry, failover, elastic respawn —
+is what determines the outcome. Three process-level injectors target the
+:mod:`repro.exec.workers` pool:
+
+* ``"kill-worker"`` — the worker owning the target shard exits hard
+  (``os._exit``) before computing it, as a crashed rank would;
+* ``"stall-worker"`` — the worker sleeps past the shard deadline; the
+  coordinator fails the shard over and drops the late result as stale;
+* ``"corrupt-shard-result"`` — the worker flips a bit in its ``y`` block
+  *after* computing the transport CRC, so the coordinator's checksum
+  verification catches the corruption and retries.
+
+Any :func:`repro.integrity.faults.fault_kinds` name (``stream_bit_flip``,
+``value_nan``, ...) is also accepted: the executing side injects that
+fault into a copy of the shard container and runs it under checksum
+verification, so container corruption surfaces as a typed error and the
+shard retries against the pristine container.
+
+:func:`run_chaos_campaign` sweeps formats × fault kinds and asserts the
+zero-silent-corruption contract end-to-end: every trial must return the
+bit-identical product (recovered) or raise a typed
+:class:`~repro.errors.ReproError` (detected) — never wrong numbers, and
+never an untyped crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError, ValidationError
+
+__all__ = [
+    "PROCESS_FAULT_KINDS",
+    "ChaosPolicy",
+    "ChaosEvent",
+    "ChaosState",
+    "ChaosTrial",
+    "ChaosCampaignReport",
+    "run_chaos_campaign",
+]
+
+#: Fault kinds injected at the worker-pool level (not into containers).
+PROCESS_FAULT_KINDS = ("kill-worker", "stall-worker", "corrupt-shard-result")
+
+#: Default fault matrix of :func:`run_chaos_campaign`.
+DEFAULT_CAMPAIGN_KINDS = PROCESS_FAULT_KINDS + ("stream_bit_flip",)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned fault: what to inject, into which shard, on which call."""
+
+    kind: str
+    shard: int
+    call: int  #: 0-based index of the engine call the event fires on
+    stall_s: float = 2.5
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded description of the faults to inject into sharded runs.
+
+    Parameters
+    ----------
+    seed:
+        Drives every random choice; equal seeds replay the same faults.
+    kinds:
+        Candidate fault kinds: any of :data:`PROCESS_FAULT_KINDS` and/or
+        any :func:`repro.integrity.faults.fault_kinds` name applicable to
+        the inner format.
+    rate:
+        Probability (0, 1] that a given engine call receives a fault.
+    max_faults:
+        Total faults over the policy's lifetime (``None`` = unlimited).
+        The engine keeps one :class:`ChaosState` per cached pool, so a
+        ``max_faults=1`` policy faults only the first call of a solve.
+    stall_s:
+        How long a ``"stall-worker"`` injection sleeps; must exceed the
+        policy's ``shard_timeout_s`` for the stall to be detected.
+    shard:
+        Pin every fault to one shard index (default: seeded choice).
+    """
+
+    seed: int = 0
+    kinds: Tuple[str, ...] = PROCESS_FAULT_KINDS
+    rate: float = 1.0
+    max_faults: Optional[int] = None
+    stall_s: float = 2.5
+    shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        kinds = tuple(self.kinds)
+        object.__setattr__(self, "kinds", kinds)
+        if not kinds or not all(isinstance(k, str) and k for k in kinds):
+            raise ValidationError(
+                f"chaos kinds must be a non-empty tuple of names, got {kinds!r}"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise ValidationError(
+                f"chaos rate must be in (0, 1], got {self.rate!r}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValidationError(
+                f"max_faults must be >= 0 or None, got {self.max_faults!r}"
+            )
+        if self.stall_s <= 0:
+            raise ValidationError(
+                f"stall_s must be positive, got {self.stall_s!r}"
+            )
+
+
+class ChaosState:
+    """Mutable per-pool injection state: the RNG stream and fault budget.
+
+    The engine keeps one state per cached executor so a solver loop sees
+    a single deterministic fault sequence across its calls instead of
+    re-seeding on every multiplication.
+    """
+
+    def __init__(self, policy: ChaosPolicy) -> None:
+        self.policy = policy
+        self._rng = np.random.default_rng(policy.seed)
+        self.calls = 0
+        self.injected = 0
+
+    def plan_call(self, n_shards: int) -> Optional[ChaosEvent]:
+        """The fault for the next engine call, or ``None`` for a clean one.
+
+        At most one fault per call; it always lands on a shard's first
+        attempt, so the retry path re-executes clean and deterministic.
+        """
+        call = self.calls
+        self.calls += 1
+        budget = self.policy.max_faults
+        if budget is not None and self.injected >= budget:
+            return None
+        if float(self._rng.random()) >= self.policy.rate:
+            return None
+        kind = self.policy.kinds[int(self._rng.integers(len(self.policy.kinds)))]
+        if self.policy.shard is not None:
+            shard = int(self.policy.shard) % n_shards
+        else:
+            shard = int(self._rng.integers(n_shards))
+        self.injected += 1
+        return ChaosEvent(
+            kind=kind, shard=shard, call=call, stall_s=self.policy.stall_s
+        )
+
+
+def chaos_state(owner: object, policy: ChaosPolicy) -> ChaosState:
+    """The :class:`ChaosState` for ``policy`` cached on ``owner``."""
+    cache = getattr(owner, "_repro_chaos_states", None)
+    if cache is None:
+        cache = {}
+        owner._repro_chaos_states = cache  # type: ignore[attr-defined]
+    key = id(policy)
+    state = cache.get(key)
+    if state is None:
+        state = cache[key] = ChaosState(policy)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# The chaos campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosTrial:
+    """Outcome of one fault injected into one sharded call."""
+
+    format_name: str
+    kind: str
+    repeat: int
+    outcome: str  #: "recovered" | "unaffected" | "detected" | "silent" | "untyped"
+    detail: Optional[str] = None
+    worker_deaths: int = 0
+    shard_reassignments: int = 0
+    retries: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": self.format_name,
+            "kind": self.kind,
+            "repeat": self.repeat,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "worker_deaths": self.worker_deaths,
+            "shard_reassignments": self.shard_reassignments,
+            "retries": self.retries,
+        }
+
+
+@dataclass
+class ChaosCampaignReport:
+    """Aggregated chaos-campaign outcome; ``clean`` is the contract gate."""
+
+    trials: List[ChaosTrial] = field(default_factory=list)
+    workers: int = 0
+    backend: str = "process"
+    seed: int = 0
+
+    @property
+    def injected(self) -> int:
+        return len(self.trials)
+
+    @property
+    def recovered(self) -> int:
+        return sum(t.outcome == "recovered" for t in self.trials)
+
+    @property
+    def unaffected(self) -> int:
+        return sum(t.outcome == "unaffected" for t in self.trials)
+
+    @property
+    def detected(self) -> int:
+        return sum(t.outcome == "detected" for t in self.trials)
+
+    @property
+    def silent(self) -> int:
+        return sum(t.outcome == "silent" for t in self.trials)
+
+    @property
+    def untyped(self) -> int:
+        return sum(t.outcome == "untyped" for t in self.trials)
+
+    @property
+    def clean(self) -> bool:
+        """Zero silent corruptions and zero untyped crashes."""
+        return self.silent == 0 and self.untyped == 0
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-(format, kind) aggregate rows for table rendering."""
+        agg: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for t in self.trials:
+            row = agg.setdefault(
+                (t.format_name, t.kind),
+                {"injected": 0, "recovered": 0, "unaffected": 0,
+                 "detected": 0, "silent": 0, "untyped": 0},
+            )
+            row["injected"] += 1
+            row[t.outcome] += 1
+        return [
+            {"format": fmt, "fault": kind, **counts}
+            for (fmt, kind), counts in sorted(agg.items())
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "seed": self.seed,
+            "injected": self.injected,
+            "recovered": self.recovered,
+            "unaffected": self.unaffected,
+            "detected": self.detected,
+            "silent": self.silent,
+            "untyped": self.untyped,
+            "clean": self.clean,
+            "rows": self.rows(),
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+
+def _campaign_fixture(format_name: str, seed: int):
+    """A sealed campaign container plus a seeded input vector."""
+    from ..integrity.campaign import build_campaign_matrix
+    from ..integrity.checksums import seal
+    from ..matrices.generators import banded_random
+
+    if format_name in ("bro_ell", "bro_coo", "bro_hyb"):
+        sealed, coo = build_campaign_matrix(format_name, seed=seed)
+    else:
+        from ..formats.conversion import convert
+
+        coo = banded_random(96, 8.0, 3.0, bandwidth=32, seed=seed)
+        sealed = seal(convert(coo, format_name))
+    x = np.random.default_rng(seed + 101).standard_normal(coo.shape[1])
+    return sealed, x
+
+
+def run_chaos_campaign(
+    formats: Sequence[str] = ("bro_ell", "csr"),
+    kinds: Sequence[str] = DEFAULT_CAMPAIGN_KINDS,
+    workers: int = 4,
+    repeats: int = 1,
+    seed: int = 0,
+    device: str = "k20",
+    backend: str = "process",
+    shard_timeout_s: float = 1.0,
+    max_retries: int = 3,
+    partitioner: str = "greedy-nnz",
+) -> ChaosCampaignReport:
+    """Sweep ``formats`` × ``kinds`` × ``repeats`` single-fault trials.
+
+    Each trial runs one sharded ``run_spmv`` with exactly one injected
+    fault (on the first attempt of the targeted shard) and classifies the
+    outcome against the pristine single-device product:
+
+    * ``recovered`` — bit-identical ``y`` with the recovery path visible
+      (``worker_deaths``/``shard_reassignments``/``retries`` > 0);
+    * ``unaffected`` — bit-identical ``y``, fault absorbed without any
+      recovery action (e.g. a stall completing before its deadline);
+    * ``detected`` — a typed :class:`~repro.errors.ReproError`;
+    * ``silent`` — wrong numbers with no error (contract violation);
+    * ``untyped`` — a non-Repro exception escaped (contract violation).
+
+    Process-level kinds require ``backend="process"``; container kinds
+    run on either backend. A fresh worker pool is created and shut down
+    per trial so every trial replays deterministically from the seed.
+    """
+    from ..kernels.dispatch import run_spmv
+    from .engine import shutdown_pools
+    from .policy import ExecutionPolicy
+
+    if backend == "thread":
+        bad = [k for k in kinds
+               if k in PROCESS_FAULT_KINDS and k != "stall-worker"]
+        if bad:
+            raise ValidationError(
+                f"fault kind(s) {bad} need backend='process'"
+            )
+    report = ChaosCampaignReport(workers=workers, backend=backend, seed=seed)
+    for f_idx, fmt in enumerate(formats):
+        sealed, x = _campaign_fixture(fmt, seed + 17 * f_idx)
+        y_ref = run_spmv(sealed, x, device).y
+        for k_idx, kind in enumerate(kinds):
+            for rep in range(int(repeats)):
+                trial_seed = seed + 1009 * f_idx + 101 * k_idx + rep
+                chaos = ChaosPolicy(
+                    seed=trial_seed, kinds=(kind,), rate=1.0, max_faults=1,
+                    stall_s=2.5 * shard_timeout_s,
+                )
+                policy = ExecutionPolicy(
+                    devices=workers, backend=backend,
+                    partitioner=partitioner,
+                    shard_timeout_s=shard_timeout_s,
+                    max_retries=max_retries, chaos=chaos,
+                )
+                trial = ChaosTrial(fmt, kind, rep, outcome="untyped")
+                try:
+                    result = run_spmv(sealed, x, device, policy=policy)
+                except ReproError as exc:
+                    trial.outcome = "detected"
+                    trial.detail = f"{type(exc).__name__}: {exc}"
+                except Exception as exc:  # noqa: BLE001 - contract check
+                    trial.outcome = "untyped"
+                    trial.detail = f"{type(exc).__name__}: {exc}"
+                else:
+                    trial.worker_deaths = getattr(result, "worker_deaths", 0)
+                    trial.shard_reassignments = getattr(
+                        result, "shard_reassignments", 0
+                    )
+                    trial.retries = getattr(result, "retries", 0)
+                    recovery = (trial.worker_deaths
+                                + trial.shard_reassignments + trial.retries)
+                    if np.array_equal(result.y, y_ref):
+                        trial.outcome = (
+                            "recovered" if recovery > 0 else "unaffected"
+                        )
+                    else:
+                        trial.outcome = "silent"
+                        trial.detail = "product deviates from reference"
+                finally:
+                    shutdown_pools(sealed)
+                report.trials.append(trial)
+    return report

@@ -8,10 +8,12 @@ engine
 1. partitions the matrix (or accepts a pre-built
    :class:`~repro.exec.partition.ShardedMatrix`), caching the partition
    on the container so solver loops pay for it once;
-2. prepares and runs every shard's kernel concurrently on a
-   ``ThreadPoolExecutor`` — each shard goes through the same
-   single-device engine selection (reference kernels or prepared-plan
-   replay) the unsharded path uses;
+2. prepares and runs every shard's kernel concurrently — on a
+   ``ThreadPoolExecutor`` (``policy.backend="thread"``, default) or on a
+   fault-tolerant ``multiprocessing`` :class:`~repro.exec.workers.WorkerPool`
+   (``policy.backend="process"``) where each worker mmaps its own sealed
+   ``.brx`` shard container and shard failures fail over to surviving
+   workers;
 3. concatenates the per-shard ``y`` blocks (bit-identical to the
    single-device result, because shards are contiguous row blocks and
    every kernel accumulates rows in ascending-column order);
@@ -21,22 +23,33 @@ engine
    ``merged == sum(shard counters)`` in every DRAM field while
    ``interconnect_bytes`` carries the communication volume.
 
+Both backends honor ``policy.shard_timeout_s``: the thread engine raises
+a typed :class:`~repro.errors.ShardTimeoutError` when a shard future
+misses its deadline, and the process engine treats the miss as a stalled
+worker — fence, retry elsewhere, and only raise once
+``policy.max_retries`` is exhausted. Recovery actions surface on the
+returned :class:`ShardedSpMVResult` (``worker_deaths``,
+``shard_reassignments``, ``retries``) and in the metrics registry
+(``exec.worker_deaths`` etc.).
+
 Thread-safety note: the telemetry tracer keeps one global span stack,
-so when a tracer is active the shards run sequentially (same results
-and counters, deterministic span tree); the pool is used only for
-untraced runs. NumPy releases the GIL on the large kernels, so the pool
-gives real overlap in the common case.
+so when a tracer is active the thread backend runs shards sequentially
+(same results and counters, deterministic span tree); the pool is used
+only for untraced runs. NumPy releases the GIL on the large kernels, so
+the pool gives real overlap in the common case.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import ReproError, ShardTimeoutError, ValidationError
 from ..formats.base import SparseFormat
 from ..gpu.counters import KernelCounters
 from ..gpu.device import DeviceSpec, get_device
@@ -45,11 +58,17 @@ from ..kernels.base import SpMVResult
 from ..telemetry import metrics as _metrics
 from ..telemetry.tracer import get_tracer
 from ..telemetry.tracer import span as _span
+from .chaos import PROCESS_FAULT_KINDS, ChaosEvent, chaos_state
 from .comms import CommsReport, model_comms
 from .partition import ShardedMatrix, partition
 from .policy import ExecutionPolicy
 
-__all__ = ["ShardedSpMVResult", "execute_sharded", "sharded_view"]
+__all__ = [
+    "ShardedSpMVResult",
+    "execute_sharded",
+    "sharded_view",
+    "shutdown_pools",
+]
 
 
 @dataclass
@@ -59,12 +78,18 @@ class ShardedSpMVResult(SpMVResult):
     ``y``/``counters`` behave exactly like the single-device record
     (``counters`` is the merged view, carrying the modeled
     ``interconnect_bytes``); the extra fields expose the per-shard
-    results, the communication accounting and the sharded timing model.
+    results, the communication accounting, the sharded timing model and
+    — on the process backend — the recovery accounting of the call.
     """
 
     shard_results: Tuple[SpMVResult, ...] = ()
     comms: Optional[CommsReport] = None
     partitioner: str = "greedy-nnz"
+    backend: str = "thread"
+    worker_deaths: int = 0  #: workers lost (crashed or fenced) this call
+    shard_reassignments: int = 0  #: shards moved to a different worker
+    retries: int = 0  #: shard re-executions after a failure
+    recovery_events: Tuple[Dict[str, object], ...] = ()
 
     @property
     def timing(self) -> MultiDeviceBreakdown:  # type: ignore[override]
@@ -110,6 +135,13 @@ def sharded_view(
     return cache[key]
 
 
+def shutdown_pools(matrix: SparseFormat) -> int:
+    """Close every process-worker pool cached on ``matrix``; returns count."""
+    from .workers import shutdown_matrix_pools
+
+    return shutdown_matrix_pools(matrix)
+
+
 def _merge(
     shard_results: List[SpMVResult], comms: CommsReport
 ) -> KernelCounters:
@@ -118,6 +150,136 @@ def _merge(
         merged,
         interconnect_bytes=merged.interconnect_bytes + comms.total_bytes,
     )
+
+
+def _plan_thread_chaos(
+    sharded: ShardedMatrix, policy: ExecutionPolicy
+) -> Optional[ChaosEvent]:
+    """The thread backend's chaos event for this call, if any.
+
+    The thread pool shares one address space, so only stalls and
+    container-level faults are expressible; process-only kinds are a
+    configuration error rather than a silent no-op.
+    """
+    if policy.chaos is None:
+        return None
+    event = chaos_state(sharded, policy.chaos).plan_call(sharded.n_shards)
+    if event is None:
+        return None
+    if event.kind in PROCESS_FAULT_KINDS and event.kind != "stall-worker":
+        raise ValidationError(
+            f"chaos kind {event.kind!r} requires backend='process'"
+        )
+    return event
+
+
+def _execute_thread(
+    sharded: ShardedMatrix,
+    x: np.ndarray,
+    device: DeviceSpec,
+    policy: ExecutionPolicy,
+) -> Tuple[List[SpMVResult], Dict[str, object]]:
+    """The in-process thread backend (with per-shard deadlines)."""
+    from ..kernels.dispatch import run_spmv  # late: dispatch imports us
+
+    shard_policy = policy.with_(
+        devices=1, verify=False, fallback=None, plan=None,
+        backend="thread", shard_timeout_s=None, chaos=None,
+    )
+    event = _plan_thread_chaos(sharded, policy)
+    timeout = policy.shard_timeout_s
+
+    def run_one(d: int, shard: SparseFormat) -> SpMVResult:
+        if event is not None and event.shard == d:
+            if event.kind == "stall-worker":
+                time.sleep(event.stall_s)
+            else:
+                from ..integrity.checksums import is_sealed, seal
+                from .workers import _apply_container_fault
+
+                # The checksum verify below can only catch the injected
+                # corruption against a pristine seal; unsealed shards
+                # must be sealed first (the process backend gets this
+                # for free from its sealed .brx shard containers).
+                if not is_sealed(shard):
+                    try:
+                        seal(shard)
+                    except ReproError as exc:
+                        raise ValidationError(
+                            f"chaos kind {event.kind!r} needs a sealable "
+                            f"shard format, got {shard.format_name!r}"
+                        ) from exc
+                victim = _apply_container_fault(
+                    shard, event.kind, event.call * 8191 + d
+                )
+                return run_spmv(
+                    victim, x, device,
+                    policy=shard_policy.with_(verify="checksum"),
+                )
+        return run_spmv(shard, x, device, policy=shard_policy)
+
+    if get_tracer() is not None or sharded.n_shards == 1:
+        # The tracer's span stack is global: keep the tree deterministic.
+        # Deadlines are enforced post-hoc (a shard cannot be preempted).
+        results = []
+        for d, shard in enumerate(sharded.shards):
+            t0 = time.monotonic()
+            results.append(run_one(d, shard))
+            if timeout is not None and time.monotonic() - t0 > timeout:
+                raise ShardTimeoutError(
+                    f"shard {d} exceeded its {timeout}s deadline",
+                    shard=d, timeout_s=timeout,
+                )
+        return results, {}
+
+    with ThreadPoolExecutor(max_workers=sharded.n_shards) as pool:
+        futures = [
+            pool.submit(run_one, d, shard)
+            for d, shard in enumerate(sharded.shards)
+        ]
+        results = []
+        for d, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=timeout))
+            except _FutureTimeout:
+                for pending in futures[d:]:
+                    pending.cancel()
+                raise ShardTimeoutError(
+                    f"shard {d} missed its {timeout}s deadline on the "
+                    f"thread backend",
+                    shard=d, timeout_s=timeout or 0.0,
+                ) from None
+    return results, {}
+
+
+def _execute_process(
+    sharded: ShardedMatrix,
+    x: np.ndarray,
+    device: DeviceSpec,
+    policy: ExecutionPolicy,
+) -> Tuple[List[SpMVResult], Dict[str, object]]:
+    """The fault-tolerant multiprocessing backend."""
+    from .workers import worker_pool
+
+    pool = worker_pool(sharded, device, policy)
+    blocks, stats = pool.execute(x)
+    results = [
+        SpMVResult(y=y, counters=counters, device=device)
+        for y, counters in blocks
+    ]
+    if _metrics.collecting():
+        # Worker processes record into their own (lost) registries; fold
+        # the shard kernel counters in here so both backends meter alike.
+        for r in results:
+            _metrics.record_kernel(sharded.inner_format, device.name, r.counters)
+    recovery = {
+        "worker_deaths": stats.worker_deaths,
+        "shard_reassignments": stats.shard_reassignments,
+        "retries": stats.retries,
+        "respawns": stats.respawns,
+        "events": tuple(stats.events),
+    }
+    return results, recovery
 
 
 def execute_sharded(
@@ -132,10 +294,10 @@ def execute_sharded(
     :func:`repro.kernels.run_spmv` wraps this call in its guarded
     region, so corruption inside any shard degrades exactly like a
     single-device failure. Each shard runs with a single-device variant
-    of ``policy`` (same engine selection and plan cache).
+    of ``policy`` (same engine selection and plan cache); the backend —
+    thread pool or failover-capable worker processes — is selected by
+    ``policy.backend``.
     """
-    from ..kernels.dispatch import run_spmv  # late: dispatch imports us
-
     if isinstance(device, str):
         device = get_device(device)
     if not policy.sharded and not isinstance(matrix, ShardedMatrix):
@@ -144,12 +306,6 @@ def execute_sharded(
     sharded = sharded_view(matrix, policy.devices, policy.partitioner)
     comms = model_comms(sharded, device, policy.comms)
     x = sharded.check_x(x)
-    shard_policy = policy.with_(
-        devices=1, verify=False, fallback=None, plan=None
-    )
-
-    def run_one(shard: SparseFormat) -> SpMVResult:
-        return run_spmv(shard, x, device, policy=shard_policy)
 
     with _span(
         "exec.sharded",
@@ -158,19 +314,22 @@ def execute_sharded(
         devices=sharded.n_shards,
         partitioner=sharded.partitioner,
         comms=comms.strategy,
+        backend=policy.backend,
     ):
-        if get_tracer() is not None or sharded.n_shards == 1:
-            # The tracer's span stack is global: keep the tree deterministic.
-            results = [run_one(s) for s in sharded.shards]
+        if policy.backend == "process":
+            results, recovery = _execute_process(sharded, x, device, policy)
         else:
-            with ThreadPoolExecutor(max_workers=sharded.n_shards) as pool:
-                results = list(pool.map(run_one, sharded.shards))
+            results, recovery = _execute_thread(sharded, x, device, policy)
 
     y = np.concatenate([r.y for r in results])
     merged = _merge(results, comms)
     _metrics.record_exec(
         sharded.inner_format, device.name, sharded.n_shards, merged, comms
     )
+    for name in ("worker_deaths", "shard_reassignments", "retries", "respawns"):
+        count = int(recovery.get(name, 0) or 0)
+        if count:
+            _metrics.record_worker_event(name, count)
     return ShardedSpMVResult(
         y=y,
         counters=merged,
@@ -178,4 +337,9 @@ def execute_sharded(
         shard_results=tuple(results),
         comms=comms,
         partitioner=sharded.partitioner,
+        backend=policy.backend,
+        worker_deaths=int(recovery.get("worker_deaths", 0) or 0),
+        shard_reassignments=int(recovery.get("shard_reassignments", 0) or 0),
+        retries=int(recovery.get("retries", 0) or 0),
+        recovery_events=tuple(recovery.get("events", ()) or ()),
     )

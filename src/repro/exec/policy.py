@@ -1,29 +1,26 @@
 """The typed execution contract: one frozen object instead of five kwargs.
 
-Before this module, every execution entry point — ``run_spmv``,
-``run_spmm``, :meth:`Session.execute`, ``SimulatedOperator`` — grew the
-same five loose keywords (``verify=``, ``fallback=``, ``engine=``,
-``plan=``, ``plan_cache=``), each call site re-documenting and
-re-validating them. :class:`ExecutionPolicy` replaces the sprawl with a
-single frozen dataclass that also carries the *new* multi-device knobs
-(``devices``, ``partitioner``), so every execution target — single
-device or sharded — is configured the same way::
+Every execution entry point — ``run_spmv``, ``run_spmm``,
+:meth:`Session.execute`, ``SimulatedOperator`` — is configured by a
+single frozen :class:`ExecutionPolicy`. The policy carries the
+single-device knobs (``engine``, ``verify``, ``fallback``, plan
+sourcing), the multi-device knobs (``devices``, ``partitioner``,
+``comms``) and the fault-tolerance knobs (``backend``,
+``shard_timeout_s``, ``max_retries``, ``elastic``, ``chaos``)::
 
     from repro import ExecutionPolicy, run_spmv
 
     policy = ExecutionPolicy(verify="checksum", devices=4,
-                             partitioner="greedy-nnz")
+                             backend="process", partitioner="greedy-nnz")
     result = run_spmv(matrix, x, "k20", policy=policy)
 
-The legacy keywords keep working for one release as deprecated shims
-(:func:`coerce_policy` folds them into a policy and emits a
-``DeprecationWarning``); mixing ``policy=`` with a legacy keyword is an
-error so a call never has two sources of truth.
+The pre-policy loose keywords (``verify=``/``fallback=``/``engine=``/
+``plan=``/``plan_cache=``) were deprecated shims for one release and
+have been removed; ``policy=`` is the only spelling.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Optional, Union
 
@@ -33,8 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from ..formats.base import SparseFormat
     from ..kernels.plan import SpMVPlan
     from ..kernels.plancache import PlanCache
+    from .chaos import ChaosPolicy
 
-__all__ = ["ExecutionPolicy", "coerce_policy", "UNSET"]
+__all__ = ["ExecutionPolicy"]
 
 #: Accepted ``verify`` levels, in increasing strictness.
 VERIFY_LEVELS = (False, "structure", "checksum", "full")
@@ -42,21 +40,11 @@ VERIFY_LEVELS = (False, "structure", "checksum", "full")
 #: Accepted ``engine`` selectors.
 ENGINES = ("auto", "fast", "reference")
 
+#: Accepted sharded-execution backends.
+BACKENDS = ("thread", "process")
+
 #: Registered row-partitioner names (mirrored by repro.exec.partition).
 PARTITIONERS = ("contiguous", "greedy-nnz", "slice-aligned")
-
-
-class _Unset:
-    """Sentinel distinguishing 'not passed' from an explicit ``None``."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "<unset>"
-
-
-#: Singleton default for the deprecated keyword shims.
-UNSET = _Unset()
 
 
 def normalize_verify(verify: Union[bool, str, None]) -> Union[bool, str]:
@@ -111,6 +99,31 @@ class ExecutionPolicy:
         ``"auto"`` (default, cheaper of the two), ``"broadcast"`` (full x
         to every device) or ``"halo"`` (each device fetches only the
         remote cachelines its columns reach).
+    backend:
+        How shards execute: ``"thread"`` (default, in-process thread
+        pool) or ``"process"`` — a coordinator plus ``multiprocessing``
+        workers that each mmap their own ``.brx`` shard container, with
+        heartbeats, shard failover and elastic respawn
+        (:mod:`repro.exec.workers`).
+    shard_timeout_s:
+        Per-shard execution deadline in seconds (``None`` disables).
+        The thread backend raises a typed
+        :class:`~repro.errors.ShardTimeoutError` on a miss; the process
+        backend treats a miss as a stalled worker and fails the shard
+        over to a surviving worker before giving up.
+    max_retries:
+        Process-backend retry budget per shard and call: how many times
+        a shard may be re-executed (with backoff and reassignment) after
+        a worker death, a stall or a corrupt result before the engine
+        raises a typed error.
+    elastic:
+        Whether the process pool respawns a replacement worker after a
+        death or a forced stall termination (default ``True``). With
+        ``False`` the pool shrinks and shards pile onto the survivors.
+    chaos:
+        Optional seeded :class:`~repro.exec.chaos.ChaosPolicy` injecting
+        faults into the sharded engines — worker kills, stalls and
+        corrupted shard results — for failover testing.
     """
 
     engine: str = "auto"
@@ -121,6 +134,11 @@ class ExecutionPolicy:
     devices: int = 1
     partitioner: str = "greedy-nnz"
     comms: str = "auto"
+    backend: str = "thread"
+    shard_timeout_s: Optional[float] = None
+    max_retries: int = 2
+    elastic: bool = True
+    chaos: Optional["ChaosPolicy"] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -142,6 +160,28 @@ class ExecutionPolicy:
                 f"comms must be 'auto', 'broadcast' or 'halo', "
                 f"got {self.comms!r}"
             )
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValidationError(
+                f"shard_timeout_s must be positive or None, "
+                f"got {self.shard_timeout_s!r}"
+            )
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be a non-negative integer, "
+                f"got {self.max_retries!r}"
+            )
+        if self.chaos is not None:
+            from .chaos import ChaosPolicy  # local: avoid import cycle
+
+            if not isinstance(self.chaos, ChaosPolicy):
+                raise ValidationError(
+                    f"chaos must be a ChaosPolicy, "
+                    f"got {type(self.chaos).__name__}"
+                )
         if self.devices > 1 and self.plan is not None:
             raise ValidationError(
                 "an explicit plan= cannot drive a multi-device execution; "
@@ -171,63 +211,9 @@ class ExecutionPolicy:
             "devices": self.devices,
             "partitioner": self.partitioner,
             "comms": self.comms,
+            "backend": self.backend,
+            "shard_timeout_s": self.shard_timeout_s,
+            "max_retries": self.max_retries,
+            "elastic": self.elastic,
+            "chaos": self.chaos is not None,
         }
-
-
-#: The library-wide default policy (single device, reference-compatible).
-_DEFAULT = ExecutionPolicy()
-
-#: Legacy keyword names folded by :func:`coerce_policy`, in the order the
-#: old signatures declared them.
-_LEGACY_KEYS = ("verify", "fallback", "engine", "plan", "plan_cache")
-
-
-def coerce_policy(
-    policy: Optional[ExecutionPolicy],
-    *,
-    caller: str,
-    verify: Any = UNSET,
-    fallback: Any = UNSET,
-    engine: Any = UNSET,
-    plan: Any = UNSET,
-    plan_cache: Any = UNSET,
-) -> ExecutionPolicy:
-    """Fold the deprecated loose keywords into an :class:`ExecutionPolicy`.
-
-    * Neither given — the default policy.
-    * ``policy=`` only — returned as-is.
-    * Legacy keywords only — folded into a fresh policy, with one
-      ``DeprecationWarning`` naming the keywords and the caller.
-    * Both — :class:`~repro.errors.ValidationError`; a call must have a
-      single source of truth.
-    """
-    passed = {
-        name: value
-        for name, value in zip(
-            _LEGACY_KEYS, (verify, fallback, engine, plan, plan_cache)
-        )
-        if value is not UNSET
-    }
-    if policy is not None:
-        if not isinstance(policy, ExecutionPolicy):
-            raise ValidationError(
-                f"policy must be an ExecutionPolicy, got {type(policy).__name__}"
-            )
-        if passed:
-            raise ValidationError(
-                f"{caller}: pass either policy= or the legacy keyword(s) "
-                f"{sorted(passed)}, not both"
-            )
-        return policy
-    if not passed:
-        return _DEFAULT
-    warnings.warn(
-        f"{caller}: the {sorted(passed)} keyword(s) are deprecated; pass "
-        f"policy=ExecutionPolicy({', '.join(sorted(passed))}=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    defaults = {"verify": False, "fallback": None, "engine": "auto",
-                "plan": None, "plan_cache": None}
-    defaults.update(passed)
-    return ExecutionPolicy(**defaults)

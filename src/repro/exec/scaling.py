@@ -1,16 +1,24 @@
-"""Strong-scaling experiment: one matrix, 1..N simulated devices.
+"""Scaling experiments: one matrix (or a growing family), 1..N devices.
 
-The reportable experiment behind ``repro scale``: fix the matrix and
-format, sweep the device count, and compare the sharded timing model
-against the single-device baseline. Because the kernel phase is the
-slowest shard while communication grows with the device count, the rows
-expose the classic strong-scaling shape — near-linear speedup while the
-shards stay bandwidth-bound, flattening when the interconnect term or
-load imbalance dominates.
+Two reportable experiments back ``repro scale``:
 
-Every sweep row is checked for bit-identity against the single-device
-reference product before it is reported, so a scaling table is also an
-end-to-end correctness assertion.
+* :func:`strong_scaling` — fix the matrix and format, sweep the device
+  count, and compare the sharded timing model against the single-device
+  baseline. Because the kernel phase is the slowest shard while
+  communication grows with the device count, the rows expose the classic
+  strong-scaling shape — near-linear speedup while the shards stay
+  bandwidth-bound, flattening when the interconnect term or load
+  imbalance dominates.
+* :func:`weak_scaling` — fix the *work per device* and grow the matrix
+  with the device count, the complementary question ("can N devices hold
+  an N× problem at constant time?"). Ideal weak scaling keeps ``t_total``
+  flat; the reported ``efficiency`` is ``t(1) / t(n)``.
+
+Both sweeps run on either sharded backend (``backend="thread"`` or the
+fault-tolerant ``"process"`` worker pool) and every row is checked for
+bit-identity against the single-device reference product before it is
+reported, so a scaling table is also an end-to-end correctness
+assertion.
 """
 
 from __future__ import annotations
@@ -22,10 +30,19 @@ import numpy as np
 from ..errors import ValidationError
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
-from .engine import execute_sharded
+from .engine import execute_sharded, shutdown_pools
 from .policy import ExecutionPolicy
 
-__all__ = ["strong_scaling"]
+__all__ = ["strong_scaling", "weak_scaling"]
+
+
+def _check_counts(devices: Sequence[int]) -> List[int]:
+    counts = sorted({int(d) for d in devices})
+    if not counts or counts[0] < 1:
+        raise ValidationError(
+            f"devices must be positive integers, got {devices!r}"
+        )
+    return counts
 
 
 def strong_scaling(
@@ -36,6 +53,7 @@ def strong_scaling(
     partitioner: str = "greedy-nnz",
     comms: str = "auto",
     engine: str = "auto",
+    backend: str = "thread",
     x: Optional[np.ndarray] = None,
     seed: int = 0,
 ) -> List[Dict[str, object]]:
@@ -45,15 +63,14 @@ def strong_scaling(
     (``t_total``, ``t_kernel``, ``t_comm``), the achieved GFlop/s, the
     communication volume and ``speedup``/``efficiency`` relative to the
     single-device baseline (always computed, even when ``1`` is not in
-    ``devices``). Raises :class:`~repro.errors.ValidationError` if any
-    sharded product deviates from the single-device result by a single
-    bit.
+    ``devices``). ``backend`` selects the sharded execution backend; the
+    process pool is shut down before returning. Raises
+    :class:`~repro.errors.ValidationError` if any sharded product
+    deviates from the single-device result by a single bit.
     """
     if isinstance(device, str):
         device = get_device(device)
-    counts = sorted({int(d) for d in devices})
-    if not counts or counts[0] < 1:
-        raise ValidationError(f"devices must be positive integers, got {devices!r}")
+    counts = _check_counts(devices)
     if x is None:
         rng = np.random.default_rng(seed)
         x = rng.standard_normal(matrix.shape[1])
@@ -66,47 +83,148 @@ def strong_scaling(
     t_base = base.timing.time
 
     rows: List[Dict[str, object]] = []
-    for n in counts:
-        if n == 1:
-            rows.append({
-                "devices": 1,
-                "partitioner": partitioner,
-                "comms": None,
-                "t_total": t_base,
-                "t_kernel": t_base,
-                "t_comm": 0.0,
-                "gflops": base.timing.gflops,
-                "interconnect_bytes": 0,
-                "messages": 0,
-                "speedup": 1.0,
-                "efficiency": 1.0,
-                "bound": base.timing.bound,
-            })
-            continue
-        result = execute_sharded(
-            matrix, x, device,
-            ExecutionPolicy(engine=engine, devices=n,
-                            partitioner=partitioner, comms=comms),
-        )
-        if not np.array_equal(result.y, base.y):
-            raise ValidationError(
-                f"sharded product on {n} devices deviates from the "
-                f"single-device reference"
+    try:
+        for n in counts:
+            if n == 1:
+                rows.append({
+                    "devices": 1,
+                    "partitioner": partitioner,
+                    "comms": None,
+                    "backend": backend,
+                    "t_total": t_base,
+                    "t_kernel": t_base,
+                    "t_comm": 0.0,
+                    "gflops": base.timing.gflops,
+                    "interconnect_bytes": 0,
+                    "messages": 0,
+                    "speedup": 1.0,
+                    "efficiency": 1.0,
+                    "bound": base.timing.bound,
+                })
+                continue
+            result = execute_sharded(
+                matrix, x, device,
+                ExecutionPolicy(engine=engine, devices=n,
+                                partitioner=partitioner, comms=comms,
+                                backend=backend),
             )
-        timing = result.timing
-        speedup = t_base / timing.time
+            if not np.array_equal(result.y, base.y):
+                raise ValidationError(
+                    f"sharded product on {n} devices deviates from the "
+                    f"single-device reference"
+                )
+            timing = result.timing
+            speedup = t_base / timing.time
+            rows.append({
+                "devices": n,
+                "partitioner": partitioner,
+                "comms": result.comms.strategy if result.comms else comms,
+                "backend": backend,
+                "t_total": timing.time,
+                "t_kernel": timing.t_kernel,
+                "t_comm": timing.t_comm,
+                "gflops": timing.gflops,
+                "interconnect_bytes": int(result.counters.interconnect_bytes),
+                "messages": timing.messages,
+                "speedup": speedup,
+                "efficiency": speedup / n,
+                "bound": timing.bound,
+            })
+    finally:
+        if backend == "process":
+            shutdown_pools(matrix)
+    return rows
+
+
+def weak_scaling(
+    format_name: str = "bro_ell",
+    device: Union[DeviceSpec, str] = "k20",
+    devices: Sequence[int] = (1, 2, 4, 8),
+    *,
+    rows_per_device: int = 256,
+    partitioner: str = "greedy-nnz",
+    comms: str = "auto",
+    engine: str = "auto",
+    backend: str = "thread",
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Grow the matrix with the device count at fixed work per device.
+
+    For each ``n`` in ``devices`` a banded random matrix with
+    ``rows_per_device * n`` rows (constant row density, so nnz also
+    scales ~linearly) is generated, converted to ``format_name`` and
+    executed on ``n`` simulated devices. Each product is checked
+    bit-identical against its own single-device reference run.
+
+    Returns one dict per count with the matrix size, the modeled times,
+    and ``efficiency = t_total(1) / t_total(n)`` — 1.0 is ideal weak
+    scaling (N devices hold an N× problem at constant wall-clock).
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    if not isinstance(rows_per_device, int) or rows_per_device < 1:
+        raise ValidationError(
+            f"rows_per_device must be a positive integer, "
+            f"got {rows_per_device!r}"
+        )
+    counts = _check_counts(devices)
+
+    from ..formats.conversion import convert
+    from ..kernels.dispatch import run_spmv
+    from ..matrices.generators import banded_random
+
+    rows: List[Dict[str, object]] = []
+    t_one: Optional[float] = None
+    for n in counts:
+        m = rows_per_device * n
+        coo = banded_random(m, 8.0, 3.0, bandwidth=min(m, 64), seed=seed)
+        matrix = convert(coo, format_name)
+        x = np.random.default_rng(seed + n).standard_normal(m)
+        base = run_spmv(matrix, x, device,
+                        policy=ExecutionPolicy(engine=engine))
+        if n == 1:
+            timing = base.timing
+            interconnect = 0
+            messages = 0
+            strategy = None
+        else:
+            try:
+                result = execute_sharded(
+                    matrix, x, device,
+                    ExecutionPolicy(engine=engine, devices=n,
+                                    partitioner=partitioner, comms=comms,
+                                    backend=backend),
+                )
+            finally:
+                if backend == "process":
+                    shutdown_pools(matrix)
+            if not np.array_equal(result.y, base.y):
+                raise ValidationError(
+                    f"weak-scaling product on {n} devices deviates from "
+                    f"its single-device reference"
+                )
+            timing = result.timing
+            interconnect = int(result.counters.interconnect_bytes)
+            messages = timing.messages
+            strategy = result.comms.strategy if result.comms else comms
+        if t_one is None:
+            # The smallest count anchors the efficiency baseline (it is
+            # n == 1 whenever 1 is swept, matching the classic plot).
+            t_one = timing.time
         rows.append({
             "devices": n,
+            "rows": m,
+            "nnz": int(matrix.nnz),
             "partitioner": partitioner,
-            "comms": result.comms.strategy if result.comms else comms,
+            "comms": strategy,
+            "backend": backend,
             "t_total": timing.time,
-            "t_kernel": timing.t_kernel,
-            "t_comm": timing.t_comm,
+            "t_kernel": getattr(timing, "t_kernel", timing.time),
+            "t_comm": getattr(timing, "t_comm", 0.0),
             "gflops": timing.gflops,
-            "interconnect_bytes": int(result.counters.interconnect_bytes),
-            "messages": timing.messages,
-            "speedup": speedup,
-            "efficiency": speedup / n,
+            "interconnect_bytes": interconnect,
+            "messages": messages,
+            "efficiency": t_one / timing.time,
             "bound": timing.bound,
         })
     return rows

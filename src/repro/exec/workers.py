@@ -1,0 +1,602 @@
+"""Process-backed sharded execution: elastic workers with shard failover.
+
+``ExecutionPolicy(backend="process")`` routes the sharded engine through
+a :class:`WorkerPool`: a coordinator that writes every shard to its own
+sealed ``.brx`` container and spawns one ``multiprocessing`` worker per
+shard. Workers mmap their shard containers (zero-copy via the aligned
+array table of :mod:`repro.serialize`), receive the broadcast ``x`` with
+each task, and return the shard's ``y`` block and
+:class:`~repro.gpu.counters.KernelCounters` tagged with a CRC32 of the
+result bytes.
+
+The robustness core is the coordinator's recovery loop. Every task
+carries a ``(call, shard, attempt)`` tag, and three detectors feed one
+failover path:
+
+* **death** — the worker process is gone (``is_alive()`` false) or its
+  heartbeat went silent;
+* **stall** — the shard missed its ``policy.shard_timeout_s`` deadline;
+  the wedged worker is fenced (terminated) so a late result can never
+  race a retry — stale tags are rejected on arrival;
+* **corruption** — the returned ``y`` fails its transport CRC, or the
+  worker reported a typed error (e.g. its shard container failed the
+  stored seal).
+
+Failover re-enqueues the shard on the least-loaded surviving worker with
+an exponential deadline backoff, bounded by ``policy.max_retries``; with
+``policy.elastic`` (default) a replacement worker is respawned into the
+vacated slot. Exhausting the budget raises a typed
+:class:`~repro.errors.ShardTimeoutError` or
+:class:`~repro.errors.WorkerFailureError` — the caller never sees wrong
+numbers. Every recovery action is counted (worker deaths, shard
+reassignments, retries, respawns) for
+:func:`repro.telemetry.metrics.record_worker_event` and the
+``ShardedSpMVResult`` recovery fields.
+
+Chaos injection (:mod:`repro.exec.chaos`) rides the task channel: the
+coordinator plans at most one fault per call and the executing worker
+applies it on the shard's first attempt only, so recovery always has a
+clean retry to converge to.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as _queue
+import shutil
+import tempfile
+import time
+import weakref
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError, ShardTimeoutError, ValidationError, WorkerFailureError
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from .chaos import PROCESS_FAULT_KINDS, ChaosEvent, ChaosState
+from .partition import ShardedMatrix
+from .policy import ExecutionPolicy
+
+__all__ = ["WorkerPool", "worker_pool", "shutdown_matrix_pools"]
+
+#: Coordinator poll interval while waiting on shard results (seconds).
+_POLL_S = 0.02
+#: Worker heartbeat write interval (seconds).
+_HEARTBEAT_INTERVAL_S = 0.05
+#: Heartbeat age past which a live-looking worker is declared lost.
+_HEARTBEAT_TIMEOUT_S = 5.0
+#: Deadline multiplier applied per retry attempt.
+_BACKOFF = 1.5
+#: Exit code used by the kill-worker chaos injector.
+_CHAOS_EXIT = 117
+
+
+def _crc(y: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(y).tobytes())
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _apply_container_fault(
+    matrix: SparseFormat, kind: str, seed: int
+) -> SparseFormat:
+    """A corrupted copy of ``matrix`` (or raise when construction rejects)."""
+    from ..integrity.faults import inject_fault
+
+    injected = inject_fault(matrix, np.random.default_rng(seed), kind=kind)
+    if injected.matrix is None:
+        raise injected.build_error  # construction-time detection
+    return injected.matrix
+
+
+def _worker_main(
+    slot: int,
+    shard_paths: List[str],
+    device_name: str,
+    engine: str,
+    task_queue: Any,
+    result_queue: Any,
+    heartbeats: Any,
+) -> None:
+    """Worker loop: mmap shards on demand, run tasks, report results.
+
+    Runs in a child process. The final text protocol is tuples on
+    ``result_queue``: ``("done", call, shard, attempt, slot, y, counters,
+    crc)`` or ``("error", call, shard, attempt, slot, errname, errmsg)``.
+    """
+    import threading
+
+    from ..kernels.dispatch import run_spmv
+    from ..kernels.plancache import PLAN_CACHE
+    from ..serialize import load_container
+
+    def _beat() -> None:
+        while True:
+            heartbeats[slot] = time.time()
+            time.sleep(_HEARTBEAT_INTERVAL_S)
+
+    threading.Thread(target=_beat, daemon=True).start()
+
+    if engine == "reference":
+        policy = ExecutionPolicy(engine="reference")
+    else:
+        policy = ExecutionPolicy(engine=engine, plan_cache=PLAN_CACHE)
+    verify_policy = policy.with_(verify="checksum")
+    shards: Dict[int, SparseFormat] = {}
+
+    while True:
+        task = task_queue.get()
+        if task[0] == "stop":
+            return
+        _, call, shard_idx, attempt, x, chaos = task
+        try:
+            matrix = shards.get(shard_idx)
+            if matrix is None:
+                matrix = load_container(
+                    shard_paths[shard_idx], mmap_arrays=True, verify=True
+                )
+                shards[shard_idx] = matrix
+            kind = chaos[0] if chaos is not None else None
+            if kind == "kill-worker":
+                os._exit(_CHAOS_EXIT)
+            if kind == "stall-worker":
+                time.sleep(float(chaos[1]))
+                kind = None
+            if kind is not None and kind not in PROCESS_FAULT_KINDS:
+                # Container-level fault: corrupt a copy and execute it
+                # under checksum verification — detection raises typed.
+                victim = _apply_container_fault(matrix, kind, int(chaos[2]))
+                result = run_spmv(victim, x, device_name, policy=verify_policy)
+            else:
+                result = run_spmv(matrix, x, device_name, policy=policy)
+            y = np.ascontiguousarray(result.y)
+            crc = _crc(y)
+            if kind == "corrupt-shard-result":
+                # Transport corruption: flip a bit AFTER the CRC was
+                # computed, so the coordinator's end-to-end check fires.
+                y = y.copy()
+                y.view(np.uint64)[0] ^= np.uint64(1) << np.uint64(40)
+            result_queue.put(
+                ("done", call, shard_idx, attempt, slot, y, result.counters, crc)
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to coordinator
+            result_queue.put(
+                ("error", call, shard_idx, attempt, slot,
+                 type(exc).__name__, str(exc))
+            )
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """One worker slot: the live process and its private task queue."""
+
+    slot: int
+    process: Any
+    task_queue: Any
+    busy: set = field(default_factory=set)  #: shard indices in flight
+
+
+@dataclass
+class _ShardCall:
+    """Per-call recovery state of one shard."""
+
+    shard: int
+    attempt: int = 0
+    slot: int = -1
+    deadline: Optional[float] = None
+    failures: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CallStats:
+    """Recovery accounting of one :meth:`WorkerPool.execute` call."""
+
+    worker_deaths: int = 0
+    shard_reassignments: int = 0
+    retries: int = 0
+    respawns: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def note(self, event: str, **info: Any) -> None:
+        self.events.append({"event": event, **info})
+
+
+class WorkerPool:
+    """A pool of shard workers with failover, bound to one ShardedMatrix.
+
+    The pool owns a temp directory of per-shard ``.brx`` containers and
+    one worker process per shard. It is cached on the sharded container
+    (:func:`worker_pool`) so iterative solvers pay the spawn and shard
+    serialization cost once; :meth:`shutdown` (or garbage collection of
+    the matrix) terminates the workers and removes the directory.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedMatrix,
+        device: DeviceSpec,
+        policy: ExecutionPolicy,
+    ) -> None:
+        self.device = device
+        self.engine = policy.engine
+        self.shard_timeout_s = policy.shard_timeout_s
+        self.max_retries = policy.max_retries
+        self.elastic = policy.elastic
+        self.n_shards = sharded.n_shards
+        self.chaos_state = (
+            ChaosState(policy.chaos) if policy.chaos is not None else None
+        )
+        # Lifetime recovery totals (across calls).
+        self.total = CallStats()
+
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._tmpdir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+        self._paths = self._save_shards(sharded)
+        self._heartbeats = self._ctx.Array("d", self.n_shards)
+        self._results = self._ctx.Queue()
+        self._call = 0
+        self._closed = False
+        self._workers: List[Optional[_Worker]] = [
+            self._spawn(slot) for slot in range(self.n_shards)
+        ]
+        self._finalizer = weakref.finalize(
+            self, WorkerPool._cleanup, self._workers, self._results,
+            str(self._tmpdir),
+        )
+
+    # -- setup ----------------------------------------------------------
+    def _save_shards(self, sharded: ShardedMatrix) -> List[str]:
+        from ..integrity.checksums import is_sealed, seal
+        from ..serialize import save_container
+
+        paths = []
+        for d, shard in enumerate(sharded.shards):
+            if not is_sealed(shard):
+                try:
+                    seal(shard)
+                except ReproError:
+                    pass  # unsupported extractor: save unsealed
+            path = self._tmpdir / f"shard{d}.brx"
+            save_container(shard, path)
+            paths.append(str(path))
+        return paths
+
+    def _spawn(self, slot: int) -> _Worker:
+        task_queue = self._ctx.Queue()
+        self._heartbeats[slot] = time.time()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot, self._paths, self.device.name, self.engine,
+                  task_queue, self._results, self._heartbeats),
+            daemon=True,
+            name=f"repro-shard-worker-{slot}",
+        )
+        process.start()
+        return _Worker(slot=slot, process=process, task_queue=task_queue)
+
+    # -- liveness -------------------------------------------------------
+    def _alive(self, worker: Optional[_Worker]) -> bool:
+        if worker is None or not worker.process.is_alive():
+            return False
+        age = time.time() - self._heartbeats[worker.slot]
+        return age <= _HEARTBEAT_TIMEOUT_S
+
+    def live_workers(self) -> List[_Worker]:
+        return [w for w in self._workers if self._alive(w)]
+
+    def _fence(self, worker: _Worker, stats: CallStats, reason: str) -> None:
+        """Remove a dead or wedged worker; respawn its slot when elastic."""
+        slot = worker.slot
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+        stats.worker_deaths += 1
+        self.total.worker_deaths += 1
+        stats.note("worker_lost", slot=slot, reason=reason)
+        if self.elastic:
+            self._workers[slot] = self._spawn(slot)
+            stats.respawns += 1
+            self.total.respawns += 1
+            stats.note("worker_respawned", slot=slot)
+        else:
+            self._workers[slot] = None
+
+    # -- task routing ---------------------------------------------------
+    def _pick_slot(self, avoid: int) -> _Worker:
+        live = self.live_workers()
+        if not live:
+            raise WorkerFailureError(
+                "no live workers remain to take reassigned shards "
+                "(elastic respawn disabled?)"
+            )
+        preferred = [w for w in live if w.slot != avoid] or live
+        return min(preferred, key=lambda w: (len(w.busy), w.slot))
+
+    def _dispatch(
+        self,
+        state: _ShardCall,
+        worker: _Worker,
+        x: np.ndarray,
+        event: Optional[ChaosEvent],
+    ) -> None:
+        chaos = None
+        if (event is not None and state.attempt == 0
+                and event.shard == state.shard):
+            chaos = (event.kind, event.stall_s, event.call * 8191 + state.shard)
+        state.slot = worker.slot
+        if self.shard_timeout_s is not None:
+            budget = self.shard_timeout_s * (_BACKOFF ** state.attempt)
+            state.deadline = time.monotonic() + budget
+        worker.busy.add(state.shard)
+        worker.task_queue.put(
+            ("spmv", self._call, state.shard, state.attempt, x, chaos)
+        )
+
+    def _fail(
+        self,
+        state: _ShardCall,
+        x: np.ndarray,
+        stats: CallStats,
+        reason: str,
+        *,
+        stalled: bool = False,
+    ) -> None:
+        """Retry a failed shard on another worker, or exhaust typed."""
+        state.failures.append(f"attempt {state.attempt}: {reason}")
+        worker = self._workers[state.slot]
+        if worker is not None:
+            worker.busy.discard(state.shard)
+        previous = state.slot
+        state.attempt += 1
+        stats.retries += 1
+        self.total.retries += 1
+        if state.attempt > self.max_retries:
+            if stalled:
+                raise ShardTimeoutError(
+                    f"shard {state.shard} missed its "
+                    f"{self.shard_timeout_s}s deadline "
+                    f"{state.attempt} time(s): {'; '.join(state.failures)}",
+                    shard=state.shard,
+                    timeout_s=self.shard_timeout_s or 0.0,
+                )
+            raise WorkerFailureError(
+                f"shard {state.shard} failed after {state.attempt} "
+                f"attempt(s): {'; '.join(state.failures)}",
+                shard=state.shard,
+                attempts=tuple(state.failures),
+            )
+        target = self._pick_slot(avoid=previous)
+        if target.slot != previous:
+            stats.shard_reassignments += 1
+            self.total.shard_reassignments += 1
+            stats.note(
+                "shard_reassigned", shard=state.shard,
+                from_slot=previous, to_slot=target.slot, reason=reason,
+            )
+        self._dispatch(state, target, x, event=None)
+
+    # -- the recovery loop ---------------------------------------------
+    def execute(
+        self, x: np.ndarray
+    ) -> Tuple[List[Tuple[np.ndarray, KernelCounters]], CallStats]:
+        """Run one SpMV across the pool; returns per-shard results + stats.
+
+        Raises a typed :class:`~repro.errors.ShardTimeoutError` /
+        :class:`~repro.errors.WorkerFailureError` when a shard exhausts
+        its retry budget — by construction the returned blocks all passed
+        their transport CRC, so the caller either gets verified bytes or
+        a typed error.
+        """
+        if self._closed:
+            raise ValidationError("worker pool is already shut down")
+        call = self._call
+        event = (
+            self.chaos_state.plan_call(self.n_shards)
+            if self.chaos_state is not None else None
+        )
+        x = np.ascontiguousarray(x)
+        stats = CallStats()
+        states = [_ShardCall(shard=d) for d in range(self.n_shards)]
+        done: Dict[int, Tuple[np.ndarray, KernelCounters]] = {}
+        try:
+            for state in states:
+                worker = self._workers[state.shard % len(self._workers)]
+                if not self._alive(worker):
+                    worker = self._pick_slot(avoid=-1)
+                self._dispatch(state, worker, x, event)
+
+            while len(done) < self.n_shards:
+                try:
+                    msg = self._results.get(timeout=_POLL_S)
+                except _queue.Empty:
+                    msg = None
+                if msg is not None:
+                    self._handle(msg, call, states, done, x, stats)
+                self._check_liveness(states, done, x, stats)
+                self._check_deadlines(states, done, x, stats)
+        finally:
+            for worker in self._workers:
+                if worker is not None:
+                    worker.busy.clear()
+            self._call += 1
+        return [done[d] for d in range(self.n_shards)], stats
+
+    def _handle(
+        self,
+        msg: Tuple,
+        call: int,
+        states: List[_ShardCall],
+        done: Dict[int, Tuple[np.ndarray, KernelCounters]],
+        x: np.ndarray,
+        stats: CallStats,
+    ) -> None:
+        tag, msg_call, shard, attempt = msg[0], msg[1], msg[2], msg[3]
+        state = states[shard]
+        if msg_call != call or shard in done or attempt != state.attempt:
+            stats.note("stale_result_dropped", shard=shard, attempt=attempt)
+            return
+        if tag == "error":
+            errname, errmsg = msg[5], msg[6]
+            self._fail(state, x, stats, f"worker error {errname}: {errmsg}")
+            return
+        _, _, _, _, slot, y, counters, crc = msg
+        if _crc(y) != crc:
+            stats.note("shard_crc_mismatch", shard=shard, slot=slot)
+            self._fail(state, x, stats, "shard result failed its CRC check")
+            return
+        done[shard] = (y, counters)
+        worker = self._workers[state.slot]
+        if worker is not None:
+            worker.busy.discard(shard)
+
+    def _check_liveness(
+        self,
+        states: List[_ShardCall],
+        done: Dict[int, Tuple[np.ndarray, KernelCounters]],
+        x: np.ndarray,
+        stats: CallStats,
+    ) -> None:
+        for worker in list(self._workers):
+            if worker is None or self._alive(worker):
+                continue
+            pending = [s for s in states
+                       if s.shard not in done and s.slot == worker.slot]
+            if not pending and not worker.busy:
+                continue
+            self._fence(worker, stats, reason="process died")
+            for state in pending:
+                self._fail(state, x, stats, "worker died mid-shard")
+
+    def _check_deadlines(
+        self,
+        states: List[_ShardCall],
+        done: Dict[int, Tuple[np.ndarray, KernelCounters]],
+        x: np.ndarray,
+        stats: CallStats,
+    ) -> None:
+        if self.shard_timeout_s is None:
+            return
+        now = time.monotonic()
+        for state in states:
+            if state.shard in done or state.deadline is None:
+                continue
+            if now < state.deadline:
+                continue
+            # Fence the wedged worker first so its late result can never
+            # be confused with the retry (stale tags are dropped anyway).
+            worker = self._workers[state.slot]
+            if worker is not None:
+                self._fence(worker, stats, reason="missed shard deadline")
+            self._fail(
+                state, x, stats,
+                f"missed {self.shard_timeout_s}s deadline", stalled=True,
+            )
+
+    # -- teardown -------------------------------------------------------
+    @staticmethod
+    def _cleanup(
+        workers: List[Optional[_Worker]], results: Any, tmpdir: str
+    ) -> None:
+        for worker in workers:
+            if worker is None:
+                continue
+            try:
+                if worker.process.is_alive():
+                    worker.task_queue.put(("stop",))
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + 1.0
+        for worker in workers:
+            if worker is None:
+                continue
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        results.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    def shutdown(self) -> None:
+        """Stop every worker and remove the shard directory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+
+# ---------------------------------------------------------------------------
+# Pool caching on the sharded container
+# ---------------------------------------------------------------------------
+
+
+def _pool_key(device: DeviceSpec, policy: ExecutionPolicy) -> Tuple:
+    return (
+        device.name,
+        policy.engine,
+        policy.shard_timeout_s,
+        policy.max_retries,
+        policy.elastic,
+        id(policy.chaos) if policy.chaos is not None else None,
+    )
+
+
+def worker_pool(
+    sharded: ShardedMatrix,
+    device: DeviceSpec,
+    policy: ExecutionPolicy,
+) -> WorkerPool:
+    """The :class:`WorkerPool` for this container/device/policy, cached.
+
+    Cached on the :class:`~repro.exec.partition.ShardedMatrix` so a
+    solver loop reuses one pool (and its warm per-worker plan caches)
+    across iterations. Distinct chaos policies get distinct pools, so a
+    chaos campaign's fault sequences never leak between trials.
+    """
+    pools = getattr(sharded, "_repro_worker_pools", None)
+    if pools is None:
+        pools = {}
+        sharded._repro_worker_pools = pools  # type: ignore[attr-defined]
+    key = _pool_key(device, policy)
+    pool = pools.get(key)
+    if pool is None or pool._closed:
+        pool = pools[key] = WorkerPool(sharded, device, policy)
+    return pool
+
+
+def shutdown_matrix_pools(matrix: SparseFormat) -> int:
+    """Shut down every worker pool cached on ``matrix`` (or its shards).
+
+    Returns the number of pools closed. Accepts either a
+    :class:`ShardedMatrix` or an unsharded container whose cached
+    sharded views own pools.
+    """
+    closed = 0
+    views: List[ShardedMatrix] = []
+    if isinstance(matrix, ShardedMatrix):
+        views.append(matrix)
+    views.extend(getattr(matrix, "_repro_shard_cache", {}).values())
+    for view in views:
+        pools = getattr(view, "_repro_worker_pools", None)
+        if not pools:
+            continue
+        for pool in pools.values():
+            if not pool._closed:
+                pool.shutdown()
+                closed += 1
+        pools.clear()
+    return closed

@@ -38,20 +38,18 @@ the guarded region, so verification and graceful degradation apply to
 multi-device runs unchanged.
 
 The pre-policy loose keywords (``verify=``, ``fallback=``, ``engine=``,
-``plan=``, ``plan_cache=``) still work but emit ``DeprecationWarning``;
-they are folded into a policy by
-:func:`~repro.exec.policy.coerce_policy` and cannot be mixed with
-``policy=``.
+``plan=``, ``plan_cache=``) went through one deprecation release and are
+now gone; ``policy=`` is the only spelling.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..errors import KernelError, ReproError, ValidationError
-from ..exec.policy import UNSET, ExecutionPolicy, coerce_policy
+from ..exec.policy import ExecutionPolicy
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
 from ..integrity.checksums import is_sealed, verify_integrity
@@ -199,11 +197,6 @@ def run_spmv(
     device: DeviceSpec | str = "k20",
     *,
     policy: Optional[ExecutionPolicy] = None,
-    verify: Any = UNSET,
-    fallback: Any = UNSET,
-    engine: Any = UNSET,
-    plan: Any = UNSET,
-    plan_cache: Any = UNSET,
 ) -> SpMVResult:
     """Execute ``y = A @ x`` on the simulated device with the format's kernel.
 
@@ -224,10 +217,6 @@ def run_spmv(
         verification, fallback, engine selection, plan caching and
         multi-device sharding. ``None`` means the default policy.
 
-    The remaining keywords are the **deprecated** pre-policy spellings of
-    the same settings; they emit ``DeprecationWarning`` and cannot be
-    combined with ``policy=``.
-
     Returns
     -------
     SpMVResult
@@ -237,10 +226,7 @@ def run_spmv(
         :class:`~repro.exec.engine.ShardedSpMVResult` carrying per-shard
         results and the communication report.
     """
-    pol = coerce_policy(
-        policy, caller="run_spmv", verify=verify, fallback=fallback,
-        engine=engine, plan=plan, plan_cache=plan_cache,
-    )
+    pol = policy if policy is not None else ExecutionPolicy()
     if isinstance(device, str):
         device = get_device(device)
     level = pol.verify
@@ -311,11 +297,6 @@ def run_spmm(
     device: DeviceSpec | str = "k20",
     *,
     policy: Optional[ExecutionPolicy] = None,
-    verify: Any = UNSET,
-    fallback: Any = UNSET,
-    engine: Any = UNSET,
-    plan: Any = UNSET,
-    plan_cache: Any = UNSET,
 ) -> SpMVResult:
     """Execute ``Y = A @ X`` for a multi-RHS block ``X`` of shape ``(n, k)``.
 
@@ -323,13 +304,9 @@ def run_spmm(
     X[:, j], ...)``, and the counters equal the sum of the ``k``
     single-vector records. ``engine="auto"`` prefers the fast engine for
     every plannable format (one decode amortized over ``k`` vectors);
-    ``policy`` and the deprecated keywords behave exactly as in
-    :func:`run_spmv`.
+    ``policy`` behaves exactly as in :func:`run_spmv`.
     """
-    pol = coerce_policy(
-        policy, caller="run_spmm", verify=verify, fallback=fallback,
-        engine=engine, plan=plan, plan_cache=plan_cache,
-    )
+    pol = policy if policy is not None else ExecutionPolicy()
     if isinstance(device, str):
         device = get_device(device)
     level = pol.verify

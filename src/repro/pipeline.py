@@ -46,7 +46,7 @@ import numpy as np
 
 from . import registry as _registry
 from .errors import ReproError, ValidationError
-from .exec.policy import UNSET, ExecutionPolicy, coerce_policy
+from .exec.policy import ExecutionPolicy
 from .formats.base import SparseFormat
 from .formats.conversion import convert as _convert
 from .formats.coo import COOMatrix
@@ -98,10 +98,6 @@ class Session:
         cache adopts the process-wide one, so ``engine="auto"`` sessions
         use the prepared-plan engine (historical behavior).
 
-    The loose ``verify=``/``fallback=``/``engine=``/``plan_cache=``
-    keywords are **deprecated** spellings of the same settings (one
-    ``DeprecationWarning``, cannot be mixed with ``policy=``).
-
     Mutating steps return ``self`` so pipelines chain; execution steps
     return the :class:`~repro.kernels.base.SpMVResult`. The session
     accumulates ``spmv_calls``, ``device_time``, ``dram_bytes`` and
@@ -113,16 +109,9 @@ class Session:
         device: DeviceSpec | str = "k20",
         *,
         policy: Optional[ExecutionPolicy] = None,
-        verify: Any = UNSET,
-        fallback: Any = UNSET,
-        engine: Any = UNSET,
-        plan_cache: Any = UNSET,
     ) -> None:
         self.device = get_device(device) if isinstance(device, str) else device
-        pol = coerce_policy(
-            policy, caller="Session", verify=verify, fallback=fallback,
-            engine=engine, plan_cache=plan_cache,
-        )
+        pol = policy if policy is not None else ExecutionPolicy()
         if pol.plan_cache is None and pol.engine != "reference":
             pol = pol.with_(plan_cache=PLAN_CACHE)
         self.policy = pol

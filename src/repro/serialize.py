@@ -60,6 +60,7 @@ from .telemetry.tracer import span as _span
 __all__ = [
     "MAGIC",
     "SCHEMA_VERSION",
+    "SerializationError",
     "save_container",
     "load_container",
     "read_header",
@@ -89,11 +90,73 @@ def _header_to_json(header: IntegrityHeader) -> Dict[str, Any]:
 
 
 def _header_from_json(obj: Dict[str, Any]) -> IntegrityHeader:
-    return IntegrityHeader(
-        format_name=str(obj["format_name"]),
-        field_crcs={str(k): int(v) for k, v in obj["field_crcs"].items()},
-        meta_crc=int(obj["meta_crc"]),
-    )
+    try:
+        return IntegrityHeader(
+            format_name=str(obj["format_name"]),
+            field_crcs={str(k): int(v) for k, v in obj["field_crcs"].items()},
+            meta_crc=int(obj["meta_crc"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SerializationError(
+            f"malformed integrity seal in .brx header: {exc}"
+        ) from exc
+
+
+def _check_array_entry(entry: Any, path: Path) -> Dict[str, Any]:
+    """Validate one array-table entry; malformed tables must surface as
+    :class:`SerializationError`, never as KeyError/TypeError or — worse —
+    as silently mis-shaped arrays."""
+    if not isinstance(entry, dict):
+        raise SerializationError(
+            f"{path} holds a malformed array table entry: {entry!r}"
+        )
+    for key in ("name", "dtype", "shape", "offset", "nbytes"):
+        if key not in entry:
+            raise SerializationError(
+                f"{path} array table entry is missing {key!r}"
+            )
+    try:
+        dtype = np.dtype(entry["dtype"])
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"{path} array {entry['name']!r} declares an invalid dtype "
+            f"{entry['dtype']!r}"
+        ) from exc
+    shape = entry["shape"]
+    if (
+        not isinstance(shape, (list, tuple))
+        or not all(isinstance(d, int) and d >= 0 for d in shape)
+    ):
+        raise SerializationError(
+            f"{path} array {entry['name']!r} declares an invalid shape "
+            f"{shape!r}"
+        )
+    offset, nbytes = entry["offset"], entry["nbytes"]
+    if not isinstance(offset, int) or offset < 0:
+        raise SerializationError(
+            f"{path} array {entry['name']!r} declares an invalid offset "
+            f"{offset!r}"
+        )
+    if not isinstance(nbytes, int) or nbytes < 0:
+        raise SerializationError(
+            f"{path} array {entry['name']!r} declares an invalid byte "
+            f"count {nbytes!r}"
+        )
+    count = int(np.prod(shape, dtype=np.int64))
+    if count * dtype.itemsize != nbytes:
+        raise SerializationError(
+            f"{path} array {entry['name']!r} is inconsistent: shape "
+            f"{tuple(shape)} x {dtype.str} needs {count * dtype.itemsize} "
+            f"bytes, table records {nbytes}"
+        )
+    return {
+        "name": str(entry["name"]),
+        "dtype": dtype,
+        "shape": tuple(shape),
+        "offset": offset,
+        "nbytes": nbytes,
+        "count": count,
+    }
 
 
 def save_container(
@@ -186,6 +249,9 @@ def read_header(path: Union[str, os.PathLike]) -> Dict[str, Any]:
                 f"this build reads version {SCHEMA_VERSION}"
             )
         hlen = int.from_bytes(preamble[12:16], "little")
+        size = os.fstat(fh.fileno()).st_size
+        if 16 + hlen > size:
+            raise SerializationError(f"{path} is truncated mid-header")
         header_bytes = fh.read(hlen)
         if len(header_bytes) != hlen:
             raise SerializationError(f"{path} is truncated mid-header")
@@ -193,9 +259,25 @@ def read_header(path: Union[str, os.PathLike]) -> Dict[str, Any]:
             doc = json.loads(header_bytes.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise SerializationError(f"{path} holds a corrupt header") from exc
+    if not isinstance(doc, dict):
+        raise SerializationError(
+            f"{path} header is not a JSON object"
+        )
     for key in ("format", "meta", "arrays"):
         if key not in doc:
             raise SerializationError(f"{path} header is missing {key!r}")
+    if not isinstance(doc["format"], str):
+        raise SerializationError(
+            f"{path} header declares a non-string format name"
+        )
+    if not isinstance(doc["meta"], dict):
+        raise SerializationError(
+            f"{path} header holds malformed format metadata"
+        )
+    if not isinstance(doc["arrays"], list):
+        raise SerializationError(
+            f"{path} header holds a malformed array table"
+        )
     doc["_payload_base"] = 16 + hlen
     return doc
 
@@ -217,6 +299,20 @@ def read_manifest(path: Union[str, os.PathLike]) -> Optional[Dict[str, Any]]:
         raise SerializationError(
             f"{path} holds a sharded container without a shard manifest"
         )
+    if not isinstance(manifest, dict) or not isinstance(
+        manifest.get("shards"), list
+    ):
+        raise SerializationError(
+            f"{path} holds a malformed shard manifest"
+        )
+    for row in manifest["shards"]:
+        if not isinstance(row, dict) or not all(
+            isinstance(row.get(k), int)
+            for k in ("index", "row_start", "row_end", "rows", "nnz")
+        ):
+            raise SerializationError(
+                f"{path} shard manifest holds a malformed shard row: {row!r}"
+            )
     return manifest
 
 
@@ -267,9 +363,10 @@ def load_container(
             else:
                 buf = fh.read()
         arrays: Dict[str, np.ndarray] = {}
-        for entry in doc["arrays"]:
-            lo = base + int(entry["offset"])
-            nbytes = int(entry["nbytes"])
+        for raw_entry in doc["arrays"]:
+            entry = _check_array_entry(raw_entry, path)
+            lo = base + entry["offset"]
+            nbytes = entry["nbytes"]
             # Zero-length arrays occupy no payload bytes; their aligned
             # offset may legitimately sit at (or past) end-of-file when
             # they trail the last non-empty blob.
@@ -278,17 +375,15 @@ def load_container(
                     f"{path} is truncated: array {entry['name']!r} "
                     f"extends past end of file"
                 )
-            dtype = np.dtype(entry["dtype"])
-            shape = tuple(entry["shape"])
             if nbytes == 0:
-                arr = np.zeros(shape, dtype=dtype)
+                arr = np.zeros(entry["shape"], dtype=entry["dtype"])
             else:
                 arr = np.frombuffer(
-                    buf, dtype=dtype,
-                    count=int(np.prod(shape, dtype=np.int64)),
+                    buf, dtype=entry["dtype"],
+                    count=entry["count"],
                     offset=lo,
-                ).reshape(shape)
-            arrays[str(entry["name"])] = arr
+                ).reshape(entry["shape"])
+            arrays[entry["name"]] = arr
         try:
             matrix = spec.container.from_state(doc["meta"], arrays)
         except ReproError:

@@ -10,11 +10,11 @@ solve would run with a BRO format — the paper's motivating use-case.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
-from ..exec.policy import UNSET, ExecutionPolicy, coerce_policy
+from ..exec.policy import ExecutionPolicy
 from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec
 from ..pipeline import Session
@@ -51,9 +51,8 @@ class SimulatedOperator(FormatOperator):
     makes a many-iteration CG/BiCGSTAB solve fast in host wall-clock.
     Pass ``policy=ExecutionPolicy(engine="reference")`` to force the
     stepwise kernels, or ``devices=N`` in the policy to shard the solve
-    across simulated devices. The loose ``verify=``/``fallback=``/
-    ``engine=``/``plan_cache=`` keywords are deprecated spellings of the
-    same settings.
+    across simulated devices (``backend="process"`` for the
+    fault-tolerant worker pool).
     """
 
     def __init__(
@@ -62,16 +61,9 @@ class SimulatedOperator(FormatOperator):
         device: DeviceSpec | str = "k20",
         *,
         policy: Optional[ExecutionPolicy] = None,
-        verify: Any = UNSET,
-        fallback: Any = UNSET,
-        engine: Any = UNSET,
-        plan_cache: Any = UNSET,
     ) -> None:
         super().__init__(matrix)
-        pol = coerce_policy(
-            policy, caller="SimulatedOperator", verify=verify,
-            fallback=fallback, engine=engine, plan_cache=plan_cache,
-        )
+        pol = policy if policy is not None else ExecutionPolicy()
         if pol.engine == "auto":
             pol = pol.with_(
                 engine="fast" if has_planner(matrix.format_name) else "reference"

@@ -44,6 +44,7 @@ __all__ = [
     "record_plan_build",
     "record_plan_cache",
     "record_exec",
+    "record_worker_event",
 ]
 
 #: Default histogram buckets for byte-sized observations (powers of 4).
@@ -331,6 +332,16 @@ def record_exec(
     if comms is not None:
         reg.counter(f"exec.comms_{comms.strategy}_runs", labels).inc()
         reg.counter("exec.messages", labels).inc(comms.messages)
+
+
+def record_worker_event(event: str, count: int = 1) -> None:
+    """A process-pool recovery event: worker_deaths, shard_reassignments,
+    retries or respawns — emitted once per sharded call with the call's
+    recovery totals, so dashboards see ``exec.worker_deaths`` etc."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.counter(f"exec.{event}").inc(count)
 
 
 def record_plan_cache(event: str, count: int = 1) -> None:

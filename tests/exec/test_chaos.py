@@ -1,0 +1,135 @@
+"""Chaos policy semantics and the zero-silent-corruption campaign."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.chaos import (
+    DEFAULT_CAMPAIGN_KINDS,
+    PROCESS_FAULT_KINDS,
+    ChaosPolicy,
+    ChaosState,
+    run_chaos_campaign,
+)
+
+
+class TestChaosPolicyValidation:
+    def test_defaults(self):
+        pol = ChaosPolicy()
+        assert pol.kinds == PROCESS_FAULT_KINDS
+        assert pol.rate == 1.0
+        assert pol.max_faults is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kinds": ()},
+        {"kinds": ("kill-worker", "")},
+        {"rate": 0.0},
+        {"rate": 1.5},
+        {"max_faults": -1},
+        {"stall_s": 0.0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValidationError):
+            ChaosPolicy(**kwargs)
+
+
+class TestChaosState:
+    def test_same_seed_replays_the_same_faults(self):
+        a = ChaosState(ChaosPolicy(seed=9))
+        b = ChaosState(ChaosPolicy(seed=9))
+        plan_a = [a.plan_call(4) for _ in range(10)]
+        plan_b = [b.plan_call(4) for _ in range(10)]
+        assert plan_a == plan_b
+
+    def test_max_faults_bounds_lifetime_injections(self):
+        state = ChaosState(ChaosPolicy(seed=0, max_faults=2))
+        events = [state.plan_call(4) for _ in range(20)]
+        assert sum(e is not None for e in events) == 2
+        # ... and the survivors are the first two calls (rate=1.0).
+        assert events[0] is not None and events[1] is not None
+
+    def test_event_call_index_tracks_engine_calls(self):
+        state = ChaosState(ChaosPolicy(seed=0))
+        events = [state.plan_call(4) for _ in range(3)]
+        assert [e.call for e in events] == [0, 1, 2]
+
+    def test_shard_pin_targets_one_shard(self):
+        state = ChaosState(ChaosPolicy(seed=0, shard=2))
+        assert all(state.plan_call(4).shard == 2 for _ in range(5))
+
+    def test_rate_below_one_skips_calls(self):
+        state = ChaosState(ChaosPolicy(seed=123, rate=0.2))
+        events = [state.plan_call(4) for _ in range(50)]
+        injected = sum(e is not None for e in events)
+        assert 0 < injected < 50
+
+
+class TestCampaign:
+    def test_process_campaign_is_clean(self):
+        report = run_chaos_campaign(
+            formats=("csr",), kinds=PROCESS_FAULT_KINDS,
+            workers=2, repeats=1, seed=0, shard_timeout_s=0.5,
+        )
+        assert report.injected == len(PROCESS_FAULT_KINDS)
+        assert report.clean
+        assert report.silent == 0 and report.untyped == 0
+        # Every process fault on a 2-worker pool must exercise recovery.
+        assert report.recovered == report.injected
+        for trial in report.trials:
+            assert trial.retries >= 1
+
+    def test_container_faults_run_on_the_thread_backend(self):
+        report = run_chaos_campaign(
+            formats=("bro_ell",), kinds=("stream_bit_flip",),
+            workers=2, backend="thread", seed=1,
+        )
+        assert report.clean
+        assert report.injected == 1
+
+    def test_thread_backend_rejects_process_only_kinds(self):
+        with pytest.raises(ValidationError, match="process"):
+            run_chaos_campaign(
+                formats=("csr",), kinds=("kill-worker",), backend="thread"
+            )
+
+    def test_report_shape_round_trips_to_json(self):
+        import json
+
+        report = run_chaos_campaign(
+            formats=("csr",), kinds=("corrupt-shard-result",), workers=2
+        )
+        doc = report.to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["clean"] is True
+        (row,) = doc["rows"]
+        assert row["format"] == "csr"
+        assert row["fault"] == "corrupt-shard-result"
+        assert row["injected"] == 1
+
+    def test_default_kind_matrix_includes_a_container_fault(self):
+        assert set(PROCESS_FAULT_KINDS) < set(DEFAULT_CAMPAIGN_KINDS)
+        assert "stream_bit_flip" in DEFAULT_CAMPAIGN_KINDS
+
+    def test_campaign_is_deterministic_in_seed(self):
+        kw = dict(
+            formats=("csr",), kinds=("kill-worker",), workers=2, seed=42
+        )
+        a = run_chaos_campaign(**kw).to_dict()
+        b = run_chaos_campaign(**kw).to_dict()
+        assert a == b
+
+
+class TestThreadBackendChaos:
+    def test_process_only_kind_rejected_at_execution(self):
+        from repro.exec.policy import ExecutionPolicy
+        from repro.formats.conversion import convert
+        from repro.kernels.dispatch import run_spmv
+        from tests.conftest import random_coo
+
+        coo = random_coo(128, 128, density=0.05, seed=0)
+        mat = convert(coo, "csr")
+        x = np.ones(128)
+        chaos = ChaosPolicy(seed=0, kinds=("kill-worker",))
+        pol = ExecutionPolicy(devices=2, backend="thread", chaos=chaos)
+        with pytest.raises(ValidationError, match="process"):
+            run_spmv(mat, x, "k20", policy=pol)

@@ -1,9 +1,11 @@
-"""ExecutionPolicy validation and the deprecated-keyword shims.
+"""ExecutionPolicy validation and the policy-only entry points.
 
-Satellite (a) of the execution-API redesign: every legacy keyword on
-``run_spmv`` / ``run_spmm`` / ``Session`` / ``SimulatedOperator`` must
-keep working for one release, emit a ``DeprecationWarning`` naming the
-caller, and refuse to be mixed with an explicit ``policy=``.
+The pre-policy loose keywords (``verify=``/``fallback=``/``engine=``/
+``plan=``/``plan_cache=``) were deprecated shims for one release and are
+now removed: every entry point accepts ``policy=`` only, and passing a
+legacy keyword is a plain ``TypeError``. The new fault-tolerance fields
+(``backend``/``shard_timeout_s``/``max_retries``/``elastic``/``chaos``)
+validate like the rest of the frozen dataclass.
 """
 
 import dataclasses
@@ -12,13 +14,14 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.exec.policy import UNSET, ExecutionPolicy, coerce_policy
-from repro.formats.conversion import convert
+from repro.exec.chaos import ChaosPolicy
+from repro.exec.policy import ExecutionPolicy
 from repro.kernels.dispatch import run_spmm, run_spmv
 from repro.pipeline import Session
 from repro.solvers.operators import SimulatedOperator
 
 from ..conftest import random_coo
+from repro.formats.conversion import convert
 
 
 @pytest.fixture(scope="module")
@@ -39,6 +42,11 @@ class TestPolicyValidation:
         assert pol.devices == 1
         assert pol.partitioner == "greedy-nnz"
         assert pol.comms == "auto"
+        assert pol.backend == "thread"
+        assert pol.shard_timeout_s is None
+        assert pol.max_retries == 2
+        assert pol.elastic is True
+        assert pol.chaos is None
         assert not pol.sharded
 
     def test_verify_normalization(self):
@@ -53,6 +61,12 @@ class TestPolicyValidation:
         {"devices": 2.5},
         {"partitioner": "round-robin"},
         {"comms": "carrier-pigeon"},
+        {"backend": "mpi"},
+        {"shard_timeout_s": 0.0},
+        {"shard_timeout_s": -1.0},
+        {"max_retries": -1},
+        {"max_retries": 1.5},
+        {"chaos": "kill-worker"},
     ])
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValidationError):
@@ -80,77 +94,49 @@ class TestPolicyValidation:
     def test_describe_is_jsonable(self):
         import json
 
-        doc = ExecutionPolicy(devices=2, verify="full").describe()
+        doc = ExecutionPolicy(
+            devices=2, verify="full", backend="process",
+            shard_timeout_s=1.5, chaos=ChaosPolicy(seed=3),
+        ).describe()
         assert json.loads(json.dumps(doc)) == doc
         assert doc["devices"] == 2 and doc["verify"] == "full"
+        assert doc["backend"] == "process"
+        assert doc["shard_timeout_s"] == 1.5
+        assert doc["chaos"] is True
+
+    def test_chaos_accepts_policy_instance(self):
+        chaos = ChaosPolicy(seed=1, kinds=("kill-worker",))
+        pol = ExecutionPolicy(backend="process", chaos=chaos)
+        assert pol.chaos is chaos
 
 
-class TestCoercePolicy:
-    def test_neither_gives_default(self):
-        assert coerce_policy(None, caller="t") == ExecutionPolicy()
+class TestLegacyKeywordsRemoved:
+    """The deprecation window is over: legacy kwargs are TypeErrors now."""
 
-    def test_policy_passes_through_unchanged(self):
-        pol = ExecutionPolicy(devices=2)
-        assert coerce_policy(pol, caller="t") is pol
+    def test_run_spmv_rejects_legacy_kwargs(self, mat, x):
+        with pytest.raises(TypeError):
+            run_spmv(mat, x, "k20", engine="reference")
+        with pytest.raises(TypeError):
+            run_spmv(mat, x, "k20", verify="checksum")
 
-    def test_legacy_keywords_fold_with_warning(self):
-        with pytest.warns(DeprecationWarning, match=r"t: .*verify.*deprecated"):
-            pol = coerce_policy(None, caller="t", verify="checksum")
-        assert pol.verify == "checksum"
-
-    def test_mixing_raises(self):
-        with pytest.raises(ValidationError, match="not both"):
-            coerce_policy(ExecutionPolicy(), caller="t", engine="fast")
-
-    def test_non_policy_object_rejected(self):
-        with pytest.raises(ValidationError, match="ExecutionPolicy"):
-            coerce_policy({"engine": "fast"}, caller="t")
-
-    def test_unset_sentinel_means_not_passed(self):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            pol = coerce_policy(None, caller="t", verify=UNSET, engine=UNSET)
-        assert pol == ExecutionPolicy()
-
-
-class TestDeprecatedEntryPointShims:
-    def test_run_spmv_legacy_kwarg_warns(self, mat, x):
-        with pytest.warns(DeprecationWarning, match="run_spmv"):
-            res = run_spmv(mat, x, "k20", engine="reference")
-        ref = run_spmv(mat, x, "k20",
-                       policy=ExecutionPolicy(engine="reference"))
-        assert np.array_equal(res.y, ref.y)
-
-    def test_run_spmm_legacy_kwarg_warns(self, mat, x):
+    def test_run_spmm_rejects_legacy_kwargs(self, mat, x):
         X = np.stack([x, 2 * x], axis=1)
-        with pytest.warns(DeprecationWarning, match="run_spmm"):
-            res = run_spmm(mat, X, "k20", engine="reference")
-        assert res.y.shape == (mat.shape[0], 2)
+        with pytest.raises(TypeError):
+            run_spmm(mat, X, "k20", engine="reference")
 
-    def test_session_legacy_kwarg_warns(self, mat, x):
-        with pytest.warns(DeprecationWarning, match="Session"):
-            sess = Session("k20", verify="structure")
-        assert sess.policy.verify == "structure"
-        assert np.array_equal(
-            sess.use(mat).execute(x).y,
-            Session("k20").use(mat).execute(x).y,
-        )
+    def test_session_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            Session("k20", verify="structure")
 
-    def test_operator_legacy_kwarg_warns(self, mat):
-        with pytest.warns(DeprecationWarning, match="SimulatedOperator"):
-            op = SimulatedOperator(mat, "k20", engine="reference")
-        assert op.engine == "reference"
+    def test_operator_rejects_legacy_kwargs(self, mat):
+        with pytest.raises(TypeError):
+            SimulatedOperator(mat, "k20", engine="reference")
 
-    def test_run_spmv_mixing_policy_and_legacy_raises(self, mat, x):
-        with pytest.raises(ValidationError, match="not both"):
-            run_spmv(mat, x, "k20",
-                     policy=ExecutionPolicy(), engine="reference")
+    def test_policy_module_no_longer_exports_shims(self):
+        import repro.exec.policy as policy_mod
 
-    def test_session_mixing_policy_and_legacy_raises(self):
-        with pytest.raises(ValidationError, match="not both"):
-            Session("k20", policy=ExecutionPolicy(), verify="full")
+        assert not hasattr(policy_mod, "coerce_policy")
+        assert not hasattr(policy_mod, "UNSET")
 
     def test_policy_only_call_is_warning_free(self, mat, x):
         import warnings

@@ -9,9 +9,9 @@ from repro.formats.conversion import convert
 from repro.matrices.suite import generate
 
 ROW_KEYS = {
-    "devices", "partitioner", "comms", "t_total", "t_kernel", "t_comm",
-    "gflops", "interconnect_bytes", "messages", "speedup", "efficiency",
-    "bound",
+    "devices", "partitioner", "comms", "backend", "t_total", "t_kernel",
+    "t_comm", "gflops", "interconnect_bytes", "messages", "speedup",
+    "efficiency", "bound",
 }
 
 

@@ -1,0 +1,254 @@
+"""Process-backend sharded execution: the fault-tolerance acceptance bar.
+
+With ``ExecutionPolicy(backend="process")`` and any single injected fault
+per call, ``run_spmv`` must return ``y`` bit-identical to the
+single-device reference with the recovery path visible
+(``shard_reassignments >= 1``) — or raise a typed error. Never wrong
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ShardTimeoutError, ValidationError, WorkerFailureError
+from repro.exec.chaos import PROCESS_FAULT_KINDS, ChaosPolicy
+from repro.exec.engine import ShardedSpMVResult, shutdown_pools
+from repro.exec.policy import ExecutionPolicy
+from repro.exec.workers import worker_pool
+from repro.exec.partition import partition
+from repro.formats.conversion import convert
+from repro.matrices.suite import generate
+from repro.telemetry import metrics as M
+
+FORMATS = ("bro_ell", "bro_coo", "bro_hyb", "csr")
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return generate("cant", scale=0.02, seed=0)
+
+
+@pytest.fixture(scope="module")
+def x(coo):
+    return np.random.default_rng(17).standard_normal(coo.shape[1])
+
+
+def _policy(**overrides):
+    base = dict(
+        devices=4, backend="process", shard_timeout_s=5.0, max_retries=3
+    )
+    base.update(overrides)
+    return ExecutionPolicy(**base)
+
+
+class TestCleanProcessBackend:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_bit_identical_to_single_device(self, coo, x, fmt):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, fmt)
+        try:
+            base = run_spmv(mat, x, "k20")
+            res = run_spmv(mat, x, "k20", policy=_policy())
+            assert isinstance(res, ShardedSpMVResult)
+            assert res.backend == "process"
+            assert res.n_devices == 4
+            assert np.array_equal(res.y, base.y)
+            assert res.worker_deaths == 0
+            assert res.shard_reassignments == 0
+            assert res.retries == 0
+        finally:
+            assert shutdown_pools(mat) == 1
+
+    def test_pool_is_reused_across_calls(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        pol = _policy(devices=2)
+        try:
+            first = run_spmv(mat, x, "k20", policy=pol)
+            second = run_spmv(mat, x, "k20", policy=pol)
+            assert np.array_equal(first.y, second.y)
+        finally:
+            # Both calls were served by ONE cached pool.
+            assert shutdown_pools(mat) == 1
+
+    def test_shutdown_is_idempotent(self, coo):
+        mat = convert(coo, "csr")
+        sharded = partition(mat, 2)
+        pool = worker_pool(sharded, first_device(), _policy(devices=2))
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(ValidationError, match="shut down"):
+            pool.execute(np.zeros(mat.shape[1]))
+        assert shutdown_pools(sharded) == 0
+
+
+def first_device():
+    from repro.gpu.device import get_device
+
+    return get_device("k20")
+
+
+class TestFaultRecovery:
+    """Acceptance: one injected fault per call, any kind × any format."""
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("kind", PROCESS_FAULT_KINDS)
+    def test_recovers_bit_identical(self, coo, x, fmt, kind):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, fmt)
+        base = run_spmv(mat, x, "k20")
+        chaos = ChaosPolicy(seed=3, kinds=(kind,), max_faults=1, stall_s=1.2)
+        pol = _policy(shard_timeout_s=0.4, chaos=chaos)
+        try:
+            res = run_spmv(mat, x, "k20", policy=pol)
+            assert np.array_equal(res.y, base.y), (fmt, kind)
+            assert res.shard_reassignments >= 1
+            assert res.retries >= 1
+            if kind in ("kill-worker", "stall-worker"):
+                assert res.worker_deaths >= 1
+            else:  # transport corruption never kills the worker
+                assert res.worker_deaths == 0
+        finally:
+            shutdown_pools(mat)
+
+    def test_container_fault_kind_detected_and_retried(self, coo, x):
+        """Integrity fault kinds corrupt the shard container copy; the
+        checksum-verified worker run raises typed and the retry is clean."""
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "bro_ell")
+        base = run_spmv(mat, x, "k20")
+        chaos = ChaosPolicy(seed=5, kinds=("stream_bit_flip",), max_faults=1)
+        try:
+            res = run_spmv(mat, x, "k20", policy=_policy(chaos=chaos))
+            assert np.array_equal(res.y, base.y)
+            assert res.retries >= 1
+        finally:
+            shutdown_pools(mat)
+
+    def test_recovery_events_name_the_failover(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        chaos = ChaosPolicy(seed=1, kinds=("kill-worker",), max_faults=1)
+        try:
+            res = run_spmv(mat, x, "k20", policy=_policy(chaos=chaos))
+            events = [e["event"] for e in res.recovery_events]
+            assert "worker_lost" in events
+            assert "shard_reassigned" in events
+            assert "worker_respawned" in events  # elastic default
+        finally:
+            shutdown_pools(mat)
+
+    def test_exhausted_retries_raise_typed_worker_failure(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        # rate=1.0 with no budget: every call (and there is only one
+        # attempt allowed) eats a kill — the shard can never finish.
+        chaos = ChaosPolicy(seed=2, kinds=("kill-worker",), max_faults=1)
+        try:
+            with pytest.raises(WorkerFailureError, match="shard"):
+                run_spmv(
+                    mat, x, "k20", policy=_policy(max_retries=0, chaos=chaos)
+                )
+        finally:
+            shutdown_pools(mat)
+
+    def test_exhausted_stalls_raise_typed_timeout(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        chaos = ChaosPolicy(
+            seed=4, kinds=("stall-worker",), max_faults=1, stall_s=2.0
+        )
+        try:
+            with pytest.raises(ShardTimeoutError) as excinfo:
+                run_spmv(
+                    mat, x, "k20",
+                    policy=_policy(
+                        shard_timeout_s=0.3, max_retries=0, chaos=chaos
+                    ),
+                )
+            assert excinfo.value.shard >= 0
+            assert excinfo.value.timeout_s == pytest.approx(0.3)
+        finally:
+            shutdown_pools(mat)
+
+
+class TestRecoveryAccounting:
+    def test_metrics_expose_worker_events(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        chaos = ChaosPolicy(seed=3, kinds=("kill-worker",), max_faults=1)
+        reg = M.MetricsRegistry()
+        try:
+            with telemetry.tracing(registry=reg):
+                res = run_spmv(mat, x, "k20", policy=_policy(chaos=chaos))
+            counters = reg.snapshot()["counters"]
+            assert counters["exec.worker_deaths"] == res.worker_deaths >= 1
+            assert (
+                counters["exec.shard_reassignments"]
+                == res.shard_reassignments >= 1
+            )
+            assert counters["exec.retries"] == res.retries >= 1
+        finally:
+            shutdown_pools(mat)
+
+    def test_shard_counters_fold_into_kernel_metrics(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        reg = M.MetricsRegistry()
+        try:
+            with telemetry.tracing(registry=reg):
+                res = run_spmv(mat, x, "k20", policy=_policy(devices=2))
+            counters = reg.snapshot()["counters"]
+            device_name = res.shard_results[0].device.name
+            key = f'kernel.dram_bytes{{device="{device_name}",format="csr"}}'
+            per_shard = sum(r.counters.dram_bytes for r in res.shard_results)
+            assert counters[key] == per_shard
+        finally:
+            shutdown_pools(mat)
+
+
+class TestElasticity:
+    def test_inelastic_pool_survives_on_remaining_workers(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        chaos = ChaosPolicy(seed=6, kinds=("kill-worker",), max_faults=1)
+        base = run_spmv(mat, x, "k20")
+        try:
+            res = run_spmv(
+                mat, x, "k20", policy=_policy(elastic=False, chaos=chaos)
+            )
+            assert np.array_equal(res.y, base.y)
+            assert res.worker_deaths == 1
+            events = [e["event"] for e in res.recovery_events]
+            assert "worker_respawned" not in events
+        finally:
+            shutdown_pools(mat)
+
+    def test_elastic_pool_respawns_the_lost_slot(self, coo, x):
+        from repro.kernels.dispatch import run_spmv
+
+        mat = convert(coo, "csr")
+        chaos = ChaosPolicy(seed=7, kinds=("kill-worker",), max_faults=1)
+        pol = _policy(chaos=chaos)
+        try:
+            faulted = run_spmv(mat, x, "k20", policy=pol)
+            assert faulted.worker_deaths == 1
+            # The respawned slot serves the next (clean) call: all four
+            # workers are live again and nothing needs recovery.
+            clean = run_spmv(mat, x, "k20", policy=pol)
+            assert np.array_equal(clean.y, faulted.y)
+            assert clean.worker_deaths == 0
+            assert clean.retries == 0
+        finally:
+            shutdown_pools(mat)

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.bro_ell import BROELLMatrix
 from repro.errors import IntegrityError, ValidationError
+from repro.exec.policy import ExecutionPolicy
 from repro.formats.csr import CSRMatrix
 from repro.integrity import COUNTERS, seal
 from repro.kernels.dispatch import run_spmv
@@ -39,7 +40,7 @@ class TestVerifyLevels:
     @pytest.mark.parametrize("level", [True, "structure", "checksum", "full"])
     def test_clean_matrix_passes_every_level(self, fixture, level):
         coo, mat, x, _ = fixture
-        result = run_spmv(mat, x, "k20", verify=level)
+        result = run_spmv(mat, x, "k20", policy=ExecutionPolicy(verify=level))
         assert not result.fault_detected
         assert result.integrity_counters is not None
         np.testing.assert_allclose(result.y, coo.spmv(x))
@@ -47,18 +48,20 @@ class TestVerifyLevels:
     def test_unknown_level_rejected(self, fixture):
         _, mat, x, _ = fixture
         with pytest.raises(ValidationError, match="verify"):
-            run_spmv(mat, x, "k20", verify="paranoid")
+            run_spmv(mat, x, "k20", policy=ExecutionPolicy(verify="paranoid"))
 
     def test_corruption_raises_without_fallback(self, fixture):
         _, mat, x, _ = fixture
         with pytest.raises(IntegrityError):
-            run_spmv(_corrupt(mat), x, "k20", verify=True)
+            run_spmv(_corrupt(mat), x, "k20",
+                     policy=ExecutionPolicy(verify=True))
 
 
 class TestFallback:
     def test_fallback_recovers_reference_result(self, fixture):
         coo, mat, x, csr = fixture
-        result = run_spmv(_corrupt(mat), x, "k20", verify=True, fallback=csr)
+        result = run_spmv(_corrupt(mat), x, "k20",
+                          policy=ExecutionPolicy(verify=True, fallback=csr))
         assert result.fault_detected
         assert result.fallback_used
         assert "IntegrityError" in result.integrity_error
@@ -66,7 +69,8 @@ class TestFallback:
 
     def test_fallback_not_used_when_clean(self, fixture):
         coo, mat, x, csr = fixture
-        result = run_spmv(mat, x, "k20", verify=True, fallback=csr)
+        result = run_spmv(mat, x, "k20",
+                          policy=ExecutionPolicy(verify=True, fallback=csr))
         assert not result.fallback_used
         np.testing.assert_allclose(result.y, coo.spmv(x))
 
@@ -80,14 +84,15 @@ class TestFallback:
             np.minimum(bad.stream.slice_ptr, bad.stream.data.shape[0] - 1),
             bad.stream.sym_len,
         )
-        result = run_spmv(bad, x, "k20", fallback=csr)
+        result = run_spmv(bad, x, "k20", policy=ExecutionPolicy(fallback=csr))
         assert result.fallback_used
         np.testing.assert_allclose(result.y, coo.to_dense() @ x, rtol=1e-9)
 
     def test_unsealed_matrix_verify_checksum_skips_crc(self, fixture):
         coo, _, x, csr = fixture
         unsealed = BROELLMatrix.from_coo(coo, h=16)
-        result = run_spmv(unsealed, x, "k20", verify="checksum", fallback=csr)
+        result = run_spmv(unsealed, x, "k20",
+                          policy=ExecutionPolicy(verify="checksum", fallback=csr))
         assert not result.fallback_used  # structure fine, no header to check
 
 
@@ -95,8 +100,9 @@ class TestCounters:
     def test_counters_accumulate(self, fixture):
         coo, mat, x, csr = fixture
         COUNTERS.reset()
-        run_spmv(mat, x, "k20", verify=True)
-        result = run_spmv(_corrupt(mat), x, "k20", verify=True, fallback=csr)
+        run_spmv(mat, x, "k20", policy=ExecutionPolicy(verify=True))
+        result = run_spmv(_corrupt(mat), x, "k20",
+                          policy=ExecutionPolicy(verify=True, fallback=csr))
         snap = result.integrity_counters
         assert snap.verifications == 2
         assert snap.detections == 1
@@ -107,7 +113,8 @@ class TestCounters:
         _, mat, x, _ = fixture
         COUNTERS.reset()
         with pytest.raises(IntegrityError):
-            run_spmv(_corrupt(mat), x, "k20", verify=True)
+            run_spmv(_corrupt(mat), x, "k20",
+                     policy=ExecutionPolicy(verify=True))
         snap = COUNTERS.snapshot()
         assert snap.detections == 1
         assert snap.raised == 1

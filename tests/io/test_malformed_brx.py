@@ -1,0 +1,260 @@
+"""Malformed ``.brx`` containers must fail typed, never with raw
+``struct.error``/``IndexError`` leaks or silently wrong arrays.
+
+Every case builds a deliberately broken file and asserts the load path
+(:func:`read_header` / :func:`read_manifest` / :func:`load_container`)
+raises :class:`~repro.errors.SerializationError`.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.formats.conversion import convert
+from repro.serialize import (
+    MAGIC,
+    SCHEMA_VERSION,
+    SerializationError,
+    load_container,
+    read_header,
+    read_manifest,
+    save_container,
+)
+from tests.conftest import random_coo
+
+
+def write_raw(tmp_path, body: bytes):
+    path = tmp_path / "broken.brx"
+    path.write_bytes(body)
+    return path
+
+
+def brx_bytes(doc, payload=b"", version=SCHEMA_VERSION, magic=MAGIC):
+    header = json.dumps(doc).encode("utf-8")
+    return (
+        magic
+        + version.to_bytes(4, "little")
+        + len(header).to_bytes(4, "little")
+        + header
+        + payload
+    )
+
+
+def minimal_doc(**overrides):
+    """A syntactically complete csr header with one float64 array."""
+    doc = {
+        "format": "csr",
+        "meta": {"shape": [2, 2]},
+        "arrays": [
+            {"name": "values", "dtype": "<f8", "shape": [2],
+             "offset": 0, "nbytes": 16},
+        ],
+        "integrity": None,
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestPreamble:
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="not a .brx"):
+            read_header(write_raw(tmp_path, b""))
+
+    def test_short_preamble(self, tmp_path):
+        with pytest.raises(SerializationError, match="not a .brx"):
+            read_header(write_raw(tmp_path, b"REPROBRX\x01"))
+
+    def test_bad_magic(self, tmp_path):
+        body = brx_bytes(minimal_doc(), magic=b"NOTABRX!")
+        with pytest.raises(SerializationError, match="bad magic"):
+            read_header(write_raw(tmp_path, body))
+
+    def test_unknown_schema_version(self, tmp_path):
+        body = brx_bytes(minimal_doc(), version=99)
+        with pytest.raises(SerializationError, match="version 99"):
+            read_header(write_raw(tmp_path, body))
+
+    def test_header_length_past_end_of_file(self, tmp_path):
+        body = (
+            MAGIC
+            + SCHEMA_VERSION.to_bytes(4, "little")
+            + (1 << 20).to_bytes(4, "little")
+            + b"{}"
+        )
+        with pytest.raises(SerializationError, match="truncated mid-header"):
+            read_header(write_raw(tmp_path, body))
+
+
+class TestHeaderJson:
+    def test_garbage_json(self, tmp_path):
+        garbage = b"\x00\xffnot json at all"
+        body = (
+            MAGIC
+            + SCHEMA_VERSION.to_bytes(4, "little")
+            + len(garbage).to_bytes(4, "little")
+            + garbage
+        )
+        with pytest.raises(SerializationError, match="corrupt header"):
+            read_header(write_raw(tmp_path, body))
+
+    def test_header_not_an_object(self, tmp_path):
+        body = brx_bytes([1, 2, 3])
+        with pytest.raises(SerializationError, match="not a JSON object"):
+            read_header(write_raw(tmp_path, body))
+
+    @pytest.mark.parametrize("missing", ["format", "meta", "arrays"])
+    def test_missing_required_key(self, tmp_path, missing):
+        doc = minimal_doc()
+        del doc[missing]
+        with pytest.raises(SerializationError, match=missing):
+            read_header(write_raw(tmp_path, brx_bytes(doc)))
+
+    def test_non_string_format(self, tmp_path):
+        body = brx_bytes(minimal_doc(format=7))
+        with pytest.raises(SerializationError, match="format"):
+            read_header(write_raw(tmp_path, body))
+
+    def test_non_dict_meta(self, tmp_path):
+        body = brx_bytes(minimal_doc(meta=[1]))
+        with pytest.raises(SerializationError, match="metadata"):
+            read_header(write_raw(tmp_path, body))
+
+    def test_non_list_array_table(self, tmp_path):
+        body = brx_bytes(minimal_doc(arrays={"values": 1}))
+        with pytest.raises(SerializationError, match="array table"):
+            read_header(write_raw(tmp_path, body))
+
+
+class TestArrayTable:
+    def _load(self, tmp_path, entry, payload=b"\x00" * 64):
+        doc = minimal_doc(arrays=[entry])
+        return load_container(write_raw(tmp_path, brx_bytes(doc, payload)))
+
+    def test_entry_not_a_dict(self, tmp_path):
+        with pytest.raises(SerializationError, match="array table entry"):
+            self._load(tmp_path, "values")
+
+    def test_entry_missing_keys(self, tmp_path):
+        with pytest.raises(SerializationError, match="missing"):
+            self._load(tmp_path, {"name": "values", "dtype": "<f8"})
+
+    def test_unparseable_dtype(self, tmp_path):
+        entry = {"name": "values", "dtype": "not-a-dtype", "shape": [2],
+                 "offset": 0, "nbytes": 16}
+        with pytest.raises(SerializationError, match="dtype"):
+            self._load(tmp_path, entry)
+
+    @pytest.mark.parametrize("shape", [3, [-1], ["x"], [2.5]])
+    def test_malformed_shape(self, tmp_path, shape):
+        entry = {"name": "values", "dtype": "<f8", "shape": shape,
+                 "offset": 0, "nbytes": 16}
+        with pytest.raises(SerializationError, match="shape"):
+            self._load(tmp_path, entry)
+
+    @pytest.mark.parametrize("field,value", [
+        ("offset", -8), ("nbytes", -16), ("offset", "zero"), ("nbytes", None),
+    ])
+    def test_negative_or_nonint_extents(self, tmp_path, field, value):
+        entry = {"name": "values", "dtype": "<f8", "shape": [2],
+                 "offset": 0, "nbytes": 16}
+        entry[field] = value
+        with pytest.raises(SerializationError):
+            self._load(tmp_path, entry)
+
+    def test_nbytes_inconsistent_with_shape(self, tmp_path):
+        entry = {"name": "values", "dtype": "<f8", "shape": [2],
+                 "offset": 0, "nbytes": 8}  # 2 float64 need 16 bytes
+        with pytest.raises(SerializationError, match="nbytes"):
+            self._load(tmp_path, entry)
+
+    def test_truncated_payload(self, tmp_path):
+        entry = {"name": "values", "dtype": "<f8", "shape": [64],
+                 "offset": 0, "nbytes": 512}
+        with pytest.raises(SerializationError, match="truncated"):
+            self._load(tmp_path, entry, payload=b"\x00" * 8)
+
+
+class TestIntegritySealAndManifest:
+    def test_malformed_integrity_seal(self, tmp_path):
+        from repro.integrity.checksums import seal
+
+        mat = seal(convert(random_coo(32, 32, density=0.1, seed=2), "csr"))
+        path = tmp_path / "sealed.brx"
+        save_container(mat, path)
+        raw = path.read_bytes()
+        hlen = int.from_bytes(raw[12:16], "little")
+        doc = json.loads(raw[16:16 + hlen])
+        doc["integrity"] = {"bogus": 1}
+        body = brx_bytes(doc, payload=raw[16 + hlen:])
+        with pytest.raises(SerializationError, match="integrity seal"):
+            load_container(write_raw(tmp_path, body))
+
+    def test_sharded_container_without_manifest(self, tmp_path):
+        doc = minimal_doc(format="sharded", meta={})
+        with pytest.raises(SerializationError, match="manifest"):
+            read_manifest(write_raw(tmp_path, brx_bytes(doc)))
+
+    def test_malformed_manifest_shape(self, tmp_path):
+        doc = minimal_doc(format="sharded", meta={"manifest": {"shards": 3}})
+        with pytest.raises(SerializationError, match="manifest"):
+            read_manifest(write_raw(tmp_path, brx_bytes(doc)))
+
+    def test_malformed_shard_row(self, tmp_path):
+        doc = minimal_doc(
+            format="sharded",
+            meta={"manifest": {"shards": [{"index": "zero"}]}},
+        )
+        with pytest.raises(SerializationError, match="shard row"):
+            read_manifest(write_raw(tmp_path, brx_bytes(doc)))
+
+    def test_manifest_is_none_for_unsharded(self, tmp_path):
+        mat = convert(random_coo(32, 32, density=0.1, seed=0), "csr")
+        path = tmp_path / "ok.brx"
+        save_container(mat, path)
+        assert read_manifest(path) is None
+
+
+class TestTruncationOfRealContainers:
+    """Chop a genuine container at every region boundary: always typed."""
+
+    @pytest.fixture()
+    def real_container(self, tmp_path):
+        mat = convert(random_coo(64, 64, density=0.1, seed=1), "bro_ell")
+        path = tmp_path / "real.brx"
+        save_container(mat, path)
+        return path
+
+    @pytest.mark.parametrize("keep", [4, 12, 15])
+    def test_truncated_preamble(self, tmp_path, real_container, keep):
+        body = real_container.read_bytes()[:keep]
+        with pytest.raises(SerializationError):
+            read_header(write_raw(tmp_path, body))
+
+    def test_truncated_inside_header(self, tmp_path, real_container):
+        body = real_container.read_bytes()
+        with pytest.raises(SerializationError, match="truncated"):
+            read_header(write_raw(tmp_path, body[:20]))
+
+    def test_truncated_inside_payload(self, tmp_path, real_container):
+        body = real_container.read_bytes()
+        with pytest.raises(SerializationError, match="truncated"):
+            load_container(write_raw(tmp_path, body[: len(body) - 64]))
+
+    def test_every_error_is_a_repro_error(self, tmp_path, real_container):
+        # The umbrella contract: callers can catch ReproError alone.
+        body = real_container.read_bytes()
+        for cut in (0, 7, 13, 40, len(body) - 16):
+            try:
+                load_container(write_raw(tmp_path, body[:cut]))
+            except ReproError:
+                pass
+            else:  # pragma: no cover - contract violation
+                pytest.fail(f"truncation at {cut} bytes loaded silently")
+
+    def test_pristine_container_still_loads(self, real_container):
+        mat = load_container(real_container)
+        assert mat.format_name == "bro_ell"
+        y = mat.spmv(np.ones(mat.shape[1]))
+        assert y.shape == (64,)

@@ -14,6 +14,7 @@ from repro.integrity.checksums import seal
 from repro.kernels import PLAN_CACHE, PlanCache, run_spmv
 from repro.kernels.plancache import fingerprint_token
 from repro.telemetry import metrics as M
+from repro.exec.policy import ExecutionPolicy
 from tests.conftest import random_coo
 
 
@@ -156,10 +157,12 @@ class TestRunSpmvIntegration:
         coo = random_coo(40, 40, density=0.1, seed=9)
         mat = seal(convert(coo, "coo"))
         x = np.ones(40)
-        y1 = run_spmv(mat, x, "k20", engine="fast", plan_cache=cache).y
+        y1 = run_spmv(mat, x, "k20",
+                      policy=ExecutionPolicy(engine="fast", plan_cache=cache)).y
         mat.vals[:] += 1.0
         seal(mat)
-        y2 = run_spmv(mat, x, "k20", engine="fast", plan_cache=cache).y
+        y2 = run_spmv(mat, x, "k20",
+                      policy=ExecutionPolicy(engine="fast", plan_cache=cache)).y
         np.testing.assert_allclose(y2, mat.spmv(x))
         assert not np.allclose(y1, y2)
 
@@ -167,8 +170,8 @@ class TestRunSpmvIntegration:
         mat = small_matrix(seed=42)
         x = np.ones(mat.shape[1])
         before = PLAN_CACHE.stats()["builds"]
-        run_spmv(mat, x, "k20", engine="fast")
-        run_spmv(mat, x, "k20", engine="fast")
+        run_spmv(mat, x, "k20", policy=ExecutionPolicy(engine="fast"))
+        run_spmv(mat, x, "k20", policy=ExecutionPolicy(engine="fast"))
         after = PLAN_CACHE.stats()
         assert after["builds"] == before + 1
         assert after["hits"] >= 1

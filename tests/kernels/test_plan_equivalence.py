@@ -21,7 +21,10 @@ from repro.kernels import (
 from repro.kernels.plancache import PlanCache
 from repro.matrices.suite import TABLE2, generate
 from repro.telemetry import metrics as M
+from repro.exec.policy import ExecutionPolicy
 from tests.conftest import random_coo
+
+_REF = ExecutionPolicy(engine="reference")
 
 #: Scale small enough that the full 31-matrix suite sweep stays fast.
 SUITE_SCALE = 0.004
@@ -59,12 +62,14 @@ class TestRegistry:
         with pytest.raises(KernelError, match="no prepared-plan builder"):
             prepare(mat, "k20")
         with pytest.raises(KernelError, match="engine='fast'"):
-            run_spmv(mat, _x_for(mat), "k20", engine="fast")
+            run_spmv(mat, _x_for(mat), "k20",
+                     policy=ExecutionPolicy(engine="fast"))
 
     def test_auto_engine_falls_back_to_reference(self, random_matrix):
         # auto + unplannable format must still work (reference engine).
         mat = convert(random_matrix, "ellpack_r")
-        res = run_spmv(mat, _x_for(mat), "k20", plan_cache=PlanCache())
+        res = run_spmv(mat, _x_for(mat), "k20",
+                       policy=ExecutionPolicy(plan_cache=PlanCache()))
         np.testing.assert_allclose(res.y, random_matrix.spmv(_x_for(mat)))
 
 
@@ -77,7 +82,7 @@ class TestSuiteEquivalence:
         for fmt in BRO_FORMATS:
             mat = suite_format(name, fmt, sym_len)
             x = _x_for(mat)
-            ref = run_spmv(mat, x, "k20", engine="reference")
+            ref = run_spmv(mat, x, "k20", policy=_REF)
             plan = prepare(mat, "k20")
             fast = plan.execute(x)
             assert np.array_equal(ref.y, fast.y), (name, fmt, sym_len)
@@ -89,7 +94,7 @@ class TestSuiteEquivalence:
             coo = random_coo(140, 120, density=0.06, seed=seed)
             mat = convert(coo, fmt)
             x = _x_for(mat, seed)
-            ref = run_spmv(mat, x, "k20", engine="reference")
+            ref = run_spmv(mat, x, "k20", policy=_REF)
             fast = prepare(mat, "k20").execute(x)
             assert np.array_equal(ref.y, fast.y)
             assert ref.counters == fast.counters
@@ -98,7 +103,7 @@ class TestSuiteEquivalence:
     def test_counters_match_on_every_device(self, device):
         mat = suite_format("sme3Da", "bro_ell", 32)
         x = _x_for(mat)
-        ref = run_spmv(mat, x, device, engine="reference")
+        ref = run_spmv(mat, x, device, policy=_REF)
         fast = prepare(mat, device).execute(x)
         assert np.array_equal(ref.y, fast.y)
         assert ref.counters == fast.counters
@@ -114,7 +119,7 @@ class TestSuiteEquivalence:
                 kwargs = {"h": 4} if fmt in ("bro_ell", "bro_hyb") else {}
                 mat = convert(coo, fmt, **kwargs)
                 x = np.ones(coo.shape[1])
-                ref = run_spmv(mat, x, "k20", engine="reference")
+                ref = run_spmv(mat, x, "k20", policy=_REF)
                 fast = prepare(mat, "k20").execute(x)
                 assert np.array_equal(ref.y, fast.y)
                 assert ref.counters == fast.counters
@@ -125,9 +130,11 @@ class TestDispatchEngines:
         mat = suite_format("epb3", "bro_ell", 32)
         x = _x_for(mat)
         cache = PlanCache()
-        ref = run_spmv(mat, x, "k20", engine="reference")
-        fast = run_spmv(mat, x, "k20", engine="fast", plan_cache=cache)
-        again = run_spmv(mat, x, "k20", engine="fast", plan_cache=cache)
+        ref = run_spmv(mat, x, "k20", policy=_REF)
+        fast = run_spmv(mat, x, "k20",
+                        policy=ExecutionPolicy(engine="fast", plan_cache=cache))
+        again = run_spmv(mat, x, "k20",
+                        policy=ExecutionPolicy(engine="fast", plan_cache=cache))
         assert np.array_equal(ref.y, fast.y)
         assert np.array_equal(ref.y, again.y)
         assert ref.counters == fast.counters == again.counters
@@ -138,8 +145,8 @@ class TestDispatchEngines:
         mat = suite_format("rim", "bro_coo", 32)
         x = _x_for(mat)
         plan = prepare(mat, "k20")
-        ref = run_spmv(mat, x, "k20", engine="reference")
-        fast = run_spmv(mat, x, "k20", plan=plan)
+        ref = run_spmv(mat, x, "k20", policy=_REF)
+        fast = run_spmv(mat, x, "k20", policy=ExecutionPolicy(plan=plan))
         assert np.array_equal(ref.y, fast.y)
         assert ref.counters == fast.counters
 
@@ -148,19 +155,20 @@ class TestDispatchEngines:
         b = suite_format("epb3", "bro_ell", 32)
         plan = prepare(a, "k20")
         with pytest.raises(ValidationError, match="different matrix"):
-            run_spmv(b, _x_for(b), "k20", plan=plan)
+            run_spmv(b, _x_for(b), "k20", policy=ExecutionPolicy(plan=plan))
 
     def test_plan_for_wrong_device_rejected(self):
         mat = suite_format("rim", "bro_ell", 32)
         plan = prepare(mat, "c2070")
         with pytest.raises(ValidationError, match="device"):
-            run_spmv(mat, _x_for(mat), "k20", plan=plan)
+            run_spmv(mat, _x_for(mat), "k20", policy=ExecutionPolicy(plan=plan))
 
     def test_plan_conflicts_with_reference_engine(self):
         mat = suite_format("rim", "bro_ell", 32)
         plan = prepare(mat, "k20")
         with pytest.raises(ValidationError, match="engine='reference'"):
-            run_spmv(mat, _x_for(mat), "k20", plan=plan, engine="reference")
+            run_spmv(mat, _x_for(mat), "k20",
+                     policy=ExecutionPolicy(plan=plan, engine="reference"))
 
     def test_verified_fallback_path_with_fast_engine(self):
         """A corrupted container degrades to the fallback on the fast path
@@ -176,8 +184,9 @@ class TestDispatchEngines:
         fb = CSRMatrix.from_coo(coo)
         x = _x_for(mat)
         res = run_spmv(
-            mat, x, "k20", verify="structure", fallback=fb,
-            engine="fast", plan_cache=PlanCache(),
+            mat, x, "k20",
+            policy=ExecutionPolicy(verify="structure", fallback=fb,
+                                   engine="fast", plan_cache=PlanCache()),
         )
         assert res.fallback_used
         np.testing.assert_allclose(res.y, coo.spmv(x))

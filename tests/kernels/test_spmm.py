@@ -10,7 +10,10 @@ from repro.formats.conversion import convert
 from repro.kernels import prepare, run_spmm, run_spmv
 from repro.kernels.plan import check_multi_x
 from repro.kernels.plancache import PlanCache
+from repro.exec.policy import ExecutionPolicy
 from tests.conftest import random_coo
+
+_REF = ExecutionPolicy(engine="reference")
 
 FORMATS = ("bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb",
            "ellpack", "coo", "csr")
@@ -30,7 +33,7 @@ class TestColumnEquivalence:
         res = run_spmm(mat, X, "k20")
         assert res.y.shape == (96, 4)
         for j in range(4):
-            ref = run_spmv(mat, X[:, j], "k20", engine="reference")
+            ref = run_spmv(mat, X[:, j], "k20", policy=_REF)
             assert np.array_equal(res.y[:, j], ref.y), (fmt, j)
 
     @pytest.mark.parametrize("fmt", FORMATS)
@@ -39,7 +42,7 @@ class TestColumnEquivalence:
         X = np.random.default_rng(6).standard_normal((80, 3))
         res = run_spmm(mat, X, "k20")
         expected = sum(
-            run_spmv(mat, X[:, j], "k20", engine="reference").counters
+            run_spmv(mat, X[:, j], "k20", policy=_REF).counters
             for j in range(3)
         )
         assert res.counters == expected
@@ -47,8 +50,9 @@ class TestColumnEquivalence:
     def test_fast_and_reference_spmm_agree(self):
         _, mat = make("bro_ell")
         X = np.random.default_rng(7).standard_normal((80, 5))
-        fast = run_spmm(mat, X, "k20", engine="fast", plan_cache=PlanCache())
-        ref = run_spmm(mat, X, "k20", engine="reference")
+        fast = run_spmm(mat, X, "k20",
+                        policy=ExecutionPolicy(engine="fast", plan_cache=PlanCache()))
+        ref = run_spmm(mat, X, "k20", policy=_REF)
         assert np.array_equal(fast.y, ref.y)
         assert fast.counters == ref.counters
 
@@ -56,7 +60,7 @@ class TestColumnEquivalence:
         _, mat = make("bro_ell")
         X = np.random.default_rng(8).standard_normal((80, 1))
         res = run_spmm(mat, X, "k20")
-        ref = run_spmv(mat, X[:, 0], "k20", engine="reference")
+        ref = run_spmv(mat, X[:, 0], "k20", policy=_REF)
         assert np.array_equal(res.y[:, 0], ref.y)
         assert res.counters == ref.counters
 
@@ -65,7 +69,7 @@ class TestColumnEquivalence:
         plan = prepare(mat, "k20")
         X = np.random.default_rng(9).standard_normal((80, 6))
         a = plan.execute_many(X)
-        b = run_spmm(mat, X, "k20", engine="reference")
+        b = run_spmm(mat, X, "k20", policy=_REF)
         assert np.array_equal(a.y, b.y)
         assert a.counters == b.counters
 
@@ -96,7 +100,8 @@ class TestValidation:
         mat.stream.data[:] = np.iinfo(mat.stream.data.dtype).max
         fb = CSRMatrix.from_coo(coo)
         X = np.random.default_rng(10).standard_normal((80, 3))
-        res = run_spmm(mat, X, "k20", verify="structure", fallback=fb)
+        res = run_spmm(mat, X, "k20",
+                       policy=ExecutionPolicy(verify="structure", fallback=fb))
         assert res.fallback_used
         for j in range(3):
             np.testing.assert_allclose(res.y[:, j], coo.spmv(X[:, j]))

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro import registry as _registry
+from repro.exec.policy import ExecutionPolicy
 from repro.errors import FormatError, ReproError, ValidationError
 from repro.formats.base import SparseFormat, register_format
 from repro.formats.coo import COOMatrix
@@ -78,7 +79,7 @@ class TestSessionPipeline:
 
     def test_with_fallback_recovers(self):
         sess = (
-            Session(verify="checksum")
+            Session(policy=ExecutionPolicy(verify="checksum"))
             .load("epb3", scale=0.01)
             .with_fallback("csr")
             .convert("bro_ell", h=64)
@@ -109,7 +110,7 @@ class TestSessionPipeline:
             sess.reorder("sort_by_vibes")
 
     def test_reference_engine_has_no_plan_cache(self):
-        sess = Session(engine="reference").load("epb3", scale=0.01)
+        sess = Session(policy=ExecutionPolicy(engine="reference")).load("epb3", scale=0.01)
         assert sess.plan_cache is None
         assert sess.convert("bro_ell", h=64).plan() is None
 
@@ -253,7 +254,7 @@ class TestToyFormatThroughSession:
         coo = self._diag_coo()
         cache = PlanCache()
         sess = (
-            Session(plan_cache=cache)
+            Session(policy=ExecutionPolicy(plan_cache=cache))
             .use(coo)
             .convert("toy_diag")
             .seal()
@@ -263,7 +264,7 @@ class TestToyFormatThroughSession:
 
         # Reopen: serializer + reattached seal + content-keyed plan cache.
         sess.prepare()
-        reopened = Session.open(tmp_path / "toy.brx", plan_cache=cache)
+        reopened = Session.open(tmp_path / "toy.brx", policy=ExecutionPolicy(plan_cache=cache))
         x = np.random.default_rng(4).standard_normal(coo.shape[1])
         r = reopened.execute(x, engine="fast", verify="full")
         assert np.array_equal(r.y, sess.matrix.diag * x)

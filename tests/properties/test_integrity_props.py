@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.core.bro_coo import BROCOOMatrix
 from repro.core.bro_ell import BROELLMatrix
 from repro.core.bro_hyb import BROHYBMatrix
+from repro.exec.policy import ExecutionPolicy
 from repro.errors import ReproError
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
@@ -66,7 +67,10 @@ def test_no_silent_corruption(coo, fmt, fault_seed):
     if injected.matrix is None:
         return  # rejected at construction: detected by definition
     try:
-        result = run_spmv(injected.matrix, x, "k20", verify=True, fallback=fallback)
+        result = run_spmv(
+            injected.matrix, x, "k20",
+            policy=ExecutionPolicy(verify=True, fallback=fallback),
+        )
     except ReproError:
         return  # typed detection: the contract holds
     np.testing.assert_allclose(result.y, y_ref, rtol=1e-9, atol=1e-12)

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro import telemetry
+from repro.exec.policy import ExecutionPolicy
 from repro.formats.conversion import convert
 from repro.formats.csr import CSRMatrix
 from repro.kernels import run_spmv
@@ -35,8 +36,8 @@ class TestSimulatedOperator:
     def test_matches_reference_engine_bit_identically(self):
         _, mat = workload()
         x = np.random.default_rng(1).standard_normal(72)
-        fast = SimulatedOperator(mat, "k20", plan_cache=PlanCache())
-        ref = SimulatedOperator(mat, "k20", engine="reference")
+        fast = SimulatedOperator(mat, "k20", policy=ExecutionPolicy(plan_cache=PlanCache()))
+        ref = SimulatedOperator(mat, "k20", policy=ExecutionPolicy(engine="reference"))
         assert fast.engine == "fast"
         assert ref.engine == "reference"
         assert np.array_equal(fast(x), ref(x))
@@ -55,7 +56,7 @@ class TestSimulatedOperator:
     def test_repeated_calls_hit_the_plan_cache(self):
         _, mat = workload()
         cache = PlanCache()
-        op = SimulatedOperator(mat, "k20", plan_cache=cache)
+        op = SimulatedOperator(mat, "k20", policy=ExecutionPolicy(plan_cache=cache))
         x = np.ones(72)
         for _ in range(5):
             op(x)
@@ -68,7 +69,7 @@ class TestSimulatedOperator:
         """The satellite bug: operator calls used to bypass run_spmv, so
         solves never produced the dispatch span. Now they must."""
         _, mat = workload()
-        op = SimulatedOperator(mat, "k20", plan_cache=PlanCache())
+        op = SimulatedOperator(mat, "k20", policy=ExecutionPolicy(plan_cache=PlanCache()))
         with telemetry.tracing() as t:
             op(np.ones(72))
         telemetry.disable()
@@ -81,8 +82,9 @@ class TestSimulatedOperator:
         mat.stream.data[:] = np.iinfo(mat.stream.data.dtype).max
         fb = CSRMatrix.from_coo(coo)
         op = SimulatedOperator(
-            mat, "k20", verify="structure", fallback=fb,
-            plan_cache=PlanCache(),
+            mat, "k20",
+            policy=ExecutionPolicy(verify="structure", fallback=fb,
+                                   plan_cache=PlanCache()),
         )
         x = np.ones(72)
         y = op(x)
@@ -91,9 +93,9 @@ class TestSimulatedOperator:
 
     def test_accumulates_device_time_and_traffic(self):
         _, mat = workload()
-        op = SimulatedOperator(mat, "k20", plan_cache=PlanCache())
+        op = SimulatedOperator(mat, "k20", policy=ExecutionPolicy(plan_cache=PlanCache()))
         x = np.ones(72)
-        single = run_spmv(mat, x, "k20", engine="reference")
+        single = run_spmv(mat, x, "k20", policy=ExecutionPolicy(engine="reference"))
         op(x)
         op(x)
         assert op.device_time == pytest.approx(2 * single.timing.time)
@@ -111,10 +113,10 @@ class TestSimulatedOperator:
         mat = convert(COOMatrix.from_dense(dense), "bro_ell", h=16)
         b = rng.standard_normal(n)
         res_fast = conjugate_gradient(
-            SimulatedOperator(mat, "k20", plan_cache=PlanCache()), b, tol=1e-10
+            SimulatedOperator(mat, "k20", policy=ExecutionPolicy(plan_cache=PlanCache())), b, tol=1e-10
         )
         res_ref = conjugate_gradient(
-            SimulatedOperator(mat, "k20", engine="reference"), b, tol=1e-10
+            SimulatedOperator(mat, "k20", policy=ExecutionPolicy(engine="reference")), b, tol=1e-10
         )
         # Bit-identical SpMVs => bit-identical CG trajectories.
         assert res_fast.iterations == res_ref.iterations

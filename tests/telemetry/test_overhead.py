@@ -94,11 +94,14 @@ class TestBitIdentical:
     def test_verified_path_identical_with_and_without_telemetry(self, workload):
         from repro.integrity.checksums import seal
 
+        from repro.exec.policy import ExecutionPolicy
+
         mat, x = workload
         sealed = seal(mat)
-        plain = run_spmv(sealed, x, "k20", verify="checksum")
+        checked = ExecutionPolicy(verify="checksum")
+        plain = run_spmv(sealed, x, "k20", policy=checked)
         with telemetry.tracing() as t:
-            traced = run_spmv(sealed, x, "k20", verify="checksum")
+            traced = run_spmv(sealed, x, "k20", policy=checked)
         assert np.array_equal(plain.y, traced.y)
         assert plain.counters == traced.counters
         # ... and the traced run actually produced the dispatch span tree.

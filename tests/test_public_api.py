@@ -47,6 +47,10 @@ EXPECTED_EXPORTS = {
     "ShardedMatrix",
     "partition",
     "strong_scaling",
+    "weak_scaling",
+    # fault tolerance + chaos testing
+    "ChaosPolicy",
+    "run_chaos_campaign",
     # extension points
     "register_format",
     # reordering
