@@ -41,6 +41,7 @@ __all__ = [
     "fig8_bro_hyb",
     "fig9_reordering",
     "wallclock_engines",
+    "scale_bench",
 ]
 
 _ALL_DEVICES = ("c2070", "gtx680", "k20")
@@ -481,4 +482,96 @@ def wallclock_engines(
                 "speedup": ref_cg / fast_cg,
             }
         )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Scale bench: per-device-count wallclock + latency percentiles
+# ----------------------------------------------------------------------
+def scale_bench(
+    scale: float | None = None,
+    matrices: Sequence[str] = ("cant",),
+    format_name: str = "csr",
+    device: str = "k20",
+    devices: Sequence[int] = (1, 2, 4),
+    repeats: int = 3,
+) -> List[Dict]:
+    """Per-device-count scaling rows: modeled speedup + measured latency.
+
+    Two kinds of columns per (matrix, device-count) row:
+
+    * ``speedup``/``efficiency`` — the *modeled* strong-scaling numbers
+      (deterministic, so they gate regressions in ``repro bench
+      --compare``);
+    * ``wallclock_ms`` and ``p50_ms``/``p95_ms``/``p99_ms`` — *measured*
+      host wall-clock of the process backend and the exact percentiles of
+      the per-shard latency histograms
+      (``exec.shard_latency_seconds{worker=...}``). Their column names
+      deliberately match no :func:`~repro.telemetry.benchreport.metric_direction`
+      fragment, so they are recorded and compared informationally but
+      never fail CI on noisy hardware.
+    """
+    import time
+
+    from ..exec.engine import execute_sharded, shutdown_pools
+    from ..exec.scaling import strong_scaling
+    from ..kernels.dispatch import run_spmv
+    from ..telemetry.metrics import (
+        LATENCY_BUCKETS,
+        Histogram,
+        MetricsRegistry,
+        start_collecting,
+        stop_collecting,
+    )
+
+    scale = bench_scale() if scale is None else scale
+    counts = sorted({int(n) for n in devices})
+    rows: List[Dict] = []
+    for name in matrices:
+        mat = cached_format(name, scale, format_name)
+        x = np.random.default_rng(12345).standard_normal(mat.shape[1])
+        modeled = {
+            r["devices"]: r
+            for r in strong_scaling(mat, device, counts, backend="thread")
+        }
+        for n in counts:
+            reg = MetricsRegistry()
+            start_collecting(reg)
+            try:
+                t0 = time.perf_counter()
+                for _ in range(repeats):
+                    if n == 1:
+                        run_spmv(mat, x, device, policy=ExecutionPolicy())
+                    else:
+                        execute_sharded(
+                            mat, x, device,
+                            ExecutionPolicy(devices=n, backend="process"),
+                        )
+                wallclock = (time.perf_counter() - t0) / repeats
+            finally:
+                stop_collecting()
+                if n > 1:
+                    shutdown_pools(mat)
+            snap = reg.snapshot()
+            merged = Histogram(LATENCY_BUCKETS)
+            for key, h in snap["histograms"].items():
+                if key.startswith("exec.shard_latency_seconds"):
+                    merged.merge_dict(h)
+            if merged.count == 0:
+                # Single-device path records no shard latency; the call
+                # wallclock is the whole distribution.
+                merged.observe(wallclock)
+            rows.append(
+                {
+                    "matrix": name,
+                    "devices": n,
+                    "backend": "process" if n > 1 else "single",
+                    "speedup": modeled[n]["speedup"],
+                    "efficiency": modeled[n]["efficiency"],
+                    "wallclock_ms": 1e3 * wallclock,
+                    "p50_ms": 1e3 * merged.percentile(50),
+                    "p95_ms": 1e3 * merged.percentile(95),
+                    "p99_ms": 1e3 * merged.percentile(99),
+                }
+            )
     return rows

@@ -108,6 +108,9 @@ _EXPERIMENTS = {
     "wallclock": (exp.wallclock_engines, ["matrix", "format", "mode",
                                           "build_time_ms", "ref_time_ms",
                                           "fast_time_ms", "speedup"]),
+    "scale": (exp.scale_bench, ["matrix", "devices", "backend", "speedup",
+                                "efficiency", "wallclock_ms", "p50_ms",
+                                "p95_ms", "p99_ms"]),
 }
 
 
@@ -314,6 +317,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", metavar="PATH",
                    help="also write the campaign report JSON to PATH")
 
+    p = sub.add_parser("health", parents=[device_p, json_p],
+                       help="run a short sharded workload and grade it "
+                            "against SLO thresholds")
+    p.add_argument("matrix", nargs="?", default="cant",
+                   help="Table 2 matrix name (default cant)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="generation scale (default 0.05)")
+    p.add_argument("--format", default="csr",
+                   help="storage format for the probe (default csr)")
+    p.add_argument("--devices", type=_positive_int, default=4,
+                   help="shard/worker count (default 4)")
+    p.add_argument("--calls", type=_positive_int, default=3,
+                   help="sharded SpMV calls to probe with (default 3)")
+    p.add_argument("--max-p99-ms", type=float, default=2000.0,
+                   help="per-worker p99 latency SLO in ms (default 2000)")
+    p.add_argument("--max-heartbeat-age", type=float, default=2.0,
+                   metavar="S",
+                   help="max worker heartbeat age in seconds (default 2.0)")
+    p.add_argument("--max-worker-deaths", type=int, default=0,
+                   help="max tolerated worker deaths (default 0)")
+    p.add_argument("--max-retries", type=int, default=0,
+                   help="max tolerated shard retries (default 0)")
+    p.add_argument("--min-bw-util", type=float, default=0.05,
+                   help="min achieved-vs-roofline bandwidth fraction "
+                        "(default 0.05)")
+
     sub.add_parser("advise", parents=[matrix_p, device_p],
                    help="rank formats for a matrix")
 
@@ -353,6 +382,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "shorthand for --export json)")
     p.add_argument("--output", metavar="PATH",
                    help="write the export to PATH instead of stdout")
+    p.add_argument("--devices", type=int, default=1,
+                   help="shard the dispatch across N simulated devices "
+                        "(default 1)")
+    p.add_argument("--backend", choices=["thread", "process"],
+                   default="thread",
+                   help="sharded execution backend; 'process' grafts "
+                        "worker spans into the trace (default thread)")
     return parser
 
 
@@ -847,6 +883,52 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    from .telemetry.health import HealthThresholds, run_health_check
+
+    thresholds = HealthThresholds(
+        max_p99_ms=args.max_p99_ms,
+        max_heartbeat_age_s=args.max_heartbeat_age,
+        max_worker_deaths=args.max_worker_deaths,
+        max_retries=args.max_retries,
+        min_bw_utilization=args.min_bw_util,
+    )
+    report = run_health_check(
+        matrix=args.matrix,
+        scale=args.scale,
+        format_name=args.format,
+        device=args.device,
+        devices=args.devices,
+        calls=args.calls,
+        thresholds=thresholds,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            {
+                "check": r["check"],
+                "worker": r.get("worker", "-"),
+                "value": r["value"],
+                "threshold": "-" if r["threshold"] is None else r["threshold"],
+                "status": "ok" if r["ok"] else "BREACH",
+            }
+            for r in report.rows
+        ]
+        print(format_table(
+            rows, ["check", "worker", "value", "threshold", "status"],
+            f"Health probe: {report.matrix} x{report.calls} on "
+            f"{report.devices} workers ({report.device})",
+        ))
+        verdict = "healthy" if report.healthy else "UNHEALTHY"
+        print(f"\n{verdict}: "
+              f"{sum(r['ok'] for r in report.rows)}/{len(report.rows)} "
+              f"checks ok")
+    return 0 if report.healthy else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .telemetry import benchreport as br
 
@@ -929,6 +1011,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         device=args.device,
         scale=args.scale,
         h=args.h,
+        devices=args.devices,
+        backend=args.backend,
     )
 
     export = "json" if args.json and args.export == "table" else args.export
@@ -1029,6 +1113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "health":
+            return _cmd_health(args)
         if args.command == "profile":
             return _cmd_profile(args)
     except ReproError as exc:

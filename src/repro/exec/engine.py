@@ -42,6 +42,7 @@ the pool gives real overlap in the common case.
 from __future__ import annotations
 
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, replace
@@ -190,6 +191,15 @@ def _execute_thread(
     timeout = policy.shard_timeout_s
 
     def run_one(d: int, shard: SparseFormat) -> SpMVResult:
+        if not _metrics.collecting():  # keep the disabled path clock-free
+            return _run_one_inner(d, shard)
+        t_begin = time.perf_counter()
+        try:
+            return _run_one_inner(d, shard)
+        finally:
+            _metrics.record_shard_latency(str(d), time.perf_counter() - t_begin)
+
+    def _run_one_inner(d: int, shard: SparseFormat) -> SpMVResult:
         if event is not None and event.shard == d:
             if event.kind == "stall-worker":
                 time.sleep(event.stall_s)
@@ -261,17 +271,47 @@ def _execute_process(
     """The fault-tolerant multiprocessing backend."""
     from .workers import worker_pool
 
+    tracer = get_tracer()
+    telem: Optional[Tuple[str, Optional[int]]] = None
+    if tracer is not None:
+        parent = tracer.current_span()
+        telem = (
+            tracer.trace_id,
+            parent.span_id if parent is not None else None,
+        )
+    elif _metrics.collecting():
+        # Metrics-only mode still wants worker registry snapshots; a
+        # fresh trace id tags the call so stale batches can't mix in.
+        telem = (uuid.uuid4().hex, None)
+
     pool = worker_pool(sharded, device, policy)
-    blocks, stats = pool.execute(x)
+    blocks, stats = pool.execute(x, telem=telem)
     results = [
         SpMVResult(y=y, counters=counters, device=device)
         for y, counters in blocks
     ]
     if _metrics.collecting():
-        # Worker processes record into their own (lost) registries; fold
-        # the shard kernel counters in here so both backends meter alike.
+        # Worker processes record into their own registries (shipped back
+        # as worker-labelled series below); fold the shard kernel
+        # counters in here unlabelled so both backends meter bit-alike.
         for r in results:
             _metrics.record_kernel(sharded.inner_format, device.name, r.counters)
+    if stats.telemetry:
+        from ..telemetry import remote as _remote
+
+        batches = sorted(stats.telemetry, key=lambda b: b["worker"])
+        if tracer is not None:
+            for batch in batches:
+                _remote.graft_spans(tracer, batch)
+        if _metrics.collecting():
+            _remote.merge_batches(
+                _metrics.registry(), batches,
+                device_names=[device.name] * sharded.n_shards,
+            )
+            for batch in batches:
+                _metrics.record_shard_latency(
+                    str(batch["worker"]), batch["elapsed_s"]
+                )
     recovery = {
         "worker_deaths": stats.worker_deaths,
         "shard_reassignments": stats.shard_reassignments,

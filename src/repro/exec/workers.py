@@ -105,6 +105,7 @@ def _worker_main(
     engine: str,
     task_queue: Any,
     result_queue: Any,
+    telemetry_queue: Any,
     heartbeats: Any,
 ) -> None:
     """Worker loop: mmap shards on demand, run tasks, report results.
@@ -112,6 +113,14 @@ def _worker_main(
     Runs in a child process. The final text protocol is tuples on
     ``result_queue``: ``("done", call, shard, attempt, slot, y, counters,
     crc)`` or ``("error", call, shard, attempt, slot, errname, errmsg)``.
+
+    When a task carries a trace context (``telem = (trace_id,
+    parent_span_id)``), the task body runs under a private worker tracer +
+    registry (:class:`repro.telemetry.remote.capture`) and one batch dict
+    is put on ``telemetry_queue`` *before* the result message. Tasks with
+    ``telem=None`` (telemetry disabled on the coordinator) skip capture
+    entirely — no allocation, no queue traffic. Failed attempts ship no
+    batch, so the coordinator only ever merges accepted work.
     """
     import threading
 
@@ -137,7 +146,7 @@ def _worker_main(
         task = task_queue.get()
         if task[0] == "stop":
             return
-        _, call, shard_idx, attempt, x, chaos = task
+        _, call, shard_idx, attempt, x, chaos, telem = task
         try:
             matrix = shards.get(shard_idx)
             if matrix is None:
@@ -151,13 +160,38 @@ def _worker_main(
             if kind == "stall-worker":
                 time.sleep(float(chaos[1]))
                 kind = None
-            if kind is not None and kind not in PROCESS_FAULT_KINDS:
-                # Container-level fault: corrupt a copy and execute it
-                # under checksum verification — detection raises typed.
-                victim = _apply_container_fault(matrix, kind, int(chaos[2]))
-                result = run_spmv(victim, x, device_name, policy=verify_policy)
+
+            def _run(kind: Any = kind, matrix: SparseFormat = matrix) -> Any:
+                if kind is not None and kind not in PROCESS_FAULT_KINDS:
+                    # Container-level fault: corrupt a copy and execute it
+                    # under checksum verification — detection raises typed.
+                    victim = _apply_container_fault(
+                        matrix, kind, int(chaos[2])
+                    )
+                    return run_spmv(
+                        victim, x, device_name, policy=verify_policy
+                    )
+                return run_spmv(matrix, x, device_name, policy=policy)
+
+            if telem is None:
+                result = _run()
             else:
-                result = run_spmv(matrix, x, device_name, policy=policy)
+                from ..telemetry import remote as _remote
+
+                t_begin = time.perf_counter()
+                with _remote.capture(telem[0]) as cap:
+                    cap.root.set(shard=shard_idx, attempt=attempt, slot=slot)
+                    result = _run()
+                telemetry_queue.put(
+                    _remote.build_batch(
+                        cap,
+                        worker=slot,
+                        shard=shard_idx,
+                        attempt=attempt,
+                        parent_span_id=telem[1],
+                        elapsed_s=time.perf_counter() - t_begin,
+                    )
+                )
             y = np.ascontiguousarray(result.y)
             crc = _crc(y)
             if kind == "corrupt-shard-result":
@@ -210,6 +244,9 @@ class CallStats:
     retries: int = 0
     respawns: int = 0
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Worker telemetry batches for the accepted attempt of each shard
+    #: (see :mod:`repro.telemetry.remote`); empty when telemetry is off.
+    telemetry: List[Dict[str, Any]] = field(default_factory=list)
 
     def note(self, event: str, **info: Any) -> None:
         self.events.append({"event": event, **info})
@@ -249,14 +286,19 @@ class WorkerPool:
         self._paths = self._save_shards(sharded)
         self._heartbeats = self._ctx.Array("d", self.n_shards)
         self._results = self._ctx.Queue()
+        # Dedicated channel for worker span/metric batches, created
+        # unconditionally (it must be inherited at fork/spawn time) but
+        # only ever written to when a call carries a trace context.
+        self._telemetry = self._ctx.Queue()
         self._call = 0
         self._closed = False
+        self._telem_ctx: Optional[Tuple[str, Optional[int]]] = None
         self._workers: List[Optional[_Worker]] = [
             self._spawn(slot) for slot in range(self.n_shards)
         ]
         self._finalizer = weakref.finalize(
             self, WorkerPool._cleanup, self._workers, self._results,
-            str(self._tmpdir),
+            self._telemetry, str(self._tmpdir),
         )
 
     # -- setup ----------------------------------------------------------
@@ -282,7 +324,8 @@ class WorkerPool:
         process = self._ctx.Process(
             target=_worker_main,
             args=(slot, self._paths, self.device.name, self.engine,
-                  task_queue, self._results, self._heartbeats),
+                  task_queue, self._results, self._telemetry,
+                  self._heartbeats),
             daemon=True,
             name=f"repro-shard-worker-{slot}",
         )
@@ -344,7 +387,8 @@ class WorkerPool:
             state.deadline = time.monotonic() + budget
         worker.busy.add(state.shard)
         worker.task_queue.put(
-            ("spmv", self._call, state.shard, state.attempt, x, chaos)
+            ("spmv", self._call, state.shard, state.attempt, x, chaos,
+             self._telem_ctx)
         )
 
     def _fail(
@@ -392,9 +436,17 @@ class WorkerPool:
 
     # -- the recovery loop ---------------------------------------------
     def execute(
-        self, x: np.ndarray
+        self,
+        x: np.ndarray,
+        telem: Optional[Tuple[str, Optional[int]]] = None,
     ) -> Tuple[List[Tuple[np.ndarray, KernelCounters]], CallStats]:
         """Run one SpMV across the pool; returns per-shard results + stats.
+
+        ``telem`` is the trace context ``(trace_id, parent_span_id)`` to
+        propagate to the workers; when given, each shard's telemetry
+        batch (for its *accepted* attempt only) is drained into
+        ``stats.telemetry``. ``None`` (telemetry disabled) sends no
+        context and touches the telemetry queue not at all.
 
         Raises a typed :class:`~repro.errors.ShardTimeoutError` /
         :class:`~repro.errors.WorkerFailureError` when a shard exhausts
@@ -413,6 +465,7 @@ class WorkerPool:
         stats = CallStats()
         states = [_ShardCall(shard=d) for d in range(self.n_shards)]
         done: Dict[int, Tuple[np.ndarray, KernelCounters]] = {}
+        self._telem_ctx = telem
         try:
             for state in states:
                 worker = self._workers[state.shard % len(self._workers)]
@@ -429,12 +482,61 @@ class WorkerPool:
                     self._handle(msg, call, states, done, x, stats)
                 self._check_liveness(states, done, x, stats)
                 self._check_deadlines(states, done, x, stats)
+            if telem is not None:
+                self._drain_telemetry(telem, states, stats)
         finally:
+            self._telem_ctx = None
             for worker in self._workers:
                 if worker is not None:
                     worker.busy.clear()
             self._call += 1
         return [done[d] for d in range(self.n_shards)], stats
+
+    def _drain_telemetry(
+        self,
+        telem: Tuple[str, Optional[int]],
+        states: List[_ShardCall],
+        stats: CallStats,
+    ) -> None:
+        """Collect one batch per shard's accepted attempt (bounded wait).
+
+        The worker puts its batch *before* the result message, but the
+        two queues are independent pipes with no cross-queue ordering
+        guarantee, so wait up to a short deadline. Batches from retried
+        attempts, chaos-corrupted attempts or earlier calls carry
+        non-matching ``(shard, attempt)`` / trace-context tags and are
+        dropped, so the merged view only ever contains accepted work.
+        """
+        trace_id, parent_span_id = telem
+        pending = {(s.shard, s.attempt) for s in states}
+        deadline = time.monotonic() + 2.0
+        while pending and time.monotonic() < deadline:
+            try:
+                batch = self._telemetry.get(timeout=_POLL_S)
+            except _queue.Empty:
+                continue
+            if (
+                batch.get("trace_id") != trace_id
+                or batch.get("parent_span_id") != parent_span_id
+            ):
+                continue  # stale: a previous call's leftover batch
+            key = (batch["shard"], batch["attempt"])
+            if key in pending:
+                pending.discard(key)
+                stats.telemetry.append(batch)
+        if pending:
+            stats.note(
+                "telemetry_batches_missing",
+                shards=sorted(shard for shard, _ in pending),
+            )
+
+    def heartbeat_ages(self) -> List[float]:
+        """Seconds since each worker slot's last heartbeat write."""
+        now = time.time()
+        return [
+            max(0.0, now - self._heartbeats[slot])
+            for slot in range(self.n_shards)
+        ]
 
     def _handle(
         self,
@@ -510,7 +612,8 @@ class WorkerPool:
     # -- teardown -------------------------------------------------------
     @staticmethod
     def _cleanup(
-        workers: List[Optional[_Worker]], results: Any, tmpdir: str
+        workers: List[Optional[_Worker]], results: Any, telemetry: Any,
+        tmpdir: str,
     ) -> None:
         for worker in workers:
             if worker is None:
@@ -529,6 +632,7 @@ class WorkerPool:
                 worker.process.terminate()
                 worker.process.join(timeout=1.0)
         results.close()
+        telemetry.close()
         shutil.rmtree(tmpdir, ignore_errors=True)
 
     def shutdown(self) -> None:

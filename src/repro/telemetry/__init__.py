@@ -26,10 +26,11 @@ or scoped with :func:`tracing`::
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from . import benchreport, exporters, metrics, tracer
+from . import benchreport, exporters, metrics, remote, tracer
 from .benchreport import compare_reports, load_report, make_report, write_report
 from .exporters import prometheus_text, to_chrome_trace, to_jsonl
 from .metrics import REGISTRY, MetricsRegistry
@@ -49,6 +50,7 @@ __all__ = [
     "metrics",
     "exporters",
     "benchreport",
+    "remote",
     # tracing
     "Span",
     "Tracer",
@@ -74,22 +76,45 @@ __all__ = [
 ]
 
 
+#: Serializes enable()/disable() transitions so concurrent callers can't
+#: interleave the tracer and registry installs.
+_STATE_LOCK = threading.Lock()
+
+
 def enable(
     trace: Optional[Tracer] = None,
     collect_metrics: bool = True,
     registry: Optional[MetricsRegistry] = None,
 ) -> Tracer:
-    """Switch the telemetry layer on; returns the active tracer."""
-    t = enable_tracing(trace)
-    if collect_metrics:
-        metrics.start_collecting(registry)
-    return t
+    """Switch the telemetry layer on; returns the active tracer.
+
+    Idempotent: calling ``enable()`` while already enabled keeps the
+    current tracer and collection target (spans and metric series are not
+    dropped or re-registered). Passing an explicit ``trace`` or
+    ``registry`` still swaps the respective target.
+    """
+    with _STATE_LOCK:
+        current = get_tracer()
+        if trace is None and current is not None:
+            t = current
+        else:
+            t = enable_tracing(trace)
+        if collect_metrics:
+            if registry is None and metrics.collecting():
+                pass  # keep the registry already receiving emissions
+            else:
+                metrics.start_collecting(registry)
+        return t
 
 
 def disable() -> None:
-    """Switch tracing and metric collection off (the default state)."""
-    disable_tracing()
-    metrics.stop_collecting()
+    """Switch tracing and metric collection off (the default state).
+
+    Idempotent and thread-safe: safe to call when already disabled.
+    """
+    with _STATE_LOCK:
+        disable_tracing()
+        metrics.stop_collecting()
 
 
 def enabled() -> bool:

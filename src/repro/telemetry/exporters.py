@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from typing import Any, Dict, List
 
 from .metrics import MetricsRegistry
@@ -53,16 +54,42 @@ def write_jsonl(tracer: Tracer, path: str) -> None:
 # ----------------------------------------------------------------------
 # Chrome trace-event format
 # ----------------------------------------------------------------------
+#: Chrome pid of the coordinator lane; workers get ``pid = 2 + slot``.
+_COORDINATOR_PID = 1
+
+
+def _span_lane(span: Any) -> int:
+    """The Chrome process lane for a span: the coordinator lane, or one
+    lane per worker slot for spans grafted from worker processes (they
+    carry a ``worker`` attribute — see ``repro.telemetry.remote``)."""
+    worker = span.attrs.get("worker") if span.attrs else None
+    if worker is None:
+        return _COORDINATOR_PID
+    return _COORDINATOR_PID + 1 + int(worker)
+
+
 def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     """Spans as Chrome trace-event dicts (complete-event ``ph: "X"``).
 
     Timestamps (``ts``) and durations (``dur``) are microseconds relative
     to the tracer's start, as the format requires. Span events become
     instant events (``ph: "i"``).
+
+    Spans grafted from worker processes (``worker`` attribute) land on a
+    dedicated process lane per worker, announced with ``process_name`` /
+    ``thread_name`` metadata events (``ph: "M"``) so Perfetto labels the
+    lanes "worker 0", "worker 1", ... Metadata is only emitted when
+    worker spans are present, so single-process traces are unchanged.
     """
     events: List[Dict[str, Any]] = []
+    worker_pids: Dict[int, int] = {}  # lane pid -> worker OS pid
     for s in tracer.spans:
         d = s.to_dict()
+        pid = _span_lane(s)
+        if pid != _COORDINATOR_PID:
+            worker_pids.setdefault(
+                pid, int(s.attrs.get("worker_pid", 0) or 0)
+            )
         args: Dict[str, Any] = {}
         for key in ("attrs", "counters", "timing"):
             if key in d:
@@ -74,7 +101,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
                 "ph": "X",
                 "ts": d["ts_us"],
                 "dur": d["dur_us"],
-                "pid": 1,
+                "pid": pid,
                 "tid": 1,
                 "args": args,
             }
@@ -86,12 +113,54 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
                     "cat": s.category or "repro",
                     "ph": "i",
                     "ts": e.get("ts_us", d["ts_us"]),
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 1,
                     "s": "t",  # thread-scoped instant
                     "args": {k: v for k, v in e.items() if k not in ("ts_us",)},
                 }
             )
+    if worker_pids:
+        meta: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": _COORDINATOR_PID,
+                "tid": 1,
+                "args": {"name": "coordinator"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _COORDINATOR_PID,
+                "tid": 1,
+                "args": {"name": "dispatch"},
+            },
+        ]
+        for pid in sorted(worker_pids):
+            slot = pid - _COORDINATOR_PID - 1
+            os_pid = worker_pids[pid]
+            label = f"worker {slot}"
+            if os_pid:
+                label += f" (pid {os_pid})"
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {"name": label},
+                }
+            )
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {"name": f"shard-worker-{slot}"},
+                }
+            )
+        events = meta + events
     return events
 
 
@@ -107,13 +176,27 @@ def write_chrome_trace(tracer: Tracer, path: str) -> None:
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+def _sanitize_metric_name(name: str) -> str:
+    """Map a series name onto the Prometheus metric-name alphabet
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*`` — every disallowed character becomes an
+    underscore (stable: the same input always yields the same output)."""
+    out = _METRIC_NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
 def _prom_name(key: str) -> str:
-    """``kernel.dram_bytes{format="x"}`` -> (metric, labels) parts with
-    dots mapped to underscores (Prometheus naming rules)."""
+    """``kernel.dram_bytes{format="x"}`` -> the same key with the metric
+    name sanitized to Prometheus naming rules (label values, already
+    escaped by the registry's canonical key, pass through untouched)."""
     if "{" in key:
         name, _, rest = key.partition("{")
-        return name.replace(".", "_") + "{" + rest
-    return key.replace(".", "_")
+        return _sanitize_metric_name(name) + "{" + rest
+    return _sanitize_metric_name(key)
 
 
 def prometheus_text(snapshot: Dict[str, Any], prefix: str = "repro_") -> str:

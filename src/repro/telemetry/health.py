@@ -1,0 +1,208 @@
+"""Live health monitor: run a short sharded workload, report SLOs.
+
+``repro health`` drives this module: it executes a few sharded SpMV
+calls on the fault-tolerant process backend with distributed telemetry
+enabled, then reduces the merged registry + pool state into one SLO
+table:
+
+===================  ====================================================
+row                  source
+===================  ====================================================
+per-worker p99       ``exec.shard_latency_seconds{worker=N}`` histograms
+                     (exact sliding-window percentiles)
+heartbeat age        :meth:`WorkerPool.heartbeat_ages` at probe time
+worker deaths        ``exec.worker_deaths`` counter
+retries              ``exec.retries`` counter
+bandwidth vs         achieved bytes/s of the merged timing model vs the
+roofline             device's measured roofline
+                     (``timing.bandwidth_utilization``)
+===================  ====================================================
+
+Each row carries its threshold and an ok/breach verdict;
+:meth:`HealthReport.healthy` is False when any row breaches, which the
+CLI turns into a nonzero exit — the shape a liveness/readiness probe or
+a CI smoke wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from .metrics import MetricsRegistry, _parse_key
+
+__all__ = ["HealthThresholds", "HealthReport", "run_health_check"]
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """SLO limits; ``None`` disables the corresponding check."""
+
+    max_p99_ms: Optional[float] = 2000.0
+    max_heartbeat_age_s: Optional[float] = 2.0
+    max_worker_deaths: Optional[int] = 0
+    max_retries: Optional[int] = 0
+    min_bw_utilization: Optional[float] = 0.05
+
+
+@dataclass
+class HealthReport:
+    """Outcome of one health probe: SLO rows plus run context."""
+
+    matrix: str
+    devices: int
+    device: str
+    calls: int
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return all(r["ok"] for r in self.rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "matrix": self.matrix,
+            "devices": self.devices,
+            "device": self.device,
+            "calls": self.calls,
+            "healthy": self.healthy,
+            "rows": list(self.rows),
+        }
+
+
+def _check(
+    rows: List[Dict[str, Any]],
+    check: str,
+    value: float,
+    threshold: Optional[float],
+    *,
+    lower_is_better: bool = True,
+    **context: Any,
+) -> None:
+    if threshold is None:
+        ok = True
+    elif lower_is_better:
+        ok = value <= threshold
+    else:
+        ok = value >= threshold
+    rows.append(
+        {
+            "check": check,
+            "value": float(value),
+            "threshold": None if threshold is None else float(threshold),
+            "ok": bool(ok),
+            **context,
+        }
+    )
+
+
+def run_health_check(
+    matrix: str = "cant",
+    scale: float = 0.05,
+    format_name: str = "csr",
+    device: str = "k20",
+    devices: int = 4,
+    calls: int = 3,
+    thresholds: HealthThresholds = HealthThresholds(),
+) -> HealthReport:
+    """Probe the sharded process backend and grade it against SLOs.
+
+    Runs ``calls`` sharded SpMV calls with distributed telemetry routed
+    into a private registry (the process-wide telemetry state is
+    restored afterwards), then grades per-worker p99 latency, heartbeat
+    freshness, recovery counters and roofline utilization.
+    """
+    from ..bench.harness import cached_format
+    from ..exec.engine import execute_sharded, sharded_view, shutdown_pools
+    from ..exec.policy import ExecutionPolicy
+    from ..exec.workers import worker_pool
+    from ..gpu.device import get_device
+    from . import metrics as _metrics
+
+    if devices < 2:
+        raise ValidationError("health probe needs a sharded run (devices >= 2)")
+    if calls < 1:
+        raise ValidationError("health probe needs at least one call")
+
+    mat = cached_format(matrix, scale, format_name)
+    x = np.random.default_rng(7).standard_normal(mat.shape[1])
+    dev = get_device(device)
+    policy = ExecutionPolicy(devices=devices, backend="process")
+
+    registry = MetricsRegistry()
+    prev_collecting = _metrics.collecting()
+    prev_registry = _metrics.registry() if prev_collecting else None
+    _metrics.start_collecting(registry)
+    try:
+        result = None
+        for _ in range(calls):
+            result = execute_sharded(mat, x, dev, policy)
+        sharded = sharded_view(mat, devices, policy.partitioner)
+        heartbeat_ages = worker_pool(sharded, dev, policy).heartbeat_ages()
+    finally:
+        if prev_collecting:
+            _metrics.start_collecting(prev_registry)
+        else:
+            _metrics.stop_collecting()
+        shutdown_pools(mat)
+
+    snap = registry.snapshot()
+    report = HealthReport(
+        matrix=matrix, devices=devices, device=dev.name, calls=calls
+    )
+
+    # Per-worker p99 from the coordinator-side latency histograms.
+    hist = MetricsRegistry()
+    hist.merge(snap)
+    with hist._lock:
+        latency = {
+            k: h for k, h in hist._histograms.items()
+            if k.startswith("exec.shard_latency_seconds")
+        }
+    for key in sorted(latency):
+        _, labels = _parse_key(key)
+        _check(
+            report.rows,
+            "worker_p99_ms",
+            1e3 * latency[key].percentile(99),
+            thresholds.max_p99_ms,
+            worker=labels.get("worker", "?"),
+        )
+
+    for slot, age in enumerate(heartbeat_ages):
+        _check(
+            report.rows,
+            "heartbeat_age_s",
+            age,
+            thresholds.max_heartbeat_age_s,
+            worker=str(slot),
+        )
+
+    counters = snap.get("counters", {})
+    _check(
+        report.rows, "worker_deaths",
+        counters.get("exec.worker_deaths", 0.0),
+        None if thresholds.max_worker_deaths is None
+        else float(thresholds.max_worker_deaths),
+    )
+    _check(
+        report.rows, "retries",
+        counters.get("exec.retries", 0.0),
+        None if thresholds.max_retries is None
+        else float(thresholds.max_retries),
+    )
+
+    timing = result.timing  # modeled roofline attribution of the last call
+    _check(
+        report.rows, "bandwidth_utilization",
+        timing.bandwidth_utilization,
+        thresholds.min_bw_utilization,
+        lower_is_better=False,
+        achieved_bw_gbps=float(timing.achieved_bw_gbps),
+        roofline_bw_gbps=float(dev.measured_bw_gbps),
+        bound=timing.bound,
+    )
+    return report

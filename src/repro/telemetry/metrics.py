@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ValidationError
 
@@ -45,18 +46,90 @@ __all__ = [
     "record_plan_cache",
     "record_exec",
     "record_worker_event",
+    "record_shard_latency",
+    "merge_snapshots",
 ]
 
 #: Default histogram buckets for byte-sized observations (powers of 4).
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(4.0 ** k for k in range(2, 14))
 
+#: Buckets for latency observations in seconds (10us .. ~84s, powers of 4).
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-5 * 4.0 ** k for k in range(12))
+
+#: Sliding-window size of raw samples retained per histogram for exact
+#: percentiles. Bounded so long-lived registries stay O(1) per series.
+DEFAULT_WINDOW = 2048
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value for the canonical series key (and for the
+    Prometheus text format, which uses the same ``\\``/``"``/newline
+    escapes)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
 
 def _label_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
-    """Canonical series key: ``name`` or ``name{a="x",b="y"}`` (sorted)."""
+    """Canonical series key: ``name`` or ``name{a="x",b="y"}`` (sorted,
+    label values escaped so quotes/backslashes/newlines stay parseable)."""
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
+
+
+def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`_label_key`: ``name{a="x"}`` -> (name, {"a": "x"})."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    if not rest.endswith("}"):
+        raise ValidationError(f"malformed series key {key!r}")
+    labels: Dict[str, str] = {}
+    body = rest[:-1]
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        label = body[i:eq]
+        if body[eq + 1] != '"':
+            raise ValidationError(f"malformed series key {key!r}")
+        j = eq + 2
+        raw = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\":
+                raw.append(body[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValidationError(f"malformed series key {key!r}")
+        labels[label] = _unescape_label_value("".join(raw))
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return name, labels
 
 
 class Counter:
@@ -92,24 +165,73 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket histogram (Prometheus semantics)."""
+    """Cumulative-bucket histogram (Prometheus semantics) with a bounded
+    sliding window of raw samples for exact percentiles.
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    The buckets serve the Prometheus exposition; :meth:`percentile`
+    interpolates on the retained raw samples (the most recent ``window``
+    observations) with NumPy's default linear method, so ``percentile(q)``
+    is exactly ``numpy.percentile(samples, q)``.
+    """
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    __slots__ = ("buckets", "counts", "sum", "count", "samples")
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
         b = sorted(float(x) for x in buckets)
         if not b:
             raise ValidationError("histogram needs at least one bucket bound")
+        if window < 1:
+            raise ValidationError("histogram window must be >= 1")
         self.buckets: Tuple[float, ...] = tuple(b)
         self.counts = [0] * (len(b) + 1)  # last slot = +Inf
         self.sum = 0.0
         self.count = 0
+        self.samples: Deque[float] = deque(maxlen=window)
 
     def observe(self, value: float) -> None:
         value = float(value)
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
         self.sum += value
         self.count += 1
+        self.samples.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile of the retained samples, q in [0, 100].
+
+        Linear interpolation between closest ranks — bit-identical to
+        ``numpy.percentile`` (default method) on the same window.
+        """
+        import numpy as np
+
+        if not 0.0 <= q <= 100.0:
+            raise ValidationError(f"percentile q must be in [0, 100], got {q!r}")
+        if not self.samples:
+            raise ValidationError(
+                "histogram has no retained samples to take a percentile of"
+            )
+        return float(np.percentile(np.fromiter(self.samples, dtype=float), q))
+
+    def merge_dict(self, other: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` snapshot of another histogram into this
+        one (bucket bounds must match)."""
+        if tuple(float(b) for b in other["buckets"]) != self.buckets:
+            raise ValidationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        cumulative = other["cumulative"]
+        previous = 0
+        for i, cum in enumerate(cumulative):
+            self.counts[i] += cum - previous
+            previous = cum
+        self.counts[-1] += other["count"] - previous
+        self.sum += other["sum"]
+        self.count += other["count"]
+        for v in other.get("samples", ()):
+            self.samples.append(float(v))
 
     def to_dict(self) -> Dict[str, Any]:
         cumulative = []
@@ -122,6 +244,7 @@ class Histogram:
             "cumulative": cumulative,
             "sum": self.sum,
             "count": self.count,
+            "samples": list(self.samples),
         }
 
 
@@ -199,6 +322,35 @@ class MetricsRegistry:
             }
         )
         return snap
+
+    def merge(
+        self,
+        snapshot: Mapping[str, Any],
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        ``labels`` (e.g. ``{"worker": "2"}``) are added to every merged
+        series, so per-worker snapshots land as distinct labelled series
+        instead of colliding with the coordinator's own. Counters and
+        gauges add; histograms merge bucket counts, sums and retained
+        samples. Merging the snapshots of N disjoint registries therefore
+        yields exactly the sum of the N snapshots (the merged-equals-sum
+        invariant exercised by the distributed-telemetry tests).
+        """
+        extra = dict(labels) if labels else {}
+        for key, value in snapshot.get("counters", {}).items():
+            name, lbl = _parse_key(key)
+            lbl.update(extra)
+            self.counter(name, lbl).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            name, lbl = _parse_key(key)
+            lbl.update(extra)
+            self.gauge(name, lbl).inc(value)
+        for key, d in snapshot.get("histograms", {}).items():
+            name, lbl = _parse_key(key)
+            lbl.update(extra)
+            self.histogram(name, lbl, buckets=d["buckets"]).merge_dict(d)
 
     def reset(self) -> None:
         """Drop every registered series (test isolation)."""
@@ -342,6 +494,31 @@ def record_worker_event(event: str, count: int = 1) -> None:
     if reg is None:
         return
     reg.counter(f"exec.{event}").inc(count)
+
+
+def record_shard_latency(worker: str, seconds: float) -> None:
+    """One shard call's wallclock, recorded into the per-worker latency
+    histogram ``exec.shard_latency_seconds{worker=...}`` (p50/p95/p99 via
+    :meth:`Histogram.percentile`)."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.histogram(
+        "exec.shard_latency_seconds",
+        {"worker": str(worker)},
+        buckets=LATENCY_BUCKETS,
+    ).observe(seconds)
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Pure sum of registry snapshots (no labelling): counters and gauges
+    add per key; histograms merge per key. Used to state the
+    merged-equals-sum invariant independently of :meth:`MetricsRegistry.merge`.
+    """
+    reg = MetricsRegistry()
+    for snap in snapshots:
+        reg.merge(snap)
+    return reg.snapshot()
 
 
 def record_plan_cache(event: str, count: int = 1) -> None:

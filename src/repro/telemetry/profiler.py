@@ -114,6 +114,8 @@ def profile_matrix(
     h: int = 256,
     seed: int = 0,
     verify: str = "checksum",
+    devices: int = 1,
+    backend: str = "thread",
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> ProfileReport:
@@ -131,6 +133,12 @@ def profile_matrix(
         Integrity mode passed to the dispatcher (``"off"``, ``"checksum"``,
         ``"structure"`` or ``"full"``); the default exercises the seal and
         checksum-verification spans.
+    devices / backend:
+        Shard the dispatch across ``devices`` simulated devices on the
+        ``"thread"`` or ``"process"`` execution backend. On the process
+        backend the worker spans are grafted into the trace (one Chrome
+        lane per worker — see :mod:`repro.telemetry.remote`) and the
+        merged metrics carry ``worker=`` labelled series.
     tracer / registry:
         Inject a tracer (e.g. with a deterministic clock) or a private
         metrics registry; fresh ones are created by default.
@@ -142,7 +150,11 @@ def profile_matrix(
         # The reference engine keeps the historical span tree (the
         # stepwise kernel span, not a plan replay) in the profile output.
         sess = Session(
-            device, policy=ExecutionPolicy(verify=verify, engine="reference")
+            device,
+            policy=ExecutionPolicy(
+                verify=verify, engine="reference",
+                devices=devices, backend=backend,
+            ),
         )
         sess.load(spec, scale=scale)
         kwargs: Dict[str, Any] = (
@@ -153,6 +165,10 @@ def profile_matrix(
         result = sess.execute(x)
         snapshot = _metrics.registry().unified_snapshot()
         mat = sess.matrix
+    if backend == "process" and devices > 1:
+        from ..exec.engine import shutdown_pools
+
+        shutdown_pools(mat)
     return ProfileReport(
         matrix=spec,
         storage=storage,

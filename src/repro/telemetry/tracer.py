@@ -32,6 +32,7 @@ Typical use::
 from __future__ import annotations
 
 import time
+import uuid
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
@@ -244,11 +245,26 @@ class Tracer:
         Monotonic time source in seconds. Injectable so tests and golden
         files get deterministic timestamps; defaults to
         :func:`time.perf_counter`.
+    trace_id:
+        Hex identifier shared by every span of one distributed trace.
+        Propagated to worker processes so their spans can be grafted back
+        under the coordinator's tree; autogenerated when omitted.
+
+    ``t0_wall`` anchors the monotonic origin ``t0`` to wall-clock time so
+    spans recorded in *another process* (whose ``perf_counter`` origin is
+    unrelated) can be rebased onto this tracer's timeline:
+    ``offset = remote.t0_wall - local.t0_wall``.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.clock = clock
         self.t0 = clock()
+        self.t0_wall = time.time()
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex
         self.spans: List[Span] = []  # completed + in-flight, in start order
         self._stack: List[Span] = []
         self._next_id = 0
@@ -293,6 +309,10 @@ class Tracer:
     def open_spans(self) -> int:
         """Spans started but not yet finished."""
         return len(self._stack)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any region."""
+        return self._stack[-1] if self._stack else None
 
     def find(self, name: str) -> List[Span]:
         """All spans with the given name, in start order."""

@@ -90,3 +90,27 @@ class TestFigures:
         for label in ("bar", "rcm", "amd"):
             assert f"gflops_{label}" in r
             assert f"{label}_gain_pct" in r
+
+
+class TestScaleBench:
+    def test_rows_carry_modeled_and_measured_columns(self):
+        rows = E.scale_bench(scale=0.02, devices=(1, 2), repeats=1)
+        assert [r["devices"] for r in rows] == [1, 2]
+        single, sharded = rows
+        assert single["backend"] == "single"
+        assert sharded["backend"] == "process"
+        for r in rows:
+            assert r["speedup"] > 0 and 0 < r["efficiency"] <= 1.0 + 1e-9
+            assert r["wallclock_ms"] > 0
+            assert 0 < r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"]
+        # modeled columns are deterministic, so they can gate --compare
+        again = E.scale_bench(scale=0.02, devices=(1, 2), repeats=1)
+        assert [r["speedup"] for r in again] == [r["speedup"] for r in rows]
+
+    def test_measured_columns_never_gate_ci(self):
+        from repro.telemetry.benchreport import metric_direction
+
+        for col in ("wallclock_ms", "p50_ms", "p95_ms", "p99_ms",
+                    "efficiency"):
+            assert metric_direction(col) == 0  # informational only
+        assert metric_direction("speedup") == 1

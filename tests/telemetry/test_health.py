@@ -1,0 +1,107 @@
+"""Health monitor: SLO grading of a live sharded process run."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.telemetry import metrics as M
+from repro.telemetry.health import (
+    HealthReport,
+    HealthThresholds,
+    run_health_check,
+)
+
+PROBE = dict(matrix="cant", scale=0.02, devices=2, calls=1)
+
+
+class TestThresholdLogic:
+    def test_report_healthy_iff_all_rows_ok(self):
+        r = HealthReport(matrix="m", devices=2, device="d", calls=1)
+        r.rows = [{"check": "a", "ok": True}, {"check": "b", "ok": True}]
+        assert r.healthy
+        r.rows.append({"check": "c", "ok": False})
+        assert not r.healthy
+
+    def test_to_dict_schema(self):
+        r = HealthReport(matrix="m", devices=2, device="d", calls=3)
+        d = r.to_dict()
+        assert set(d) == {"matrix", "devices", "device", "calls",
+                          "healthy", "rows"}
+        assert d["healthy"] is True and d["rows"] == []
+
+    def test_none_threshold_disables_check(self):
+        t = HealthThresholds(max_p99_ms=None, max_heartbeat_age_s=None,
+                             max_worker_deaths=None, max_retries=None,
+                             min_bw_utilization=None)
+        report = run_health_check(**PROBE, thresholds=t)
+        assert report.healthy
+        assert all(r["threshold"] is None for r in report.rows)
+
+
+class TestProbe:
+    def test_default_thresholds_pass_on_a_quiet_run(self):
+        report = run_health_check(**PROBE)
+        assert report.healthy
+        checks = [r["check"] for r in report.rows]
+        # 2 workers -> 2 p99 rows + 2 heartbeat rows, then the global rows
+        assert checks.count("worker_p99_ms") == 2
+        assert checks.count("heartbeat_age_s") == 2
+        assert checks.count("worker_deaths") == 1
+        assert checks.count("retries") == 1
+        assert checks.count("bandwidth_utilization") == 1
+
+    def test_impossible_bandwidth_slo_breaches(self):
+        report = run_health_check(
+            **PROBE, thresholds=HealthThresholds(min_bw_utilization=0.999)
+        )
+        assert not report.healthy
+        bw = [r for r in report.rows
+              if r["check"] == "bandwidth_utilization"][0]
+        assert bw["ok"] is False
+        assert bw["roofline_bw_gbps"] > 0
+        assert bw["bound"] in ("memory", "flop", "launch")
+
+    def test_zero_p99_budget_breaches_per_worker(self):
+        report = run_health_check(
+            **PROBE, thresholds=HealthThresholds(max_p99_ms=0.0)
+        )
+        bad = [r for r in report.rows if r["check"] == "worker_p99_ms"]
+        assert len(bad) == 2 and not any(r["ok"] for r in bad)
+        assert {r["worker"] for r in bad} == {"0", "1"}
+
+    def test_probe_restores_global_telemetry_state(self):
+        assert not M.collecting()
+        run_health_check(**PROBE)
+        assert not M.collecting()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            run_health_check(devices=1)
+        with pytest.raises(ValidationError):
+            run_health_check(devices=2, calls=0)
+
+
+class TestHealthCLI:
+    ARGS = ["health", "cant", "--scale", "0.02", "--devices", "2",
+            "--calls", "1"]
+
+    def test_healthy_run_exits_zero_with_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "worker_p99_ms" in out
+        assert "heartbeat_age_s" in out
+        assert "healthy: 7/7 checks ok" in out
+
+    def test_breach_exits_nonzero(self, capsys):
+        assert main(self.ARGS + ["--min-bw-util", "0.999"]) == 1
+        assert "unhealthy" in capsys.readouterr().out.lower()
+
+    def test_json_schema_and_exit_code(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["healthy"] is True
+        assert payload["devices"] == 2
+        for row in payload["rows"]:
+            assert {"check", "value", "threshold", "ok"} <= set(row)

@@ -1,0 +1,162 @@
+"""Histogram sliding-window percentiles: exactness against numpy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import (
+    DEFAULT_WINDOW,
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+QS = (0, 50, 95, 99, 100)
+
+
+class TestPercentileExactness:
+    @pytest.mark.parametrize("q", QS)
+    def test_matches_numpy_on_uniform_samples(self, q):
+        rng = np.random.default_rng(41)
+        samples = rng.uniform(1e-5, 1.0, size=500)
+        h = Histogram(LATENCY_BUCKETS)
+        for v in samples:
+            h.observe(v)
+        assert h.percentile(q) == float(np.percentile(samples, q))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_property_random_distributions(self, seed):
+        """Property test: arbitrary sizes/distributions, every target q."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 400))
+        kind = seed % 3
+        if kind == 0:
+            samples = rng.exponential(0.01, size=n)
+        elif kind == 1:
+            samples = rng.lognormal(-5, 2, size=n)
+        else:
+            samples = rng.choice([0.001, 0.002, 0.5], size=n)
+        h = Histogram(LATENCY_BUCKETS)
+        for v in samples:
+            h.observe(v)
+        for q in QS:
+            assert h.percentile(q) == float(np.percentile(samples, q)), (
+                f"q={q} n={n} kind={kind}"
+            )
+
+    def test_single_sample_all_quantiles(self):
+        h = Histogram()
+        h.observe(42.0)
+        for q in QS:
+            assert h.percentile(q) == 42.0
+
+    def test_interpolation_between_ranks(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        # numpy's default linear interpolation
+        assert h.percentile(50) == 2.5
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+
+
+class TestPercentileValidation:
+    def test_q_out_of_range_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        for q in (-0.1, 100.1, 500):
+            with pytest.raises(ValidationError):
+                h.percentile(q)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValidationError):
+            Histogram().percentile(50)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram(window=0)
+
+
+class TestSlidingWindow:
+    def test_window_keeps_most_recent_samples(self):
+        h = Histogram(window=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            h.observe(v)
+        assert list(h.samples) == [3.0, 4.0, 5.0, 6.0]
+        # bucket counts and totals still see everything
+        assert h.count == 6
+        assert h.sum == 21.0
+        assert h.percentile(100) == 6.0
+        assert h.percentile(0) == 3.0
+
+    def test_default_window_bound(self):
+        h = Histogram()
+        for v in range(3 * DEFAULT_WINDOW):
+            h.observe(float(v))
+        assert len(h.samples) == DEFAULT_WINDOW
+        assert h.count == 3 * DEFAULT_WINDOW
+
+    def test_to_dict_carries_samples(self):
+        h = Histogram(window=8)
+        for v in (0.5, 1.5):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["samples"] == [0.5, 1.5]
+
+
+class TestMergeDict:
+    def test_merge_preserves_buckets_sum_count_and_samples(self):
+        a, b = Histogram(window=16), Histogram(window=16)
+        for v in (1.0, 10.0, 100.0):
+            a.observe(v)
+        for v in (2.0, 20.0):
+            b.observe(v)
+        a.merge_dict(b.to_dict())
+        assert a.count == 5
+        assert a.sum == 133.0
+        assert sorted(a.samples) == [1.0, 2.0, 10.0, 20.0, 100.0]
+        both = Histogram(window=16)
+        for v in (1.0, 10.0, 100.0, 2.0, 20.0):
+            both.observe(v)
+        assert a.counts == both.counts
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 4.0))
+        with pytest.raises(ValidationError):
+            a.merge_dict(b.to_dict())
+
+    def test_merge_handles_overflow_bucket(self):
+        a = Histogram(buckets=(1.0,))
+        b = Histogram(buckets=(1.0,))
+        b.observe(5.0)  # lands past the last bound
+        a.merge_dict(b.to_dict())
+        assert a.counts[-1] == 1
+
+    def test_registry_merge_percentiles_equal_pooled_samples(self):
+        """Merging registry snapshots pools the windows, so percentiles
+        over the merged histogram equal numpy on the concatenation."""
+        workers = []
+        rng = np.random.default_rng(3)
+        merged = MetricsRegistry()
+        pooled = []
+        for w in range(4):
+            reg = MetricsRegistry()
+            samples = rng.exponential(0.01, size=50)
+            hist = reg.histogram("exec.shard_latency_seconds",
+                                 {"worker": str(w)},
+                                 buckets=LATENCY_BUCKETS)
+            for v in samples:
+                hist.observe(v)
+            workers.append(samples)
+            pooled.extend(samples)
+            merged.merge(reg.snapshot())
+        total = Histogram(LATENCY_BUCKETS)
+        for key, d in merged.snapshot()["histograms"].items():
+            total.merge_dict(d)
+        assert total.count == len(pooled)
+        for q in QS:
+            # same multiset of samples; order differs, so sort both sides
+            assert total.percentile(q) == pytest.approx(
+                float(np.percentile(pooled, q)), rel=1e-12
+            )

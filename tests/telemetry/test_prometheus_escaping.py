@@ -1,0 +1,110 @@
+"""Prometheus exporter hardening: label escaping + metric-name sanitizing."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.exporters import (
+    _prom_name,
+    _sanitize_metric_name,
+    prometheus_text,
+)
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    _label_key,
+    _parse_key,
+)
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("value", [
+        'he said "hi"',
+        "back\\slash",
+        "line\nbreak",
+        '"quoted" \\ and\nnewline',
+        "plain",
+        "",
+        'trailing backslash\\',
+    ])
+    def test_label_key_round_trips(self, value):
+        key = _label_key("m", {"matrix": value})
+        name, labels = _parse_key(key)
+        assert name == "m"
+        assert labels == {"matrix": value}
+
+    def test_escaped_key_has_no_raw_specials(self):
+        key = _label_key("m", {"a": 'x"y\nz'})
+        inner = key[key.index("{") + 1:-1]
+        # the only unescaped quotes are the value delimiters
+        assert inner.count('"') - inner.count('\\"') == 2
+        assert "\n" not in key
+
+    def test_multiple_labels_sorted_and_parseable(self):
+        labels = {"worker": "3", "matrix": 'we"ird\\name'}
+        key = _label_key("kernel.launches", labels)
+        assert key.index('matrix=') < key.index('worker=')
+        assert _parse_key(key) == ("kernel.launches", labels)
+
+    def test_parse_rejects_malformed_keys(self):
+        for bad in ("m{a=1}", "m{a=\"x\"", 'm{a="x'):
+            with pytest.raises(ValidationError):
+                _parse_key(bad)
+
+    def test_registry_series_with_hostile_labels_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", {"matrix": 'a"b'}).inc()
+        reg.counter("runs", {"matrix": "a\\b"}).inc()
+        reg.counter("runs", {"matrix": "a\nb"}).inc()
+        snap = reg.snapshot()
+        assert len(snap["counters"]) == 3
+        assert all(v == 1.0 for v in snap["counters"].values())
+
+    def test_prometheus_text_emits_escaped_values(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", {"matrix": 'we"ird\n\\name'}).inc(2)
+        text = prometheus_text(reg.snapshot())
+        assert 'repro_runs{matrix="we\\"ird\\n\\\\name"} 2' in text
+        assert "\n\\\\name" not in text.splitlines()[1][:0]  # no raw newline
+        # every line is a comment or `series value`
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+
+class TestMetricNameSanitization:
+    @pytest.mark.parametrize("raw,clean", [
+        ("kernel.dram_bytes", "kernel_dram_bytes"),
+        ("exec.shard_latency_seconds", "exec_shard_latency_seconds"),
+        ("weird metric-name!", "weird_metric_name_"),
+        ("ns:ok_name", "ns:ok_name"),
+        ("1starts_with_digit", "_1starts_with_digit"),
+        ("uni·code", "uni_code"),
+    ])
+    def test_sanitize(self, raw, clean):
+        assert _sanitize_metric_name(raw) == clean
+
+    def test_sanitize_is_stable(self):
+        for name in ("a.b", "x y", "1.z"):
+            once = _sanitize_metric_name(name)
+            assert _sanitize_metric_name(once) == once
+
+    def test_prom_name_only_touches_the_metric_part(self):
+        key = _label_key("exec.runs", {"matrix": "dots.in.value"})
+        out = _prom_name(key)
+        assert out.startswith("exec_runs{")
+        assert 'matrix="dots.in.value"' in out
+
+    def test_prometheus_text_sanitizes_hostile_metric_names(self):
+        reg = MetricsRegistry()
+        reg.counter("weird metric!", {"w": "0"}).inc()
+        text = prometheus_text(reg.snapshot())
+        assert "repro_weird_metric_" in text
+        assert "weird metric!" not in text
+
+    def test_histogram_exposition_with_hostile_labels(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat.s", {"worker": 'w"0'}, buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE repro_lat_s histogram" in text
+        assert 'worker="w\\"0",le="1"' in text
+        assert 'repro_lat_s_count{worker="w\\"0"} 2' in text

@@ -1,0 +1,241 @@
+"""Cross-process telemetry units: capture, batches, grafting, merging.
+
+These test :mod:`repro.telemetry.remote` in-process (the worker and
+coordinator halves both run here, with distinct Tracer/registry objects
+standing in for the process boundary); the true multi-process acceptance
+test lives in ``tests/exec/test_distributed_telemetry.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.gpu.counters import KernelCounters
+from repro.telemetry import metrics as M
+from repro.telemetry import remote
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+from repro.telemetry.tracer import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _worker_batch(worker=0, shard=0, attempt=0, parent=7, trace_id="t1"):
+    """One realistic batch: a capture with nested spans + metrics."""
+    with remote.capture(trace_id) as cap:
+        cap.root.set(shard=shard, attempt=attempt)
+        with cap.tracer.start("kernel.csr", "kernel") as s:
+            s.attach_counters(KernelCounters(index_bytes=64, launches=1))
+            M.record_kernel("csr", "Tesla K20",
+                            KernelCounters(index_bytes=64, launches=1))
+        M.record_bitstream_decode(10)
+    return remote.build_batch(
+        cap, worker=worker, shard=shard, attempt=attempt,
+        parent_span_id=parent, elapsed_s=0.01,
+    )
+
+
+class TestCapture:
+    def test_capture_installs_and_restores_scoped_state(self):
+        assert get_tracer() is None
+        with remote.capture("abc") as cap:
+            assert get_tracer() is cap.tracer
+            assert M.collecting()
+            assert M.registry() is cap.registry
+        assert get_tracer() is None
+        assert not M.collecting()
+
+    def test_capture_root_span_wraps_the_task(self):
+        with remote.capture("abc") as cap:
+            with cap.tracer.start("inner"):
+                pass
+        names = [s.name for s in cap.tracer.spans]
+        assert names == ["worker.task", "inner"]
+        inner = cap.tracer.spans[1]
+        assert inner.parent_id == cap.tracer.spans[0].span_id
+        assert cap.tracer.trace_id == "abc"
+
+    def test_batch_wire_format(self):
+        batch = _worker_batch(worker=3, shard=2, attempt=1, parent=9)
+        assert batch["worker"] == 3
+        assert batch["shard"] == 2
+        assert batch["attempt"] == 1
+        assert batch["parent_span_id"] == 9
+        assert batch["trace_id"] == "t1"
+        assert batch["elapsed_s"] == pytest.approx(0.01)
+        assert [s["name"] for s in batch["spans"]] == [
+            "worker.task", "kernel.csr",
+        ]
+        assert batch["snapshot"]["counters"][
+            "bitstream.slices_decoded"] == 1.0
+
+
+class TestGraft:
+    def test_graft_nests_under_parent_and_remaps_ids(self):
+        coord = Tracer()
+        with coord.start("spmv.dispatch"):
+            with coord.start("exec.sharded") as parent:
+                batch = _worker_batch(parent=parent.span_id)
+                grafted = remote.graft_spans(coord, batch, parent=parent)
+        assert [s.name for s in grafted] == ["worker.task", "kernel.csr"]
+        root, kernel = grafted
+        assert root.parent_id == parent.span_id
+        assert kernel.parent_id == root.span_id
+        assert root.depth == parent.depth + 1
+        # ids are remapped into the coordinator's space: all unique
+        ids = [s.span_id for s in coord.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_graft_resolves_parent_from_batch_field(self):
+        coord = Tracer()
+        with coord.start("spmv.dispatch") as dispatch:
+            pass
+        batch = _worker_batch(parent=dispatch.span_id)
+        grafted = remote.graft_spans(coord, batch)
+        assert grafted[0].parent_id == dispatch.span_id
+
+    def test_graft_attaches_worker_attrs_and_counters(self):
+        coord = Tracer()
+        batch = _worker_batch(worker=2)
+        grafted = remote.graft_spans(coord, batch)
+        for s in grafted:
+            assert s.attrs["worker"] == 2
+            assert s.attrs["worker_pid"] == batch["pid"]
+            assert s.attrs["trace_id"] == "t1"
+        kernel = grafted[1]
+        assert isinstance(kernel.counters, KernelCounters)
+        assert kernel.counters.index_bytes == 64
+
+    def test_graft_rebases_timestamps_via_wall_clock_anchor(self):
+        coord = Tracer()
+        batch = _worker_batch()
+        # Pretend the worker tracer started 1s after the coordinator.
+        batch["t0_wall"] = coord.t0_wall + 1.0
+        grafted = remote.graft_spans(coord, batch)
+        d = grafted[0].to_dict()
+        src = batch["spans"][0]
+        assert d["ts_us"] == pytest.approx(src["ts_us"] + 1e6, abs=1.0)
+        assert d["dur_us"] == pytest.approx(src["dur_us"], abs=1e-6)
+
+
+class TestMerge:
+    def test_merge_batches_labels_by_worker(self):
+        reg = MetricsRegistry()
+        remote.merge_batches(
+            reg, [_worker_batch(worker=0), _worker_batch(worker=1)]
+        )
+        snap = reg.snapshot()
+        assert snap["counters"][
+            'bitstream.slices_decoded{worker="0"}'] == 1.0
+        assert snap["counters"][
+            'bitstream.slices_decoded{worker="1"}'] == 1.0
+        # existing labels survive alongside the injected one
+        key = ('kernel.launches{device="Tesla K20",format="csr",'
+               'worker="1"}')
+        assert snap["counters"][key] == 1.0
+
+    def test_merge_batches_device_label_from_shard(self):
+        reg = MetricsRegistry()
+        remote.merge_batches(
+            reg, [_worker_batch(worker=0, shard=0)], device_names=["devA"]
+        )
+        snap = reg.snapshot()
+        assert snap["counters"][
+            'bitstream.slices_decoded{device="devA",worker="0"}'] == 1.0
+
+    def test_merged_equals_sum_of_per_worker_snapshots(self):
+        """The tentpole invariant, stated on the pure helper."""
+        batches = [_worker_batch(worker=w, shard=w) for w in range(4)]
+        reg = MetricsRegistry()
+        remote.merge_batches(reg, batches)
+        merged = reg.snapshot()
+
+        # Sum the per-worker snapshots independently, with the same
+        # labelling, and demand bit-identical equality.
+        labelled = []
+        for b in batches:
+            one = MetricsRegistry()
+            one.merge(b["snapshot"], {"worker": str(b["worker"])})
+            labelled.append(one.snapshot())
+        assert merge_snapshots(labelled) == merged
+
+
+class TestIdempotentEnableDisable:
+    def test_double_enable_keeps_tracer_and_spans(self):
+        t1 = telemetry.enable()
+        with telemetry.span("alpha"):
+            pass
+        t2 = telemetry.enable()  # regression: must not install a new tracer
+        assert t2 is t1
+        assert [s.name for s in t1.spans] == ["alpha"]
+        assert M.collecting()
+
+    def test_double_enable_keeps_private_registry(self):
+        reg = MetricsRegistry()
+        telemetry.enable(registry=reg)
+        M.record_bitstream_decode(5)
+        telemetry.enable()
+        assert M.registry() is reg
+        M.record_bitstream_decode(5)
+        assert reg.snapshot()["counters"]["bitstream.slices_decoded"] == 2.0
+
+    def test_explicit_arguments_still_swap_targets(self):
+        t1 = telemetry.enable()
+        fresh = Tracer()
+        assert telemetry.enable(fresh) is fresh
+        assert telemetry.enable() is fresh is not t1
+
+    def test_double_disable_is_safe(self):
+        telemetry.enable()
+        telemetry.disable()
+        telemetry.disable()
+        assert get_tracer() is None
+        assert not M.collecting()
+
+    def test_concurrent_enable_lands_on_one_tracer(self):
+        tracers = []
+        barrier = threading.Barrier(8)
+
+        def hit():
+            barrier.wait()
+            tracers.append(telemetry.enable())
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(id(t) for t in tracers)) == 1
+        assert get_tracer() is tracers[0]
+
+
+class TestTracerContext:
+    def test_trace_id_autogenerated_and_injectable(self):
+        assert Tracer().trace_id != Tracer().trace_id
+        assert Tracer(trace_id="fixed").trace_id == "fixed"
+
+    def test_current_span_tracks_stack(self):
+        t = Tracer()
+        assert t.current_span() is None
+        with t.start("a") as a:
+            assert t.current_span() is a
+            with t.start("b") as b:
+                assert t.current_span() is b
+            assert t.current_span() is a
+        assert t.current_span() is None
+
+    def test_enable_tracing_still_installs(self):
+        t = Tracer()
+        enable_tracing(t)
+        assert get_tracer() is t
+        disable_tracing()

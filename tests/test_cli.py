@@ -248,6 +248,23 @@ class TestProfileCommand:
         assert all(e["ph"] in ("X", "i") for e in events)
         assert any(e["name"] == "kernel.bro_ell" for e in events)
 
+    def test_profile_process_backend_has_worker_lanes(self, capsys):
+        import json
+
+        assert main(
+            ["profile", "cant", "--format", "csr", "--scale", "0.02",
+             "--devices", "2", "--backend", "process",
+             "--export", "chrome"]
+        ) == 0
+        events = json.loads(capsys.readouterr().out)
+        lanes = sorted({e["pid"] for e in events if e["ph"] == "X"})
+        assert lanes == [1, 2, 3]  # coordinator + one lane per worker
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert meta[1] == "coordinator"
+        assert meta[2].startswith("worker 0")
+        assert meta[3].startswith("worker 1")
+
     def test_profile_jsonl(self, capsys):
         import json
 
