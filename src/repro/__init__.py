@@ -70,8 +70,9 @@ from .formats import (
 )
 from .gpu import DEVICES, DeviceSpec, get_device
 from .integrity import run_campaign, seal, validate_structure, verify_integrity
-from .kernels import SpMVResult, prepare, run_spmm, run_spmv
+from .kernels import SpMVResult, jit_available, prepare, run_spmm, run_spmv
 from .pipeline import Session
+from .tuner import OnlineTuner, RetuneConfig
 from .registry import register_format
 from .serialize import load_container, save_container
 from .reorder import (
@@ -116,6 +117,7 @@ __all__ = [
     "run_spmm",
     "prepare",
     "SpMVResult",
+    "jit_available",
     # execution policy + multi-device sharding
     "ExecutionPolicy",
     "ShardedMatrix",
@@ -146,6 +148,9 @@ __all__ = [
     "Session",
     "save_container",
     "load_container",
+    # online autotuning
+    "OnlineTuner",
+    "RetuneConfig",
     # subpackages
     "registry",
     "bench",

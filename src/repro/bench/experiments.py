@@ -366,6 +366,13 @@ def _spd_system(name: str, scale: float):
     return COOMatrix.from_dense(s)
 
 
+def _executor_backends() -> List[str]:
+    """The executor backends this host can actually run compiled."""
+    from ..kernels.backends import jit_available
+
+    return ["numpy", "jit"] if jit_available() else ["numpy"]
+
+
 def wallclock_engines(
     scale: float | None = None,
     matrices: Sequence[str] = ("dense2", "epb3"),
@@ -385,6 +392,12 @@ def wallclock_engines(
     block, and a ``cg_iters``-iteration :class:`SimulatedOperator` CG
     solve on an SPD system derived from the matrix (built at
     ``min(scale, 0.02)`` so the dense symmetrization stays small).
+
+    Every row carries a ``backend`` column. The spmv/spmm modes run once
+    per available executor backend (``numpy`` always; ``jit`` when Numba
+    is importable, with the warm-compile inside ``build_time_ms``), and
+    the :func:`microbench_exec` inner-loop rows are appended at the end
+    so one report records the whole compiled-path trajectory.
     """
     import time
 
@@ -396,6 +409,7 @@ def wallclock_engines(
     from ..solvers.operators import SimulatedOperator
 
     scale = bench_scale() if scale is None else scale
+    backends = _executor_backends()
     rows: List[Dict] = []
     for name in matrices:
         for fmt in formats:
@@ -404,45 +418,49 @@ def wallclock_engines(
             x = np.random.default_rng(12345).standard_normal(n)
             X = np.random.default_rng(99).standard_normal((n, spmm_k))
 
-            t0 = time.perf_counter()
-            plan = prepare(mat, device)
-            build_time = time.perf_counter() - t0
-
             ref_policy = ExecutionPolicy(engine="reference")
             ref_spmv = _time_repeat(
                 lambda: run_spmv(mat, x, device, policy=ref_policy), repeats
             )
-            fast_spmv = _time_repeat(lambda: plan.execute(x), repeats)
-            rows.append(
-                {
-                    "matrix": name,
-                    "format": fmt,
-                    "mode": "spmv",
-                    "build_time_ms": 1e3 * build_time,
-                    "ref_time_ms": 1e3 * ref_spmv,
-                    "fast_time_ms": 1e3 * fast_spmv,
-                    "speedup": ref_spmv / fast_spmv,
-                }
-            )
-
             ref_spmm = _time_repeat(
                 lambda: run_spmm(mat, X, device, policy=ref_policy),
                 max(1, repeats // 2),
             )
-            fast_spmm = _time_repeat(
-                lambda: plan.execute_many(X), max(1, repeats // 2)
-            )
-            rows.append(
-                {
-                    "matrix": name,
-                    "format": fmt,
-                    "mode": f"spmm{spmm_k}",
-                    "build_time_ms": 1e3 * build_time,
-                    "ref_time_ms": 1e3 * ref_spmm,
-                    "fast_time_ms": 1e3 * fast_spmm,
-                    "speedup": ref_spmm / fast_spmm,
-                }
-            )
+
+            for backend in backends:
+                t0 = time.perf_counter()
+                plan = prepare(mat, device, backend=backend)
+                build_time = time.perf_counter() - t0
+
+                fast_spmv = _time_repeat(lambda: plan.execute(x), repeats)
+                rows.append(
+                    {
+                        "matrix": name,
+                        "format": fmt,
+                        "mode": "spmv",
+                        "backend": backend,
+                        "build_time_ms": 1e3 * build_time,
+                        "ref_time_ms": 1e3 * ref_spmv,
+                        "fast_time_ms": 1e3 * fast_spmv,
+                        "speedup": ref_spmv / fast_spmv,
+                    }
+                )
+
+                fast_spmm = _time_repeat(
+                    lambda: plan.execute_many(X), max(1, repeats // 2)
+                )
+                rows.append(
+                    {
+                        "matrix": name,
+                        "format": fmt,
+                        "mode": f"spmm{spmm_k}",
+                        "backend": backend,
+                        "build_time_ms": 1e3 * build_time,
+                        "ref_time_ms": 1e3 * ref_spmm,
+                        "fast_time_ms": 1e3 * fast_spmm,
+                        "speedup": ref_spmm / fast_spmm,
+                    }
+                )
 
         # CG on an SPD system built from the matrix: the acceptance case —
         # one decode amortized over a many-iteration operator-driven solve.
@@ -476,13 +494,141 @@ def wallclock_engines(
                 "matrix": name,
                 "format": formats[0],
                 "mode": f"cg{cg_iters}",
+                "backend": "numpy",
                 "build_time_ms": 1e3 * cg_plan.build_seconds,
                 "ref_time_ms": 1e3 * ref_cg,
                 "fast_time_ms": 1e3 * fast_cg,
                 "speedup": ref_cg / fast_cg,
             }
         )
+    rows.extend(microbench_exec())
     return rows
+
+
+# ----------------------------------------------------------------------
+# Executor inner-loop microbenchmarks (numpy vs the compiled kernels)
+# ----------------------------------------------------------------------
+def microbench_exec(
+    m: int = 4096,
+    k: int = 24,
+    density: float = 0.004,
+    repeats: int = 5,
+    seed: int = 7,
+) -> List[Dict]:
+    """Microbenchmark the executor's fused inner loops against NumPy.
+
+    For each compiled kernel family — the ELL gather+mask+segmented
+    reduce, the COO element-ordered scatter, the CSR row sums and the
+    ELLPACK column accumulation — time the vectorized NumPy replay
+    against the :mod:`repro.kernels.backends` kernel on one synthetic
+    matrix. With Numba importable the kernel rows are the compiled loops
+    (``backend="jit"``, warm-compiled before timing); without it they are
+    the pure-Python twins (``backend="python"``) — slower than NumPy by
+    construction, kept because they pin the loop order the jit path
+    compiles. Rows use a ``ratio`` column (numpy time / kernel time, >1
+    means the kernel wins) rather than ``speedup`` so the wallclock
+    ``--min-speedup`` gate never fails on a Numba-free host.
+    """
+    import time
+
+    from ..kernels import backends as _bk
+    from ..types import VALUE_DTYPE
+
+    rng = np.random.default_rng(seed)
+    nnz_per_row = max(1, int(density * m))
+    backend = "jit" if _bk.jit_available() else "python"
+    if backend == "python":
+        # The interpreted twins are O(python-op) per nnz; shrink the
+        # problem so the microbench stays fast on Numba-free hosts.
+        m, k = min(m, 512), min(k, 8)
+
+    # Shared synthetic operands ---------------------------------------
+    x = rng.standard_normal(m)
+    rows_out: List[Dict] = []
+
+    def _bench(mode: str, fmt: str, numpy_fn, kernel_fn) -> None:
+        numpy_fn()  # warm both paths (jit: triggers compilation)
+        kernel_fn()
+        t_numpy = _time_repeat(numpy_fn, repeats)
+        t_kernel = _time_repeat(kernel_fn, repeats)
+        rows_out.append(
+            {
+                "matrix": "synthetic",
+                "format": fmt,
+                "mode": mode,
+                "backend": backend,
+                "ref_time_ms": 1e3 * t_numpy,
+                "fast_time_ms": 1e3 * t_kernel,
+                "ratio": t_numpy / t_kernel if t_kernel > 0 else 0.0,
+            }
+        )
+
+    # ELL slice: gather + validity mask + segmented (per-row) reduce ---
+    vals_t = rng.standard_normal((k, m))
+    gather_t = rng.integers(0, m, size=(k, m))
+    valid_t = rng.random((k, m)) < 0.7
+    vals_t[~valid_t] = 0.0
+    y = np.zeros(m, dtype=VALUE_DTYPE)
+
+    def ell_numpy():
+        acc = np.zeros(m, dtype=VALUE_DTYPE)
+        for c in range(k):
+            acc += np.where(valid_t[c], vals_t[c] * x[gather_t[c]], 0.0)
+        return acc
+
+    _bench(
+        "micro:gather_reduce", "bro_ell",
+        ell_numpy,
+        lambda: _bk.ell_slice_spmv(vals_t, gather_t, valid_t, x, y),
+    )
+
+    # COO: element-ordered scatter -------------------------------------
+    nnz = m * nnz_per_row
+    coo_rows = np.sort(rng.integers(0, m, size=nnz))
+    coo_cols = rng.integers(0, m, size=nnz)
+    coo_vals = rng.standard_normal(nnz)
+
+    def coo_numpy():
+        acc = np.zeros(m, dtype=VALUE_DTYPE)
+        np.add.at(acc, coo_rows, coo_vals * x[coo_cols])
+        return acc
+
+    def coo_kernel():
+        y[:] = 0.0
+        _bk.coo_scatter_spmv(coo_rows, coo_cols, coo_vals, x, y)
+
+    _bench("micro:scatter", "bro_coo", coo_numpy, coo_kernel)
+
+    # CSR: zero-initialised sequential row sums ------------------------
+    lengths = rng.integers(1, 2 * nnz_per_row + 1, size=m)
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    csr_indices = rng.integers(0, m, size=int(indptr[-1]))
+    csr_vals = rng.standard_normal(int(indptr[-1]))
+    schedule = _bk.csr_column_schedule(indptr)
+
+    _bench(
+        "micro:row_sums", "csr",
+        lambda: _bk.csr_spmv_columns(csr_indices, csr_vals, x, schedule, m),
+        lambda: _bk.csr_spmv(indptr, csr_indices, csr_vals, x, y),
+    )
+
+    # ELLPACK: column-sequential accumulation --------------------------
+    col_idx_t = rng.integers(0, m, size=(k, m))
+    ell_vals_t = rng.standard_normal((k, m))
+
+    def ellpack_numpy():
+        acc = np.zeros(m, dtype=VALUE_DTYPE)
+        for c in range(k):
+            acc += ell_vals_t[c] * x[col_idx_t[c]]
+        return acc
+
+    _bench(
+        "micro:column_acc", "ellpack",
+        ellpack_numpy,
+        lambda: _bk.ellpack_spmv(col_idx_t, ell_vals_t, x, y),
+    )
+    return rows_out
 
 
 # ----------------------------------------------------------------------

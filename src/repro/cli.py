@@ -106,8 +106,9 @@ _EXPERIMENTS = {
                                    "bar_gain_pct", "rcm_gain_pct",
                                    "amd_gain_pct"]),
     "wallclock": (exp.wallclock_engines, ["matrix", "format", "mode",
-                                          "build_time_ms", "ref_time_ms",
-                                          "fast_time_ms", "speedup"]),
+                                          "backend", "build_time_ms",
+                                          "ref_time_ms", "fast_time_ms",
+                                          "speedup", "ratio"]),
     "scale": (exp.scale_bench, ["matrix", "devices", "backend", "speedup",
                                 "efficiency", "wallclock_ms", "p50_ms",
                                 "p95_ms", "p99_ms"]),
@@ -696,15 +697,24 @@ def _cmd_formats(args: argparse.Namespace) -> int:
             f"{k}={v}" for k, v in sorted(row["default_kwargs"].items())
         ) or "-"
         for key in ("kernel", "planner", "tracer", "tuner", "validator",
-                    "integrity", "serializer"):
+                    "integrity", "serializer", "compiled"):
             out[key] = "yes" if row[key] else "-"
         printable.append(out)
+    from .kernels.backends import jit_available, numba_version
+
+    jit_note = (
+        f"Numba {numba_version()} importable — 'compiled' formats JIT"
+        if jit_available()
+        else "Numba not importable — 'compiled' formats fall back to numpy"
+    )
     print(format_table(
         printable,
         ["format", "container", "kernel", "planner", "tracer", "tuner",
-         "validator", "integrity", "serializer", "default_kwargs"],
+         "validator", "integrity", "serializer", "compiled",
+         "default_kwargs"],
         "Format capability matrix (from repro.registry)",
     ))
+    print(jit_note)
     return 0
 
 

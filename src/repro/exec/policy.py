@@ -43,6 +43,9 @@ ENGINES = ("auto", "fast", "reference")
 #: Accepted sharded-execution backends.
 BACKENDS = ("thread", "process")
 
+#: Accepted executor (compute) backend requests for plan replay.
+COMPUTE_BACKENDS = ("auto", "numpy", "jit")
+
 #: Registered row-partitioner names (mirrored by repro.exec.partition).
 PARTITIONERS = ("contiguous", "greedy-nnz", "slice-aligned")
 
@@ -124,6 +127,14 @@ class ExecutionPolicy:
         Optional seeded :class:`~repro.exec.chaos.ChaosPolicy` injecting
         faults into the sharded engines — worker kills, stalls and
         corrupted shard results — for failover testing.
+    compute_backend:
+        Executor backend for prepared-plan replay
+        (:mod:`repro.kernels.backends`): ``"auto"`` (default) uses the
+        Numba-compiled loops when Numba is importable and the format has
+        them, else interpreted NumPy; ``"numpy"`` forces the interpreted
+        path; ``"jit"`` requests compiled loops and falls back to NumPy
+        (counter-visible, never an exception) when they are unavailable.
+        Results are bit-identical across backends.
     """
 
     engine: str = "auto"
@@ -139,6 +150,7 @@ class ExecutionPolicy:
     max_retries: int = 2
     elastic: bool = True
     chaos: Optional["ChaosPolicy"] = field(default=None, compare=False)
+    compute_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -163,6 +175,11 @@ class ExecutionPolicy:
         if self.backend not in BACKENDS:
             raise ValidationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.compute_backend not in COMPUTE_BACKENDS:
+            raise ValidationError(
+                f"compute_backend must be one of {COMPUTE_BACKENDS}, "
+                f"got {self.compute_backend!r}"
             )
         if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
             raise ValidationError(
@@ -216,4 +233,5 @@ class ExecutionPolicy:
             "max_retries": self.max_retries,
             "elastic": self.elastic,
             "chaos": self.chaos is not None,
+            "compute_backend": self.compute_backend,
         }

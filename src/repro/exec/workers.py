@@ -103,6 +103,7 @@ def _worker_main(
     shard_paths: List[str],
     device_name: str,
     engine: str,
+    compute_backend: str,
     task_queue: Any,
     result_queue: Any,
     telemetry_queue: Any,
@@ -138,7 +139,15 @@ def _worker_main(
     if engine == "reference":
         policy = ExecutionPolicy(engine="reference")
     else:
-        policy = ExecutionPolicy(engine=engine, plan_cache=PLAN_CACHE)
+        # Each worker resolves the backend request against its *own*
+        # environment (Numba may be importable here but not on the
+        # coordinator, or vice versa) — the result is bit-identical
+        # either way, so mixed fleets stay correct.
+        policy = ExecutionPolicy(
+            engine=engine,
+            plan_cache=PLAN_CACHE,
+            compute_backend=compute_backend,
+        )
     verify_policy = policy.with_(verify="checksum")
     shards: Dict[int, SparseFormat] = {}
 
@@ -270,6 +279,7 @@ class WorkerPool:
     ) -> None:
         self.device = device
         self.engine = policy.engine
+        self.compute_backend = policy.compute_backend
         self.shard_timeout_s = policy.shard_timeout_s
         self.max_retries = policy.max_retries
         self.elastic = policy.elastic
@@ -324,8 +334,8 @@ class WorkerPool:
         process = self._ctx.Process(
             target=_worker_main,
             args=(slot, self._paths, self.device.name, self.engine,
-                  task_queue, self._results, self._telemetry,
-                  self._heartbeats),
+                  self.compute_backend, task_queue, self._results,
+                  self._telemetry, self._heartbeats),
             daemon=True,
             name=f"repro-shard-worker-{slot}",
         )
@@ -652,6 +662,7 @@ def _pool_key(device: DeviceSpec, policy: ExecutionPolicy) -> Tuple:
     return (
         device.name,
         policy.engine,
+        policy.compute_backend,
         policy.shard_timeout_s,
         policy.max_retries,
         policy.elastic,

@@ -8,6 +8,13 @@ flops and decode instructions a CUDA profiler would report. The timing
 model (:mod:`repro.gpu.timing`) turns those counters into predicted time.
 """
 
+from .backends import (
+    COMPUTE_BACKENDS,
+    JIT_FORMATS,
+    compiled_formats,
+    jit_available,
+    resolve_backend,
+)
 from .base import SpMVKernel, SpMVResult, available_kernels, get_kernel
 from .dispatch import run_spmm, run_spmv
 from .plan import SpMVPlan, has_planner, plannable_formats, prepare
@@ -38,6 +45,11 @@ __all__ = [
     "plannable_formats",
     "PlanCache",
     "PLAN_CACHE",
+    "COMPUTE_BACKENDS",
+    "JIT_FORMATS",
+    "compiled_formats",
+    "jit_available",
+    "resolve_backend",
     "BELLPACKKernel",
     "COOKernel",
     "CSRVectorKernel",

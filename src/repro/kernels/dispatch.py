@@ -142,7 +142,9 @@ def _primary_spmv(
         plan = policy.plan
         if plan is None:
             cache = policy.plan_cache if policy.plan_cache is not None else PLAN_CACHE
-            plan = cache.get_or_build(matrix, device)
+            plan = cache.get_or_build(
+                matrix, device, backend=policy.compute_backend
+            )
         else:
             _check_plan(plan, matrix, device)
         return plan.execute(x)
@@ -174,7 +176,9 @@ def _primary_spmm(
         plan = policy.plan
         if plan is None:
             cache = policy.plan_cache if policy.plan_cache is not None else PLAN_CACHE
-            plan = cache.get_or_build(matrix, device)
+            plan = cache.get_or_build(
+                matrix, device, backend=policy.compute_backend
+            )
         else:
             _check_plan(plan, matrix, device)
         return plan.execute_many(X)

@@ -80,6 +80,7 @@ from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
 from ..utils.bits import ceil_div
 
+from . import backends as _backends
 from .base import SpMVResult
 from .spmv_coo import coo_segmented_counters
 
@@ -124,8 +125,16 @@ class SpMVPlan(ABC):
         self.matrix = matrix
         self.device = device
         self._counters = counters
+        #: scaled counters prototypes per k, derived once instead of on
+        #: every replay (the prototype is x-independent, so a warm plan
+        #: never re-derives it).
+        self._counters_memo: dict = {}
         #: wall-clock seconds the one-time build took (set by prepare()).
         self.build_seconds = 0.0
+        #: executor backend replays dispatch to ("numpy" or "jit").
+        self.backend = "numpy"
+        #: seconds the JIT warm-compile pass took (0.0 on the numpy path).
+        self.jit_compile_seconds = 0.0
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -137,22 +146,64 @@ class SpMVPlan(ABC):
         ``k`` sequential products scale every traffic/flop/launch counter
         linearly; ``threads`` stays the per-launch grid size (the
         occupancy model sees the same grid ``k`` times, not a bigger one).
+        The scaled prototype is memoized per ``k``; callers get a copy.
         """
-        c = self._counters
-        if k == 1:
-            return replace(c)
-        return KernelCounters(
-            index_bytes=c.index_bytes * k,
-            value_bytes=c.value_bytes * k,
-            x_bytes=c.x_bytes * k,
-            y_bytes=c.y_bytes * k,
-            aux_bytes=c.aux_bytes * k,
-            useful_flops=c.useful_flops * k,
-            issued_flops=c.issued_flops * k,
-            decode_ops=c.decode_ops * k,
-            launches=c.launches * k,
-            threads=c.threads,
-        )
+        proto = self._counters_memo.get(k)
+        if proto is None:
+            c = self._counters
+            if k == 1:
+                proto = c
+            else:
+                proto = KernelCounters(
+                    index_bytes=c.index_bytes * k,
+                    value_bytes=c.value_bytes * k,
+                    x_bytes=c.x_bytes * k,
+                    y_bytes=c.y_bytes * k,
+                    aux_bytes=c.aux_bytes * k,
+                    useful_flops=c.useful_flops * k,
+                    issued_flops=c.issued_flops * k,
+                    decode_ops=c.decode_ops * k,
+                    launches=c.launches * k,
+                    threads=c.threads,
+                )
+            self._counters_memo[k] = proto
+        return replace(proto)
+
+    # -- executor backend ----------------------------------------------
+    def _children(self) -> Tuple["SpMVPlan", ...]:
+        """Part plans a composite plan delegates to (backend recursion)."""
+        return ()
+
+    def set_backend(self, backend: str) -> None:
+        """Select the executor backend for this plan (and its parts).
+
+        Accepts a *concrete* backend name; resolve policy requests with
+        :func:`repro.kernels.backends.resolve_backend` first.
+        """
+        if backend not in _backends.EXECUTOR_BACKENDS:
+            raise ValidationError(
+                f"executor backend must be one of "
+                f"{_backends.EXECUTOR_BACKENDS}, got {backend!r}"
+            )
+        for child in self._children():
+            child.set_backend(backend)
+        self.backend = backend
+
+    def warm_compile(self) -> float:
+        """Trigger JIT compilation of the replay loops on a zeros input.
+
+        Called by :func:`prepare` so compilation cost lands in the build
+        phase (recorded as ``plan.jit_compile_seconds``), not the first
+        ``execute``. A no-op on the numpy backend.
+        """
+        if self.backend != "jit":
+            return 0.0
+        t0 = time.perf_counter()
+        zeros = np.zeros(self.matrix.shape[1], dtype=VALUE_DTYPE)
+        self._replay(zeros)
+        self._replay_many(zeros[:, None])
+        self.jit_compile_seconds = time.perf_counter() - t0
+        return self.jit_compile_seconds
 
     # -- execution ------------------------------------------------------
     def execute(self, x: np.ndarray) -> SpMVResult:
@@ -210,17 +261,50 @@ class SpMVPlan(ABC):
         return result
 
     # -- format-specific replay -----------------------------------------
-    @abstractmethod
+    # The public replay entry points dispatch on the executor backend;
+    # both implementations of each are bit-identical by construction
+    # (same floating-point operations, same order — see
+    # repro.kernels.backends), enforced by tests/kernels/test_backends.py.
     def _replay(self, x: np.ndarray) -> np.ndarray:
-        """Compute ``y`` for one validated ``x``."""
+        """Compute ``y`` for one validated ``x`` on the active backend."""
+        if self.backend == "jit":
+            return self._replay_jit(x)
+        return self._replay_numpy(x)
 
     def _replay_many(self, X: np.ndarray) -> np.ndarray:
+        if self.backend == "jit":
+            return self._replay_many_jit(X)
+        return self._replay_many_numpy(X)
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        """The interpreted (NumPy) replay — every plan has one.
+
+        Not an abstractmethod: plan subclasses that predate the backend
+        layer (or external plugins) may override ``_replay`` directly and
+        opt out of backend dispatch entirely.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} defines neither _replay_numpy nor a "
+            f"_replay override"
+        )
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        # Plans without compiled loops of their own run the numpy replay
+        # (composite plans compile through their _children instead).
+        return self._replay_numpy(x)
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
         # Generic fallback: one replay per column. Formats whose replay
         # vectorizes across columns without changing the per-column
         # floating-point order override this.
         return np.stack(
             [self._replay(X[:, j]) for j in range(X.shape[1])], axis=1
         )
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        # The generic stack dispatches per column, so compiled singles
+        # compose into a bit-identical multi-RHS replay.
+        return self._replay_many_numpy(X)
 
 
 # ----------------------------------------------------------------------
@@ -246,8 +330,18 @@ def plannable_formats() -> Tuple[str, ...]:
     return _registry.plannable_formats()
 
 
-def prepare(matrix: SparseFormat, device: DeviceSpec | str = "k20") -> SpMVPlan:
+def prepare(
+    matrix: SparseFormat,
+    device: DeviceSpec | str = "k20",
+    backend: str = "numpy",
+) -> SpMVPlan:
     """Build an :class:`SpMVPlan` — the one-time decode + accounting pass.
+
+    ``backend`` selects the executor the plan replays with: ``"numpy"``
+    (default), ``"jit"`` or ``"auto"``, resolved per format by
+    :func:`repro.kernels.backends.resolve_backend`. A JIT plan
+    warm-compiles its loops here so compilation cost is part of the
+    build, recorded on the plan as ``jit_compile_seconds``.
 
     Raises :class:`~repro.errors.KernelError` for formats without a plan
     builder (they stay on the reference engine) and propagates the same
@@ -261,6 +355,7 @@ def prepare(matrix: SparseFormat, device: DeviceSpec | str = "k20") -> SpMVPlan:
             f"no prepared-plan builder for format {matrix.format_name!r}; "
             f"plannable formats: {plannable_formats()}"
         )
+    resolved = _backends.resolve_backend(backend, matrix.format_name)
     t0 = time.perf_counter()
     with _span(
         "spmv.plan", "pipeline", format=matrix.format_name, device=device.name
@@ -268,6 +363,10 @@ def prepare(matrix: SparseFormat, device: DeviceSpec | str = "k20") -> SpMVPlan:
         plan = builder(matrix, device)
     plan.build_seconds = time.perf_counter() - t0
     _metrics.record_plan_build(matrix.format_name, device.name, plan.build_seconds)
+    if resolved != "numpy":
+        plan.set_backend(resolved)
+        seconds = plan.warm_compile()
+        _metrics.record_jit_compile(matrix.format_name, device.name, seconds)
     return plan
 
 
@@ -352,7 +451,7 @@ class BROELLPlan(SpMVPlan):
         super().__init__(matrix, device, counters)
         self._slices = slices
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
         y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
         for r0, r1, vals_t, gather_t, valid_t in self._slices:
             # Same ops, same order as the stepwise kernel: a masked FMA
@@ -366,7 +465,7 @@ class BROELLPlan(SpMVPlan):
             y[r0:r1] = acc
         return y
 
-    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
         k = X.shape[1]
         y = np.zeros((self.matrix.shape[0], k), dtype=VALUE_DTYPE)
         for r0, r1, vals_t, gather_t, valid_t in self._slices:
@@ -377,6 +476,18 @@ class BROELLPlan(SpMVPlan):
             for c in range(prod.shape[0]):
                 acc += prod[c]
             y[r0:r1] = acc
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t in self._slices:
+            _backends.ell_slice_spmv(vals_t, gather_t, valid_t, x, y[r0:r1])
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t in self._slices:
+            _backends.ell_slice_spmm(vals_t, gather_t, valid_t, X, y[r0:r1])
         return y
 
 
@@ -517,11 +628,14 @@ class MultiRowBROELLPlan(SpMVPlan):
         super().__init__(matrix, device, counters)
         self._inner_plan = inner_plan
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
+    def _children(self) -> Tuple[SpMVPlan, ...]:
+        return (self._inner_plan,)
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
         inner = self._inner_plan.execute(x)
         return self.matrix.fold(inner.y)
 
-    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
         partial = self._inner_plan.execute_many(X).y
         m = self.matrix.shape[0]
         t = self.matrix.threads_per_row
@@ -562,18 +676,32 @@ class BROCOOPlan(SpMVPlan):
         super().__init__(matrix, device, counters)
         self._rows = rows
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
         y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
         products = self.matrix.vals * x[self.matrix.col_idx]
         with _span("reduce.segmented", "kernel"):
             np.add.at(y, self._rows, products)
         return y
 
-    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
         y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
         products = self.matrix.vals[:, None] * X[self.matrix.col_idx]
         with _span("reduce.segmented", "kernel"):
             np.add.at(y, self._rows, products)
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros(mat.shape[0], dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            _backends.coo_scatter_spmv(self._rows, mat.col_idx, mat.vals, x, y)
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            _backends.coo_scatter_spmm(self._rows, mat.col_idx, mat.vals, X, y)
         return y
 
 
@@ -636,7 +764,12 @@ class BROHYBPlan(SpMVPlan):
         self._ell_plan = ell_plan
         self._coo_plan = coo_plan
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
+    def _children(self) -> Tuple[SpMVPlan, ...]:
+        return tuple(
+            p for p in (self._ell_plan, self._coo_plan) if p is not None
+        )
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
         m = self.matrix.shape[0]
         if self._ell_plan is not None:
             y = self._ell_plan.execute(x).y
@@ -646,7 +779,7 @@ class BROHYBPlan(SpMVPlan):
             y = y + self._coo_plan.execute(x).y
         return y
 
-    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
         m = self.matrix.shape[0]
         if self._ell_plan is not None:
             y = self._ell_plan.execute_many(X).y
@@ -682,11 +815,38 @@ def _plan_bro_hyb(matrix: SparseFormat, device: DeviceSpec) -> BROHYBPlan:
 class ELLPACKPlan(SpMVPlan):
     format_name = "ellpack"
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
-        mat = self.matrix
-        if mat.k:
-            return np.einsum("ij,ij->i", mat.vals, x[mat.col_idx])
-        return np.zeros(mat.shape[0], VALUE_DTYPE)
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        col_idx_t: np.ndarray,
+        vals_t: np.ndarray,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        #: (k, m) C-contiguous transposes: the replay walks columns, like
+        #: the CUSP kernel's iteration-c grid reads.
+        self._col_idx_t = col_idx_t
+        self._vals_t = vals_t
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        # Column-sequential accumulation — the kernel's loop order (and
+        # the compiled backend's); einsum's SIMD-blocked dot would
+        # reassociate the sum and break backend bit-identity.
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for c in range(self._vals_t.shape[0]):
+            y += self._vals_t[c] * x[self._col_idx_t[c]]
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        _backends.ellpack_spmv(self._col_idx_t, self._vals_t, x, y)
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        Y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        _backends.ellpack_spmm(self._col_idx_t, self._vals_t, X, Y)
+        return Y
 
 
 @register_planner("ellpack")
@@ -722,20 +882,26 @@ def _plan_ellpack(matrix: SparseFormat, device: DeviceSpec) -> ELLPACKPlan:
         launches=1,
         threads=launch.total_threads,
     )
-    return ELLPACKPlan(matrix, device, counters)
+    return ELLPACKPlan(
+        matrix,
+        device,
+        counters,
+        np.ascontiguousarray(matrix.col_idx.T),
+        np.ascontiguousarray(matrix.vals.T),
+    )
 
 
 class COOPlan(SpMVPlan):
     format_name = "coo"
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
         mat = self.matrix
         y = np.zeros(mat.shape[0], dtype=VALUE_DTYPE)
         with _span("reduce.segmented", "kernel"):
             np.add.at(y, mat.row_idx, mat.vals * x[mat.col_idx])
         return y
 
-    def _replay_many(self, X: np.ndarray) -> np.ndarray:
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
         mat = self.matrix
         y = np.zeros((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
         with _span("reduce.segmented", "kernel"):
@@ -769,8 +935,37 @@ def _plan_coo(matrix: SparseFormat, device: DeviceSpec) -> COOPlan:
 class CSRPlan(SpMVPlan):
     format_name = "csr"
 
-    def _replay(self, x: np.ndarray) -> np.ndarray:
-        return self.matrix.spmv(x)
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        schedule,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        #: per-position gather schedule for the column-stepped replay.
+        self._schedule = schedule
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        # Row-sequential sums via the column-stepped schedule (matches
+        # the reference kernel and the compiled loop bit-for-bit;
+        # CSRMatrix.spmv's reduceat would reassociate long rows).
+        mat = self.matrix
+        return _backends.csr_spmv_columns(
+            mat.indices, mat.vals, x, self._schedule, mat.shape[0]
+        )
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.empty(mat.shape[0], dtype=VALUE_DTYPE)
+        _backends.csr_spmv(mat.indptr, mat.indices, mat.vals, x, y)
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        Y = np.empty((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        _backends.csr_spmm(mat.indptr, mat.indices, mat.vals, X, Y)
+        return Y
 
 
 @register_planner("csr")
@@ -820,4 +1015,6 @@ def _plan_csr(matrix: SparseFormat, device: DeviceSpec) -> CSRPlan:
         launches=1,
         threads=launch.total_threads,
     )
-    return CSRPlan(matrix, device, counters)
+    return CSRPlan(
+        matrix, device, counters, _backends.csr_column_schedule(matrix.indptr)
+    )

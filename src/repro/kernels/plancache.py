@@ -1,7 +1,7 @@
 """Bounded LRU cache of prepared SpMV plans, keyed by container identity.
 
 A plan is valid only for the exact bytes it decoded, so cache entries are
-keyed by ``(id(matrix), format_name, device)`` and guarded by the
+keyed by ``(id(matrix), format_name, device, backend)`` and guarded by the
 integrity layer's CRC32 fingerprint: each entry remembers the header
 token the container carried when its plan was built, and a lookup whose
 current token differs — the container was re-sealed after mutation —
@@ -39,11 +39,16 @@ from ..formats.base import SparseFormat
 from ..gpu.device import DeviceSpec, get_device
 from ..integrity.checksums import IntegrityHeader, compute_header, get_header
 from ..telemetry import metrics as _metrics
+from . import backends as _backends
 from .plan import SpMVPlan, prepare
 
 __all__ = ["PlanCache", "PLAN_CACHE", "fingerprint_token"]
 
-_Key = Tuple[int, str, str]
+#: (id(matrix), format_name, device_name, executor backend). The backend
+#: is part of the key so a numpy-built plan is never served to a jit
+#: call (and vice versa) — the two replay with different machinery even
+#: though their results are bit-identical.
+_Key = Tuple[int, str, str, str]
 _Token = Optional[Tuple[str, int, Tuple[Tuple[str, int], ...]]]
 #: entry = (plan, fingerprint token, anchor matrix keeping id(key) alive)
 _Entry = Tuple[SpMVPlan, _Token, SparseFormat]
@@ -68,8 +73,8 @@ class PlanCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[_Key, _Entry]" = OrderedDict()
-        #: content index: sealed fingerprint + device -> newest identity key
-        self._by_token: Dict[Tuple[_Token, str], _Key] = {}
+        #: content index: fingerprint + device + backend -> newest identity key
+        self._by_token: Dict[Tuple[_Token, str, str], _Key] = {}
         self._lock = threading.Lock()
         self._stats = {
             "hits": 0,
@@ -82,8 +87,8 @@ class PlanCache:
 
     # -- internal -------------------------------------------------------
     @staticmethod
-    def _key(matrix: SparseFormat, device: DeviceSpec) -> _Key:
-        return (id(matrix), matrix.format_name, device.name)
+    def _key(matrix: SparseFormat, device: DeviceSpec, backend: str) -> _Key:
+        return (id(matrix), matrix.format_name, device.name, backend)
 
     def _current_token(self, matrix: SparseFormat, validate: str) -> _Token:
         if validate == "full":
@@ -100,7 +105,7 @@ class PlanCache:
         self._entries.move_to_end(key)
         token = entry[1]
         if token is not None:
-            self._by_token[(token, key[2])] = key
+            self._by_token[(token, key[2], key[3])] = key
         while len(self._entries) > self.maxsize:
             old_key, _ = self._entries.popitem(last=False)
             self._unindex(old_key)
@@ -116,10 +121,12 @@ class PlanCache:
             if k == key:
                 del self._by_token[tkey]
 
-    def _content_lookup(self, token: _Token, device_name: str) -> Optional[_Entry]:
+    def _content_lookup(
+        self, token: _Token, device_name: str, backend: str
+    ) -> Optional[_Entry]:
         if token is None:
             return None
-        key = self._by_token.get((token, device_name))
+        key = self._by_token.get((token, device_name, backend))
         if key is None:
             return None
         return self._entries.get(key)
@@ -131,19 +138,25 @@ class PlanCache:
         device: Union[DeviceSpec, str] = "k20",
         *,
         validate: str = "header",
+        backend: str = "auto",
     ) -> SpMVPlan:
         """Return a cached plan for ``(matrix, device)``, building on miss.
 
         ``validate`` selects the staleness check (see module docstring).
-        An identity miss with a sealed container falls through to the
-        content index before building: equal fingerprints mean equal
-        bytes, so a plan built for a twin object replays bit-identically.
+        ``backend`` is a ``compute_backend`` request (``"auto"``,
+        ``"numpy"`` or ``"jit"``), resolved to a concrete executor
+        backend *once* here so ``"auto"`` and an honourable ``"jit"``
+        share cache entries. An identity miss with a sealed container
+        falls through to the content index before building: equal
+        fingerprints mean equal bytes, so a plan built for a twin object
+        replays bit-identically.
         """
         if validate not in ("none", "header", "full"):
             raise ValueError(f"unknown validate level {validate!r}")
         if isinstance(device, str):
             device = get_device(device)
-        key = self._key(matrix, device)
+        resolved = _backends.resolve_backend(backend, matrix.format_name)
+        key = self._key(matrix, device, resolved)
 
         token: _Token = None
         with self._lock:
@@ -166,7 +179,7 @@ class PlanCache:
             else:
                 if validate != "none":
                     token = self._current_token(matrix, validate)
-                twin = self._content_lookup(token, device.name)
+                twin = self._content_lookup(token, device.name, resolved)
                 if twin is not None:
                     # Same sealed bytes under a different object identity
                     # (e.g. freshly deserialized): alias the plan under
@@ -183,7 +196,7 @@ class PlanCache:
         # not serialize unrelated lookups. A concurrent duplicate build of
         # the same key is possible; the last insert wins, which is safe
         # because equal inputs produce equivalent plans.
-        plan = prepare(matrix, device)
+        plan = prepare(matrix, device, backend=resolved)
         with self._lock:
             self._bump("builds")
             self._insert(key, (plan, token, matrix))

@@ -20,6 +20,7 @@ from ..gpu.memory import contiguous_transactions
 from ..gpu.texcache import TextureCacheModel
 from ..gpu.warp import warp_reduce_flops
 from ..utils.bits import ceil_div
+from . import backends as _backends
 from .base import SpMVKernel, SpMVResult, register_kernel
 
 __all__ = ["CSRVectorKernel"]
@@ -43,7 +44,13 @@ class CSRVectorKernel(SpMVKernel):
         launch = LaunchConfig.for_warps(m, ws)
 
         # ---- functional execution ------------------------------------
-        y = matrix.spmv(x)
+        # Row-sequential accumulation (matches the prepared-plan replay
+        # and the compiled executor bit-for-bit; matrix.spmv's reduceat
+        # would reassociate long rows).
+        schedule = _backends.csr_column_schedule(matrix.indptr)
+        y = _backends.csr_spmv_columns(
+            matrix.indices, matrix.vals, x, schedule, m
+        )
 
         # ---- traffic accounting --------------------------------------
         lengths = matrix.row_lengths()

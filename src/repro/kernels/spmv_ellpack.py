@@ -47,9 +47,12 @@ class ELLPACKKernel(SpMVKernel):
         ws = device.warp_size
 
         # ---- functional execution (identical math to the GPU loop) ----
-        y = np.einsum("ij,ij->i", matrix.vals, x[matrix.col_idx]) if k else np.zeros(
-            m, VALUE_DTYPE
-        )
+        # Column-sequential accumulation, exactly the kernel's iteration
+        # order (and the compiled executor's); an einsum dot would block
+        # the sum differently and break cross-backend bit-identity.
+        y = np.zeros(m, VALUE_DTYPE)
+        for c in range(k):
+            y += matrix.vals[:, c] * x[matrix.col_idx[:, c]]
 
         # ---- traffic accounting -------------------------------------
         # Column-major reads: every iteration the grid streams one int32

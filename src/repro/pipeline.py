@@ -123,6 +123,7 @@ class Session:
         self.device_time = 0.0  #: accumulated predicted seconds in SpMV
         self.dram_bytes = 0  #: accumulated predicted DRAM traffic
         self.fallbacks_used = 0  #: executions served by the fallback matrix
+        self._tuner = None  #: OnlineTuner attached by autotune(), if any
 
     # -- policy views ----------------------------------------------------
     # Read/write aliases kept so pre-policy call sites (and the fluent
@@ -311,7 +312,10 @@ class Session:
         if self.engine == "reference" or self.plan_cache is None:
             return self
         if _registry.has_planner(self.matrix.format_name):
-            self.plan_cache.get_or_build(self.matrix, self.device)
+            self.plan_cache.get_or_build(
+                self.matrix, self.device,
+                backend=self.policy.compute_backend,
+            )
         return self
 
     def plan(self) -> Optional[SpMVPlan]:
@@ -320,7 +324,36 @@ class Session:
             self.matrix.format_name
         ):
             return None
-        return self.plan_cache.get_or_build(self.matrix, self.device)
+        return self.plan_cache.get_or_build(
+            self.matrix, self.device, backend=self.policy.compute_backend
+        )
+
+    def autotune(self, config=None) -> "Session":
+        """Attach an online autotuner (:mod:`repro.tuner.online`).
+
+        Every subsequent :meth:`execute`/:meth:`execute_many` feeds the
+        tuner; after each ``config.interval`` calls it re-scores the
+        advisor's candidate grid against the measured throughput and
+        re-plans this session in place when the predicted win clears the
+        hysteresis threshold. Calling again replaces the tuner (fresh
+        window and retune budget); ``detach_tuner()`` removes it.
+        """
+        from .tuner.online import OnlineTuner, RetuneConfig
+
+        if config is None:
+            config = RetuneConfig()
+        self._tuner = OnlineTuner(self, config)
+        return self
+
+    def detach_tuner(self) -> "Session":
+        """Remove the online autotuner (results stop being observed)."""
+        self._tuner = None
+        return self
+
+    @property
+    def tuner(self):
+        """The attached :class:`~repro.tuner.online.OnlineTuner`, if any."""
+        return self._tuner
 
     def _record(self, result: SpMVResult) -> SpMVResult:
         self.spmv_calls += 1
@@ -329,6 +362,8 @@ class Session:
         self.device_time += result.timing.time
         self.dram_bytes += result.counters.dram_bytes
         self.last_result = result
+        if self._tuner is not None:
+            self._tuner.observe(result)
         return result
 
     def _call_policy(
@@ -404,6 +439,7 @@ class Session:
             "nnz": int(self._matrix.nnz) if self._matrix is not None else None,
             "device": self.device.name,
             "engine": self.engine,
+            "compute_backend": self.policy.compute_backend,
             "devices": self.policy.devices,
             "sealed": header is not None,
             "reordered": self._permutation is not None,

@@ -44,6 +44,9 @@ __all__ = [
     "record_bitstream_decode",
     "record_plan_build",
     "record_plan_cache",
+    "record_backend_fallback",
+    "record_jit_compile",
+    "record_retune",
     "record_exec",
     "record_worker_event",
     "record_shard_latency",
@@ -527,3 +530,45 @@ def record_plan_cache(event: str, count: int = 1) -> None:
     if reg is None:
         return
     reg.counter(f"plan_cache.{event}").inc(count)
+
+
+def record_backend_fallback(format_name: str, reason: str) -> None:
+    """An explicit ``compute_backend="jit"`` request served by numpy.
+
+    Emitted by :func:`repro.kernels.backends.resolve_backend` when the
+    compiled path is unavailable (Numba missing, or the format has no
+    compiled loops) — the degradation is silent in results but visible
+    here as ``exec.backend_fallback{format=..., reason=...}``.
+    """
+    reg = _ACTIVE
+    if reg is None:
+        return
+    reg.counter(
+        "exec.backend_fallback", {"format": format_name, "reason": reason}
+    ).inc()
+
+
+def record_jit_compile(format_name: str, device_name: str, seconds: float) -> None:
+    """One warm-compile pass of a plan's compiled replay at prepare() time."""
+    reg = _ACTIVE
+    if reg is None:
+        return
+    labels = {"format": format_name, "device": device_name}
+    reg.counter("plan.jit_builds", labels).inc()
+    reg.counter("plan.jit_compile_seconds", labels).inc(seconds)
+
+
+def record_retune(event: str, format_name: str = "", count: int = 1) -> None:
+    """An online-autotuning lifecycle event (``exec.retune.<event>``).
+
+    Events: ``evaluations`` (a retune window closed and was scored),
+    ``triggered`` (the session was re-planned onto a new candidate),
+    ``kept`` (the current configuration is already the measured best) and
+    ``skipped_hysteresis`` (a predicted win existed but was under the
+    hysteresis threshold).
+    """
+    reg = _ACTIVE
+    if reg is None:
+        return
+    labels = {"format": format_name} if format_name else None
+    reg.counter(f"exec.retune.{event}", labels).inc(count)

@@ -8,16 +8,23 @@ the formats implemented here: because the simulated kernels produce a
 cheap model query rather than an empirical sweep.
 
 * :mod:`~repro.tuner.advisor` — rank candidate formats for a matrix on a
-  device, optionally sweeping BRO-ELL's slice height;
+  device, optionally sweeping BRO-ELL's slice height and the BRO symbol
+  length;
 * :mod:`~repro.tuner.sampling` — row-sampling so recommendations for huge
-  matrices only execute the model on a representative stripe.
+  matrices only execute the model on a representative stripe;
+* :mod:`~repro.tuner.online` — telemetry-driven online autotuning: watch
+  a session's measured throughput and re-plan it onto the measured-best
+  candidate (with hysteresis) while it runs.
 """
 
 from .advisor import FormatRecommendation, recommend_format, rank_formats
+from .online import OnlineTuner, RetuneConfig
 from .sampling import sample_rows
 
 __all__ = [
     "FormatRecommendation",
+    "OnlineTuner",
+    "RetuneConfig",
     "recommend_format",
     "rank_formats",
     "sample_rows",

@@ -72,16 +72,28 @@ class FormatRecommendation:
 
 
 def _candidate_grid(
-    formats: Sequence[str], h_candidates: Sequence[int]
+    formats: Sequence[str],
+    h_candidates: Sequence[int],
+    sym_len_candidates: Sequence[int] = (),
 ) -> List[Tuple[str, Dict]]:
     grid: List[Tuple[str, Dict]] = []
     for fmt in formats:
         profile = _registry.tuner_profile_for(fmt)
+        base: List[Dict] = []
         if profile is not None and profile.sweep_h:
-            for h in h_candidates:
-                grid.append((fmt, {"h": int(h)}))
+            base = [{"h": int(h)} for h in h_candidates]
         else:
-            grid.append((fmt, {}))
+            base = [{}]
+        # Cross the h sweep with a sym_len sweep for the BRO formats
+        # (those whose conversion declares the keyword); an empty
+        # sym_len_candidates keeps the format's registered default.
+        spec = _registry.get_spec(fmt)
+        if sym_len_candidates and spec.accepts("sym_len"):
+            for params in base:
+                for sl in sym_len_candidates:
+                    grid.append((fmt, {**params, "sym_len": int(sl)}))
+        else:
+            grid.extend((fmt, params) for params in base)
     return grid
 
 
@@ -95,6 +107,7 @@ def rank_formats(
     device: DeviceSpec | str = "k20",
     formats: Optional[Sequence[str]] = None,
     h_candidates: Sequence[int] = (256,),
+    sym_len_candidates: Sequence[int] = (),
     sample_rows_limit: int = 16384,
     seed: int = 0,
 ) -> List[FormatRecommendation]:
@@ -102,6 +115,9 @@ def rank_formats(
 
     Large matrices are row-sampled first (``sample_rows_limit``); the
     per-nnz ranking is what transfers back to the full matrix.
+    ``sym_len_candidates`` additionally sweeps the BRO symbol length for
+    formats that declare it (empty — the default — keeps each format's
+    registered default).
     """
     dev = get_device(device) if isinstance(device, str) else device
     if formats is None:
@@ -116,7 +132,7 @@ def rank_formats(
     padding_ratio = float(lengths.max()) / mean_len
 
     out: List[FormatRecommendation] = []
-    for fmt, params in _candidate_grid(formats, h_candidates):
+    for fmt, params in _candidate_grid(formats, h_candidates, sym_len_candidates):
         if _is_dense_family(fmt) and padding_ratio > ELL_PADDING_LIMIT:
             continue  # dense ELL arrays would be absurd; HYB covers this
         mat: SparseFormat = convert(sampled, fmt, **params)

@@ -1,0 +1,212 @@
+"""Telemetry-driven online autotuning: close the advisor's loop.
+
+The static advisor (:mod:`repro.tuner.advisor`) picks a format once, from
+a model query, before any real work runs. This module re-scores that
+choice *while a session executes*: an :class:`OnlineTuner` observes every
+recorded :class:`~repro.kernels.base.SpMVResult`, accumulates the
+measured per-nnz time and achieved DRAM throughput over a window of
+``interval`` calls, and when the window closes re-ranks the advisor's
+format/``h``/``sym_len`` candidate grid against the measurement. If the
+best candidate beats the measured figure by more than the ``hysteresis``
+ratio, the session is re-planned in place — its source COO is converted
+to the winning candidate, the seal is re-applied if the old container
+was sealed, and the plan cache is warmed — all under a ``session.retune``
+span with ``exec.retune.*`` counters, so every decision (evaluated, kept,
+skipped on hysteresis, triggered) is observable.
+
+Timing in this simulator is modeled and deterministic, so retune
+convergence is deterministic too: a session started on a deliberately
+poor format converges to the advisor's measured-best candidate within
+one window, which is what ``tests/tuner/test_online.py`` pins.
+
+Usage::
+
+    sess = Session().load("qcd").convert("coo").seal()
+    sess.autotune(RetuneConfig(interval=8))
+    for _ in range(32):
+        sess.execute(x)           # retunes fire inside execute()
+    sess.format_name              # now the measured-best format
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+from ..formats.conversion import convert as _convert
+from ..integrity.checksums import seal as _seal
+from ..telemetry import metrics as _metrics
+from ..telemetry.tracer import span as _span
+from .advisor import FormatRecommendation, rank_formats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from ..kernels.base import SpMVResult
+    from ..pipeline import Session
+
+__all__ = ["RetuneConfig", "OnlineTuner"]
+
+
+@dataclass(frozen=True)
+class RetuneConfig:
+    """Knobs of one online-autotuning loop.
+
+    Parameters
+    ----------
+    interval:
+        Number of recorded SpMV/SpMM calls per measurement window; the
+        candidate grid is re-scored when a window closes.
+    hysteresis:
+        Minimum ratio of measured per-nnz time to the best candidate's
+        predicted per-nnz time before a retune fires. ``1.1`` means the
+        candidate must promise at least a 10% win — churn insurance, so
+        model noise near parity never flaps the format back and forth.
+    max_retunes:
+        Retune budget per tuner; evaluation stops once it is spent.
+    formats:
+        Candidate formats (``None`` — the advisor's default candidates).
+    h_candidates / sym_len_candidates:
+        Slice-height and BRO symbol-length sweeps forwarded to
+        :func:`~repro.tuner.advisor.rank_formats`.
+    sample_rows_limit / seed:
+        Row-sampling bound and RNG seed for the advisor query.
+    """
+
+    interval: int = 16
+    hysteresis: float = 1.1
+    max_retunes: int = 3
+    formats: Optional[Tuple[str, ...]] = None
+    h_candidates: Tuple[int, ...] = (64, 256)
+    sym_len_candidates: Tuple[int, ...] = (32, 64)
+    sample_rows_limit: int = 16384
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.interval, int) or self.interval < 1:
+            raise ValidationError(
+                f"interval must be a positive integer, got {self.interval!r}"
+            )
+        if self.hysteresis < 1.0:
+            raise ValidationError(
+                f"hysteresis must be >= 1.0, got {self.hysteresis!r}"
+            )
+        if not isinstance(self.max_retunes, int) or self.max_retunes < 0:
+            raise ValidationError(
+                f"max_retunes must be a non-negative integer, "
+                f"got {self.max_retunes!r}"
+            )
+
+
+class OnlineTuner:
+    """Watches a session's results and re-plans it onto measured-best.
+
+    Attach with :meth:`Session.autotune`; the session then feeds every
+    recorded result to :meth:`observe`. The tuner is deliberately *not*
+    in the result hot path beyond two float adds until a window closes.
+    """
+
+    def __init__(
+        self, session: "Session", config: Optional[RetuneConfig] = None
+    ) -> None:
+        self.session = session
+        self.config = config if config is not None else RetuneConfig()
+        self.calls_seen = 0
+        self.retunes = 0
+        #: one dict per closed window: measured figure, best candidate,
+        #: decision and achieved throughput — the audit trail.
+        self.history: List[Dict[str, Any]] = []
+        self._window_time = 0.0
+        self._window_nnz = 0
+        self._window_bytes = 0
+
+    # -- observation ----------------------------------------------------
+    def observe(self, result: "SpMVResult") -> bool:
+        """Fold one executed result in; returns True if a retune fired."""
+        self.calls_seen += 1
+        self._window_time += result.timing.time
+        self._window_nnz += self.session.matrix.nnz
+        self._window_bytes += result.counters.dram_bytes
+        if (
+            self.calls_seen % self.config.interval == 0
+            and self.retunes < self.config.max_retunes
+        ):
+            return self._evaluate()
+        return False
+
+    # -- evaluation -----------------------------------------------------
+    def _current_params_match(self, rec: FormatRecommendation) -> bool:
+        """Whether the session already runs the candidate's config."""
+        matrix = self.session.matrix
+        if matrix.format_name != rec.format_name:
+            return False
+        return all(
+            getattr(matrix, key, None) == value
+            for key, value in rec.params.items()
+        )
+
+    def _evaluate(self) -> bool:
+        cfg = self.config
+        session = self.session
+        measured_per_nnz = (
+            self._window_time / self._window_nnz if self._window_nnz else 0.0
+        )
+        achieved_bw = (
+            self._window_bytes / self._window_time if self._window_time else 0.0
+        )
+        self._window_time, self._window_nnz, self._window_bytes = 0.0, 0, 0
+
+        with _span("session.retune", "tuner"):
+            ranked = rank_formats(
+                session.source,
+                session.device,
+                formats=cfg.formats,
+                h_candidates=cfg.h_candidates,
+                sym_len_candidates=cfg.sym_len_candidates,
+                sample_rows_limit=cfg.sample_rows_limit,
+                seed=cfg.seed,
+            )
+            _metrics.record_retune("evaluations")
+            best = ranked[0]
+            entry: Dict[str, Any] = {
+                "call": self.calls_seen,
+                "measured_per_nnz": measured_per_nnz,
+                "achieved_bytes_per_s": achieved_bw,
+                "best_format": best.format_name,
+                "best_params": dict(best.params),
+                "best_per_nnz": best.time_per_nnz,
+            }
+
+            if self._current_params_match(best):
+                _metrics.record_retune("kept", session.format_name)
+                entry["decision"] = "kept"
+                self.history.append(entry)
+                return False
+
+            win = (
+                measured_per_nnz / best.time_per_nnz
+                if best.time_per_nnz > 0
+                else 0.0
+            )
+            entry["win"] = win
+            if win < cfg.hysteresis:
+                _metrics.record_retune("skipped_hysteresis", best.format_name)
+                entry["decision"] = "skipped_hysteresis"
+                self.history.append(entry)
+                return False
+
+            self._retune_to(best)
+            _metrics.record_retune("triggered", best.format_name)
+            entry["decision"] = "triggered"
+            self.history.append(entry)
+            return True
+
+    def _retune_to(self, rec: FormatRecommendation) -> None:
+        """Re-plan the session in place onto the winning candidate."""
+        session = self.session
+        was_sealed = session.sealed
+        new = _convert(session.source, rec.format_name, **rec.params)
+        if was_sealed:
+            _seal(new)
+        session._matrix = new
+        session.prepare()
+        self.retunes += 1

@@ -151,6 +151,120 @@ class TestInvalidation:
         assert fingerprint_token(None) is None
 
 
+class TestBackendKeying:
+    """The cache key includes the resolved executor backend: a numpy plan
+    is never served to a jit request and vice versa (satellite 1)."""
+
+    def test_numpy_and_jit_plans_cached_separately(self, monkeypatch):
+        from repro.kernels import backends
+
+        monkeypatch.setattr(backends, "jit_available", lambda: True)
+        cache = PlanCache()
+        mat = small_matrix()
+        p_numpy = cache.get_or_build(mat, "k20", backend="numpy")
+        p_jit = cache.get_or_build(mat, "k20", backend="jit")
+        assert p_numpy is not p_jit
+        assert p_numpy.backend == "numpy"
+        assert p_jit.backend == "jit"
+        assert len(cache) == 2
+        # Repeat requests hit their own entry, never the other backend's.
+        assert cache.get_or_build(mat, "k20", backend="numpy") is p_numpy
+        assert cache.get_or_build(mat, "k20", backend="jit") is p_jit
+        assert cache.stats()["builds"] == 2
+        assert cache.stats()["hits"] == 2
+
+    def test_auto_and_honoured_jit_share_an_entry(self, monkeypatch):
+        # "auto" resolves before keying, so it lands on the same entry as
+        # an explicit (honourable) "jit" request — no double builds.
+        from repro.kernels import backends
+
+        monkeypatch.setattr(backends, "jit_available", lambda: True)
+        cache = PlanCache()
+        mat = small_matrix()
+        p_auto = cache.get_or_build(mat, "k20", backend="auto")
+        assert p_auto.backend == "jit"
+        assert cache.get_or_build(mat, "k20", backend="jit") is p_auto
+        assert cache.stats()["builds"] == 1
+
+    def test_unfulfillable_jit_shares_the_numpy_entry(self):
+        from repro.kernels import backends
+
+        if backends.jit_available():
+            pytest.skip("host has Numba")
+        cache = PlanCache()
+        mat = small_matrix()
+        p_numpy = cache.get_or_build(mat, "k20", backend="numpy")
+        # Without Numba, "jit" resolves to numpy — same key, zero rebuilds.
+        assert cache.get_or_build(mat, "k20", backend="jit") is p_numpy
+        assert cache.stats()["builds"] == 1
+
+    def test_eviction_is_per_backend_entry(self, monkeypatch):
+        from repro.kernels import backends
+
+        monkeypatch.setattr(backends, "jit_available", lambda: True)
+        cache = PlanCache(maxsize=2)
+        mat = small_matrix()
+        p_numpy = cache.get_or_build(mat, "k20", backend="numpy")
+        p_jit = cache.get_or_build(mat, "k20", backend="jit")
+        other = small_matrix(seed=5)
+        cache.get_or_build(other, "k20", backend="numpy")  # evicts p_numpy
+        assert cache.stats()["evictions"] == 1
+        # The jit entry survived; only the numpy plan rebuilds.
+        assert cache.get_or_build(mat, "k20", backend="jit") is p_jit
+        rebuilt = cache.get_or_build(mat, "k20", backend="numpy")
+        assert rebuilt is not p_numpy
+        assert rebuilt.backend == "numpy"
+
+    def test_invalidate_drops_every_backend_entry(self, monkeypatch):
+        from repro.kernels import backends
+
+        monkeypatch.setattr(backends, "jit_available", lambda: True)
+        cache = PlanCache()
+        mat = small_matrix()
+        cache.get_or_build(mat, "k20", backend="numpy")
+        cache.get_or_build(mat, "k20", backend="jit")
+        cache.get_or_build(mat, "c2070", backend="numpy")
+        assert cache.invalidate(mat) == 3
+        assert len(cache) == 0
+
+
+class TestWarmSessionRebuilds:
+    """Satellite 6: a warm Session replays with zero plan rebuilds and a
+    memoized counters prototype (no per-call re-derivation)."""
+
+    def test_zero_rebuilds_on_warm_session(self):
+        from repro.pipeline import Session
+
+        cache = PlanCache()
+        sess = Session(
+            "k20",
+            policy=ExecutionPolicy(plan_cache=cache, compute_backend="numpy"),
+        )
+        sess.use(small_matrix())
+        sess.prepare()
+        assert cache.stats()["builds"] == 1
+        x = np.ones(sess.matrix.shape[1])
+        for _ in range(4):
+            sess.execute(x)
+        stats = cache.stats()
+        assert stats["builds"] == 1, "warm session must not rebuild plans"
+        assert stats["misses"] == 1
+
+    def test_counters_prototype_memoized_per_k(self):
+        cache = PlanCache()
+        plan = cache.get_or_build(small_matrix(), "k20")
+        c1 = plan.counters()
+        c2 = plan.counters()
+        assert c1 == c2 and c1 is not c2  # copies of one memoized proto
+        assert plan._counters_memo[1] is plan._counters
+        k1 = plan.counters(4)
+        k2 = plan.counters(4)
+        assert k1 == k2 and k1 is not k2
+        assert len(plan._counters_memo) == 2
+        assert k1.launches == 4 * c1.launches
+        assert k1.threads == c1.threads
+
+
 class TestRunSpmvIntegration:
     def test_corrupt_then_reseal_never_serves_stale_y(self):
         cache = PlanCache()

@@ -179,6 +179,9 @@ def _make_toy_format():
             "per-diagonal profile", lambda: "   idx      value", _toy_trace_rows
         ),
         tuner=_registry.TunerProfile(candidate=False),
+        # _ToyPlan overrides _replay directly, so it runs unchanged under
+        # any compute_backend — declare the compiled capability covered.
+        compiled=True,
     )
     class ToyDiagMatrix(SparseFormat):
         """Diagonal-only storage: one array, the simplest possible format."""

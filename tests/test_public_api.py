@@ -42,6 +42,7 @@ EXPECTED_EXPORTS = {
     "run_spmm",
     "prepare",
     "SpMVResult",
+    "jit_available",
     # execution policy + multi-device sharding
     "ExecutionPolicy",
     "ShardedMatrix",
@@ -72,6 +73,9 @@ EXPECTED_EXPORTS = {
     "Session",
     "save_container",
     "load_container",
+    # online autotuning
+    "OnlineTuner",
+    "RetuneConfig",
     # subpackages
     "registry",
     "bench",

@@ -1,0 +1,221 @@
+"""Online autotuning (:mod:`repro.tuner.online`): deterministic retuning.
+
+The simulator's timing model is deterministic, so the retune loop is
+too — a session started on a deliberately poor format converges to the
+advisor's measured-best candidate at the first window boundary, keeps it
+thereafter, and every decision leaves an ``exec.retune.*`` counter and a
+history entry behind. These tests pin that trajectory plus the knobs:
+hysteresis skip, retune budget, window interval, config validation and
+seal preservation across a retune.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.policy import ExecutionPolicy
+from repro.kernels.plancache import PlanCache
+from repro.pipeline import Session
+from repro.telemetry import metrics as M
+from repro.tuner import OnlineTuner, RetuneConfig
+
+#: Small but structured enough that the advisor's ranking is stable.
+MATRIX, SCALE = "qcd5_4", 0.05
+
+#: A candidate pool whose best is never plain COO (the deliberately poor
+#: start), so the first evaluation always has a better candidate.
+FORMATS = ("bro_ell", "bro_coo", "csr")
+
+
+def make_session(interval=4, hysteresis=1.05, max_retunes=2, **kw):
+    sess = Session(
+        "k20", policy=ExecutionPolicy(plan_cache=PlanCache())
+    ).load(MATRIX, scale=SCALE).convert("coo")
+    sess.autotune(RetuneConfig(
+        interval=interval, hysteresis=hysteresis, max_retunes=max_retunes,
+        formats=FORMATS, **kw,
+    ))
+    return sess
+
+
+def x_for(sess, seed=5):
+    return np.random.default_rng(seed).standard_normal(sess.matrix.shape[1])
+
+
+class TestRetuneConfig:
+    def test_defaults(self):
+        cfg = RetuneConfig()
+        assert cfg.interval == 16
+        assert cfg.hysteresis == 1.1
+        assert cfg.max_retunes == 3
+        assert cfg.sym_len_candidates == (32, 64)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5])
+    def test_interval_validated(self, bad):
+        with pytest.raises(ValidationError, match="interval"):
+            RetuneConfig(interval=bad)
+
+    def test_hysteresis_validated(self):
+        with pytest.raises(ValidationError, match="hysteresis"):
+            RetuneConfig(hysteresis=0.9)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5])
+    def test_max_retunes_validated(self, bad):
+        with pytest.raises(ValidationError, match="max_retunes"):
+            RetuneConfig(max_retunes=bad)
+
+
+class TestConvergence:
+    def test_poor_format_converges_at_first_window(self):
+        """The acceptance case: COO start, deterministic convergence to
+        the advisor's best within one window, then stable."""
+        sess = make_session(interval=4)
+        x = x_for(sess)
+        for call in range(1, 13):
+            sess.execute(x)
+            if call < 4:
+                assert sess.format_name == "coo"
+        tuner = sess.tuner
+        assert sess.format_name != "coo"
+        assert tuner.retunes == 1
+        first, rest = tuner.history[0], tuner.history[1:]
+        assert first["decision"] == "triggered"
+        assert first["call"] == 4
+        assert sess.format_name == first["best_format"]
+        # Subsequent windows re-score and keep the converged choice.
+        assert rest and all(e["decision"] == "kept" for e in rest)
+        # Convergence is deterministic: a fresh identical run lands on
+        # the same format at the same call.
+        twin = make_session(interval=4)
+        for _ in range(4):
+            twin.execute(x)
+        assert twin.format_name == sess.tuner.history[0]["best_format"]
+
+    def test_retuned_session_still_correct(self):
+        sess = make_session(interval=2)
+        x = x_for(sess)
+        expected = sess.source.spmv(x)
+        for _ in range(4):
+            res = sess.execute(x)
+        assert sess.format_name != "coo"
+        np.testing.assert_allclose(res.y, expected, rtol=1e-12)
+
+    def test_counters_and_span_emitted(self):
+        from repro import telemetry
+
+        reg = M.MetricsRegistry()
+        with telemetry.tracing(registry=reg) as t:
+            sess = make_session(interval=2, max_retunes=1)
+            x = x_for(sess)
+            for _ in range(4):
+                sess.execute(x)
+        telemetry.disable()
+        assert t.find("session.retune")
+        snap = reg.snapshot()["counters"]
+        assert snap["exec.retune.evaluations"] >= 1
+        fmt = sess.format_name
+        assert snap[f'exec.retune.triggered{{format="{fmt}"}}'] == 1
+
+    def test_seal_survives_retune(self):
+        sess = make_session(interval=2).seal()
+        assert sess.sealed
+        x = x_for(sess)
+        sess.execute(x)
+        assert sess.tuner.retunes == 0
+        sess.execute(x)
+        assert sess.tuner.retunes == 1
+        assert sess.sealed, "retune must re-seal a sealed container"
+
+    def test_retune_warms_the_plan_cache(self):
+        sess = make_session(interval=2)
+        cache = sess.plan_cache
+        x = x_for(sess)
+        sess.execute(x)
+        sess.execute(x)  # retunes + prepare()s the new container
+        builds_after_retune = cache.stats()["builds"]
+        sess.execute(x)  # warm: replays the prepared plan
+        assert cache.stats()["builds"] == builds_after_retune
+
+
+class TestKnobs:
+    def test_window_interval_respected(self):
+        sess = make_session(interval=6)
+        x = x_for(sess)
+        for _ in range(5):
+            sess.execute(x)
+        assert sess.tuner.history == []
+        sess.execute(x)
+        assert len(sess.tuner.history) == 1
+
+    def test_high_hysteresis_skips(self):
+        sess = make_session(interval=2, hysteresis=1e9)
+        x = x_for(sess)
+        sess.execute(x)
+        sess.execute(x)
+        tuner = sess.tuner
+        assert sess.format_name == "coo"
+        assert tuner.retunes == 0
+        (entry,) = tuner.history
+        assert entry["decision"] == "skipped_hysteresis"
+        assert entry["win"] < 1e9
+
+    def test_max_retunes_budget_stops_evaluation(self):
+        sess = make_session(interval=1, max_retunes=1)
+        x = x_for(sess)
+        for _ in range(5):
+            sess.execute(x)
+        tuner = sess.tuner
+        assert tuner.retunes == 1
+        assert tuner.calls_seen == 5
+        # After the budget is spent, windows close without evaluating.
+        assert len(tuner.history) == 1
+
+    def test_zero_budget_never_evaluates(self):
+        sess = make_session(interval=1, max_retunes=0)
+        x = x_for(sess)
+        for _ in range(3):
+            sess.execute(x)
+        assert sess.tuner.history == []
+        assert sess.format_name == "coo"
+
+    def test_observe_returns_retune_flag(self):
+        # Drive a detached tuner by hand so each observe() is explicit.
+        sess = Session(
+            "k20", policy=ExecutionPolicy(plan_cache=PlanCache())
+        ).load(MATRIX, scale=SCALE).convert("coo")
+        tuner = OnlineTuner(sess, RetuneConfig(
+            interval=2, hysteresis=1.05, formats=FORMATS))
+        x = x_for(sess)
+        assert tuner.observe(sess.execute(x)) is False  # window open
+        assert tuner.observe(sess.execute(x)) is True  # closes, retunes
+        assert tuner.retunes == 1
+        assert sess.format_name != "coo"
+
+    def test_detach_stops_observation(self):
+        sess = make_session(interval=1)
+        tuner = sess.tuner
+        sess.detach_tuner()
+        assert sess.tuner is None
+        x = x_for(sess)
+        for _ in range(3):
+            sess.execute(x)
+        assert tuner.calls_seen == 0
+        assert sess.format_name == "coo"
+
+    def test_autotune_replaces_tuner(self):
+        sess = make_session(interval=4)
+        first = sess.tuner
+        sess.autotune(RetuneConfig(interval=8, formats=FORMATS))
+        assert sess.tuner is not first
+        assert sess.tuner.config.interval == 8
+
+    def test_history_records_measurement(self):
+        sess = make_session(interval=3, hysteresis=1e9)
+        x = x_for(sess)
+        for _ in range(3):
+            sess.execute(x)
+        (entry,) = sess.tuner.history
+        assert entry["measured_per_nnz"] > 0
+        assert entry["achieved_bytes_per_s"] > 0
+        assert entry["best_per_nnz"] > 0
+        assert entry["call"] == 3
