@@ -376,7 +376,8 @@ def _executor_backends() -> List[str]:
 def wallclock_engines(
     scale: float | None = None,
     matrices: Sequence[str] = ("dense2", "epb3"),
-    formats: Sequence[str] = ("bro_ell", "bro_hyb"),
+    formats: Sequence[str] = ("bro_ell", "bro_hyb", "sell_c_sigma", "cmrs",
+                              "bro_sell"),
     device: str = "k20",
     h: int = 256,
     repeats: int = 5,

@@ -12,16 +12,20 @@ The layout implemented here is the one Fig. 1 / Fig. 2 of the paper describe:
 
 :mod:`~repro.bitstream.packing` holds the vectorized pack/unpack kernels,
 :mod:`~repro.bitstream.writer` / :mod:`~repro.bitstream.reader` hold scalar
-reference implementations used by the test-suite as ground truth, and
-:mod:`~repro.bitstream.multiplex` holds the slice-concatenation layout.
+reference implementations used by the test-suite as ground truth,
+:mod:`~repro.bitstream.multiplex` holds the slice-concatenation layout, and
+:mod:`~repro.bitstream.codec` composes all of it into the reusable
+:class:`~repro.bitstream.codec.BROCodec` layer the format containers use.
 """
 
 from .multiplex import MultiplexedStream, concat_slices
 from .packing import pack_slice, row_stream_symbols, unpack_slice
 from .reader import BitReader, SliceDecoder
 from .writer import BitWriter
+from .codec import BROCodec
 
 __all__ = [
+    "BROCodec",
     "pack_slice",
     "unpack_slice",
     "row_stream_symbols",

@@ -1,0 +1,167 @@
+"""Composable BRO codec: delta → bit-width allocation → pack → multiplex.
+
+The paper's core claim is that bit-representation optimization is a
+*layer* one can put on top of a sliced storage format, not a property of
+any single format. :class:`BROCodec` makes that layer explicit: it owns
+the two delta policies (per-column deltas for the ELL family, per-lane
+deltas for the COO family), the bit-width allocation, and the
+``sym_len``-bit symbol multiplexing. The pre-existing primitives —
+:mod:`repro.bitstream.packing`, :mod:`repro.bitstream.multiplex`,
+:mod:`repro.bitstream.reader`/``writer`` and :mod:`repro.core.delta` —
+are its implementation; the format containers (``bro_ell``, ``bro_coo``,
+``bro_hyb``, ``bro_sell``) are thin clients.
+
+Both directions compose the exact same primitive calls the formats used
+inline before the refactor, so the produced ``.brx`` payloads are
+byte-identical (``tests/core/test_codec_migration.py`` pins this).
+
+Column mode (BRO-ELL / BRO-SELL)
+--------------------------------
+``encode_columns`` takes one slice's dense ``(h, l)`` column-index block
+plus its validity mask, delta-encodes down the columns (1-based running
+deltas, 0 marking padding), allocates one bit width per column
+(``b_j = max Gamma(delta_j)``) and packs MSB-first into multiplexed
+symbols. ``decode_columns`` inverts it.
+
+Lane mode (BRO-COO)
+-------------------
+``encode_lanes`` takes one interval's ``(w, L)`` lane-arranged row
+indices, delta-encodes along lanes (first iteration keeps the absolute
+index + 1), allocates a *single* width per interval and packs.
+``decode_lanes`` inverts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .multiplex import MultiplexedStream, concat_slices
+from .packing import pack_slice, unpack_slice
+
+
+def _delta():
+    # Imported lazily: repro.core's package init pulls in the format
+    # containers, which import this module — a top-level import would be
+    # circular whichever package initializes first.
+    from ..core import delta
+
+    return delta
+
+
+def _slices():
+    from ..core import slices
+
+    return slices
+
+__all__ = ["BROCodec", "COLUMN_DELTA", "LANE_DELTA"]
+
+#: Delta-policy names a codec instance reports (``repro formats`` codec
+#: column); column deltas serve the ELL family, lane deltas the COO family.
+COLUMN_DELTA = "columns"
+LANE_DELTA = "lanes"
+
+
+@dataclass(frozen=True)
+class BROCodec:
+    """Bit-representation-optimizing codec for one symbol length.
+
+    Stateless and frozen: a codec is a *policy* (symbol length plus the
+    delta/width rules), not a container. The same instance can encode any
+    number of slices; the per-matrix state (streams, width tables) lives
+    in the format containers.
+    """
+
+    sym_len: int = 32
+
+    def __post_init__(self) -> None:
+        if self.sym_len not in (32, 64):
+            raise ValidationError(
+                f"sym_len must be 32 or 64, got {self.sym_len}"
+            )
+
+    # -- column mode (ELL family) --------------------------------------
+    def encode_columns(
+        self, col_block: np.ndarray, valid: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode one ``(h, l)`` column-index block.
+
+        Returns ``(symbols, widths)``: the multiplexed symbol block and
+        the per-column bit widths (the paper's ``bit_alloc_i``).
+        """
+        deltas = _delta().delta_encode_columns(col_block, valid)
+        widths = _slices().column_bit_alloc(deltas, max_bits=self.sym_len)
+        return pack_slice(deltas, widths, sym_len=self.sym_len), widths
+
+    def decode_columns(
+        self, stream_view: np.ndarray, widths: np.ndarray, h: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`encode_columns`: ``(col_idx, valid)`` blocks."""
+        return _delta().delta_decode_columns(
+            self.unpack_deltas(stream_view, widths, h)
+        )
+
+    def unpack_deltas(
+        self, stream_view: np.ndarray, widths: np.ndarray, h: int
+    ) -> np.ndarray:
+        """The raw ``(h, l)`` delta block of one packed slice.
+
+        Exposed for repack knobs (e.g. the Section 4.2.1 uniform-width
+        experiment) that transform deltas without re-deriving them from
+        decoded indices.
+        """
+        return unpack_slice(stream_view, widths, h, self.sym_len)
+
+    def pack_deltas(
+        self, deltas: np.ndarray, widths: np.ndarray
+    ) -> np.ndarray:
+        """Pack an already-delta-encoded block with explicit widths."""
+        return pack_slice(deltas, widths, sym_len=self.sym_len)
+
+    # -- lane mode (COO family) ----------------------------------------
+    def encode_lanes(self, rows_2d: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Encode one ``(w, L)`` lane-arranged row-index block.
+
+        Returns ``(symbols, width)`` with a *single* bit width for the
+        whole interval (the paper's per-interval ``bit_alloc``).
+        """
+        deltas = _delta().delta_encode_lanes(rows_2d)
+        width = _slices().interval_bit_alloc(deltas, max_bits=self.sym_len)
+        widths = np.full(rows_2d.shape[1], width, dtype=np.int64)
+        return pack_slice(deltas, widths, sym_len=self.sym_len), width
+
+    def decode_lanes(
+        self, stream_view: np.ndarray, width: int, lanes: int, iters: int
+    ) -> np.ndarray:
+        """Inverse of :meth:`encode_lanes`: the ``(w, L)`` row indices."""
+        widths = np.full(iters, int(width), dtype=np.int64)
+        deltas = unpack_slice(stream_view, widths, lanes, self.sym_len)
+        return _delta().delta_decode_lanes(deltas)
+
+    # -- stream assembly ------------------------------------------------
+    def concat(self, blocks: Sequence[np.ndarray]) -> MultiplexedStream:
+        """Concatenate per-slice symbol blocks into one device stream."""
+        return concat_slices(blocks, sym_len=self.sym_len)
+
+    def encode_column_slices(
+        self, blocks: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[MultiplexedStream, List[np.ndarray]]:
+        """Encode ``(col_block, valid)`` pairs into one stream + widths."""
+        symbols: List[np.ndarray] = []
+        widths: List[np.ndarray] = []
+        for col_block, valid in blocks:
+            syms, w = self.encode_columns(col_block, valid)
+            symbols.append(syms)
+            widths.append(w)
+        return self.concat(symbols), widths
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def valid_mask(lengths: np.ndarray, width: int) -> np.ndarray:
+        """Left-packed validity mask of a ``(h, width)`` ELL block."""
+        return np.arange(int(width))[np.newaxis, :] < np.asarray(
+            lengths, dtype=np.int64
+        )[:, np.newaxis]

@@ -699,6 +699,7 @@ def _cmd_formats(args: argparse.Namespace) -> int:
         for key in ("kernel", "planner", "tracer", "tuner", "validator",
                     "integrity", "serializer", "compiled"):
             out[key] = "yes" if row[key] else "-"
+        out["codec"] = row["codec"] or "-"
         printable.append(out)
     from .kernels.backends import jit_available, numba_version
 
@@ -710,7 +711,7 @@ def _cmd_formats(args: argparse.Namespace) -> int:
     print(format_table(
         printable,
         ["format", "container", "kernel", "planner", "tracer", "tuner",
-         "validator", "integrity", "serializer", "compiled",
+         "validator", "integrity", "serializer", "compiled", "codec",
          "default_kwargs"],
         "Format capability matrix (from repro.registry)",
     ))

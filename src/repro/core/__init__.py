@@ -16,6 +16,7 @@ The pipeline (Fig. 1 / Fig. 2 of the paper):
 from .bro_coo import BROCOOMatrix
 from .bro_ell import BROELLMatrix
 from .bro_hyb import BROHYBMatrix
+from .bro_sell import BROSELLMatrix
 from .compression import (
     CompressionReport,
     compression_ratio,
@@ -38,6 +39,7 @@ __all__ = [
     "BROELLMatrix",
     "BROCOOMatrix",
     "BROHYBMatrix",
+    "BROSELLMatrix",
     "BROELLVCMatrix",
     "MultiRowBROELL",
     "RowwiseBROELL",

@@ -18,8 +18,8 @@ from typing import Any, Dict, Iterator, Tuple
 
 import numpy as np
 
-from ..bitstream.multiplex import MultiplexedStream, concat_slices
-from ..bitstream.packing import pack_slice, unpack_slice
+from ..bitstream.codec import LANE_DELTA, BROCodec
+from ..bitstream.multiplex import MultiplexedStream
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
@@ -28,8 +28,6 @@ from ..telemetry.tracer import span as _span
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.bits import ceil_div
 from ..utils.validation import check_positive
-from .delta import delta_decode_lanes, delta_encode_lanes
-from .slices import interval_bit_alloc
 
 __all__ = ["BROCOOMatrix"]
 
@@ -62,6 +60,7 @@ def adaptive_interval_size(
 @register_format(
     default_kwargs={"interval_size": None, "warp_size": 32, "sym_len": 32},
     tuner=TunerProfile(),
+    codec=LANE_DELTA,
 )
 class BROCOOMatrix(SparseFormat):
     """Sparse matrix stored in the BRO-COO compressed format."""
@@ -114,6 +113,7 @@ class BROCOOMatrix(SparseFormat):
             raise ValidationError("entries present but no intervals")
 
         self._stream = stream
+        self._codec = BROCodec(stream.sym_len)
         self._bit_alloc = bit_alloc
         self._col_idx = col_idx
         self._vals = vals
@@ -184,14 +184,19 @@ class BROCOOMatrix(SparseFormat):
         lo, hi = self.interval_entry_bounds(i)
         return ceil_div(hi - lo, self._w)
 
+    @property
+    def codec(self) -> BROCodec:
+        """The lane-delta codec this container was encoded with."""
+        return self._codec
+
     def decode_interval_rows(self, i: int) -> np.ndarray:
         """Host-side decode of interval ``i``'s ``(w, L)`` row indices."""
-        L = self.interval_lanes(i)
-        widths = np.full(L, int(self._bit_alloc[i]), dtype=np.int64)
-        deltas = unpack_slice(
-            self._stream.slice_view(i), widths, self._w, self._stream.sym_len
+        return self._codec.decode_lanes(
+            self._stream.slice_view(i),
+            int(self._bit_alloc[i]),
+            self._w,
+            self.interval_lanes(i),
         )
-        return delta_decode_lanes(deltas)
 
     def iter_intervals(self) -> Iterator[Tuple[int, int, int, np.ndarray]]:
         """Yield ``(interval, lo, hi, stream_view)`` per interval."""
@@ -239,20 +244,17 @@ class BROCOOMatrix(SparseFormat):
 
         with _span("encode.bro_coo", "pipeline", intervals=n_int,
                    sym_len=sym_len):
+            codec = BROCodec(sym_len)
             streams, widths = [], []
             for i in range(n_int):
                 lo = i * interval_size
                 hi = min(lo + interval_size, padded)
                 L = ceil_div(hi - lo, warp_size)
                 block = row_idx[lo:hi].reshape(L, warp_size).T  # lane i = t % w
-                deltas = delta_encode_lanes(block)
-                b = interval_bit_alloc(deltas, max_bits=sym_len)
+                syms, b = codec.encode_lanes(block)
                 widths.append(b)
-                streams.append(
-                    pack_slice(deltas, np.full(L, b, dtype=np.int64),
-                               sym_len=sym_len)
-                )
-            stream = concat_slices(streams, sym_len=sym_len)
+                streams.append(syms)
+            stream = codec.concat(streams)
         return cls(
             stream,
             np.array(widths, dtype=np.int64),

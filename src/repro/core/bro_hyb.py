@@ -12,6 +12,7 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from ..bitstream.codec import COLUMN_DELTA, LANE_DELTA
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
@@ -30,6 +31,7 @@ __all__ = ["BROHYBMatrix"]
         "interval_size": None, "warp_size": 32,
     },
     tuner=TunerProfile(sweep_h=True),
+    codec=f"{COLUMN_DELTA}+{LANE_DELTA}",
 )
 class BROHYBMatrix(SparseFormat):
     """Sparse matrix stored as a BRO-ELL part plus a BRO-COO part."""

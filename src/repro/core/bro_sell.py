@@ -1,15 +1,18 @@
-"""BRO-ELL: bit-representation-optimized ELLPACK (paper Section 3.1).
+"""BRO-SELL: the BRO codec composed on SELL-C-σ.
 
-The format keeps the Sliced-ELLPACK partitioning (slice height ``h`` = the
-thread-block size, 256 by default) and value layout, but replaces each
-slice's dense column-index block with:
+The tentpole claim of the codec layer is that bit-representation
+optimization composes with any sliced ELL-style skeleton. This module is
+the proof: it applies the exact column-delta pipeline of
+:class:`~repro.core.bro_ell.BROELLMatrix` to the *sorted* chunks of
+:class:`~repro.formats.sell_c_sigma.SELLCSigmaMatrix`. The sort tightens
+each chunk's width (less padding to encode), while delta packing shrinks
+what remains — the two optimizations attack independent terms of the
+index footprint, so they stack.
 
-* ``bit_alloc_i`` — per-column bit widths (``b_j = max Gamma(delta)``),
-  resident in constant memory on the real GPU;
-* a multiplexed, delta-encoded, bit-packed index stream (Fig. 1).
-
-Values are *not* compressed (the paper leaves value compression as future
-work; we implement it separately in :mod:`repro.core.value_compression`).
+Container layout is BRO-ELL's (multiplexed stream, per-chunk
+``bit_alloc``, flat value blocks) plus SELL-C-σ's ``row_ids``
+permutation table; the kernel decodes a chunk exactly like a BRO-ELL
+slice and then scatters the chunk's partial sums through ``row_ids``.
 """
 
 from __future__ import annotations
@@ -23,58 +26,69 @@ from ..bitstream.multiplex import MultiplexedStream
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
-from ..formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from ..formats.sell_c_sigma import SELLCSigmaMatrix
+from ..formats.sliced_ellpack import slice_bounds
 from ..registry import TunerProfile
 from ..telemetry.tracer import span as _span
 from ..types import VALUE_DTYPE
 from ..utils.validation import check_positive
 
-__all__ = ["BROELLMatrix"]
+__all__ = ["BROSELLMatrix"]
 
 
 @register_format(
-    default_kwargs={"h": 256, "sym_len": 32},
-    tuner=TunerProfile(sweep_h=True),
+    default_kwargs={"c": 32, "sigma": 128, "sym_len": 32},
+    tuner=TunerProfile(),
     codec=COLUMN_DELTA,
 )
-class BROELLMatrix(SparseFormat):
-    """Sparse matrix stored in the BRO-ELL compressed format."""
+class BROSELLMatrix(SparseFormat):
+    """SELL-C-σ chunks with BRO-compressed column-index streams."""
 
-    format_name = "bro_ell"
+    format_name = "bro_sell"
 
     def __init__(
         self,
         stream: MultiplexedStream,
         bit_allocs: Sequence[np.ndarray],
         vals: np.ndarray,
+        row_ids: np.ndarray,
         row_lengths: np.ndarray,
-        h: int,
+        c: int,
+        sigma: int,
         shape: Tuple[int, int],
     ) -> None:
         m, n = int(shape[0]), int(shape[1])
-        h = check_positive(h, "h")
-        self._edges = slice_bounds(m, min(h, m))
+        c = check_positive(c, "c")
+        sigma = check_positive(sigma, "sigma")
+        self._edges = slice_bounds(m, min(c, m))
         s = self._edges.shape[0] - 1
         if stream.num_slices != s:
             raise ValidationError(
-                f"stream holds {stream.num_slices} slices, matrix needs {s}"
+                f"stream holds {stream.num_slices} chunks, matrix needs {s}"
             )
         if len(bit_allocs) != s:
             raise ValidationError(f"need {s} bit_alloc arrays, got {len(bit_allocs)}")
+        row_ids = np.asarray(row_ids, dtype=np.int64)
         row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if row_ids.shape != (m,) or not np.array_equal(
+            np.sort(row_ids), np.arange(m)
+        ):
+            raise ValidationError("row_ids must be a permutation of range(m)")
         if row_lengths.shape != (m,):
             raise ValidationError("row_lengths must have one entry per row")
         self._bit_allocs = tuple(
             np.asarray(b, dtype=np.int64).reshape(-1) for b in bit_allocs
         )
-        self._num_col = np.array([b.shape[0] for b in self._bit_allocs], dtype=np.int64)
+        self._num_col = np.array(
+            [b.shape[0] for b in self._bit_allocs], dtype=np.int64
+        )
         heights = np.diff(self._edges)
         block_sizes = heights * self._num_col
         expected = int(block_sizes.sum())
         vals = np.asarray(vals, dtype=VALUE_DTYPE)
         if vals.shape != (expected,):
             raise ValidationError(
-                f"vals must hold {expected} entries (sum of slice blocks), "
+                f"vals must hold {expected} entries (sum of chunk blocks), "
                 f"got {vals.shape}"
             )
         self._val_ptr = np.zeros(s + 1, dtype=np.int64)
@@ -82,39 +96,49 @@ class BROELLMatrix(SparseFormat):
         self._stream = stream
         self._codec = BROCodec(stream.sym_len)
         self._vals = vals
+        self._row_ids = row_ids
         self._row_lengths = row_lengths
-        self._h = h
+        self._c = c
+        self._sigma = sigma
         self._shape = (m, n)
 
     # ------------------------------------------------------------------
     @property
     def stream(self) -> MultiplexedStream:
-        """The packed, multiplexed index stream (``comp_str`` in Alg. 1)."""
         return self._stream
 
     @property
     def bit_allocs(self) -> Tuple[np.ndarray, ...]:
-        """Per-slice ``bit_alloc_i`` width arrays."""
+        """Per-chunk ``bit_alloc_i`` width arrays."""
         return self._bit_allocs
 
     @property
     def num_col(self) -> np.ndarray:
-        """Per-slice column counts (the paper's ``num_col`` array)."""
+        """Per-chunk column counts (post-sort chunk widths)."""
         return self._num_col
 
     @property
+    def row_ids(self) -> np.ndarray:
+        """Original row stored at each permuted position (gather table)."""
+        return self._row_ids
+
+    @property
     def row_lengths(self) -> np.ndarray:
-        """Real entries per row."""
+        """Real entries per row, in *original* row order."""
         return self._row_lengths
 
     @property
-    def h(self) -> int:
-        """Slice height (thread-block size)."""
-        return self._h
+    def c(self) -> int:
+        """Chunk height."""
+        return self._c
+
+    @property
+    def sigma(self) -> int:
+        """Sort scope of the underlying SELL-C-σ skeleton."""
+        return self._sigma
 
     @property
     def sym_len(self) -> int:
-        """Symbol length of the packed stream in bits."""
         return self._stream.sym_len
 
     @property
@@ -123,12 +147,12 @@ class BROELLMatrix(SparseFormat):
         return self._codec
 
     @property
-    def num_slices(self) -> int:
+    def num_chunks(self) -> int:
         return self._edges.shape[0] - 1
 
     @property
-    def slice_edges(self) -> np.ndarray:
-        """Row boundaries of each slice."""
+    def chunk_edges(self) -> np.ndarray:
+        """Permuted-row boundaries of each chunk."""
         return self._edges
 
     @property
@@ -141,19 +165,19 @@ class BROELLMatrix(SparseFormat):
 
     # ------------------------------------------------------------------
     def val_block(self, i: int) -> np.ndarray:
-        """Slice ``i``'s ``(h_i, l_i)`` value block (view)."""
-        if not 0 <= i < self.num_slices:
-            raise ValidationError(f"slice index {i} out of range")
+        """Chunk ``i``'s ``(h_i, l_i)`` value block (view)."""
+        if not 0 <= i < self.num_chunks:
+            raise ValidationError(f"chunk index {i} out of range")
         lo, hi = int(self._val_ptr[i]), int(self._val_ptr[i + 1])
         h_i = int(self._edges[i + 1] - self._edges[i])
         l_i = int(self._num_col[i])
         return self._vals[lo:hi].reshape(h_i, l_i)
 
-    def iter_slices(
+    def iter_chunks(
         self,
     ) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]:
-        """Yield ``(row_start, row_end, bit_alloc, stream_view, val_block)``."""
-        for i in range(self.num_slices):
+        """Yield ``(perm_start, perm_end, bit_alloc, stream_view, val_block)``."""
+        for i in range(self.num_chunks):
             yield (
                 int(self._edges[i]),
                 int(self._edges[i + 1]),
@@ -162,8 +186,8 @@ class BROELLMatrix(SparseFormat):
                 self.val_block(i),
             )
 
-    def decode_slice_cols(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Host-side decode of slice ``i``: ``(col_idx, valid)`` blocks."""
+    def decode_chunk_cols(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Host-side decode of chunk ``i``: ``(col_idx, valid)`` blocks."""
         h_i = int(self._edges[i + 1] - self._edges[i])
         return self._codec.decode_columns(
             self._stream.slice_view(i), self._bit_allocs[i], h_i
@@ -171,25 +195,25 @@ class BROELLMatrix(SparseFormat):
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_sliced(
-        cls, sl: SlicedELLPACKMatrix, sym_len: int = 32
-    ) -> "BROELLMatrix":
-        """Compress a Sliced-ELLPACK matrix (the offline host-side step)."""
-        with _span("encode.bro_ell", "pipeline", slices=sl.num_slices,
+    def from_sell(
+        cls, sell: SELLCSigmaMatrix, sym_len: int = 32
+    ) -> "BROSELLMatrix":
+        """Compress a SELL-C-σ matrix (the offline host-side step)."""
+        with _span("encode.bro_sell", "pipeline", chunks=sell.num_chunks,
                    sym_len=sym_len):
-            return cls._from_sliced(sl, sym_len)
+            return cls._from_sell(sell, sym_len)
 
     @classmethod
-    def _from_sliced(
-        cls, sl: SlicedELLPACKMatrix, sym_len: int
-    ) -> "BROELLMatrix":
+    def _from_sell(
+        cls, sell: SELLCSigmaMatrix, sym_len: int
+    ) -> "BROSELLMatrix":
         codec = BROCodec(sym_len)
         streams = []
         bit_allocs = []
         val_blocks = []
-        lengths = sl.row_lengths
-        for r0, r1, col_block, val_block in sl.iter_slices():
-            valid = codec.valid_mask(lengths[r0:r1], col_block.shape[1])
+        perm_lengths = sell.row_lengths[sell.row_ids]
+        for r0, r1, col_block, val_block in sell.iter_chunks():
+            valid = codec.valid_mask(perm_lengths[r0:r1], col_block.shape[1])
             syms, widths = codec.encode_columns(col_block, valid)
             streams.append(syms)
             bit_allocs.append(widths)
@@ -200,66 +224,48 @@ class BROELLMatrix(SparseFormat):
             if val_blocks
             else np.zeros(0, dtype=VALUE_DTYPE)
         )
-        return cls(stream, bit_allocs, vals, lengths, sl.h, sl.shape)
+        return cls(
+            stream, bit_allocs, vals, sell.row_ids, sell.row_lengths,
+            sell.c, sell.sigma, sell.shape,
+        )
 
     @classmethod
     def from_coo(
-        cls, coo: COOMatrix, h: int = 256, sym_len: int = 32, **kwargs
-    ) -> "BROELLMatrix":
-        return cls.from_sliced(SlicedELLPACKMatrix.from_coo(coo, h=h), sym_len=sym_len)
-
-    def with_uniform_width(self, bits: int) -> "BROELLMatrix":
-        """Repack every slice with a fixed per-column bit width.
-
-        This is the Section 4.2.1 experiment knob: on a dense matrix every
-        delta is 1, so forcing the width to ``b`` simulates a compression
-        ratio of ``32 / b`` without changing the compute. Raises
-        :class:`~repro.errors.CompressionError` if any real delta does not
-        fit in ``bits``.
-        """
-        streams = []
-        bit_allocs = []
-        for i in range(self.num_slices):
-            h_i = int(self._edges[i + 1] - self._edges[i])
-            deltas = self._codec.unpack_deltas(
-                self._stream.slice_view(i), self._bit_allocs[i], h_i
-            )
-            widths = np.full(deltas.shape[1], int(bits), dtype=np.int64)
-            streams.append(self._codec.pack_deltas(deltas, widths))
-            bit_allocs.append(widths)
-        return BROELLMatrix(
-            self._codec.concat(streams),
-            bit_allocs,
-            self._vals,
-            self._row_lengths,
-            self._h,
-            self._shape,
+        cls,
+        coo: COOMatrix,
+        c: int = 32,
+        sigma: int = 128,
+        sym_len: int = 32,
+        **kwargs,
+    ) -> "BROSELLMatrix":
+        return cls.from_sell(
+            SELLCSigmaMatrix.from_coo(coo, c=c, sigma=sigma), sym_len=sym_len
         )
 
-    def to_sliced(self) -> SlicedELLPACKMatrix:
-        """Decompress back to Sliced-ELLPACK (testing / verification)."""
+    def to_sell(self) -> SELLCSigmaMatrix:
+        """Decompress back to SELL-C-σ (testing / verification)."""
         col_parts = []
-        for i in range(self.num_slices):
-            cols, valid = self.decode_slice_cols(i)
+        for i in range(self.num_chunks):
+            cols, valid = self.decode_chunk_cols(i)
             cols = np.where(valid, cols, 0)
             col_parts.append(cols.reshape(-1))
         col_idx = (
             np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
         )
-        return SlicedELLPACKMatrix(
-            col_idx, self._vals, self._row_lengths, self._num_col, self._h, self._shape
+        return SELLCSigmaMatrix(
+            col_idx, self._vals, self._row_ids, self._row_lengths,
+            self._num_col, self._c, self._sigma, self._shape,
         )
 
     def to_coo(self) -> COOMatrix:
-        return self.to_sliced().to_coo()
+        return self.to_sell().to_coo()
 
     # -- container serialization (.brx) --------------------------------
     def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
         meta: Dict[str, Any] = {
-            "shape": list(self._shape), "h": self._h, "sym_len": self.sym_len,
+            "shape": list(self._shape), "c": self._c, "sigma": self._sigma,
+            "sym_len": self.sym_len,
         }
-        # The ragged per-slice bit_alloc arrays flatten into one buffer;
-        # num_col holds the split points for the reverse transform.
         bit_alloc = (
             np.concatenate(self._bit_allocs)
             if self._bit_allocs
@@ -271,6 +277,7 @@ class BROELLMatrix(SparseFormat):
             "bit_alloc": bit_alloc,
             "num_col": self._num_col,
             "vals": self._vals,
+            "row_ids": self._row_ids,
             "row_lengths": self._row_lengths,
         }
         return meta, arrays
@@ -278,7 +285,7 @@ class BROELLMatrix(SparseFormat):
     @classmethod
     def from_state(
         cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
-    ) -> "BROELLMatrix":
+    ) -> "BROSELLMatrix":
         stream = MultiplexedStream(
             arrays["stream"], arrays["slice_ptr"], int(meta["sym_len"])
         )
@@ -286,40 +293,37 @@ class BROELLMatrix(SparseFormat):
         splits = np.cumsum(num_col)[:-1]
         bit_allocs = np.split(np.asarray(arrays["bit_alloc"]), splits)
         return cls(
-            stream, bit_allocs, arrays["vals"], arrays["row_lengths"],
-            int(meta["h"]), tuple(meta["shape"]),
+            stream, bit_allocs, arrays["vals"], arrays["row_ids"],
+            arrays["row_lengths"], int(meta["c"]), int(meta["sigma"]),
+            tuple(meta["shape"]),
         )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Reference SpMV: host-side decode then dense gather per slice."""
+        """Reference SpMV: decode each chunk, scatter through ``row_ids``."""
         x = self.check_x(x)
         y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
-        for i, (r0, r1, _ba, _sv, val_block) in enumerate(self.iter_slices()):
+        for i, (r0, r1, _ba, _sv, val_block) in enumerate(self.iter_chunks()):
             if val_block.shape[1] == 0:
                 continue
-            cols, valid = self.decode_slice_cols(i)
+            cols, valid = self.decode_chunk_cols(i)
             cols = np.where(valid, cols, 0)
-            # One masked FMA per ELL column, accumulated sequentially —
-            # the same order as Algorithm 1's device loop. A pairwise or
-            # SIMD-blocked reduction (einsum) would make the summation
-            # tree depend on the slice's padded width, so row results
-            # would drift by ULPs between differently-padded slices (e.g.
-            # the same row inside a row-sharded partition).
+            # Masked column-sequential FMA like BRO-ELL, then the partial
+            # sums land on their original rows through the permutation.
             prod = np.where(valid, val_block * x[cols], 0.0)
             acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
-            for c in range(prod.shape[1]):
-                acc += prod[:, c]
-            y[r0:r1] = acc
+            for col in range(prod.shape[1]):
+                acc += prod[:, col]
+            y[self._row_ids[r0:r1]] = acc
         return y
 
     def device_bytes(self) -> Dict[str, int]:
-        # bit_alloc entries fit in one byte each (widths <= 64) and live in
-        # constant memory; num_col and the slice pointers are int32.
+        # Stream + the int32 permutation table are index traffic;
+        # bit_alloc bytes plus int32 num_col / slice pointers are aux.
         aux = int(self._num_col.sum()) + 4 * (
             self._num_col.shape[0] + self._stream.slice_ptr.shape[0]
         )
         return {
-            "index": int(self._stream.nbytes),
+            "index": int(self._stream.nbytes) + 4 * self._shape[0],
             "values": int(self._vals.nbytes),
             "aux": aux,
         }

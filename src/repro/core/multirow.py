@@ -24,10 +24,12 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from ..bitstream.codec import COLUMN_DELTA
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from ..registry import TunerProfile
 from ..utils.validation import check_positive
 from .bro_ell import BROELLMatrix
 
@@ -56,7 +58,11 @@ def split_rows(coo: COOMatrix, t: int) -> COOMatrix:
     return COOMatrix(rows, coo.col_idx, coo.vals, (m * t, n))
 
 
-@register_format(default_kwargs={"threads_per_row": 2, "h": 256, "sym_len": 32})
+@register_format(
+    default_kwargs={"threads_per_row": 2, "h": 256, "sym_len": 32},
+    tuner=TunerProfile(candidate=False),
+    codec=COLUMN_DELTA,
+)
 class MultiRowBROELL(SparseFormat):
     """BRO-ELL with ``t`` threads (sub-rows) per logical matrix row."""
 

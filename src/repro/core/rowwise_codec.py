@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from ..bitstream.codec import COLUMN_DELTA
 from ..bitstream.packing import pack_slice, unpack_slice
 from ..errors import ValidationError
 from ..formats.base import SparseFormat, register_format
@@ -43,7 +44,7 @@ from .delta import delta_decode_columns, delta_encode_columns
 __all__ = ["RowwiseBROELL"]
 
 
-@register_format(default_kwargs={"h": 256, "sym_len": 32})
+@register_format(default_kwargs={"h": 256, "sym_len": 32}, codec=COLUMN_DELTA)
 class RowwiseBROELL(SparseFormat):
     """BRO-ELL variant with one bit width per row (the divergent strawman).
 
@@ -69,7 +70,7 @@ class RowwiseBROELL(SparseFormat):
     ) -> None:
         m, n = int(shape[0]), int(shape[1])
         h = check_positive(h, "h")
-        self._edges = slice_bounds(m, h)
+        self._edges = slice_bounds(m, min(h, m))
         s = self._edges.shape[0] - 1
         stream = np.asarray(stream, dtype=symbol_dtype(sym_len))
         row_ptr = np.asarray(row_ptr, dtype=np.int64)

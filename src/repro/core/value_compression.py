@@ -27,10 +27,12 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..bitstream.codec import COLUMN_DELTA
 from ..bitstream.multiplex import MultiplexedStream
 from ..bitstream.packing import pack_slice, unpack_slice
 from ..errors import ValidationError
 from ..formats.base import register_format
+from ..registry import TunerProfile
 from ..formats.coo import COOMatrix
 from ..formats.sliced_ellpack import SlicedELLPACKMatrix
 from ..types import VALUE_DTYPE
@@ -101,7 +103,11 @@ def decompress_value_block(
     return slice_.dictionary[codes]
 
 
-@register_format(default_kwargs={"h": 256, "sym_len": 32, "max_bits": 8})
+@register_format(
+    default_kwargs={"h": 256, "sym_len": 32, "max_bits": 8},
+    tuner=TunerProfile(candidate=False),
+    codec=COLUMN_DELTA,
+)
 class BROELLVCMatrix(BROELLMatrix):
     """BRO-ELL with the value channel dictionary-compressed per slice."""
 

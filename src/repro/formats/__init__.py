@@ -12,12 +12,14 @@ plain mathematical reference used for correctness checks.
 
 from .base import SparseFormat, available_formats, get_format
 from .bellpack import BELLPACKMatrix
+from .cmrs import CMRSMatrix
 from .conversion import convert, from_dense, from_scipy, to_scipy
 from .coo import COOMatrix
 from .csr import CSRMatrix
 from .ellpack import ELLPACKMatrix
 from .ellpack_r import ELLPACKRMatrix
 from .hyb import HYBMatrix, hyb_split_column
+from .sell_c_sigma import SELLCSigmaMatrix, sell_permutation
 from .sliced_ellpack import SlicedELLPACKMatrix
 
 __all__ = [
@@ -29,10 +31,13 @@ __all__ = [
     "from_scipy",
     "to_scipy",
     "BELLPACKMatrix",
+    "CMRSMatrix",
     "COOMatrix",
     "CSRMatrix",
     "ELLPACKMatrix",
     "ELLPACKRMatrix",
+    "SELLCSigmaMatrix",
+    "sell_permutation",
     "SlicedELLPACKMatrix",
     "HYBMatrix",
     "hyb_split_column",

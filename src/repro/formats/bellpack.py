@@ -213,12 +213,20 @@ class BELLPACKMatrix(SparseFormat):
         x = self.check_x(x)
         m, n = self._shape
         r, c = self._r, self._c
-        # Pad x to whole blocks, gather (mb, K, c) slices, contract.
+        mb, K = self._bcol.shape
+        # Pad x to whole blocks, then accumulate block-column by
+        # block-column, entry-column by entry-column — the register
+        # accumulation order of the device kernel (each thread walks its
+        # block row left to right), so plans replay it bit-for-bit.
         x_pad = np.zeros(ceil_div(n, c) * c, dtype=VALUE_DTYPE)
         x_pad[:n] = x
-        xb = x_pad.reshape(-1, c)[self._bcol]  # (mb, K, c)
-        y_blocks = np.einsum("bkrc,bkc->br", self._bvals, xb)  # (mb, r)
-        return y_blocks.reshape(-1)[:m]
+        cols0 = self._bcol.astype(np.int64) * c  # (mb, K) first x index
+        acc = np.zeros((mb, r), dtype=VALUE_DTYPE)
+        for k in range(K):
+            for cc in range(c):
+                # (mb, r) block column times the gathered x element.
+                acc += self._bvals[:, k, :, cc] * x_pad[cols0[:, k] + cc][:, None]
+        return acc.reshape(-1)[:m]
 
     def device_bytes(self) -> Dict[str, int]:
         return {

@@ -1,0 +1,200 @@
+"""CMRS format (Koza et al.) — compressed multi-row strips.
+
+CMRS groups ``height`` consecutive rows into a *strip* and stores the
+strip's entries contiguously in row-major order, CSR-style, with one
+pointer per strip instead of one per row. The row of each entry is
+reconstructed from its strip id plus a *row-in-strip* offset stored as a
+single ``uint8`` — 1 byte of row information per entry instead of the
+4-byte absolute row index COO streams. That byte-level shrinking of the
+index representation is the same lever the BRO schemes pull with
+bit-packed delta streams, which is why the paper's Section 6 compares
+against it: CMRS trades decode arithmetic (one multiply-add per entry)
+for index traffic exactly like BRO-COO does, just at byte rather than
+bit granularity.
+
+One warp processes one strip: lanes walk the strip's entries, multiply,
+and reduce partial sums per reconstructed row, so short rows no longer
+idle a full warp the way scalar CSR does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..registry import TunerProfile
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.bits import ceil_div
+from ..utils.validation import check_positive
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+
+__all__ = ["CMRSMatrix"]
+
+#: ``row_in_strip`` is stored as uint8, bounding the strip height.
+MAX_STRIP_HEIGHT = 256
+
+
+@register_format(default_kwargs={"height": 4}, tuner=TunerProfile())
+class CMRSMatrix(SparseFormat):
+    """Compressed multi-row strips with per-entry ``uint8`` row offsets."""
+
+    format_name = "cmrs"
+
+    def __init__(
+        self,
+        strip_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        row_in_strip: np.ndarray,
+        vals: np.ndarray,
+        height: int,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        height = check_positive(height, "height")
+        if height > MAX_STRIP_HEIGHT:
+            raise ValidationError(
+                f"height must be <= {MAX_STRIP_HEIGHT} (row_in_strip is uint8), "
+                f"got {height}"
+            )
+        n_strips = ceil_div(m, height) if m else 0
+        strip_ptr = np.asarray(strip_ptr, dtype=np.int64)
+        col_idx = np.asarray(col_idx, dtype=INDEX_DTYPE)
+        row_in_strip = np.asarray(row_in_strip, dtype=np.uint8)
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if strip_ptr.shape != (n_strips + 1,):
+            raise ValidationError(
+                f"strip_ptr must have {n_strips + 1} entries, got {strip_ptr.shape}"
+            )
+        if int(strip_ptr[0]) != 0 or np.any(np.diff(strip_ptr) < 0):
+            raise ValidationError("strip_ptr must start at 0 and be non-decreasing")
+        nnz = int(strip_ptr[-1]) if n_strips else 0
+        if not (col_idx.shape == row_in_strip.shape == vals.shape == (nnz,)):
+            raise ValidationError(
+                f"entry arrays must all have {nnz} entries, got "
+                f"{col_idx.shape}, {row_in_strip.shape}, {vals.shape}"
+            )
+        if col_idx.size and (int(col_idx.min()) < 0 or int(col_idx.max()) >= n):
+            raise ValidationError("column index out of range")
+        rows = self._reconstruct_rows(strip_ptr, row_in_strip, height)
+        if rows.size and int(rows.max()) >= m:
+            raise ValidationError("row_in_strip entries point past the last row")
+
+        self._strip_ptr = strip_ptr
+        self._col_idx = col_idx
+        self._row_in_strip = row_in_strip
+        self._vals = vals
+        self._height = height
+        self._shape = (m, n)
+        self._rows = rows
+
+    @staticmethod
+    def _reconstruct_rows(
+        strip_ptr: np.ndarray, row_in_strip: np.ndarray, height: int
+    ) -> np.ndarray:
+        """Per-entry absolute rows: ``strip * height + row_in_strip``."""
+        n_strips = strip_ptr.shape[0] - 1
+        strips = np.repeat(
+            np.arange(n_strips, dtype=np.int64), np.diff(strip_ptr)
+        )
+        return strips * height + row_in_strip.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Rows per strip (bounded by 256 — the uint8 offset range)."""
+        return self._height
+
+    @property
+    def num_strips(self) -> int:
+        return self._strip_ptr.shape[0] - 1
+
+    @property
+    def strip_ptr(self) -> np.ndarray:
+        return self._strip_ptr
+
+    @property
+    def col_idx(self) -> np.ndarray:
+        return self._col_idx
+
+    @property
+    def row_in_strip(self) -> np.ndarray:
+        """Per-entry row offset inside its strip (``uint8``)."""
+        return self._row_in_strip
+
+    @property
+    def vals(self) -> np.ndarray:
+        return self._vals
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._col_idx.shape[0])
+
+    def entry_rows(self) -> np.ndarray:
+        """Absolute row of every entry (what the kernel's madd computes)."""
+        return self._rows
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, height: int = 4, **kwargs) -> "CMRSMatrix":
+        m, _ = coo.shape
+        height = check_positive(height, "height")
+        n_strips = ceil_div(m, height) if m else 0
+        strips = coo.row_idx // height
+        counts = np.bincount(strips, minlength=max(n_strips, 1))[:max(n_strips, 1)]
+        strip_ptr = np.zeros(n_strips + 1, dtype=np.int64)
+        if n_strips:
+            np.cumsum(counts[:n_strips], out=strip_ptr[1:])
+        # COOMatrix is (row, col)-sorted, hence already strip-major with
+        # row-major order inside each strip — no re-sort needed.
+        row_in_strip = (coo.row_idx % height).astype(np.uint8)
+        return cls(
+            strip_ptr, coo.col_idx, row_in_strip, coo.vals, height, coo.shape
+        )
+
+    def to_coo(self) -> COOMatrix:
+        return COOMatrix(self._rows, self._col_idx, self._vals, self._shape)
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {"shape": list(self._shape), "height": self._height}
+        arrays = {
+            "strip_ptr": self._strip_ptr,
+            "col_idx": self._col_idx,
+            "row_in_strip": self._row_in_strip,
+            "vals": self._vals,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "CMRSMatrix":
+        return cls(
+            arrays["strip_ptr"], arrays["col_idx"], arrays["row_in_strip"],
+            arrays["vals"], int(meta["height"]), tuple(meta["shape"]),
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        # Entry-ordered scatter accumulation — the same reduction order
+        # the segmented device kernel commits, so plans replay it
+        # bit-for-bit.
+        np.add.at(y, self._rows, self._vals * x[self._col_idx])
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        return {
+            # 4 B column index + 1 B row offset per entry — the whole
+            # point of the format versus COO's 4 + 4.
+            "index": int(self._col_idx.nbytes) + int(self._row_in_strip.nbytes),
+            "values": int(self._vals.nbytes),
+            "aux": int(4 * self._strip_ptr.shape[0]),
+        }

@@ -1,0 +1,316 @@
+"""SELL-C-σ format (Kreutzer et al.) — sorted Sliced-ELLPACK chunks.
+
+Sliced ELLPACK already bounds padding by the per-slice maximum row length;
+SELL-C-σ attacks the remaining waste by *sorting*. Rows are reordered by
+decreasing length inside windows of ``sigma`` consecutive rows, then
+partitioned into chunks of ``c`` rows (the SIMD/warp width). Rows of
+similar length land in the same chunk, so each chunk's width — the
+maximum row length inside it — hugs the actual lengths and padding
+collapses. ``sigma`` bounds how far a row may travel from its original
+position: ``sigma = c`` barely perturbs the matrix, ``sigma = m`` is full
+global sorting (maximal padding reduction, worst ``x``-access locality).
+
+Storage is the Sliced-ELLPACK flat block layout in *permuted* row space
+plus the ``row_ids`` gather table mapping permuted positions back to
+original rows (the kernel scatters ``y`` through it). The chunk edges
+reuse :func:`~repro.formats.sliced_ellpack.slice_bounds`; explicitly
+variable-height chunkings go through
+:func:`~repro.formats.sliced_ellpack.variable_slice_bounds` exactly like
+the parent format.
+
+:mod:`repro.core.bro_sell` composes :class:`repro.bitstream.codec.BROCodec`
+on top of this skeleton, the same way BRO-ELL composes it on Sliced
+ELLPACK.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..registry import TunerProfile
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..utils.validation import check_positive
+from .base import SparseFormat, register_format
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .sliced_ellpack import slice_bounds
+
+__all__ = ["SELLCSigmaMatrix", "sell_permutation"]
+
+
+def sell_permutation(row_lengths: np.ndarray, sigma: int) -> np.ndarray:
+    """Row gather permutation of the σ-window sort.
+
+    Within each window of ``sigma`` consecutive rows, rows are stably
+    ordered by decreasing length; across windows the order is untouched.
+    Returns ``perm`` with ``perm[p]`` = the original row stored at
+    permuted position ``p``.
+    """
+    sigma = check_positive(sigma, "sigma")
+    lengths = np.asarray(row_lengths, dtype=np.int64).reshape(-1)
+    m = lengths.shape[0]
+    perm = np.arange(m, dtype=np.int64)
+    for w0 in range(0, m, sigma):
+        w1 = min(w0 + sigma, m)
+        order = np.argsort(-lengths[w0:w1], kind="stable")
+        perm[w0:w1] = w0 + order
+    return perm
+
+
+@register_format(default_kwargs={"c": 32, "sigma": 128}, tuner=TunerProfile())
+class SELLCSigmaMatrix(SparseFormat):
+    """Sorted sliced ELLPACK with chunk height ``c`` and sort scope ``sigma``.
+
+    Chunk ``i`` stores a dense ``(h_i, l_i)`` block of column indices and
+    values for permuted rows ``[edges[i], edges[i+1])``, flattened
+    row-major into the shared buffers; ``row_ids[p]`` is the original row
+    held at permuted position ``p``.
+    """
+
+    format_name = "sell_c_sigma"
+
+    def __init__(
+        self,
+        col_idx: np.ndarray,
+        vals: np.ndarray,
+        row_ids: np.ndarray,
+        row_lengths: np.ndarray,
+        num_col: np.ndarray,
+        c: int,
+        sigma: int,
+        shape: Tuple[int, int],
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        c = check_positive(c, "c")
+        sigma = check_positive(sigma, "sigma")
+        # Uniform chunking; a nominal c above m means one chunk.
+        self._edges = slice_bounds(m, min(c, m))
+        s = self._edges.shape[0] - 1
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        num_col = np.asarray(num_col, dtype=np.int64)
+        if row_ids.shape != (m,) or not np.array_equal(
+            np.sort(row_ids), np.arange(m)
+        ):
+            raise ValidationError("row_ids must be a permutation of range(m)")
+        if row_lengths.shape != (m,):
+            raise ValidationError("row_lengths must have one entry per row")
+        if num_col.shape != (s,):
+            raise ValidationError(f"num_col must have {s} entries, got {num_col.shape}")
+        perm_lengths = row_lengths[row_ids]
+        for i in range(s):
+            lo, hi = int(self._edges[i]), int(self._edges[i + 1])
+            chunk_max = int(perm_lengths[lo:hi].max(initial=0))
+            if int(num_col[i]) != chunk_max:
+                raise ValidationError(
+                    f"chunk {i} width {int(num_col[i])} != max row length {chunk_max}"
+                )
+        heights = np.diff(self._edges)
+        block_sizes = heights * num_col
+        expected = int(block_sizes.sum())
+        col_idx = np.asarray(col_idx, dtype=INDEX_DTYPE)
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if col_idx.shape != (expected,) or vals.shape != (expected,):
+            raise ValidationError(
+                f"flat buffers must have {expected} entries, got "
+                f"{col_idx.shape} and {vals.shape}"
+            )
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise ValidationError("column index out of range")
+
+        self._block_ptr = np.zeros(s + 1, dtype=np.int64)
+        np.cumsum(block_sizes, out=self._block_ptr[1:])
+        self._col_idx = col_idx
+        self._vals = vals
+        self._row_ids = row_ids
+        self._row_lengths = row_lengths
+        self._num_col = num_col
+        self._c = c
+        self._sigma = sigma
+        self._shape = (m, n)
+
+    # ------------------------------------------------------------------
+    @property
+    def c(self) -> int:
+        """Chunk height (the SIMD/warp width the format targets)."""
+        return self._c
+
+    @property
+    def sigma(self) -> int:
+        """Sort scope: rows are length-sorted within σ-row windows."""
+        return self._sigma
+
+    @property
+    def num_chunks(self) -> int:
+        return self._edges.shape[0] - 1
+
+    @property
+    def chunk_edges(self) -> np.ndarray:
+        """Permuted-row boundaries of each chunk."""
+        return self._edges
+
+    @property
+    def num_col(self) -> np.ndarray:
+        """Per-chunk width — each chunk's maximum row length."""
+        return self._num_col
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Original row stored at each permuted position (gather table)."""
+        return self._row_ids
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Real entries per row, in *original* row order."""
+        return self._row_lengths
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._row_lengths.sum())
+
+    @property
+    def padded_entries(self) -> int:
+        """Padding slots across all chunks (what the sort minimizes)."""
+        heights = np.diff(self._edges)
+        return int((heights * self._num_col).sum()) - self.nnz
+
+    def chunk_block(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Chunk ``i``'s ``(h_i, l_i)`` index and value blocks (views)."""
+        if not 0 <= i < self.num_chunks:
+            raise ValidationError(f"chunk index {i} out of range")
+        lo, hi = int(self._block_ptr[i]), int(self._block_ptr[i + 1])
+        h_i = int(self._edges[i + 1] - self._edges[i])
+        l_i = int(self._num_col[i])
+        return (
+            self._col_idx[lo:hi].reshape(h_i, l_i),
+            self._vals[lo:hi].reshape(h_i, l_i),
+        )
+
+    def iter_chunks(self) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray]]:
+        """Yield ``(perm_start, perm_end, col_block, val_block)`` per chunk."""
+        for i in range(self.num_chunks):
+            cols, vals = self.chunk_block(i)
+            yield int(self._edges[i]), int(self._edges[i + 1]), cols, vals
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, c: int = 32, sigma: int = 128, **kwargs
+    ) -> "SELLCSigmaMatrix":
+        m, _ = coo.shape
+        c = check_positive(c, "c")
+        sigma = check_positive(sigma, "sigma")
+        lengths = coo.row_lengths()
+        row_ids = sell_permutation(lengths, sigma)
+        perm_lengths = lengths[row_ids]
+        edges = slice_bounds(m, min(c, m))
+        s = edges.shape[0] - 1
+        num_col = np.array(
+            [
+                int(perm_lengths[edges[i] : edges[i + 1]].max(initial=0))
+                for i in range(s)
+            ],
+            dtype=np.int64,
+        )
+        heights = np.diff(edges)
+        total = int((heights * num_col).sum())
+        col_idx = np.zeros(total, dtype=INDEX_DTYPE)
+        vals = np.zeros(total, dtype=VALUE_DTYPE)
+        block_ptr = np.zeros(s + 1, dtype=np.int64)
+        np.cumsum(heights * num_col, out=block_ptr[1:])
+        if coo.nnz:
+            csr = CSRMatrix.from_coo(coo)
+            # Scatter every entry into its chunk block: entry positions of
+            # permuted row p come from the original row's CSR run.
+            perm_pos = np.searchsorted(edges, np.arange(m), side="right") - 1
+            for p in range(m):
+                row = int(row_ids[p])
+                length = int(lengths[row])
+                if not length:
+                    continue
+                i = int(perm_pos[p])
+                local = p - int(edges[i])
+                base = int(block_ptr[i]) + local * int(num_col[i])
+                lo = int(csr.indptr[row])
+                col_idx[base : base + length] = csr.indices[lo : lo + length]
+                vals[base : base + length] = csr.vals[lo : lo + length]
+        return cls(col_idx, vals, row_ids, lengths, num_col, c, sigma, coo.shape)
+
+    def to_coo(self) -> COOMatrix:
+        rows, cols, vals = [], [], []
+        perm_lengths = self._row_lengths[self._row_ids]
+        for r0, r1, col_block, val_block in self.iter_chunks():
+            l_i = col_block.shape[1]
+            lens = perm_lengths[r0:r1]
+            mask = np.arange(l_i)[np.newaxis, :] < lens[:, np.newaxis]
+            r, p = np.nonzero(mask)
+            rows.append(self._row_ids[r0:r1][r])
+            cols.append(col_block[r, p])
+            vals.append(val_block[r, p])
+        if rows:
+            return COOMatrix(
+                np.concatenate(rows),
+                np.concatenate(cols),
+                np.concatenate(vals),
+                self._shape,
+            )
+        return COOMatrix(
+            np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), self._shape
+        )
+
+    # -- container serialization (.brx) --------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        meta: Dict[str, Any] = {
+            "shape": list(self._shape), "c": self._c, "sigma": self._sigma,
+        }
+        arrays = {
+            "col_idx": self._col_idx,
+            "vals": self._vals,
+            "row_ids": self._row_ids,
+            "row_lengths": self._row_lengths,
+            "num_col": self._num_col,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "SELLCSigmaMatrix":
+        return cls(
+            arrays["col_idx"], arrays["vals"], arrays["row_ids"],
+            arrays["row_lengths"], arrays["num_col"],
+            int(meta["c"]), int(meta["sigma"]), tuple(meta["shape"]),
+        )
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = self.check_x(x)
+        y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, col_block, val_block in self.iter_chunks():
+            if col_block.shape[1]:
+                # Unmasked column-sequential accumulation (padding stores
+                # value 0.0 on column 0, like ELLPACK), scattered through
+                # the permutation — the device loop order the prepared
+                # plan replays bit-for-bit.
+                prod = val_block * x[col_block]
+                acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+                for j in range(prod.shape[1]):
+                    acc += prod[:, j]
+                y[self._row_ids[r0:r1]] = acc
+        return y
+
+    def device_bytes(self) -> Dict[str, int]:
+        return {
+            # The permutation table is part of the index structure the
+            # kernel must stream (int32 per row on device).
+            "index": int(self._col_idx.nbytes) + 4 * self._shape[0],
+            "values": int(self._vals.nbytes),
+            # num_col + chunk block pointers, int32 on device.
+            "aux": int(4 * (self._num_col.shape[0] + self._block_ptr.shape[0])),
+        }

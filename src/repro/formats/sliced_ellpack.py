@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterator, Tuple
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import FormatError, ValidationError
 from ..registry import TunerProfile
 from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..utils.validation import check_positive
@@ -24,14 +24,48 @@ from .base import SparseFormat, register_format
 from .coo import COOMatrix
 from .csr import CSRMatrix
 
-__all__ = ["SlicedELLPACKMatrix", "slice_bounds"]
+__all__ = ["SlicedELLPACKMatrix", "slice_bounds", "variable_slice_bounds"]
 
 
 def slice_bounds(m: int, h: int) -> np.ndarray:
-    """Row boundaries of each slice: ``[0, h, 2h, ..., m]`` (int64)."""
+    """Row boundaries of each slice: ``[0, h, 2h, ..., m]`` (int64).
+
+    ``h`` must satisfy ``1 <= h <= m``: a larger ``h`` would silently
+    collapse to one degenerate slice whose height disagrees with the
+    stored ``h`` (launch configs and validators would then disagree about
+    the thread-block size). Callers that want the clamped behaviour spell
+    it out with ``min(h, m)``.
+    """
     m = check_positive(m, "m")
-    h = check_positive(h, "h")
-    return np.append(np.arange(0, m, h, dtype=np.int64), np.int64(m))
+    if h < 1 or h > m:
+        raise FormatError(
+            f"slice height h={h} out of range for m={m} rows (need 1 <= h <= m)"
+        )
+    return np.append(np.arange(0, m, int(h), dtype=np.int64), np.int64(m))
+
+
+def variable_slice_bounds(m: int, heights: np.ndarray) -> np.ndarray:
+    """Row boundaries for explicitly-sized slices: ``[0, cumsum(heights)]``.
+
+    The variable-height generalization of :func:`slice_bounds` that makes
+    sorted-window partitionings (SELL-C-σ chunks, CMRS strips) expressible
+    with the same edge-array convention. ``heights`` must be positive and
+    sum to ``m``.
+    """
+    m = check_positive(m, "m")
+    heights = np.asarray(heights, dtype=np.int64).reshape(-1)
+    if heights.size == 0 or heights.min() < 1:
+        raise FormatError(
+            f"slice heights must be positive, got {heights.tolist()[:8]}"
+        )
+    total = int(heights.sum())
+    if total != m:
+        raise FormatError(
+            f"slice heights sum to {total}, matrix has m={m} rows"
+        )
+    edges = np.zeros(heights.shape[0] + 1, dtype=np.int64)
+    np.cumsum(heights, out=edges[1:])
+    return edges
 
 
 @register_format(default_kwargs={"h": 256}, tuner=TunerProfile(sweep_h=True))
@@ -53,10 +87,20 @@ class SlicedELLPACKMatrix(SparseFormat):
         num_col: np.ndarray,
         h: int,
         shape: Tuple[int, int],
+        edges: np.ndarray | None = None,
     ) -> None:
         m, n = int(shape[0]), int(shape[1])
         h = check_positive(h, "h")
-        self._edges = slice_bounds(m, h)
+        if edges is None:
+            # Uniform partitioning; a nominal h above m means one slice.
+            self._edges = slice_bounds(m, min(h, m))
+        else:
+            edges = np.asarray(edges, dtype=np.int64).reshape(-1)
+            if edges.shape[0] < 2 or int(edges[0]) != 0:
+                raise FormatError(
+                    f"explicit slice edges must start at 0, got {edges[:3].tolist()}"
+                )
+            self._edges = variable_slice_bounds(m, np.diff(edges))
         s = self._edges.shape[0] - 1
         num_col = np.asarray(num_col, dtype=np.int64)
         row_lengths = np.asarray(row_lengths, dtype=np.int64)
@@ -143,7 +187,7 @@ class SlicedELLPACKMatrix(SparseFormat):
         m, _ = coo.shape
         h = check_positive(h, "h")
         lengths = coo.row_lengths()
-        edges = slice_bounds(m, h)
+        edges = slice_bounds(m, min(h, m))
         s = edges.shape[0] - 1
         num_col = np.array(
             [int(lengths[edges[i] : edges[i + 1]].max(initial=0)) for i in range(s)],
@@ -203,6 +247,12 @@ class SlicedELLPACKMatrix(SparseFormat):
             "row_lengths": self._row_lengths,
             "num_col": self._num_col,
         }
+        # Non-uniform partitionings carry their edges explicitly; the
+        # uniform (default) container stays byte-identical to before the
+        # variable-width extension.
+        m = self._shape[0]
+        if not np.array_equal(self._edges, slice_bounds(m, min(self._h, m))):
+            arrays["slice_edges"] = self._edges
         return meta, arrays
 
     @classmethod
@@ -212,6 +262,7 @@ class SlicedELLPACKMatrix(SparseFormat):
         return cls(
             arrays["col_idx"], arrays["vals"], arrays["row_lengths"],
             arrays["num_col"], int(meta["h"]), tuple(meta["shape"]),
+            edges=arrays.get("slice_edges"),
         )
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
@@ -219,7 +270,14 @@ class SlicedELLPACKMatrix(SparseFormat):
         y = np.zeros(self._shape[0], dtype=VALUE_DTYPE)
         for r0, r1, col_block, val_block in self.iter_slices():
             if col_block.shape[1]:
-                y[r0:r1] = np.einsum("ij,ij->i", val_block, x[col_block])
+                # One FMA per ELL column accumulated sequentially — the
+                # device loop order, and the order the prepared-plan
+                # replay reproduces bit-for-bit (einsum would reassociate).
+                prod = val_block * x[col_block]
+                acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+                for c in range(prod.shape[1]):
+                    acc += prod[:, c]
+                y[r0:r1] = acc
         return y
 
     def device_bytes(self) -> Dict[str, int]:

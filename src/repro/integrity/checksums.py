@@ -26,10 +26,13 @@ from .. import registry as _registry
 from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
 from ..core.bro_hyb import BROHYBMatrix
+from ..core.bro_sell import BROSELLMatrix
 from ..errors import IntegrityError
 from ..formats.base import SparseFormat
+from ..formats.cmrs import CMRSMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from ..formats.sell_c_sigma import SELLCSigmaMatrix
 from ..telemetry.tracer import span as _span
 
 __all__ = [
@@ -112,6 +115,46 @@ def _fields_bro_hyb(m: BROHYBMatrix) -> Tuple[Dict[str, np.ndarray], Tuple]:
     fields = {f"ell.{k}": v for k, v in ell_fields.items()}
     fields.update({f"coo.{k}": v for k, v in coo_fields.items()})
     return fields, ("bro_hyb", m.shape, ell_meta, coo_meta)
+
+
+@_register("bro_sell")
+def _fields_bro_sell(m: BROSELLMatrix) -> Tuple[Dict[str, np.ndarray], Tuple]:
+    fields = {
+        "stream": m.stream.data,
+        "slice_ptr": m.stream.slice_ptr,
+        "vals": m._vals,
+        "row_ids": m.row_ids,
+        "row_lengths": m.row_lengths,
+        "num_col": m.num_col,
+        "chunk_edges": m.chunk_edges,
+    }
+    for i, ba in enumerate(m.bit_allocs):
+        fields[f"bit_alloc[{i}]"] = ba
+    return fields, ("bro_sell", m.shape, m.c, m.sigma, m.sym_len)
+
+
+@_register("sell_c_sigma")
+def _fields_sell(m: SELLCSigmaMatrix) -> Tuple[Dict[str, np.ndarray], Tuple]:
+    fields = {
+        "col_idx": m._col_idx,
+        "vals": m._vals,
+        "row_ids": m.row_ids,
+        "row_lengths": m.row_lengths,
+        "num_col": m.num_col,
+        "chunk_edges": m.chunk_edges,
+    }
+    return fields, ("sell_c_sigma", m.shape, m.c, m.sigma)
+
+
+@_register("cmrs")
+def _fields_cmrs(m: CMRSMatrix) -> Tuple[Dict[str, np.ndarray], Tuple]:
+    fields = {
+        "strip_ptr": m.strip_ptr,
+        "col_idx": m.col_idx,
+        "row_in_strip": m.row_in_strip,
+        "vals": m.vals,
+    }
+    return fields, ("cmrs", m.shape, m.height)
 
 
 @_register("csr")

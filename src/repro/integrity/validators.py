@@ -23,10 +23,13 @@ from ..bitstream.packing import row_stream_symbols
 from ..core.bro_coo import BROCOOMatrix
 from ..core.bro_ell import BROELLMatrix
 from ..core.bro_hyb import BROHYBMatrix
+from ..core.bro_sell import BROSELLMatrix
 from ..errors import IntegrityError
 from ..formats.base import SparseFormat
+from ..formats.cmrs import CMRSMatrix, MAX_STRIP_HEIGHT
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from ..formats.sell_c_sigma import SELLCSigmaMatrix
 from ..formats.sliced_ellpack import slice_bounds
 from ..telemetry.tracer import span as _span
 
@@ -80,7 +83,7 @@ def _validate_bro_ell(m: BROELLMatrix, deep: bool) -> None:
     fmt = "bro_ell"
     rows, cols = m.shape
     edges = m.slice_edges
-    expected_edges = slice_bounds(rows, m.h)
+    expected_edges = slice_bounds(rows, min(m.h, rows))
     if not np.array_equal(edges, expected_edges):
         _fail(fmt, "slice_edges", f"do not partition {rows} rows into slices of {m.h}")
     if m.sym_len not in (32, 64):
@@ -171,6 +174,132 @@ def _validate_bro_coo(m: BROCOOMatrix, deep: bool) -> None:
                 _fail(fmt, f"decoded rows[interval {i}]", "regress across the interval boundary")
             if flat.size:
                 prev_last = int(flat[-1])
+
+
+# ---------------------------------------------------------------------------
+# BRO-SELL
+# ---------------------------------------------------------------------------
+
+
+@_register("bro_sell")
+def _validate_bro_sell(m: BROSELLMatrix, deep: bool) -> None:
+    fmt = "bro_sell"
+    rows, cols = m.shape
+    edges = m.chunk_edges
+    expected_edges = slice_bounds(rows, min(m.c, rows)) if rows else np.zeros(1, np.int64)
+    if not np.array_equal(edges, expected_edges):
+        _fail(fmt, "chunk_edges", f"do not partition {rows} rows into chunks of {m.c}")
+    if m.sym_len not in (32, 64):
+        _fail(fmt, "sym_len", f"must be 32 or 64, got {m.sym_len}")
+    ids = m.row_ids
+    if ids.shape != (rows,) or not np.array_equal(np.sort(ids), np.arange(rows)):
+        _fail(fmt, "row_ids", f"is not a permutation of [0, {rows})")
+    lengths = m.row_lengths
+    if lengths.shape != (rows,):
+        _fail(fmt, "row_lengths", f"shape {lengths.shape} != ({rows},)")
+    if lengths.size and int(lengths.min()) < 0:
+        _fail(fmt, "row_lengths", "holds a negative entry")
+    ptr = m.stream.slice_ptr
+    if ptr.shape[0] != m.num_chunks + 1:
+        _fail(fmt, "slice_ptr", f"has {ptr.shape[0]} entries for {m.num_chunks} chunks")
+    if int(ptr[0]) != 0 or int(ptr[-1]) != m.stream.data.shape[0]:
+        _fail(fmt, "slice_ptr", "must start at 0 and end at the stream length")
+    perm_lengths = lengths[ids]
+    for i in range(m.num_chunks):
+        ba = m.bit_allocs[i]
+        h_i = int(edges[i + 1] - edges[i])
+        if int(m.num_col[i]) != ba.shape[0]:
+            _fail(fmt, f"num_col[{i}]", f"is {int(m.num_col[i])}, bit_alloc has {ba.shape[0]}")
+        if ba.size and (int(ba.min()) < 1 or int(ba.max()) > m.sym_len):
+            _fail(fmt, f"bit_alloc[{i}]", f"widths must lie in [1, {m.sym_len}]")
+        expected = row_stream_symbols(ba, m.sym_len) * h_i
+        have = int(ptr[i + 1] - ptr[i])
+        if have != expected:
+            _fail(fmt, f"stream[{i}]", f"holds {have} symbols, widths require {expected}")
+        chunk_lens = perm_lengths[int(edges[i]) : int(edges[i + 1])]
+        if chunk_lens.size and int(chunk_lens.max()) > ba.shape[0]:
+            _fail(fmt, f"row_lengths[chunk {i}]", f"exceed the chunk width {ba.shape[0]}")
+    if deep:
+        for i in range(m.num_chunks):
+            cols_blk, valid = m.decode_chunk_cols(i)
+            real = cols_blk[valid]
+            if real.size and (int(real.min()) < 0 or int(real.max()) >= cols):
+                _fail(fmt, f"decoded columns[chunk {i}]", f"fall outside [0, {cols})")
+            both = valid[:, 1:] & valid[:, :-1]
+            if np.any(both & (cols_blk[:, 1:] <= cols_blk[:, :-1])):
+                _fail(fmt, f"decoded columns[chunk {i}]", "must strictly increase per row")
+
+
+# ---------------------------------------------------------------------------
+# SELL-C-sigma / CMRS
+# ---------------------------------------------------------------------------
+
+
+@_register("sell_c_sigma")
+def _validate_sell(m: SELLCSigmaMatrix, deep: bool) -> None:
+    fmt = "sell_c_sigma"
+    rows, cols = m.shape
+    edges = m.chunk_edges
+    expected_edges = slice_bounds(rows, min(m.c, rows)) if rows else np.zeros(1, np.int64)
+    if not np.array_equal(edges, expected_edges):
+        _fail(fmt, "chunk_edges", f"do not partition {rows} rows into chunks of {m.c}")
+    ids = m.row_ids
+    if ids.shape != (rows,) or not np.array_equal(np.sort(ids), np.arange(rows)):
+        _fail(fmt, "row_ids", f"is not a permutation of [0, {rows})")
+    lengths = m.row_lengths
+    if lengths.shape != (rows,):
+        _fail(fmt, "row_lengths", f"shape {lengths.shape} != ({rows},)")
+    if lengths.size and int(lengths.min()) < 0:
+        _fail(fmt, "row_lengths", "holds a negative entry")
+    if m.num_col.shape[0] != m.num_chunks:
+        _fail(fmt, "num_col", f"has {m.num_col.shape[0]} entries for {m.num_chunks} chunks")
+    perm_lengths = lengths[ids]
+    padded = 0
+    for i in range(m.num_chunks):
+        h_i = int(edges[i + 1] - edges[i])
+        l_i = int(m.num_col[i])
+        chunk_lens = perm_lengths[int(edges[i]) : int(edges[i + 1])]
+        expected_l = int(chunk_lens.max()) if chunk_lens.size else 0
+        if l_i != expected_l:
+            _fail(fmt, f"num_col[{i}]", f"is {l_i}, chunk row lengths require {expected_l}")
+        padded += h_i * l_i
+    if m._col_idx.shape[0] != padded or m._vals.shape[0] != padded:
+        _fail(fmt, "col_idx/vals", f"flat buffers do not hold {padded} padded entries")
+    if deep:
+        if m._col_idx.size and (int(m._col_idx.min()) < 0 or int(m._col_idx.max()) >= cols):
+            _fail(fmt, "col_idx", f"falls outside [0, {cols})")
+        if m._vals.size and not np.all(np.isfinite(m._vals)):
+            _fail(fmt, "vals", "hold non-finite entries")
+
+
+@_register("cmrs")
+def _validate_cmrs(m: CMRSMatrix, deep: bool) -> None:
+    fmt = "cmrs"
+    rows, cols = m.shape
+    if not 1 <= m.height <= MAX_STRIP_HEIGHT:
+        _fail(fmt, "height", f"must lie in [1, {MAX_STRIP_HEIGHT}], got {m.height}")
+    n_strips = -(-rows // m.height) if rows else 0
+    ptr = m.strip_ptr
+    if ptr.shape[0] != n_strips + 1:
+        _fail(fmt, "strip_ptr", f"has {ptr.shape[0]} entries for {n_strips} strips")
+    if int(ptr[0]) != 0 or int(ptr[-1]) != m.col_idx.shape[0]:
+        _fail(fmt, "strip_ptr", "must start at 0 and end at nnz")
+    if np.any(np.diff(ptr) < 0):
+        _fail(fmt, "strip_ptr", "must be non-decreasing")
+    if not (m.col_idx.shape == m.row_in_strip.shape == m.vals.shape):
+        _fail(fmt, "col_idx/row_in_strip/vals", "length mismatch")
+    if m.col_idx.size and (int(m.col_idx.min()) < 0 or int(m.col_idx.max()) >= cols):
+        _fail(fmt, "col_idx", f"falls outside [0, {cols})")
+    if m.row_in_strip.size and int(m.row_in_strip.max()) >= m.height:
+        _fail(fmt, "row_in_strip", f"holds offsets >= strip height {m.height}")
+    entry_rows = m.entry_rows()
+    if entry_rows.size and int(entry_rows.max()) >= rows:
+        _fail(fmt, "row_in_strip", f"reconstructs rows outside [0, {rows})")
+    if deep:
+        if entry_rows.size and np.any(np.diff(entry_rows) < 0):
+            _fail(fmt, "row_in_strip", "reconstructed rows must be non-decreasing")
+        if m.vals.size and not np.all(np.isfinite(m.vals)):
+            _fail(fmt, "vals", "hold non-finite entries")
 
 
 # ---------------------------------------------------------------------------

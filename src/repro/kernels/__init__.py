@@ -20,17 +20,20 @@ from .dispatch import run_spmm, run_spmv
 from .plan import SpMVPlan, has_planner, plannable_formats, prepare
 from .plancache import PLAN_CACHE, PlanCache
 from .spmv_bellpack import BELLPACKKernel
+from .spmv_cmrs import CMRSKernel
 from .spmv_coo import COOKernel
 from .spmv_csr import CSRVectorKernel
 from .spmv_ellpack import ELLPACKKernel
 from .spmv_ellpack_r import ELLPACKRKernel
 from .spmv_hyb import HYBKernel
+from .spmv_sell_c_sigma import SELLCSigmaKernel
 from .spmv_sliced_ell import SlicedELLKernel
 from .spmv_bro_coo import BROCOOKernel
 from .spmv_bro_ell import BROELLKernel
 from .spmv_bro_ell_mt import MultiRowBROELLKernel
 from .spmv_bro_ell_vc import BROELLVCKernel
 from .spmv_bro_hyb import BROHYBKernel
+from .spmv_bro_sell import BROSELLKernel
 
 __all__ = [
     "SpMVKernel",
@@ -51,10 +54,12 @@ __all__ = [
     "jit_available",
     "resolve_backend",
     "BELLPACKKernel",
+    "CMRSKernel",
     "COOKernel",
     "CSRVectorKernel",
     "ELLPACKKernel",
     "ELLPACKRKernel",
+    "SELLCSigmaKernel",
     "SlicedELLKernel",
     "HYBKernel",
     "BROELLKernel",
@@ -62,4 +67,5 @@ __all__ = [
     "MultiRowBROELLKernel",
     "BROCOOKernel",
     "BROHYBKernel",
+    "BROSELLKernel",
 ]

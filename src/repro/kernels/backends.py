@@ -65,11 +65,15 @@ COMPUTE_BACKENDS = ("auto", "numpy", "jit")
 EXECUTOR_BACKENDS = ("numpy", "jit")
 
 #: Formats whose prepared-plan replay has compiled inner loops. The
-#: composite formats (bro_hyb, bro_ell_mt) compile through their part
-#: plans; everything else gets a fused loop below.
+#: composite formats (bro_hyb, bro_ell_mt, hyb) compile through their
+#: part plans; everything else gets a fused loop below. The ELL-style
+#: families share loops: sliced_ellpack and sell_c_sigma chunks replay
+#: through ``ellpack_spmv`` (unmasked), ellpack_r and bro_sell through
+#: ``ell_slice_spmv`` (masked), cmrs and coo through ``coo_scatter_spmv``.
 JIT_FORMATS = frozenset(
-    {"bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb", "csr",
-     "ellpack"}
+    {"bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb", "bro_sell",
+     "csr", "ellpack", "ellpack_r", "sliced_ellpack", "sell_c_sigma",
+     "coo", "cmrs", "hyb", "bellpack"}
 )
 
 # ----------------------------------------------------------------------
@@ -233,6 +237,35 @@ def _ellpack_spmm(col_idx_t, vals_t, X, Y):
             Y[r, j] = acc
 
 
+def _bellpack_spmv(bcol, bvals, x_pad, y_blocks):
+    # Matches BELLPACKMatrix.spmv: each thread (block row b, local row rr)
+    # walks its K block slots left to right, c entry columns each, from a
+    # zero accumulator. Padded slots multiply stored 0.0 by x_pad[0..c-1].
+    mb, K, r, c = bvals.shape
+    for b in range(mb):
+        for rr in range(r):
+            acc = 0.0
+            for k in range(K):
+                base = bcol[b, k] * c
+                for cc in range(c):
+                    acc += bvals[b, k, rr, cc] * x_pad[base + cc]
+            y_blocks[b, rr] = acc
+
+
+def _bellpack_spmm(bcol, bvals, X_pad, Y_blocks):
+    mb, K, r, c = bvals.shape
+    n_rhs = X_pad.shape[1]
+    for b in range(mb):
+        for rr in range(r):
+            for j in range(n_rhs):
+                acc = 0.0
+                for k in range(K):
+                    base = bcol[b, k] * c
+                    for cc in range(c):
+                        acc += bvals[b, k, rr, cc] * X_pad[base + cc, j]
+                Y_blocks[b, rr, j] = acc
+
+
 #: The interpreted (pure-Python) kernel set, kept un-compiled for the
 #: bit-identity tests — Numba or not, these define the loop order.
 PY_KERNELS: Dict[str, Callable] = {
@@ -244,6 +277,8 @@ PY_KERNELS: Dict[str, Callable] = {
     "csr_spmm": _csr_spmm,
     "ellpack_spmv": _ellpack_spmv,
     "ellpack_spmm": _ellpack_spmm,
+    "bellpack_spmv": _bellpack_spmv,
+    "bellpack_spmm": _bellpack_spmm,
 }
 
 
@@ -263,6 +298,8 @@ csr_spmv = _compile(_csr_spmv)
 csr_spmm = _compile(_csr_spmm)
 ellpack_spmv = _compile(_ellpack_spmv)
 ellpack_spmm = _compile(_ellpack_spmm)
+bellpack_spmv = _compile(_bellpack_spmv)
+bellpack_spmm = _compile(_bellpack_spmm)
 
 
 # ----------------------------------------------------------------------

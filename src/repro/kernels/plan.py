@@ -56,13 +56,20 @@ from ..bitstream.packing import row_stream_symbols, unpack_slice
 from ..core.bro_coo import BROCOOMatrix, adaptive_interval_size
 from ..core.bro_ell import BROELLMatrix
 from ..core.bro_hyb import BROHYBMatrix
+from ..core.bro_sell import BROSELLMatrix
 from ..core.multirow import MultiRowBROELL
 from ..core.value_compression import BROELLVCMatrix
 from ..errors import KernelError, ValidationError
 from ..formats.base import SparseFormat
+from ..formats.bellpack import BELLPACKMatrix
+from ..formats.cmrs import CMRSMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..formats.ellpack import ELLPACKMatrix
+from ..formats.ellpack_r import ELLPACKRMatrix
+from ..formats.hyb import HYBMatrix
+from ..formats.sell_c_sigma import SELLCSigmaMatrix
+from ..formats.sliced_ellpack import SlicedELLPACKMatrix
 from ..gpu.counters import KernelCounters
 from ..gpu.device import (
     DECODE_OPS_PER_ITER,
@@ -82,7 +89,12 @@ from ..utils.bits import ceil_div
 
 from . import backends as _backends
 from .base import SpMVResult
+from .spmv_bellpack import bellpack_counters
+from .spmv_cmrs import cmrs_counters
 from .spmv_coo import coo_segmented_counters
+from .spmv_ellpack_r import ellpack_r_counters
+from .spmv_sell_c_sigma import sell_counters
+from .spmv_sliced_ell import sliced_ell_counters
 
 __all__ = [
     "SpMVPlan",
@@ -908,6 +920,20 @@ class COOPlan(SpMVPlan):
             np.add.at(y, mat.row_idx, mat.vals[:, None] * X[mat.col_idx])
         return y
 
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros(mat.shape[0], dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            _backends.coo_scatter_spmv(mat.row_idx, mat.col_idx, mat.vals, x, y)
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            _backends.coo_scatter_spmm(mat.row_idx, mat.col_idx, mat.vals, X, y)
+        return y
+
 
 @register_planner("coo")
 def _plan_coo(matrix: SparseFormat, device: DeviceSpec) -> COOPlan:
@@ -1017,4 +1043,529 @@ def _plan_csr(matrix: SparseFormat, device: DeviceSpec) -> CSRPlan:
     )
     return CSRPlan(
         matrix, device, counters, _backends.csr_column_schedule(matrix.indptr)
+    )
+
+
+# ----------------------------------------------------------------------
+# Sliced ELLPACK / ELLPACK-R: ELL-style replays over cached transposes.
+# The counters helpers live next to the reference kernels
+# (sliced_ell_counters, ellpack_r_counters, ...) so plan and kernel
+# accounting can never drift apart.
+# ----------------------------------------------------------------------
+class SlicedELLPlan(SpMVPlan):
+    """Per-slice unmasked column accumulation over cached transposes."""
+
+    format_name = "sliced_ellpack"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        slices: List[Tuple[int, int, np.ndarray, np.ndarray]],
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        #: (r0, r1, cols_T, vals_T) with (l_i, h_i) C-contiguous blocks.
+        self._slices = slices
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t in self._slices:
+            prod = vals_t * x[cols_t]
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[r0:r1] = acc
+        return y
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
+        k = X.shape[1]
+        y = np.zeros((self.matrix.shape[0], k), dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t in self._slices:
+            prod = vals_t[:, :, None] * X[cols_t]
+            acc = np.zeros((r1 - r0, k), dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[r0:r1] = acc
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t in self._slices:
+            _backends.ellpack_spmv(cols_t, vals_t, x, y[r0:r1])
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t in self._slices:
+            _backends.ellpack_spmm(cols_t, vals_t, X, y[r0:r1])
+        return y
+
+
+@register_planner("sliced_ellpack")
+def _plan_sliced_ell(matrix: SparseFormat, device: DeviceSpec) -> SlicedELLPlan:
+    _check_plan_type(matrix, SlicedELLPACKMatrix)
+    assert isinstance(matrix, SlicedELLPACKMatrix)
+    slices: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
+    for r0, r1, col_block, val_block in matrix.iter_slices():
+        if col_block.shape[1] == 0:
+            continue
+        slices.append(
+            (
+                r0,
+                r1,
+                np.ascontiguousarray(col_block.T),
+                np.ascontiguousarray(val_block.T),
+            )
+        )
+    return SlicedELLPlan(
+        matrix, device, sliced_ell_counters(matrix, device), slices
+    )
+
+
+class ELLPACKRPlan(SpMVPlan):
+    """Masked column accumulation over cached (k, m) transposes."""
+
+    format_name = "ellpack_r"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        col_idx_t: np.ndarray,
+        vals_t: np.ndarray,
+        mask_t: np.ndarray,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._col_idx_t = col_idx_t
+        self._vals_t = vals_t
+        self._mask_t = mask_t
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for c in range(self._vals_t.shape[0]):
+            y += np.where(
+                self._mask_t[c], self._vals_t[c] * x[self._col_idx_t[c]], 0.0
+            )
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        if self._vals_t.shape[0]:
+            _backends.ell_slice_spmv(
+                self._vals_t, self._col_idx_t, self._mask_t, x, y
+            )
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        Y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        if self._vals_t.shape[0]:
+            _backends.ell_slice_spmm(
+                self._vals_t, self._col_idx_t, self._mask_t, X, Y
+            )
+        return Y
+
+
+@register_planner("ellpack_r")
+def _plan_ellpack_r(matrix: SparseFormat, device: DeviceSpec) -> ELLPACKRPlan:
+    _check_plan_type(matrix, ELLPACKRMatrix)
+    assert isinstance(matrix, ELLPACKRMatrix)
+    return ELLPACKRPlan(
+        matrix,
+        device,
+        ellpack_r_counters(matrix, device),
+        np.ascontiguousarray(matrix.col_idx.T),
+        np.ascontiguousarray(matrix.vals.T),
+        np.ascontiguousarray(matrix.valid_mask().T),
+    )
+
+
+# ----------------------------------------------------------------------
+# HYB: composed ELLPACK + COO sub-plans (two launches, like the kernel)
+# ----------------------------------------------------------------------
+class HYBPlan(SpMVPlan):
+    """Composition of the part plans, mirroring the two-launch kernel."""
+
+    format_name = "hyb"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        ell_plan: Optional[ELLPACKPlan],
+        coo_plan: Optional[COOPlan],
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._ell_plan = ell_plan
+        self._coo_plan = coo_plan
+
+    def _children(self) -> Tuple[SpMVPlan, ...]:
+        return tuple(
+            p for p in (self._ell_plan, self._coo_plan) if p is not None
+        )
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        if self._ell_plan is not None:
+            y = self._ell_plan.execute(x).y
+        else:
+            y = np.zeros(m)
+        if self._coo_plan is not None:
+            y = y + self._coo_plan.execute(x).y
+        return y
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        if self._ell_plan is not None:
+            y = self._ell_plan.execute_many(X).y
+        else:
+            y = np.zeros((m, X.shape[1]))
+        if self._coo_plan is not None:
+            y = y + self._coo_plan.execute_many(X).y
+        return y
+
+
+@register_planner("hyb")
+def _plan_hyb(matrix: SparseFormat, device: DeviceSpec) -> HYBPlan:
+    _check_plan_type(matrix, HYBMatrix)
+    assert isinstance(matrix, HYBMatrix)
+    ell_plan = _plan_ellpack(matrix.ell, device) if matrix.ell.k else None
+    coo_plan = _plan_coo(matrix.coo, device) if matrix.coo.nnz else None
+    if ell_plan is not None:
+        counters = ell_plan.counters()
+    else:
+        counters = KernelCounters(launches=0, threads=device.warp_size)
+    if coo_plan is not None:
+        counters = counters + coo_plan.counters()
+    return HYBPlan(matrix, device, counters, ell_plan, coo_plan)
+
+
+# ----------------------------------------------------------------------
+# BELLPACK: cached block tables + padded-x register accumulation
+# ----------------------------------------------------------------------
+class BELLPACKPlan(SpMVPlan):
+    format_name = "bellpack"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        bcol: np.ndarray,
+        bvals: np.ndarray,
+        n_pad: int,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        #: (mb, K) int64 block columns and (mb, K, r, c) values.
+        self._bcol = bcol
+        self._bvals = bvals
+        self._n_pad = n_pad
+
+    def _pad_x(self, x: np.ndarray) -> np.ndarray:
+        x_pad = np.zeros(self._n_pad, dtype=VALUE_DTYPE)
+        x_pad[: x.shape[0]] = x
+        return x_pad
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        mb, K, r, c = self._bvals.shape
+        x_pad = self._pad_x(x)
+        acc = np.zeros((mb, r), dtype=VALUE_DTYPE)
+        for k in range(K):
+            base = self._bcol[:, k] * c
+            for cc in range(c):
+                acc += self._bvals[:, k, :, cc] * x_pad[base + cc][:, None]
+        return acc.reshape(-1)[:m]
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        mb, K, r, c = self._bvals.shape
+        X_pad = np.zeros((self._n_pad, X.shape[1]), dtype=VALUE_DTYPE)
+        X_pad[: X.shape[0]] = X
+        acc = np.zeros((mb, r, X.shape[1]), dtype=VALUE_DTYPE)
+        for k in range(K):
+            base = self._bcol[:, k] * c
+            for cc in range(c):
+                acc += (
+                    self._bvals[:, k, :, cc][:, :, None]
+                    * X_pad[base + cc][:, None, :]
+                )
+        return acc.reshape(mb * r, -1)[:m]
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        mb, _K, r, _c = self._bvals.shape
+        y_blocks = np.empty((mb, r), dtype=VALUE_DTYPE)
+        _backends.bellpack_spmv(self._bcol, self._bvals, self._pad_x(x), y_blocks)
+        return y_blocks.reshape(-1)[:m]
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        m = self.matrix.shape[0]
+        mb, _K, r, _c = self._bvals.shape
+        X_pad = np.zeros((self._n_pad, X.shape[1]), dtype=VALUE_DTYPE)
+        X_pad[: X.shape[0]] = X
+        Y_blocks = np.empty((mb, r, X.shape[1]), dtype=VALUE_DTYPE)
+        _backends.bellpack_spmm(self._bcol, self._bvals, X_pad, Y_blocks)
+        return Y_blocks.reshape(mb * r, -1)[:m]
+
+
+@register_planner("bellpack")
+def _plan_bellpack(matrix: SparseFormat, device: DeviceSpec) -> BELLPACKPlan:
+    _check_plan_type(matrix, BELLPACKMatrix)
+    assert isinstance(matrix, BELLPACKMatrix)
+    _r, c = matrix.block_shape
+    n_pad = ceil_div(matrix.shape[1], c) * c
+    return BELLPACKPlan(
+        matrix,
+        device,
+        bellpack_counters(matrix, device),
+        np.ascontiguousarray(matrix.block_col_idx.astype(np.int64)),
+        np.ascontiguousarray(matrix.block_vals),
+        n_pad,
+    )
+
+
+# ----------------------------------------------------------------------
+# SELL-C-σ family: chunked ELL replays + permutation scatter
+# ----------------------------------------------------------------------
+class SELLCSigmaPlan(SpMVPlan):
+    """Unmasked chunk accumulation scattered through ``row_ids``."""
+
+    format_name = "sell_c_sigma"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        chunks: List[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        #: (r0, r1, cols_T, vals_T, ids) per non-empty chunk.
+        self._chunks = chunks
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t, ids in self._chunks:
+            prod = vals_t * x[cols_t]
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[ids] = acc
+        return y
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
+        k = X.shape[1]
+        y = np.zeros((self.matrix.shape[0], k), dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t, ids in self._chunks:
+            prod = vals_t[:, :, None] * X[cols_t]
+            acc = np.zeros((r1 - r0, k), dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[ids] = acc
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t, ids in self._chunks:
+            tmp = np.empty(r1 - r0, dtype=VALUE_DTYPE)
+            _backends.ellpack_spmv(cols_t, vals_t, x, tmp)
+            y[ids] = tmp
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        for r0, r1, cols_t, vals_t, ids in self._chunks:
+            tmp = np.empty((r1 - r0, X.shape[1]), dtype=VALUE_DTYPE)
+            _backends.ellpack_spmm(cols_t, vals_t, X, tmp)
+            y[ids] = tmp
+        return y
+
+
+@register_planner("sell_c_sigma")
+def _plan_sell_c_sigma(matrix: SparseFormat, device: DeviceSpec) -> SELLCSigmaPlan:
+    _check_plan_type(matrix, SELLCSigmaMatrix)
+    assert isinstance(matrix, SELLCSigmaMatrix)
+    chunks: List[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]] = []
+    for r0, r1, col_block, val_block in matrix.iter_chunks():
+        if col_block.shape[1] == 0:
+            continue
+        chunks.append(
+            (
+                r0,
+                r1,
+                np.ascontiguousarray(col_block.T),
+                np.ascontiguousarray(val_block.T),
+                np.ascontiguousarray(matrix.row_ids[r0:r1]),
+            )
+        )
+    return SELLCSigmaPlan(matrix, device, sell_counters(matrix, device), chunks)
+
+
+class BROSELLPlan(SpMVPlan):
+    """BRO-ELL's masked replay over sorted chunks + permutation scatter."""
+
+    format_name = "bro_sell"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        chunks: List[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        #: (r0, r1, vals_T, gather_T, valid_T, ids) per non-empty chunk.
+        self._chunks = chunks
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t, ids in self._chunks:
+            prod = np.where(valid_t, vals_t * x[gather_t], 0.0)
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[ids] = acc
+        return y
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
+        k = X.shape[1]
+        y = np.zeros((self.matrix.shape[0], k), dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t, ids in self._chunks:
+            prod = np.where(
+                valid_t[:, :, None], vals_t[:, :, None] * X[gather_t], 0.0
+            )
+            acc = np.zeros((r1 - r0, k), dtype=VALUE_DTYPE)
+            for c in range(prod.shape[0]):
+                acc += prod[c]
+            y[ids] = acc
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t, ids in self._chunks:
+            tmp = np.empty(r1 - r0, dtype=VALUE_DTYPE)
+            _backends.ell_slice_spmv(vals_t, gather_t, valid_t, x, tmp)
+            y[ids] = tmp
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        y = np.zeros((self.matrix.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        for r0, r1, vals_t, gather_t, valid_t, ids in self._chunks:
+            tmp = np.empty((r1 - r0, X.shape[1]), dtype=VALUE_DTYPE)
+            _backends.ell_slice_spmm(vals_t, gather_t, valid_t, X, tmp)
+            y[ids] = tmp
+        return y
+
+
+@register_planner("bro_sell")
+def _plan_bro_sell(matrix: SparseFormat, device: DeviceSpec) -> BROSELLPlan:
+    _check_plan_type(matrix, BROSELLMatrix)
+    assert isinstance(matrix, BROSELLMatrix)
+    m, _ = matrix.shape
+    launch = LaunchConfig(matrix.c, max(1, matrix.num_chunks))
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+    val_per_iter = ceil_div(ws * 8, tb)
+
+    idx_tx = val_tx = x_bytes = decode_ops = 0
+    chunks: List[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    for r0, r1, bit_alloc, stream_view, val_block in matrix.iter_chunks():
+        h_i, l_i = val_block.shape
+        if l_i == 0:
+            continue
+        cols, valid, gather = _decode_ell_slice(
+            stream_view, bit_alloc, h_i, matrix.sym_len
+        )
+        s_idx_tx, warp_cols, s_x_bytes, s_decode = _ell_slice_traffic(
+            cols, valid, bit_alloc, h_i, matrix.sym_len, device, tex
+        )
+        idx_tx += s_idx_tx
+        val_tx += warp_cols * val_per_iter
+        x_bytes += s_x_bytes
+        decode_ops += s_decode
+        chunks.append(
+            (
+                r0,
+                r1,
+                np.ascontiguousarray(val_block.T),
+                np.ascontiguousarray(gather.T),
+                np.ascontiguousarray(valid.T),
+                np.ascontiguousarray(matrix.row_ids[r0:r1]),
+            )
+        )
+
+    counters = KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+        aux_bytes=int(matrix.num_col.sum())
+        + 4 * matrix.num_chunks
+        + contiguous_transactions(m, 4, ws, tb) * tb,
+        useful_flops=2 * matrix.nnz,
+        issued_flops=2 * matrix.nnz,
+        decode_ops=decode_ops,
+        launches=1,
+        threads=launch.total_threads,
+    )
+    return BROSELLPlan(matrix, device, counters, chunks)
+
+
+# ----------------------------------------------------------------------
+# CMRS: cached reconstructed rows + segmented scatter
+# ----------------------------------------------------------------------
+class CMRSPlan(SpMVPlan):
+    """Entry-ordered scatter against the cached reconstructed rows."""
+
+    format_name = "cmrs"
+
+    def __init__(
+        self,
+        matrix: SparseFormat,
+        device: DeviceSpec,
+        counters: KernelCounters,
+        rows: np.ndarray,
+    ) -> None:
+        super().__init__(matrix, device, counters)
+        self._rows = rows
+
+    def _replay_numpy(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros(mat.shape[0], dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, self._rows, mat.vals * x[mat.col_idx])
+        return y
+
+    def _replay_many_numpy(self, X: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            np.add.at(y, self._rows, mat.vals[:, None] * X[mat.col_idx])
+        return y
+
+    def _replay_jit(self, x: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros(mat.shape[0], dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            _backends.coo_scatter_spmv(self._rows, mat.col_idx, mat.vals, x, y)
+        return y
+
+    def _replay_many_jit(self, X: np.ndarray) -> np.ndarray:
+        mat = self.matrix
+        y = np.zeros((mat.shape[0], X.shape[1]), dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            _backends.coo_scatter_spmm(self._rows, mat.col_idx, mat.vals, X, y)
+        return y
+
+
+@register_planner("cmrs")
+def _plan_cmrs(matrix: SparseFormat, device: DeviceSpec) -> CMRSPlan:
+    _check_plan_type(matrix, CMRSMatrix)
+    assert isinstance(matrix, CMRSMatrix)
+    return CMRSPlan(
+        matrix, device, cmrs_counters(matrix, device), matrix.entry_rows()
     )

@@ -1,0 +1,110 @@
+"""Simulated BRO-SELL SpMV kernel — Algorithm 1 on SELL-C-σ chunks.
+
+Identical decode loop to :class:`~repro.kernels.spmv_bro_ell.BROELLKernel`
+(one block per chunk, shared scalar decoder state, one width lookup per
+column, masked multiply-add), with two SELL-specific additions: each
+thread finally scatters its row sum through the ``row_ids`` permutation
+table, and the 4-byte permutation entry per row joins the auxiliary
+traffic. The sort pays for those bytes by shrinking the packed stream —
+tighter chunks mean fewer padded zeros to encode and fewer symbol loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitstream.reader import SliceDecoder
+from ..core.bro_sell import BROSELLMatrix
+from ..errors import DecompressionError
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DECODE_OPS_PER_ITER, DECODE_OPS_PER_LOAD, DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..types import VALUE_DTYPE
+from ..utils.bits import ceil_div
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["BROSELLKernel"]
+
+
+@register_kernel
+class BROSELLKernel(SpMVKernel):
+    """Algorithm-1 decompress-and-multiply over sorted SELL chunks."""
+
+    format_name = "bro_sell"
+
+    def _execute(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, BROSELLMatrix)
+        assert isinstance(matrix, BROSELLMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+        launch = LaunchConfig(matrix.c, max(1, matrix.num_chunks))
+        tb = device.transaction_bytes
+        ws = device.warp_size
+        sym_bytes = matrix.sym_len // 8
+        tex = TextureCacheModel(device)
+
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        idx_tx = 0
+        val_tx = 0
+        x_bytes = 0
+        decode_ops = 0
+        for r0, r1, bit_alloc, stream_view, val_block in matrix.iter_chunks():
+            h_i, l_i = val_block.shape
+            if l_i == 0:
+                continue
+            dec = SliceDecoder(stream_view, h=h_i, sym_len=matrix.sym_len)
+            col_idx = np.zeros(h_i, dtype=np.int64)
+            acc = np.zeros(h_i, dtype=VALUE_DTYPE)
+            cols_hist = np.zeros((h_i, l_i), dtype=np.int64)
+            valid_hist = np.zeros((h_i, l_i), dtype=bool)
+            warps = ceil_div(h_i, ws)
+            for c in range(l_i):
+                b = int(bit_alloc[c])
+                decoded = dec.decode(b)
+                valid = decoded != 0
+                col_idx = col_idx + decoded
+                gather = x[np.where(valid, col_idx - 1, 0)]
+                acc += np.where(valid, val_block[:, c] * gather, 0.0)
+                cols_hist[:, c] = col_idx - 1
+                valid_hist[:, c] = valid
+            y[matrix.row_ids[r0:r1]] = acc
+
+            idx_tx += dec.symbol_loads * contiguous_transactions(
+                h_i, sym_bytes, ws, tb
+            )
+            val_per_iter = ceil_div(ws * 8, tb)
+            pad_rows = ceil_div(h_i, ws) * ws - h_i
+            warp_valid = np.any(
+                np.vstack([valid_hist, np.zeros((pad_rows, l_i), dtype=bool)])
+                .reshape(warps, ws, l_i),
+                axis=1,
+            )
+            val_tx += int(warp_valid.sum()) * val_per_iter
+            x_bytes += tex.block_x_bytes(cols_hist, valid_hist)
+            decode_ops += DECODE_OPS_PER_ITER * h_i * l_i
+            decode_ops += DECODE_OPS_PER_LOAD * dec.symbol_loads * h_i
+            if dec.remaining_symbols:
+                raise DecompressionError("stream not fully consumed")
+
+        counters = KernelCounters(
+            index_bytes=idx_tx * tb,
+            value_bytes=val_tx * tb,
+            x_bytes=x_bytes,
+            y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+            # bit_alloc table (1 B per width) + int32 num_col per chunk,
+            # plus the streamed int32 row_ids permutation table.
+            aux_bytes=int(matrix.num_col.sum())
+            + 4 * matrix.num_chunks
+            + contiguous_transactions(m, 4, ws, tb) * tb,
+            useful_flops=2 * matrix.nnz,
+            issued_flops=2 * matrix.nnz,
+            decode_ops=decode_ops,
+            launches=1,
+            threads=launch.total_threads,
+        )
+        return SpMVResult(y=y, counters=counters, device=device)

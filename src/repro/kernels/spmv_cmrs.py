@@ -1,0 +1,111 @@
+"""Simulated CMRS SpMV kernel (Koza et al.).
+
+One warp per strip. Lanes stream the strip's entries — 4 B column index,
+1 B row-in-strip offset, 8 B value per entry, all coalesced — multiply,
+reconstruct each entry's absolute row with one multiply-add
+(``strip * height + row_in_strip``), and run an intra-warp segmented
+reduction keyed on the reconstructed row before committing per-row
+partials with atomics. Compared to plain COO the format replaces the
+4-byte absolute row stream with 1 byte per entry; compared to BRO-COO it
+reaches a fixed 4× row-index shrink with byte-aligned loads and a
+2-op/entry decode instead of bit-stream arithmetic.
+
+:func:`cmrs_counters` is shared with the prepared-plan planner so replay
+counters are equal by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.cmrs import CMRSMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..gpu.warp import warp_reduce_flops
+from ..telemetry.tracer import span as _span
+from ..types import VALUE_DTYPE
+from ..utils.bits import ceil_div
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["CMRSKernel", "cmrs_counters"]
+
+
+def cmrs_counters(matrix: CMRSMatrix, device: DeviceSpec) -> KernelCounters:
+    """Traffic/flop accounting of the CMRS kernel (shared with plans)."""
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+    nnz = matrix.nnz
+    ptr = matrix.strip_ptr
+    n_strips = matrix.num_strips
+
+    col_tx = contiguous_transactions(nnz, 4, ws, tb)
+    ris_tx = contiguous_transactions(nnz, 1, ws, tb)
+    val_tx = contiguous_transactions(nnz, 8, ws, tb)
+
+    # x reads and y commits per strip: a warp walks its entries in
+    # ws-wide iterations; one atomic (16 B) per distinct row per strip.
+    x_bytes = 0
+    y_updates = 0
+    issued = 2 * nnz
+    rows = matrix.entry_rows()
+    col_idx = matrix.col_idx
+    for i in range(n_strips):
+        lo, hi = int(ptr[i]), int(ptr[i + 1])
+        if hi == lo:
+            continue
+        L = ceil_div(hi - lo, ws)
+        block = np.zeros(L * ws, dtype=np.int64)
+        block[: hi - lo] = col_idx[lo:hi]
+        valid = np.zeros(L * ws, dtype=bool)
+        valid[: hi - lo] = True
+        x_bytes += tex.warp_sequence_fetches(
+            block.reshape(L, ws).T, valid.reshape(L, ws).T
+        ) * device.tex_line_bytes
+        y_updates += int(np.unique(rows[lo:hi]).shape[0])
+        issued += warp_reduce_flops(ws) * L
+
+    launch = LaunchConfig.for_warps(max(1, n_strips), ws)
+    return KernelCounters(
+        index_bytes=(col_tx + ris_tx) * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=16 * y_updates,
+        # Each warp reads its two strip_ptr entries (int32).
+        aux_bytes=8 * n_strips,
+        useful_flops=2 * nnz,
+        issued_flops=issued,
+        # Row reconstruction: one multiply-add per entry.
+        decode_ops=2 * nnz,
+        launches=1,
+        threads=launch.total_threads,
+    )
+
+
+@register_kernel
+class CMRSKernel(SpMVKernel):
+    """CMRS kernel: one warp per strip, uint8 row offsets."""
+
+    format_name = "cmrs"
+
+    def _execute(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, CMRSMatrix)
+        assert isinstance(matrix, CMRSMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        with _span("reduce.segmented", "kernel"):
+            # Entry-ordered scatter accumulation — the commit order of the
+            # per-strip segmented reduction.
+            np.add.at(y, matrix.entry_rows(), matrix.vals * x[matrix.col_idx])
+
+        return SpMVResult(
+            y=y, counters=cmrs_counters(matrix, device), device=device
+        )

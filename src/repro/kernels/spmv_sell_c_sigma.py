@@ -1,0 +1,105 @@
+"""Simulated SELL-C-σ SpMV kernel (Kreutzer et al.).
+
+One thread block per chunk (C threads); every thread runs its chunk's
+``num_col`` iterations over fully coalesced index/value columns, then
+scatters its row sum through the ``row_ids`` permutation table. The sort
+shows up in the counters as smaller per-chunk widths — fewer padded
+iterations and fewer index/value transactions than Sliced ELLPACK at the
+same chunk height — at the cost of streaming the 4-byte permutation
+entry per row and the permuted (scattered) ``y`` store.
+
+:func:`sell_counters` is shared with the prepared-plan planner so replay
+counters are equal by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.sell_c_sigma import SELLCSigmaMatrix
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import contiguous_transactions
+from ..gpu.texcache import TextureCacheModel
+from ..types import VALUE_DTYPE
+from .base import SpMVKernel, SpMVResult, register_kernel
+
+__all__ = ["SELLCSigmaKernel", "sell_counters"]
+
+
+def sell_counters(matrix: SELLCSigmaMatrix, device: DeviceSpec) -> KernelCounters:
+    """Traffic/flop accounting of the SELL-C-σ kernel (shared with plans)."""
+    m, _ = matrix.shape
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+
+    idx_tx = val_tx = 0
+    x_bytes = 0
+    issued = 0
+    for _r0, _r1, col_block, _val_block in matrix.iter_chunks():
+        h_i, l_i = col_block.shape
+        if l_i == 0:
+            continue
+        idx_tx += l_i * contiguous_transactions(h_i, 4, ws, tb)
+        val_tx += l_i * contiguous_transactions(h_i, 8, ws, tb)
+        # Padding slots gather x[0] inside the unmasked loop, so every
+        # lane of the block hits the texture cache.
+        x_bytes += tex.block_x_bytes(
+            col_block, np.ones(col_block.shape, dtype=bool)
+        )
+        issued += 2 * h_i * l_i
+
+    launch = LaunchConfig(matrix.c, max(1, matrix.num_chunks))
+    return KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        # The scatter through row_ids commits one 8 B word per row; the
+        # permutation keeps chunk-local stores contiguous in permuted
+        # order, so the transaction count matches a straight store.
+        y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+        # row_ids is streamed once (int32 per row), plus the int32
+        # num_col and chunk block pointers.
+        aux_bytes=contiguous_transactions(m, 4, ws, tb) * tb
+        + 4 * (2 * matrix.num_chunks + 1),
+        useful_flops=2 * matrix.nnz,
+        issued_flops=issued,
+        launches=1,
+        threads=launch.total_threads,
+    )
+
+
+@register_kernel
+class SELLCSigmaKernel(SpMVKernel):
+    """SELL-C-σ kernel: one block per sorted chunk, scattered ``y``."""
+
+    format_name = "sell_c_sigma"
+
+    def _execute(
+        self, matrix: SparseFormat, x: np.ndarray, device: DeviceSpec
+    ) -> SpMVResult:
+        self._check(matrix, SELLCSigmaMatrix)
+        assert isinstance(matrix, SELLCSigmaMatrix)
+        x = matrix.check_x(x)
+        m, _ = matrix.shape
+
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        for r0, r1, col_block, val_block in matrix.iter_chunks():
+            if col_block.shape[1] == 0:
+                continue
+            # Unmasked column-sequential accumulation (padding multiplies
+            # a stored 0.0 by x[0]), then the chunk's partial sums land on
+            # their original rows through the permutation — the loop order
+            # the prepared plan replays bit-for-bit.
+            prod = val_block * x[col_block]
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[1]):
+                acc += prod[:, c]
+            y[matrix.row_ids[r0:r1]] = acc
+
+        return SpMVResult(
+            y=y, counters=sell_counters(matrix, device), device=device
+        )

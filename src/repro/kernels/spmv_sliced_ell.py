@@ -3,6 +3,9 @@
 One thread block per slice; every thread of the block runs the slice's
 ``num_col`` iterations (there is no per-row early exit — that is what the
 ``num_col`` array already provides at slice granularity).
+
+:func:`sliced_ell_counters` is shared with the prepared-plan planner so
+replay counters are equal by construction.
 """
 
 from __future__ import annotations
@@ -19,7 +22,44 @@ from ..gpu.texcache import TextureCacheModel
 from ..types import VALUE_DTYPE
 from .base import SpMVKernel, SpMVResult, register_kernel
 
-__all__ = ["SlicedELLKernel"]
+__all__ = ["SlicedELLKernel", "sliced_ell_counters"]
+
+
+def sliced_ell_counters(
+    matrix: SlicedELLPACKMatrix, device: DeviceSpec
+) -> KernelCounters:
+    """Traffic/flop accounting of the Sliced-ELLPACK kernel."""
+    m, _ = matrix.shape
+    tb = device.transaction_bytes
+    ws = device.warp_size
+    tex = TextureCacheModel(device)
+
+    idx_tx = val_tx = 0
+    x_bytes = 0
+    issued = 0
+    for _r0, _r1, col_block, _val_block in matrix.iter_slices():
+        h_i, l_i = col_block.shape
+        if l_i == 0:
+            continue
+        idx_tx += l_i * contiguous_transactions(h_i, 4, ws, tb)
+        val_tx += l_i * contiguous_transactions(h_i, 8, ws, tb)
+        x_bytes += tex.block_x_bytes(
+            col_block, np.ones(col_block.shape, dtype=bool)
+        )
+        issued += 2 * h_i * l_i
+
+    launch = LaunchConfig(matrix.h, matrix.num_slices)
+    return KernelCounters(
+        index_bytes=idx_tx * tb,
+        value_bytes=val_tx * tb,
+        x_bytes=x_bytes,
+        y_bytes=contiguous_transactions(m, 8, ws, tb) * tb,
+        aux_bytes=4 * matrix.num_slices,  # num_col reads (int32)
+        useful_flops=2 * matrix.nnz,
+        issued_flops=issued,
+        launches=1,
+        threads=launch.total_threads,
+    )
 
 
 @register_kernel
@@ -35,37 +75,20 @@ class SlicedELLKernel(SpMVKernel):
         assert isinstance(matrix, SlicedELLPACKMatrix)
         x = matrix.check_x(x)
         m, _ = matrix.shape
-        launch = LaunchConfig(matrix.h, matrix.num_slices)
-        tb = device.transaction_bytes
-        ws = device.warp_size
-        tex = TextureCacheModel(device)
 
         y = np.zeros(m, dtype=VALUE_DTYPE)
-        idx_tx = val_tx = 0
-        x_bytes = 0
-        issued = 0
         for r0, r1, col_block, val_block in matrix.iter_slices():
-            h_i, l_i = col_block.shape
-            if l_i == 0:
+            if col_block.shape[1] == 0:
                 continue
-            y[r0:r1] = np.einsum("ij,ij->i", val_block, x[col_block])
-            idx_tx += l_i * contiguous_transactions(h_i, 4, ws, tb)
-            val_tx += l_i * contiguous_transactions(h_i, 8, ws, tb)
-            x_bytes += tex.block_x_bytes(
-                col_block, np.ones(col_block.shape, dtype=bool)
-            )
-            issued += 2 * h_i * l_i
-        y_tx = contiguous_transactions(m, 8, ws, tb)
+            # Unmasked column-sequential accumulation (padding multiplies
+            # a stored 0.0 by x[0]) — the device loop order the prepared
+            # plan replays bit-for-bit.
+            prod = val_block * x[col_block]
+            acc = np.zeros(r1 - r0, dtype=VALUE_DTYPE)
+            for c in range(prod.shape[1]):
+                acc += prod[:, c]
+            y[r0:r1] = acc
 
-        counters = KernelCounters(
-            index_bytes=idx_tx * tb,
-            value_bytes=val_tx * tb,
-            x_bytes=x_bytes,
-            y_bytes=y_tx * tb,
-            aux_bytes=4 * matrix.num_slices,  # num_col reads (int32)
-            useful_flops=2 * matrix.nnz,
-            issued_flops=issued,
-            launches=1,
-            threads=launch.total_threads,
+        return SpMVResult(
+            y=y, counters=sliced_ell_counters(matrix, device), device=device
         )
-        return SpMVResult(y=y, counters=counters, device=device)

@@ -119,6 +119,10 @@ class FormatSpec:
     #: (see :mod:`repro.kernels.backends`); independent of whether Numba
     #: is importable in this process.
     compiled: bool = False
+    #: BROCodec delta policy the container's index stream runs through
+    #: ("columns", "lanes", "columns+lanes"), or ``None`` for formats that
+    #: store indices uncompressed.
+    codec: Optional[str] = None
 
     # -- conversion ----------------------------------------------------
     def accepts(self, key: str) -> bool:
@@ -164,6 +168,7 @@ class FormatSpec:
             "integrity": self.integrity_fields is not None,
             "serializer": self.has_serializer,
             "compiled": self.compiled,
+            "codec": self.codec is not None,
         }
 
 
@@ -223,6 +228,7 @@ def register_format(
     tracer: Optional[BlockTracer] = None,
     tuner: Optional[TunerProfile] = None,
     compiled: bool = False,
+    codec: Optional[str] = None,
 ):
     """Class decorator registering a format and its capabilities.
 
@@ -257,6 +263,8 @@ def register_format(
                 _bind(name, "tuner", tuner, FormatError)
             if compiled:
                 spec.compiled = True
+            if codec is not None:
+                spec.codec = codec
         return klass
 
     if cls is not None:
@@ -460,6 +468,7 @@ def capability_matrix() -> List[Dict[str, Any]]:
         for key in ("kernel", "planner", "tracer", "tuner", "validator",
                     "integrity", "serializer", "compiled"):
             row[key] = caps[key]
+        row["codec"] = spec.codec or ""
         row["default_kwargs"] = dict(spec.default_kwargs)
         rows.append(row)
     return rows

@@ -1,0 +1,88 @@
+"""BRO-SELL: BROCodec column-delta compression over SELL-C-σ chunks.
+
+The composition contract: the packed stream decodes back to exactly the
+column structure of the underlying SELL-C-σ skeleton, and the container's
+SpMV is bit-identical to decoding first and multiplying second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bro_sell import BROSELLMatrix
+from repro.errors import ValidationError
+from repro.formats.sell_c_sigma import SELLCSigmaMatrix
+from tests.conftest import random_coo
+
+
+class TestComposition:
+    def test_from_sell_round_trips_exactly(self):
+        coo = random_coo(90, 70, density=0.08, seed=0)
+        sell = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=32)
+        bro = BROSELLMatrix.from_sell(sell, sym_len=32)
+        back = bro.to_sell()
+        assert np.array_equal(back._col_idx, sell._col_idx)
+        assert np.array_equal(back._vals, sell._vals)
+        assert np.array_equal(back.row_ids, sell.row_ids)
+
+    def test_from_coo_composes_the_sell_skeleton(self):
+        coo = random_coo(90, 70, density=0.08, seed=1)
+        bro = BROSELLMatrix.from_coo(coo, c=8, sigma=32, sym_len=32)
+        sell = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=32)
+        assert np.array_equal(bro.row_ids, sell.row_ids)
+        assert np.array_equal(bro.num_col, sell.num_col)
+        back = bro.to_coo()
+        assert np.array_equal(back.col_idx, coo.col_idx)
+        assert np.array_equal(back.vals, coo.vals)
+
+    @pytest.mark.parametrize("sym_len", [32, 64])
+    def test_decoded_chunks_match_skeleton(self, sym_len):
+        coo = random_coo(100, 80, density=0.07, seed=2)
+        sell = SELLCSigmaMatrix.from_coo(coo, c=16, sigma=64)
+        bro = BROSELLMatrix.from_sell(sell, sym_len=sym_len)
+        perm_lengths = sell.row_lengths[sell.row_ids]
+        for i in range(bro.num_chunks):
+            cols, valid = bro.decode_chunk_cols(i)
+            skel_cols, _ = sell.chunk_block(i)
+            lo, hi = sell.chunk_edges[i], sell.chunk_edges[i + 1]
+            lens = perm_lengths[lo:hi]
+            expect_valid = (
+                np.arange(cols.shape[1])[np.newaxis, :] < lens[:, np.newaxis]
+            )
+            assert np.array_equal(valid, expect_valid)
+            assert np.array_equal(cols[valid], skel_cols[expect_valid])
+
+    def test_spmv_matches_skeleton_bitwise(self):
+        coo = random_coo(90, 70, density=0.08, seed=3)
+        sell = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=32)
+        bro = BROSELLMatrix.from_sell(sell, sym_len=32)
+        x = np.random.default_rng(4).standard_normal(70)
+        np.testing.assert_allclose(bro.spmv(x), sell.spmv(x))
+
+    def test_index_stream_is_smaller_than_skeleton(self):
+        # Banded structure: small deltas, narrow widths, real compression.
+        from repro.matrices.generators import banded_random
+
+        coo = banded_random(512, 10.0, 2.0, bandwidth=40, seed=5)
+        sell = SELLCSigmaMatrix.from_coo(coo, c=32, sigma=128)
+        bro = BROSELLMatrix.from_sell(sell, sym_len=32)
+        assert (
+            bro.device_bytes()["index"] < sell.device_bytes()["index"]
+        )
+
+    def test_state_round_trip(self):
+        coo = random_coo(60, 50, density=0.1, seed=6)
+        bro = BROSELLMatrix.from_coo(coo, c=8, sigma=16, sym_len=64)
+        meta, arrays = bro.to_state()
+        again = BROSELLMatrix.from_state(meta, arrays)
+        assert np.array_equal(again.stream.data, bro.stream.data)
+        x = np.random.default_rng(7).standard_normal(50)
+        assert np.array_equal(again.spmv(x), bro.spmv(x))
+
+    def test_row_ids_must_be_permutation(self):
+        coo = random_coo(20, 20, density=0.2, seed=8)
+        bro = BROSELLMatrix.from_coo(coo, c=4, sigma=8)
+        meta, arrays = bro.to_state()
+        bad = dict(arrays)
+        bad["row_ids"] = np.zeros_like(arrays["row_ids"])
+        with pytest.raises(ValidationError, match="permutation"):
+            BROSELLMatrix.from_state(meta, bad)

@@ -1,0 +1,75 @@
+"""CMRS: compressed multi-row strips with 1-byte in-strip row offsets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.cmrs import CMRSMatrix, MAX_STRIP_HEIGHT
+from repro.formats.coo import COOMatrix
+from tests.conftest import random_coo
+
+
+class TestContainer:
+    def test_round_trip_is_exact(self):
+        coo = random_coo(90, 70, density=0.08, seed=0)
+        mat = CMRSMatrix.from_coo(coo, height=4)
+        back = mat.to_coo()
+        assert np.array_equal(back.row_idx, coo.row_idx)
+        assert np.array_equal(back.col_idx, coo.col_idx)
+        assert np.array_equal(back.vals, coo.vals)
+
+    def test_spmv_matches_coo(self):
+        coo = random_coo(90, 70, density=0.08, seed=1)
+        mat = CMRSMatrix.from_coo(coo, height=6)
+        x = np.random.default_rng(2).standard_normal(70)
+        np.testing.assert_allclose(mat.spmv(x), coo.spmv(x))
+
+    def test_strip_row_reconstruction(self):
+        coo = random_coo(50, 40, density=0.1, seed=3)
+        mat = CMRSMatrix.from_coo(coo, height=8)
+        rows = mat.entry_rows()
+        assert np.array_equal(rows, coo.row_idx)
+        assert np.all(np.diff(rows) >= 0)
+
+    def test_row_in_strip_is_one_byte(self):
+        mat = CMRSMatrix.from_coo(random_coo(30, 30, density=0.2, seed=4))
+        assert mat.row_in_strip.dtype == np.uint8
+
+    def test_row_info_is_quarter_of_coo(self):
+        # The bit-representation angle: 1 B/entry of row information
+        # versus COO's 4 B int32 row index.
+        coo = random_coo(128, 64, density=0.1, seed=5)
+        mat = CMRSMatrix.from_coo(coo, height=4)
+        assert mat.row_in_strip.nbytes * 4 == coo.row_idx.size * 4
+
+    def test_height_above_uint8_range_rejected(self):
+        coo = random_coo(600, 20, density=0.05, seed=6)
+        with pytest.raises(ValidationError, match="uint8"):
+            CMRSMatrix.from_coo(coo, height=MAX_STRIP_HEIGHT + 1)
+        CMRSMatrix.from_coo(coo, height=MAX_STRIP_HEIGHT)  # boundary is fine
+
+    def test_strip_ptr_partitions_entries(self):
+        coo = random_coo(64, 32, density=0.15, seed=7)
+        mat = CMRSMatrix.from_coo(coo, height=4)
+        assert mat.strip_ptr[0] == 0
+        assert mat.strip_ptr[-1] == coo.nnz
+        assert mat.num_strips == -(-64 // 4)
+        # Entries of strip s all reconstruct to rows inside the strip.
+        for s in range(mat.num_strips):
+            lo, hi = mat.strip_ptr[s], mat.strip_ptr[s + 1]
+            rows = mat.entry_rows()[lo:hi]
+            assert np.all((rows >= s * 4) & (rows < (s + 1) * 4))
+
+    def test_empty_rows_and_strips_are_fine(self):
+        coo = COOMatrix([0, 15], [1, 2], [1.0, 2.0], (16, 4))
+        mat = CMRSMatrix.from_coo(coo, height=4)
+        x = np.arange(4, dtype=np.float64)
+        np.testing.assert_allclose(mat.spmv(x), coo.spmv(x))
+
+    def test_duplicate_coordinates_summed_once(self):
+        coo = COOMatrix([2, 2, 2], [1, 1, 3], [1.0, 2.0, 4.0], (4, 4))
+        mat = CMRSMatrix.from_coo(coo, height=2)
+        assert mat.nnz == 2  # COOMatrix canonicalizes on construction
+        np.testing.assert_allclose(
+            mat.spmv(np.ones(4)), [0.0, 0.0, 7.0, 0.0]
+        )

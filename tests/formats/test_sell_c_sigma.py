@@ -1,0 +1,104 @@
+"""SELL-C-σ: σ-window sorted chunks of Sliced ELLPACK."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.sell_c_sigma import SELLCSigmaMatrix, sell_permutation
+from tests.conftest import random_coo
+
+
+class TestSellPermutation:
+    def test_sigma_one_is_identity(self):
+        lengths = np.array([3, 9, 1, 7])
+        assert np.array_equal(sell_permutation(lengths, 1), np.arange(4))
+
+    def test_global_sort_orders_by_decreasing_length(self):
+        lengths = np.array([3, 9, 1, 7])
+        perm = sell_permutation(lengths, 4)
+        assert np.array_equal(lengths[perm], [9, 7, 3, 1])
+
+    def test_sort_scoped_to_sigma_windows(self):
+        lengths = np.array([1, 5, 9, 2])
+        perm = sell_permutation(lengths, 2)
+        # Each window of 2 is sorted independently; rows never cross.
+        assert np.array_equal(perm, [1, 0, 2, 3])
+
+    def test_stable_within_equal_lengths(self):
+        lengths = np.array([4, 4, 4, 4])
+        assert np.array_equal(sell_permutation(lengths, 4), np.arange(4))
+
+    def test_sigma_validated(self):
+        with pytest.raises(ValidationError):
+            sell_permutation(np.array([1, 2]), 0)
+
+
+class TestContainer:
+    def test_round_trip_is_exact(self):
+        coo = random_coo(90, 70, density=0.08, seed=0)
+        mat = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=32)
+        back = mat.to_coo()
+        assert np.array_equal(back.row_idx, coo.row_idx)
+        assert np.array_equal(back.col_idx, coo.col_idx)
+        assert np.array_equal(back.vals, coo.vals)
+
+    def test_spmv_matches_coo(self):
+        coo = random_coo(90, 70, density=0.08, seed=1)
+        mat = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=32)
+        x = np.random.default_rng(2).standard_normal(70)
+        np.testing.assert_allclose(mat.spmv(x), coo.spmv(x))
+
+    def test_chunk_widths_hug_sorted_lengths(self):
+        coo = random_coo(128, 64, density=0.1, seed=3)
+        perm_lengths = coo.row_lengths()[
+            SELLCSigmaMatrix.from_coo(coo, c=16, sigma=128).row_ids
+        ]
+        mat = SELLCSigmaMatrix.from_coo(coo, c=16, sigma=128)
+        for i in range(mat.num_chunks):
+            lo, hi = mat.chunk_edges[i], mat.chunk_edges[i + 1]
+            assert mat.num_col[i] == perm_lengths[lo:hi].max()
+
+    def test_sorting_reduces_padding(self):
+        # A strongly skewed matrix: global sort must pad less than σ=1.
+        rows = np.concatenate([np.repeat(np.arange(0, 64, 2), 12),
+                               np.arange(1, 64, 2)])
+        cols = np.concatenate([np.tile(np.arange(12), 32),
+                               np.zeros(32, dtype=np.int64)])
+        coo = COOMatrix(rows, cols, np.ones(rows.size), (64, 12))
+        unsorted = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=1)
+        fully = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=64)
+        assert fully.padded_entries < unsorted.padded_entries
+
+    def test_padding_stores_zero_value_column_zero(self):
+        coo = random_coo(40, 30, density=0.1, seed=4)
+        mat = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=16)
+        perm_lengths = coo.row_lengths()[mat.row_ids]
+        for i in range(mat.num_chunks):
+            cols, vals = mat.chunk_block(i)
+            lo, hi = mat.chunk_edges[i], mat.chunk_edges[i + 1]
+            lens = perm_lengths[lo:hi]
+            pad = np.arange(cols.shape[1])[np.newaxis, :] >= lens[:, np.newaxis]
+            assert np.all(cols[pad] == 0)
+            assert np.all(vals[pad] == 0.0)
+
+    def test_row_ids_must_be_permutation(self):
+        coo = random_coo(20, 20, density=0.2, seed=5)
+        mat = SELLCSigmaMatrix.from_coo(coo, c=4, sigma=8)
+        meta, arrays = mat.to_state()
+        bad = dict(arrays)
+        bad["row_ids"] = np.zeros_like(arrays["row_ids"])
+        with pytest.raises(ValidationError, match="permutation"):
+            SELLCSigmaMatrix.from_state(meta, bad)
+
+    def test_nominal_c_above_m_collapses_to_one_chunk(self):
+        coo = random_coo(10, 10, density=0.3, seed=6)
+        mat = SELLCSigmaMatrix.from_coo(coo, c=32, sigma=128)
+        assert mat.num_chunks == 1
+        assert mat.c == 32  # the requested c is retained
+
+    def test_device_bytes_accounts_for_permutation_table(self):
+        coo = random_coo(64, 64, density=0.1, seed=7)
+        mat = SELLCSigmaMatrix.from_coo(coo, c=8, sigma=32)
+        bytes_ = mat.device_bytes()
+        assert bytes_["index"] == mat._col_idx.nbytes + 4 * 64

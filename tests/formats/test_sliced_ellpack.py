@@ -3,8 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
-from repro.formats.sliced_ellpack import SlicedELLPACKMatrix, slice_bounds
+from repro.errors import FormatError, ValidationError
+from repro.formats.sliced_ellpack import (
+    SlicedELLPACKMatrix,
+    slice_bounds,
+    variable_slice_bounds,
+)
 from tests.conftest import PAPER_A, random_coo
 
 
@@ -15,11 +19,35 @@ class TestSliceBounds:
     def test_remainder(self):
         np.testing.assert_array_equal(slice_bounds(10, 4), [0, 4, 8, 10])
 
-    def test_single_slice(self):
-        np.testing.assert_array_equal(slice_bounds(3, 4), [0, 3])
+    def test_h_above_m_rejected(self):
+        with pytest.raises(FormatError, match=r"h=4.*m=3"):
+            slice_bounds(3, 4)
+
+    def test_h_below_one_rejected(self):
+        with pytest.raises(FormatError, match=r"h=0.*m=3"):
+            slice_bounds(3, 0)
+        with pytest.raises(FormatError, match=r"h=-2.*m=3"):
+            slice_bounds(3, -2)
 
     def test_h_one(self):
         np.testing.assert_array_equal(slice_bounds(3, 1), [0, 1, 2, 3])
+
+
+class TestVariableSliceBounds:
+    def test_cumulative_edges(self):
+        np.testing.assert_array_equal(
+            variable_slice_bounds(10, [4, 1, 5]), [0, 4, 5, 10]
+        )
+
+    def test_heights_must_sum_to_m(self):
+        with pytest.raises(FormatError, match=r"sum to 9.*m=10"):
+            variable_slice_bounds(10, [4, 5])
+
+    def test_heights_must_be_positive(self):
+        with pytest.raises(FormatError, match="positive"):
+            variable_slice_bounds(10, [4, 0, 6])
+        with pytest.raises(FormatError, match="positive"):
+            variable_slice_bounds(10, [])
 
 
 class TestSlicedELLPACK:

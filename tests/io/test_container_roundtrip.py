@@ -33,6 +33,18 @@ SUITE_SCALE = 0.004
 
 BRO_FORMATS = ("bro_ell", "bro_coo", "bro_hyb")
 
+#: The PR 9 format families: sorted-chunk ELLPACK, multi-row strips, and
+#: the BROCodec-compressed composition of the former.
+NEW_FAMILIES = ("sell_c_sigma", "cmrs", "bro_sell")
+
+
+def _family_kwargs(fmt: str) -> dict:
+    if fmt == "sell_c_sigma":
+        return {"c": 16, "sigma": 64}
+    if fmt == "cmrs":
+        return {"height": 4}
+    return {"c": 16, "sigma": 64, "sym_len": 32}  # bro_sell
+
 
 def _suite_kwargs(fmt: str, h: int = 64, sym_len: int = 32) -> dict:
     spec = _registry.get_spec(fmt)
@@ -77,6 +89,14 @@ def _roundtrip_and_check(mat, tmp_path, name, mmap_arrays=True):
 def test_table2_bro_roundtrip(name, fmt, tmp_path):
     coo = generate(name, scale=SUITE_SCALE)
     mat = seal(convert(coo, fmt, **_suite_kwargs(fmt)))
+    _roundtrip_and_check(mat, tmp_path, f"{name}_{fmt}")
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2))
+@pytest.mark.parametrize("fmt", NEW_FAMILIES)
+def test_table2_new_families_roundtrip(name, fmt, tmp_path):
+    coo = generate(name, scale=SUITE_SCALE)
+    mat = seal(convert(coo, fmt, **_family_kwargs(fmt)))
     _roundtrip_and_check(mat, tmp_path, f"{name}_{fmt}")
 
 
@@ -138,6 +158,25 @@ class TestPlanCacheWarmStart:
         assert stats["builds"] == 1, "reload must not rebuild the plan"
         assert stats["content_hits"] >= 1
         x = np.random.default_rng(11).standard_normal(mat.shape[1])
+        assert np.array_equal(plan.execute(x).y, plan2.execute(x).y)
+
+    @pytest.mark.parametrize("fmt", NEW_FAMILIES)
+    def test_new_family_reload_content_hits(self, fmt, tmp_path):
+        coo = generate("epb3", scale=0.01)
+        mat = seal(convert(coo, fmt, **_family_kwargs(fmt)))
+        cache = PlanCache()
+        device = get_device("k20")
+        plan = cache.get_or_build(mat, device)
+        assert cache.stats()["builds"] == 1
+
+        path = tmp_path / f"warm_{fmt}.brx"
+        save_container(mat, path)
+        loaded = load_container(path)
+        plan2 = cache.get_or_build(loaded, device)
+        stats = cache.stats()
+        assert stats["builds"] == 1, "reload must not rebuild the plan"
+        assert stats["content_hits"] >= 1
+        x = np.random.default_rng(13).standard_normal(mat.shape[1])
         assert np.array_equal(plan.execute(x).y, plan2.execute(x).y)
 
     def test_distinct_content_does_not_hit(self, tmp_path):

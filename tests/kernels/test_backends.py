@@ -37,8 +37,9 @@ from tests.conftest import random_coo
 SUITE = ("dense2", "epb3", "qcd5_4")
 SUITE_SCALE = 0.01
 
-BRO_FORMATS = ("bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb")
-PLAIN_FORMATS = ("csr", "ellpack")
+BRO_FORMATS = ("bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb", "bro_sell")
+PLAIN_FORMATS = ("csr", "ellpack", "sliced_ellpack", "ellpack_r", "sell_c_sigma",
+                 "cmrs", "hyb", "bellpack", "coo")
 
 
 @lru_cache(maxsize=None)
@@ -95,11 +96,11 @@ class TestResolveBackend:
         monkeypatch.setattr(backends, "jit_available", lambda: True)
         reg = M.start_collecting(M.MetricsRegistry())
         try:
-            assert backends.resolve_backend("jit", "ellpack_r") == "numpy"
-            assert backends.resolve_backend("auto", "ellpack_r") == "numpy"
+            assert backends.resolve_backend("jit", "bro_ell_rowwise") == "numpy"
+            assert backends.resolve_backend("auto", "bro_ell_rowwise") == "numpy"
         finally:
             M.stop_collecting()
-        key = 'exec.backend_fallback{format="ellpack_r",reason="format-unsupported"}'
+        key = 'exec.backend_fallback{format="bro_ell_rowwise",reason="format-unsupported"}'
         assert reg.snapshot()["counters"][key] == 1  # auto stays silent
 
     def test_jit_resolves_when_available(self, monkeypatch):
@@ -111,7 +112,7 @@ class TestResolveBackend:
         assert backends.compiled_formats() == tuple(sorted(backends.JIT_FORMATS))
         for fmt in BRO_FORMATS + PLAIN_FORMATS:
             assert backends.supports_jit(fmt), fmt
-        assert not backends.supports_jit("ellpack_r")
+        assert not backends.supports_jit("bro_ell_rowwise")
 
 
 # ----------------------------------------------------------------------

@@ -29,8 +29,9 @@ _REF = ExecutionPolicy(engine="reference")
 #: Scale small enough that the full 31-matrix suite sweep stays fast.
 SUITE_SCALE = 0.004
 
-BRO_FORMATS = ("bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb")
-BASELINE_FORMATS = ("ellpack", "coo", "csr")
+BRO_FORMATS = ("bro_ell", "bro_ell_mt", "bro_ell_vc", "bro_coo", "bro_hyb", "bro_sell")
+BASELINE_FORMATS = ("ellpack", "coo", "csr", "sliced_ellpack", "ellpack_r",
+                    "sell_c_sigma", "cmrs", "hyb", "bellpack")
 
 
 @lru_cache(maxsize=None)
@@ -56,7 +57,12 @@ class TestRegistry:
             assert has_planner(fmt)
         assert set(BRO_FORMATS + BASELINE_FORMATS) <= set(plannable_formats())
 
-    def test_unplannable_format_raises(self, random_matrix):
+    def test_unplannable_format_raises(self, random_matrix, monkeypatch):
+        # Every format with a reference kernel now ships a planner, so
+        # simulate a missing builder by unbinding one temporarily.
+        from repro import registry as _registry
+
+        monkeypatch.setattr(_registry.get_spec("ellpack_r"), "planner", None)
         mat = convert(random_matrix, "ellpack_r")
         assert not has_planner("ellpack_r")
         with pytest.raises(KernelError, match="no prepared-plan builder"):
@@ -65,8 +71,11 @@ class TestRegistry:
             run_spmv(mat, _x_for(mat), "k20",
                      policy=ExecutionPolicy(engine="fast"))
 
-    def test_auto_engine_falls_back_to_reference(self, random_matrix):
+    def test_auto_engine_falls_back_to_reference(self, random_matrix, monkeypatch):
         # auto + unplannable format must still work (reference engine).
+        from repro import registry as _registry
+
+        monkeypatch.setattr(_registry.get_spec("ellpack_r"), "planner", None)
         mat = convert(random_matrix, "ellpack_r")
         res = run_spmv(mat, _x_for(mat), "k20",
                        policy=ExecutionPolicy(plan_cache=PlanCache()))

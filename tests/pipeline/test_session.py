@@ -182,6 +182,9 @@ def _make_toy_format():
         # _ToyPlan overrides _replay directly, so it runs unchanged under
         # any compute_backend — declare the compiled capability covered.
         compiled=True,
+        # The diagonal array is its own (trivial) index encoding; the label
+        # only needs to show up in the capability matrix.
+        codec="columns",
     )
     class ToyDiagMatrix(SparseFormat):
         """Diagonal-only storage: one array, the simplest possible format."""

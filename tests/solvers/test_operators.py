@@ -45,7 +45,12 @@ class TestSimulatedOperator:
         assert fast.device_time == ref.device_time
         assert fast.dram_bytes == ref.dram_bytes
 
-    def test_unplannable_format_falls_back_to_reference_engine(self):
+    def test_unplannable_format_falls_back_to_reference_engine(self, monkeypatch):
+        # Every shipped format with a kernel now has a planner; unbind one
+        # to exercise the reference-engine fallback.
+        from repro import registry as _registry
+
+        monkeypatch.setattr(_registry.get_spec("ellpack_r"), "planner", None)
         _, mat = workload(fmt="ellpack_r")
         op = SimulatedOperator(mat, "k20")
         assert op.engine == "reference"

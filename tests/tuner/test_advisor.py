@@ -3,10 +3,11 @@
 import numpy as np
 import pytest
 
+from repro import registry as _registry
 from repro.errors import ValidationError
 from repro.formats.coo import COOMatrix
 from repro.matrices.generators import block_band, hub_mixture
-from repro.tuner.advisor import rank_formats, recommend_format
+from repro.tuner.advisor import default_candidates, rank_formats, recommend_format
 from repro.tuner.sampling import sample_rows
 from tests.conftest import random_coo
 
@@ -42,6 +43,40 @@ class TestSampling:
             sample_rows(random_coo(10, 10, seed=0), 0)
 
 
+class TestCandidateDerivation:
+    """The candidate pool is *derived* from registry TunerProfile
+    declarations, never a hand-maintained list — registering a new format
+    with ``TunerProfile(candidate=True)`` must surface it automatically."""
+
+    def test_candidates_mirror_registry_declarations(self):
+        expected = tuple(sorted(
+            spec.name
+            for spec in _registry.iter_specs()
+            if spec.tuner is not None and spec.tuner.candidate
+        ))
+        assert default_candidates() == expected
+
+    def test_new_format_families_are_candidates(self):
+        pool = default_candidates()
+        for fmt in ("sell_c_sigma", "cmrs", "bro_sell"):
+            assert fmt in pool, fmt
+
+    def test_specialty_variants_stay_excluded(self):
+        pool = default_candidates()
+        for fmt in ("bro_ell_mt", "bro_ell_vc", "sharded"):
+            assert fmt not in pool, fmt
+
+    def test_new_formats_are_rankable(self):
+        coo = block_band(1024, 16.0, 3.0, run=3, bandwidth=160, seed=11)
+        ranking = rank_formats(coo, "k20",
+                               formats=("sell_c_sigma", "cmrs", "bro_sell"))
+        assert {r.format_name for r in ranking} == {
+            "sell_c_sigma", "cmrs", "bro_sell"
+        }
+        for rec in ranking:
+            assert rec.predicted_time > 0.0
+
+
 class TestAdvisor:
     def test_returns_full_ranking(self):
         coo = block_band(1024, 20.0, 4.0, run=3, bandwidth=200, seed=1)
@@ -66,10 +101,12 @@ class TestAdvisor:
         assert "hyb" in names or "bro_hyb" in names
 
     def test_hyb_family_wins_on_bimodal_matrix(self):
+        # Formats that tolerate row-length skew: the HYB/COO family plus the
+        # strip-based CMRS, which packs irregular rows without ELL padding.
         coo = hub_mixture(4096, base_mu=6.0, tail_fraction=0.01,
                           tail_mu=800.0, seed=3)
         best = recommend_format(coo, "k20")
-        assert best.format_name in ("hyb", "bro_hyb", "bro_coo", "coo")
+        assert best.format_name in ("hyb", "bro_hyb", "bro_coo", "coo", "cmrs")
 
     def test_h_sweep_adds_candidates(self):
         coo = block_band(1024, 20.0, 4.0, run=3, bandwidth=200, seed=4)
