@@ -35,6 +35,7 @@ from . import (
     matrices,
     registry,
     reorder,
+    serve,
     solvers,
     telemetry,
     tuner,
@@ -48,7 +49,7 @@ from .core import (
     index_compression_report,
     space_savings,
 )
-from .errors import ReproError
+from .errors import AdmissionError, ReproError, ServeError
 # Importing the partitioner registers the "sharded" container format, so
 # sharded .brx files round-trip through plain load_container().
 from .exec.chaos import ChaosPolicy, run_chaos_campaign
@@ -81,6 +82,14 @@ from .reorder import (
     bar_permutation,
     rcm_permutation,
     rowsort_permutation,
+)
+from .serve import (
+    MatrixPool,
+    ServeClient,
+    ServerConfig,
+    SpMVRequest,
+    SpMVResponse,
+    SpMVServer,
 )
 from .solvers import SimulatedOperator, conjugate_gradient, gmres
 
@@ -151,6 +160,15 @@ __all__ = [
     # online autotuning
     "OnlineTuner",
     "RetuneConfig",
+    # serving layer
+    "SpMVRequest",
+    "SpMVResponse",
+    "ServerConfig",
+    "SpMVServer",
+    "ServeClient",
+    "MatrixPool",
+    "ServeError",
+    "AdmissionError",
     # subpackages
     "registry",
     "bench",
@@ -163,6 +181,7 @@ __all__ = [
     "kernels",
     "matrices",
     "reorder",
+    "serve",
     "solvers",
     "telemetry",
     "tuner",

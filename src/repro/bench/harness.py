@@ -74,7 +74,7 @@ def spmv_once(
     return (
         Session(dev, policy=ExecutionPolicy(engine="reference"))
         .use(matrix)
-        .execute(x)
+        .run(x)
     )
 
 

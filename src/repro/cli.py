@@ -59,7 +59,9 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -390,6 +392,76 @@ def build_parser() -> argparse.ArgumentParser:
                    default="thread",
                    help="sharded execution backend; 'process' grafts "
                         "worker spans into the trace (default thread)")
+
+    p = sub.add_parser("serve", parents=[device_p],
+                       help="run the long-lived SpMV server over a pool "
+                            "of warm matrices")
+    p.add_argument("--matrix", action="append", default=None, metavar="NAME",
+                   help="Table 2 name or .brx path to pool (repeatable; "
+                        "default: qcd5_4)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="generation scale for suite names (default 0.05)")
+    p.add_argument("--format", default="bro_ell",
+                   help="storage format for suite matrices (default bro_ell)")
+    p.add_argument("--h", type=int, default=64,
+                   help="slice height for suite conversion (default 64; "
+                        "calibrated for multi-RHS amortization)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port; 0 picks an ephemeral port (default 0)")
+    p.add_argument("--max-queue", type=_positive_int, default=256,
+                   dest="max_queue",
+                   help="admission bound on in-flight requests (default 256)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   dest="batch_window_ms",
+                   help="micro-batch coalescing window in ms (default 2.0)")
+    p.add_argument("--max-batch", type=_positive_int, default=16,
+                   dest="max_batch",
+                   help="max coalesced vectors per kernel call (default 16)")
+    p.add_argument("--executor-threads", type=_positive_int, default=4,
+                   dest="executor_threads",
+                   help="kernel executor thread-pool width (default 4)")
+
+    p = sub.add_parser("serve-bench", parents=[json_p],
+                       help="micro-batched serving throughput vs the "
+                            "unbatched serial baseline")
+    p.add_argument("--matrix", default="qcd5_4",
+                   help="Table 2 matrix name (default qcd5_4)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="matrix scale (default 0.05, or the baseline's "
+                        "recorded scale under --compare)")
+    p.add_argument("--format", default="bro_ell",
+                   help="storage format (default bro_ell)")
+    p.add_argument("--device", default="k20", choices=sorted(DEVICES))
+    p.add_argument("--requests", type=_positive_int, default=256,
+                   help="total requests per phase (default 256)")
+    p.add_argument("--concurrency", type=_positive_int, default=16,
+                   help="concurrent in-flight requests (default 16)")
+    p.add_argument("--max-batch", type=_positive_int, default=16,
+                   dest="max_batch",
+                   help="micro-batch size bound (default 16 == concurrency "
+                        "so every wave flushes on size, not the window)")
+    p.add_argument("--window-ms", type=float, default=2.0, dest="window_ms",
+                   help="micro-batch window in ms (default 2.0)")
+    p.add_argument("--h", type=int, default=64,
+                   help="slice height (default 64; calibrated so the "
+                        "multi-RHS replay stays cache-resident)")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="vector/matrix seed (default 1234)")
+    p.add_argument("--save", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="write a BENCH_serve.json report (optionally to "
+                        "PATH)")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="compare against a baseline BENCH_serve.json (rerun "
+                        "at its recorded scale); exit 1 on regressions")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative regression threshold (default 0.05)")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   dest="min_speedup",
+                   help="fail unless batch_speedup >= X (the acceptance "
+                        "gate uses 2.0)")
     return parser
 
 
@@ -487,7 +559,9 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
     if sess.format_name not in (args.format, "sharded"):
         sess.convert(args.format, **_conversion_kwargs(args.format, args))
     x = np.random.default_rng(0).standard_normal(sess.matrix.shape[1])
-    result = sess.execute(x)
+    t_exec = time.perf_counter()
+    result = sess.run(x)
+    execute_ms = 1e3 * (time.perf_counter() - t_exec)
     if not np.allclose(result.y, sess.source.spmv(x), rtol=1e-8):
         raise ReproError("kernel verification failed")  # pragma: no cover
     t = result.timing
@@ -497,7 +571,10 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
         import dataclasses
         import json
 
-        payload = {
+        from .serve.api import SpMVRequest, SpMVResponse
+        from .telemetry.benchreport import _json_default
+
+        meta = {
             "matrix": args.matrix,
             "format": sess.format_name,
             "device": t.device.name,
@@ -511,7 +588,18 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
             "counters": dataclasses.asdict(c),
             "comms": comms.to_dict() if comms is not None else None,
         }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        # The CLI emits the same typed envelope the serving layer speaks
+        # (repro.serve.api.SpMVResponse), with the simulation payload
+        # under "meta" and the product vector elided.
+        request = SpMVRequest(
+            request_id="cli", matrix=args.matrix, x=x, tenant="cli"
+        )
+        response = SpMVResponse.success(
+            request, result.y, format=sess.format_name,
+            execute_ms=execute_ms, meta=meta,
+        )
+        print(json.dumps(response.to_wire(include_y=False), indent=2,
+                         sort_keys=True, default=_json_default))
         return 0
     print(f"format     : {sess.format_name}   device: {t.device.name}")
     print(f"verified   : kernel output matches reference")
@@ -1012,6 +1100,121 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import MatrixPool, ServerConfig, serve
+
+    names = args.matrix or ["qcd5_4"]
+    pool = MatrixPool(device=args.device)
+    for name in names:
+        if name.endswith(".brx"):
+            entry = pool.load(os.path.splitext(os.path.basename(name))[0],
+                              name)
+        else:
+            entry = pool.load_suite(name, scale=args.scale,
+                                    format=args.format, h=args.h)
+        print(f"pooled {entry.name}: {entry.matrix.format_name} "
+              f"{entry.matrix.shape[0]}x{entry.matrix.shape[1]} "
+              f"nnz={entry.matrix.nnz}")
+    warmed = pool.warm()
+    print(f"warmed {warmed} plan(s) on {args.device}")
+    serve(pool, ServerConfig(
+        host=args.host,
+        port=args.port,
+        device=args.device,
+        max_queue=args.max_queue,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        executor_threads=args.executor_threads,
+    ))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve import serve_bench
+    from .telemetry import benchreport as br
+
+    baseline = None
+    scale = args.scale
+    if args.compare:
+        baseline = br.load_report(args.compare)
+        if scale is None:
+            scale = baseline.get("scale")
+    if scale is None:
+        scale = 0.05
+
+    result = serve_bench(
+        matrix=args.matrix,
+        scale=scale,
+        format=args.format,
+        device=args.device,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        batch_window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        h=args.h,
+        seed=args.seed,
+    )
+    report = result["report"]
+    summary = result["summary"]
+
+    if args.json:
+        import json
+
+        from .telemetry.benchreport import _json_default
+
+        print(json.dumps(report, indent=2, sort_keys=True,
+                         default=_json_default))
+    else:
+        print(format_table(
+            report["rows"],
+            ["matrix", "format", "device", "concurrency", "requests",
+             "max_batch", "batch_speedup", "serial_rps", "batched_rps",
+             "mean_occupancy", "p50_ms", "p99_ms", "corrupted"],
+            "serve-bench: micro-batched vs serial SpMV serving",
+        ))
+        print(f"\nbatch speedup   : {summary['batch_speedup']:.2f}x "
+              f"(batched {summary['batched_rps']:.0f} rps vs serial "
+              f"{summary['serial_rps']:.0f} rps)")
+        print(f"mean occupancy  : {summary['mean_occupancy']:.2f} "
+              f"vectors/kernel call")
+        print(f"latency         : p50 {summary['p50_ms']:.2f} ms   "
+              f"p99 {summary['p99_ms']:.2f} ms")
+        print(f"bit-identity    : {args.requests - summary['corrupted']}"
+              f"/{args.requests} responses identical to direct run_spmv")
+
+    if args.save is not None:
+        path = args.save or br.default_report_path("serve")
+        br.write_report(report, path)
+        print(f"\nwrote benchmark report to {path}")
+
+    if baseline is not None:
+        comp = br.compare_reports(baseline, report, threshold=args.threshold)
+        print(f"\ncomparison vs {args.compare}: {comp.summary()}")
+        if comp.deltas:
+            print(format_table(
+                [d.row() for d in comp.deltas],
+                ["row", "metric", "baseline", "current", "delta_pct",
+                 "status"],
+                "Metrics beyond threshold",
+            ))
+        for key in comp.missing_rows:
+            print(f"MISSING baseline row: {key}")
+        if not comp.clean:
+            print("serve-bench comparison FAILED")
+            return 1
+        print("serve-bench comparison passed: zero regressions")
+
+    if args.min_speedup is not None:
+        speedup = summary["batch_speedup"]
+        if speedup < args.min_speedup:
+            print(f"\nmin-speedup gate FAILED: batch_speedup "
+                  f"{speedup:.2f}x < {args.min_speedup:.1f}x")
+            return 1
+        print(f"\nmin-speedup gate passed: {speedup:.2f}x "
+              f">= {args.min_speedup:.1f}x")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .telemetry import exporters
     from .telemetry.profiler import profile_matrix
@@ -1124,6 +1327,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
         if args.command == "health":
             return _cmd_health(args)
         if args.command == "profile":

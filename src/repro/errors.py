@@ -21,6 +21,8 @@ __all__ = [
     "IntegrityError",
     "ShardTimeoutError",
     "WorkerFailureError",
+    "ServeError",
+    "AdmissionError",
 ]
 
 
@@ -113,3 +115,30 @@ class WorkerFailureError(ReproError):
         super().__init__(message)
         self.shard = int(shard)
         self.attempts = tuple(attempts)
+
+
+class ServeError(ReproError):
+    """A failure inside the serving layer (:mod:`repro.serve`).
+
+    Covers protocol violations (malformed wire frames, unknown ops),
+    unknown matrices in a :class:`~repro.serve.pool.MatrixPool` and
+    server-lifecycle misuse. Execution failures inside a request are
+    reported in-band as error responses, not raised at the transport.
+    """
+
+
+class AdmissionError(ServeError):
+    """The serving layer refused a request at admission (HTTP-429-like).
+
+    Raised (server side) and reported as a ``status="rejected"``
+    response (wire side) when the bounded request queue is full or the
+    server is draining for shutdown. Carries the queue depth observed at
+    rejection time and the configured bound so clients can implement
+    informed backoff.
+    """
+
+    def __init__(self, message: str, queue_depth: int = -1,
+                 max_queue: int = -1) -> None:
+        super().__init__(message)
+        self.queue_depth = int(queue_depth)
+        self.max_queue = int(max_queue)

@@ -41,6 +41,7 @@ clean retry to converge to.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import queue as _queue
@@ -63,7 +64,7 @@ from .chaos import PROCESS_FAULT_KINDS, ChaosEvent, ChaosState
 from .partition import ShardedMatrix
 from .policy import ExecutionPolicy
 
-__all__ = ["WorkerPool", "worker_pool", "shutdown_matrix_pools"]
+__all__ = ["WorkerPool", "worker_pool", "shutdown_matrix_pools", "shutdown_pools"]
 
 #: Coordinator poll interval while waiting on shard results (seconds).
 _POLL_S = 0.02
@@ -310,6 +311,7 @@ class WorkerPool:
             self, WorkerPool._cleanup, self._workers, self._results,
             self._telemetry, str(self._tmpdir),
         )
+        _LIVE_POOLS.add(self)
 
     # -- setup ----------------------------------------------------------
     def _save_shards(self, sharded: ShardedMatrix) -> List[str]:
@@ -715,3 +717,30 @@ def shutdown_matrix_pools(matrix: SparseFormat) -> int:
                 closed += 1
         pools.clear()
     return closed
+
+
+#: Weak registry of every live pool in the process. Pools normally die
+#: with their matrix (weakref.finalize), but a matrix held alive in a
+#: module global or an interactive session would otherwise keep its
+#: worker processes running past interpreter shutdown intent.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def shutdown_pools() -> int:
+    """Shut down every live :class:`WorkerPool` in the process.
+
+    Returns the number of pools closed. Registered with :mod:`atexit`
+    so cached process pools (and their shard temp directories) never
+    outlive the interpreter; the serving layer also calls it explicitly
+    at the end of a graceful drain. Idempotent — already-closed pools
+    are skipped, and pools created later are tracked independently.
+    """
+    closed = 0
+    for pool in list(_LIVE_POOLS):
+        if not pool._closed:
+            pool.shutdown()
+            closed += 1
+    return closed
+
+
+atexit.register(shutdown_pools)

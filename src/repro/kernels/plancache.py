@@ -76,6 +76,8 @@ class PlanCache:
         #: content index: fingerprint + device + backend -> newest identity key
         self._by_token: Dict[Tuple[_Token, str, str], _Key] = {}
         self._lock = threading.Lock()
+        #: single-flight latches: key -> Event set when its build finishes
+        self._building: Dict[_Key, threading.Event] = {}
         self._stats = {
             "hits": 0,
             "misses": 0,
@@ -83,6 +85,7 @@ class PlanCache:
             "evictions": 0,
             "invalidations": 0,
             "content_hits": 0,
+            "single_flight_waits": 0,
         }
 
     # -- internal -------------------------------------------------------
@@ -158,48 +161,73 @@ class PlanCache:
         resolved = _backends.resolve_backend(backend, matrix.format_name)
         key = self._key(matrix, device, resolved)
 
-        token: _Token = None
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                plan, cached_token, _anchor = entry
-                if validate == "none":
-                    self._entries.move_to_end(key)
-                    self._bump("hits")
-                    return plan
-                token = self._current_token(matrix, validate)
-                if cached_token == token:
-                    self._entries.move_to_end(key)
-                    self._bump("hits")
-                    return plan
-                # Fingerprint changed under us: the container was mutated
-                # (and re-sealed, for "header"); the plan is stale.
-                self._remove(key)
-                self._bump("invalidations")
-            else:
-                if validate != "none":
+        while True:
+            token: _Token = None
+            latch: Optional[threading.Event] = None
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    plan, cached_token, _anchor = entry
+                    if validate == "none":
+                        self._entries.move_to_end(key)
+                        self._bump("hits")
+                        return plan
                     token = self._current_token(matrix, validate)
-                twin = self._content_lookup(token, device.name, resolved)
-                if twin is not None:
-                    # Same sealed bytes under a different object identity
-                    # (e.g. freshly deserialized): alias the plan under
-                    # this object's key so the next lookup is an identity
-                    # hit, and anchor the new matrix so its id stays live.
-                    plan = twin[0]
-                    self._insert(key, (plan, token, matrix))
-                    self._bump("hits")
-                    self._bump("content_hits")
-                    return plan
-            self._bump("misses")
+                    if cached_token == token:
+                        self._entries.move_to_end(key)
+                        self._bump("hits")
+                        return plan
+                    # Fingerprint changed under us: the container was
+                    # mutated (and re-sealed, for "header"); the plan is
+                    # stale.
+                    self._remove(key)
+                    self._bump("invalidations")
+                else:
+                    if validate != "none":
+                        token = self._current_token(matrix, validate)
+                    twin = self._content_lookup(token, device.name, resolved)
+                    if twin is not None:
+                        # Same sealed bytes under a different object
+                        # identity (e.g. freshly deserialized): alias the
+                        # plan under this object's key so the next lookup
+                        # is an identity hit, and anchor the new matrix
+                        # so its id stays live.
+                        plan = twin[0]
+                        self._insert(key, (plan, token, matrix))
+                        self._bump("hits")
+                        self._bump("content_hits")
+                        return plan
+                # Miss. Single-flight: the first caller claims the build
+                # latch; everyone else waits on it and re-resolves.
+                latch = self._building.get(key)
+                if latch is None:
+                    self._building[key] = threading.Event()
+                    self._bump("misses")
+                else:
+                    self._bump("single_flight_waits")
+            if latch is not None:
+                # Another thread is building this exact key. Wait for it,
+                # then loop: the re-lookup is an ordinary hit, or — if
+                # the builder failed — this thread claims the latch and
+                # becomes the next builder.
+                latch.wait()
+                continue
+            break
 
         # Build outside the lock — builds are the expensive part and must
-        # not serialize unrelated lookups. A concurrent duplicate build of
-        # the same key is possible; the last insert wins, which is safe
-        # because equal inputs produce equivalent plans.
-        plan = prepare(matrix, device, backend=resolved)
-        with self._lock:
-            self._bump("builds")
-            self._insert(key, (plan, token, matrix))
+        # not serialize unrelated lookups. The latch guarantees exactly
+        # one build per key: concurrent same-key callers block above
+        # until this build lands (or fails, releasing the claim).
+        try:
+            plan = prepare(matrix, device, backend=resolved)
+            with self._lock:
+                self._bump("builds")
+                self._insert(key, (plan, token, matrix))
+        finally:
+            with self._lock:
+                done = self._building.pop(key, None)
+            if done is not None:
+                done.set()
         return plan
 
     def invalidate(self, matrix: SparseFormat) -> int:

@@ -19,7 +19,7 @@ device, plan cache)`` with chainable steps::
         .convert("bro_ell", h=64)
         .seal()
         .prepare()
-        .execute(x)
+        .run(x)
         .y
     )
 
@@ -40,6 +40,7 @@ exactly like direct dispatch.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
@@ -331,7 +332,7 @@ class Session:
     def autotune(self, config=None) -> "Session":
         """Attach an online autotuner (:mod:`repro.tuner.online`).
 
-        Every subsequent :meth:`execute`/:meth:`execute_many` feeds the
+        Every subsequent :meth:`run` call feeds the
         tuner; after each ``config.interval`` calls it re-scores the
         advisor's candidate grid against the measured throughput and
         re-plans this session in place when the predicted win clears the
@@ -392,6 +393,43 @@ class Session:
             pol = pol.with_(engine=engine)
         return pol
 
+    def run(
+        self,
+        x: np.ndarray,
+        *,
+        policy: Optional[ExecutionPolicy] = None,
+        verify: Union[bool, str, None] = None,
+        engine: Optional[str] = None,
+    ) -> SpMVResult:
+        """Execute ``y = A @ x`` — the one entry point for both shapes.
+
+        A 1-D ``x`` runs a single SpMV; a 2-D ``(n, k)`` block runs one
+        multi-RHS SpMM whose column ``j`` is bit-identical to the
+        single-vector run of ``x[:, j]``. Both shapes return the same
+        typed :class:`~repro.kernels.base.SpMVResult` and hit the same
+        dispatch/integrity boundary, so ``policy=`` (or the legacy
+        ``verify=``/``engine=`` field overrides) behaves identically.
+
+        This supersedes the ``execute``/``execute_many`` pair, which
+        remain as deprecated shims.
+        """
+        x = np.asarray(x)
+        if x.ndim == 1:
+            runner = run_spmv
+        elif x.ndim == 2:
+            runner = run_spmm
+        else:
+            raise ValidationError(
+                f"Session.run takes a 1-D vector or a (n, k) batch, "
+                f"got ndim={x.ndim}"
+            )
+        return self._record(
+            runner(
+                self.matrix, x, self.device,
+                policy=self._call_policy(policy, verify, engine),
+            )
+        )
+
     def execute(
         self,
         x: np.ndarray,
@@ -400,13 +438,13 @@ class Session:
         verify: Union[bool, str, None] = None,
         engine: Optional[str] = None,
     ) -> SpMVResult:
-        """Run ``y = A @ x`` through the dispatch/integrity boundary."""
-        return self._record(
-            run_spmv(
-                self.matrix, x, self.device,
-                policy=self._call_policy(policy, verify, engine),
-            )
+        """Deprecated spelling of :meth:`run` for a single vector."""
+        warnings.warn(
+            "Session.execute is deprecated; use Session.run",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.run(x, policy=policy, verify=verify, engine=engine)
 
     def execute_many(
         self,
@@ -416,13 +454,13 @@ class Session:
         verify: Union[bool, str, None] = None,
         engine: Optional[str] = None,
     ) -> SpMVResult:
-        """Run ``Y = A @ X`` for a multi-RHS block (``X`` of shape (n, k))."""
-        return self._record(
-            run_spmm(
-                self.matrix, X, self.device,
-                policy=self._call_policy(policy, verify, engine),
-            )
+        """Deprecated spelling of :meth:`run` for a multi-RHS block."""
+        warnings.warn(
+            "Session.execute_many is deprecated; use Session.run",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.run(X, policy=policy, verify=verify, engine=engine)
 
     # -- introspection --------------------------------------------------
     def describe(self) -> Dict[str, Any]:

@@ -1,0 +1,67 @@
+"""SpMV-as-a-service: asyncio serving layer over the repro pipeline.
+
+The paper's central economics — encode a matrix once, amortize the cost
+over many multiplications — is exactly the shape of a *service*: matrices
+are long-lived, vectors arrive continuously. This subpackage turns the
+library into that service:
+
+* :mod:`repro.serve.api` — the typed contract: :class:`SpMVRequest`,
+  :class:`SpMVResponse`, :class:`ServerConfig`, and the NDJSON wire
+  codecs shared by socket, in-process and CLI paths.
+* :mod:`repro.serve.pool` — :class:`MatrixPool`: named sealed containers
+  sharing one warm :class:`~repro.kernels.plancache.PlanCache`.
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces
+  concurrent single-vector requests for the same ``(matrix, policy)``
+  into one multi-RHS ``run_spmm`` call within a bounded window.
+* :mod:`repro.serve.server` — :class:`ServerCore` (admission control,
+  batching, executor, per-tenant metrics) and :class:`SpMVServer` (the
+  newline-delimited-JSON TCP front end).
+* :mod:`repro.serve.client` — :class:`ServeClient`: blocking client with
+  request pipelining.
+* :mod:`repro.serve.loadgen` — :func:`run_load` (concurrent load with
+  bit-exact response verification) and :func:`serve_bench` (the
+  ``repro serve-bench`` throughput/latency experiment).
+
+Quick start::
+
+    from repro.serve import MatrixPool, ServerConfig, SpMVServer
+
+    pool = MatrixPool(device="k20")
+    pool.load_suite("qcd", scale=0.05, format="bro_ell")
+    pool.warm()
+    # asyncio: await SpMVServer(pool, ServerConfig(port=7077)).start()
+    # blocking daemon: repro.serve.serve(pool, ServerConfig(port=7077))
+"""
+
+from .api import (
+    POLICY_OVERRIDE_FIELDS,
+    ServerConfig,
+    SpMVRequest,
+    SpMVResponse,
+    apply_policy_overrides,
+    policy_key,
+)
+from .batcher import MicroBatcher
+from .client import ServeClient
+from .loadgen import LoadReport, run_load, serve_bench
+from .pool import MatrixPool, PoolEntry
+from .server import ServerCore, SpMVServer, serve
+
+__all__ = [
+    "SpMVRequest",
+    "SpMVResponse",
+    "ServerConfig",
+    "POLICY_OVERRIDE_FIELDS",
+    "policy_key",
+    "apply_policy_overrides",
+    "MatrixPool",
+    "PoolEntry",
+    "MicroBatcher",
+    "ServerCore",
+    "SpMVServer",
+    "serve",
+    "ServeClient",
+    "LoadReport",
+    "run_load",
+    "serve_bench",
+]

@@ -1,0 +1,128 @@
+"""Micro-batching: coalesce concurrent single-vector requests into one
+multi-RHS kernel call.
+
+The paper's economics — pay one expensive encode, amortize it over many
+fast multiplications — extend to the *per-call* level: a prepared plan
+replaying ``run_spmm`` over ``k`` stacked vectors costs far less than
+``k`` separate ``run_spmv`` calls, because the gather/validity tables
+are traversed once per batch instead of once per vector. The
+:class:`MicroBatcher` converts concurrent service traffic into exactly
+that shape.
+
+Semantics (pinned by the serve test suite):
+
+* The **first** request for a batch key opens a window; the batch
+  flushes when ``window_s`` elapses or the batch reaches ``max_batch``
+  items, whichever happens first. Later arrivals join the open window
+  but never extend it — worst-case added latency is one window.
+* Keys never mix: a batch holds requests for one ``(matrix, policy)``
+  key only, so coalescing can never change *what* executes, only how
+  many right-hand sides one call carries.
+* ``window_s == 0`` still batches: the flush is scheduled as an
+  immediate callback, so requests arriving in the same event-loop
+  iteration coalesce, and an idle server adds no latency.
+* Flush order is FIFO per key; items are delivered to the flush
+  callback in arrival order, so response attribution is positional.
+
+The batcher is transport-agnostic: it holds opaque items and calls an
+async ``flush(key, items)`` callback; execution, timing and future
+resolution belong to the owner (:class:`~repro.serve.server.ServerCore`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional
+
+__all__ = ["MicroBatcher"]
+
+FlushFn = Callable[[Hashable, List[Any]], Awaitable[None]]
+
+
+class _Batch:
+    __slots__ = ("items", "timer")
+
+    def __init__(self) -> None:
+        self.items: List[Any] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    """Window/size-bounded coalescer over an asyncio event loop."""
+
+    def __init__(
+        self,
+        flush: FlushFn,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 32,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush_cb = flush
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._pending: Dict[Hashable, _Batch] = {}
+        self._tasks: "set[asyncio.Task]" = set()
+        #: lifetime totals for occupancy accounting
+        self.batches_flushed = 0
+        self.items_flushed = 0
+
+    # -- intake ---------------------------------------------------------
+    def submit(self, key: Hashable, item: Any) -> None:
+        """Add one item to the open batch for ``key`` (opening one if
+        needed). Must be called from the event-loop thread."""
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = self._pending[key] = _Batch()
+            loop = asyncio.get_running_loop()
+            if self.window_s > 0:
+                batch.timer = loop.call_later(
+                    self.window_s, self._flush_key, key
+                )
+            else:
+                # Zero window: flush on the next loop iteration so other
+                # already-runnable submitters still coalesce.
+                batch.timer = loop.call_later(0, self._flush_key, key)
+        batch.items.append(item)
+        if len(batch.items) >= self.max_batch:
+            self._flush_key(key)
+
+    # -- flushing -------------------------------------------------------
+    def _flush_key(self, key: Hashable) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:  # already flushed by the size bound
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        self.batches_flushed += 1
+        self.items_flushed += len(batch.items)
+        task = asyncio.get_running_loop().create_task(
+            self._flush_cb(key, batch.items)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def flush_all(self) -> None:
+        """Force every open window closed now (shutdown/drain path)."""
+        for key in list(self._pending):
+            self._flush_key(key)
+
+    async def join(self) -> None:
+        """Wait for every scheduled flush task to complete."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def pending_items(self) -> int:
+        return sum(len(b.items) for b in self._pending.values())
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Lifetime mean vectors-per-flushed-batch (0.0 before traffic)."""
+        if self.batches_flushed == 0:
+            return 0.0
+        return self.items_flushed / self.batches_flushed

@@ -1,0 +1,163 @@
+"""Blocking NDJSON client for :class:`~repro.serve.server.SpMVServer`.
+
+A :class:`ServeClient` is a thin synchronous wrapper over one TCP
+connection: it speaks the same one-frame-per-line protocol the server
+does, turns ``spmv`` frames back into typed
+:class:`~repro.serve.api.SpMVResponse` objects, and supports
+*pipelining* — writing a burst of requests before reading any response —
+which is how a single-threaded caller exercises the server's
+micro-batcher::
+
+    with ServeClient("127.0.0.1", port) as client:
+        resp = client.spmv("qcd", x)                  # one round trip
+        responses = client.pipeline([                 # one batch window
+            SpMVRequest(request_id=f"r{i}", matrix="qcd", x=x)
+            for i in range(16)
+        ])
+
+The client is intentionally not thread-safe: one connection, one
+caller. Concurrency belongs either to many clients (one per thread /
+load-generator worker) or to :meth:`pipeline` on one connection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import ServeError
+from .api import SpMVRequest, SpMVResponse
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Synchronous line-oriented client for one server connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout_s: Optional[float] = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count()
+        self._closed = False
+
+    # -- plumbing -------------------------------------------------------
+    def _send_frame(self, frame: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ServeError("client is closed")
+        self._file.write((json.dumps(frame) + "\n").encode("utf-8"))
+
+    def _read_frame(self) -> Dict[str, Any]:
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            frame = json.loads(line.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"malformed frame from server: {exc}") from exc
+        if not isinstance(frame, dict):
+            raise ServeError(f"expected a JSON object frame, got {frame!r}")
+        return frame
+
+    def _roundtrip(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self._send_frame(frame)
+        return self._read_frame()
+
+    # -- ops ------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness probe; True when the server answers and accepts."""
+        reply = self._roundtrip({"op": "ping"})
+        return bool(reply.get("ok")) and bool(reply.get("accepting", True))
+
+    def list_matrices(self) -> List[Dict[str, Any]]:
+        reply = self._roundtrip({"op": "list"})
+        return list(reply.get("matrices", ()))
+
+    def stats(self) -> Dict[str, Any]:
+        reply = self._roundtrip({"op": "stats"})
+        return dict(reply.get("stats", {}))
+
+    def prometheus(self) -> str:
+        reply = self._roundtrip({"op": "metrics"})
+        return str(reply.get("prometheus", ""))
+
+    def shutdown_server(self) -> bool:
+        """Ask the server to drain and stop (acked before the drain)."""
+        reply = self._roundtrip({"op": "shutdown"})
+        return bool(reply.get("ok"))
+
+    # -- spmv -----------------------------------------------------------
+    def submit(self, request: SpMVRequest) -> SpMVResponse:
+        """One request, one typed response (errors come back in-band)."""
+        reply = self._roundtrip(request.to_wire())
+        return SpMVResponse.from_wire(reply)
+
+    def spmv(
+        self,
+        matrix: str,
+        x: np.ndarray,
+        *,
+        tenant: str = "default",
+        policy: Optional[Dict[str, Any]] = None,
+    ) -> SpMVResponse:
+        """Convenience: build the request (auto request-id) and submit."""
+        request = SpMVRequest(
+            request_id=f"c{next(self._ids)}",
+            matrix=matrix,
+            x=np.asarray(x, dtype=np.float64),
+            tenant=tenant,
+            policy=policy,
+        )
+        return self.submit(request)
+
+    def pipeline(self, requests: Iterable[SpMVRequest]) -> List[SpMVResponse]:
+        """Write every request before reading any response.
+
+        The burst lands inside one event-loop window on the server, so
+        same-key requests coalesce into micro-batches. Responses may
+        arrive out of order; they are re-matched by request id and
+        returned in *request* order.
+        """
+        reqs = list(requests)
+        ids = [r.request_id for r in reqs]
+        if len(set(ids)) != len(ids):
+            raise ServeError("pipeline() requests must have unique request_ids")
+        for r in reqs:
+            self._send_frame(r.to_wire())
+        by_id: Dict[str, SpMVResponse] = {}
+        while len(by_id) < len(reqs):
+            resp = SpMVResponse.from_wire(self._read_frame())
+            by_id[resp.request_id] = resp
+        return [by_id[i] for i in ids]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -107,4 +107,4 @@ class SimulatedOperator(FormatOperator):
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         self.spmv_calls += 1
-        return self.session.execute(x).y
+        return self.session.run(x).y

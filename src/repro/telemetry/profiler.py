@@ -162,7 +162,7 @@ def profile_matrix(
         )
         sess.convert(storage, **kwargs).seal()
         x = np.random.default_rng(seed).standard_normal(sess.matrix.shape[1])
-        result = sess.execute(x)
+        result = sess.run(x)
         snapshot = _metrics.registry().unified_snapshot()
         mat = sess.matrix
     if backend == "process" and devices > 1:

@@ -24,7 +24,7 @@ Usage::
     sess = Session().load("qcd").convert("coo").seal()
     sess.autotune(RetuneConfig(interval=8))
     for _ in range(32):
-        sess.execute(x)           # retunes fire inside execute()
+        sess.run(x)               # retunes fire inside run()
     sess.format_name              # now the measured-best format
 """
 

@@ -144,7 +144,7 @@ class TestLegacyKeywordsRemoved:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_spmv(mat, x, "k20", policy=ExecutionPolicy(engine="reference"))
-            Session("k20", policy=ExecutionPolicy()).use(mat).execute(x)
+            Session("k20", policy=ExecutionPolicy()).use(mat).run(x)
 
 
 class TestSessionPolicyView:

@@ -155,7 +155,7 @@ class TestSessionSharding:
     def test_session_executes_sharded_policy(self, coo, x):
         mat = convert(coo, "bro_ell")
         sess = Session("k20", policy=ExecutionPolicy(devices=4)).use(mat)
-        res = sess.execute(x)
+        res = sess.run(x)
         assert isinstance(res, ShardedSpMVResult)
-        base = Session("k20").use(mat).execute(x)
+        base = Session("k20").use(mat).run(x)
         assert np.array_equal(res.y, base.y)

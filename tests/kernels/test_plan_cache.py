@@ -245,7 +245,7 @@ class TestWarmSessionRebuilds:
         assert cache.stats()["builds"] == 1
         x = np.ones(sess.matrix.shape[1])
         for _ in range(4):
-            sess.execute(x)
+            sess.run(x)
         stats = cache.stats()
         assert stats["builds"] == 1, "warm session must not rebuild plans"
         assert stats["misses"] == 1

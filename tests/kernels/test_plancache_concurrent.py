@@ -1,0 +1,217 @@
+"""Concurrent-access guarantees of the PlanCache.
+
+The serving layer points many executor threads at one shared cache, so
+``get_or_build`` must be single-flight: concurrent lookups of the same
+key produce exactly one build (everyone shares the one plan object), and
+concurrent lookups of different keys neither serialize on each other's
+builds nor tear the LRU bookkeeping.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.kernels.plancache as plancache_mod
+from repro.errors import KernelError
+from repro.formats.conversion import convert
+from repro.gpu.device import get_device
+from repro.kernels.plancache import PlanCache
+from repro.matrices.generators import random_uniform
+
+
+def _matrix(seed=0, n=64):
+    coo = random_uniform(n, n, mu=4.0, sigma=1.0, seed=seed)
+    return convert(coo, "bro_ell", h=16)
+
+
+class CountingPrepare:
+    """Wraps the real ``prepare`` with call counting and a slow window."""
+
+    def __init__(self, delay_s=0.05, fail_first=False):
+        self.calls = 0
+        self.concurrent = 0
+        self.max_concurrent = 0
+        self.delay_s = delay_s
+        self.fail_first = fail_first
+        self._lock = threading.Lock()
+        self._real = plancache_mod.prepare
+
+    def __call__(self, matrix, device, backend="numpy"):
+        with self._lock:
+            self.calls += 1
+            call_no = self.calls
+            self.concurrent += 1
+            self.max_concurrent = max(self.max_concurrent, self.concurrent)
+        try:
+            time.sleep(self.delay_s)
+            if self.fail_first and call_no == 1:
+                raise KernelError("injected build failure")
+            return self._real(matrix, device, backend=backend)
+        finally:
+            with self._lock:
+                self.concurrent -= 1
+
+
+class TestSingleFlight:
+    def test_same_key_races_build_exactly_once(self, monkeypatch):
+        cache = PlanCache()
+        matrix = _matrix()
+        device = get_device("k20")
+        counting = CountingPrepare(delay_s=0.05)
+        monkeypatch.setattr(plancache_mod, "prepare", counting)
+
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        plans = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                plans[i] = cache.get_or_build(matrix, device)
+            except Exception as exc:  # pragma: no cover - fail loudly below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert not errors
+        assert counting.calls == 1, "concurrent same-key lookups must coalesce"
+        assert all(p is plans[0] for p in plans), "all callers share one plan"
+        stats = cache.stats()
+        assert stats["builds"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == n_threads - 1
+        assert stats["single_flight_waits"] == n_threads - 1
+        assert len(cache) == 1
+
+    def test_distinct_keys_build_in_parallel(self, monkeypatch):
+        """Different keys must not serialize on one build latch."""
+        cache = PlanCache()
+        device = get_device("k20")
+        matrices = [_matrix(seed=s) for s in range(4)]
+        counting = CountingPrepare(delay_s=0.05)
+        monkeypatch.setattr(plancache_mod, "prepare", counting)
+
+        barrier = threading.Barrier(len(matrices))
+        results = {}
+        lock = threading.Lock()
+
+        def worker(mat):
+            barrier.wait()
+            plan = cache.get_or_build(mat, device)
+            with lock:
+                results[id(mat)] = plan
+
+        threads = [
+            threading.Thread(target=worker, args=(m,)) for m in matrices
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert counting.calls == len(matrices)
+        assert counting.max_concurrent > 1, (
+            "distinct-key builds must overlap, not queue behind one latch"
+        )
+        # No torn LRU state: every matrix resolves to its own plan and
+        # the follow-up lookups are pure identity hits.
+        for mat in matrices:
+            assert results[id(mat)].matrix is mat
+            assert cache.get_or_build(mat, device) is results[id(mat)]
+        stats = cache.stats()
+        assert stats["builds"] == len(matrices)
+        assert len(cache) == len(matrices)
+
+    def test_failed_build_releases_the_latch(self, monkeypatch):
+        """A builder that raises must not wedge subsequent callers."""
+        cache = PlanCache()
+        matrix = _matrix()
+        device = get_device("k20")
+        counting = CountingPrepare(delay_s=0.0, fail_first=True)
+        monkeypatch.setattr(plancache_mod, "prepare", counting)
+
+        with pytest.raises(KernelError, match="injected"):
+            cache.get_or_build(matrix, device)
+        # The claim was released: the next caller becomes the builder.
+        plan = cache.get_or_build(matrix, device)
+        assert plan.matrix is matrix
+        assert counting.calls == 2
+        assert cache.stats()["builds"] == 1  # only the successful one landed
+
+    def test_waiter_rebuilds_after_builder_failure(self, monkeypatch):
+        """A waiter blocked on a failing build claims the next build."""
+        cache = PlanCache()
+        matrix = _matrix()
+        device = get_device("k20")
+        counting = CountingPrepare(delay_s=0.05, fail_first=True)
+        monkeypatch.setattr(plancache_mod, "prepare", counting)
+
+        barrier = threading.Barrier(2)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                plan = cache.get_or_build(matrix, device)
+                with lock:
+                    outcomes.append(plan)
+            except KernelError as exc:
+                with lock:
+                    outcomes.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        kinds = sorted(type(o).__name__ for o in outcomes)
+        # Exactly one thread saw the injected failure; the other (either
+        # the second racer or a retry of the latch) built successfully.
+        assert "KernelError" in kinds
+        assert any(not isinstance(o, Exception) for o in outcomes)
+        assert cache.stats()["builds"] == 1
+
+    def test_eviction_pressure_stays_consistent(self, monkeypatch):
+        """Bounded cache under concurrent distinct-key traffic: the LRU
+        bound holds and every returned plan matches its matrix."""
+        cache = PlanCache(maxsize=3)
+        device = get_device("k20")
+        matrices = [_matrix(seed=s) for s in range(8)]
+        counting = CountingPrepare(delay_s=0.005)
+        monkeypatch.setattr(plancache_mod, "prepare", counting)
+
+        barrier = threading.Barrier(len(matrices))
+        errors = []
+
+        def worker(mat):
+            try:
+                barrier.wait()
+                for _ in range(3):
+                    plan = cache.get_or_build(mat, device)
+                    assert plan.matrix is mat
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(m,)) for m in matrices
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert not errors
+        assert len(cache) <= 3
+        stats = cache.stats()
+        assert stats["evictions"] >= len(matrices) - 3

@@ -38,7 +38,7 @@ class TestSessionPipeline:
         assert sess.sealed
         assert sess.permutation is not None
         x = np.random.default_rng(0).standard_normal(sess.matrix.shape[1])
-        r = sess.execute(x)
+        r = sess.run(x)
         assert np.allclose(r.y, sess.matrix.to_coo().spmv(x), rtol=1e-8)
         assert sess.spmv_calls == 1
         assert sess.device_time > 0
@@ -62,7 +62,7 @@ class TestSessionPipeline:
         assert s2.sealed
         assert s2.fingerprint == s1.fingerprint
         x = np.random.default_rng(1).standard_normal(s1.matrix.shape[1])
-        assert np.array_equal(s1.execute(x).y, s2.execute(x).y)
+        assert np.array_equal(s1.run(x).y, s2.run(x).y)
 
     def test_load_accepts_brx_path(self, tmp_path):
         path = tmp_path / "direct.brx"
@@ -70,12 +70,12 @@ class TestSessionPipeline:
         sess = Session().load(str(path))
         assert sess.format_name == "csr"
 
-    def test_execute_many_matches_columnwise(self):
+    def test_run_2d_matches_columnwise(self):
         sess = Session().load("epb3", scale=0.01).convert("bro_ell", h=64)
         X = np.random.default_rng(2).standard_normal((sess.matrix.shape[1], 4))
-        R = sess.execute_many(X)
+        R = sess.run(X)
         for j in range(4):
-            assert np.array_equal(R.y[:, j], sess.execute(X[:, j]).y)
+            assert np.array_equal(R.y[:, j], sess.run(X[:, j]).y)
 
     def test_with_fallback_recovers(self):
         sess = (
@@ -88,7 +88,7 @@ class TestSessionPipeline:
         # Corrupt the sealed stream: verified dispatch must fall back.
         sess.matrix.stream.data[:] ^= 7
         x = np.random.default_rng(3).standard_normal(sess.matrix.shape[1])
-        r = sess.execute(x)
+        r = sess.run(x)
         assert r.fallback_used
         assert sess.fallbacks_used == 1
         assert np.allclose(r.y, sess.fallback.spmv(x))
@@ -272,7 +272,7 @@ class TestToyFormatThroughSession:
         sess.prepare()
         reopened = Session.open(tmp_path / "toy.brx", policy=ExecutionPolicy(plan_cache=cache))
         x = np.random.default_rng(4).standard_normal(coo.shape[1])
-        r = reopened.execute(x, engine="fast", verify="full")
+        r = reopened.run(x, engine="fast", verify="full")
         assert np.array_equal(r.y, sess.matrix.diag * x)
         assert cache.stats()["builds"] == 1  # content hit, no rebuild
         assert cache.stats()["content_hits"] >= 1

@@ -1,0 +1,33 @@
+"""Shared fixtures for the serving-layer suite.
+
+One small pooled matrix (qcd5_4 at scale 0.02, bro_ell h=16) is enough
+to exercise admission, batching and the wire protocol; tests that need
+a second matrix or a different format build their own pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import MatrixPool
+
+MATRIX = "qcd5_4"
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = MatrixPool(device="k20")
+    p.load_suite(MATRIX, scale=SCALE, format="bro_ell", seed=7, h=16)
+    p.warm()
+    return p
+
+
+@pytest.fixture(scope="module")
+def n(pool):
+    return pool.get(MATRIX).shape[1]
+
+
+@pytest.fixture(scope="module")
+def xs(n):
+    rng = np.random.default_rng(42)
+    return [rng.standard_normal(n) for _ in range(4)]

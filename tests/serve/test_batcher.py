@@ -1,0 +1,149 @@
+"""MicroBatcher semantics, pinned exactly as the module docstring
+states: window-or-size flush, no key mixing, FIFO delivery, zero-window
+same-iteration coalescing.
+"""
+
+import asyncio
+
+import pytest
+
+
+class Collector:
+    """Async flush callback recording (key, items) in flush order."""
+
+    def __init__(self):
+        self.flushes = []
+
+    async def __call__(self, key, items):
+        self.flushes.append((key, list(items)))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make(collector, **kwargs):
+    from repro.serve.batcher import MicroBatcher
+
+    return MicroBatcher(collector, **kwargs)
+
+
+class TestFlushBounds:
+    def test_window_flushes_everything_submitted_inside_it(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=0.01, max_batch=100)
+            for i in range(5):
+                b.submit("k", i)
+            await asyncio.sleep(0.05)
+            await b.join()
+            return c.flushes
+
+        flushes = run(scenario())
+        assert flushes == [("k", [0, 1, 2, 3, 4])]
+
+    def test_size_bound_flushes_immediately(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=10.0, max_batch=3)
+            for i in range(7):
+                b.submit("k", i)
+            # No sleep long enough for the 10s window: only full batches
+            # have flushed; the 7th item is still parked.
+            await b.join()
+            pending = b.pending_items
+            b.flush_all()
+            await b.join()
+            return c.flushes, pending
+
+        flushes, pending = run(scenario())
+        assert pending == 1
+        assert flushes == [("k", [0, 1, 2]), ("k", [3, 4, 5]), ("k", [6])]
+
+    def test_zero_window_still_coalesces_one_iteration(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=0.0, max_batch=100)
+            for i in range(4):
+                b.submit("k", i)
+            await asyncio.sleep(0.01)
+            await b.join()
+            return c.flushes
+
+        flushes = run(scenario())
+        assert flushes == [("k", [0, 1, 2, 3])]
+
+    def test_late_arrivals_do_not_extend_the_window(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=0.03, max_batch=100)
+            b.submit("k", "first")
+            await asyncio.sleep(0.015)
+            b.submit("k", "joined")  # inside the window: joins
+            await asyncio.sleep(0.03)  # window expired: flushed
+            b.submit("k", "next-window")
+            await asyncio.sleep(0.05)
+            await b.join()
+            return c.flushes
+
+        flushes = run(scenario())
+        assert flushes == [
+            ("k", ["first", "joined"]),
+            ("k", ["next-window"]),
+        ]
+
+
+class TestKeysAndOrder:
+    def test_keys_never_mix(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=0.01, max_batch=100)
+            b.submit("a", 1)
+            b.submit("b", 2)
+            b.submit("a", 3)
+            await asyncio.sleep(0.05)
+            await b.join()
+            return dict(c.flushes)
+
+        by_key = run(scenario())
+        assert by_key == {"a": [1, 3], "b": [2]}
+
+    def test_fifo_within_key(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=0.01, max_batch=100)
+            items = list(range(20))
+            for i in items:
+                b.submit("k", i)
+            await asyncio.sleep(0.05)
+            await b.join()
+            return c.flushes
+
+        flushes = run(scenario())
+        assert [i for _, batch in flushes for i in batch] == list(range(20))
+
+
+class TestAccounting:
+    def test_occupancy_counters(self):
+        async def scenario():
+            c = Collector()
+            b = make(c, window_s=0.0, max_batch=4)
+            for i in range(8):
+                b.submit("k", i)
+            await asyncio.sleep(0.01)
+            await b.join()
+            return b.batches_flushed, b.items_flushed, b.mean_occupancy
+
+        batches, items, occ = run(scenario())
+        assert (batches, items, occ) == (2, 8, 4.0)
+
+    def test_validation(self):
+        from repro.serve.batcher import MicroBatcher
+
+        async def noop(key, items):
+            pass
+
+        with pytest.raises(ValueError):
+            MicroBatcher(noop, window_s=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(noop, max_batch=0)

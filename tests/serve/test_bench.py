@@ -1,0 +1,96 @@
+"""serve_bench: the BENCH_serve report generator and its CI gate
+plumbing. Small request counts keep this fast; the 2x acceptance gate
+itself runs at full size in the serve-smoke CI job, not here.
+"""
+
+import json
+
+import pytest
+
+from repro.serve import serve_bench
+from repro.telemetry.benchreport import (
+    compare_reports,
+    load_report,
+    metric_direction,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return serve_bench(
+        matrix="qcd5_4", scale=0.02, requests=32, concurrency=8,
+        max_batch=8, distinct_vectors=4, h=16,
+    )
+
+
+class TestReportShape:
+    def test_row_schema(self, result):
+        (row,) = result["report"]["rows"]
+        assert row["benchmark"] == "serve_microbatch"
+        assert row["matrix"] == "qcd5_4"
+        assert row["format"] == "bro_ell"
+        assert row["requests"] == 32 and row["concurrency"] == 8
+        assert row["corrupted"] == 0
+        assert row["batch_speedup"] > 0
+        assert row["p99_ms"] >= row["p50_ms"] > 0
+
+    def test_occupancy_shows_coalescing(self, result):
+        # 8 concurrent requests against max_batch=8: waves coalesce, so
+        # the mean kernel-call occupancy must exceed one vector.
+        assert result["summary"]["mean_occupancy"] > 1.0
+
+    def test_gated_metric_direction(self, result):
+        # batch_speedup is the ONLY direction-carrying metric in the row:
+        # CI gates on it, while raw wall-clock columns stay informational
+        # (machine-speed dependent, direction 0).
+        (row,) = result["report"]["rows"]
+        directed = [k for k, v in row.items()
+                    if isinstance(v, (int, float)) and metric_direction(k)]
+        assert directed == ["batch_speedup"]
+
+    def test_meta_records_calibration(self, result):
+        meta = result["report"]["meta"]
+        assert meta["h"] == 16
+        assert "batch_window_ms" in meta and "seed" in meta
+
+    def test_summary_mirrors_row(self, result):
+        (row,) = result["report"]["rows"]
+        s = result["summary"]
+        assert s["batch_speedup"] == row["batch_speedup"]
+        assert s["corrupted"] == 0
+
+
+class TestCIGatePlumbing:
+    def test_report_round_trips_and_compares_clean(self, result, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        write_report(result["report"], str(path))
+        baseline = load_report(str(path))
+        comp = compare_reports(baseline, result["report"], threshold=0.05)
+        assert comp.clean and not comp.deltas
+
+    def test_speedup_regression_fails_the_gate(self, result, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        inflated = json.loads(json.dumps(result["report"], default=float))
+        inflated["rows"][0]["batch_speedup"] *= 10
+        write_report(inflated, str(path))
+        comp = compare_reports(load_report(str(path)), result["report"],
+                               threshold=0.05)
+        assert not comp.clean
+        assert any(d.metric == "batch_speedup" and d.regression
+                   for d in comp.deltas)
+
+    def test_committed_baseline_matches_schema(self, result):
+        """The repo's committed baseline stays comparable to fresh runs."""
+        from pathlib import Path
+
+        baseline_path = (Path(__file__).resolve().parents[2]
+                         / "benchmarks" / "baselines" / "BENCH_serve.json")
+        baseline = load_report(str(baseline_path))
+        (brow,) = baseline["rows"]
+        (row,) = result["report"]["rows"]
+        # Same column set; the committed gate value is the acceptance
+        # floor (2x) so machine noise never trips the comparison.
+        assert set(brow) == set(row)
+        assert brow["batch_speedup"] >= 2.0
+        assert brow["corrupted"] == 0

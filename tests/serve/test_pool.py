@@ -1,0 +1,81 @@
+"""MatrixPool: named sealed containers sharing one warm PlanCache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.formats.conversion import convert
+from repro.integrity import verify_integrity
+from repro.matrices.suite import generate
+from repro.serialize import save_container
+from repro.serve import MatrixPool
+
+
+class TestPooling:
+    def test_load_suite_pools_a_sealed_entry(self):
+        pool = MatrixPool(device="k20")
+        entry = pool.load_suite("qcd5_4", scale=0.02, format="bro_ell",
+                                seed=7, h=16)
+        assert entry.name == "qcd5_4"
+        assert entry.matrix.format_name == "bro_ell"
+        assert verify_integrity(entry.matrix)
+        assert pool.get("qcd5_4") is entry.matrix
+        assert len(pool) == 1
+
+    def test_unknown_matrix_is_typed_and_lists_names(self):
+        pool = MatrixPool(device="k20")
+        pool.load_suite("qcd5_4", scale=0.02, format="csr", seed=7)
+        with pytest.raises(ServeError, match="qcd5_4"):
+            pool.get("nope")
+
+    def test_add_requires_a_name(self):
+        pool = MatrixPool(device="k20")
+        mat = convert(generate("qcd5_4", scale=0.02, seed=7), "csr")
+        with pytest.raises(ServeError, match="name"):
+            pool.add("", mat)
+
+    def test_remove_drops_entry_and_plans(self):
+        pool = MatrixPool(device="k20")
+        entry = pool.load_suite("qcd5_4", scale=0.02, format="bro_ell",
+                                seed=7, h=16)
+        pool.warm()
+        assert entry.matrix in pool.plan_cache
+        pool.remove("qcd5_4")
+        assert entry.matrix not in pool.plan_cache
+        with pytest.raises(ServeError):
+            pool.get("qcd5_4")
+        with pytest.raises(ServeError):
+            pool.remove("qcd5_4")
+
+    def test_load_brx_round_trip(self, tmp_path):
+        mat = convert(generate("qcd5_4", scale=0.02, seed=7), "bro_ell", h=16)
+        path = tmp_path / "qcd.brx"
+        save_container(mat, path)
+
+        pool = MatrixPool(device="k20")
+        entry = pool.load("qcd", path)
+        loaded = pool.get("qcd")
+        assert loaded.format_name == "bro_ell"
+        assert loaded.shape == mat.shape
+        x = np.ones(mat.shape[1])
+        assert np.array_equal(loaded.spmv(x), mat.spmv(x))
+        assert entry.describe()["sealed"]
+
+
+class TestWarm:
+    def test_warm_builds_once_then_hits(self):
+        pool = MatrixPool(device="k20")
+        pool.load_suite("qcd5_4", scale=0.02, format="bro_ell", seed=7, h=16)
+        assert pool.warm() == 1
+        builds = pool.plan_cache.stats()["builds"]
+        assert pool.warm() == 1  # idempotent: ensured, not rebuilt
+        assert pool.plan_cache.stats()["builds"] == builds
+
+    def test_describe_is_the_list_payload(self):
+        pool = MatrixPool(device="k20")
+        pool.load_suite("qcd5_4", scale=0.02, format="bro_ell", seed=7, h=16)
+        (row,) = pool.describe()
+        assert row["name"] == "qcd5_4"
+        assert row["format"] == "bro_ell"
+        assert row["nnz"] > 0 and len(row["shape"]) == 2
+        assert row["plannable"] is True

@@ -1,0 +1,237 @@
+"""ServerCore: admission control, micro-batched execution, bit-identity
+with the direct kernel path, per-tenant metrics and graceful shutdown —
+all driven in-process (no sockets; the transport has its own suite).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exec.policy import ExecutionPolicy
+from repro.kernels.dispatch import run_spmm, run_spmv
+from repro.serve import ServerConfig, SpMVRequest
+from repro.serve.server import ServerCore
+
+from .conftest import MATRIX
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_core(pool, **overrides):
+    defaults = dict(batch_window_ms=5.0, max_batch=8, max_queue=64)
+    defaults.update(overrides)
+    return ServerCore(pool, ServerConfig(**defaults))
+
+
+async def submit_concurrently(core, requests):
+    return await asyncio.gather(*[core.submit(r) for r in requests])
+
+
+class TestExecution:
+    def test_single_request_is_bit_identical_to_run_spmv(self, pool, xs):
+        core = make_core(pool)
+
+        async def scenario():
+            resp = await core.submit(
+                SpMVRequest(request_id="r0", matrix=MATRIX, x=xs[0])
+            )
+            await core.shutdown()
+            return resp
+
+        resp = run(scenario())
+        assert resp.ok and resp.format == "bro_ell"
+        expected = run_spmv(
+            pool.get(MATRIX), xs[0], "k20",
+            policy=ExecutionPolicy(plan_cache=pool.plan_cache),
+        ).y
+        assert np.array_equal(resp.y, expected)
+        assert resp.meta["device"] == "Tesla K20"
+        assert resp.execute_ms > 0
+
+    def test_concurrent_requests_coalesce_and_stay_exact(self, pool, xs):
+        core = make_core(pool)
+        reqs = [
+            SpMVRequest(request_id=f"r{i}", matrix=MATRIX,
+                        x=xs[i % len(xs)], tenant=f"t{i % 2}")
+            for i in range(8)
+        ]
+
+        async def scenario():
+            responses = await submit_concurrently(core, reqs)
+            await core.shutdown()
+            return responses
+
+        responses = run(scenario())
+        policy = ExecutionPolicy(plan_cache=pool.plan_cache)
+        expected = [run_spmv(pool.get(MATRIX), x, "k20", policy=policy).y
+                    for x in xs]
+        assert all(r.ok for r in responses)
+        for i, resp in enumerate(responses):
+            assert np.array_equal(resp.y, expected[i % len(xs)])
+        # All eight arrived inside one window for one (matrix, policy)
+        # key, so they shared one kernel call.
+        assert {r.batch_size for r in responses} == {8}
+        assert core.batch_occupancy() == 8.0
+
+    def test_explicit_2d_batch_runs_spmm_directly(self, pool, xs):
+        core = make_core(pool)
+        X = np.stack(xs, axis=1)
+        req = SpMVRequest(request_id="b", matrix=MATRIX, x=X)
+
+        async def scenario():
+            resp = await core.submit(req)
+            await core.shutdown()
+            return resp
+
+        resp = run(scenario())
+        assert resp.ok and resp.batch_size == len(xs)
+        expected = run_spmm(
+            pool.get(MATRIX), X, "k20",
+            policy=ExecutionPolicy(plan_cache=pool.plan_cache),
+        ).y
+        assert np.array_equal(resp.y, expected)
+
+    def test_distinct_policies_do_not_share_a_batch(self, pool, xs):
+        core = make_core(pool)
+        reqs = [
+            SpMVRequest(request_id="plain", matrix=MATRIX, x=xs[0]),
+            SpMVRequest(request_id="ref", matrix=MATRIX, x=xs[0],
+                        policy={"engine": "reference"}),
+        ]
+
+        async def scenario():
+            responses = await submit_concurrently(core, reqs)
+            await core.shutdown()
+            return responses
+
+        responses = run(scenario())
+        assert all(r.ok for r in responses)
+        assert all(r.batch_size == 1 for r in responses)
+        assert np.array_equal(responses[0].y, responses[1].y)
+
+
+class TestAdmission:
+    def test_unknown_matrix_is_an_error_response(self, pool, xs):
+        core = make_core(pool)
+
+        async def scenario():
+            resp = await core.submit(
+                SpMVRequest(request_id="r", matrix="nope", x=xs[0])
+            )
+            await core.shutdown()
+            return resp
+
+        resp = run(scenario())
+        assert resp.status == "error"
+        assert resp.error_type == "ServeError"
+        assert "nope" in resp.error
+
+    def test_shape_mismatch_rejected_before_batching(self, pool):
+        core = make_core(pool)
+
+        async def scenario():
+            resp = await core.submit(
+                SpMVRequest(request_id="r", matrix=MATRIX, x=np.ones(3))
+            )
+            await core.shutdown()
+            return resp
+
+        resp = run(scenario())
+        assert resp.status == "error"
+        assert resp.error_type == "ValidationError"
+
+    def test_queue_full_rejects_in_band(self, pool, xs):
+        # max_queue=2 with a wide window: the first two requests park in
+        # the batch window holding the in-flight budget; the third must
+        # be rejected (HTTP-429 analogue), not queued or dropped.
+        core = make_core(pool, max_queue=2, batch_window_ms=50.0,
+                         max_batch=16)
+
+        async def scenario():
+            t1 = asyncio.ensure_future(core.submit(
+                SpMVRequest(request_id="a", matrix=MATRIX, x=xs[0])))
+            t2 = asyncio.ensure_future(core.submit(
+                SpMVRequest(request_id="b", matrix=MATRIX, x=xs[1])))
+            await asyncio.sleep(0.01)  # both admitted, window still open
+            overload = await core.submit(
+                SpMVRequest(request_id="c", matrix=MATRIX, x=xs[2]))
+            first_two = await asyncio.gather(t1, t2)
+            await core.shutdown()
+            return first_two, overload
+
+        first_two, overload = run(scenario())
+        assert all(r.ok for r in first_two)
+        assert overload.rejected
+        assert overload.error_type == "AdmissionError"
+        assert "retry" in overload.error
+
+    def test_draining_server_rejects_new_requests(self, pool, xs):
+        core = make_core(pool)
+
+        async def scenario():
+            await core.shutdown()
+            late = await core.submit(
+                SpMVRequest(request_id="late", matrix=MATRIX, x=xs[0]))
+            return late
+
+        late = run(scenario())
+        assert late.rejected
+        assert late.error_type == "AdmissionError"
+        assert "shutdown" in late.error
+
+
+class TestObservability:
+    def test_per_tenant_counters_and_histograms(self, pool, xs):
+        core = make_core(pool)
+        reqs = [
+            SpMVRequest(request_id=f"r{i}", matrix=MATRIX, x=xs[0],
+                        tenant=("acme" if i % 2 else "globex"))
+            for i in range(4)
+        ]
+
+        async def scenario():
+            await submit_concurrently(core, reqs)
+            await core.shutdown()
+
+        run(scenario())
+        snap = core.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters['serve.requests{status="ok",tenant="acme"}'] == 2
+        assert counters['serve.requests{status="ok",tenant="globex"}'] == 2
+        hists = snap["histograms"]
+        for tenant in ("acme", "globex"):
+            hist = hists[
+                f'serve.request_latency_seconds{{tenant="{tenant}"}}'
+            ]
+            assert hist["count"] == 2
+
+    def test_stats_and_prometheus(self, pool, xs):
+        core = make_core(pool)
+
+        async def scenario():
+            await core.submit(
+                SpMVRequest(request_id="r", matrix=MATRIX, x=xs[0]))
+            await core.shutdown()
+
+        run(scenario())
+        stats = core.stats()
+        assert stats["accepting"] is False  # after shutdown
+        assert stats["batches"] == 1 and stats["batched_vectors"] == 1
+        assert stats["pool"][0]["name"] == MATRIX
+        assert "hits" in stats["plan_cache"]
+        text = core.prometheus()
+        assert "repro_serve_requests" in text
+        assert "repro_serve_batch_occupancy" in text
+
+    def test_shutdown_is_idempotent(self, pool):
+        core = make_core(pool)
+
+        async def scenario():
+            await core.shutdown()
+            await core.shutdown()
+
+        run(scenario())
+        assert not core.accepting

@@ -339,24 +339,44 @@ class TestShardedSpmv:
         assert "slice-aligned" in capsys.readouterr().out
 
     def test_spmv_json(self, capsys):
+        """--json emits an SpMVResponse wire envelope; the old payload
+        (device counters, comms, roofline numbers) lives under meta."""
         import json
 
         assert main(
             ["spmv", "epb3", "--scale", "0.02", "--devices", "2", "--json"]
         ) == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["devices"] == 2
-        assert data["comms"]["strategy"] in ("broadcast", "halo")
-        assert data["counters"]["interconnect_bytes"] > 0
-        assert data["gflops"] > 0
+        assert data["status"] == "ok" and data["ok"] is True
+        assert data["id"] == "cli"
+        assert data["batch_size"] == 1
+        assert data["execute_ms"] > 0
+        assert "y" not in data  # CLI summaries elide the product vector
+        meta = data["meta"]
+        assert meta["devices"] == 2
+        assert meta["comms"]["strategy"] in ("broadcast", "halo")
+        assert meta["counters"]["interconnect_bytes"] > 0
+        assert meta["gflops"] > 0
+
+    def test_spmv_json_parses_as_serve_response(self, capsys):
+        """The CLI envelope round-trips through SpMVResponse.from_wire —
+        one schema across the socket protocol and the CLI."""
+        import json
+
+        from repro.serve import SpMVResponse
+
+        assert main(["spmv", "epb3", "--scale", "0.02", "--json"]) == 0
+        resp = SpMVResponse.from_wire(json.loads(capsys.readouterr().out))
+        assert resp.ok and resp.matrix == "epb3"
+        assert resp.y is None  # elided on the CLI path
 
     def test_spmv_single_device_json(self, capsys):
         import json
 
         assert main(["spmv", "epb3", "--scale", "0.02", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["devices"] == 1
-        assert data["comms"] is None
+        assert data["meta"]["devices"] == 1
+        assert data["meta"]["comms"] is None
 
 
 class TestScaleCommand:

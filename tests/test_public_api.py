@@ -76,6 +76,15 @@ EXPECTED_EXPORTS = {
     # online autotuning
     "OnlineTuner",
     "RetuneConfig",
+    # serving layer
+    "SpMVRequest",
+    "SpMVResponse",
+    "ServerConfig",
+    "SpMVServer",
+    "ServeClient",
+    "MatrixPool",
+    "ServeError",
+    "AdmissionError",
     # subpackages
     "registry",
     "bench",
@@ -88,6 +97,7 @@ EXPECTED_EXPORTS = {
     "kernels",
     "matrices",
     "reorder",
+    "serve",
     "solvers",
     "telemetry",
     "tuner",
@@ -144,6 +154,37 @@ class TestKeyExports:
 
         assert repro.prepare is plan_prepare
         assert repro.register_format is registry_register
+
+    def test_serve_types_are_frozen_dataclasses(self):
+        import dataclasses
+
+        for cls in (repro.SpMVRequest, repro.SpMVResponse, repro.ServerConfig):
+            assert dataclasses.is_dataclass(cls)
+        cfg = repro.ServerConfig(max_queue=8)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.max_queue = 16
+
+    def test_admission_error_is_typed_serve_error(self):
+        assert issubclass(repro.AdmissionError, repro.ServeError)
+        assert issubclass(repro.ServeError, repro.ReproError)
+
+    def test_session_run_is_the_entrypoint_with_shims(self):
+        import warnings
+
+        assert callable(repro.Session.run)
+        # execute/execute_many survive as deprecated shims
+        sess = repro.Session("k20")
+        sess.use(repro.convert(
+            repro.matrices.generate("cant", scale=0.01), "bro_ell"
+        ))
+        import numpy as np
+
+        x = np.ones(sess.matrix.shape[1])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            y_old = sess.execute(x).y
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert np.array_equal(y_old, sess.run(x).y)
 
     def test_version_is_string(self):
         assert isinstance(repro.__version__, str)

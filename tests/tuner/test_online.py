@@ -72,7 +72,7 @@ class TestConvergence:
         sess = make_session(interval=4)
         x = x_for(sess)
         for call in range(1, 13):
-            sess.execute(x)
+            sess.run(x)
             if call < 4:
                 assert sess.format_name == "coo"
         tuner = sess.tuner
@@ -88,7 +88,7 @@ class TestConvergence:
         # the same format at the same call.
         twin = make_session(interval=4)
         for _ in range(4):
-            twin.execute(x)
+            twin.run(x)
         assert twin.format_name == sess.tuner.history[0]["best_format"]
 
     def test_retuned_session_still_correct(self):
@@ -96,7 +96,7 @@ class TestConvergence:
         x = x_for(sess)
         expected = sess.source.spmv(x)
         for _ in range(4):
-            res = sess.execute(x)
+            res = sess.run(x)
         assert sess.format_name != "coo"
         np.testing.assert_allclose(res.y, expected, rtol=1e-12)
 
@@ -108,7 +108,7 @@ class TestConvergence:
             sess = make_session(interval=2, max_retunes=1)
             x = x_for(sess)
             for _ in range(4):
-                sess.execute(x)
+                sess.run(x)
         telemetry.disable()
         assert t.find("session.retune")
         snap = reg.snapshot()["counters"]
@@ -120,9 +120,9 @@ class TestConvergence:
         sess = make_session(interval=2).seal()
         assert sess.sealed
         x = x_for(sess)
-        sess.execute(x)
+        sess.run(x)
         assert sess.tuner.retunes == 0
-        sess.execute(x)
+        sess.run(x)
         assert sess.tuner.retunes == 1
         assert sess.sealed, "retune must re-seal a sealed container"
 
@@ -130,10 +130,10 @@ class TestConvergence:
         sess = make_session(interval=2)
         cache = sess.plan_cache
         x = x_for(sess)
-        sess.execute(x)
-        sess.execute(x)  # retunes + prepare()s the new container
+        sess.run(x)
+        sess.run(x)  # retunes + prepare()s the new container
         builds_after_retune = cache.stats()["builds"]
-        sess.execute(x)  # warm: replays the prepared plan
+        sess.run(x)  # warm: replays the prepared plan
         assert cache.stats()["builds"] == builds_after_retune
 
 
@@ -142,16 +142,16 @@ class TestKnobs:
         sess = make_session(interval=6)
         x = x_for(sess)
         for _ in range(5):
-            sess.execute(x)
+            sess.run(x)
         assert sess.tuner.history == []
-        sess.execute(x)
+        sess.run(x)
         assert len(sess.tuner.history) == 1
 
     def test_high_hysteresis_skips(self):
         sess = make_session(interval=2, hysteresis=1e9)
         x = x_for(sess)
-        sess.execute(x)
-        sess.execute(x)
+        sess.run(x)
+        sess.run(x)
         tuner = sess.tuner
         assert sess.format_name == "coo"
         assert tuner.retunes == 0
@@ -163,7 +163,7 @@ class TestKnobs:
         sess = make_session(interval=1, max_retunes=1)
         x = x_for(sess)
         for _ in range(5):
-            sess.execute(x)
+            sess.run(x)
         tuner = sess.tuner
         assert tuner.retunes == 1
         assert tuner.calls_seen == 5
@@ -174,7 +174,7 @@ class TestKnobs:
         sess = make_session(interval=1, max_retunes=0)
         x = x_for(sess)
         for _ in range(3):
-            sess.execute(x)
+            sess.run(x)
         assert sess.tuner.history == []
         assert sess.format_name == "coo"
 
@@ -186,8 +186,8 @@ class TestKnobs:
         tuner = OnlineTuner(sess, RetuneConfig(
             interval=2, hysteresis=1.05, formats=FORMATS))
         x = x_for(sess)
-        assert tuner.observe(sess.execute(x)) is False  # window open
-        assert tuner.observe(sess.execute(x)) is True  # closes, retunes
+        assert tuner.observe(sess.run(x)) is False  # window open
+        assert tuner.observe(sess.run(x)) is True  # closes, retunes
         assert tuner.retunes == 1
         assert sess.format_name != "coo"
 
@@ -198,7 +198,7 @@ class TestKnobs:
         assert sess.tuner is None
         x = x_for(sess)
         for _ in range(3):
-            sess.execute(x)
+            sess.run(x)
         assert tuner.calls_seen == 0
         assert sess.format_name == "coo"
 
@@ -213,7 +213,7 @@ class TestKnobs:
         sess = make_session(interval=3, hysteresis=1e9)
         x = x_for(sess)
         for _ in range(3):
-            sess.execute(x)
+            sess.run(x)
         (entry,) = sess.tuner.history
         assert entry["measured_per_nnz"] > 0
         assert entry["achieved_bytes_per_s"] > 0
